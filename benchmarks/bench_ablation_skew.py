@@ -1,0 +1,25 @@
+"""Ablation: domain skew (beyond the paper's uniform-domain assumption)."""
+
+from repro.experiments.skew import skew_ablation
+
+
+def test_ablation_skew(benchmark, record):
+    result = benchmark.pedantic(skew_ablation, rounds=1, iterations=1)
+    record(result)
+    by_exponent = {row[0]: row for row in result.rows}
+    # BSSF storage must be identical across exponents (skew-oblivious)
+    bssf_pages = {row[4] for row in result.rows}
+    assert len(bssf_pages) == 1
+    # NIX max posting grows with skew until the build fails outright
+    assert by_exponent[0.4][1] > by_exponent[0.0][1]
+    assert by_exponent[0.8][1] == "BUILD FAILS"
+
+
+def test_ablation_skew_with_chains(record):
+    """Overflow chains survive the skew the paper's layout cannot."""
+    result = skew_ablation(overflow_chains=True)
+    record(result)
+    by_exponent = {row[0]: row for row in result.rows}
+    # no build failure at any exponent, and the hot posting is huge
+    assert all(isinstance(row[1], int) for row in result.rows)
+    assert by_exponent[0.8][1] > 500

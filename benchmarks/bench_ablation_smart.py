@@ -1,0 +1,63 @@
+"""Ablation: smart vs naive retrieval strategies (DESIGN.md §5).
+
+Quantifies exactly how much of BSSF's advantage comes from the Section 5
+smart strategies, for both query types, at the paper's flagship design
+point (F = 500, m = 2, Dt = 10).
+"""
+
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.nix_model import NIXCostModel
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.smart import (
+    smart_subset_bssf,
+    smart_superset_bssf,
+    smart_superset_nix,
+)
+from repro.experiments.result import SeriesResult
+
+
+def smart_vs_naive_superset() -> SeriesResult:
+    bssf = BSSFCostModel(PAPER_PARAMETERS, 500, 2)
+    nix = NIXCostModel(PAPER_PARAMETERS, 10)
+    dq_values = list(range(1, 11))
+    return SeriesResult(
+        experiment_id="ablation_smart_superset",
+        title="Smart vs naive, T ⊇ Q, Dt=10, F=500, m=2",
+        x_label="Dq",
+        x_values=dq_values,
+        series={
+            "BSSF naive": [bssf.retrieval_cost_superset(10, dq) for dq in dq_values],
+            "BSSF smart": [smart_superset_bssf(bssf, 10, dq).cost for dq in dq_values],
+            "NIX naive": [nix.retrieval_cost_superset(dq) for dq in dq_values],
+            "NIX smart": [smart_superset_nix(nix, dq).cost for dq in dq_values],
+        },
+    )
+
+
+def smart_vs_naive_subset() -> SeriesResult:
+    bssf = BSSFCostModel(PAPER_PARAMETERS, 500, 2)
+    dq_values = [10, 30, 100, 300, 1000]
+    return SeriesResult(
+        experiment_id="ablation_smart_subset",
+        title="Smart vs naive, T ⊆ Q, Dt=10, F=500, m=2",
+        x_label="Dq",
+        x_values=dq_values,
+        series={
+            "BSSF naive": [bssf.retrieval_cost_subset(10, dq) for dq in dq_values],
+            "BSSF smart": [smart_subset_bssf(bssf, 10, dq).cost for dq in dq_values],
+        },
+    )
+
+
+def test_ablation_smart_superset(benchmark, record):
+    result = benchmark(smart_vs_naive_superset)
+    record(result)
+    for dq in range(1, 11):
+        assert result.value("BSSF smart", dq) <= result.value("BSSF naive", dq) + 1e-9
+
+
+def test_ablation_smart_subset(benchmark, record):
+    result = benchmark(smart_vs_naive_subset)
+    record(result)
+    for dq in (10, 30, 100):
+        assert result.value("BSSF smart", dq) <= result.value("BSSF naive", dq) + 1e-9

@@ -1,0 +1,99 @@
+"""Empirical validation benches: simulator page accesses vs the model.
+
+One scaled testbed (N = 2048, V scaled to keep the paper's posting density
+d = Dt·N/V ≈ 24.6) is shared by all benches in this module. The recorded
+sweeps are the empirical counterparts of Figures 4–10's analytical curves;
+the benchmark timings measure real end-to-end query execution on the
+paged-storage simulator.
+"""
+
+import pytest
+
+from repro.experiments.empirical import (
+    EmpiricalConfig,
+    Testbed,
+    empirical_sweep,
+    empirical_update_costs,
+)
+
+CONFIG = EmpiricalConfig(
+    num_objects=2048,
+    domain_cardinality=832,
+    target_cardinality=10,
+    signature_bits=500,
+    bits_per_element=2,
+    seed=7,
+    queries_per_point=3,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed() -> Testbed:
+    return Testbed.build(CONFIG)
+
+
+def test_superset_query_execution(benchmark, testbed, record):
+    """Time one T ⊇ Q query through the BSSF path; record the full sweep."""
+    query = testbed.generator.random_query_set(3)
+
+    def run():
+        return testbed.measure_query("bssf", "superset", query, smart=True)
+
+    benchmark(run)
+    record(
+        empirical_sweep(
+            CONFIG, "superset", (1, 2, 3, 5, 8, 10), testbed=testbed
+        )
+    )
+
+
+def test_subset_query_execution(benchmark, testbed, record):
+    """Time one T ⊆ Q query through the BSSF path; record the full sweep."""
+    query = testbed.generator.random_query_set(50)
+
+    def run():
+        return testbed.measure_query("bssf", "subset", query, smart=True)
+
+    benchmark(run)
+    record(
+        empirical_sweep(
+            CONFIG, "subset", (10, 30, 100, 300), testbed=testbed
+        )
+    )
+
+
+def test_smart_subset_sweep(benchmark, testbed, record):
+    """Record the smart-strategy subset sweep (Figure 9's empirical twin)."""
+    query = testbed.generator.random_query_set(100)
+
+    def run():
+        return testbed.measure_query("bssf", "subset", query, smart=True)
+
+    benchmark(run)
+    record(
+        empirical_sweep(
+            CONFIG,
+            "subset",
+            (10, 30, 100),
+            facilities=("bssf",),
+            smart=True,
+            testbed=testbed,
+        ),
+    )
+
+
+def test_update_costs(benchmark, testbed, record):
+    """Time a full insert (object + all three indexes); record Table 7's
+    empirical twin."""
+
+    counter = iter(range(10_000))
+
+    def insert_one():
+        serial = next(counter)
+        elements = {
+            (serial * 13 + k) % CONFIG.domain_cardinality for k in range(10)
+        }
+        testbed.database.insert("EvalObject", {"elements": elements})
+
+    benchmark.pedantic(insert_one, rounds=8, iterations=1)
+    record(empirical_update_costs(CONFIG, operations=8, testbed=testbed))

@@ -1,0 +1,46 @@
+"""Benches for the extension experiments (§6 future work + validation)."""
+
+import pytest
+
+from repro.experiments.empirical import EmpiricalConfig, Testbed
+from repro.experiments.extensions import false_drop_validation, variable_cardinality
+
+
+def test_variable_cardinality(benchmark, record):
+    """§6 future work: fixed vs spread target cardinality."""
+    result = benchmark(variable_cardinality)
+    record(result)
+    assert result.value("uniform Dt∈[1,19]", 2) > result.value("fixed Dt=10", 2)
+
+
+@pytest.fixture(scope="module")
+def validation_testbed():
+    config = EmpiricalConfig(
+        num_objects=1024,
+        domain_cardinality=416,
+        signature_bits=64,
+        bits_per_element=2,
+        queries_per_point=4,
+        seed=3,
+    )
+    return config, Testbed.build(config)
+
+
+def test_false_drop_validation(benchmark, record, validation_testbed):
+    """Measured Fd on the simulator vs equations (2)/(6)."""
+    config, testbed = validation_testbed
+
+    def run():
+        return false_drop_validation(
+            config=config,
+            superset_dq=(1, 2, 3),
+            subset_dq=(30, 60, 100),
+            queries_per_point=4,
+            testbed=testbed,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(result)
+    # sampling noise + eq. (6)'s small-F low bias (see the result's notes)
+    for _, _, measured, predicted, _ in result.rows:
+        assert predicted / 3.0 - 0.02 <= measured <= predicted * 3.0 + 0.03

@@ -1,0 +1,8 @@
+"""Regenerate the paper's Figure 10 (analytical, Section 5)."""
+
+from repro.experiments import figures
+
+
+def test_figure10(benchmark, record):
+    result = benchmark(figures.figure10)
+    record(result)

@@ -1,0 +1,8 @@
+"""Regenerate the paper's Figure 4 (analytical, Section 5)."""
+
+from repro.experiments import figures
+
+
+def test_figure4(benchmark, record):
+    result = benchmark(figures.figure4)
+    record(result)

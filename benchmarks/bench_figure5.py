@@ -1,0 +1,8 @@
+"""Regenerate the paper's Figure 5 (analytical, Section 5)."""
+
+from repro.experiments import figures
+
+
+def test_figure5(benchmark, record):
+    result = benchmark(figures.figure5)
+    record(result)

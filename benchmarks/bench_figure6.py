@@ -1,0 +1,8 @@
+"""Regenerate the paper's Figure 6 (analytical, Section 5)."""
+
+from repro.experiments import figures
+
+
+def test_figure6(benchmark, record):
+    result = benchmark(figures.figure6)
+    record(result)

@@ -1,0 +1,8 @@
+"""Regenerate the paper's Figure 7 (analytical, Section 5)."""
+
+from repro.experiments import figures
+
+
+def test_figure7(benchmark, record):
+    result = benchmark(figures.figure7)
+    record(result)

@@ -1,0 +1,8 @@
+"""Regenerate the paper's Figure 8 (analytical, Section 5)."""
+
+from repro.experiments import figures
+
+
+def test_figure8(benchmark, record):
+    result = benchmark(figures.figure8)
+    record(result)

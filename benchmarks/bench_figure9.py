@@ -1,0 +1,8 @@
+"""Regenerate the paper's Figure 9 (analytical, Section 5)."""
+
+from repro.experiments import figures
+
+
+def test_figure9(benchmark, record):
+    result = benchmark(figures.figure9)
+    record(result)

@@ -1,0 +1,93 @@
+"""Full paper-scale Dt = 100 run (Table 2 + the second Table 5 row).
+
+Building this testbed takes ~60-90 s (32,000 objects × 100 elements,
+F = 2500 slices), so it is opt-in::
+
+    SIGREPRO_FULL_DT100=1 pytest benchmarks/bench_full_scale_dt100.py --benchmark-only
+
+Findings this bench pins:
+
+* SSF signature file = 2462 pages — the model's ceil(N / floor(P·b/F))
+  exactly;
+* BSSF = 2500 slice pages + 63;
+* the real B+-tree needs ~18% more leaf pages than Table 5's 6500: with
+  ~2 KB entries, per-key posting-length variance (Poisson around
+  d = 246) makes many leaf pairs spill where the analytical model packs
+  floor(P/il) = 2 entries per leaf at the mean. The non-leaf count and
+  height match. This is a genuine limit of the paper's mean-value
+  geometry, visible only because the substrate is real.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.empirical import EmpiricalConfig, Testbed
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("SIGREPRO_FULL_DT100"),
+    reason="~90 s build; set SIGREPRO_FULL_DT100=1 to run",
+)
+
+CONFIG = EmpiricalConfig(
+    num_objects=32_000,
+    domain_cardinality=13_000,
+    target_cardinality=100,
+    signature_bits=2500,
+    bits_per_element=3,
+    seed=2,
+    queries_per_point=2,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed() -> Testbed:
+    return Testbed.build(CONFIG)
+
+
+def test_dt100_storage(benchmark, testbed, record):
+    from repro.costmodel.nix_model import NIXCostModel
+    from repro.costmodel.parameters import PAPER_PARAMETERS
+    from repro.experiments.result import TableResult
+
+    report = testbed.database.facility_storage_report()
+    ssf = report["EvalObject.elements/ssf"]
+    bssf = report["EvalObject.elements/bssf"]
+    nix = report["EvalObject.elements/nix"]
+    model = NIXCostModel(PAPER_PARAMETERS, 100)
+
+    def build_table():
+        return TableResult(
+            experiment_id="full_scale_dt100_storage",
+            title="Paper-scale storage at Dt=100: measured vs model",
+            columns=["structure", "measured pages", "model pages"],
+            rows=[
+                ["SSF signature", ssf["signature"], 2462],
+                ["BSSF slices", bssf["slices"], 2500],
+                ["NIX leaf", nix["leaf"], model.leaf_pages],
+                ["NIX nonleaf", nix["nonleaf"], model.nonleaf_pages],
+            ],
+            notes=[
+                "NIX leaves exceed the model by ~18%: posting-length "
+                "variance spills pairs of ~2KB entries the mean-value "
+                "geometry packs two-per-page"
+            ],
+        )
+
+    result = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    record(result)
+    assert result.cell("SSF signature", "measured pages") == 2462
+    assert result.cell("BSSF slices", "measured pages") == 2500
+    measured_leaves = result.cell("NIX leaf", "measured pages")
+    assert 6500 <= measured_leaves <= 6500 * 1.30
+
+
+def test_dt100_retrieval(benchmark, testbed):
+    query = testbed.generator.random_query_set(3)
+
+    def run():
+        return testbed.measure_query("bssf", "superset", query, smart=True)
+
+    benchmark(run)
+    pages, _ = run()
+    assert pages < 60  # smart BSSF stays in single-digit-to-tens territory

@@ -1,0 +1,9 @@
+"""Regenerate the Section 6 conclusions table (the reproduction verdict)."""
+
+from repro.experiments.conclusions import summary
+
+
+def test_summary(benchmark, record):
+    result = benchmark(summary)
+    record(result)
+    assert all(row[2] == "HOLDS" for row in result.rows)

@@ -1,0 +1,8 @@
+"""Regenerate the paper's Table 5 (analytical, Section 4/5)."""
+
+from repro.experiments import tables
+
+
+def test_table5(benchmark, record):
+    result = benchmark(tables.table5)
+    record(result)

@@ -1,0 +1,8 @@
+"""Regenerate the paper's Table 6 (analytical, Section 4/5)."""
+
+from repro.experiments import tables
+
+
+def test_table6(benchmark, record):
+    result = benchmark(tables.table6)
+    record(result)

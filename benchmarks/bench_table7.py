@@ -1,0 +1,8 @@
+"""Regenerate the paper's Table 7 (analytical, Section 4/5)."""
+
+from repro.experiments import tables
+
+
+def test_table7(benchmark, record):
+    result = benchmark(tables.table7)
+    record(result)

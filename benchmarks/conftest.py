@@ -1,0 +1,32 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one paper table/figure (or an ablation) and
+records the rendered rows/series under ``benchmarks/results/`` — the same
+rows/series the paper reports — while pytest-benchmark times the
+generation. Empirical benchmarks share one scaled testbed per module so
+the (comparatively slow) load happens once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist an experiment result and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result, suffix: str = ""):
+        name = result.experiment_id + (f"_{suffix}" if suffix else "")
+        text = result.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _record

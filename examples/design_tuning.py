@@ -1,0 +1,100 @@
+"""Design-tuning advisor: pick (F, m) for a BSSF from workload statistics.
+
+Walks through the paper's Section 5 tuning story for a user-supplied
+workload (N, V, Dt, expected Dq mix):
+
+1. the text-retrieval default ``m_opt`` and its false-drop probability;
+2. the retrieval-cost-optimal small m (the paper's actual recommendation);
+3. ``D_q^opt`` and the smart-strategy slice budget for ``T ⊆ Q``;
+4. a final recommended configuration with projected storage and costs.
+
+Run: ``python examples/design_tuning.py [N V Dt]``
+"""
+
+import sys
+
+from repro.core.false_drop import false_drop_superset, rounded_optimal_m
+from repro.core.tuning import best_m_for_retrieval, optimal_zero_slices
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.nix_model import NIXCostModel
+from repro.costmodel.parameters import CostParameters
+from repro.costmodel.smart import (
+    smart_subset_bssf,
+    smart_subset_dq_opt,
+    smart_superset_bssf,
+    subset_resolution_ceiling,
+)
+from repro.costmodel.ssf_model import SSFCostModel
+
+
+def advise(N: int, V: int, Dt: int) -> None:
+    params = CostParameters(num_objects=N, domain_cardinality=V)
+    candidate_fs = [25 * Dt, 50 * Dt]  # the paper's F ≈ 25·Dt and 50·Dt points
+    typical_dq_superset = max(2, Dt // 3)
+
+    print(f"workload: N={N}, V={V}, Dt={Dt}")
+    print(f"candidate signature widths: F ∈ {candidate_fs}\n")
+
+    best_config = None
+    for F in candidate_fs:
+        m_opt = rounded_optimal_m(F, Dt)
+        m_best = best_m_for_retrieval(
+            lambda m: BSSFCostModel(params, F, m).retrieval_cost_superset(
+                Dt, typical_dq_superset
+            ),
+            max_m=m_opt,
+        )
+        model = BSSFCostModel(params, F, m_best)
+        fd_opt = false_drop_superset(F, m_opt, Dt, typical_dq_superset)
+        fd_best = false_drop_superset(F, m_best, Dt, typical_dq_superset)
+        dq_opt = smart_subset_dq_opt(model, Dt)
+        slices = optimal_zero_slices(
+            F, m_best, Dt, model.slice_pages, subset_resolution_ceiling(model)
+        )
+        print(f"F = {F}:")
+        print(f"  m_opt (eq. 3)        = {m_opt}   (Fd = {fd_opt:.2e})")
+        print(f"  retrieval-optimal m  = {m_best}   (Fd = {fd_best:.2e})")
+        print(f"  RC T⊇Q @Dq={typical_dq_superset}       = "
+              f"{smart_superset_bssf(model, Dt, typical_dq_superset).cost:.1f} pages (smart)")
+        print(f"  RC T⊆Q @Dq={5 * Dt}      = "
+              f"{smart_subset_bssf(model, Dt, 5 * Dt).cost:.1f} pages (smart)")
+        print(f"  D_q^opt              = {dq_opt:.0f}  "
+              f"(examine {slices} zero slices below it)")
+        print(f"  storage              = {model.storage_cost()} pages")
+        print(f"  E[insert]            = {model.insert_cost_expected(Dt):.1f} pages\n")
+        cost = smart_superset_bssf(model, Dt, typical_dq_superset).cost
+        if best_config is None or cost < best_config[0]:
+            best_config = (cost, F, m_best)
+
+    _, F, m = best_config
+    chosen = BSSFCostModel(params, F, m)
+    nix = NIXCostModel(params, Dt)
+    ssf = SSFCostModel(params, F, m)
+    print("=== recommendation ===")
+    print(f"BSSF with F={F}, m={m}")
+    print(
+        f"storage: BSSF {chosen.storage_cost()} pages vs "
+        f"SSF {ssf.storage_cost()} vs NIX {nix.storage_cost()}"
+    )
+    print(
+        f"T⊇Q @Dq={typical_dq_superset}: BSSF "
+        f"{smart_superset_bssf(chosen, Dt, typical_dq_superset).cost:.1f} vs "
+        f"NIX {nix.retrieval_cost_superset(typical_dq_superset):.1f} pages"
+    )
+    print(
+        f"T⊆Q @Dq={5 * Dt}: BSSF "
+        f"{smart_subset_bssf(chosen, Dt, 5 * Dt).cost:.1f} vs "
+        f"NIX {nix.retrieval_cost_subset(5 * Dt):.1f} pages"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) == 4:
+        N, V, Dt = (int(arg) for arg in sys.argv[1:])
+    else:
+        N, V, Dt = 32_000, 13_000, 10  # the paper's configuration
+    advise(N, V, Dt)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Compare SSF, BSSF and NIX on one workload — the paper's evaluation, live.
+
+Loads the Section 4 synthetic workload at a laptop scale (N = 2048, with V
+scaled to keep the paper's posting density d = Dt·N/V ≈ 24.6), indexes the
+same attribute with all three facilities, runs both query types through
+each, and prints measured page accesses next to the analytical model's
+prediction at the same parameters.
+
+Run: ``python examples/facility_comparison.py``
+"""
+
+from repro.experiments.empirical import EmpiricalConfig, Testbed, empirical_sweep
+
+
+def main() -> None:
+    config = EmpiricalConfig(
+        num_objects=2048,
+        domain_cardinality=832,
+        target_cardinality=10,
+        signature_bits=500,
+        bits_per_element=2,
+        seed=1,
+        queries_per_point=3,
+    )
+    print(
+        f"building testbed: N={config.num_objects}, "
+        f"V={config.domain_cardinality}, Dt={config.target_cardinality}, "
+        f"F={config.signature_bits}, m={config.bits_per_element} ..."
+    )
+    testbed = Testbed.build(config)
+    storage = testbed.database.facility_storage_report()
+    print("\nindex storage (pages):")
+    for path, pages in sorted(storage.items()):
+        print(f"  {path:28s} {pages}  total={sum(pages.values())}")
+
+    print()
+    print(empirical_sweep(config, "superset", (1, 2, 3, 5, 8), testbed=testbed).render())
+    print()
+    print(empirical_sweep(config, "subset", (10, 30, 100, 300), testbed=testbed).render())
+    print()
+    print(
+        empirical_sweep(
+            config, "superset", (2, 5, 10), smart=True,
+            facilities=("bssf",), testbed=testbed,
+        ).render()
+    )
+
+
+if __name__ == "__main__":
+    main()

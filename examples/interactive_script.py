@@ -1,0 +1,55 @@
+"""Drive the shell programmatically — a scripted session end to end.
+
+Shows the statement language (`create class`, `create index`, `insert
+into`, `analyze`, `explain`, queries) and meta-commands, the same surface
+``sigfile-repro shell`` offers interactively.
+
+Run: ``python examples/interactive_script.py``
+"""
+
+from repro.shell import Shell
+
+SESSION = [
+    '-- schema',
+    'create class Paper (title scalar, keywords set, authors set)',
+    'create index bssf on Paper.keywords (F = 256, m = 2)',
+    'create index nix on Paper.authors',
+    '-- data',
+    'insert into Paper (title = "Signature files in OODBs",'
+    ' keywords = {"signature", "sets", "oodb"},'
+    ' authors = {"Ishikawa", "Kitagawa", "Ohbo"})',
+    'insert into Paper (title = "Access methods survey",'
+    ' keywords = {"survey", "indexing", "sets"},'
+    ' authors = {"Kitagawa"})',
+    'insert into Paper (title = "Text retrieval with signatures",'
+    ' keywords = {"signature", "text"},'
+    ' authors = {"Faloutsos"})',
+    '-- statistics & planning',
+    'analyze Paper.keywords',
+    'explain select Paper where keywords has-subset ("signature")',
+    '-- queries',
+    'select Paper where keywords has-subset ("signature", "sets")',
+    'select Paper where authors contains "Kitagawa"',
+    'select Paper where keywords in-subset'
+    ' ("signature", "sets", "oodb", "text")',
+    '-- health',
+    '\\tables',
+    '\\indexes',
+    '\\check',
+]
+
+
+def main() -> None:
+    shell = Shell()
+    for line in SESSION:
+        if line.startswith("--"):
+            print(f"\n{line}")
+            continue
+        print(f"sigdb> {line}")
+        response = shell.run_line(line)
+        if response:
+            print(response)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+environments without the `wheel` package (where PEP 660 editable installs
+fail with `invalid command 'bdist_wheel'`) can still do
+``python setup.py develop`` / legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Set access facilities: SSF, BSSF and NIX, plus the shared OID file."""
+
+from repro.access.base import SearchResult, SetAccessFacility
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.nix import NestedIndex
+from repro.access.oid_file import OIDFile
+from repro.access.ssf import SequentialSignatureFile
+
+__all__ = [
+    "BitSlicedSignatureFile",
+    "NestedIndex",
+    "OIDFile",
+    "SearchResult",
+    "SequentialSignatureFile",
+    "SetAccessFacility",
+]

@@ -1,0 +1,95 @@
+"""Abstract interface of a set access facility.
+
+A facility indexes one set-valued attribute path (e.g. ``Student.hobbies``)
+and supports the two search shapes of the paper plus maintenance:
+
+* ``search_superset(query)`` — candidates for ``target ⊇ query`` (Q1);
+* ``search_subset(query)`` — candidates for ``target ⊆ query`` (Q2);
+* ``insert`` / ``delete`` of one (set value, OID) pair.
+
+Searches return *candidate* OIDs. Signature facilities may return false
+drops; the query executor performs drop resolution against the object store.
+NIX returns exact answers for ``T ⊇ Q`` and over-approximations for
+``T ⊆ Q`` (the union of per-element OID lists — everything that intersects
+the query set), matching the paper's §4.3 retrieval procedures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Hashable, List, Optional
+
+from repro.objects.oid import OID
+
+SetValue = FrozenSet[Hashable]
+
+
+class SearchResult:
+    """Candidates plus provenance for the executor and the experiments."""
+
+    __slots__ = ("candidates", "exact", "facility", "detail")
+
+    def __init__(
+        self,
+        candidates: List[OID],
+        exact: bool,
+        facility: str,
+        detail: Optional[dict] = None,
+    ):
+        self.candidates = candidates
+        self.exact = exact
+        self.facility = facility
+        self.detail = detail or {}
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.exact else "candidate"
+        return (
+            f"SearchResult({len(self.candidates)} {kind} OIDs "
+            f"from {self.facility})"
+        )
+
+
+class SetAccessFacility(abc.ABC):
+    """Base class for SSF, BSSF and NIX."""
+
+    #: short identifier used in plans, stats and reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def insert(self, elements: SetValue, oid: OID) -> None:
+        """Index one object's set value."""
+
+    @abc.abstractmethod
+    def delete(self, elements: SetValue, oid: OID) -> None:
+        """Remove one object's set value from the index."""
+
+    @abc.abstractmethod
+    def search_superset(self, query: SetValue) -> SearchResult:
+        """Candidates for ``T ⊇ Q``."""
+
+    @abc.abstractmethod
+    def search_subset(self, query: SetValue) -> SearchResult:
+        """Candidates for ``T ⊆ Q``."""
+
+    def search_overlap(self, query: SetValue) -> SearchResult:
+        """Candidates for ``T ∩ Q ≠ ∅`` (a §6 extension operator).
+
+        Optional; facilities that support it override. The default raises.
+        """
+        raise NotImplementedError(f"{self.name} does not support overlap search")
+
+    @abc.abstractmethod
+    def storage_pages(self) -> dict:
+        """Per-component page counts, e.g. ``{"signature": 493, "oid": 63}``."""
+
+    def total_storage_pages(self) -> int:
+        return sum(self.storage_pages().values())
+
+    def verify(self) -> None:
+        """Check internal invariants; raise IndexCorruptionError on failure.
+
+        Default: no-op. Facilities override with real structural checks.
+        """

@@ -1,0 +1,18 @@
+"""Nested index (NIX): paged B+-tree with key → OID-list leaf entries."""
+
+from repro.access.nix.btree import BPlusTree
+from repro.access.nix.keycodec import EMPTY_SET_KEY, EmptySetMarker, decode_key, encode_key
+from repro.access.nix.nested_index import NestedIndex
+from repro.access.nix.node import InternalNode, LeafEntry, LeafNode
+
+__all__ = [
+    "BPlusTree",
+    "EMPTY_SET_KEY",
+    "EmptySetMarker",
+    "InternalNode",
+    "LeafEntry",
+    "LeafNode",
+    "NestedIndex",
+    "decode_key",
+    "encode_key",
+]

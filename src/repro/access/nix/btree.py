@@ -1,0 +1,542 @@
+"""Paged B+-tree mapping keys to OID lists.
+
+The structural substrate of the nested index (§4.3): leaves hold
+``key → {OIDs}`` entries, internal nodes route by separator keys, and every
+node occupies exactly one page of the storage manager. Lookups therefore
+cost ``height + 1`` logical page reads — the model's ``rc`` (3 pages for
+the paper's parameter ranges).
+
+Splitting is size-driven: after a mutation a node that no longer serializes
+into a page is split at the byte midpoint. Deletion removes OIDs (and empty
+entries) without rebalancing, matching the paper's update model, which
+ignores structural reorganization.
+
+A single entry must fit one page (~500 OIDs at P = 4096); the paper's
+``d = Dt·N/V`` keeps lists an order of magnitude below that. Overflowing
+that bound raises rather than silently corrupting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.access.nix.node import (
+    InternalNode,
+    LeafEntry,
+    LeafNode,
+    OverflowNode,
+    deserialize_node,
+)
+from repro.errors import AccessFacilityError, IndexCorruptionError
+from repro.objects.oid import OID
+from repro.storage.paged_file import PagedFile
+
+
+class BPlusTree:
+    """B+-tree of OID lists over one paged file.
+
+    ``overflow_chains=True`` lets a posting list outgrow its leaf: the
+    inline portion is capped (a third of the page) and the tail lives in
+    chained overflow buckets. Without chains, an oversized list raises —
+    the paper's single-leaf entry layout.
+    """
+
+    def __init__(self, paged_file: PagedFile, overflow_chains: bool = False):
+        self.file = paged_file
+        self.overflow_chains = overflow_chains
+        # Entries whose inline image exceeds this spill to a chain (chains
+        # enabled) or raise (paper layout). A third of the page keeps at
+        # least two entries per leaf splittable.
+        self.inline_cap = self.file.page_size // 3
+        if self.file.num_pages == 0:
+            root_no, page = self.file.append_page()
+            LeafNode().serialize_into(page)
+            self.file.write_page(root_no, page)
+            self.root_page = root_no
+        else:
+            self.root_page = 0
+        self.height = self._measure_height()
+
+    # ------------------------------------------------------------------
+    # Node I/O
+    # ------------------------------------------------------------------
+    def _load(self, page_no: int):
+        return deserialize_node(self.file.read_page(page_no))
+
+    def _store(self, page_no: int, node) -> None:
+        page = self.file.read_page(page_no)
+        node.serialize_into(page)
+        self.file.write_page(page_no, page)
+
+    def _allocate(self, node) -> int:
+        page_no, page = self.file.append_page()
+        node.serialize_into(page)
+        self.file.write_page(page_no, page)
+        return page_no
+
+    def _measure_height(self) -> int:
+        """Number of internal levels above the leaves (0 = root is a leaf)."""
+        height = 0
+        node = self._load(self.root_page)
+        while isinstance(node, InternalNode):
+            height += 1
+            node = self._load(node.children[0])
+        return height
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _descend(self, key: bytes) -> Tuple[List[int], LeafNode]:
+        """Root-to-leaf path (page numbers) and the loaded leaf."""
+        path = [self.root_page]
+        node = self._load(self.root_page)
+        while isinstance(node, InternalNode):
+            child = node.child_for(key)
+            path.append(child)
+            node = self._load(child)
+        return path, node
+
+    def lookup(self, key: bytes) -> List[OID]:
+        """OID list for ``key`` (empty if absent).
+
+        Costs ``height + 1`` reads plus one per overflow bucket when the
+        posting list is chained.
+        """
+        _, leaf = self._descend(key)
+        entry = leaf.find(key)
+        if entry is None:
+            return []
+        values = sorted(entry.oids + self._chain_collect(entry.overflow_page))
+        return [OID.from_int(value) for value in values]
+
+    # ------------------------------------------------------------------
+    # Overflow chains
+    # ------------------------------------------------------------------
+    def _load_overflow(self, page_no: int) -> OverflowNode:
+        node = self._load(page_no)
+        if not isinstance(node, OverflowNode):
+            raise IndexCorruptionError(
+                f"page {page_no} expected to be an overflow bucket"
+            )
+        return node
+
+    def _chain_collect(self, head: "Optional[int]") -> List[int]:
+        values: List[int] = []
+        page_no = head
+        while page_no is not None:
+            bucket = self._load_overflow(page_no)
+            values.extend(bucket.oids)
+            page_no = bucket.next_page
+        return values
+
+    def _chain_contains(self, head: "Optional[int]", oid_int: int) -> bool:
+        page_no = head
+        while page_no is not None:
+            bucket = self._load_overflow(page_no)
+            if oid_int in bucket.oids:
+                return True
+            page_no = bucket.next_page
+        return False
+
+    def _chain_add(self, entry: LeafEntry, oid_int: int) -> None:
+        """Push one OID into the entry's chain (head bucket, else new)."""
+        capacity = OverflowNode.capacity(self.file.page_size)
+        if entry.overflow_page is not None:
+            head = self._load_overflow(entry.overflow_page)
+            if len(head.oids) < capacity:
+                head.oids.append(oid_int)
+                self._store(entry.overflow_page, head)
+                return
+        bucket = OverflowNode(oids=[oid_int], next_page=entry.overflow_page)
+        entry.overflow_page = self._allocate(bucket)
+
+    def _chain_remove(self, entry: LeafEntry, oid_int: int) -> bool:
+        """Remove one OID from the chain; compacts away empty buckets."""
+        previous_page: "Optional[int]" = None
+        page_no = entry.overflow_page
+        while page_no is not None:
+            bucket = self._load_overflow(page_no)
+            if oid_int in bucket.oids:
+                bucket.oids.remove(oid_int)
+                if bucket.oids:
+                    self._store(page_no, bucket)
+                elif previous_page is None:
+                    entry.overflow_page = bucket.next_page
+                else:
+                    previous = self._load_overflow(previous_page)
+                    previous.next_page = bucket.next_page
+                    self._store(previous_page, previous)
+                return True
+            previous_page = page_no
+            page_no = bucket.next_page
+        return False
+
+    def contains_key(self, key: bytes) -> bool:
+        _, leaf = self._descend(key)
+        return leaf.find(key) is not None
+
+    # ------------------------------------------------------------------
+    # Bulk construction
+    # ------------------------------------------------------------------
+    def bulk_load(self, entries: "List[Tuple[bytes, List[int]]]") -> None:
+        """Build the tree bottom-up from sorted ``(key, sorted oid ints)``.
+
+        Leaves are filled to page capacity and chained; internal levels are
+        stacked until one root remains, which lands on the stable root page
+        (page 0). Only valid on an empty tree.
+        """
+        if self.height != 0 or self._load(self.root_page).entries:
+            raise AccessFacilityError("bulk_load requires an empty tree")
+        keys = [key for key, _ in entries]
+        if keys != sorted(set(keys)):
+            raise AccessFacilityError("bulk_load input must be sorted, unique keys")
+        if not entries:
+            return
+        page_size = self.file.page_size
+        # ---- build leaves ------------------------------------------------
+        leaves: List[LeafNode] = [LeafNode()]
+        used = leaves[-1].serialized_size()
+        for key, oid_ints in entries:
+            entry = LeafEntry(key=key, oids=list(oid_ints))
+            if self.overflow_chains and entry.serialized_size() > self.inline_cap:
+                entry = self._bulk_chain_entry(key, list(oid_ints))
+            size = entry.serialized_size()
+            if size > page_size - 16:
+                raise AccessFacilityError(
+                    f"OID list for key {key!r} does not fit one page"
+                )
+            if used + size > page_size and leaves[-1].entries:
+                leaves.append(LeafNode())
+                used = leaves[-1].serialized_size()
+            leaves[-1].entries.append(entry)
+            used += size
+        # ---- place nodes: root is page 0; everything else is appended ----
+        if len(leaves) == 1:
+            self._store(self.root_page, leaves[0])
+            self.height = 0
+            return
+        leaf_pages = [self._allocate(leaf) for leaf in leaves]
+        for leaf, next_page in zip(leaves[:-1], leaf_pages[1:]):
+            leaf.next_leaf = next_page
+        for leaf, page_no in zip(leaves, leaf_pages):
+            self._store(page_no, leaf)
+        # ---- stack internal levels ---------------------------------------
+        level_pages = leaf_pages
+        level_keys = [leaf.entries[0].key for leaf in leaves]
+        height = 0
+        while len(level_pages) > 1:
+            height += 1
+            parents: List[InternalNode] = [InternalNode(children=[level_pages[0]])]
+            for key, child in zip(level_keys[1:], level_pages[1:]):
+                candidate_size = parents[-1].serialized_size() + 2 + len(key) + 4
+                if candidate_size > page_size:
+                    parents.append(InternalNode(children=[child]))
+                else:
+                    parents[-1].keys.append(key)
+                    parents[-1].children.append(child)
+            if len(parents) == 1:
+                self._store(self.root_page, parents[0])
+                self.height = height
+                return
+            parent_pages = [self._allocate(node) for node in parents]
+            # the separator guiding into each parent is the smallest key
+            # reachable in its subtree (its first child's first key)
+            first_child_keys = []
+            child_key_by_page = dict(zip(level_pages, level_keys))
+            for node in parents:
+                first_child_keys.append(child_key_by_page[node.children[0]])
+            level_pages = parent_pages
+            level_keys = first_child_keys
+        raise IndexCorruptionError("bulk_load failed to converge to a root")
+
+    def _bulk_chain_entry(self, key: bytes, oid_ints: List[int]) -> LeafEntry:
+        """Split a long posting list into inline prefix + overflow chain."""
+        budget = max(1, (self.inline_cap - (8 + len(key))) // 8)
+        inline, tail = oid_ints[:budget], oid_ints[budget:]
+        capacity = OverflowNode.capacity(self.file.page_size)
+        head: "Optional[int]" = None
+        for start in range(len(tail) - capacity, -capacity, -capacity):
+            chunk = tail[max(start, 0) : start + capacity]
+            head = self._allocate(OverflowNode(oids=chunk, next_page=head))
+        return LeafEntry(key=key, oids=inline, overflow_page=head)
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes, oid: OID) -> bool:
+        """Add ``oid`` to the key's list; False if it was already there."""
+        path, leaf = self._descend(key)
+        entry = leaf.find(key)
+        if entry is None:
+            entry = LeafEntry(key=key, oids=[])
+            leaf.entries.insert(leaf.insert_position(key), entry)
+        oid_int = oid.to_int()
+        if entry.overflow_page is not None and self._chain_contains(
+            entry.overflow_page, oid_int
+        ):
+            return False
+        if not entry.add_oid(oid_int):
+            return False
+        if self.overflow_chains:
+            while entry.serialized_size() > self.inline_cap and entry.oids:
+                # spill the largest OID; the inline prefix stays sorted
+                self._chain_add(entry, entry.oids.pop())
+        elif entry.serialized_size() > self.file.page_size - 16:
+            raise AccessFacilityError(
+                f"OID list for key {key!r} no longer fits one page "
+                f"({len(entry.oids)} OIDs); the nested index stores a "
+                "key's posting list within a single leaf (enable "
+                "overflow_chains to lift this)"
+            )
+        self._store_or_split_leaf(path, leaf)
+        return True
+
+    def _store_or_split_leaf(self, path: List[int], leaf: LeafNode) -> None:
+        leaf_page = path[-1]
+        if leaf.serialized_size() <= self.file.page_size:
+            self._store(leaf_page, leaf)
+            return
+        left, right, separator = self._split_leaf(leaf)
+        right_page = self._allocate(right)
+        left.next_leaf = right_page
+        self._store(leaf_page, left)
+        self._propagate_split(path[:-1], leaf_page, separator, right_page)
+
+    def _split_leaf(self, leaf: LeafNode) -> Tuple[LeafNode, LeafNode, bytes]:
+        total = sum(e.serialized_size() for e in leaf.entries)
+        accumulated = 0
+        split_at = len(leaf.entries) - 1
+        for i, entry in enumerate(leaf.entries):
+            accumulated += entry.serialized_size()
+            if accumulated >= total // 2:
+                split_at = i + 1
+                break
+        split_at = max(1, min(split_at, len(leaf.entries) - 1))
+        left = LeafNode(entries=leaf.entries[:split_at], next_leaf=None)
+        right = LeafNode(entries=leaf.entries[split_at:], next_leaf=leaf.next_leaf)
+        return left, right, right.entries[0].key
+
+    def _propagate_split(
+        self,
+        ancestors: List[int],
+        left_page: int,
+        separator: bytes,
+        right_page: int,
+    ) -> None:
+        if not ancestors:
+            # Root split: move the old root's content to a new page so the
+            # root page number stays stable, then rebuild the root above.
+            old_root = self._load(self.root_page)
+            moved_page = self._allocate(old_root)
+            self._fix_moved_root_links(left_page, moved_page)
+            new_root = InternalNode(
+                keys=[separator],
+                children=[
+                    moved_page if left_page == self.root_page else left_page,
+                    right_page,
+                ],
+            )
+            self._store(self.root_page, new_root)
+            self.height += 1
+            return
+        parent_page = ancestors[-1]
+        parent = self._load(parent_page)
+        if not isinstance(parent, InternalNode):
+            raise IndexCorruptionError("leaf found on the ancestor path")
+        parent.insert_separator(separator, right_page)
+        if parent.serialized_size() <= self.file.page_size:
+            self._store(parent_page, parent)
+            return
+        mid = len(parent.keys) // 2
+        up_key = parent.keys[mid]
+        right_node = InternalNode(
+            keys=parent.keys[mid + 1 :],
+            children=parent.children[mid + 1 :],
+        )
+        left_node = InternalNode(
+            keys=parent.keys[:mid],
+            children=parent.children[: mid + 1],
+        )
+        new_right_page = self._allocate(right_node)
+        self._store(parent_page, left_node)
+        self._propagate_split(ancestors[:-1], parent_page, up_key, new_right_page)
+
+    def _fix_moved_root_links(self, split_left_page: int, moved_page: int) -> None:
+        """After relocating the root's old content to ``moved_page``,
+        repair the next-leaf chain if the old root was a leaf being split."""
+        if split_left_page != self.root_page:
+            return
+        # The moved node is the left half of the split; nothing else pointed
+        # at the root as next_leaf (it was the only leaf), so no chain fix
+        # is needed beyond what the caller set on the node itself.
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key: bytes, oid: OID) -> bool:
+        """Remove ``oid`` from the key's list; drop the entry when empty."""
+        path, leaf = self._descend(key)
+        entry = leaf.find(key)
+        if entry is None:
+            return False
+        oid_int = oid.to_int()
+        removed = entry.remove_oid(oid_int)
+        if not removed:
+            removed = self._chain_remove(entry, oid_int)
+            if not removed:
+                return False
+        if not entry.oids and entry.overflow_page is not None:
+            # Refill the inline portion from the chain head so the entry
+            # never looks empty while OIDs remain chained. The refill is
+            # capped so the entry stays within the inline budget.
+            budget = max(1, (self.inline_cap - (8 + len(entry.key))) // 8)
+            head_page = entry.overflow_page
+            head = self._load_overflow(head_page)
+            pulled = sorted(head.oids)[:budget]
+            head.oids = [v for v in head.oids if v not in set(pulled)]
+            entry.oids = pulled
+            if head.oids:
+                self._store(head_page, head)
+            else:
+                entry.overflow_page = head.next_page
+        if not entry.oids and entry.overflow_page is None:
+            leaf.entries = [e for e in leaf.entries if e.key != key]
+        self._store(path[-1], leaf)
+        return True
+
+    # ------------------------------------------------------------------
+    # Scans & verification
+    # ------------------------------------------------------------------
+    def _leftmost_leaf(self) -> Tuple[int, LeafNode]:
+        page_no = self.root_page
+        node = self._load(page_no)
+        while isinstance(node, InternalNode):
+            page_no = node.children[0]
+            node = self._load(page_no)
+        return page_no, node
+
+    def iterate_entries(self) -> Iterator[Tuple[bytes, List[OID]]]:
+        """All entries in key order via the leaf chain."""
+        _, leaf = self._leftmost_leaf()
+        while True:
+            for entry in leaf.entries:
+                values = sorted(
+                    entry.oids + self._chain_collect(entry.overflow_page)
+                )
+                yield entry.key, [OID.from_int(value) for value in values]
+            if leaf.next_leaf is None:
+                return
+            node = self._load(leaf.next_leaf)
+            if not isinstance(node, LeafNode):
+                raise IndexCorruptionError("next_leaf points at an internal node")
+            leaf = node
+
+    def range_lookup(
+        self, low: Optional[bytes], high: Optional[bytes]
+    ) -> Iterator[Tuple[bytes, List[OID]]]:
+        """Entries with ``low <= key < high`` (either bound optional)."""
+        if low is None:
+            _, leaf = self._leftmost_leaf()
+        else:
+            _, leaf = self._descend(low)
+        while True:
+            for entry in leaf.entries:
+                if low is not None and entry.key < low:
+                    continue
+                if high is not None and entry.key >= high:
+                    return
+                values = sorted(
+                    entry.oids + self._chain_collect(entry.overflow_page)
+                )
+                yield entry.key, [OID.from_int(value) for value in values]
+            if leaf.next_leaf is None:
+                return
+            node = self._load(leaf.next_leaf)
+            if not isinstance(node, LeafNode):
+                raise IndexCorruptionError("next_leaf points at an internal node")
+            leaf = node
+
+    def key_count(self) -> int:
+        return sum(1 for _ in self.iterate_entries())
+
+    @property
+    def num_pages(self) -> int:
+        return self.file.num_pages
+
+    def leaf_and_nonleaf_pages(self) -> Tuple[int, int]:
+        """(leaf pages, internal pages) — the model's ``lp`` and ``nlp``."""
+        census = self.page_census()
+        return census["leaf"], census["nonleaf"]
+
+    def page_census(self) -> dict:
+        """Page counts by role: leaf / nonleaf / overflow."""
+        leaves = 0
+        internals = 0
+        overflow = 0
+        stack = [self.root_page]
+        seen = set()
+        while stack:
+            page_no = stack.pop()
+            if page_no in seen:
+                raise IndexCorruptionError(f"page {page_no} reachable twice")
+            seen.add(page_no)
+            node = self._load(page_no)
+            if isinstance(node, LeafNode):
+                leaves += 1
+                for entry in node.entries:
+                    chain = entry.overflow_page
+                    while chain is not None:
+                        if chain in seen:
+                            raise IndexCorruptionError(
+                                f"overflow page {chain} reachable twice"
+                            )
+                        seen.add(chain)
+                        overflow += 1
+                        chain = self._load_overflow(chain).next_page
+            else:
+                internals += 1
+                stack.extend(node.children)
+        return {"leaf": leaves, "nonleaf": internals, "overflow": overflow}
+
+    def verify(self) -> None:
+        """Full structural check: ordering, separators, sizes, leaf chain,
+        overflow-chain integrity (no duplicates across inline + chain)."""
+        self._verify_subtree(self.root_page, low=None, high=None)
+        self.page_census()  # raises on chain sharing/cycles
+        previous: Optional[bytes] = None
+        for key, oids in self.iterate_entries():
+            if previous is not None and key <= previous:
+                raise IndexCorruptionError("leaf chain out of order")
+            if not oids:
+                raise IndexCorruptionError(f"empty OID list for key {key!r}")
+            if len(set(oids)) != len(oids):
+                raise IndexCorruptionError(
+                    f"duplicate OIDs across inline+overflow for key {key!r}"
+                )
+            if oids != sorted(oids):
+                raise IndexCorruptionError(f"unsorted OID list for key {key!r}")
+            previous = key
+
+    def _verify_subtree(
+        self, page_no: int, low: Optional[bytes], high: Optional[bytes]
+    ) -> None:
+        node = self._load(page_no)
+        if node.serialized_size() > self.file.page_size:
+            raise IndexCorruptionError(f"node on page {page_no} oversized")
+        if isinstance(node, LeafNode):
+            keys = node.keys()
+            if keys != sorted(set(keys)):
+                raise IndexCorruptionError(f"leaf {page_no} keys unsorted/dup")
+            for key in keys:
+                if low is not None and key < low:
+                    raise IndexCorruptionError(f"leaf key below separator bound")
+                if high is not None and key >= high:
+                    raise IndexCorruptionError(f"leaf key above separator bound")
+            return
+        if node.keys != sorted(set(node.keys)):
+            raise IndexCorruptionError(f"internal {page_no} keys unsorted/dup")
+        bounds = [low] + list(node.keys) + [high]
+        for child, (child_low, child_high) in zip(
+            node.children, zip(bounds[:-1], bounds[1:])
+        ):
+            self._verify_subtree(child, child_low, child_high)

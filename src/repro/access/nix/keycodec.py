@@ -1,0 +1,116 @@
+"""Order-preserving key encoding for the nested index.
+
+B+-tree nodes compare keys as raw byte strings, so element values are
+encoded such that ``encode(a) < encode(b)`` (bytewise) iff ``a < b`` within
+a type, and types are segregated by a leading tag byte. Supported element
+types match the schema layer: None, bool, int, float, str, bytes, OID.
+
+Encodings:
+
+* int — tag 0x10, 8-byte big-endian offset binary (``value + 2^63``);
+* float — tag 0x20, IEEE-754 big-endian with the standard sortable
+  transform (flip all bits of negatives, flip sign bit of positives);
+* str — tag 0x30, UTF-8 bytes (bytewise order = code-point order);
+* bytes — tag 0x40, raw;
+* OID — tag 0x50, 8-byte big-endian of the packed 64-bit id;
+* bool — tag 0x08, one byte;
+* None — tag 0x01, empty payload;
+* the reserved EMPTY_SET key (tag 0x00) indexes objects whose set
+  attribute is empty, so ``T ⊆ Q`` searches can include them (an empty set
+  is a subset of every query set).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+
+EMPTY_SET_KEY = b"\x00"
+
+_TAG_NONE = 0x01
+_TAG_BOOL = 0x08
+_TAG_INT = 0x10
+_TAG_FLOAT = 0x20
+_TAG_STR = 0x30
+_TAG_BYTES = 0x40
+_TAG_OID = 0x50
+
+_INT_OFFSET = 1 << 63
+
+
+def encode_key(value: Any) -> bytes:
+    """Order-preserving byte encoding of one element value."""
+    if value is None:
+        return bytes([_TAG_NONE])
+    if isinstance(value, bool):
+        return bytes([_TAG_BOOL, 1 if value else 0])
+    if isinstance(value, OID):
+        return bytes([_TAG_OID]) + struct.pack(">Q", value.to_int())
+    if isinstance(value, int):
+        if not -(2**63) <= value < 2**63:
+            raise AccessFacilityError(f"int key out of 64-bit range: {value}")
+        return bytes([_TAG_INT]) + struct.pack(">Q", value + _INT_OFFSET)
+    if isinstance(value, float):
+        raw = struct.unpack(">Q", struct.pack(">d", value))[0]
+        if raw & (1 << 63):
+            raw ^= 0xFFFFFFFFFFFFFFFF  # negative: flip everything
+        else:
+            raw ^= 1 << 63  # positive: flip sign bit
+        return bytes([_TAG_FLOAT]) + struct.pack(">Q", raw)
+    if isinstance(value, str):
+        return bytes([_TAG_STR]) + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return bytes([_TAG_BYTES]) + value
+    raise AccessFacilityError(
+        f"cannot index element of type {type(value).__name__}: {value!r}"
+    )
+
+
+def decode_key(data: bytes) -> Any:
+    """Inverse of :func:`encode_key` (EMPTY_SET_KEY decodes to the marker)."""
+    if not data:
+        raise AccessFacilityError("empty key")
+    if data == EMPTY_SET_KEY:
+        return EmptySetMarker
+    tag = data[0]
+    payload = data[1:]
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_BOOL:
+        return bool(payload[0])
+    if tag == _TAG_OID:
+        return OID.from_int(struct.unpack(">Q", payload)[0])
+    if tag == _TAG_INT:
+        return struct.unpack(">Q", payload)[0] - _INT_OFFSET
+    if tag == _TAG_FLOAT:
+        raw = struct.unpack(">Q", payload)[0]
+        if raw & (1 << 63):
+            raw ^= 1 << 63
+        else:
+            raw ^= 0xFFFFFFFFFFFFFFFF
+        return struct.unpack(">d", struct.pack(">Q", raw))[0]
+    if tag == _TAG_STR:
+        return payload.decode("utf-8")
+    if tag == _TAG_BYTES:
+        return bytes(payload)
+    raise AccessFacilityError(f"unknown key tag: 0x{tag:02x}")
+
+
+class _EmptySetMarkerType:
+    """Singleton sentinel returned when decoding :data:`EMPTY_SET_KEY`."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<empty-set key>"
+
+
+EmptySetMarker = _EmptySetMarkerType()

@@ -1,0 +1,291 @@
+"""B+-tree node representations and page serialization.
+
+Three node kinds share one page format family:
+
+Leaf page
+    ``u8 kind=0 | u16 entry_count | u32 next_leaf(+1, 0 = none) |``
+    per entry: ``u16 key_len | key | u16 oid_count |
+    u32 overflow_page(+1, 0 = none) | oid_count × u64``.
+    An entry is the paper's nested-index leaf record: a key value and the
+    OID list of all objects whose indexed set attribute contains it. When
+    overflow chains are enabled and a posting list outgrows its inline
+    budget, the tail lives in a chain of overflow pages.
+
+Internal page
+    ``u8 kind=1 | u16 key_count | u32 child_0 |``
+    per key: ``u16 key_len | key | u32 child``.
+    ``key_i`` separates ``child_{i-1}`` (keys < key_i) from ``child_i``
+    (keys >= key_i).
+
+Overflow page
+    ``u8 kind=2 | u32 next(+1, 0 = none) | u16 count | count × u64``.
+    A bucket of posting-list OIDs continuing one leaf entry.
+
+Nodes are deserialized into plain Python objects, mutated, sized, and
+serialized back; callers split when :meth:`serialized_size` exceeds the
+page.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import IndexCorruptionError
+from repro.storage.page import Page
+
+LEAF_KIND = 0
+INTERNAL_KIND = 1
+OVERFLOW_KIND = 2
+
+_LEAF_HEADER = 7  # kind(1) + count(2) + next(4)
+_INTERNAL_HEADER = 7  # kind(1) + count(2) + child0(4)
+_OVERFLOW_HEADER = 7  # kind(1) + next(4) + count(2)
+
+
+@dataclass
+class LeafEntry:
+    """One nested-index entry: key bytes → sorted OID list.
+
+    OIDs are held as packed 64-bit ints (``OID.to_int`` order equals OID
+    order) so whole leaves (de)serialize with single ``struct`` calls; the
+    tree converts to :class:`OID` only at its public boundary.
+    """
+
+    key: bytes
+    oids: List[int] = field(default_factory=list)
+    #: page number of the first overflow bucket, when the posting list
+    #: continues beyond the inline OIDs (None = fully inline)
+    overflow_page: "Optional[int]" = None
+
+    def serialized_size(self) -> int:
+        return 2 + len(self.key) + 2 + 4 + 8 * len(self.oids)
+
+    def add_oid(self, oid_int: int) -> bool:
+        """Insert keeping sort order; False if already present."""
+        position = bisect.bisect_left(self.oids, oid_int)
+        if position < len(self.oids) and self.oids[position] == oid_int:
+            return False
+        self.oids.insert(position, oid_int)
+        return True
+
+    def remove_oid(self, oid_int: int) -> bool:
+        position = bisect.bisect_left(self.oids, oid_int)
+        if position < len(self.oids) and self.oids[position] == oid_int:
+            del self.oids[position]
+            return True
+        return False
+
+
+@dataclass
+class LeafNode:
+    entries: List[LeafEntry] = field(default_factory=list)
+    next_leaf: Optional[int] = None
+
+    kind = LEAF_KIND
+
+    def keys(self) -> List[bytes]:
+        return [entry.key for entry in self.entries]
+
+    def find(self, key: bytes) -> Optional[LeafEntry]:
+        position = bisect.bisect_left(self.keys(), key)
+        if position < len(self.entries) and self.entries[position].key == key:
+            return self.entries[position]
+        return None
+
+    def insert_position(self, key: bytes) -> int:
+        return bisect.bisect_left(self.keys(), key)
+
+    def serialized_size(self) -> int:
+        return _LEAF_HEADER + sum(e.serialized_size() for e in self.entries)
+
+    def serialize_into(self, page: Page) -> None:
+        size = self.serialized_size()
+        if size > page.page_size:
+            raise IndexCorruptionError(
+                f"leaf of {size} bytes exceeds page ({page.page_size})"
+            )
+        page.zero()
+        page.write_bytes(0, bytes([LEAF_KIND]))
+        page.write_u16(1, len(self.entries))
+        page.write_u32(3, 0 if self.next_leaf is None else self.next_leaf + 1)
+        offset = _LEAF_HEADER
+        for entry in self.entries:
+            page.write_u16(offset, len(entry.key))
+            offset += 2
+            page.write_bytes(offset, entry.key)
+            offset += len(entry.key)
+            page.write_u16(offset, len(entry.oids))
+            offset += 2
+            page.write_u32(
+                offset,
+                0 if entry.overflow_page is None else entry.overflow_page + 1,
+            )
+            offset += 4
+            if entry.oids:
+                page.write_bytes(
+                    offset, struct.pack(f"<{len(entry.oids)}Q", *entry.oids)
+                )
+                offset += 8 * len(entry.oids)
+
+    @classmethod
+    def deserialize(cls, page: Page) -> "LeafNode":
+        if page.read_bytes(0, 1)[0] != LEAF_KIND:
+            raise IndexCorruptionError("page is not a leaf node")
+        count = page.read_u16(1)
+        next_raw = page.read_u32(3)
+        node = cls(next_leaf=None if next_raw == 0 else next_raw - 1)
+        offset = _LEAF_HEADER
+        for _ in range(count):
+            key_len = page.read_u16(offset)
+            offset += 2
+            key = page.read_bytes(offset, key_len)
+            offset += key_len
+            oid_count = page.read_u16(offset)
+            offset += 2
+            overflow_raw = page.read_u32(offset)
+            offset += 4
+            if oid_count:
+                oids = list(
+                    struct.unpack_from(f"<{oid_count}Q", page.data, offset)
+                )
+                offset += 8 * oid_count
+            else:
+                oids = []
+            node.entries.append(
+                LeafEntry(
+                    key=key,
+                    oids=oids,
+                    overflow_page=None if overflow_raw == 0 else overflow_raw - 1,
+                )
+            )
+        return node
+
+
+@dataclass
+class InternalNode:
+    keys: List[bytes] = field(default_factory=list)
+    children: List[int] = field(default_factory=list)  # len(keys) + 1 pages
+
+    kind = INTERNAL_KIND
+
+    def child_for(self, key: bytes) -> int:
+        """Child page to descend into for ``key``."""
+        position = bisect.bisect_right(self.keys, key)
+        return self.children[position]
+
+    def child_slot_for(self, key: bytes) -> int:
+        return bisect.bisect_right(self.keys, key)
+
+    def insert_separator(self, key: bytes, right_child: int) -> None:
+        """Install a separator produced by a child split."""
+        position = bisect.bisect_left(self.keys, key)
+        self.keys.insert(position, key)
+        self.children.insert(position + 1, right_child)
+
+    def serialized_size(self) -> int:
+        return _INTERNAL_HEADER + sum(2 + len(k) + 4 for k in self.keys)
+
+    def serialize_into(self, page: Page) -> None:
+        if len(self.children) != len(self.keys) + 1:
+            raise IndexCorruptionError(
+                f"internal node has {len(self.keys)} keys but "
+                f"{len(self.children)} children"
+            )
+        size = self.serialized_size()
+        if size > page.page_size:
+            raise IndexCorruptionError(
+                f"internal node of {size} bytes exceeds page ({page.page_size})"
+            )
+        page.zero()
+        page.write_bytes(0, bytes([INTERNAL_KIND]))
+        page.write_u16(1, len(self.keys))
+        page.write_u32(3, self.children[0])
+        offset = _INTERNAL_HEADER
+        for key, child in zip(self.keys, self.children[1:]):
+            page.write_u16(offset, len(key))
+            offset += 2
+            page.write_bytes(offset, key)
+            offset += len(key)
+            page.write_u32(offset, child)
+            offset += 4
+
+    @classmethod
+    def deserialize(cls, page: Page) -> "InternalNode":
+        if page.read_bytes(0, 1)[0] != INTERNAL_KIND:
+            raise IndexCorruptionError("page is not an internal node")
+        count = page.read_u16(1)
+        node = cls(children=[page.read_u32(3)])
+        offset = _INTERNAL_HEADER
+        for _ in range(count):
+            key_len = page.read_u16(offset)
+            offset += 2
+            node.keys.append(page.read_bytes(offset, key_len))
+            offset += key_len
+            node.children.append(page.read_u32(offset))
+            offset += 4
+        return node
+
+
+@dataclass
+class OverflowNode:
+    """One bucket of a posting-list overflow chain."""
+
+    oids: List[int] = field(default_factory=list)
+    next_page: Optional[int] = None
+
+    kind = OVERFLOW_KIND
+
+    @staticmethod
+    def capacity(page_size: int) -> int:
+        """OIDs one overflow page holds."""
+        return (page_size - _OVERFLOW_HEADER) // 8
+
+    def serialized_size(self) -> int:
+        return _OVERFLOW_HEADER + 8 * len(self.oids)
+
+    def serialize_into(self, page: Page) -> None:
+        if self.serialized_size() > page.page_size:
+            raise IndexCorruptionError(
+                f"overflow bucket of {len(self.oids)} OIDs exceeds page"
+            )
+        page.zero()
+        page.write_bytes(0, bytes([OVERFLOW_KIND]))
+        page.write_u32(1, 0 if self.next_page is None else self.next_page + 1)
+        page.write_u16(5, len(self.oids))
+        if self.oids:
+            page.write_bytes(
+                _OVERFLOW_HEADER, struct.pack(f"<{len(self.oids)}Q", *self.oids)
+            )
+
+    @classmethod
+    def deserialize(cls, page: Page) -> "OverflowNode":
+        if page.read_bytes(0, 1)[0] != OVERFLOW_KIND:
+            raise IndexCorruptionError("page is not an overflow bucket")
+        next_raw = page.read_u32(1)
+        count = page.read_u16(5)
+        oids = (
+            list(struct.unpack_from(f"<{count}Q", page.data, _OVERFLOW_HEADER))
+            if count
+            else []
+        )
+        return cls(oids=oids, next_page=None if next_raw == 0 else next_raw - 1)
+
+
+def node_kind(page: Page) -> int:
+    kind = page.read_bytes(0, 1)[0]
+    if kind not in (LEAF_KIND, INTERNAL_KIND, OVERFLOW_KIND):
+        raise IndexCorruptionError(f"unknown node kind byte: {kind}")
+    return kind
+
+
+def deserialize_node(page: Page):
+    """Dispatch on the kind byte."""
+    kind = node_kind(page)
+    if kind == LEAF_KIND:
+        return LeafNode.deserialize(page)
+    if kind == OVERFLOW_KIND:
+        return OverflowNode.deserialize(page)
+    return InternalNode.deserialize(page)

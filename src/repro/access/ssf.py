@@ -1,0 +1,273 @@
+"""Sequential Signature File (SSF) — paper §4.1 and Fig. 3 (left).
+
+The simplest signature organization: set signatures are stored sequentially
+(bit-packed, ``floor(P·b/F)`` per page) in one signature file; entry ``k``'s
+OID lives at index ``k`` of the companion OID file. Every search is a full
+scan of the signature file, which is why SSF retrieval cost tracks its
+storage cost — the dilemma §5.1.1 discusses.
+
+Updates follow the paper: insertion appends to both files (``UC_I = 2``
+page accesses in the model); deletion tombstones the OID file only
+(``UC_D = SC_OID / 2``), leaving a stale signature that later searches
+filter out via the tombstone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.access.base import SearchResult, SetAccessFacility, SetValue
+from repro.access.oid_file import OIDFile
+from repro.access.sigpack import (
+    read_signature_matrix,
+    signature_to_bits,
+    signatures_per_page,
+    store_bit_array,
+    write_signature_in_page,
+)
+from repro.core.signature import SignatureScheme
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+class SequentialSignatureFile(SetAccessFacility):
+    """SSF over the paged storage substrate."""
+
+    name = "ssf"
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        scheme: SignatureScheme,
+        file_prefix: str = "ssf",
+    ):
+        self.scheme = scheme
+        self.signature_bits = scheme.signature_bits
+        self.sigs_per_page = signatures_per_page(
+            storage.page_size, self.signature_bits
+        )
+        self.signature_file = storage.create_file(f"{file_prefix}:signatures")
+        self.oid_file = OIDFile(storage.create_file(f"{file_prefix}:oids"))
+
+    @classmethod
+    def attach(
+        cls,
+        storage: StorageManager,
+        scheme: SignatureScheme,
+        file_prefix: str,
+        entry_count: int,
+    ) -> "SequentialSignatureFile":
+        """Bind to an existing SSF's files (snapshot rehydration)."""
+        facility = cls.__new__(cls)
+        facility.scheme = scheme
+        facility.signature_bits = scheme.signature_bits
+        facility.sigs_per_page = signatures_per_page(
+            storage.page_size, scheme.signature_bits
+        )
+        facility.signature_file = storage.open_file(f"{file_prefix}:signatures")
+        facility.oid_file = OIDFile(
+            storage.open_file(f"{file_prefix}:oids"), entry_count=entry_count
+        )
+        facility.verify()
+        return facility
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        return self.oid_file.entry_count
+
+    def bulk_load(self, pairs) -> int:
+        """Build the SSF from scratch, page-at-a-time.
+
+        ``pairs`` is an iterable of ``(set value, OID)``. Each signature
+        page and each OID page is written once, instead of once per entry.
+        Only valid on an empty facility; returns the entry count.
+        """
+        if self.entry_count:
+            raise AccessFacilityError("bulk_load requires an empty SSF")
+        oids: List[OID] = []
+        page_bits = np.zeros(self.signature_file.page_size * 8, dtype=np.uint8)
+        slot = 0
+        page_dirty = False
+        for elements, oid in pairs:
+            signature = self.scheme.set_signature(elements)
+            start = slot * self.signature_bits
+            page_bits[start : start + self.signature_bits] = signature_to_bits(
+                signature
+            )
+            page_dirty = True
+            oids.append(oid)
+            slot += 1
+            if slot == self.sigs_per_page:
+                self._flush_bulk_page(page_bits)
+                page_bits[:] = 0
+                slot = 0
+                page_dirty = False
+        if page_dirty:
+            self._flush_bulk_page(page_bits)
+        self.oid_file.bulk_append(oids)
+        self.verify()
+        return len(oids)
+
+    def _flush_bulk_page(self, page_bits) -> None:
+        page_no, page = self.signature_file.append_page()
+        store_bit_array(page, page_bits)
+        self.signature_file.write_page(page_no, page)
+
+    def insert(self, elements: SetValue, oid: OID) -> None:
+        """Append signature + OID entry (the model's 2 page accesses)."""
+        signature = self.scheme.set_signature(elements)
+        index = self.oid_file.append(oid)
+        page_no = index // self.sigs_per_page
+        slot = index % self.sigs_per_page
+        if page_no >= self.signature_file.num_pages:
+            page_no_new, page = self.signature_file.append_page()
+            assert page_no_new == page_no
+        else:
+            page = self.signature_file.read_page(page_no)
+        write_signature_in_page(page, slot, signature)
+        self.signature_file.write_page(page_no, page)
+
+    def delete(self, elements: SetValue, oid: OID) -> None:
+        """Tombstone the OID entry; the signature stays (paper's model)."""
+        self.oid_file.delete(oid)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search_superset(
+        self, query: SetValue, use_elements: Optional[int] = None
+    ) -> SearchResult:
+        """Full-scan drop test for ``T ⊇ Q``.
+
+        ``use_elements`` activates the §5.1.3 smart trick (query signature
+        from only that many elements); for SSF it does not save signature
+        pages (the scan is full either way) but is supported for symmetry
+        and for the ablation bench.
+        """
+        if not query:
+            # Every target contains the empty set.
+            return self._all_live("superset", drops=self.entry_count)
+        signature = self._query_signature(query, use_elements)
+        query_bits = signature_to_bits(signature)
+        drop_indices: List[int] = []
+        for page_no in range(self.signature_file.num_pages):
+            count = self._entries_on_page(page_no)
+            matrix = read_signature_matrix(
+                self.signature_file.read_page(page_no), self.signature_bits, count
+            )
+            # target covers query  <=>  no position has query=1, target=0
+            misses = np.any(query_bits & ~matrix.astype(bool), axis=1)
+            for local in np.nonzero(~misses)[0]:
+                drop_indices.append(page_no * self.sigs_per_page + int(local))
+        return self._resolve(drop_indices, mode="superset")
+
+    def search_subset(
+        self, query: SetValue, slices_to_examine: Optional[int] = None
+    ) -> SearchResult:
+        """Full-scan drop test for ``T ⊆ Q``.
+
+        ``slices_to_examine`` restricts the check to that many of the query
+        signature's zero positions (Appendix A form) — again only meaningful
+        for cost in BSSF, supported here for strategy-parity experiments.
+        """
+        signature = self.scheme.set_signature(query)
+        query_bits = signature_to_bits(signature).astype(bool)
+        zero_positions = np.nonzero(~query_bits)[0]
+        if slices_to_examine is not None:
+            if slices_to_examine < 0:
+                raise AccessFacilityError("slices_to_examine must be >= 0")
+            zero_positions = zero_positions[:slices_to_examine]
+        drop_indices: List[int] = []
+        for page_no in range(self.signature_file.num_pages):
+            count = self._entries_on_page(page_no)
+            matrix = read_signature_matrix(
+                self.signature_file.read_page(page_no), self.signature_bits, count
+            )
+            # target covered by query <=> target has 0 at every examined
+            # zero position of the query signature
+            if len(zero_positions):
+                hits = ~np.any(matrix[:, zero_positions].astype(bool), axis=1)
+            else:
+                hits = np.ones(count, dtype=bool)
+            for local in np.nonzero(hits)[0]:
+                drop_indices.append(page_no * self.sigs_per_page + int(local))
+        return self._resolve(drop_indices, mode="subset")
+
+    def search_overlap(self, query: SetValue) -> SearchResult:
+        """Full-scan drop test for ``T ∩ Q ≠ ∅`` (§6 extension).
+
+        Two sets sharing an element share at least one signature bit, so
+        any target signature intersecting the query signature is a
+        candidate; empty-signature targets (empty sets) never overlap.
+        """
+        if not query:
+            return SearchResult([], exact=True, facility=self.name,
+                                detail={"mode": "overlap", "drops": 0,
+                                        "live_drops": 0})
+        query_bits = signature_to_bits(self.scheme.set_signature(query))
+        drop_indices: List[int] = []
+        for page_no in range(self.signature_file.num_pages):
+            count = self._entries_on_page(page_no)
+            matrix = read_signature_matrix(
+                self.signature_file.read_page(page_no), self.signature_bits, count
+            )
+            hits = np.any(matrix.astype(bool) & query_bits.astype(bool), axis=1)
+            for local in np.nonzero(hits)[0]:
+                drop_indices.append(page_no * self.sigs_per_page + int(local))
+        return self._resolve(drop_indices, mode="overlap")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _query_signature(self, query: SetValue, use_elements: Optional[int]):
+        if use_elements is not None:
+            if use_elements < 1:
+                raise AccessFacilityError("use_elements must be >= 1")
+            return self.scheme.partial_query_signature(
+                sorted(query, key=repr), use_elements
+            )
+        return self.scheme.set_signature(query)
+
+    def _entries_on_page(self, page_no: int) -> int:
+        start = page_no * self.sigs_per_page
+        return min(self.sigs_per_page, self.entry_count - start)
+
+    def _resolve(self, drop_indices: List[int], mode: str) -> SearchResult:
+        oids = self.oid_file.get_many(drop_indices)
+        live = [oid for oid in oids if oid is not None]
+        return SearchResult(
+            candidates=live,
+            exact=False,
+            facility=self.name,
+            detail={"mode": mode, "drops": len(drop_indices), "live_drops": len(live)},
+        )
+
+    def _all_live(self, mode: str, drops: int) -> SearchResult:
+        live = [oid for _, oid in self.oid_file.scan_live()]
+        return SearchResult(
+            candidates=live,
+            exact=True,
+            facility=self.name,
+            detail={"mode": mode, "drops": drops, "live_drops": len(live)},
+        )
+
+    def storage_pages(self) -> dict:
+        return {
+            "signature": self.signature_file.num_pages,
+            "oid": self.oid_file.num_pages,
+        }
+
+    def verify(self) -> None:
+        """Structural check: signature file sized for the OID entry count."""
+        expected = -(-self.entry_count // self.sigs_per_page) if self.entry_count else 0
+        if self.signature_file.num_pages != expected:
+            raise AccessFacilityError(
+                f"SSF size mismatch: {self.signature_file.num_pages} signature "
+                f"pages for {self.entry_count} entries (expected {expected})"
+            )

@@ -1,0 +1,48 @@
+"""Core signature-file machinery: bit vectors, hashing, superimposed coding,
+false-drop theory, and design-parameter tuning.
+
+This subpackage is the paper's primary contribution in executable form; the
+storage-backed file organizations (SSF / BSSF) live in :mod:`repro.access`.
+"""
+
+from repro.core.bits import BitVector
+from repro.core.false_drop import (
+    expected_weight,
+    false_drop_partial_query,
+    false_drop_partial_zero_slices,
+    false_drop_subset,
+    false_drop_superset,
+    false_drop_superset_optimal,
+    optimal_m_subset,
+    optimal_m_superset,
+    rounded_optimal_m,
+)
+from repro.core.hashing import ElementHasher, stable_element_key
+from repro.core.signature import SetPredicateKind, SignatureScheme
+from repro.core.tuning import (
+    best_m_for_retrieval,
+    dq_opt,
+    optimal_query_elements,
+    optimal_zero_slices,
+)
+
+__all__ = [
+    "BitVector",
+    "ElementHasher",
+    "SetPredicateKind",
+    "SignatureScheme",
+    "best_m_for_retrieval",
+    "dq_opt",
+    "expected_weight",
+    "false_drop_partial_query",
+    "false_drop_partial_zero_slices",
+    "false_drop_subset",
+    "false_drop_superset",
+    "false_drop_superset_optimal",
+    "optimal_m_subset",
+    "optimal_m_superset",
+    "optimal_query_elements",
+    "optimal_zero_slices",
+    "rounded_optimal_m",
+    "stable_element_key",
+]

@@ -1,0 +1,159 @@
+"""False-drop probability theory (paper Section 3.2 and Appendix A).
+
+Symbols (Table 1): F signature size in bits, m 1-bits per element signature,
+``Dt`` target-set cardinality, ``Dq`` query-set cardinality, ``m_t`` / ``m_q``
+expected signature weights.
+
+Key results reproduced here:
+
+* Expected weights:  ``m_t = F (1 - (1 - m/F)^Dt)  ≈  F (1 - e^(-m Dt / F))``
+* ``T ⊇ Q`` (eq. 2): ``Fd = (1 - e^(-m Dt / F))^(m Dq)``,
+  minimized at ``m_opt = F ln 2 / Dt`` where it equals ``(1/2)^(m_opt Dq)``
+  (eq. 4).
+* ``T ⊆ Q`` (eq. 6): ``Fd = (1 - e^(-m Dq / F))^(m Dt)``,
+  minimized at ``m_opt = F ln 2 / Dq`` (impractical since ``Dq`` varies per
+  query — the paper's point in §3.2.2).
+* Appendix A partial-examination form: the probability that ``k`` specific
+  bit positions are all zero in a weight-``(m·D)``-superimposed signature is
+  ``≈ (1 - k/F)^(m D)``; this powers the smart ``T ⊆ Q`` strategy, which
+  examines only ``k`` of the query's zero slices.
+
+Both the exponential approximation used throughout the paper and the exact
+binomial form are provided; tests pin them against each other and against
+Monte-Carlo simulation of the actual hashing scheme.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _validate(F: int, m: int) -> None:
+    if F <= 0:
+        raise ConfigurationError(f"F must be positive, got {F}")
+    if not 0 < m <= F:
+        raise ConfigurationError(f"m must satisfy 0 < m <= F, got m={m}, F={F}")
+
+
+def expected_weight(F: int, m: int, cardinality: int, exact: bool = False) -> float:
+    """Expected number of 1s in a signature of a ``cardinality``-element set.
+
+    ``m_t`` / ``m_q`` of Table 1. With ``exact=True`` uses the binomial form
+    ``F (1 - (1 - m/F)^D)``; otherwise the paper's exponential approximation.
+    """
+    _validate(F, m)
+    if cardinality < 0:
+        raise ConfigurationError(f"cardinality must be >= 0, got {cardinality}")
+    if cardinality == 0:
+        return 0.0
+    if exact:
+        return F * (1.0 - (1.0 - m / F) ** cardinality)
+    return F * (1.0 - math.exp(-m * cardinality / F))
+
+
+def one_bit_probability(F: int, m: int, cardinality: int, exact: bool = False) -> float:
+    """Probability that a given bit position is set in a set signature."""
+    return expected_weight(F, m, cardinality, exact=exact) / F
+
+
+def false_drop_superset(
+    F: int, m: int, Dt: int, Dq: int, exact: bool = False
+) -> float:
+    """False-drop probability for ``T ⊇ Q`` — paper equation (2).
+
+    Probability that a random target signature covers the query signature
+    when the target set does *not* actually contain the query set. Derived
+    for the unsuccessful-search case, per §3.2.1.
+    """
+    _validate(F, m)
+    if Dt < 0 or Dq < 0:
+        raise ConfigurationError("set cardinalities must be >= 0")
+    if Dq == 0:
+        # An empty query set is contained in everything: every drop is real.
+        return 1.0
+    p_one = one_bit_probability(F, m, Dt, exact=exact)
+    return p_one ** (m * Dq)
+
+
+def false_drop_superset_optimal(F: int, Dt: int, Dq: int) -> float:
+    """Equation (4): ``Fd`` at ``m = m_opt = F ln2 / Dt`` for ``T ⊇ Q``."""
+    if F <= 0 or Dt <= 0 or Dq < 0:
+        raise ConfigurationError("need F > 0, Dt > 0, Dq >= 0")
+    m_opt = F * math.log(2.0) / Dt
+    return 0.5 ** (m_opt * Dq)
+
+
+def false_drop_subset(F: int, m: int, Dt: int, Dq: int, exact: bool = False) -> float:
+    """False-drop probability for ``T ⊆ Q`` — paper equation (6).
+
+    Probability that the query signature covers a random target signature
+    when the target set is *not* actually a subset of the query set.
+    """
+    _validate(F, m)
+    if Dt < 0 or Dq < 0:
+        raise ConfigurationError("set cardinalities must be >= 0")
+    if Dt == 0:
+        # Empty targets are subsets of everything: every drop is real.
+        return 1.0
+    p_one = one_bit_probability(F, m, Dq, exact=exact)
+    return p_one ** (m * Dt)
+
+
+def false_drop_partial_zero_slices(F: int, m: int, Dt: int, slices_examined: int) -> float:
+    """Appendix A: drop probability when only ``k`` zero slices are checked.
+
+    For the smart ``T ⊆ Q`` strategy, only ``k = slices_examined`` of the
+    query signature's zero positions are tested; a target survives (is a
+    drop) iff it has 0 in all of them, with probability
+    ``(1 - k/F)^(m Dt)``.
+    """
+    _validate(F, m)
+    if not 0 <= slices_examined <= F:
+        raise ConfigurationError(
+            f"slices_examined must lie in [0, F], got {slices_examined}"
+        )
+    if Dt < 0:
+        raise ConfigurationError("Dt must be >= 0")
+    if Dt == 0:
+        return 1.0
+    return (1.0 - slices_examined / F) ** (m * Dt)
+
+
+def false_drop_partial_query(F: int, m: int, Dt: int, used_elements: int) -> float:
+    """Drop probability for ``T ⊇ Q`` with a partial query signature.
+
+    The §5.1.3 smart strategy builds the query signature from only
+    ``used_elements`` of the query set's elements, so equation (2) applies
+    with ``Dq`` replaced by the number of elements actually used.
+    """
+    return false_drop_superset(F, m, Dt, used_elements)
+
+
+def optimal_m_superset(F: int, Dt: int) -> float:
+    """Equation (3): ``m_opt = F ln 2 / Dt`` minimizing eq. (2)."""
+    if F <= 0 or Dt <= 0:
+        raise ConfigurationError("need F > 0 and Dt > 0")
+    return F * math.log(2.0) / Dt
+
+
+def optimal_m_subset(F: int, Dq: int) -> float:
+    """§3.2.2: ``m_opt = F ln 2 / Dq`` minimizing eq. (6).
+
+    The paper notes this is impractical because ``Dq`` varies per query; it
+    is exposed for completeness and for the ablation benchmarks.
+    """
+    if F <= 0 or Dq <= 0:
+        raise ConfigurationError("need F > 0 and Dq > 0")
+    return F * math.log(2.0) / Dq
+
+
+def rounded_optimal_m(F: int, D: int, minimum: int = 1) -> int:
+    """``m_opt`` rounded to the nearest usable integer (>= ``minimum``).
+
+    The analysis treats m as continuous; real signature files need an
+    integer. Rounds to nearest, clamping into ``[minimum, F]``.
+    """
+    m_star = F * math.log(2.0) / D
+    return max(minimum, min(F, round(m_star)))

@@ -1,0 +1,132 @@
+"""Element-signature hashing.
+
+An element signature is an F-bit vector with exactly ``m`` bits set. The
+paper assumes the hash function "has ideal characteristics": the 1s are
+uniformly distributed over the F positions. We realize that with double
+hashing over a 64-bit mix of the element value, drawing ``m`` *distinct*
+positions per element deterministically (the same element always yields the
+same signature, a requirement for the scheme to work at all).
+
+Elements may be arbitrary hashable Python values; strings, ints and bytes get
+a stable cross-run encoding (Python's builtin ``hash`` is salted per process,
+so it must not be used here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from typing import Hashable, List
+
+from repro.core.bits import BitVector
+from repro.errors import ConfigurationError
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_element_key(element: Hashable) -> bytes:
+    """Deterministic byte encoding of an element value.
+
+    Distinct types never collide because the encoding is tag-prefixed.
+    """
+    if isinstance(element, bytes):
+        return b"b:" + element
+    if isinstance(element, str):
+        return b"s:" + element.encode("utf-8")
+    if isinstance(element, bool):
+        # bool before int: bool is an int subclass.
+        return b"o:" + (b"1" if element else b"0")
+    if isinstance(element, int):
+        return b"i:" + str(element).encode("ascii")
+    if isinstance(element, float):
+        return b"f:" + struct.pack("<d", element)
+    if isinstance(element, tuple):
+        parts = [stable_element_key(item) for item in element]
+        body = b"".join(struct.pack("<I", len(p)) + p for p in parts)
+        return b"t:" + body
+    # OIDs are first-class set elements in OODBs (e.g. Student.courses).
+    # Imported lazily to keep the core layer free of an objects dependency
+    # at module-import time.
+    from repro.objects.oid import OID
+
+    if isinstance(element, OID):
+        return b"d:" + element.to_bytes()
+    raise ConfigurationError(
+        f"cannot hash element of type {type(element).__name__}; "
+        "supported: str, bytes, int, float, bool, tuple, OID"
+    )
+
+
+def _mix64(data: bytes, seed: int) -> int:
+    """64-bit digest of ``data`` under ``seed`` (blake2b keyed, truncated)."""
+    digest = hashlib.blake2b(
+        data, digest_size=8, key=seed.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class ElementHasher:
+    """Draws ``m`` distinct bit positions in ``[0, F)`` per element.
+
+    A 64-bit keyed digest of the element seeds a PRNG whose
+    ``sample(range(F), m)`` yields the positions: a uniform m-subset of the
+    F positions, exactly the paper's ideal-hash assumption, deterministic
+    in (element, F, m, seed), and structurally incapable of the orbit
+    pathologies that double-hashing probe sequences suffer when ``m``
+    approaches ``F``.
+
+    Parameters
+    ----------
+    signature_bits:
+        F — the signature width in bits.
+    bits_per_element:
+        m — the number of 1s in every element signature.
+    seed:
+        Optional salt so independent signature files can decorrelate their
+        hash functions.
+    """
+
+    def __init__(self, signature_bits: int, bits_per_element: int, seed: int = 0):
+        if signature_bits <= 0:
+            raise ConfigurationError(f"F must be positive, got {signature_bits}")
+        if not 1 <= bits_per_element <= signature_bits:
+            raise ConfigurationError(
+                f"m must satisfy 1 <= m <= F, got m={bits_per_element}, F={signature_bits}"
+            )
+        self.signature_bits = signature_bits
+        self.bits_per_element = bits_per_element
+        self.seed = seed & _MASK64
+        # Positions are pure in (element, F, m, seed); domains are small
+        # relative to database sizes, so a bounded memo pays for itself in
+        # bulk loads. Evicted wholesale when full (no LRU bookkeeping).
+        self._memo: dict = {}
+        self._memo_cap = 65_536
+
+    def positions(self, element: Hashable) -> List[int]:
+        """The ``m`` distinct bit positions for ``element`` (sorted)."""
+        # Key by (type, value): Python dicts treat True == 1 == 1.0 as the
+        # same key, but the tagged hashing must keep them distinct.
+        memo_key = (type(element).__name__, element)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return list(cached)
+        key = stable_element_key(element)
+        rng = random.Random(_mix64(key, self.seed))
+        chosen: List[int] = sorted(
+            rng.sample(range(self.signature_bits), self.bits_per_element)
+        )
+        if len(self._memo) >= self._memo_cap:
+            self._memo.clear()
+        self._memo[memo_key] = tuple(chosen)
+        return chosen
+
+    def element_signature(self, element: Hashable) -> BitVector:
+        """The F-bit, weight-m signature of a single element."""
+        return BitVector.from_positions(self.signature_bits, self.positions(element))
+
+    def __repr__(self) -> str:
+        return (
+            f"ElementHasher(F={self.signature_bits}, "
+            f"m={self.bits_per_element}, seed={self.seed})"
+        )

@@ -1,0 +1,58 @@
+"""Analytical cost model — Section 4 of the paper, exactly.
+
+One model class per facility (SSF / BSSF / NIX), the actual-drop
+estimators, and the smart retrieval strategies of Section 5. All costs are
+in pages, as in the paper.
+"""
+
+from repro.costmodel.actual_drop import (
+    actual_drops_subset,
+    actual_drops_superset,
+    expected_intersecting_non_subset,
+    intersection_probability,
+    subset_probability,
+    superset_probability,
+)
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.nix_model import NIXCostModel
+from repro.costmodel.parameters import (
+    PAPER_DESIGN_POINTS,
+    PAPER_PARAMETERS,
+    CostParameters,
+)
+from repro.costmodel.smart import (
+    StrategyDecision,
+    smart_subset_bssf,
+    smart_subset_dq_opt,
+    smart_superset_bssf,
+    smart_superset_nix,
+    subset_resolution_ceiling,
+)
+from repro.costmodel.ssf_model import SSFCostModel
+from repro.costmodel.variable import (
+    CardinalityDistribution,
+    VariableCardinalityModel,
+)
+
+__all__ = [
+    "BSSFCostModel",
+    "CardinalityDistribution",
+    "CostParameters",
+    "VariableCardinalityModel",
+    "NIXCostModel",
+    "PAPER_DESIGN_POINTS",
+    "PAPER_PARAMETERS",
+    "SSFCostModel",
+    "StrategyDecision",
+    "actual_drops_subset",
+    "actual_drops_superset",
+    "expected_intersecting_non_subset",
+    "intersection_probability",
+    "smart_subset_bssf",
+    "smart_subset_dq_opt",
+    "smart_superset_bssf",
+    "smart_superset_nix",
+    "subset_probability",
+    "subset_resolution_ceiling",
+    "superset_probability",
+]

@@ -1,0 +1,98 @@
+"""Actual-drop estimation — paper §4.4.
+
+Target sets are ``Dt`` elements drawn uniformly without replacement from a
+domain of ``V`` values; query sets are ``Dq`` such elements. The number of
+*actual* drops (objects truly satisfying the predicate) is hypergeometric:
+
+``T ⊇ Q`` (needs ``Dt >= Dq``)
+    ``A = N · C(V−Dq, Dt−Dq) / C(V, Dt)`` — the probability a random target
+    contains all ``Dq`` query elements.
+
+``T ⊆ Q`` (needs ``Dq >= Dt``)
+    ``A = N · C(Dq, Dt) / C(V, Dt)`` — the probability every target element
+    falls inside the query set; "almost negligible for probable values".
+
+Appendix B additionally needs the full intersection-size distribution,
+exposed here as :func:`intersection_probability`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.costmodel.parameters import CostParameters
+from repro.errors import ConfigurationError
+
+
+def _check(V: int, Dt: int, Dq: int) -> None:
+    if Dt < 0 or Dq < 0:
+        raise ConfigurationError("set cardinalities must be >= 0")
+    if Dt > V:
+        raise ConfigurationError(f"Dt={Dt} exceeds domain cardinality V={V}")
+    if Dq > V:
+        raise ConfigurationError(f"Dq={Dq} exceeds domain cardinality V={V}")
+
+
+def superset_probability(V: int, Dt: int, Dq: int) -> float:
+    """P[target ⊇ query] for random Dt- and fixed Dq-element sets."""
+    _check(V, Dt, Dq)
+    if Dq > Dt:
+        return 0.0
+    if Dq == 0:
+        return 1.0
+    ratio = Fraction(math.comb(V - Dq, Dt - Dq), math.comb(V, Dt))
+    return float(ratio)
+
+
+def subset_probability(V: int, Dt: int, Dq: int) -> float:
+    """P[target ⊆ query] for random Dt- and fixed Dq-element sets."""
+    _check(V, Dt, Dq)
+    if Dt > Dq:
+        return 0.0
+    if Dt == 0:
+        return 1.0
+    ratio = Fraction(math.comb(Dq, Dt), math.comb(V, Dt))
+    return float(ratio)
+
+
+def intersection_probability(V: int, Dt: int, Dq: int, j: int) -> float:
+    """P[|target ∩ query| = j] — hypergeometric term of Appendix B."""
+    _check(V, Dt, Dq)
+    if j < 0 or j > min(Dt, Dq) or Dt - j > V - Dq:
+        return 0.0
+    ratio = Fraction(
+        math.comb(Dq, j) * math.comb(V - Dq, Dt - j), math.comb(V, Dt)
+    )
+    return float(ratio)
+
+
+def actual_drops_superset(params: CostParameters, Dt: int, Dq: int) -> float:
+    """``A`` for ``T ⊇ Q``."""
+    return params.num_objects * superset_probability(
+        params.domain_cardinality, Dt, Dq
+    )
+
+
+def actual_drops_subset(params: CostParameters, Dt: int, Dq: int) -> float:
+    """``A`` for ``T ⊆ Q``."""
+    return params.num_objects * subset_probability(
+        params.domain_cardinality, Dt, Dq
+    )
+
+
+def expected_intersecting_non_subset(
+    params: CostParameters, Dt: int, Dq: int
+) -> float:
+    """Appendix B: E[# objects intersecting the query but not ⊆ it].
+
+    These are exactly the NIX ``T ⊆ Q`` candidates that fail drop
+    resolution — each costs an unsuccessful object access ``Pu``.
+    """
+    V = params.domain_cardinality
+    total = 0.0
+    for j in range(1, min(Dt, Dq) + 1):
+        if Dt <= Dq and j == Dt:
+            continue  # full containment is the actual-drop case
+        total += intersection_probability(V, Dt, Dq, j)
+    return params.num_objects * total

@@ -1,0 +1,152 @@
+"""Analytical cost model of the Bit-Sliced Signature File — paper §4.2.
+
+Retrieval (eq. 8), with ``S = ceil(N / P·b)`` pages per slice file and
+``m_q ≈ F (1 − e^(−m·Dq/F))`` expected query-signature weight::
+
+    T ⊇ Q:  RC = S · m_q        + LC_OID + Ps·A + Pu·Fd·(N − A)
+    T ⊆ Q:  RC = S · (F − m_q)  + LC_OID + Ps·A + Pu·Fd·(N − A)
+
+Storage is ``S · F + SC_OID``. Updates are ``UC_I = F + 1`` (the paper's
+declared worst case: every slice file plus the OID file) and
+``UC_D = SC_OID / 2``. The expected-case insert, which only touches slices
+whose bit is 1, is exposed as :meth:`insert_cost_expected` — the paper's §6
+notes this improvement possibility, and our simulator implements it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.false_drop import (
+    expected_weight,
+    false_drop_partial_zero_slices,
+    false_drop_subset,
+    false_drop_superset,
+)
+from repro.costmodel.actual_drop import actual_drops_subset, actual_drops_superset
+from repro.costmodel.parameters import CostParameters
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BSSFCostModel:
+    """BSSF costs at one (F, m) design point."""
+
+    params: CostParameters
+    signature_bits: int  # F
+    bits_per_element: int  # m
+
+    def __post_init__(self) -> None:
+        if self.signature_bits <= 0:
+            raise ConfigurationError(f"F must be positive, got {self.signature_bits}")
+        if not 0 < self.bits_per_element <= self.signature_bits:
+            raise ConfigurationError(
+                f"m must satisfy 0 < m <= F, got {self.bits_per_element}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def slice_pages(self) -> int:
+        """``ceil(N / P·b)`` — pages per bit-slice file (1 at paper scale)."""
+        return math.ceil(self.params.num_objects / self.params.page_bits)
+
+    def query_weight(self, Dq: int, exact: bool = False) -> float:
+        """``m_q`` — expected 1s in a Dq-element query signature."""
+        return expected_weight(
+            self.signature_bits, self.bits_per_element, Dq, exact=exact
+        )
+
+    def target_weight(self, Dt: int, exact: bool = False) -> float:
+        """``m_t`` — expected 1s in a Dt-element target signature."""
+        return expected_weight(
+            self.signature_bits, self.bits_per_element, Dt, exact=exact
+        )
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def storage_cost(self) -> int:
+        """``SC = S·F + SC_OID`` pages."""
+        return self.slice_pages * self.signature_bits + self.params.oid_file_pages
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def _resolution(self, false_drop: float, actual: float) -> float:
+        params = self.params
+        return (
+            params.oid_lookup_cost(false_drop, actual)
+            + params.pages_per_successful * actual
+            + params.pages_per_unsuccessful * false_drop * (params.num_objects - actual)
+        )
+
+    def retrieval_cost_superset(self, Dt: int, Dq: int, exact: bool = False) -> float:
+        """``RC`` for ``T ⊇ Q``: read the ``m_q`` one-slices, then resolve."""
+        false_drop = false_drop_superset(
+            self.signature_bits, self.bits_per_element, Dt, Dq, exact=exact
+        )
+        actual = actual_drops_superset(self.params, Dt, Dq)
+        slices = self.query_weight(Dq, exact=exact)
+        return self.slice_pages * slices + self._resolution(false_drop, actual)
+
+    def retrieval_cost_subset(self, Dt: int, Dq: int, exact: bool = False) -> float:
+        """``RC`` for ``T ⊆ Q``: read the ``F − m_q`` zero-slices, resolve."""
+        false_drop = false_drop_subset(
+            self.signature_bits, self.bits_per_element, Dt, Dq, exact=exact
+        )
+        actual = actual_drops_subset(self.params, Dt, Dq)
+        slices = self.signature_bits - self.query_weight(Dq, exact=exact)
+        return self.slice_pages * slices + self._resolution(false_drop, actual)
+
+    def retrieval_cost_subset_partial(
+        self, Dt: int, Dq: int, slices_examined: int, exact: bool = False
+    ) -> float:
+        """``RC`` for ``T ⊆ Q`` examining only ``k`` zero slices.
+
+        The Appendix A drop probability ``(1 − k/F)^(m·Dt)`` replaces
+        eq. (6); the slice term becomes ``S · k``. ``k`` is capped at the
+        available zero slices ``F − m_q``.
+        """
+        if slices_examined < 0:
+            raise ConfigurationError("slices_examined must be >= 0")
+        available = self.signature_bits - self.query_weight(Dq, exact=exact)
+        k = min(float(slices_examined), available)
+        false_drop = false_drop_partial_zero_slices(
+            self.signature_bits, self.bits_per_element, Dt, int(round(k))
+        )
+        actual = actual_drops_subset(self.params, Dt, Dq)
+        return self.slice_pages * k + self._resolution(false_drop, actual)
+
+    def retrieval_cost_superset_partial(
+        self, Dt: int, Dq: int, use_elements: int, exact: bool = False
+    ) -> float:
+        """``RC`` for ``T ⊇ Q`` with a query signature from ``k`` elements.
+
+        §5.1.3: the filter behaves exactly like a ``Dq = k`` query; drop
+        resolution restores exactness. With ``Ps = Pu`` the cost equals the
+        eq.-(8) curve evaluated at ``Dq = k`` (the candidates that fail the
+        full predicate pay ``Pu`` instead of ``Ps``, same page count).
+        """
+        if not 0 < use_elements <= Dq:
+            raise ConfigurationError(
+                f"use_elements must be in (0, Dq], got {use_elements}"
+            )
+        return self.retrieval_cost_superset(Dt, use_elements, exact=exact)
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def insert_cost(self) -> float:
+        """``UC_I = F + 1`` — the paper's worst-case model."""
+        return float(self.signature_bits + 1)
+
+    def insert_cost_expected(self, Dt: int, exact: bool = False) -> float:
+        """Expected-case insert: ``m_t`` slice pages plus the OID append."""
+        return self.target_weight(Dt, exact=exact) + 1.0
+
+    def delete_cost(self) -> float:
+        """``UC_D = SC_OID / 2`` — same flag-in-OID-file model as SSF."""
+        return self.params.oid_file_pages / 2.0

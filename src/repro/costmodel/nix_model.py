@@ -1,0 +1,170 @@
+"""Analytical cost model of the Nested Index — paper §4.3 and Appendix B.
+
+Leaf-entry size ``il = d·oid + kl + mid`` with ``d = Dt·N/V`` (the average
+posting-list length); ``lp = ceil(V / floor(P / il))`` leaf pages;
+non-leaf pages stack levels of fanout ``f = 218`` until a single root.
+Element lookup cost ``rc = height + 1`` (3 pages at paper scale).
+
+Retrieval::
+
+    T ⊇ Q:  RC = rc·Dq + Ps·A
+    T ⊆ Q:  RC = rc·Dq + Pu·(intersecting non-subsets) + Ps·A   (Appendix B)
+
+Updates touch the tree once per element: ``UC_I = UC_D = rc·Dt`` (node
+splits ignored, per the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.costmodel.actual_drop import (
+    actual_drops_subset,
+    actual_drops_superset,
+    expected_intersecting_non_subset,
+    superset_probability,
+)
+from repro.costmodel.parameters import CostParameters
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NIXCostModel:
+    """NIX costs for a given target-set cardinality ``Dt``."""
+
+    params: CostParameters
+    target_cardinality: int  # Dt
+    key_bytes: int = 8       # kl
+    count_field_bytes: int = 2  # mid
+    fanout: int = 218        # f
+
+    def __post_init__(self) -> None:
+        if self.target_cardinality <= 0:
+            raise ConfigurationError(
+                f"Dt must be positive, got {self.target_cardinality}"
+            )
+        if self.fanout <= 1:
+            raise ConfigurationError(f"fanout must exceed 1, got {self.fanout}")
+        if self.entries_per_leaf < 1:
+            raise ConfigurationError(
+                "a leaf entry does not fit one page at these parameters"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def average_postings(self) -> float:
+        """``d = Dt·N / V`` — objects per element value."""
+        return (
+            self.target_cardinality
+            * self.params.num_objects
+            / self.params.domain_cardinality
+        )
+
+    @property
+    def leaf_entry_bytes(self) -> float:
+        """``il = d·oid + kl + mid``."""
+        return (
+            self.average_postings * self.params.oid_bytes
+            + self.key_bytes
+            + self.count_field_bytes
+        )
+
+    @property
+    def entries_per_leaf(self) -> int:
+        return int(self.params.page_bytes // self.leaf_entry_bytes)
+
+    @property
+    def leaf_pages(self) -> int:
+        """``lp``: every domain value has at least one posting (paper)."""
+        return math.ceil(self.params.domain_cardinality / self.entries_per_leaf)
+
+    @property
+    def nonleaf_pages(self) -> int:
+        """``nlp``: level sizes ``ceil(lp/f), ceil(lp/f²), …`` down to 1."""
+        total = 0
+        level = self.leaf_pages
+        while level > 1:
+            level = math.ceil(level / self.fanout)
+            total += level
+        if level != 1:
+            total += 1  # lone root above an empty stack (lp == 1 case)
+        return total
+
+    @property
+    def height(self) -> int:
+        """Non-leaf levels above the leaves."""
+        levels = 0
+        level = self.leaf_pages
+        while level > 1:
+            level = math.ceil(level / self.fanout)
+            levels += 1
+        return levels
+
+    @property
+    def lookup_cost(self) -> int:
+        """``rc`` — pages per element lookup: the path plus the leaf."""
+        return self.height + 1
+
+    def storage_cost(self) -> int:
+        """``SC = lp + nlp``."""
+        return self.leaf_pages + self.nonleaf_pages
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def retrieval_cost_superset(self, Dq: int) -> float:
+        """``RC = rc·Dq + Ps·A`` — intersection result is exact."""
+        if Dq < 0:
+            raise ConfigurationError(f"Dq must be >= 0, got {Dq}")
+        actual = actual_drops_superset(self.params, self.target_cardinality, Dq)
+        return self.lookup_cost * Dq + self.params.pages_per_successful * actual
+
+    def retrieval_cost_superset_partial(self, Dq: int, use_elements: int) -> float:
+        """§5.1.3 smart NIX: look up only ``k`` elements, intersect, resolve.
+
+        The intersection of ``k`` posting lists holds the objects containing
+        those ``k`` elements — in expectation ``A_k = N·P[⊇ k-subquery]``
+        objects, each fetched once during resolution.
+        """
+        if not 0 < use_elements <= Dq:
+            raise ConfigurationError(
+                f"use_elements must be in (0, Dq], got {use_elements}"
+            )
+        candidates = self.params.num_objects * superset_probability(
+            self.params.domain_cardinality, self.target_cardinality, use_elements
+        )
+        actual = actual_drops_superset(self.params, self.target_cardinality, Dq)
+        false = max(candidates - actual, 0.0)
+        return (
+            self.lookup_cost * use_elements
+            + self.params.pages_per_successful * actual
+            + self.params.pages_per_unsuccessful * false
+        )
+
+    def retrieval_cost_subset(self, Dq: int) -> float:
+        """Appendix B: union the ``Dq`` lists, fetch every candidate."""
+        if Dq < 0:
+            raise ConfigurationError(f"Dq must be >= 0, got {Dq}")
+        actual = actual_drops_subset(self.params, self.target_cardinality, Dq)
+        failing = expected_intersecting_non_subset(
+            self.params, self.target_cardinality, Dq
+        )
+        return (
+            self.lookup_cost * Dq
+            + self.params.pages_per_unsuccessful * failing
+            + self.params.pages_per_successful * actual
+        )
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def insert_cost(self) -> float:
+        """``UC_I = rc·Dt`` — one tree update per element."""
+        return float(self.lookup_cost * self.target_cardinality)
+
+    def delete_cost(self) -> float:
+        """``UC_D = rc·Dt``."""
+        return float(self.lookup_cost * self.target_cardinality)

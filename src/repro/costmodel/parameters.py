@@ -1,0 +1,86 @@
+"""Cost-model parameters — paper Table 2 (constants) and derived values.
+
+The defaults are exactly the paper's: N = 32,000 objects, P = 4096-byte
+pages, 8-byte OIDs, a set domain of V = 13,000 values, and unit page cost
+for both successful (``Ps``) and unsuccessful (``Pu``) object retrievals.
+Experiments at other scales (the empirical validation runs a smaller N)
+construct their own instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Table 2's constant parameters."""
+
+    num_objects: int = 32_000        # N
+    page_bytes: int = 4096           # P
+    oid_bytes: int = 8               # oid
+    domain_cardinality: int = 13_000  # V
+    bits_per_byte: int = 8           # b
+    pages_per_successful: float = 1.0    # Ps
+    pages_per_unsuccessful: float = 1.0  # Pu
+
+    def __post_init__(self) -> None:
+        if self.num_objects <= 0:
+            raise ConfigurationError(f"N must be positive, got {self.num_objects}")
+        if self.page_bytes <= 0:
+            raise ConfigurationError(f"P must be positive, got {self.page_bytes}")
+        if self.oid_bytes <= 0 or self.oid_bytes > self.page_bytes:
+            raise ConfigurationError(f"bad OID size: {self.oid_bytes}")
+        if self.domain_cardinality <= 0:
+            raise ConfigurationError(f"V must be positive, got {self.domain_cardinality}")
+        if self.bits_per_byte <= 0:
+            raise ConfigurationError(f"b must be positive, got {self.bits_per_byte}")
+
+    # ------------------------------------------------------------------
+    # Derived constants of Table 2
+    # ------------------------------------------------------------------
+    @property
+    def oids_per_page(self) -> int:
+        """``O_p = floor(P / oid)`` = 512 with the defaults."""
+        return self.page_bytes // self.oid_bytes
+
+    @property
+    def oid_file_pages(self) -> int:
+        """``SC_OID = ceil(N / O_p)`` = 63 with the defaults."""
+        return math.ceil(self.num_objects / self.oids_per_page)
+
+    @property
+    def page_bits(self) -> int:
+        """``P · b`` — entries per bit-slice page (32,768 with defaults)."""
+        return self.page_bytes * self.bits_per_byte
+
+    def oid_lookup_cost(self, false_drop_probability: float, actual_drops: float) -> float:
+        """``LC_OID`` — §4.1's OID-file lookup cost.
+
+        Each OID-file page holds ``α = A / SC_OID`` actual-drop entries and
+        ``Fd · (O_p − α)`` false-drop entries in expectation; the page is
+        read once if it holds any needed entry, hence the ``min(…, 1)``.
+        """
+        if not 0.0 <= false_drop_probability <= 1.0:
+            raise ConfigurationError(
+                f"Fd must be a probability, got {false_drop_probability}"
+            )
+        if actual_drops < 0:
+            raise ConfigurationError(f"A must be >= 0, got {actual_drops}")
+        alpha = actual_drops / self.oid_file_pages
+        per_page = false_drop_probability * (self.oids_per_page - alpha) + alpha
+        return self.oid_file_pages * min(per_page, 1.0)
+
+
+#: The paper's exact evaluation configuration.
+PAPER_PARAMETERS = CostParameters()
+
+#: Design points the paper analyses: Dt -> list of (F, small-m) pairs used
+#: in the figures, plus the paper's flagship recommendation per Dt.
+PAPER_DESIGN_POINTS = {
+    10: ((250, 2), (500, 2)),
+    100: ((1000, 3), (2500, 3)),
+}

@@ -1,0 +1,120 @@
+"""Smart object retrieval strategies — paper §5.1.3 and §5.2.2.
+
+The naive strategies always use the full query signature (BSSF) or all
+``Dq`` index lookups (NIX). The smart strategies stop filtering once the
+drop count is effectively minimal, because drop resolution makes the final
+answer exact anyway:
+
+``T ⊇ Q``
+    Use only ``k ≤ Dq`` query elements. The paper fixes ``k = 2`` for its
+    BSSF m = 2 / NIX configurations; here the strategy is generalized to
+    pick the ``k`` minimizing the modeled cost, which reproduces the
+    paper's rule at its parameter values (tests pin this).
+
+``T ⊆ Q``
+    Examine only ``k* `` zero slices, where ``k*`` is the slice count at
+    ``D_q^opt`` (Appendix C). For ``Dq > D_q^opt`` the naive strategy is
+    already optimal.
+
+Each function returns a :class:`StrategyDecision` so callers (the query
+planner, the figures) see both the cost and the chosen parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.tuning import dq_opt, optimal_zero_slices
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.nix_model import NIXCostModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """Outcome of a smart-strategy optimization."""
+
+    cost: float
+    #: elements used (⊇ strategies) or zero slices examined (⊆ strategy);
+    #: None means "use the naive strategy unchanged".
+    parameter: Optional[int]
+
+    @property
+    def is_naive(self) -> bool:
+        return self.parameter is None
+
+
+def smart_superset_bssf(model: BSSFCostModel, Dt: int, Dq: int) -> StrategyDecision:
+    """Best element count for a BSSF ``T ⊇ Q`` search (§5.1.3)."""
+    if Dq < 1:
+        raise ConfigurationError(f"Dq must be >= 1, got {Dq}")
+    best_k = 1
+    best_cost = model.retrieval_cost_superset_partial(Dt, Dq, 1)
+    for k in range(2, Dq + 1):
+        cost = model.retrieval_cost_superset_partial(Dt, Dq, k)
+        if cost < best_cost:
+            best_cost = cost
+            best_k = k
+    parameter = None if best_k == Dq else best_k
+    return StrategyDecision(cost=best_cost, parameter=parameter)
+
+
+def smart_superset_nix(model: NIXCostModel, Dq: int) -> StrategyDecision:
+    """Best lookup count for a NIX ``T ⊇ Q`` search (§5.1.3)."""
+    if Dq < 1:
+        raise ConfigurationError(f"Dq must be >= 1, got {Dq}")
+    best_k = 1
+    best_cost = model.retrieval_cost_superset_partial(Dq, 1)
+    for k in range(2, Dq + 1):
+        cost = model.retrieval_cost_superset_partial(Dq, k)
+        if cost < best_cost:
+            best_cost = cost
+            best_k = k
+    parameter = None if best_k == Dq else best_k
+    return StrategyDecision(cost=best_cost, parameter=parameter)
+
+
+def subset_resolution_ceiling(model: BSSFCostModel) -> float:
+    """``SC_OID + Pu·N`` — the cost paid when the filter passes everything.
+
+    This is Appendix C's constant ``C``; at ``Fd → 1`` both the OID lookup
+    (every page) and every object access are paid.
+    """
+    params = model.params
+    return params.oid_file_pages + params.pages_per_unsuccessful * params.num_objects
+
+
+def smart_subset_bssf(model: BSSFCostModel, Dt: int, Dq: int) -> StrategyDecision:
+    """Zero-slice budget for a BSSF ``T ⊆ Q`` search (§5.2.2, Appendix C).
+
+    Examine ``min(F − m_q, k*)`` zero slices, where ``k* = F·x*`` is the
+    slice count at ``D_q^opt``; below ``D_q^opt`` this freezes the cost at
+    its minimum, above it the naive count is already smaller.
+    """
+    if Dq < 0:
+        raise ConfigurationError(f"Dq must be >= 0, got {Dq}")
+    ceiling = subset_resolution_ceiling(model)
+    k_star = optimal_zero_slices(
+        model.signature_bits,
+        model.bits_per_element,
+        Dt,
+        model.slice_pages,
+        ceiling,
+    )
+    available = int(model.signature_bits - model.query_weight(Dq))
+    k = min(available, k_star)
+    cost = model.retrieval_cost_subset_partial(Dt, Dq, k)
+    parameter = None if k >= available else k
+    return StrategyDecision(cost=cost, parameter=parameter)
+
+
+def smart_subset_dq_opt(model: BSSFCostModel, Dt: int) -> float:
+    """``D_q^opt`` for a design point — the crossover the figures mark."""
+    return dq_opt(
+        model.signature_bits,
+        model.bits_per_element,
+        Dt,
+        model.slice_pages,
+        subset_resolution_ceiling(model),
+    )

@@ -1,0 +1,97 @@
+"""Analytical cost model of the Sequential Signature File — paper §4.1.
+
+Retrieval (eq. 7)::
+
+    RC = SC_SIG + LC_OID + Ps·A + Pu·Fd·(N − A)
+
+with ``SC_SIG = ceil(N / floor(P·b / F))`` — signatures are bit-packed,
+``floor(P·b/F)`` per page, and a query always scans the whole signature
+file. Storage is ``SC_SIG + SC_OID``; updates are ``UC_I = 2`` (append to
+both files) and ``UC_D = SC_OID / 2`` (scan half the OID file to flag).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.false_drop import false_drop_subset, false_drop_superset
+from repro.costmodel.actual_drop import actual_drops_subset, actual_drops_superset
+from repro.costmodel.parameters import CostParameters
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SSFCostModel:
+    """SSF costs at one (F, m) design point."""
+
+    params: CostParameters
+    signature_bits: int  # F
+    bits_per_element: int  # m
+
+    def __post_init__(self) -> None:
+        if self.signature_bits <= 0:
+            raise ConfigurationError(f"F must be positive, got {self.signature_bits}")
+        if not 0 < self.bits_per_element <= self.signature_bits:
+            raise ConfigurationError(
+                f"m must satisfy 0 < m <= F, got {self.bits_per_element}"
+            )
+        if self.signatures_per_page == 0:
+            raise ConfigurationError(
+                f"F={self.signature_bits} bits exceed one page"
+            )
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    @property
+    def signatures_per_page(self) -> int:
+        return self.params.page_bits // self.signature_bits
+
+    @property
+    def signature_file_pages(self) -> int:
+        """``SC_SIG``."""
+        return math.ceil(self.params.num_objects / self.signatures_per_page)
+
+    def storage_cost(self) -> int:
+        """``SC = SC_SIG + SC_OID`` pages."""
+        return self.signature_file_pages + self.params.oid_file_pages
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def _retrieval(self, false_drop: float, actual: float) -> float:
+        params = self.params
+        lc_oid = params.oid_lookup_cost(false_drop, actual)
+        resolution = (
+            params.pages_per_successful * actual
+            + params.pages_per_unsuccessful * false_drop * (params.num_objects - actual)
+        )
+        return self.signature_file_pages + lc_oid + resolution
+
+    def retrieval_cost_superset(self, Dt: int, Dq: int, exact: bool = False) -> float:
+        """``RC`` for ``T ⊇ Q`` at target/query cardinalities Dt, Dq."""
+        false_drop = false_drop_superset(
+            self.signature_bits, self.bits_per_element, Dt, Dq, exact=exact
+        )
+        actual = actual_drops_superset(self.params, Dt, Dq)
+        return self._retrieval(false_drop, actual)
+
+    def retrieval_cost_subset(self, Dt: int, Dq: int, exact: bool = False) -> float:
+        """``RC`` for ``T ⊆ Q``."""
+        false_drop = false_drop_subset(
+            self.signature_bits, self.bits_per_element, Dt, Dq, exact=exact
+        )
+        actual = actual_drops_subset(self.params, Dt, Dq)
+        return self._retrieval(false_drop, actual)
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def insert_cost(self) -> float:
+        """``UC_I = 2``: one append to each of the two files."""
+        return 2.0
+
+    def delete_cost(self) -> float:
+        """``UC_D = SC_OID / 2``: expected scan to find the entry to flag."""
+        return self.params.oid_file_pages / 2.0

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class. Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or parameter combination is invalid (e.g. m > F)."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageError(StorageError):
+    """A page-level operation failed (bad page id, overflow, corruption)."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a request (e.g. all frames pinned)."""
+
+
+class ObjectStoreError(ReproError):
+    """Base class for object-store failures."""
+
+
+class UnknownOIDError(ObjectStoreError):
+    """An OID does not identify a live object."""
+
+
+class SchemaError(ObjectStoreError):
+    """An object does not conform to its class schema."""
+
+
+class AccessFacilityError(ReproError):
+    """Base class for access-facility (SSF / BSSF / NIX) failures."""
+
+
+class IndexCorruptionError(AccessFacilityError):
+    """An index invariant was violated (detected during verification)."""
+
+
+class QueryError(ReproError):
+    """Base class for query-layer failures."""
+
+
+class ParseError(QueryError):
+    """The SQL-like query text could not be parsed."""
+
+
+class PlanningError(QueryError):
+    """No executable plan could be produced for a query."""

@@ -1,0 +1,49 @@
+"""Experiment definitions: one generator per paper table/figure, plus the
+simulator-based empirical validation."""
+
+from repro.experiments.empirical import (
+    EmpiricalConfig,
+    Testbed,
+    empirical_sweep,
+    empirical_update_costs,
+)
+from repro.experiments.figures import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+)
+from repro.experiments.registry import (
+    ALL_EXPERIMENTS,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.result import SeriesResult, TableResult, render_result
+from repro.experiments.tables import optimal_m_table, table5, table6, table7
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "EmpiricalConfig",
+    "SeriesResult",
+    "TableResult",
+    "Testbed",
+    "empirical_sweep",
+    "empirical_update_costs",
+    "experiment_ids",
+    "figure10",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "optimal_m_table",
+    "render_result",
+    "run_experiment",
+    "table5",
+    "table6",
+    "table7",
+]

@@ -1,0 +1,76 @@
+"""Registry mapping experiment ids to their generator functions.
+
+Used by the CLI (``python -m repro <id>``) and the benchmark harness so
+that every paper table/figure is regenerable by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import extensions, figures, tables
+from repro.experiments.conclusions import summary
+from repro.experiments.empirical import (
+    EmpiricalConfig,
+    empirical_sweep,
+    empirical_update_costs,
+)
+
+ANALYTICAL_EXPERIMENTS: Dict[str, Callable] = {
+    "figure4": figures.figure4,
+    "figure5": figures.figure5,
+    "figure6": figures.figure6,
+    "figure7": figures.figure7,
+    "figure8": figures.figure8,
+    "figure9": figures.figure9,
+    "figure10": figures.figure10,
+    "table5": tables.table5,
+    "table6": tables.table6,
+    "table7": tables.table7,
+    "optimal_m": tables.optimal_m_table,
+    "summary": summary,
+    "variable_cardinality": extensions.variable_cardinality,
+}
+
+
+def _empirical_superset():
+    config = EmpiricalConfig()
+    return empirical_sweep(config, "superset", (1, 2, 3, 5, 8, 10))
+
+
+def _empirical_subset():
+    config = EmpiricalConfig()
+    return empirical_sweep(config, "subset", (10, 30, 100, 300))
+
+
+def _empirical_updates():
+    return empirical_update_costs(EmpiricalConfig())
+
+
+EMPIRICAL_EXPERIMENTS: Dict[str, Callable] = {
+    "empirical_superset": _empirical_superset,
+    "empirical_subset": _empirical_subset,
+    "empirical_updates": _empirical_updates,
+    "false_drop_validation": extensions.false_drop_validation,
+}
+
+ALL_EXPERIMENTS: Dict[str, Callable] = {
+    **ANALYTICAL_EXPERIMENTS,
+    **EMPIRICAL_EXPERIMENTS,
+}
+
+
+def experiment_ids() -> List[str]:
+    return sorted(ALL_EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str):
+    try:
+        generator = ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(experiment_ids())}"
+        ) from None
+    return generator()

@@ -1,0 +1,159 @@
+"""Experiment result containers and plain-text rendering.
+
+Every paper figure reproduces as a :class:`SeriesResult` (an x-sweep with
+one or more named series) and every paper table as a :class:`TableResult`
+(rows of named columns). Rendering is plain monospace text: the benchmark
+harness prints the same rows/series the paper plots, and EXPERIMENTS.md
+embeds the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e7:
+            return f"{value:.3g}"
+        if value == int(value) and abs(value) < 1e7:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class SeriesResult:
+    """One figure: x sweep + named y series."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: Sequence
+    series: "Dict[str, List[float]]"
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for label, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {label!r} has {len(values)} points for "
+                    f"{len(self.x_values)} x values"
+                )
+
+    def column_labels(self) -> List[str]:
+        return [self.x_label] + list(self.series)
+
+    def rows(self) -> List[List]:
+        return [
+            [x] + [self.series[label][i] for label in self.series]
+            for i, x in enumerate(self.x_values)
+        ]
+
+    def render(self) -> str:
+        header = [self.column_labels()] + [
+            [_format_value(v) for v in row] for row in self.rows()
+        ]
+        widths = [
+            max(len(str(row[col])) for row in header)
+            for col in range(len(header[0]))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for i, row in enumerate(header):
+            lines.append(
+                "  ".join(str(cell).rjust(width) for cell, width in zip(row, widths))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def value(self, label: str, x) -> float:
+        index = list(self.x_values).index(x)
+        return self.series[label][index]
+
+    def render_csv(self) -> str:
+        """Comma-separated rows (header + data), for external plotting."""
+        return _csv(self.column_labels(), self.rows())
+
+
+@dataclass
+class TableResult:
+    """One paper table: column labels plus value rows."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List]
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row of {len(row)} cells for {len(self.columns)} columns"
+                )
+
+    def render(self) -> str:
+        header = [self.columns] + [
+            [_format_value(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(str(row[col])) for row in header)
+            for col in range(len(header[0]))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for i, row in enumerate(header):
+            lines.append(
+                "  ".join(str(cell).rjust(width) for cell, width in zip(row, widths))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def cell(self, row_key, column: str):
+        """Value at (first row whose first cell == row_key, column)."""
+        column_index = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[column_index]
+        raise KeyError(f"no row keyed {row_key!r}")
+
+    def render_csv(self) -> str:
+        """Comma-separated rows (header + data), for external plotting."""
+        return _csv(self.columns, self.rows)
+
+
+ExperimentResult = object  # SeriesResult | TableResult (3.9-compatible alias)
+
+
+def _csv_cell(value) -> str:
+    text = _format_value(value) if not isinstance(value, str) else value
+    if any(ch in text for ch in ',"\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def _csv(columns, rows) -> str:
+    lines = [",".join(_csv_cell(c) for c in columns)]
+    lines.extend(",".join(_csv_cell(cell) for cell in row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_result(result, fmt: str = "text") -> str:
+    """Render either result kind as ``text`` (default) or ``csv``."""
+    if not isinstance(result, (SeriesResult, TableResult)):
+        raise TypeError(f"not an experiment result: {type(result).__name__}")
+    if fmt == "csv":
+        return result.render_csv()
+    if fmt == "text":
+        return result.render()
+    raise ValueError(f"unknown format {fmt!r}; expected 'text' or 'csv'")

@@ -1,0 +1,152 @@
+"""Domain-skew ablation (beyond the paper's uniform-domain assumption).
+
+Section 4 assumes set elements drawn uniformly from the V-element domain.
+Real attributes are skewed; this experiment loads Zipf(s) workloads at
+increasing exponents and reports what skew does to each facility:
+
+* **NIX** concentrates postings on the hot head: the longest posting list
+  grows toward N, inflating leaf storage and hot-query costs — and past
+  the point where a posting list exceeds one page, this implementation
+  (like the paper's single-leaf entry layout) cannot index the attribute
+  at all.
+* **Signatures** are skew-oblivious by construction (hashing decorrelates
+  element identity from bit positions): storage is unchanged and search
+  costs move only through the actual-drop count.
+
+The table reports, per exponent: NIX max/mean posting length and leaf
+pages (or BUILD FAILS), plus measured hot-query superset page costs for
+BSSF and NIX.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import AccessFacilityError
+from repro.experiments.result import TableResult
+from repro.objects.database import Database
+from repro.query.executor import QueryExecutor
+from repro.query.parser import ParsedQuery
+from repro.query.planner import CostContext
+from repro.query.predicates import has_subset
+from repro.workloads.generator import (
+    EVAL_ATTRIBUTE,
+    EVAL_CLASS,
+    SetWorkloadGenerator,
+    WorkloadSpec,
+    load_workload,
+)
+
+
+def _posting_profile(nix) -> tuple:
+    """(max, mean) posting-list length across the tree."""
+    lengths = [len(oids) for _, oids in nix.tree.iterate_entries()]
+    if not lengths:
+        return 0, 0.0
+    return max(lengths), sum(lengths) / len(lengths)
+
+
+def _measure_hot_query(database, generator, Dq: int, facility: str,
+                       context: CostContext) -> float:
+    executor = QueryExecutor(database)
+    query = generator.hot_elements(Dq)
+    parsed = ParsedQuery(
+        class_name=EVAL_CLASS,
+        predicates=(has_subset(EVAL_ATTRIBUTE, *query),),
+    )
+    result = executor.execute(
+        parsed, context=context, prefer_facility=facility, smart=False
+    )
+    return float(result.statistics.page_accesses)
+
+
+def skew_ablation(
+    exponents: Sequence[float] = (0.0, 0.4, 0.8),
+    num_objects: int = 1500,
+    domain_cardinality: int = 600,
+    target_cardinality: int = 8,
+    signature_bits: int = 256,
+    bits_per_element: int = 2,
+    hot_query_cardinality: int = 2,
+    seed: int = 23,
+    overflow_chains: bool = False,
+) -> TableResult:
+    """Build one database per exponent and profile both facilities.
+
+    ``overflow_chains=True`` builds NIX with posting-list chains — the
+    extension that survives skew the paper's single-leaf layout cannot.
+    """
+    rows: List[List] = []
+    for exponent in exponents:
+        spec = WorkloadSpec(
+            num_objects=num_objects,
+            domain_cardinality=domain_cardinality,
+            target_cardinality=target_cardinality,
+            seed=seed,
+            zipf_exponent=exponent,
+        )
+        database = Database()
+        load_workload(database, spec)
+        generator = SetWorkloadGenerator(spec)
+        context = CostContext(
+            num_objects=num_objects,
+            domain_cardinality=domain_cardinality,
+            target_cardinality=target_cardinality,
+        )
+        bssf = database.create_bssf_index(
+            EVAL_CLASS, EVAL_ATTRIBUTE, signature_bits, bits_per_element,
+            seed=seed,
+        )
+        bssf_pages = bssf.total_storage_pages()
+        bssf_hot = _measure_hot_query(
+            database, generator, hot_query_cardinality, "bssf", context
+        )
+        try:
+            nix = database.create_nested_index(
+                EVAL_CLASS, EVAL_ATTRIBUTE, overflow_chains=overflow_chains
+            )
+        except AccessFacilityError:
+            rows.append(
+                [exponent, "BUILD FAILS", "-", "-",
+                 bssf_pages, round(bssf_hot, 1), "-"]
+            )
+            continue
+        longest, mean = _posting_profile(nix)
+        nix_hot = _measure_hot_query(
+            database, generator, hot_query_cardinality, "nix", context
+        )
+        rows.append(
+            [
+                exponent,
+                longest,
+                round(mean, 1),
+                nix.storage_pages()["leaf"],
+                bssf_pages,
+                round(bssf_hot, 1),
+                round(nix_hot, 1),
+            ]
+        )
+    return TableResult(
+        experiment_id=(
+            "ablation_skew_chained" if overflow_chains else "ablation_skew"
+        ),
+        title=(
+            f"Domain-skew ablation: N={num_objects}, V={domain_cardinality}, "
+            f"Dt={target_cardinality}, hot T⊇Q with Dq={hot_query_cardinality}"
+        ),
+        columns=[
+            "zipf s", "NIX max posting", "NIX mean posting", "NIX leaves",
+            "BSSF pages", "BSSF hot-query pages", "NIX hot-query pages",
+        ],
+        rows=rows,
+        notes=[
+            "signature storage and filtering are skew-oblivious; NIX "
+            "postings concentrate on the hot head"
+            + (
+                " but overflow chains keep the build viable"
+                if overflow_chains
+                else " and eventually overflow the single-leaf entry "
+                "layout (BUILD FAILS)"
+            ),
+        ],
+    )

@@ -1,0 +1,24 @@
+"""OODB object layer: OIDs, schemas, serialization, object store, facade."""
+
+from repro.objects.database import Database
+from repro.objects.object_file import ObjectFile, RecordAddress
+from repro.objects.object_store import ObjectStore
+from repro.objects.oid import OID, OIDAllocator
+from repro.objects.schema import Attribute, AttributeKind, ClassSchema
+from repro.objects.serde import decode_object, decode_value, encode_object, encode_value
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "ClassSchema",
+    "Database",
+    "OID",
+    "OIDAllocator",
+    "ObjectFile",
+    "ObjectStore",
+    "RecordAddress",
+    "decode_object",
+    "decode_value",
+    "encode_object",
+    "encode_value",
+]

@@ -1,0 +1,329 @@
+"""The OODB facade: schema + objects + set access facilities in one place.
+
+``Database`` wires together the storage manager, the object store, and any
+number of access facilities over set-valued attribute paths (several
+facilities may index the same path — that is exactly how the experiments
+compare SSF, BSSF and NIX on identical data). All object mutations keep
+every affected index synchronized.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.access.base import SetAccessFacility
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.nix import NestedIndex
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.errors import AccessFacilityError, SchemaError
+from repro.objects.object_store import ObjectStore
+from repro.objects.oid import OID
+from repro.objects.schema import ClassSchema
+from repro.storage.paged_file import StorageManager
+from repro.storage.stats import IOSnapshot
+
+IndexKey = Tuple[str, str]  # (class name, set attribute name)
+
+
+class Database:
+    """A small but complete object database."""
+
+    def __init__(self, page_size: int = 4096, pool_capacity: int = 0):
+        self.storage = StorageManager(page_size=page_size, pool_capacity=pool_capacity)
+        self.objects = ObjectStore(self.storage)
+        self._indexes: Dict[IndexKey, Dict[str, SetAccessFacility]] = {}
+        from repro.objects.statistics import StatisticsCache
+
+        self.statistics = StatisticsCache()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def define_class(self, schema: ClassSchema) -> None:
+        self.objects.define_class(schema)
+
+    def schema(self, class_name: str) -> ClassSchema:
+        return self.objects.schema(class_name)
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def _check_indexable(self, class_name: str, attribute: str) -> None:
+        attr = self.schema(class_name).attribute(attribute)
+        if not attr.is_set:
+            raise SchemaError(
+                f"cannot build a set access facility on scalar attribute "
+                f"{class_name}.{attribute}"
+            )
+
+    def _check_no_duplicate(
+        self, class_name: str, attribute: str, facility_name: str
+    ) -> None:
+        """Raise before any files are created if the index already exists."""
+        per_path = self._indexes.get((class_name, attribute), {})
+        if facility_name in per_path:
+            raise AccessFacilityError(
+                f"a {facility_name!r} index already exists on "
+                f"{class_name}.{attribute}"
+            )
+
+    def _register(
+        self, class_name: str, attribute: str, facility: SetAccessFacility
+    ) -> SetAccessFacility:
+        key = (class_name, attribute)
+        per_path = self._indexes.setdefault(key, {})
+        if facility.name in per_path:
+            raise AccessFacilityError(
+                f"a {facility.name!r} index already exists on "
+                f"{class_name}.{attribute}"
+            )
+        per_path[facility.name] = facility
+        # Backfill from existing objects so indexes may be added lazily;
+        # facilities with a bulk path build bottom-up (one write per page)
+        # instead of paying per-object maintenance cost.
+        pairs = (
+            (frozenset(values[attribute]), oid)
+            for oid, values in self.objects.scan(class_name)
+        )
+        if hasattr(facility, "bulk_load") and self.objects.count(class_name):
+            facility.bulk_load(pairs)
+        else:
+            for elements, oid in pairs:
+                facility.insert(elements, oid)
+        return facility
+
+    def create_ssf_index(
+        self,
+        class_name: str,
+        attribute: str,
+        signature_bits: int,
+        bits_per_element: int,
+        seed: int = 0,
+    ) -> SequentialSignatureFile:
+        """Sequential signature file on ``class.attribute``."""
+        self._check_indexable(class_name, attribute)
+        self._check_no_duplicate(class_name, attribute, "ssf")
+        scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
+        facility = SequentialSignatureFile(
+            self.storage, scheme, file_prefix=f"ssf:{class_name}.{attribute}"
+        )
+        self._register(class_name, attribute, facility)
+        return facility
+
+    def create_bssf_index(
+        self,
+        class_name: str,
+        attribute: str,
+        signature_bits: int,
+        bits_per_element: int,
+        seed: int = 0,
+        worst_case_insert: bool = False,
+    ) -> BitSlicedSignatureFile:
+        """Bit-sliced signature file on ``class.attribute``."""
+        self._check_indexable(class_name, attribute)
+        self._check_no_duplicate(class_name, attribute, "bssf")
+        scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
+        facility = BitSlicedSignatureFile(
+            self.storage,
+            scheme,
+            file_prefix=f"bssf:{class_name}.{attribute}",
+            worst_case_insert=worst_case_insert,
+        )
+        self._register(class_name, attribute, facility)
+        return facility
+
+    def create_nested_index(
+        self, class_name: str, attribute: str, overflow_chains: bool = False
+    ) -> NestedIndex:
+        """Nested index (NIX) on ``class.attribute``.
+
+        ``overflow_chains=True`` lifts the paper's single-leaf posting-list
+        limit (needed for heavily skewed domains) at the cost of extra page
+        reads on hot keys.
+        """
+        self._check_indexable(class_name, attribute)
+        self._check_no_duplicate(class_name, attribute, "nix")
+        facility = NestedIndex(
+            self.storage,
+            file_prefix=f"nix:{class_name}.{attribute}",
+            overflow_chains=overflow_chains,
+        )
+        self._register(class_name, attribute, facility)
+        return facility
+
+    def indexes_on(self, class_name: str, attribute: str) -> Dict[str, SetAccessFacility]:
+        return dict(self._indexes.get((class_name, attribute), {}))
+
+    def index(
+        self, class_name: str, attribute: str, facility_name: Optional[str] = None
+    ) -> SetAccessFacility:
+        """One facility on the path; by name, or the only one if unambiguous."""
+        per_path = self._indexes.get((class_name, attribute), {})
+        if not per_path:
+            raise AccessFacilityError(
+                f"no index on {class_name}.{attribute}"
+            )
+        if facility_name is None:
+            if len(per_path) > 1:
+                raise AccessFacilityError(
+                    f"multiple indexes on {class_name}.{attribute}: "
+                    f"{sorted(per_path)}; name one explicitly"
+                )
+            return next(iter(per_path.values()))
+        try:
+            return per_path[facility_name]
+        except KeyError:
+            raise AccessFacilityError(
+                f"no {facility_name!r} index on {class_name}.{attribute}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Object lifecycle (index-maintaining)
+    # ------------------------------------------------------------------
+    def insert(self, class_name: str, values: Dict[str, Any]) -> OID:
+        oid = self.objects.insert(class_name, values)
+        for (cls, attr), per_path in self._indexes.items():
+            if cls == class_name:
+                for facility in per_path.values():
+                    facility.insert(frozenset(values[attr]), oid)
+        return oid
+
+    def get(self, oid: OID) -> Dict[str, Any]:
+        return self.objects.fetch(oid)
+
+    def update(self, oid: OID, values: Dict[str, Any]) -> None:
+        class_name = self.objects.class_name_of(oid)
+        old_values = self.objects.fetch(oid)
+        self.objects.update(oid, values)
+        for (cls, attr), per_path in self._indexes.items():
+            if cls != class_name:
+                continue
+            old_set = frozenset(old_values[attr])
+            new_set = frozenset(values[attr])
+            if old_set == new_set:
+                continue
+            for facility in per_path.values():
+                facility.delete(old_set, oid)
+                facility.insert(new_set, oid)
+
+    def delete(self, oid: OID) -> None:
+        class_name = self.objects.class_name_of(oid)
+        values = self.objects.fetch(oid)
+        for (cls, attr), per_path in self._indexes.items():
+            if cls == class_name:
+                for facility in per_path.values():
+                    facility.delete(frozenset(values[attr]), oid)
+        self.objects.delete(oid)
+
+    def scan(self, class_name: str) -> Iterator[Tuple[OID, Dict[str, Any]]]:
+        return self.objects.scan(class_name)
+
+    def count(self, class_name: str) -> int:
+        return self.objects.count(class_name)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def io_snapshot(self) -> IOSnapshot:
+        return self.storage.snapshot()
+
+    def verify_indexes(self) -> None:
+        """Structural verification of every facility (tests / debugging)."""
+        for per_path in self._indexes.values():
+            for facility in per_path.values():
+                facility.verify()
+
+    def vacuum_index(
+        self, class_name: str, attribute: str, facility_name: str
+    ) -> "SetAccessFacility":
+        """Rebuild one facility from live objects, dropping tombstones.
+
+        The paper's update model flags deletions in the OID file and never
+        reclaims signature-file space; after heavy churn the stale entries
+        inflate both storage and scan costs. Rebuilding drops the facility's
+        files and bulk-loads a fresh one from the object store. Returns the
+        new facility (the old handle is invalid afterwards).
+        """
+        old = self.index(class_name, attribute, facility_name)
+        key = (class_name, attribute)
+        del self._indexes[key][facility_name]
+        for file_name in list(self.storage.store.file_names()):
+            if file_name.startswith(f"{facility_name}:{class_name}.{attribute}:"):
+                self.storage.drop_file(file_name)
+        if isinstance(old, SequentialSignatureFile):
+            return self.create_ssf_index(
+                class_name, attribute,
+                old.signature_bits, old.scheme.bits_per_element,
+                seed=old.scheme.seed,
+            )
+        if isinstance(old, BitSlicedSignatureFile):
+            return self.create_bssf_index(
+                class_name, attribute,
+                old.signature_bits, old.scheme.bits_per_element,
+                seed=old.scheme.seed,
+                worst_case_insert=old.worst_case_insert,
+            )
+        return self.create_nested_index(
+            class_name, attribute, overflow_chains=old.overflow_chains
+        )
+
+    def analyze(self, class_name: str, attribute: str, refresh: bool = True):
+        """Collect (or refresh) workload statistics for one set attribute.
+
+        The planner consults these automatically when no explicit
+        :class:`~repro.query.planner.CostContext` is supplied, so one
+        ``analyze`` per indexed path replaces per-query context plumbing.
+        """
+        self._check_indexable(class_name, attribute)
+        return self.statistics.get(
+            self.objects, class_name, attribute, refresh=refresh
+        )
+
+    def check_consistency(self, sample: int = 50) -> Dict[str, int]:
+        """Cross-validate every index against the object store.
+
+        For up to ``sample`` objects per indexed path, a superset search
+        with the object's own set value must return the object (signature
+        facilities guarantee no false dismissals; NIX intersection is
+        exact), and no search may surface a dead OID. Structural
+        :meth:`verify` runs on every facility as well.
+
+        Returns the number of objects checked per ``class.attribute``;
+        raises :class:`IndexCorruptionError` on the first inconsistency.
+        """
+        from repro.errors import IndexCorruptionError
+
+        checked: Dict[str, int] = {}
+        for (class_name, attribute), per_path in sorted(self._indexes.items()):
+            for facility in per_path.values():
+                facility.verify()
+            count = 0
+            for oid, values in self.objects.scan(class_name):
+                if count >= sample:
+                    break
+                target = frozenset(values[attribute])
+                for name, facility in per_path.items():
+                    result = facility.search_superset(target)
+                    if oid not in result.candidates:
+                        raise IndexCorruptionError(
+                            f"{name} on {class_name}.{attribute} lost {oid} "
+                            f"(set value {sorted(target, key=repr)!r})"
+                        )
+                    for candidate in result.candidates:
+                        if not self.objects.exists(candidate):
+                            raise IndexCorruptionError(
+                                f"{name} on {class_name}.{attribute} returned "
+                                f"dead OID {candidate}"
+                            )
+                count += 1
+            checked[f"{class_name}.{attribute}"] = count
+        return checked
+
+    def facility_storage_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-index page counts, keyed ``class.attribute/facility``."""
+        report = {}
+        for (cls, attr), per_path in self._indexes.items():
+            for name, facility in per_path.items():
+                report[f"{cls}.{attr}/{name}"] = facility.storage_pages()
+        return report

@@ -1,0 +1,171 @@
+"""Slotted-page object file.
+
+Objects are stored "straightforwardly in the object file" (paper §4
+assumption: no decomposition, one page access fetches an object). Each page
+is a classic slotted page:
+
+* header (4 bytes): ``u16 slot_count``, ``u16 free_start`` — the offset of
+  the first free data byte (data grows forward from the header);
+* slot directory growing backward from the page end, 4 bytes per slot:
+  ``u16 offset``, ``u16 length`` (offset 0xFFFF marks a deleted slot);
+* record bytes in the middle.
+
+Records must fit in one page (page_size - 8 bytes of overhead); the paper's
+workloads (sets of up to a few hundred elements) satisfy this comfortably.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.errors import ObjectStoreError
+from repro.storage.page import Page
+from repro.storage.paged_file import PagedFile
+
+_HEADER_BYTES = 4
+_SLOT_BYTES = 4
+# Offset sentinel marking a deleted slot; legitimate offsets are < page size
+# (pages are at most 64 KiB because slot fields are u16).
+_DELETED_OFFSET = 0xFFFF
+
+
+class RecordAddress(Tuple[int, int]):
+    """(page_no, slot) pair; a plain tuple subtype for readable repr."""
+
+    def __new__(cls, page_no: int, slot: int) -> "RecordAddress":
+        return super().__new__(cls, (page_no, slot))
+
+    @property
+    def page_no(self) -> int:
+        return self[0]
+
+    @property
+    def slot(self) -> int:
+        return self[1]
+
+    def __repr__(self) -> str:
+        return f"RecordAddress(page={self[0]}, slot={self[1]})"
+
+
+def _slot_entry_offset(page_size: int, slot: int) -> int:
+    return page_size - _SLOT_BYTES * (slot + 1)
+
+
+def _free_bytes(page: Page) -> int:
+    slot_count = page.read_u16(0)
+    free_start = page.read_u16(2)
+    directory_start = _slot_entry_offset(page.page_size, slot_count - 1) if slot_count else page.page_size
+    return directory_start - free_start
+
+
+class ObjectFile:
+    """Record-oriented heap file over a :class:`PagedFile`."""
+
+    def __init__(self, paged_file: PagedFile):
+        self.file = paged_file
+        self.max_record_bytes = self.file.page_size - _HEADER_BYTES - _SLOT_BYTES
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> RecordAddress:
+        """Append a record, returning its address.
+
+        Appends to the last page when it has room; otherwise allocates a new
+        page. This keeps the paper's sequential-fill assumption: N objects
+        occupy ``ceil(N / objects_per_page)`` pages.
+        """
+        if len(record) > self.max_record_bytes:
+            raise ObjectStoreError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"({self.max_record_bytes} bytes)"
+            )
+        if self.file.num_pages:
+            page_no = self.file.num_pages - 1
+            page = self.file.read_page(page_no)
+            if _free_bytes(page) >= len(record) + _SLOT_BYTES:
+                slot = self._place(page, record)
+                self.file.write_page(page_no, page)
+                return RecordAddress(page_no, slot)
+        page_no, page = self.file.append_page()
+        page.write_u16(2, _HEADER_BYTES)
+        slot = self._place(page, record)
+        self.file.write_page(page_no, page)
+        return RecordAddress(page_no, slot)
+
+    def _place(self, page: Page, record: bytes) -> int:
+        slot_count = page.read_u16(0)
+        free_start = page.read_u16(2) or _HEADER_BYTES
+        page.write_bytes(free_start, record)
+        slot = slot_count
+        entry = _slot_entry_offset(page.page_size, slot)
+        page.write_u16(entry, free_start)
+        page.write_u16(entry + 2, len(record))
+        page.write_u16(0, slot_count + 1)
+        page.write_u16(2, free_start + len(record))
+        return slot
+
+    def read(self, address: RecordAddress) -> bytes:
+        page = self.file.read_page(address.page_no)
+        offset, length = self._slot(page, address)
+        if offset == _DELETED_OFFSET:
+            raise ObjectStoreError(f"record at {address} was deleted")
+        return page.read_bytes(offset, length)
+
+    def delete(self, address: RecordAddress) -> None:
+        """Mark a record deleted (offset sentinel). Space is not reclaimed —
+        matching the paper's delete-flag update model."""
+        page = self.file.read_page(address.page_no)
+        offset, _ = self._slot(page, address)
+        if offset == _DELETED_OFFSET:
+            raise ObjectStoreError(f"record at {address} already deleted")
+        entry = _slot_entry_offset(page.page_size, address.slot)
+        page.write_u16(entry, _DELETED_OFFSET)
+        self.file.write_page(address.page_no, page)
+
+    def update(self, address: RecordAddress, record: bytes) -> RecordAddress:
+        """Rewrite a record. In place when the new image fits the old
+        footprint, otherwise delete + reinsert (address changes)."""
+        page = self.file.read_page(address.page_no)
+        offset, length = self._slot(page, address)
+        if offset == _DELETED_OFFSET:
+            raise ObjectStoreError(f"record at {address} was deleted")
+        if len(record) <= length:
+            page.write_bytes(offset, record)
+            entry = _slot_entry_offset(page.page_size, address.slot)
+            page.write_u16(entry + 2, len(record))
+            self.file.write_page(address.page_no, page)
+            return address
+        self.delete(address)
+        return self.insert(record)
+
+    def _slot(self, page: Page, address: RecordAddress) -> Tuple[int, int]:
+        slot_count = page.read_u16(0)
+        if not 0 <= address.slot < slot_count:
+            raise ObjectStoreError(
+                f"slot {address.slot} out of range on page {address.page_no} "
+                f"({slot_count} slots)"
+            )
+        entry = _slot_entry_offset(page.page_size, address.slot)
+        return page.read_u16(entry), page.read_u16(entry + 2)
+
+    # ------------------------------------------------------------------
+    # Scans & introspection
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Tuple[RecordAddress, bytes]]:
+        """All live records in storage order; one logical read per page."""
+        for page_no, page in self.file.scan_pages():
+            slot_count = page.read_u16(0)
+            for slot in range(slot_count):
+                entry = _slot_entry_offset(page.page_size, slot)
+                offset = page.read_u16(entry)
+                length = page.read_u16(entry + 2)
+                if offset != _DELETED_OFFSET:
+                    yield RecordAddress(page_no, slot), page.read_bytes(offset, length)
+
+    @property
+    def num_pages(self) -> int:
+        return self.file.num_pages
+
+    def live_record_count(self) -> int:
+        return sum(1 for _ in self.scan())

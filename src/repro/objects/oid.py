@@ -1,0 +1,71 @@
+"""Object identifiers.
+
+The paper assumes 8-byte OIDs with direct object access (Table 2's
+``oid = 8``). An :class:`OID` packs a 16-bit class id and a 48-bit serial
+number into one 64-bit word, so it round-trips through the paper's 8-byte
+on-disk representation exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ObjectStoreError
+
+OID_BYTES = 8
+_MAX_CLASS_ID = 0xFFFF
+_MAX_SERIAL = 0xFFFFFFFFFFFF
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """A 64-bit object identifier: (class_id, serial)."""
+
+    class_id: int
+    serial: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.class_id <= _MAX_CLASS_ID:
+            raise ObjectStoreError(f"class_id out of range: {self.class_id}")
+        if not 0 <= self.serial <= _MAX_SERIAL:
+            raise ObjectStoreError(f"serial out of range: {self.serial}")
+
+    def to_int(self) -> int:
+        return (self.class_id << 48) | self.serial
+
+    @classmethod
+    def from_int(cls, value: int) -> "OID":
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            raise ObjectStoreError(f"OID integer out of range: {value}")
+        return cls(class_id=value >> 48, serial=value & _MAX_SERIAL)
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("<Q", self.to_int())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "OID":
+        if len(data) != OID_BYTES:
+            raise ObjectStoreError(f"OID must be {OID_BYTES} bytes, got {len(data)}")
+        return cls.from_int(struct.unpack("<Q", data)[0])
+
+    def __repr__(self) -> str:
+        return f"OID({self.class_id}:{self.serial})"
+
+
+class OIDAllocator:
+    """Monotonic per-class serial allocation."""
+
+    def __init__(self) -> None:
+        self._next_serial: dict = {}
+
+    def allocate(self, class_id: int) -> OID:
+        serial = self._next_serial.get(class_id, 0)
+        if serial > _MAX_SERIAL:
+            raise ObjectStoreError(f"serial space exhausted for class {class_id}")
+        self._next_serial[class_id] = serial + 1
+        return OID(class_id=class_id, serial=serial)
+
+    def high_water_mark(self, class_id: int) -> int:
+        """Number of OIDs ever allocated for the class."""
+        return self._next_serial.get(class_id, 0)

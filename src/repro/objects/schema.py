@@ -1,0 +1,153 @@
+"""Class schemas: the OODB modeling constructs of the paper's Section 1.
+
+A class has named attributes; each attribute is either a *scalar* (primitive
+value or single OID reference) or a *set* (the set constructor — a set of
+primitives or of OIDs). The paper's ``Student`` class, for example, has a
+scalar ``name``, a set-of-OIDs ``courses`` and a set-of-strings ``hobbies``.
+
+Validation is structural: on insert/update the object store checks that the
+supplied attribute dict matches the schema (no missing/unknown attributes,
+set attributes hold sets, reference attributes hold OIDs of the right
+class when a target class is declared).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import SchemaError
+from repro.objects.oid import OID
+
+_PRIMITIVES = (str, int, float, bool, bytes)
+
+
+class AttributeKind(enum.Enum):
+    SCALAR = "scalar"
+    SET = "set"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One attribute declaration.
+
+    ``ref_class`` names the target class for OID-valued attributes (e.g.
+    ``Student.courses`` references ``Course``); ``None`` means primitive.
+    """
+
+    name: str
+    kind: AttributeKind
+    ref_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+
+    @property
+    def is_set(self) -> bool:
+        return self.kind is AttributeKind.SET
+
+    def validate_value(self, value: Any) -> None:
+        if self.kind is AttributeKind.SCALAR:
+            self._validate_member(value, context=f"attribute {self.name!r}")
+            return
+        if not isinstance(value, (set, frozenset)):
+            raise SchemaError(
+                f"set attribute {self.name!r} requires a set value, "
+                f"got {type(value).__name__}"
+            )
+        for member in value:
+            self._validate_member(member, context=f"member of set {self.name!r}")
+
+    def _validate_member(self, value: Any, context: str) -> None:
+        if self.ref_class is not None:
+            if not isinstance(value, OID):
+                raise SchemaError(
+                    f"{context} must be an OID referencing {self.ref_class!r}, "
+                    f"got {type(value).__name__}"
+                )
+            return
+        if value is None or isinstance(value, _PRIMITIVES) or isinstance(value, OID):
+            return
+        raise SchemaError(
+            f"{context} must be a primitive or OID, got {type(value).__name__}"
+        )
+
+
+@dataclass
+class ClassSchema:
+    """A class definition: ordered attribute declarations."""
+
+    name: str
+    attributes: List[Attribute] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid class name: {self.name!r}")
+        seen = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attr.name!r} in class {self.name!r}"
+                )
+            seen.add(attr.name)
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in self.attributes}
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, class_name: str, /, **attr_specs: str) -> "ClassSchema":
+        """Shorthand: ``ClassSchema.build("Student", name="scalar",
+        hobbies="set", courses="set:Course")``.
+
+        Spec strings are ``"scalar"``, ``"set"``, ``"scalar:RefClass"`` or
+        ``"set:RefClass"``.
+        """
+        attributes = []
+        for attr_name, spec in attr_specs.items():
+            kind_text, _, ref = spec.partition(":")
+            try:
+                kind = AttributeKind(kind_text)
+            except ValueError:
+                raise SchemaError(
+                    f"bad attribute spec {spec!r} for {attr_name!r}; "
+                    "expected 'scalar[:Class]' or 'set[:Class]'"
+                ) from None
+            attributes.append(
+                Attribute(name=attr_name, kind=kind, ref_class=ref or None)
+            )
+        return cls(name=class_name, attributes=attributes)
+
+    # ------------------------------------------------------------------
+    # Lookup & validation
+    # ------------------------------------------------------------------
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._by_name
+
+    def set_attributes(self) -> Iterable[Attribute]:
+        return (a for a in self.attributes if a.is_set)
+
+    def validate_object(self, values: Dict[str, Any]) -> None:
+        """Check a full attribute dict against the schema."""
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"unknown attributes for class {self.name!r}: {sorted(unknown)}"
+            )
+        missing = set(self._by_name) - set(values)
+        if missing:
+            raise SchemaError(
+                f"missing attributes for class {self.name!r}: {sorted(missing)}"
+            )
+        for name, value in values.items():
+            self._by_name[name].validate_value(value)

@@ -1,0 +1,139 @@
+"""Workload statistics collection (ANALYZE).
+
+The Section 4 cost model needs three numbers per indexed path — N objects,
+domain cardinality V, target cardinality Dt — and the §6 variable-Dt
+extension needs the full Dt distribution. ``analyze`` computes all of them
+with one scan, and ``Database`` caches the result so the planner can use
+real statistics without the caller threading a
+:class:`~repro.query.planner.CostContext` through every query.
+
+Statistics are a snapshot: they go stale as the class mutates. ``analyze``
+records the class's object count at collection time, and
+``AttributeStatistics.staleness`` reports the relative drift so callers
+can decide when to re-analyze (the Database facade re-analyzes
+automatically past ``REANALYZE_DRIFT``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.costmodel.variable import CardinalityDistribution
+from repro.errors import ObjectStoreError
+
+#: relative object-count drift beyond which cached statistics are re-collected
+REANALYZE_DRIFT = 0.25
+
+
+@dataclass(frozen=True)
+class AttributeStatistics:
+    """Collected statistics for one set-attribute path."""
+
+    class_name: str
+    attribute: str
+    num_objects: int
+    distinct_elements: int
+    mean_cardinality: float
+    min_cardinality: int
+    max_cardinality: int
+    distribution: CardinalityDistribution
+    collected_at_count: int
+
+    @property
+    def target_cardinality(self) -> int:
+        """Dt for the fixed-cardinality model: the rounded mean (>= 1)."""
+        return max(1, round(self.mean_cardinality))
+
+    @property
+    def is_fixed_cardinality(self) -> bool:
+        return self.min_cardinality == self.max_cardinality
+
+    def staleness(self, current_count: int) -> float:
+        """Relative drift of the object count since collection."""
+        baseline = max(self.collected_at_count, 1)
+        return abs(current_count - self.collected_at_count) / baseline
+
+    def cost_context(self):
+        """The planner-facing view of these statistics."""
+        from repro.query.planner import CostContext
+
+        return CostContext(
+            num_objects=self.num_objects,
+            domain_cardinality=max(self.distinct_elements, self.target_cardinality),
+            target_cardinality=self.target_cardinality,
+        )
+
+
+def analyze(objects, class_name: str, attribute: str) -> AttributeStatistics:
+    """Scan a class and collect set-attribute statistics.
+
+    ``objects`` is an :class:`~repro.objects.object_store.ObjectStore`.
+    Raises for unknown classes/attributes and for scalar attributes; an
+    empty class yields degenerate-but-usable statistics (N = 0 upgraded to
+    1 in the cost context to keep the model's divisions defined).
+    """
+    schema = objects.schema(class_name)
+    attr = schema.attribute(attribute)
+    if not attr.is_set:
+        raise ObjectStoreError(
+            f"cannot analyze scalar attribute {class_name}.{attribute}"
+        )
+    distinct = set()
+    sizes = []
+    for _, values in objects.scan(class_name):
+        value = values[attribute]
+        distinct.update(value)
+        sizes.append(len(value))
+    if sizes:
+        distribution = CardinalityDistribution.from_samples(sizes)
+        mean = sum(sizes) / len(sizes)
+        low, high = min(sizes), max(sizes)
+    else:
+        distribution = CardinalityDistribution.fixed(1)
+        mean, low, high = 1.0, 1, 1
+    return AttributeStatistics(
+        class_name=class_name,
+        attribute=attribute,
+        num_objects=max(len(sizes), 1),
+        distinct_elements=max(len(distinct), 1),
+        mean_cardinality=mean,
+        min_cardinality=low,
+        max_cardinality=high,
+        distribution=distribution,
+        collected_at_count=len(sizes),
+    )
+
+
+class StatisticsCache:
+    """Per-path statistics with drift-based invalidation."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[tuple, AttributeStatistics] = {}
+
+    def get(
+        self, objects, class_name: str, attribute: str,
+        refresh: bool = False,
+    ) -> AttributeStatistics:
+        key = (class_name, attribute)
+        cached = self._stats.get(key)
+        current = objects.count(class_name)
+        if (
+            refresh
+            or cached is None
+            or cached.staleness(current) > REANALYZE_DRIFT
+        ):
+            cached = analyze(objects, class_name, attribute)
+            self._stats[key] = cached
+        return cached
+
+    def peek(self, class_name: str, attribute: str) -> Optional[AttributeStatistics]:
+        return self._stats.get((class_name, attribute))
+
+    def invalidate(self, class_name: Optional[str] = None) -> None:
+        if class_name is None:
+            self._stats.clear()
+            return
+        doomed = [key for key in self._stats if key[0] == class_name]
+        for key in doomed:
+            del self._stats[key]

@@ -1,0 +1,103 @@
+"""On-disk snapshot container format.
+
+A database snapshot is a single binary file::
+
+    magic "SIGREPRO"  | u16 version | u32 catalog_len | catalog (JSON, UTF-8)
+    then, for every file listed in the catalog, its page images
+    concatenated in catalog order (page_size bytes each).
+
+The catalog is JSON for debuggability; everything that JSON cannot carry
+natively (OIDs, byte strings) is encoded explicitly by the snapshot layer
+before it reaches the catalog. Page payloads stay raw binary — they are
+the bulk of a snapshot and already have their own internal formats.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Dict, List, Tuple
+
+from repro.errors import StorageError
+
+MAGIC = b"SIGREPRO"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHI")
+
+
+@dataclass
+class SnapshotHeader:
+    version: int
+    catalog: Dict[str, Any]
+
+
+def write_snapshot(
+    stream: BinaryIO,
+    catalog: Dict[str, Any],
+    page_payloads: List[Tuple[str, List[bytes]]],
+) -> None:
+    """Write header + catalog + page images.
+
+    ``page_payloads`` must list files in exactly the catalog's
+    ``files`` order; this is validated to prevent silent corruption.
+    """
+    catalog_files = [entry["name"] for entry in catalog.get("files", [])]
+    payload_files = [name for name, _ in page_payloads]
+    if catalog_files != payload_files:
+        raise StorageError(
+            "catalog/payload file order mismatch: "
+            f"{catalog_files[:3]}... vs {payload_files[:3]}..."
+        )
+    encoded = json.dumps(catalog, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    stream.write(_HEADER.pack(MAGIC, FORMAT_VERSION, len(encoded)))
+    stream.write(encoded)
+    for entry, (_, pages) in zip(catalog["files"], page_payloads):
+        if entry["pages"] != len(pages):
+            raise StorageError(
+                f"file {entry['name']!r}: catalog says {entry['pages']} pages, "
+                f"payload has {len(pages)}"
+            )
+        for page in pages:
+            stream.write(page)
+
+
+def read_header(stream: BinaryIO) -> SnapshotHeader:
+    raw = stream.read(_HEADER.size)
+    if len(raw) != _HEADER.size:
+        raise StorageError("truncated snapshot header")
+    magic, version, catalog_len = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise StorageError(f"not a snapshot file (magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise StorageError(f"unsupported snapshot version {version}")
+    encoded = stream.read(catalog_len)
+    if len(encoded) != catalog_len:
+        raise StorageError("truncated snapshot catalog")
+    try:
+        catalog = json.loads(encoded.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError(f"corrupt snapshot catalog: {exc}") from exc
+    return SnapshotHeader(version=version, catalog=catalog)
+
+
+def read_pages(
+    stream: BinaryIO, catalog: Dict[str, Any], page_size: int
+) -> Dict[str, List[bytes]]:
+    """Read every file's page images following the catalog."""
+    result: Dict[str, List[bytes]] = {}
+    for entry in catalog.get("files", []):
+        pages = []
+        for _ in range(entry["pages"]):
+            payload = stream.read(page_size)
+            if len(payload) != page_size:
+                raise StorageError(
+                    f"truncated page data in file {entry['name']!r}"
+                )
+            pages.append(payload)
+        result[entry["name"]] = pages
+    trailing = stream.read(1)
+    if trailing:
+        raise StorageError("trailing bytes after snapshot payload")
+    return result

@@ -1,0 +1,221 @@
+"""Whole-database snapshots: save a :class:`Database` to one file, load it
+back byte-identically.
+
+The snapshot captures the full durable state: every stored page image, the
+class schemas, the OID allocator and directory, and the definitions of all
+access facilities (which rehydrate against their existing files rather than
+being rebuilt). In-memory-only state (buffer pool contents, I/O counters)
+is deliberately not part of a snapshot — loading starts with a cold cache
+and fresh statistics, like a restarted database would.
+
+Usage::
+
+    from repro.persistence import load_database, save_database
+
+    save_database(db, "campus.sigdb")
+    db2 = load_database("campus.sigdb")
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.nix import NestedIndex
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.errors import StorageError
+from repro.objects.database import Database
+from repro.objects.object_file import ObjectFile, RecordAddress
+from repro.objects.oid import OID
+from repro.objects.schema import Attribute, AttributeKind, ClassSchema
+from repro.persistence.format import read_header, read_pages, write_snapshot
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+def _index_descriptor(class_name: str, attribute: str, facility) -> Dict[str, Any]:
+    base = {"class": class_name, "attribute": attribute, "facility": facility.name}
+    if isinstance(facility, SequentialSignatureFile):
+        base.update(
+            F=facility.signature_bits,
+            m=facility.scheme.bits_per_element,
+            seed=facility.scheme.seed,
+            entry_count=facility.entry_count,
+            file_prefix=facility.signature_file.name.rsplit(":signatures", 1)[0],
+        )
+    elif isinstance(facility, BitSlicedSignatureFile):
+        base.update(
+            F=facility.signature_bits,
+            m=facility.scheme.bits_per_element,
+            seed=facility.scheme.seed,
+            entry_count=facility.entry_count,
+            worst_case_insert=facility.worst_case_insert,
+            file_prefix=facility.oid_file.file.name.rsplit(":oids", 1)[0],
+        )
+    elif isinstance(facility, NestedIndex):
+        base.update(
+            file_prefix=facility.tree.file.name.rsplit(":btree", 1)[0],
+            overflow_chains=facility.overflow_chains,
+        )
+    else:
+        raise StorageError(
+            f"cannot snapshot facility of type {type(facility).__name__}"
+        )
+    return base
+
+
+def build_catalog(db: Database) -> Dict[str, Any]:
+    """The JSON-serializable description of everything but page payloads."""
+    store = db.storage.store
+    objects = db.objects
+    classes = []
+    for name in objects.class_names():
+        schema = objects.schema(name)
+        classes.append(
+            {
+                "name": name,
+                "class_id": objects._class_ids[name],
+                "attributes": [
+                    {
+                        "name": attr.name,
+                        "kind": attr.kind.value,
+                        "ref_class": attr.ref_class,
+                    }
+                    for attr in schema.attributes
+                ],
+            }
+        )
+    indexes = [
+        _index_descriptor(cls, attr, facility)
+        for (cls, attr), per_path in sorted(db._indexes.items())
+        for facility in per_path.values()
+    ]
+    return {
+        "page_size": store.page_size,
+        "files": [
+            {"name": name, "pages": store.num_pages(name)}
+            for name in store.file_names()
+        ],
+        "classes": classes,
+        "next_class_id": objects._next_class_id,
+        "allocator": {
+            str(class_id): serial
+            for class_id, serial in objects._allocator._next_serial.items()
+        },
+        "directory": [
+            [oid.to_int(), address.page_no, address.slot]
+            for oid, address in sorted(objects._directory.items())
+        ],
+        "indexes": indexes,
+    }
+
+
+def save_database(db: Database, path: PathLike) -> None:
+    """Flush and snapshot ``db`` into a single file at ``path``."""
+    db.storage.flush()
+    catalog = build_catalog(db)
+    store = db.storage.store
+    payloads: List[Tuple[str, List[bytes]]] = [
+        (
+            entry["name"],
+            [
+                store.read_page(entry["name"], page_no).image()
+                for page_no in range(entry["pages"])
+            ],
+        )
+        for entry in catalog["files"]
+    ]
+    with open(path, "wb") as stream:
+        write_snapshot(stream, catalog, payloads)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def _rehydrate_schema(entry: Dict[str, Any]) -> ClassSchema:
+    return ClassSchema(
+        name=entry["name"],
+        attributes=[
+            Attribute(
+                name=attr["name"],
+                kind=AttributeKind(attr["kind"]),
+                ref_class=attr["ref_class"],
+            )
+            for attr in entry["attributes"]
+        ],
+    )
+
+
+def _rehydrate_index(db: Database, descriptor: Dict[str, Any]) -> None:
+    storage = db.storage
+    kind = descriptor["facility"]
+    class_name, attribute = descriptor["class"], descriptor["attribute"]
+    prefix = descriptor["file_prefix"]
+    if kind == "ssf":
+        scheme = SignatureScheme(descriptor["F"], descriptor["m"],
+                                 seed=descriptor["seed"])
+        facility = SequentialSignatureFile.attach(
+            storage, scheme, prefix, descriptor["entry_count"]
+        )
+    elif kind == "bssf":
+        scheme = SignatureScheme(descriptor["F"], descriptor["m"],
+                                 seed=descriptor["seed"])
+        facility = BitSlicedSignatureFile.attach(
+            storage,
+            scheme,
+            prefix,
+            descriptor["entry_count"],
+            worst_case_insert=descriptor["worst_case_insert"],
+        )
+    elif kind == "nix":
+        facility = NestedIndex.attach(
+            storage, prefix,
+            overflow_chains=descriptor.get("overflow_chains", False),
+        )
+    else:
+        raise StorageError(f"unknown facility kind in snapshot: {kind!r}")
+    db._indexes.setdefault((class_name, attribute), {})[facility.name] = facility
+
+
+def load_database(path: PathLike, pool_capacity: int = 0) -> Database:
+    """Load a snapshot into a fresh :class:`Database`."""
+    with open(path, "rb") as stream:
+        header = read_header(stream)
+        catalog = header.catalog
+        page_images = read_pages(stream, catalog, catalog["page_size"])
+
+    db = Database(page_size=catalog["page_size"], pool_capacity=pool_capacity)
+    store = db.storage.store
+    for entry in catalog["files"]:
+        store.create_file(entry["name"])
+        pages = store._pages(entry["name"])
+        pages.extend(page_images[entry["name"]])
+
+    objects = db.objects
+    for class_entry in sorted(catalog["classes"], key=lambda c: c["class_id"]):
+        schema = _rehydrate_schema(class_entry)
+        # register manually: the object file already exists in the store
+        class_id = class_entry["class_id"]
+        objects._schemas[schema.name] = schema
+        objects._class_ids[schema.name] = class_id
+        objects._class_names[class_id] = schema.name
+        paged = db.storage.open_file(objects.object_file_name(schema.name))
+        objects._files[schema.name] = ObjectFile(paged)
+    objects._next_class_id = catalog["next_class_id"]
+    objects._allocator._next_serial = {
+        int(class_id): serial
+        for class_id, serial in catalog["allocator"].items()
+    }
+    objects._directory = {
+        OID.from_int(oid_int): RecordAddress(page_no, slot)
+        for oid_int, page_no, slot in catalog["directory"]
+    }
+
+    for descriptor in catalog["indexes"]:
+        _rehydrate_index(db, descriptor)
+    return db

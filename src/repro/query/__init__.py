@@ -1,0 +1,35 @@
+"""Query layer: predicates, the SQL-like parser, planner, and executor."""
+
+from repro.query.executor import QueryExecutor, QueryResult, QueryStatistics
+from repro.query.parser import ParsedQuery, parse_query, tokenize
+from repro.query.planner import AccessPlan, CostContext, plan_query
+from repro.query.predicates import (
+    ScalarPredicate,
+    SetPredicate,
+    SubqueryPredicate,
+    contains,
+    has_subset,
+    in_subset,
+    overlaps,
+    set_equals,
+)
+
+__all__ = [
+    "AccessPlan",
+    "CostContext",
+    "ParsedQuery",
+    "QueryExecutor",
+    "QueryResult",
+    "QueryStatistics",
+    "ScalarPredicate",
+    "SetPredicate",
+    "SubqueryPredicate",
+    "contains",
+    "has_subset",
+    "in_subset",
+    "overlaps",
+    "parse_query",
+    "plan_query",
+    "set_equals",
+    "tokenize",
+]

@@ -1,0 +1,263 @@
+"""Query executor: runs an access plan and resolves drops.
+
+Execution mirrors the paper's retrieval procedures: the driving facility
+produces candidate OIDs, each candidate object is fetched (one page access)
+and tested against *every* predicate exactly, and qualified objects are
+returned. Candidates failing the exact test are the false drops; the
+executor reports them, together with the I/O snapshot delta, in
+:class:`QueryStatistics` — this is how the empirical experiments measure
+the quantities the cost model predicts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.access.base import SearchResult
+from repro.errors import PlanningError
+from repro.objects.database import Database
+from repro.objects.oid import OID
+from repro.query.parser import ParsedQuery, parse_query
+from repro.query.planner import AccessPlan, CostContext, plan_query
+from repro.query.predicates import SubqueryPredicate
+from repro.storage.stats import IOSnapshot
+
+
+@dataclass
+class QueryStatistics:
+    """Measured execution profile of one query."""
+
+    plan: str
+    candidates: int = 0
+    false_drops: int = 0
+    results: int = 0
+    io: Optional[IOSnapshot] = None
+    elapsed_seconds: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def page_accesses(self) -> int:
+        """Total logical page accesses — comparable to the model's RC."""
+        return self.io.logical_total if self.io else 0
+
+    def false_drop_ratio(self, population: int) -> float:
+        """Measured ``Fd = false / (N − actual)`` (§3.2's definition)."""
+        denominator = population - self.results
+        return self.false_drops / denominator if denominator > 0 else 0.0
+
+
+@dataclass
+class QueryResult:
+    """Rows plus execution statistics."""
+
+    rows: List[Tuple[OID, Dict[str, Any]]]
+    statistics: QueryStatistics
+
+    def oids(self) -> List[OID]:
+        return [oid for oid, _ in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class QueryExecutor:
+    """Plans and executes parsed queries against one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def execute_text(
+        self,
+        text: str,
+        context: Optional[CostContext] = None,
+        prefer_facility: Optional[str] = None,
+        smart: bool = True,
+    ) -> QueryResult:
+        """Parse, plan and run a query given in the SQL-like language."""
+        return self.execute(
+            parse_query(text),
+            context=context,
+            prefer_facility=prefer_facility,
+            smart=smart,
+        )
+
+    def explain(
+        self,
+        text: str,
+        context: Optional[CostContext] = None,
+        prefer_facility: Optional[str] = None,
+        smart: bool = True,
+    ) -> str:
+        """Render the chosen plan and its alternatives without executing.
+
+        Subqueries *are* executed (their results determine the outer
+        query's ``Dq``, which the cost model needs), but the outer query is
+        only planned.
+        """
+        query = self._resolve_subqueries(
+            parse_query(text), context=context, smart=smart
+        )
+        plan = plan_query(
+            self.database,
+            query,
+            context=context,
+            prefer_facility=prefer_facility,
+            smart=smart,
+        )
+        lines = [f"query : {query.describe()}", f"plan  : {plan.describe()}"]
+        if plan.residual_predicates:
+            residuals = " and ".join(p.describe() for p in plan.residual_predicates)
+            lines.append(f"residual filters: {residuals}")
+        if plan.alternatives:
+            lines.append("alternatives (estimated pages):")
+            for name, cost in sorted(plan.alternatives.items(), key=lambda kv: kv[1]):
+                marker = " <- chosen" if (
+                    plan.facility_name is not None
+                    and name.startswith(f"{plan.facility_name}:")
+                    and cost == plan.estimated_cost
+                ) else ""
+                lines.append(f"  {name:24s} {cost:10.1f}{marker}")
+        return "\n".join(lines)
+
+    def execute(
+        self,
+        query: ParsedQuery,
+        context: Optional[CostContext] = None,
+        prefer_facility: Optional[str] = None,
+        smart: bool = True,
+    ) -> QueryResult:
+        query = self._resolve_subqueries(query, context=context, smart=smart)
+        plan = plan_query(
+            self.database,
+            query,
+            context=context,
+            prefer_facility=prefer_facility,
+            smart=smart,
+        )
+        return self.execute_plan(plan, query)
+
+    def _resolve_subqueries(
+        self,
+        query: ParsedQuery,
+        context: Optional[CostContext],
+        smart: bool,
+        depth: int = 0,
+    ) -> ParsedQuery:
+        """Materialize subquery predicates (the paper's §1 step 1).
+
+        Each nested ``select`` is executed first — with its own plan, never
+        inheriting the outer ``prefer_facility``/context, since it targets
+        a different class — and its result OIDs become the query set of a
+        plain set predicate.
+        """
+        if depth > 8:
+            raise PlanningError("subquery nesting deeper than 8 levels")
+        if not query.has_unresolved_subqueries():
+            return query
+        resolved = []
+        for predicate in query.predicates:
+            if isinstance(predicate, SubqueryPredicate):
+                inner = self._resolve_subqueries(
+                    predicate.subquery, context=None, smart=smart,
+                    depth=depth + 1,
+                )
+                result = self.execute(inner, smart=smart)
+                resolved.append(predicate.resolve(result.oids()))
+            else:
+                resolved.append(predicate)
+        return ParsedQuery(
+            class_name=query.class_name, predicates=tuple(resolved)
+        )
+
+    # ------------------------------------------------------------------
+    # Plan execution
+    # ------------------------------------------------------------------
+    def execute_plan(self, plan: AccessPlan, query: ParsedQuery) -> QueryResult:
+        before = self.database.io_snapshot()
+        started = time.perf_counter()
+        if plan.is_scan:
+            rows, stats_detail, candidates = self._run_scan(plan, query)
+        else:
+            rows, stats_detail, candidates = self._run_index(plan, query)
+        elapsed = time.perf_counter() - started
+        stats = QueryStatistics(
+            plan=plan.describe(),
+            candidates=candidates,
+            false_drops=candidates - len(rows),
+            results=len(rows),
+            io=self.database.io_snapshot() - before,
+            elapsed_seconds=elapsed,
+            detail=stats_detail,
+        )
+        return QueryResult(rows=rows, statistics=stats)
+
+    def _run_scan(self, plan: AccessPlan, query: ParsedQuery):
+        rows = []
+        scanned = 0
+        for oid, values in self.database.scan(plan.class_name):
+            scanned += 1
+            if all(p.matches(values) for p in query.predicates):
+                rows.append((oid, values))
+        return rows, {"scanned": scanned}, scanned
+
+    def _run_index(self, plan: AccessPlan, query: ParsedQuery):
+        facility = self.database.index(
+            plan.class_name, plan.driving_predicate.attribute, plan.facility_name
+        )
+        result = self._search(facility, plan)
+        candidates = result.candidates
+        detail = dict(result.detail)
+        if plan.intersect_with is not None:
+            second = plan.intersect_with
+            second_facility = self.database.index(
+                plan.class_name, second.predicate.attribute, second.facility_name
+            )
+            if second.search_mode == "superset":
+                second_result = second_facility.search_superset(
+                    second.predicate.constant
+                )
+            elif second.search_mode == "subset":
+                second_result = second_facility.search_subset(
+                    second.predicate.constant
+                )
+            else:
+                second_result = second_facility.search_overlap(
+                    second.predicate.constant
+                )
+            survivors = set(candidates) & set(second_result.candidates)
+            detail["intersected_with"] = {
+                "facility": second.facility_name,
+                "candidates": len(second_result.candidates),
+                "surviving": len(survivors),
+            }
+            candidates = sorted(survivors)
+        rows = []
+        for oid in candidates:
+            values = self.database.get(oid)
+            if all(p.matches(values) for p in query.predicates):
+                rows.append((oid, values))
+        detail["exact_search"] = result.exact and plan.intersect_with is None
+        return rows, detail, len(candidates)
+
+    def _search(self, facility, plan: AccessPlan) -> SearchResult:
+        constant = plan.driving_predicate.constant
+        if plan.search_mode == "superset":
+            if plan.use_elements is not None:
+                return facility.search_superset(
+                    constant, use_elements=plan.use_elements
+                )
+            return facility.search_superset(constant)
+        if plan.search_mode == "subset":
+            if plan.slices_to_examine is not None:
+                return facility.search_subset(
+                    constant, slices_to_examine=plan.slices_to_examine
+                )
+            return facility.search_subset(constant)
+        if plan.search_mode == "overlap":
+            return facility.search_overlap(constant)
+        raise PlanningError(f"unknown search mode: {plan.search_mode!r}")

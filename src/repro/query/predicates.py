@@ -1,0 +1,146 @@
+"""Set predicates over object attributes.
+
+A :class:`SetPredicate` pairs an attribute path with one of the paper's set
+comparison operators and a constant set (the query set ``Q``). The exact
+(non-signature) evaluation lives here; the conservative signature-level
+tests live in :mod:`repro.core.signature`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable
+
+from repro.core.signature import SetPredicateKind
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class SetPredicate:
+    """``attribute <op> constant`` over one object."""
+
+    attribute: str
+    kind: SetPredicateKind
+    constant: FrozenSet[Hashable]
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise QueryError("predicate needs an attribute name")
+        if not isinstance(self.constant, frozenset):
+            object.__setattr__(self, "constant", frozenset(self.constant))
+
+    # ------------------------------------------------------------------
+    # Exact evaluation
+    # ------------------------------------------------------------------
+    def matches(self, values: Dict[str, Any]) -> bool:
+        """Exact evaluation against an object's attribute dict."""
+        if self.attribute not in values:
+            raise QueryError(f"object lacks attribute {self.attribute!r}")
+        raw = values[self.attribute]
+        if not isinstance(raw, (set, frozenset)):
+            raise QueryError(
+                f"attribute {self.attribute!r} is not set-valued "
+                f"(got {type(raw).__name__})"
+            )
+        return self.kind.evaluate(frozenset(raw), self.constant)
+
+    @property
+    def query_cardinality(self) -> int:
+        """``Dq``."""
+        return len(self.constant)
+
+    def describe(self) -> str:
+        """Render in the query language's own syntax (re-parseable)."""
+        elements = ", ".join(
+            _render_literal(e) for e in sorted(self.constant, key=repr)
+        )
+        return f"{self.attribute} {self.kind.value} ({elements})"
+
+
+def _render_literal(value) -> str:
+    """One literal in the query language's syntax."""
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ScalarPredicate:
+    """``attribute = literal`` over a scalar attribute.
+
+    Used for the selection step of the paper's two-step scheme (e.g.
+    ``Course.category = "DB"``). Not index-drivable by the set access
+    facilities; evaluated by scan or as a residual filter.
+    """
+
+    attribute: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise QueryError("predicate needs an attribute name")
+
+    def matches(self, values: Dict[str, Any]) -> bool:
+        if self.attribute not in values:
+            raise QueryError(f"object lacks attribute {self.attribute!r}")
+        raw = values[self.attribute]
+        if isinstance(raw, (set, frozenset)):
+            raise QueryError(
+                f"attribute {self.attribute!r} is a set; use a set operator"
+            )
+        return raw == self.value
+
+    def describe(self) -> str:
+        return f"{self.attribute} = {_render_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class SubqueryPredicate:
+    """``attribute <op> (select …)`` — the paper's §1 two-step scheme.
+
+    The inner query is evaluated first; the OIDs of its result become the
+    query set ``Q`` of an ordinary :class:`SetPredicate`. Resolution is the
+    executor's job (:meth:`QueryExecutor._resolve_subqueries`); the planner
+    refuses unresolved predicates.
+    """
+
+    attribute: str
+    kind: SetPredicateKind
+    subquery: Any  # ParsedQuery; typed loosely to avoid a module cycle
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise QueryError("predicate needs an attribute name")
+
+    def resolve(self, oids) -> SetPredicate:
+        """Bind the subquery's result OIDs as the constant set."""
+        return SetPredicate(self.attribute, self.kind, frozenset(oids))
+
+    def describe(self) -> str:
+        return f"{self.attribute} {self.kind.value} ({self.subquery.describe()})"
+
+
+def has_subset(attribute: str, *elements: Hashable) -> SetPredicate:
+    """``T ⊇ Q`` — the paper's query Q1 shape."""
+    return SetPredicate(attribute, SetPredicateKind.HAS_SUBSET, frozenset(elements))
+
+
+def in_subset(attribute: str, *elements: Hashable) -> SetPredicate:
+    """``T ⊆ Q`` — the paper's query Q2 shape."""
+    return SetPredicate(attribute, SetPredicateKind.IN_SUBSET, frozenset(elements))
+
+
+def contains(attribute: str, element: Hashable) -> SetPredicate:
+    """Membership ``element ∈ T`` (⊇ with a singleton query set)."""
+    return SetPredicate(attribute, SetPredicateKind.CONTAINS, frozenset([element]))
+
+
+def set_equals(attribute: str, *elements: Hashable) -> SetPredicate:
+    """Set equality ``T = Q`` (a §6 extension operator)."""
+    return SetPredicate(attribute, SetPredicateKind.EQUALS, frozenset(elements))
+
+
+def overlaps(attribute: str, *elements: Hashable) -> SetPredicate:
+    """Overlap ``T ∩ Q ≠ ∅`` (a §6 extension operator)."""
+    return SetPredicate(attribute, SetPredicateKind.OVERLAPS, frozenset(elements))

@@ -1,0 +1,11 @@
+"""Interactive shell: DDL/DML statements and a REPL over one database."""
+
+from repro.shell.ddl import execute_statement, parse_statement
+from repro.shell.repl import Shell, interactive_loop
+
+__all__ = [
+    "Shell",
+    "execute_statement",
+    "interactive_loop",
+    "parse_statement",
+]

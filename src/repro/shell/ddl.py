@@ -1,0 +1,346 @@
+"""DDL/DML statements for driving a database interactively.
+
+Beyond the paper's query language (handled by :mod:`repro.query.parser`),
+the shell accepts schema and maintenance statements::
+
+    create class Student (name scalar, hobbies set, courses set of Course)
+    create index bssf on Student.hobbies (F = 500, m = 2)
+    create index nix on Student.courses
+    insert into Student (name = "Jeff", hobbies = {"Baseball", "Fishing"})
+    analyze Student.hobbies
+    explain select Student where hobbies contains "Baseball"
+    select Student where hobbies has-subset ("Baseball", "Fishing")
+
+Each statement is parsed against the same tokenizer as the query language
+and executed against a :class:`~repro.objects.database.Database`;
+:func:`execute_statement` returns a human-readable result string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ParseError, QueryError
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.query.executor import QueryExecutor
+from repro.query.parser import Token, tokenize
+
+_INDEX_KINDS = ("ssf", "bssf", "nix")
+_SIGNATURE_DEFAULTS = {"F": 128, "m": 2, "seed": 0}
+
+
+class _Cursor:
+    """Token cursor (statement-level twin of the query parser's)."""
+
+    def __init__(self, tokens: List[Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> Optional[Token]:
+        if self.index >= len(self.tokens):
+            return None
+        return self.tokens[self.index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of statement: {self.source!r}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text.lower() != text):
+            raise ParseError(
+                f"expected {(text or kind)!r} at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text.lower() != text:
+            return None
+        return self.next()
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    def require_done(self) -> None:
+        if not self.done():
+            token = self.peek()
+            raise ParseError(
+                f"unexpected {token.text!r} at offset {token.position}"
+            )
+
+
+def _literal(cursor: _Cursor) -> Any:
+    token = cursor.next()
+    if token.kind == "string":
+        return token.text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if token.kind == "int":
+        return int(token.text)
+    if token.kind == "float":
+        return float(token.text)
+    raise ParseError(
+        f"expected a literal at offset {token.position}, got {token.text!r}"
+    )
+
+
+def _value(cursor: _Cursor) -> Any:
+    """A literal, or a set literal ``{a, b, c}`` / ``{}``."""
+    if cursor.accept("lbrace"):
+        if cursor.accept("rbrace"):
+            return set()
+        elements = [_literal(cursor)]
+        while cursor.accept("comma"):
+            elements.append(_literal(cursor))
+        cursor.expect("rbrace")
+        return set(elements)
+    return _literal(cursor)
+
+
+def _path(cursor: _Cursor) -> Tuple[str, str]:
+    """``Class.attribute``."""
+    class_name = cursor.expect("ident").text
+    cursor.expect("dot")
+    attribute = cursor.expect("ident").text
+    return class_name, attribute
+
+
+# ----------------------------------------------------------------------
+# Statement ASTs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CreateClass:
+    schema: ClassSchema
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    kind: str
+    class_name: str
+    attribute: str
+    options: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InsertObject:
+    class_name: str
+    values: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Analyze:
+    class_name: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class RunQuery:
+    text: str
+    explain: bool
+
+
+Statement = object  # union of the dataclasses above
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def parse_statement(text: str) -> Statement:
+    stripped = text.strip().rstrip(";")
+    tokens = tokenize(stripped)
+    if not tokens:
+        raise ParseError("empty statement")
+    head = tokens[0]
+    if head.kind != "ident":
+        raise ParseError(f"statement must start with a keyword, got {head.text!r}")
+    keyword = head.text.lower()
+    if keyword == "select":
+        return RunQuery(text=stripped, explain=False)
+    if keyword == "explain":
+        rest = stripped[head.position + len(head.text):].strip()
+        if not rest.lower().startswith("select"):
+            raise ParseError("explain takes a select query")
+        return RunQuery(text=rest, explain=True)
+    cursor = _Cursor(tokens, stripped)
+    if keyword == "create":
+        return _parse_create(cursor)
+    if keyword == "insert":
+        return _parse_insert(cursor)
+    if keyword == "analyze":
+        cursor.expect("ident", "analyze")
+        class_name, attribute = _path(cursor)
+        cursor.require_done()
+        return Analyze(class_name=class_name, attribute=attribute)
+    raise ParseError(
+        f"unknown statement {keyword!r}; expected create / insert / "
+        "analyze / select / explain"
+    )
+
+
+def _parse_create(cursor: _Cursor) -> Statement:
+    cursor.expect("ident", "create")
+    what = cursor.expect("ident").text.lower()
+    if what == "class":
+        return _parse_create_class(cursor)
+    if what == "index":
+        return _parse_create_index(cursor)
+    raise ParseError(f"create {what!r} is not supported (class / index)")
+
+
+def _parse_create_class(cursor: _Cursor) -> CreateClass:
+    class_name = cursor.expect("ident").text
+    cursor.expect("lparen")
+    specs: Dict[str, str] = {}
+    while True:
+        attr_name = cursor.expect("ident").text
+        kind = cursor.expect("ident").text.lower()
+        if kind not in ("scalar", "set"):
+            raise ParseError(
+                f"attribute kind must be 'scalar' or 'set', got {kind!r}"
+            )
+        spec = kind
+        if cursor.accept("ident", "of"):
+            spec += ":" + cursor.expect("ident").text
+        if attr_name in specs:
+            raise ParseError(f"duplicate attribute {attr_name!r}")
+        specs[attr_name] = spec
+        if not cursor.accept("comma"):
+            break
+    cursor.expect("rparen")
+    cursor.require_done()
+    return CreateClass(schema=ClassSchema.build(class_name, **specs))
+
+
+def _parse_create_index(cursor: _Cursor) -> CreateIndex:
+    kind = cursor.expect("ident").text.lower()
+    if kind not in _INDEX_KINDS:
+        raise ParseError(
+            f"index kind must be one of {_INDEX_KINDS}, got {kind!r}"
+        )
+    cursor.expect("ident", "on")
+    class_name, attribute = _path(cursor)
+    options: Dict[str, int] = {}
+    if cursor.accept("lparen"):
+        while True:
+            name = cursor.expect("ident").text
+            cursor.expect("eq")
+            value = _literal(cursor)
+            if not isinstance(value, int):
+                raise ParseError(f"index option {name!r} must be an integer")
+            options[name] = value
+            if not cursor.accept("comma"):
+                break
+        cursor.expect("rparen")
+    cursor.require_done()
+    if kind == "nix" and options:
+        raise ParseError("nix takes no options")
+    unknown = set(options) - set(_SIGNATURE_DEFAULTS)
+    if unknown:
+        raise ParseError(
+            f"unknown index options {sorted(unknown)}; "
+            f"expected {sorted(_SIGNATURE_DEFAULTS)}"
+        )
+    return CreateIndex(
+        kind=kind, class_name=class_name, attribute=attribute, options=options
+    )
+
+
+def _parse_insert(cursor: _Cursor) -> InsertObject:
+    cursor.expect("ident", "insert")
+    cursor.expect("ident", "into")
+    class_name = cursor.expect("ident").text
+    cursor.expect("lparen")
+    values: Dict[str, Any] = {}
+    while True:
+        attr_name = cursor.expect("ident").text
+        cursor.expect("eq")
+        if attr_name in values:
+            raise ParseError(f"duplicate attribute {attr_name!r}")
+        values[attr_name] = _value(cursor)
+        if not cursor.accept("comma"):
+            break
+    cursor.expect("rparen")
+    cursor.require_done()
+    return InsertObject(class_name=class_name, values=values)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_statement(database: Database, text: str, max_rows: int = 20) -> str:
+    """Parse and run one statement; returns a printable result."""
+    statement = parse_statement(text)
+    executor = QueryExecutor(database)
+
+    if isinstance(statement, CreateClass):
+        database.define_class(statement.schema)
+        return f"class {statement.schema.name} created"
+
+    if isinstance(statement, CreateIndex):
+        options = {**_SIGNATURE_DEFAULTS, **statement.options}
+        if statement.kind == "ssf":
+            database.create_ssf_index(
+                statement.class_name, statement.attribute,
+                options["F"], options["m"], seed=options["seed"],
+            )
+        elif statement.kind == "bssf":
+            database.create_bssf_index(
+                statement.class_name, statement.attribute,
+                options["F"], options["m"], seed=options["seed"],
+            )
+        else:
+            database.create_nested_index(
+                statement.class_name, statement.attribute
+            )
+        return (
+            f"{statement.kind} index created on "
+            f"{statement.class_name}.{statement.attribute}"
+        )
+
+    if isinstance(statement, InsertObject):
+        oid = database.insert(statement.class_name, statement.values)
+        return f"inserted {oid}"
+
+    if isinstance(statement, Analyze):
+        stats = database.analyze(statement.class_name, statement.attribute)
+        return (
+            f"{stats.class_name}.{stats.attribute}: N={stats.num_objects}, "
+            f"V≈{stats.distinct_elements}, "
+            f"Dt={stats.mean_cardinality:.1f} "
+            f"[{stats.min_cardinality}, {stats.max_cardinality}]"
+        )
+
+    if isinstance(statement, RunQuery):
+        if statement.explain:
+            return executor.explain(statement.text)
+        result = executor.execute_text(statement.text)
+        lines = [
+            f"{len(result)} row(s); plan: {result.statistics.plan}; "
+            f"pages: {result.statistics.page_accesses}; "
+            f"false drops: {result.statistics.false_drops}"
+        ]
+        for oid, values in result.rows[:max_rows]:
+            rendered = ", ".join(
+                f"{name}={_render(value)}" for name, value in sorted(values.items())
+            )
+            lines.append(f"  {oid}: {rendered}")
+        if len(result) > max_rows:
+            lines.append(f"  ... {len(result) - max_rows} more")
+        return "\n".join(lines)
+
+    raise QueryError(f"unhandled statement type: {type(statement).__name__}")
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, (set, frozenset)):
+        inner = ", ".join(sorted(repr(v) for v in value))
+        return "{" + inner + "}"
+    return repr(value)

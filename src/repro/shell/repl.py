@@ -1,0 +1,149 @@
+"""Interactive shell over one database.
+
+Supports the full statement language of :mod:`repro.shell.ddl` plus shell
+meta-commands::
+
+    \\save "file.sigdb"     snapshot the database
+    \\load "file.sigdb"     replace the session database from a snapshot
+    \\tables               list classes and their object counts
+    \\indexes              list facilities and their page counts
+    \\check                run the consistency checker
+    \\help                 this text
+    \\quit                 leave
+
+Use programmatically (``Shell.run_line``) or interactively
+(``sigfile-repro shell``). A statement script can be replayed with
+:meth:`Shell.run_script`, which is also how the shell tests drive it.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.objects.database import Database
+from repro.persistence.snapshot import load_database, save_database
+from repro.shell.ddl import execute_statement
+
+_HELP = __doc__
+
+_PROMPT = "sigdb> "
+
+
+class Shell:
+    """Statement-at-a-time driver for one database session."""
+
+    def __init__(self, database: Optional[Database] = None):
+        self.database = database or Database()
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Line handling
+    # ------------------------------------------------------------------
+    def run_line(self, line: str) -> str:
+        """Execute one input line; returns the printable response."""
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return ""
+        if line.startswith("\\"):
+            return self._meta(line)
+        try:
+            return execute_statement(self.database, line)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def run_script(self, lines: Iterable[str]) -> List[str]:
+        """Run many lines; returns non-empty responses in order."""
+        responses = []
+        for line in lines:
+            if self.finished:
+                break
+            response = self.run_line(line)
+            if response:
+                responses.append(response)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Meta-commands
+    # ------------------------------------------------------------------
+    def _meta(self, line: str) -> str:
+        try:
+            parts = shlex.split(line[1:])
+        except ValueError as exc:
+            return f"error: {exc}"
+        if not parts:
+            return "error: empty meta-command"
+        command, args = parts[0].lower(), parts[1:]
+        if command in ("quit", "exit", "q"):
+            self.finished = True
+            return "bye"
+        if command == "help":
+            return _HELP
+        if command == "tables":
+            names = self.database.objects.class_names()
+            if not names:
+                return "(no classes)"
+            return "\n".join(
+                f"{name}: {self.database.count(name)} object(s)"
+                for name in names
+            )
+        if command == "indexes":
+            report = self.database.facility_storage_report()
+            if not report:
+                return "(no indexes)"
+            return "\n".join(
+                f"{path}: {pages} ({sum(pages.values())} pages)"
+                for path, pages in sorted(report.items())
+            )
+        if command == "check":
+            try:
+                checked = self.database.check_consistency()
+            except ReproError as exc:
+                return f"INCONSISTENT: {exc}"
+            if not checked:
+                return "consistent (no indexes)"
+            body = ", ".join(f"{path}×{n}" for path, n in sorted(checked.items()))
+            return f"consistent ({body})"
+        if command == "save":
+            if len(args) != 1:
+                return "usage: \\save <path>"
+            try:
+                save_database(self.database, args[0])
+            except (ReproError, OSError) as exc:
+                return f"error: {exc}"
+            return f"saved to {args[0]}"
+        if command == "load":
+            if len(args) != 1:
+                return "usage: \\load <path>"
+            try:
+                self.database = load_database(args[0])
+            except (ReproError, OSError) as exc:
+                return f"error: {exc}"
+            return f"loaded {args[0]}"
+        return f"error: unknown meta-command \\{command}"
+
+
+def interactive_loop(
+    database: Optional[Database] = None,
+    input_stream=None,
+    output_stream=None,
+) -> int:
+    """Blocking read-eval-print loop (the ``sigfile-repro shell`` command)."""
+    input_stream = input_stream or sys.stdin
+    output_stream = output_stream or sys.stdout
+    shell = Shell(database)
+    output_stream.write(
+        "signature-file OODB shell — \\help for commands, \\quit to exit\n"
+    )
+    while not shell.finished:
+        output_stream.write(_PROMPT)
+        output_stream.flush()
+        line = input_stream.readline()
+        if not line:
+            break
+        response = shell.run_line(line)
+        if response:
+            output_stream.write(response + "\n")
+    return 0

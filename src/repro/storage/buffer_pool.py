@@ -1,0 +1,142 @@
+"""LRU buffer pool between the access methods and the simulated disk.
+
+Each frame caches one ``(file, page_no)`` page image. Fetching a page that
+is not resident costs one physical read; evicting a dirty frame costs one
+physical write. Logical accesses are recorded by :class:`PagedFile`, not
+here, so that the paper-model quantity (pages *touched* by the algorithm) is
+independent of cache hits.
+
+The pool intentionally has no pinning protocol: the simulator is
+single-threaded and access methods never hold page references across other
+page operations. ``capacity = 0`` disables caching entirely (every logical
+access becomes a physical one), which is the configuration that matches the
+paper's no-buffering cost model exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.errors import BufferPoolError
+from repro.storage.disk import DiskStore
+from repro.storage.page import Page
+from repro.storage.stats import IOStatistics
+
+_FrameKey = Tuple[str, int]
+
+
+class BufferPool:
+    """Write-back LRU cache of page frames."""
+
+    def __init__(self, store: DiskStore, stats: IOStatistics, capacity: int = 64):
+        if capacity < 0:
+            raise BufferPoolError(f"capacity must be >= 0, got {capacity}")
+        self.store = store
+        self.stats = stats
+        self.capacity = capacity
+        self._frames: "OrderedDict[_FrameKey, Page]" = OrderedDict()
+        self._dirty: set = set()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def fetch(self, file_name: str, page_no: int) -> Page:
+        """Return the page, loading it from the store on a miss."""
+        key = (file_name, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(key)
+            return frame
+        self.misses += 1
+        page = self.store.read_page(file_name, page_no)
+        self.stats.record_physical_read(file_name)
+        self._install(key, page)
+        return page
+
+    def put(self, file_name: str, page_no: int, page: Page, dirty: bool = True) -> None:
+        """Install a page image produced by the caller (e.g. a fresh append)."""
+        key = (file_name, page_no)
+        if self.capacity == 0:
+            # Nothing is retained in uncached mode; persist dirty images
+            # immediately, clean ones are already on the store.
+            if dirty:
+                self._writeback(key, page)
+            return
+        self._install(key, page)
+        if dirty:
+            self._dirty.add(key)
+
+    def mark_dirty(self, file_name: str, page_no: int) -> None:
+        key = (file_name, page_no)
+        if key not in self._frames:
+            raise BufferPoolError(f"page not resident: {key}")
+        self._dirty.add(key)
+
+    def _install(self, key: _FrameKey, page: Page) -> None:
+        if self.capacity == 0:
+            # Uncached mode retains nothing; a freshly fetched page is
+            # clean, so dropping it costs no write.
+            return
+        self._frames[key] = page
+        self._frames.move_to_end(key)
+        while len(self._frames) > self.capacity:
+            old_key, old_page = self._frames.popitem(last=False)
+            if old_key in self._dirty:
+                self._dirty.discard(old_key)
+                self._writeback(old_key, old_page)
+
+    def _writeback(self, key: _FrameKey, page: Page) -> None:
+        file_name, page_no = key
+        self.store.write_page(file_name, page_no, page)
+        self.stats.record_physical_write(file_name)
+
+    # ------------------------------------------------------------------
+    # Uncached-mode write path
+    # ------------------------------------------------------------------
+    def write_through(self, file_name: str, page_no: int, page: Page) -> None:
+        """Persist a modified page immediately (used when capacity == 0,
+        and by callers that need durability mid-run)."""
+        key = (file_name, page_no)
+        self._writeback(key, page)
+        if key in self._frames:
+            self._frames[key] = page
+            self._dirty.discard(key)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush_all(self) -> int:
+        """Write every dirty frame back; return the number written."""
+        written = 0
+        for key in list(self._dirty):
+            page = self._frames.get(key)
+            if page is not None:
+                self._writeback(key, page)
+                written += 1
+            self._dirty.discard(key)
+        return written
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop (without writeback) all frames of a file being destroyed."""
+        doomed = [key for key in self._frames if key[0] == file_name]
+        for key in doomed:
+            del self._frames[key]
+            self._dirty.discard(key)
+
+    def clear(self) -> None:
+        """Flush then empty the pool (e.g. between metered experiments)."""
+        self.flush_all()
+        self._frames.clear()
+        self._dirty.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,80 @@
+"""The simulated disk: a per-file array of page images.
+
+The paper's evaluation metric is the number of disk-page accesses, not
+wall-clock time on a particular device, so the backing store is an in-memory
+map from ``(file name, page number)`` to immutable page images. Every
+transfer to or from the store is a *physical* I/O and is recorded in
+:class:`~repro.storage.stats.IOStatistics` by the buffer pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import StorageError
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+
+
+class DiskStore:
+    """In-memory page store for any number of named files."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= 0:
+            raise StorageError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._files: Dict[str, List[bytes]] = {}
+
+    def create_file(self, name: str) -> None:
+        if name in self._files:
+            raise StorageError(f"file already exists: {name!r}")
+        self._files[name] = []
+
+    def drop_file(self, name: str) -> None:
+        if name not in self._files:
+            raise StorageError(f"no such file: {name!r}")
+        del self._files[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def file_names(self) -> List[str]:
+        return sorted(self._files)
+
+    def num_pages(self, name: str) -> int:
+        return len(self._pages(name))
+
+    def _pages(self, name: str) -> List[bytes]:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file: {name!r}") from None
+
+    def allocate_page(self, name: str) -> int:
+        """Extend the file by one zeroed page; return its page number."""
+        pages = self._pages(name)
+        pages.append(bytes(self.page_size))
+        return len(pages) - 1
+
+    def read_page(self, name: str, page_no: int) -> Page:
+        pages = self._pages(name)
+        if not 0 <= page_no < len(pages):
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+            )
+        return Page(self.page_size, pages[page_no])
+
+    def write_page(self, name: str, page_no: int, page: Page) -> None:
+        pages = self._pages(name)
+        if not 0 <= page_no < len(pages):
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+            )
+        if page.page_size != self.page_size:
+            raise StorageError(
+                f"page size mismatch: store {self.page_size}, page {page.page_size}"
+            )
+        pages[page_no] = page.image()
+
+    def total_pages(self) -> int:
+        """Pages across all files — the simulated database footprint."""
+        return sum(len(pages) for pages in self._files.values())

@@ -1,0 +1,96 @@
+"""Fixed-size page images with typed read/write helpers.
+
+A :class:`Page` wraps a mutable ``bytearray`` of exactly ``page_size`` bytes.
+Structured accessors (u16/u32/u64, bytes) bound-check every access so layout
+bugs surface as :class:`~repro.errors.PageError` instead of silent
+corruption. The default page size follows the paper's Table 2 (P = 4096).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PageError
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class Page:
+    """One page-sized byte image."""
+
+    __slots__ = ("page_size", "data")
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, data: bytes | None = None):
+        if page_size <= 0:
+            raise PageError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        if data is None:
+            self.data = bytearray(page_size)
+        else:
+            if len(data) != page_size:
+                raise PageError(
+                    f"page image must be exactly {page_size} bytes, got {len(data)}"
+                )
+            self.data = bytearray(data)
+
+    # ------------------------------------------------------------------
+    # Raw byte access
+    # ------------------------------------------------------------------
+    def _check_span(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.page_size:
+            raise PageError(
+                f"access [{offset}, {offset + length}) outside page of "
+                f"{self.page_size} bytes"
+            )
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        self._check_span(offset, length)
+        return bytes(self.data[offset : offset + length])
+
+    def write_bytes(self, offset: int, payload: bytes) -> None:
+        self._check_span(offset, len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+    # ------------------------------------------------------------------
+    # Typed accessors (little-endian)
+    # ------------------------------------------------------------------
+    def read_u16(self, offset: int) -> int:
+        self._check_span(offset, 2)
+        return struct.unpack_from("<H", self.data, offset)[0]
+
+    def write_u16(self, offset: int, value: int) -> None:
+        self._check_span(offset, 2)
+        if not 0 <= value <= 0xFFFF:
+            raise PageError(f"u16 out of range: {value}")
+        struct.pack_into("<H", self.data, offset, value)
+
+    def read_u32(self, offset: int) -> int:
+        self._check_span(offset, 4)
+        return struct.unpack_from("<I", self.data, offset)[0]
+
+    def write_u32(self, offset: int, value: int) -> None:
+        self._check_span(offset, 4)
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise PageError(f"u32 out of range: {value}")
+        struct.pack_into("<I", self.data, offset, value)
+
+    def read_u64(self, offset: int) -> int:
+        self._check_span(offset, 8)
+        return struct.unpack_from("<Q", self.data, offset)[0]
+
+    def write_u64(self, offset: int, value: int) -> None:
+        self._check_span(offset, 8)
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            raise PageError(f"u64 out of range: {value}")
+        struct.pack_into("<Q", self.data, offset, value)
+
+    def zero(self) -> None:
+        """Clear the whole page."""
+        self.data[:] = bytes(self.page_size)
+
+    def image(self) -> bytes:
+        """Immutable copy of the page contents."""
+        return bytes(self.data)
+
+    def __repr__(self) -> str:
+        return f"Page(size={self.page_size})"

@@ -1,0 +1,133 @@
+"""Paged file handles: the interface access methods program against.
+
+A :class:`PagedFile` mediates every page access of one named file through
+the buffer pool, recording *logical* reads and writes — the paper-model
+quantity — on each call regardless of cache residency.
+
+Mutation protocol: callers fetch a page with :meth:`read_page` (or create
+one with :meth:`append_page`), mutate the returned :class:`Page` in place,
+then call :meth:`write_page` to record the logical write and schedule
+write-back. Skipping ``write_page`` after mutating loses the change on
+eviction in cached mode and immediately in uncached mode — by design, since
+that is what forgetting to write a frame back does on a real system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskStore
+from repro.storage.page import Page
+from repro.storage.stats import IOStatistics
+
+
+class PagedFile:
+    """Handle to one named file in the simulated database."""
+
+    def __init__(
+        self,
+        name: str,
+        store: DiskStore,
+        pool: BufferPool,
+        stats: IOStatistics,
+    ):
+        self.name = name
+        self._store = store
+        self._pool = pool
+        self._stats = stats
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return self._store.page_size
+
+    @property
+    def num_pages(self) -> int:
+        return self._store.num_pages(self.name)
+
+    # ------------------------------------------------------------------
+    # Page operations
+    # ------------------------------------------------------------------
+    def read_page(self, page_no: int) -> Page:
+        """Fetch one page; counts one logical read."""
+        self._stats.record_logical_read(self.name)
+        return self._pool.fetch(self.name, page_no)
+
+    def write_page(self, page_no: int, page: Page) -> None:
+        """Record a logical write of a (mutated) page and persist it."""
+        if not 0 <= page_no < self.num_pages:
+            raise StorageError(
+                f"page {page_no} out of range for {self.name!r} "
+                f"({self.num_pages} pages)"
+            )
+        self._stats.record_logical_write(self.name)
+        if self._pool.capacity == 0:
+            self._pool.write_through(self.name, page_no, page)
+        else:
+            self._pool.put(self.name, page_no, page, dirty=True)
+
+    def append_page(self) -> Tuple[int, Page]:
+        """Allocate a zeroed page at the end of the file.
+
+        Counts one logical write (the append itself); further mutations of
+        the returned page must still go through :meth:`write_page` if the
+        caller wants them counted/persisted.
+        """
+        page_no = self._store.allocate_page(self.name)
+        page = Page(self.page_size)
+        self._stats.record_logical_write(self.name)
+        if self._pool.capacity == 0:
+            self._pool.write_through(self.name, page_no, page)
+        else:
+            self._pool.put(self.name, page_no, page, dirty=True)
+        return page_no, page
+
+    def scan_pages(self) -> Iterator[Tuple[int, Page]]:
+        """Full sequential scan; each yielded page counts one logical read."""
+        for page_no in range(self.num_pages):
+            yield page_no, self.read_page(page_no)
+
+    def __repr__(self) -> str:
+        return f"PagedFile({self.name!r}, pages={self.num_pages})"
+
+
+class StorageManager:
+    """Owns the disk, the buffer pool, the statistics, and the file table.
+
+    One manager per simulated database instance. ``pool_capacity = 0``
+    reproduces the paper's unbuffered cost model; larger pools are used by
+    the buffer-pool ablation bench.
+    """
+
+    def __init__(self, page_size: int = 4096, pool_capacity: int = 0):
+        self.stats = IOStatistics()
+        self.store = DiskStore(page_size=page_size)
+        self.pool = BufferPool(self.store, self.stats, capacity=pool_capacity)
+
+    @property
+    def page_size(self) -> int:
+        return self.store.page_size
+
+    def create_file(self, name: str) -> PagedFile:
+        self.store.create_file(name)
+        return PagedFile(name, self.store, self.pool, self.stats)
+
+    def open_file(self, name: str) -> PagedFile:
+        if not self.store.exists(name):
+            raise StorageError(f"no such file: {name!r}")
+        return PagedFile(name, self.store, self.pool, self.stats)
+
+    def drop_file(self, name: str) -> None:
+        self.pool.invalidate_file(name)
+        self.store.drop_file(name)
+
+    def snapshot(self):
+        """Current I/O snapshot (delegates to :class:`IOStatistics`)."""
+        return self.stats.snapshot()
+
+    def flush(self) -> int:
+        return self.pool.flush_all()

@@ -1,0 +1,143 @@
+"""I/O accounting for the paged storage substrate.
+
+The paper's cost model is expressed in *page accesses*. The simulator tracks
+two layers of counts per file:
+
+``logical reads / writes``
+    Every page the executing algorithm touches, whether or not the buffer
+    pool already holds it. This is the quantity the paper's equations
+    predict (they assume no buffering between steps).
+
+``physical reads / writes``
+    Pages actually moved between the buffer pool and the backing store
+    (misses and dirty evictions/flushes). Useful for the buffer-pool
+    ablation bench.
+
+Counters are cheap plain ints; snapshots are immutable and subtractable so
+an experiment can meter a single query as ``after - before``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class FileIOCounts:
+    """Immutable per-file counters."""
+
+    logical_reads: int = 0
+    logical_writes: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    @property
+    def logical_total(self) -> int:
+        return self.logical_reads + self.logical_writes
+
+    @property
+    def physical_total(self) -> int:
+        return self.physical_reads + self.physical_writes
+
+    def __sub__(self, other: "FileIOCounts") -> "FileIOCounts":
+        return FileIOCounts(
+            self.logical_reads - other.logical_reads,
+            self.logical_writes - other.logical_writes,
+            self.physical_reads - other.physical_reads,
+            self.physical_writes - other.physical_writes,
+        )
+
+    def __add__(self, other: "FileIOCounts") -> "FileIOCounts":
+        return FileIOCounts(
+            self.logical_reads + other.logical_reads,
+            self.logical_writes + other.logical_writes,
+            self.physical_reads + other.physical_reads,
+            self.physical_writes + other.physical_writes,
+        )
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """A frozen view of every file's counters at one instant."""
+
+    per_file: Mapping[str, FileIOCounts] = field(default_factory=dict)
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        names = set(self.per_file) | set(other.per_file)
+        zero = FileIOCounts()
+        return IOSnapshot(
+            {
+                name: self.per_file.get(name, zero) - other.per_file.get(name, zero)
+                for name in names
+            }
+        )
+
+    def total(self) -> FileIOCounts:
+        result = FileIOCounts()
+        for counts in self.per_file.values():
+            result = result + counts
+        return result
+
+    def for_file(self, name: str) -> FileIOCounts:
+        return self.per_file.get(name, FileIOCounts())
+
+    def files(self) -> Iterator[Tuple[str, FileIOCounts]]:
+        return iter(sorted(self.per_file.items()))
+
+    @property
+    def logical_total(self) -> int:
+        return self.total().logical_total
+
+    @property
+    def physical_total(self) -> int:
+        return self.total().physical_total
+
+
+class IOStatistics:
+    """Mutable counter registry shared by a storage manager's files."""
+
+    def __init__(self) -> None:
+        self._logical_reads: Dict[str, int] = {}
+        self._logical_writes: Dict[str, int] = {}
+        self._physical_reads: Dict[str, int] = {}
+        self._physical_writes: Dict[str, int] = {}
+
+    def record_logical_read(self, file_name: str, pages: int = 1) -> None:
+        self._logical_reads[file_name] = self._logical_reads.get(file_name, 0) + pages
+
+    def record_logical_write(self, file_name: str, pages: int = 1) -> None:
+        self._logical_writes[file_name] = self._logical_writes.get(file_name, 0) + pages
+
+    def record_physical_read(self, file_name: str, pages: int = 1) -> None:
+        self._physical_reads[file_name] = self._physical_reads.get(file_name, 0) + pages
+
+    def record_physical_write(self, file_name: str, pages: int = 1) -> None:
+        self._physical_writes[file_name] = (
+            self._physical_writes.get(file_name, 0) + pages
+        )
+
+    def snapshot(self) -> IOSnapshot:
+        names = (
+            set(self._logical_reads)
+            | set(self._logical_writes)
+            | set(self._physical_reads)
+            | set(self._physical_writes)
+        )
+        return IOSnapshot(
+            {
+                name: FileIOCounts(
+                    self._logical_reads.get(name, 0),
+                    self._logical_writes.get(name, 0),
+                    self._physical_reads.get(name, 0),
+                    self._physical_writes.get(name, 0),
+                )
+                for name in names
+            }
+        )
+
+    def reset(self) -> None:
+        self._logical_reads.clear()
+        self._logical_writes.clear()
+        self._physical_reads.clear()
+        self._physical_writes.clear()

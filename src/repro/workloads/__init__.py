@@ -1,0 +1,32 @@
+"""Workload generators: the Section 4 synthetic workload and the Section 1
+university sample database."""
+
+from repro.workloads.generator import (
+    EVAL_ATTRIBUTE,
+    EVAL_CLASS,
+    SetWorkloadGenerator,
+    WorkloadSpec,
+    load_workload,
+    query_sets_for_sweep,
+)
+from repro.workloads.university import (
+    COURSE_CATEGORIES,
+    HOBBY_POOL,
+    UniversityDatabase,
+    build_university,
+    define_university_schema,
+)
+
+__all__ = [
+    "COURSE_CATEGORIES",
+    "EVAL_ATTRIBUTE",
+    "EVAL_CLASS",
+    "HOBBY_POOL",
+    "SetWorkloadGenerator",
+    "UniversityDatabase",
+    "WorkloadSpec",
+    "build_university",
+    "define_university_schema",
+    "load_workload",
+    "query_sets_for_sweep",
+]

@@ -1,0 +1,234 @@
+"""Workload generation under the paper's Section 4 assumptions.
+
+The evaluation database has ``N`` objects, each with an indexed set
+attribute of exactly ``Dt`` elements drawn uniformly without replacement
+from a domain of cardinality ``V`` (integers ``0 .. V−1`` here; any
+hashable element type works). Query sets are drawn the same way with
+cardinality ``Dq`` — or, for *successful-search* experiments, derived from
+a stored target so that actual drops are guaranteed.
+
+All randomness flows from an explicit seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The Section 4 synthetic workload at one design point.
+
+    ``zipf_exponent > 0`` replaces the paper's uniform element choice with
+    a Zipf-distributed one (element ``k`` drawn with weight ``1/(k+1)^s``)
+    — real set attributes are rarely uniform, and skew stresses the nested
+    index's per-element posting lists while leaving signature behaviour
+    almost unchanged (the skew ablation bench quantifies this).
+    """
+
+    num_objects: int           # N
+    domain_cardinality: int    # V
+    target_cardinality: int    # Dt
+    seed: int = 0
+    variable_cardinality: bool = False  # §6 extension: Dt varies per object
+    zipf_exponent: float = 0.0          # 0 = the paper's uniform domain
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 0:
+            raise ConfigurationError(f"N must be >= 0, got {self.num_objects}")
+        if self.domain_cardinality <= 0:
+            raise ConfigurationError(
+                f"V must be positive, got {self.domain_cardinality}"
+            )
+        if not 0 <= self.target_cardinality <= self.domain_cardinality:
+            raise ConfigurationError(
+                f"Dt must lie in [0, V], got {self.target_cardinality}"
+            )
+        if self.zipf_exponent < 0:
+            raise ConfigurationError(
+                f"zipf_exponent must be >= 0, got {self.zipf_exponent}"
+            )
+
+
+class SetWorkloadGenerator:
+    """Draws target sets and query sets for one workload spec."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._domain = range(spec.domain_cardinality)
+        if spec.zipf_exponent > 0:
+            weights = [
+                1.0 / (k + 1) ** spec.zipf_exponent
+                for k in range(spec.domain_cardinality)
+            ]
+            total = sum(weights)
+            self._cumulative = []
+            running = 0.0
+            for weight in weights:
+                running += weight / total
+                self._cumulative.append(running)
+        else:
+            self._cumulative = None
+
+    def _draw_skewed_set(self, cardinality: int) -> FrozenSet[int]:
+        """Distinct Zipf-weighted elements via rejection over the CDF."""
+        import bisect
+
+        if cardinality > self.spec.domain_cardinality:
+            raise ConfigurationError(
+                f"cannot draw {cardinality} distinct elements from a domain "
+                f"of {self.spec.domain_cardinality}"
+            )
+        chosen = set()
+        # Rejection is cheap until the set saturates the hot head; past a
+        # generous attempt budget, fill the remainder uniformly from the
+        # unchosen tail so termination is unconditional.
+        attempts = 0
+        budget = 50 * max(cardinality, 1)
+        while len(chosen) < cardinality and attempts < budget:
+            point = self._rng.random()
+            chosen.add(bisect.bisect_left(self._cumulative, point))
+            attempts += 1
+        if len(chosen) < cardinality:
+            remaining = [v for v in self._domain if v not in chosen]
+            chosen.update(
+                self._rng.sample(remaining, cardinality - len(chosen))
+            )
+        return frozenset(chosen)
+
+    # ------------------------------------------------------------------
+    # Target sets
+    # ------------------------------------------------------------------
+    def target_cardinality_for(self, index: int) -> int:
+        """Dt for the ``index``-th object.
+
+        Fixed at ``spec.target_cardinality`` normally; under the
+        variable-cardinality extension it is uniform in
+        ``[1, 2·Dt − 1]`` (mean Dt), per object, deterministically.
+        """
+        if not self.spec.variable_cardinality:
+            return self.spec.target_cardinality
+        # Derived deterministically from (seed, index); str hashing is
+        # process-salted in Python, so only arithmetic mixing is safe here.
+        rng = random.Random(self.spec.seed * 1_000_003 + index * 7919 + 17)
+        return rng.randint(1, max(1, 2 * self.spec.target_cardinality - 1))
+
+    def target_sets(self) -> Iterator[FrozenSet[int]]:
+        """``N`` random target sets."""
+        for index in range(self.spec.num_objects):
+            cardinality = self.target_cardinality_for(index)
+            if self._cumulative is not None:
+                yield self._draw_skewed_set(cardinality)
+            else:
+                yield frozenset(self._rng.sample(self._domain, cardinality))
+
+    # ------------------------------------------------------------------
+    # Query sets
+    # ------------------------------------------------------------------
+    def random_query_set(self, cardinality: int) -> FrozenSet[int]:
+        """A Dq-element query set drawn uniformly from the domain."""
+        if not 0 <= cardinality <= self.spec.domain_cardinality:
+            raise ConfigurationError(
+                f"Dq must lie in [0, V], got {cardinality}"
+            )
+        return frozenset(self._rng.sample(self._domain, cardinality))
+
+    def skewed_query_set(self, cardinality: int) -> FrozenSet[int]:
+        """A Dq-element query drawn with the spec's Zipf weights.
+
+        Skewed queries hit the hot head of the domain — the worst case for
+        posting-list facilities. Requires ``zipf_exponent > 0``.
+        """
+        if self._cumulative is None:
+            raise ConfigurationError(
+                "skewed_query_set requires a zipf_exponent > 0 workload"
+            )
+        return self._draw_skewed_set(cardinality)
+
+    def hot_elements(self, count: int) -> FrozenSet[int]:
+        """The ``count`` most-probable domain elements (Zipf head)."""
+        if count > self.spec.domain_cardinality:
+            raise ConfigurationError(
+                f"domain has only {self.spec.domain_cardinality} elements"
+            )
+        return frozenset(range(count))
+
+    def subquery_of(self, target: Sequence[int], cardinality: int) -> FrozenSet[int]:
+        """A query set ⊆ a given target — guarantees a ``T ⊇ Q`` hit."""
+        target = list(target)
+        if cardinality > len(target):
+            raise ConfigurationError(
+                f"cannot draw {cardinality} elements from a target of "
+                f"{len(target)}"
+            )
+        return frozenset(self._rng.sample(target, cardinality))
+
+    def superquery_of(self, target: Sequence[int], cardinality: int) -> FrozenSet[int]:
+        """A query set ⊇ a given target — guarantees a ``T ⊆ Q`` hit."""
+        target_set = set(target)
+        if cardinality < len(target_set):
+            raise ConfigurationError(
+                f"superquery of {cardinality} cannot cover a target of "
+                f"{len(target_set)}"
+            )
+        remaining = [v for v in self._domain if v not in target_set]
+        extra = self._rng.sample(remaining, cardinality - len(target_set))
+        return frozenset(target_set) | frozenset(extra)
+
+
+#: Name of the synthetic evaluation class and its indexed attribute.
+EVAL_CLASS = "EvalObject"
+EVAL_ATTRIBUTE = "elements"
+
+
+def load_workload(
+    database: Database,
+    spec: WorkloadSpec,
+    class_name: str = EVAL_CLASS,
+    attribute: str = EVAL_ATTRIBUTE,
+) -> List:
+    """Create the evaluation class and populate ``N`` objects.
+
+    Returns the inserted OIDs in insertion order. Indexes created on the
+    database *before* loading are maintained incrementally (measuring
+    insert costs); indexes created after are backfilled by the facade.
+    """
+    if class_name not in database.objects.class_names():
+        database.define_class(ClassSchema.build(class_name, **{attribute: "set"}))
+    generator = SetWorkloadGenerator(spec)
+    oids = []
+    for target in generator.target_sets():
+        oids.append(database.insert(class_name, {attribute: set(target)}))
+    return oids
+
+
+def query_sets_for_sweep(
+    spec: WorkloadSpec,
+    cardinalities: Sequence[int],
+    queries_per_point: int = 1,
+    seed_offset: int = 1,
+) -> dict:
+    """Unsuccessful-search query sets for a Dq sweep, keyed by Dq.
+
+    Uses an independent RNG stream (``seed + seed_offset``) so queries are
+    uncorrelated with the stored targets — the paper's unsuccessful-search
+    regime where essentially every drop is false.
+    """
+    rng_spec = WorkloadSpec(
+        num_objects=0,
+        domain_cardinality=spec.domain_cardinality,
+        target_cardinality=spec.target_cardinality,
+        seed=spec.seed + seed_offset,
+    )
+    generator = SetWorkloadGenerator(rng_spec)
+    return {
+        dq: [generator.random_query_set(dq) for _ in range(queries_per_point)]
+        for dq in cardinalities
+    }

@@ -1,0 +1,111 @@
+"""The paper's Section 1 sample database: Students, Courses, Teachers.
+
+Builds the motivating schema —
+
+* ``Teacher``  [name]
+* ``Course``   [name, category, teacher: Teacher]
+* ``Student``  [name, courses: set of Course OIDs, hobbies: set of strings]
+
+— and populates it with a deterministic synthetic campus so the examples
+and tests can run the paper's two motivating queries:
+
+1. *"Find all students who take all of the lectures in the DB category"*
+   (``courses has-subset <OIDs of DB courses>``);
+2. the hobby queries Q1/Q2 (``hobbies has-subset / in-subset …``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.objects.database import Database
+from repro.objects.oid import OID
+from repro.objects.schema import ClassSchema
+
+HOBBY_POOL = [
+    "Baseball", "Fishing", "Tennis", "Football", "Golf", "Chess",
+    "Photography", "Climbing", "Cycling", "Painting", "Cooking", "Sailing",
+    "Running", "Skiing", "Reading", "Gardening", "Astronomy", "Archery",
+]
+
+COURSE_CATEGORIES = {
+    "DB": ["DB Theory", "Query Processing", "Transaction Management"],
+    "OS": ["Operating Systems", "Distributed Systems"],
+    "AI": ["Machine Learning", "Knowledge Representation"],
+    "PL": ["Compilers", "Type Systems"],
+}
+
+FIRST_NAMES = [
+    "Jeff", "Aiko", "Maria", "Chen", "Ravi", "Lena", "Tomas", "Yuki",
+    "Sara", "Omar", "Ines", "Pavel", "Mina", "Kofi", "Elsa", "Hugo",
+]
+
+
+@dataclass
+class UniversityDatabase:
+    """Handle bundling the database with the OIDs it created."""
+
+    database: Database
+    teachers: List[OID] = field(default_factory=list)
+    courses: Dict[str, List[OID]] = field(default_factory=dict)  # category → OIDs
+    students: List[OID] = field(default_factory=list)
+
+    def course_oids(self, category: str) -> List[OID]:
+        return list(self.courses.get(category, []))
+
+    def all_course_oids(self) -> List[OID]:
+        return [oid for oids in self.courses.values() for oid in oids]
+
+
+def define_university_schema(database: Database) -> None:
+    """Install the three Section 1 classes."""
+    database.define_class(ClassSchema.build("Teacher", name="scalar"))
+    database.define_class(
+        ClassSchema.build(
+            "Course", name="scalar", category="scalar", teacher="scalar:Teacher"
+        )
+    )
+    database.define_class(
+        ClassSchema.build(
+            "Student", name="scalar", courses="set:Course", hobbies="set"
+        )
+    )
+
+
+def build_university(
+    num_students: int = 200,
+    hobbies_per_student: int = 3,
+    courses_per_student: int = 4,
+    seed: int = 7,
+    page_size: int = 4096,
+    pool_capacity: int = 0,
+) -> UniversityDatabase:
+    """Create and populate the sample campus."""
+    rng = random.Random(seed)
+    database = Database(page_size=page_size, pool_capacity=pool_capacity)
+    define_university_schema(database)
+    campus = UniversityDatabase(database=database)
+
+    for i, category in enumerate(sorted(COURSE_CATEGORIES)):
+        teacher = database.insert("Teacher", {"name": f"Prof. {chr(65 + i)}"})
+        campus.teachers.append(teacher)
+        campus.courses[category] = [
+            database.insert(
+                "Course", {"name": name, "category": category, "teacher": teacher}
+            )
+            for name in COURSE_CATEGORIES[category]
+        ]
+
+    all_courses = campus.all_course_oids()
+    for i in range(num_students):
+        name = f"{rng.choice(FIRST_NAMES)}-{i:04d}"
+        hobbies = set(rng.sample(HOBBY_POOL, hobbies_per_student))
+        courses = set(rng.sample(all_courses, min(courses_per_student, len(all_courses))))
+        campus.students.append(
+            database.insert(
+                "Student", {"name": name, "hobbies": hobbies, "courses": courses}
+            )
+        )
+    return campus

@@ -1,0 +1,250 @@
+"""Tests for the Bit-Sliced Signature File."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+def make_bssf(F=64, m=2, page_size=256, seed=0, worst_case=False):
+    """Small pages (256 B = 2048 entries/slice page) keep tests fast."""
+    manager = StorageManager(page_size=page_size, pool_capacity=0)
+    scheme = SignatureScheme(F, m, seed=seed)
+    facility = BitSlicedSignatureFile(
+        manager, scheme, worst_case_insert=worst_case
+    )
+    return facility, manager
+
+
+def load(bssf, sets):
+    oids = []
+    for i, elements in enumerate(sets):
+        oid = OID(1, i)
+        bssf.insert(frozenset(elements), oid)
+        oids.append(oid)
+    return oids
+
+
+RNG_SETS = [
+    frozenset(random.Random(100 + i).sample(range(40), 4)) for i in range(60)
+]
+
+
+class TestInsert:
+    def test_slice_files_materialized_uniformly(self):
+        bssf, _ = make_bssf()
+        load(bssf, RNG_SETS[:10])
+        assert bssf.slice_pages == 1
+        bssf.verify()
+
+    def test_storage_cost_is_f_slices_plus_oid(self):
+        bssf, _ = make_bssf(F=64)
+        load(bssf, RNG_SETS[:10])
+        pages = bssf.storage_pages()
+        assert pages["slices"] == 64
+        assert pages["oid"] == 1
+
+    def test_expected_insert_touches_about_m_slices(self):
+        bssf, manager = make_bssf(F=64, m=2)
+        load(bssf, RNG_SETS[:5])
+        before = manager.snapshot()
+        bssf.insert(frozenset({991, 992}), OID(1, 99))
+        delta = manager.snapshot() - before
+        slice_touches = sum(
+            counts.logical_total
+            for name, counts in delta.per_file.items()
+            if ":slice:" in name
+        )
+        # two elements × m=2 → at most 4 distinct slices, read+write each
+        assert 2 <= slice_touches <= 8
+
+    def test_worst_case_insert_touches_every_slice(self):
+        bssf, manager = make_bssf(F=32, m=2, worst_case=True)
+        load(bssf, RNG_SETS[:3])
+        before = manager.snapshot()
+        bssf.insert(frozenset({5}), OID(1, 99))
+        delta = manager.snapshot() - before
+        touched_slices = sum(
+            1 for name, counts in delta.per_file.items()
+            if ":slice:" in name and counts.logical_total > 0
+        )
+        assert touched_slices == 32  # the model's F term
+
+    def test_second_slice_page_allocated_on_overflow(self):
+        bssf, _ = make_bssf(F=8, m=1, page_size=64)  # 512 entries/page
+        load(bssf, [{i % 30} for i in range(513)])
+        assert bssf.slice_pages == 2
+        bssf.verify()
+
+
+class TestReadSlice:
+    def test_reflects_inserted_bits(self):
+        bssf, _ = make_bssf(F=64, m=2)
+        sets = [{1}, {2}, {1}]
+        load(bssf, sets)
+        positions = bssf.scheme.hasher.positions(1)
+        column = bssf.read_slice(positions[0])
+        assert column.tolist()[:3] == [True, False, True]
+
+    def test_bounds_checked(self):
+        bssf, _ = make_bssf(F=8)
+        with pytest.raises(AccessFacilityError):
+            bssf.read_slice(8)
+
+    def test_empty_file(self):
+        bssf, _ = make_bssf()
+        assert bssf.read_slice(0).size == 0
+
+    def test_costs_slice_pages_reads(self):
+        bssf, manager = make_bssf(F=16, m=1, page_size=64)
+        load(bssf, [{i % 20} for i in range(600)])  # 2 pages/slice
+        before = manager.snapshot()
+        bssf.read_slice(3)
+        delta = manager.snapshot() - before
+        total = sum(
+            counts.logical_reads for name, counts in delta.per_file.items()
+            if ":slice:" in name
+        )
+        assert total == 2
+
+
+class TestSupersetSearch:
+    def test_no_false_dismissals(self):
+        bssf, _ = make_bssf()
+        oids = load(bssf, RNG_SETS)
+        query = frozenset(list(RNG_SETS[3])[:2])
+        expected = {oid for oid, s in zip(oids, RNG_SETS) if s >= query}
+        result = bssf.search_superset(query)
+        assert expected <= set(result.candidates)
+
+    def test_reads_at_most_query_weight_slices(self):
+        bssf, _ = make_bssf(F=64, m=2)
+        load(bssf, RNG_SETS)
+        query = frozenset({1, 2, 3})
+        weight = bssf.scheme.set_signature(query).popcount()
+        result = bssf.search_superset(query)
+        assert result.detail["slices_read"] <= weight
+
+    def test_partial_query_reads_fewer_slices(self):
+        bssf, _ = make_bssf(F=256, m=2)
+        load(bssf, RNG_SETS)
+        query = frozenset(list(RNG_SETS[0]) )
+        full = bssf.search_superset(query).detail["slices_read"]
+        partial = bssf.search_superset(query, use_elements=1).detail["slices_read"]
+        assert partial <= full
+        assert partial <= 2  # one element × m=2
+
+    def test_empty_query_returns_everything(self):
+        bssf, _ = make_bssf()
+        oids = load(bssf, RNG_SETS[:6])
+        result = bssf.search_superset(frozenset())
+        assert set(result.candidates) == set(oids)
+
+    def test_use_elements_validated(self):
+        bssf, _ = make_bssf()
+        load(bssf, RNG_SETS[:3])
+        with pytest.raises(AccessFacilityError):
+            bssf.search_superset(frozenset({1}), use_elements=0)
+
+
+class TestSubsetSearch:
+    def test_no_false_dismissals(self):
+        bssf, _ = make_bssf()
+        oids = load(bssf, RNG_SETS)
+        query = frozenset(range(12))
+        expected = {oid for oid, s in zip(oids, RNG_SETS) if s <= query}
+        result = bssf.search_subset(query)
+        assert expected <= set(result.candidates)
+
+    def test_slice_budget_respected(self):
+        bssf, _ = make_bssf(F=64, m=2)
+        load(bssf, RNG_SETS)
+        result = bssf.search_subset(frozenset({1, 2}), slices_to_examine=5)
+        assert result.detail["slices_read"] <= 5
+
+    def test_budget_zero_drops_everything(self):
+        bssf, _ = make_bssf()
+        oids = load(bssf, RNG_SETS[:7])
+        result = bssf.search_subset(frozenset({1}), slices_to_examine=0)
+        assert set(result.candidates) == set(oids)
+
+    def test_smaller_budget_never_loses_answers(self):
+        bssf, _ = make_bssf()
+        oids = load(bssf, RNG_SETS)
+        by_oid = dict(zip(oids, RNG_SETS))
+        query = frozenset(range(10))
+        truth = {oid for oid, s in by_oid.items() if s <= query}
+        for budget in (0, 3, 10, 40):
+            candidates = set(
+                bssf.search_subset(query, slices_to_examine=budget).candidates
+            )
+            assert truth <= candidates
+
+    def test_negative_budget_rejected(self):
+        bssf, _ = make_bssf()
+        with pytest.raises(AccessFacilityError):
+            bssf.search_subset(frozenset({1}), slices_to_examine=-1)
+
+    def test_empty_target_always_drops(self):
+        bssf, _ = make_bssf()
+        oid = OID(1, 0)
+        bssf.insert(frozenset(), oid)
+        assert oid in bssf.search_subset(frozenset({3})).candidates
+
+
+class TestOverlapSearch:
+    def test_no_false_dismissals(self):
+        bssf, _ = make_bssf()
+        oids = load(bssf, RNG_SETS)
+        query = frozenset({7, 21})
+        expected = {oid for oid, s in zip(oids, RNG_SETS) if s & query}
+        assert expected <= set(bssf.search_overlap(query).candidates)
+
+    def test_empty_query_matches_nothing(self):
+        bssf, _ = make_bssf()
+        load(bssf, RNG_SETS[:4])
+        assert bssf.search_overlap(frozenset()).candidates == []
+
+
+class TestDelete:
+    def test_tombstone_filters_results(self):
+        bssf, _ = make_bssf()
+        oids = load(bssf, [{1, 2}, {1, 3}])
+        bssf.delete(frozenset({1, 2}), oids[0])
+        result = bssf.search_superset(frozenset({1}))
+        assert oids[0] not in result.candidates
+        assert oids[1] in result.candidates
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sets=st.lists(
+        st.frozensets(st.integers(0, 25), max_size=5), min_size=1, max_size=20
+    ),
+    query=st.frozensets(st.integers(0, 25), min_size=1, max_size=5),
+)
+def test_property_bssf_matches_ssf_drops(sets, query):
+    """BSSF and SSF share the scheme, so their drop sets must be identical."""
+    from repro.access.ssf import SequentialSignatureFile
+
+    manager = StorageManager(page_size=256, pool_capacity=0)
+    scheme = SignatureScheme(64, 2, seed=5)
+    bssf = BitSlicedSignatureFile(manager, scheme)
+    ssf = SequentialSignatureFile(manager, scheme)
+    for i, elements in enumerate(sets):
+        oid = OID(1, i)
+        bssf.insert(elements, oid)
+        ssf.insert(elements, oid)
+    assert set(bssf.search_superset(query).candidates) == set(
+        ssf.search_superset(query).candidates
+    )
+    assert set(bssf.search_subset(query).candidates) == set(
+        ssf.search_subset(query).candidates
+    )

@@ -1,0 +1,215 @@
+"""Tests for the paged B+-tree (keys → OID lists)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.nix.btree import BPlusTree
+from repro.access.nix.keycodec import encode_key
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+def make_tree(page_size=256):
+    """Tiny pages force frequent splits, exercising the structure hard."""
+    manager = StorageManager(page_size=page_size, pool_capacity=0)
+    return BPlusTree(manager.create_file("btree")), manager
+
+
+def k(value) -> bytes:
+    return encode_key(value)
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree, _ = make_tree()
+        assert tree.lookup(k("missing")) == []
+        assert tree.height == 0
+        assert tree.key_count() == 0
+        tree.verify()
+
+    def test_single_insert_lookup(self):
+        tree, _ = make_tree()
+        tree.insert(k("Baseball"), OID(1, 5))
+        assert tree.lookup(k("Baseball")) == [OID(1, 5)]
+        assert tree.contains_key(k("Baseball"))
+        assert not tree.contains_key(k("Fishing"))
+
+    def test_posting_list_accumulates_sorted(self):
+        tree, _ = make_tree()
+        for serial in (5, 1, 3):
+            tree.insert(k("x"), OID(1, serial))
+        assert tree.lookup(k("x")) == [OID(1, 1), OID(1, 3), OID(1, 5)]
+
+    def test_duplicate_insert_ignored(self):
+        tree, _ = make_tree()
+        assert tree.insert(k("x"), OID(1, 1))
+        assert not tree.insert(k("x"), OID(1, 1))
+        assert tree.lookup(k("x")) == [OID(1, 1)]
+
+    def test_lookup_cost_is_height_plus_one(self):
+        tree, manager = make_tree()
+        for i in range(200):
+            tree.insert(k(i), OID(1, i))
+        before = manager.snapshot()
+        tree.lookup(k(77))
+        delta = manager.snapshot() - before
+        assert delta.for_file("btree").logical_reads == tree.height + 1
+
+
+class TestSplits:
+    def test_leaf_split_grows_height(self):
+        tree, _ = make_tree()
+        i = 0
+        while tree.height == 0:
+            tree.insert(k(i), OID(1, i))
+            i += 1
+            assert i < 1000, "tree never split"
+        tree.verify()
+        for j in range(i):
+            assert tree.lookup(k(j)) == [OID(1, j)]
+
+    def test_multi_level_growth(self):
+        tree, _ = make_tree(page_size=128)
+        n = 600
+        for i in range(n):
+            tree.insert(k(i), OID(1, i))
+        assert tree.height >= 2
+        tree.verify()
+        for i in range(0, n, 17):
+            assert tree.lookup(k(i)) == [OID(1, i)]
+
+    def test_random_insert_order(self):
+        tree, _ = make_tree(page_size=128)
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        for i in keys:
+            tree.insert(k(i), OID(1, i))
+        tree.verify()
+        assert tree.key_count() == 500
+
+    def test_root_page_number_stable_across_splits(self):
+        tree, _ = make_tree()
+        root_before = tree.root_page
+        for i in range(300):
+            tree.insert(k(i), OID(1, i))
+        assert tree.root_page == root_before
+
+    def test_wide_posting_lists_split_leaves(self):
+        tree, _ = make_tree(page_size=256)
+        for key_index in range(20):
+            for serial in range(10):
+                tree.insert(k(key_index), OID(1, key_index * 100 + serial))
+        tree.verify()
+        for key_index in range(20):
+            assert len(tree.lookup(k(key_index))) == 10
+
+    def test_posting_list_page_overflow_rejected(self):
+        tree, _ = make_tree(page_size=256)
+        with pytest.raises(AccessFacilityError):
+            for serial in range(100):  # 256-byte page caps the list well below
+                tree.insert(k("hot"), OID(1, serial))
+
+
+class TestDelete:
+    def test_delete_oid_from_list(self):
+        tree, _ = make_tree()
+        tree.insert(k("x"), OID(1, 1))
+        tree.insert(k("x"), OID(1, 2))
+        assert tree.delete(k("x"), OID(1, 1))
+        assert tree.lookup(k("x")) == [OID(1, 2)]
+
+    def test_delete_last_oid_removes_entry(self):
+        tree, _ = make_tree()
+        tree.insert(k("x"), OID(1, 1))
+        tree.delete(k("x"), OID(1, 1))
+        assert not tree.contains_key(k("x"))
+        tree.verify()
+
+    def test_delete_missing_returns_false(self):
+        tree, _ = make_tree()
+        tree.insert(k("x"), OID(1, 1))
+        assert not tree.delete(k("x"), OID(1, 9))
+        assert not tree.delete(k("y"), OID(1, 1))
+
+    def test_delete_in_deep_tree(self):
+        tree, _ = make_tree(page_size=128)
+        for i in range(400):
+            tree.insert(k(i), OID(1, i))
+        for i in range(0, 400, 2):
+            assert tree.delete(k(i), OID(1, i))
+        tree.verify()
+        assert tree.key_count() == 200
+        assert tree.lookup(k(0)) == []
+        assert tree.lookup(k(1)) == [OID(1, 1)]
+
+
+class TestScans:
+    def test_iterate_entries_in_key_order(self):
+        tree, _ = make_tree()
+        values = [30, 10, 20, 5, 25]
+        for v in values:
+            tree.insert(k(v), OID(1, v))
+        keys = [key for key, _ in tree.iterate_entries()]
+        assert keys == sorted(k(v) for v in values)
+
+    def test_range_lookup(self):
+        tree, _ = make_tree(page_size=128)
+        for i in range(100):
+            tree.insert(k(i), OID(1, i))
+        window = list(tree.range_lookup(k(10), k(20)))
+        assert [key for key, _ in window] == [k(i) for i in range(10, 20)]
+
+    def test_range_lookup_open_ended(self):
+        tree, _ = make_tree()
+        for i in range(10):
+            tree.insert(k(i), OID(1, i))
+        assert len(list(tree.range_lookup(None, None))) == 10
+        assert len(list(tree.range_lookup(k(5), None))) == 5
+        assert len(list(tree.range_lookup(None, k(5)))) == 5
+
+
+class TestPageAccounting:
+    def test_leaf_and_nonleaf_pages(self):
+        tree, _ = make_tree(page_size=128)
+        for i in range(500):
+            tree.insert(k(i), OID(1, i))
+        leaves, internals = tree.leaf_and_nonleaf_pages()
+        assert leaves >= 2
+        assert internals >= 1
+        assert leaves + internals <= tree.num_pages
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(0, 30),
+            st.integers(0, 8),
+        ),
+        max_size=120,
+    )
+)
+def test_property_tree_matches_dict_model(operations):
+    """The tree must behave exactly like a dict of sorted OID sets."""
+    tree, _ = make_tree(page_size=128)
+    model = {}
+    for op, key_val, serial in operations:
+        key, oid = k(key_val), OID(1, serial)
+        if op == "insert":
+            tree.insert(key, oid)
+            model.setdefault(key, set()).add(oid)
+        else:
+            tree.delete(key, oid)
+            if key in model:
+                model[key].discard(oid)
+                if not model[key]:
+                    del model[key]
+    tree.verify()
+    for key, oids in model.items():
+        assert tree.lookup(key) == sorted(oids)
+    assert tree.key_count() == len(model)

@@ -1,0 +1,234 @@
+"""Tests for bulk index construction (SSF, BSSF, NIX, B+-tree)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.nix import NestedIndex
+from repro.access.nix.btree import BPlusTree
+from repro.access.nix.keycodec import encode_key
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+def make_pairs(count: int, seed: int = 0, domain: int = 60, size: int = 5):
+    rng = random.Random(seed)
+    return [
+        (frozenset(rng.sample(range(domain), size)), OID(1, i))
+        for i in range(count)
+    ]
+
+
+def incremental_twin(facility_cls, pairs, **kwargs):
+    manager = StorageManager(page_size=4096, pool_capacity=0)
+    if facility_cls is NestedIndex:
+        facility = NestedIndex(manager, file_prefix="twin")
+    else:
+        scheme = SignatureScheme(64, 2, seed=1)
+        facility = facility_cls(manager, scheme, file_prefix="twin", **kwargs)
+    for elements, oid in pairs:
+        facility.insert(elements, oid)
+    return facility
+
+
+class TestSSFBulkLoad:
+    def _bulk(self, pairs):
+        manager = StorageManager(page_size=4096, pool_capacity=0)
+        ssf = SequentialSignatureFile(manager, SignatureScheme(64, 2, seed=1))
+        ssf.bulk_load(pairs)
+        return ssf, manager
+
+    def test_matches_incremental(self):
+        pairs = make_pairs(150)
+        bulk, _ = self._bulk(pairs)
+        twin = incremental_twin(SequentialSignatureFile, pairs)
+        query = frozenset(list(pairs[3][0])[:2])
+        assert bulk.search_superset(query).candidates == twin.search_superset(
+            query
+        ).candidates
+        assert bulk.entry_count == 150
+        bulk.verify()
+
+    def test_page_writes_scale_with_pages_not_entries(self):
+        pairs = make_pairs(600)
+        bulk, manager = self._bulk(pairs)
+        snap = manager.snapshot()
+        sig_writes = snap.for_file("ssf:signatures").logical_writes
+        # 600 entries at 512 sigs/page (F=64) = 2 pages; appends+writes ≈ 4
+        assert sig_writes <= 2 * bulk.signature_file.num_pages
+        oid_writes = snap.for_file("ssf:oids").logical_writes
+        assert oid_writes <= 2 * bulk.oid_file.num_pages
+
+    def test_requires_empty(self):
+        ssf, _ = self._bulk(make_pairs(3))
+        with pytest.raises(AccessFacilityError):
+            ssf.bulk_load(make_pairs(3))
+
+    def test_empty_input(self):
+        manager = StorageManager(page_size=4096, pool_capacity=0)
+        ssf = SequentialSignatureFile(manager, SignatureScheme(64, 2, seed=1))
+        assert ssf.bulk_load([]) == 0
+        assert ssf.entry_count == 0
+
+
+class TestBSSFBulkLoad:
+    def _bulk(self, pairs):
+        manager = StorageManager(page_size=4096, pool_capacity=0)
+        bssf = BitSlicedSignatureFile(manager, SignatureScheme(64, 2, seed=1))
+        bssf.bulk_load(pairs)
+        return bssf, manager
+
+    def test_matches_incremental(self):
+        pairs = make_pairs(200, seed=2)
+        bulk, _ = self._bulk(pairs)
+        twin = incremental_twin(BitSlicedSignatureFile, pairs)
+        for dq_query in (frozenset(list(pairs[0][0])[:2]), frozenset(range(12))):
+            assert (
+                bulk.search_superset(dq_query).candidates
+                == twin.search_superset(dq_query).candidates
+            )
+            assert (
+                bulk.search_subset(dq_query).candidates
+                == twin.search_subset(dq_query).candidates
+            )
+        bulk.verify()
+
+    def test_slice_geometry(self):
+        bulk, _ = self._bulk(make_pairs(100))
+        assert bulk.slice_pages == 1
+        assert bulk.storage_pages()["slices"] == 64
+
+    def test_requires_empty(self):
+        bulk, _ = self._bulk(make_pairs(2))
+        with pytest.raises(AccessFacilityError):
+            bulk.bulk_load(make_pairs(2))
+
+    def test_empty_input(self):
+        manager = StorageManager(page_size=4096, pool_capacity=0)
+        bssf = BitSlicedSignatureFile(manager, SignatureScheme(64, 2, seed=1))
+        assert bssf.bulk_load([]) == 0
+
+
+class TestBTreeBulkLoad:
+    def _bulk_tree(self, entries, page_size=256):
+        manager = StorageManager(page_size=page_size, pool_capacity=0)
+        tree = BPlusTree(manager.create_file("bulk"))
+        tree.bulk_load(entries)
+        return tree
+
+    def test_single_leaf(self):
+        tree = self._bulk_tree([(encode_key(1), [11]), (encode_key(2), [22])])
+        assert tree.height == 0
+        assert tree.lookup(encode_key(1)) == [OID.from_int(11)]
+        tree.verify()
+
+    def test_multi_level(self):
+        entries = [(encode_key(i), [i]) for i in range(500)]
+        tree = self._bulk_tree(entries, page_size=128)
+        assert tree.height >= 2
+        tree.verify()
+        for i in (0, 123, 499):
+            assert tree.lookup(encode_key(i)) == [OID.from_int(i)]
+        assert tree.key_count() == 500
+
+    def test_leaf_chain_ordered(self):
+        entries = [(encode_key(i), [i]) for i in range(300)]
+        tree = self._bulk_tree(entries, page_size=128)
+        keys = [key for key, _ in tree.iterate_entries()]
+        assert keys == [encode_key(i) for i in range(300)]
+
+    def test_mutable_after_bulk_load(self):
+        entries = [(encode_key(i), [i]) for i in range(200)]
+        tree = self._bulk_tree(entries, page_size=128)
+        tree.insert(encode_key(1000), OID(1, 5))
+        tree.delete(encode_key(0), OID.from_int(0))
+        tree.verify()
+        assert tree.lookup(encode_key(1000)) == [OID(1, 5)]
+        assert tree.lookup(encode_key(0)) == []
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(AccessFacilityError):
+            self._bulk_tree([(encode_key(2), [1]), (encode_key(1), [1])])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(AccessFacilityError):
+            self._bulk_tree([(encode_key(1), [1]), (encode_key(1), [2])])
+
+    def test_rejects_nonempty_tree(self):
+        manager = StorageManager(page_size=256, pool_capacity=0)
+        tree = BPlusTree(manager.create_file("t"))
+        tree.insert(encode_key(1), OID(1, 1))
+        with pytest.raises(AccessFacilityError):
+            tree.bulk_load([(encode_key(2), [2])])
+
+    def test_oversized_posting_rejected(self):
+        with pytest.raises(AccessFacilityError):
+            self._bulk_tree([(encode_key(1), list(range(100)))], page_size=256)
+
+    def test_empty_input(self):
+        tree = self._bulk_tree([])
+        assert tree.key_count() == 0
+
+
+class TestNIXBulkLoad:
+    def test_matches_incremental(self):
+        pairs = make_pairs(180, seed=5)
+        manager = StorageManager(page_size=512, pool_capacity=0)
+        bulk = NestedIndex(manager, file_prefix="bulk")
+        bulk.bulk_load(pairs)
+        twin = incremental_twin(NestedIndex, pairs)
+        query = frozenset(list(pairs[7][0])[:2])
+        assert (
+            bulk.search_superset(query).candidates
+            == twin.search_superset(query).candidates
+        )
+        assert (
+            bulk.search_subset(frozenset(range(15))).candidates
+            == twin.search_subset(frozenset(range(15))).candidates
+        )
+        bulk.verify()
+
+    def test_empty_sets_bucketed(self):
+        manager = StorageManager(page_size=512, pool_capacity=0)
+        nix = NestedIndex(manager, file_prefix="bulk")
+        nix.bulk_load([(frozenset(), OID(1, 0)), (frozenset({3}), OID(1, 1))])
+        assert OID(1, 0) in nix.search_subset(frozenset({9})).candidates
+
+    def test_database_backfill_uses_bulk(self, student_db):
+        from tests.conftest import populate_students
+
+        populate_students(student_db, count=60)
+        before = student_db.io_snapshot()
+        nix = student_db.create_nested_index("Student", "hobbies")
+        delta = student_db.io_snapshot() - before
+        tree_writes = sum(
+            counts.logical_writes
+            for name, counts in delta.per_file.items()
+            if name.endswith(":btree")
+        )
+        # bottom-up build: a handful of node writes, nowhere near
+        # 60 objects × 3 elements × rc page accesses
+        assert tree_writes < 30
+        nix.verify()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sets=st.lists(
+        st.frozensets(st.integers(0, 25), max_size=5), min_size=1, max_size=40
+    ),
+)
+def test_property_bulk_equals_incremental_everywhere(sets):
+    pairs = [(elements, OID(1, i)) for i, elements in enumerate(sets)]
+    manager = StorageManager(page_size=512, pool_capacity=0)
+    bulk = NestedIndex(manager, file_prefix="bulk")
+    bulk.bulk_load(pairs)
+    twin = incremental_twin(NestedIndex, pairs)
+    assert list(bulk.tree.iterate_entries()) == list(twin.tree.iterate_entries())
+    bulk.verify()

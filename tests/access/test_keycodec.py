@@ -1,0 +1,94 @@
+"""Tests for the order-preserving key codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.nix.keycodec import (
+    EMPTY_SET_KEY,
+    EmptySetMarker,
+    decode_key,
+    encode_key,
+)
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**62, -(2**62), 0.5, -3.25,
+         "", "Baseball", "héllo", b"", b"\x00\xff", OID(7, 99)],
+    )
+    def test_roundtrip(self, value):
+        assert decode_key(encode_key(value)) == value
+
+    def test_empty_set_key_decodes_to_marker(self):
+        assert decode_key(EMPTY_SET_KEY) is EmptySetMarker
+        assert "empty-set" in repr(EmptySetMarker)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(AccessFacilityError):
+            decode_key(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(AccessFacilityError):
+            decode_key(b"\x99abc")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(AccessFacilityError):
+            encode_key([1, 2])
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(AccessFacilityError):
+            encode_key(2**63)
+
+
+class TestOrderPreservation:
+    def test_ints(self):
+        values = [-(2**62), -100, -1, 0, 1, 7, 2**62]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_floats_including_negatives(self):
+        values = [-1e300, -2.5, -0.5, 0.0, 0.25, 3.5, 1e300]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_strings(self):
+        values = ["", "A", "Baseball", "Baseballs", "Fishing", "a"]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_oids(self):
+        values = [OID(0, 0), OID(0, 5), OID(1, 0), OID(2, 3)]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_empty_set_key_sorts_first(self):
+        assert EMPTY_SET_KEY < encode_key(None)
+        assert EMPTY_SET_KEY < encode_key(-(2**62))
+        assert EMPTY_SET_KEY < encode_key("")
+
+
+@settings(max_examples=150)
+@given(a=st.integers(-(2**62), 2**62), b=st.integers(-(2**62), 2**62))
+def test_property_int_order(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@settings(max_examples=150)
+@given(
+    a=st.floats(allow_nan=False, allow_infinity=False),
+    b=st.floats(allow_nan=False, allow_infinity=False),
+)
+def test_property_float_order(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b) or (a == b)
+
+
+@settings(max_examples=150)
+@given(a=st.text(max_size=20), b=st.text(max_size=20))
+def test_property_text_roundtrip_and_order(a, b):
+    assert decode_key(encode_key(a)) == a
+    # UTF-8 byte order equals code-point order
+    assert (encode_key(a) < encode_key(b)) == (a < b)

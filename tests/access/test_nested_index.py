@@ -1,0 +1,184 @@
+"""Tests for the Nested Index facility."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.nix import NestedIndex
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+def make_nix(page_size=4096):
+    manager = StorageManager(page_size=page_size, pool_capacity=0)
+    return NestedIndex(manager), manager
+
+
+def load(nix, sets):
+    oids = []
+    for i, elements in enumerate(sets):
+        oid = OID(1, i)
+        nix.insert(frozenset(elements), oid)
+        oids.append(oid)
+    return oids
+
+
+RNG_SETS = [
+    frozenset(random.Random(500 + i).sample(range(30), 4)) for i in range(40)
+]
+
+
+class TestMaintenance:
+    def test_insert_indexes_every_element(self):
+        nix, _ = make_nix()
+        oid = OID(1, 0)
+        nix.insert(frozenset({"a", "b", "c"}), oid)
+        for element in ("a", "b", "c"):
+            assert nix.lookup_element(element) == [oid]
+
+    def test_delete_removes_every_element(self):
+        nix, _ = make_nix()
+        oid = OID(1, 0)
+        nix.insert(frozenset({"a", "b"}), oid)
+        nix.delete(frozenset({"a", "b"}), oid)
+        assert nix.lookup_element("a") == []
+        nix.verify()
+
+    def test_delete_unindexed_raises(self):
+        nix, _ = make_nix()
+        with pytest.raises(AccessFacilityError):
+            nix.delete(frozenset({"ghost"}), OID(1, 0))
+
+    def test_empty_set_bucket(self):
+        nix, _ = make_nix()
+        oid = OID(1, 0)
+        nix.insert(frozenset(), oid)
+        result = nix.search_subset(frozenset({"anything"}))
+        assert oid in result.candidates
+        nix.delete(frozenset(), oid)
+        assert oid not in nix.search_subset(frozenset({"x"})).candidates
+
+    def test_delete_empty_set_unindexed_raises(self):
+        nix, _ = make_nix()
+        with pytest.raises(AccessFacilityError):
+            nix.delete(frozenset(), OID(1, 3))
+
+
+class TestSupersetSearch:
+    def test_exact_intersection(self):
+        nix, _ = make_nix()
+        oids = load(nix, RNG_SETS)
+        query = frozenset(list(RNG_SETS[5])[:2])
+        expected = sorted(
+            oid for oid, s in zip(oids, RNG_SETS) if s >= query
+        )
+        result = nix.search_superset(query)
+        assert result.exact
+        assert sorted(result.candidates) == expected
+
+    def test_partial_lookup_overapproximates(self):
+        nix, _ = make_nix()
+        oids = load(nix, RNG_SETS)
+        query = frozenset(RNG_SETS[2])
+        full = set(nix.search_superset(query).candidates)
+        partial_result = nix.search_superset(query, use_elements=1)
+        assert not partial_result.exact
+        assert full <= set(partial_result.candidates)
+        assert partial_result.detail["lookups"] == 1
+
+    def test_empty_query_returns_all_indexed(self):
+        nix, _ = make_nix()
+        oids = load(nix, RNG_SETS[:6])
+        result = nix.search_superset(frozenset())
+        assert sorted(result.candidates) == sorted(oids)
+
+    def test_short_circuit_on_empty_intersection(self):
+        nix, _ = make_nix()
+        load(nix, [{1}, {2}])
+        result = nix.search_superset(frozenset({1, 99}))
+        assert result.candidates == []
+
+    def test_use_elements_validated(self):
+        nix, _ = make_nix()
+        with pytest.raises(AccessFacilityError):
+            nix.search_superset(frozenset({1}), use_elements=0)
+
+
+class TestSubsetSearch:
+    def test_union_overapproximates_subset(self):
+        nix, _ = make_nix()
+        oids = load(nix, RNG_SETS)
+        by_oid = dict(zip(oids, RNG_SETS))
+        query = frozenset(range(10))
+        result = nix.search_subset(query)
+        assert not result.exact
+        truth = {oid for oid, s in by_oid.items() if s <= query}
+        candidates = set(result.candidates)
+        assert truth <= candidates
+        # every candidate intersects the query (or is empty)
+        for oid in candidates:
+            assert by_oid[oid] & query or not by_oid[oid]
+
+    def test_lookup_count_is_dq_plus_empty_bucket(self):
+        nix, _ = make_nix()
+        load(nix, RNG_SETS[:5])
+        result = nix.search_subset(frozenset({1, 2, 3}))
+        assert result.detail["lookups"] == 4
+
+
+class TestOverlapSearch:
+    def test_exact_overlap(self):
+        nix, _ = make_nix()
+        oids = load(nix, RNG_SETS)
+        query = frozenset({3, 9})
+        expected = sorted(
+            oid for oid, s in zip(oids, RNG_SETS) if s & query
+        )
+        result = nix.search_overlap(query)
+        assert result.exact
+        assert sorted(result.candidates) == expected
+
+
+class TestStorageAndGeometry:
+    def test_storage_pages(self):
+        nix, _ = make_nix(page_size=256)
+        load(nix, RNG_SETS)
+        pages = nix.storage_pages()
+        assert pages["leaf"] >= 1
+        assert nix.total_storage_pages() == pages["leaf"] + pages["nonleaf"]
+
+    def test_lookup_cost_pages(self):
+        nix, _ = make_nix()
+        load(nix, RNG_SETS[:3])
+        assert nix.lookup_cost_pages() == nix.height + 1
+
+    def test_verify_after_load(self):
+        nix, _ = make_nix(page_size=256)
+        load(nix, RNG_SETS)
+        nix.verify()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sets=st.lists(
+        st.frozensets(st.integers(0, 20), max_size=5), min_size=1, max_size=25
+    ),
+    query=st.frozensets(st.integers(0, 20), min_size=1, max_size=6),
+)
+def test_property_nix_answers_match_brute_force(sets, query):
+    nix, _ = make_nix(page_size=512)
+    oids = load(nix, sets)
+    by_oid = dict(zip(oids, sets))
+
+    superset = set(nix.search_superset(query).candidates)
+    assert superset == {oid for oid, s in by_oid.items() if s >= query}
+
+    subset_candidates = set(nix.search_subset(query).candidates)
+    subset_truth = {oid for oid, s in by_oid.items() if s <= query}
+    assert subset_truth <= subset_candidates
+
+    overlap = set(nix.search_overlap(query).candidates)
+    assert overlap == {oid for oid, s in by_oid.items() if s & query}

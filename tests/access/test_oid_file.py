@@ -1,0 +1,129 @@
+"""Tests for the shared OID file."""
+
+import pytest
+
+from repro.access.oid_file import OIDFile
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+def make_oid_file(page_size: int = 4096):
+    manager = StorageManager(page_size=page_size, pool_capacity=0)
+    return OIDFile(manager.create_file("oids")), manager
+
+
+class TestAppendGet:
+    def test_sequential_indices(self):
+        oid_file, _ = make_oid_file()
+        assert oid_file.append(OID(1, 0)) == 0
+        assert oid_file.append(OID(1, 1)) == 1
+        assert oid_file.entry_count == 2
+
+    def test_get_roundtrip(self):
+        oid_file, _ = make_oid_file()
+        oid_file.append(OID(3, 99))
+        assert oid_file.get(0) == OID(3, 99)
+
+    def test_entries_per_page_matches_table2(self):
+        oid_file, _ = make_oid_file()
+        assert oid_file.entries_per_page == 512  # O_p = P / oid
+
+    def test_page_boundary(self):
+        oid_file, _ = make_oid_file(page_size=32)  # 4 entries/page
+        for i in range(9):
+            oid_file.append(OID(1, i))
+        assert oid_file.num_pages == 3
+        assert oid_file.get(8) == OID(1, 8)
+
+    def test_index_bounds_checked(self):
+        oid_file, _ = make_oid_file()
+        with pytest.raises(AccessFacilityError):
+            oid_file.get(0)
+        oid_file.append(OID(1, 0))
+        with pytest.raises(AccessFacilityError):
+            oid_file.get(1)
+        with pytest.raises(AccessFacilityError):
+            oid_file.get(-1)
+
+
+class TestGetMany:
+    def test_preserves_request_order(self):
+        oid_file, _ = make_oid_file()
+        for i in range(10):
+            oid_file.append(OID(1, i))
+        result = oid_file.get_many([5, 1, 7])
+        assert result == [OID(1, 5), OID(1, 1), OID(1, 7)]
+
+    def test_one_read_per_touched_page(self):
+        oid_file, manager = make_oid_file(page_size=32)  # 4 entries/page
+        for i in range(12):
+            oid_file.append(OID(1, i))
+        before = manager.snapshot()
+        oid_file.get_many([0, 1, 2, 9])  # pages 0 and 2
+        delta = manager.snapshot() - before
+        assert delta.for_file("oids").logical_reads == 2
+
+    def test_duplicates_allowed(self):
+        oid_file, _ = make_oid_file()
+        oid_file.append(OID(1, 0))
+        assert oid_file.get_many([0, 0]) == [OID(1, 0), OID(1, 0)]
+
+    def test_empty_request(self):
+        oid_file, _ = make_oid_file()
+        assert oid_file.get_many([]) == []
+
+
+class TestDelete:
+    def test_tombstone_hides_entry(self):
+        oid_file, _ = make_oid_file()
+        oid_file.append(OID(1, 0))
+        oid_file.append(OID(1, 1))
+        index = oid_file.delete(OID(1, 0))
+        assert index == 0
+        assert oid_file.get(0) is None
+        assert not oid_file.is_live(0)
+        assert oid_file.get(1) == OID(1, 1)
+
+    def test_delete_scans_sequentially(self):
+        """Deleting the last entry must touch every page (the model's
+        SC_OID/2 expected cost comes from this scan)."""
+        oid_file, manager = make_oid_file(page_size=32)
+        for i in range(12):  # 3 pages
+            oid_file.append(OID(1, i))
+        before = manager.snapshot()
+        oid_file.delete(OID(1, 11))
+        delta = manager.snapshot() - before
+        assert delta.for_file("oids").logical_reads == 3
+        assert delta.for_file("oids").logical_writes == 1
+
+    def test_delete_first_entry_touches_one_page(self):
+        oid_file, manager = make_oid_file(page_size=32)
+        for i in range(12):
+            oid_file.append(OID(1, i))
+        before = manager.snapshot()
+        oid_file.delete(OID(1, 0))
+        assert (manager.snapshot() - before).for_file("oids").logical_reads == 1
+
+    def test_delete_missing_raises(self):
+        oid_file, _ = make_oid_file()
+        oid_file.append(OID(1, 0))
+        with pytest.raises(AccessFacilityError):
+            oid_file.delete(OID(1, 99))
+
+    def test_entry_count_includes_tombstones(self):
+        oid_file, _ = make_oid_file()
+        oid_file.append(OID(1, 0))
+        oid_file.delete(OID(1, 0))
+        assert oid_file.entry_count == 1
+
+
+class TestScanLive:
+    def test_skips_tombstones(self):
+        oid_file, _ = make_oid_file()
+        for i in range(5):
+            oid_file.append(OID(1, i))
+        oid_file.delete(OID(1, 2))
+        live = list(oid_file.scan_live())
+        assert [index for index, _ in live] == [0, 1, 3, 4]
+        assert [oid.serial for _, oid in live] == [0, 1, 3, 4]

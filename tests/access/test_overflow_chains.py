@@ -1,0 +1,202 @@
+"""Tests for posting-list overflow chains (the skew-proof NIX variant)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.nix import NestedIndex
+from repro.access.nix.btree import BPlusTree
+from repro.access.nix.keycodec import encode_key
+from repro.access.nix.node import OverflowNode
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+def make_tree(page_size=512, chains=True):
+    manager = StorageManager(page_size=page_size, pool_capacity=0)
+    return BPlusTree(manager.create_file("t"), overflow_chains=chains), manager
+
+
+HOT = encode_key("hot")
+
+
+class TestOverflowNode:
+    def test_capacity(self):
+        assert OverflowNode.capacity(4096) == 511
+        assert OverflowNode.capacity(512) == 63
+
+    def test_roundtrip(self):
+        from repro.storage.page import Page
+
+        node = OverflowNode(oids=[1, 2, 3], next_page=7)
+        page = Page(128)
+        node.serialize_into(page)
+        again = OverflowNode.deserialize(page)
+        assert again.oids == [1, 2, 3]
+        assert again.next_page == 7
+
+    def test_no_next(self):
+        from repro.storage.page import Page
+
+        page = Page(128)
+        OverflowNode(oids=[9]).serialize_into(page)
+        assert OverflowNode.deserialize(page).next_page is None
+
+
+class TestChainedInserts:
+    def test_long_posting_list_survives(self):
+        tree, _ = make_tree()
+        for serial in range(500):  # far beyond one 512-byte page
+            tree.insert(HOT, OID(1, serial))
+        tree.verify()
+        assert tree.lookup(HOT) == [OID(1, s) for s in range(500)]
+
+    def test_without_chains_raises(self):
+        tree, _ = make_tree(chains=False)
+        with pytest.raises(AccessFacilityError, match="overflow_chains"):
+            for serial in range(500):
+                tree.insert(HOT, OID(1, serial))
+
+    def test_duplicate_in_chain_detected(self):
+        tree, _ = make_tree()
+        for serial in range(200):
+            tree.insert(HOT, OID(1, serial))
+        # OID(1, 199) is the most recent spill candidate; OID(1, 150) is
+        # somewhere in the chain — both must be rejected as duplicates
+        assert not tree.insert(HOT, OID(1, 150))
+        assert not tree.insert(HOT, OID(1, 199))
+        tree.verify()
+        assert len(tree.lookup(HOT)) == 200
+
+    def test_census_counts_overflow_pages(self):
+        tree, _ = make_tree()
+        for serial in range(300):
+            tree.insert(HOT, OID(1, serial))
+        census = tree.page_census()
+        assert census["overflow"] >= 1
+        assert census["leaf"] >= 1
+
+    def test_other_keys_unaffected(self):
+        tree, _ = make_tree()
+        for serial in range(300):
+            tree.insert(HOT, OID(1, serial))
+        tree.insert(encode_key("cold"), OID(2, 1))
+        assert tree.lookup(encode_key("cold")) == [OID(2, 1)]
+        tree.verify()
+
+
+class TestChainedDeletes:
+    def _loaded_tree(self, count=300):
+        tree, _ = make_tree()
+        for serial in range(count):
+            tree.insert(HOT, OID(1, serial))
+        return tree
+
+    def test_delete_from_inline(self):
+        tree = self._loaded_tree()
+        inline_smallest = OID(1, 0)
+        assert tree.delete(HOT, inline_smallest)
+        assert inline_smallest not in tree.lookup(HOT)
+        tree.verify()
+
+    def test_delete_from_chain(self):
+        tree = self._loaded_tree()
+        chained = OID(1, 299)
+        assert tree.delete(HOT, chained)
+        assert chained not in tree.lookup(HOT)
+        assert len(tree.lookup(HOT)) == 299
+        tree.verify()
+
+    def test_delete_everything_removes_entry(self):
+        tree = self._loaded_tree(count=150)
+        for serial in range(150):
+            assert tree.delete(HOT, OID(1, serial))
+        assert tree.lookup(HOT) == []
+        assert not tree.contains_key(HOT)
+        tree.verify()
+
+    def test_delete_missing_returns_false(self):
+        tree = self._loaded_tree(count=100)
+        assert not tree.delete(HOT, OID(1, 5000))
+
+
+class TestBulkLoadWithChains:
+    def test_long_lists_chain_at_build(self):
+        tree, _ = make_tree()
+        entries = [
+            (encode_key("hot"), list(range(400))),
+            (encode_key("warm"), list(range(1000, 1030))),
+            (encode_key("zcold"), [5000]),
+        ]
+        tree.bulk_load(entries)
+        tree.verify()
+        assert len(tree.lookup(encode_key("hot"))) == 400
+        assert len(tree.lookup(encode_key("warm"))) == 30
+        assert tree.lookup(encode_key("zcold")) == [OID.from_int(5000)]
+        assert tree.page_census()["overflow"] >= 400 // OverflowNode.capacity(512)
+
+
+class TestNestedIndexIntegration:
+    def test_skewed_domain_buildable_with_chains(self):
+        manager = StorageManager(page_size=512, pool_capacity=0)
+        nix = NestedIndex(manager, overflow_chains=True)
+        rng = random.Random(1)
+        for i in range(400):
+            # everything contains element 0: worst-case hot key
+            elements = frozenset({0} | set(rng.sample(range(1, 60), 3)))
+            nix.insert(elements, OID(1, i))
+        nix.verify()
+        assert len(nix.lookup_element(0)) == 400
+        assert "overflow" in nix.storage_pages()
+
+    def test_snapshot_roundtrip_preserves_chains(self, tmp_path):
+        from repro.objects.database import Database
+        from repro.objects.schema import ClassSchema
+        from repro.persistence.snapshot import load_database, save_database
+
+        db = Database()
+        db.define_class(ClassSchema.build("T", tags="set"))
+        db.create_nested_index("T", "tags", overflow_chains=True)
+        oids = [db.insert("T", {"tags": {0, i + 1}}) for i in range(600)]
+        path = tmp_path / "chained.sigdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        restored = loaded.index("T", "tags", "nix")
+        assert restored.overflow_chains
+        assert len(restored.lookup_element(0)) == 600
+        restored.verify()
+        loaded.delete(oids[0])
+        assert len(restored.lookup_element(0)) == 599
+
+    def test_vacuum_preserves_chain_mode(self, student_db):
+        from tests.conftest import populate_students
+
+        student_db.create_nested_index("Student", "hobbies", overflow_chains=True)
+        populate_students(student_db, count=30)
+        fresh = student_db.vacuum_index("Student", "hobbies", "nix")
+        assert fresh.overflow_chains
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 400)), max_size=250
+    )
+)
+def test_property_chained_tree_matches_set_model(operations):
+    """Hammer one hot key with inserts/deletes; tree must track a set."""
+    tree, _ = make_tree(page_size=256)
+    model = set()
+    for is_insert, serial in operations:
+        oid = OID(1, serial)
+        if is_insert:
+            tree.insert(HOT, oid)
+            model.add(oid)
+        else:
+            tree.delete(HOT, oid)
+            model.discard(oid)
+    assert tree.lookup(HOT) == sorted(model)
+    tree.verify()

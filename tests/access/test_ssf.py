@@ -1,0 +1,202 @@
+"""Tests for the Sequential Signature File."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.errors import AccessFacilityError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+
+def make_ssf(F=64, m=2, page_size=4096, seed=0):
+    manager = StorageManager(page_size=page_size, pool_capacity=0)
+    scheme = SignatureScheme(F, m, seed=seed)
+    return SequentialSignatureFile(manager, scheme), manager
+
+
+def load(ssf, sets):
+    oids = []
+    for i, elements in enumerate(sets):
+        oid = OID(1, i)
+        ssf.insert(frozenset(elements), oid)
+        oids.append(oid)
+    return oids
+
+
+RNG_SETS = [
+    frozenset(random.Random(i).sample(range(40), 4)) for i in range(60)
+]
+
+
+class TestInsert:
+    def test_entry_count_tracks_inserts(self):
+        ssf, _ = make_ssf()
+        load(ssf, RNG_SETS[:10])
+        assert ssf.entry_count == 10
+
+    def test_signature_pages_grow_by_capacity(self):
+        ssf, _ = make_ssf(F=500)
+        load(ssf, [{i} for i in range(66)])  # capacity 65/page
+        assert ssf.signature_file.num_pages == 2
+        ssf.verify()
+
+    def test_insert_touches_two_files(self):
+        ssf, manager = make_ssf()
+        load(ssf, RNG_SETS[:5])
+        before = manager.snapshot()
+        ssf.insert(frozenset({1, 2}), OID(1, 99))
+        delta = manager.snapshot() - before
+        assert delta.for_file("ssf:oids").logical_total >= 1
+        assert delta.for_file("ssf:signatures").logical_total >= 1
+
+
+class TestSupersetSearch:
+    def test_no_false_dismissals(self):
+        ssf, _ = make_ssf()
+        oids = load(ssf, RNG_SETS)
+        query = frozenset(list(RNG_SETS[7])[:2])
+        expected = {
+            oid for oid, s in zip(oids, RNG_SETS) if s >= query
+        }
+        result = ssf.search_superset(query)
+        assert expected <= set(result.candidates)
+        assert not result.exact
+
+    def test_scan_reads_whole_signature_file(self):
+        ssf, manager = make_ssf(F=500)
+        load(ssf, [{i} for i in range(200)])  # 4 signature pages
+        before = manager.snapshot()
+        ssf.search_superset(frozenset({5}))
+        delta = manager.snapshot() - before
+        assert delta.for_file("ssf:signatures").logical_reads == 4
+
+    def test_empty_query_returns_everything(self):
+        ssf, _ = make_ssf()
+        oids = load(ssf, RNG_SETS[:10])
+        result = ssf.search_superset(frozenset())
+        assert set(result.candidates) == set(oids)
+        assert result.exact
+
+    def test_partial_query_weakens_filter(self):
+        ssf, _ = make_ssf(F=256, m=3)
+        load(ssf, RNG_SETS)
+        query = frozenset(RNG_SETS[3])
+        full = set(ssf.search_superset(query).candidates)
+        partial = set(ssf.search_superset(query, use_elements=1).candidates)
+        assert full <= partial
+
+    def test_partial_use_elements_validated(self):
+        ssf, _ = make_ssf()
+        load(ssf, RNG_SETS[:3])
+        with pytest.raises(AccessFacilityError):
+            ssf.search_superset(frozenset({1, 2}), use_elements=0)
+
+
+class TestSubsetSearch:
+    def test_no_false_dismissals(self):
+        ssf, _ = make_ssf()
+        oids = load(ssf, RNG_SETS)
+        query = frozenset(range(12))
+        expected = {oid for oid, s in zip(oids, RNG_SETS) if s <= query}
+        result = ssf.search_subset(query)
+        assert expected <= set(result.candidates)
+
+    def test_empty_target_always_drops(self):
+        ssf, _ = make_ssf()
+        oid = OID(1, 0)
+        ssf.insert(frozenset(), oid)
+        result = ssf.search_subset(frozenset({1}))
+        assert oid in result.candidates
+
+    def test_zero_slice_budget_drops_everything(self):
+        ssf, _ = make_ssf()
+        oids = load(ssf, RNG_SETS[:8])
+        result = ssf.search_subset(frozenset({1}), slices_to_examine=0)
+        assert set(result.candidates) == set(oids)
+
+    def test_negative_budget_rejected(self):
+        ssf, _ = make_ssf()
+        with pytest.raises(AccessFacilityError):
+            ssf.search_subset(frozenset({1}), slices_to_examine=-1)
+
+
+class TestOverlapSearch:
+    def test_no_false_dismissals(self):
+        ssf, _ = make_ssf()
+        oids = load(ssf, RNG_SETS)
+        query = frozenset({3, 17})
+        expected = {oid for oid, s in zip(oids, RNG_SETS) if s & query}
+        result = ssf.search_overlap(query)
+        assert expected <= set(result.candidates)
+
+    def test_empty_query_matches_nothing(self):
+        ssf, _ = make_ssf()
+        load(ssf, RNG_SETS[:5])
+        assert ssf.search_overlap(frozenset()).candidates == []
+
+
+class TestDelete:
+    def test_deleted_entries_filtered_from_results(self):
+        ssf, _ = make_ssf()
+        oids = load(ssf, [{1, 2}, {1, 3}])
+        ssf.delete(frozenset({1, 2}), oids[0])
+        result = ssf.search_superset(frozenset({1}))
+        assert oids[0] not in result.candidates
+        assert oids[1] in result.candidates
+
+    def test_drop_counts_include_stale_signature(self):
+        """The stale signature still drops; the tombstone filters it."""
+        ssf, _ = make_ssf()
+        oids = load(ssf, [{1, 2}])
+        ssf.delete(frozenset({1, 2}), oids[0])
+        result = ssf.search_superset(frozenset({1, 2}))
+        assert result.detail["drops"] >= 1
+        assert result.detail["live_drops"] == 0
+
+
+class TestStorage:
+    def test_storage_pages_breakdown(self):
+        ssf, _ = make_ssf(F=500)
+        load(ssf, [{i} for i in range(100)])
+        pages = ssf.storage_pages()
+        assert pages["signature"] == 2
+        assert pages["oid"] == 1
+        assert ssf.total_storage_pages() == 3
+
+    def test_verify_detects_nothing_on_fresh_file(self):
+        ssf, _ = make_ssf()
+        ssf.verify()
+        load(ssf, RNG_SETS[:5])
+        ssf.verify()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sets=st.lists(
+        st.frozensets(st.integers(0, 30), max_size=6), min_size=1, max_size=25
+    ),
+    query=st.frozensets(st.integers(0, 30), max_size=6),
+)
+def test_property_search_equals_brute_force_after_resolution(sets, query):
+    """Candidates, filtered by the exact predicate, must equal brute force."""
+    ssf, _ = make_ssf(F=128, m=3)
+    oids = load(ssf, sets)
+    by_oid = dict(zip(oids, sets))
+
+    if query:
+        sup = {
+            oid for oid in ssf.search_superset(query).candidates
+            if by_oid[oid] >= query
+        }
+        assert sup == {oid for oid, s in by_oid.items() if s >= query}
+
+    sub = {
+        oid for oid in ssf.search_subset(query).candidates
+        if by_oid[oid] <= query
+    }
+    assert sub == {oid for oid, s in by_oid.items() if s <= query}

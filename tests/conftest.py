@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+
+
+@pytest.fixture
+def database() -> Database:
+    """Empty unbuffered database (paper's no-cache cost model)."""
+    return Database(page_size=4096, pool_capacity=0)
+
+
+@pytest.fixture
+def student_db(database: Database) -> Database:
+    """Database with the Student class defined (no data, no indexes)."""
+    database.define_class(
+        ClassSchema.build("Student", name="scalar", hobbies="set")
+    )
+    return database
+
+
+HOBBIES = [
+    "Baseball", "Fishing", "Tennis", "Football", "Golf", "Chess",
+    "Photography", "Climbing", "Cycling", "Painting", "Cooking", "Sailing",
+]
+
+
+def populate_students(db: Database, count: int = 120, per_student: int = 3,
+                      seed: int = 5) -> list:
+    """Insert ``count`` students with random hobby sets; returns OIDs."""
+    rng = random.Random(seed)
+    oids = []
+    for i in range(count):
+        hobbies = set(rng.sample(HOBBIES, per_student))
+        oids.append(
+            db.insert("Student", {"name": f"s{i:03d}", "hobbies": hobbies})
+        )
+    return oids
+
+
+@pytest.fixture
+def populated_db(student_db: Database) -> Database:
+    populate_students(student_db)
+    return student_db

@@ -1,0 +1,258 @@
+"""Tests for the packed bit-vector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import (
+    BitVector,
+    popcount_words,
+    rows_covered_by,
+    rows_covering,
+    stack_vectors,
+    words_for_bits,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWordsForBits:
+    def test_exact_multiple(self):
+        assert words_for_bits(128) == 2
+
+    def test_rounds_up(self):
+        assert words_for_bits(65) == 2
+
+    def test_one_bit(self):
+        assert words_for_bits(1) == 1
+
+    def test_zero_bits(self):
+        assert words_for_bits(0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            words_for_bits(-1)
+
+
+class TestConstruction:
+    def test_new_vector_is_zero(self):
+        vec = BitVector(100)
+        assert vec.popcount() == 0
+        assert vec.is_zero()
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(0)
+
+    def test_from_positions(self):
+        vec = BitVector.from_positions(10, [0, 3, 9])
+        assert vec.set_positions() == [0, 3, 9]
+
+    def test_from_bitstring_matches_paper_notation(self):
+        # "01000100" is the Baseball element signature of Figure 1.
+        vec = BitVector.from_bitstring("01000100")
+        assert vec.set_positions() == [1, 5]
+        assert vec.to_bitstring() == "01000100"
+
+    def test_from_bitstring_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            BitVector.from_bitstring("01x0")
+
+    def test_from_bitstring_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            BitVector.from_bitstring("")
+
+    def test_backing_array_shape_enforced(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(100, np.zeros(1, dtype=np.uint64))
+
+    def test_backing_array_dtype_enforced(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(64, np.zeros(1, dtype=np.int64))
+
+    def test_copy_is_independent(self):
+        vec = BitVector.from_positions(70, [68])
+        clone = vec.copy()
+        clone.set_bit(1)
+        assert not vec.get_bit(1)
+        assert clone.get_bit(68)
+
+
+class TestBitAccess:
+    def test_set_get_clear(self):
+        vec = BitVector(130)
+        vec.set_bit(129)
+        assert vec.get_bit(129)
+        vec.clear_bit(129)
+        assert not vec.get_bit(129)
+
+    def test_getitem(self):
+        vec = BitVector.from_positions(8, [2])
+        assert vec[2] and not vec[3]
+
+    def test_out_of_range_raises(self):
+        vec = BitVector(8)
+        for pos in (-1, 8, 100):
+            with pytest.raises(IndexError):
+                vec.set_bit(pos)
+            with pytest.raises(IndexError):
+                vec.get_bit(pos)
+
+    def test_zero_positions_complement(self):
+        vec = BitVector.from_positions(10, [1, 5])
+        assert vec.zero_positions() == [0, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_iter_bits(self):
+        vec = BitVector.from_bitstring("0110")
+        assert list(vec.iter_bits()) == [False, True, True, False]
+
+
+class TestBulkOperations:
+    def test_or_is_superimposition(self):
+        a = BitVector.from_bitstring("01000100")
+        b = BitVector.from_bitstring("00010100")
+        assert (a | b).to_bitstring() == "01010100"  # Figure 1 query sig
+
+    def test_or_with_mutates(self):
+        a = BitVector.from_positions(16, [0])
+        a.or_with(BitVector.from_positions(16, [15]))
+        assert a.set_positions() == [0, 15]
+
+    def test_and(self):
+        a = BitVector.from_bitstring("1100")
+        b = BitVector.from_bitstring("0110")
+        assert (a & b).to_bitstring() == "0100"
+
+    def test_invert_respects_tail(self):
+        vec = BitVector(70)
+        inverted = ~vec
+        assert inverted.popcount() == 70
+        inverted.check_invariants()
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(8) | BitVector(9)
+        with pytest.raises(ConfigurationError):
+            BitVector(8).covers(BitVector(16))
+
+    def test_covers_reflexive(self):
+        vec = BitVector.from_positions(32, [1, 17, 31])
+        assert vec.covers(vec)
+
+    def test_covers_superset(self):
+        big = BitVector.from_positions(32, [1, 2, 3])
+        small = BitVector.from_positions(32, [2])
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_everything_covers_zero(self):
+        assert BitVector(16).covers(BitVector(16))
+        assert BitVector.from_positions(16, [3]).covers(BitVector(16))
+
+    def test_intersects(self):
+        a = BitVector.from_positions(64, [10])
+        b = BitVector.from_positions(64, [10, 20])
+        c = BitVector.from_positions(64, [20])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_popcount_across_words(self):
+        vec = BitVector.from_positions(200, [0, 63, 64, 127, 128, 199])
+        assert vec.popcount() == 6
+
+    def test_popcount_words_helper(self):
+        words = np.array([0xFF, 0x1], dtype=np.uint64)
+        assert popcount_words(words) == 9
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self):
+        vec = BitVector.from_positions(100, [0, 50, 99])
+        again = BitVector.from_bytes(100, vec.to_bytes())
+        assert again == vec
+
+    def test_from_bytes_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            BitVector.from_bytes(100, b"\x00" * 3)
+
+    def test_from_bytes_masks_tail(self):
+        # All-ones input: tail bits beyond nbits must be cleared.
+        vec = BitVector.from_bytes(70, b"\xff" * 16)
+        assert vec.popcount() == 70
+        vec.check_invariants()
+
+    def test_equality_and_hash(self):
+        a = BitVector.from_positions(64, [1, 2])
+        b = BitVector.from_positions(64, [1, 2])
+        assert a == b and hash(a) == hash(b)
+        assert a != BitVector.from_positions(64, [1, 3])
+        assert a != "not a vector"
+
+    def test_repr_small_and_large(self):
+        assert "0100" in repr(BitVector.from_bitstring("0100"))
+        assert "weight=2" in repr(BitVector.from_positions(100, [1, 2]))
+
+
+class TestMatrixHelpers:
+    def _matrix(self):
+        vectors = [
+            BitVector.from_bitstring("1100"),
+            BitVector.from_bitstring("0110"),
+            BitVector.from_bitstring("1111"),
+        ]
+        return stack_vectors(vectors)
+
+    def test_stack_empty(self):
+        assert stack_vectors([]).shape == (0, 0)
+
+    def test_stack_mismatched_raises(self):
+        with pytest.raises(ConfigurationError):
+            stack_vectors([BitVector(8), BitVector(9)])
+
+    def test_rows_covering(self):
+        query = BitVector.from_bitstring("0100")
+        assert rows_covering(self._matrix(), query).tolist() == [0, 1, 2]
+        query2 = BitVector.from_bitstring("1100")
+        assert rows_covering(self._matrix(), query2).tolist() == [0, 2]
+
+    def test_rows_covered_by(self):
+        query = BitVector.from_bitstring("1110")
+        assert rows_covered_by(self._matrix(), query).tolist() == [0, 1]
+
+    def test_rows_empty_matrix(self):
+        empty = np.zeros((0, 1), dtype=np.uint64)
+        assert rows_covering(empty, BitVector(4)).size == 0
+        assert rows_covered_by(empty, BitVector(4)).size == 0
+
+
+@settings(max_examples=60)
+@given(
+    nbits=st.integers(min_value=1, max_value=300),
+    data=st.data(),
+)
+def test_property_roundtrip_and_popcount(nbits, data):
+    positions = data.draw(
+        st.sets(st.integers(min_value=0, max_value=nbits - 1), max_size=nbits)
+    )
+    vec = BitVector.from_positions(nbits, positions)
+    assert vec.popcount() == len(positions)
+    assert vec.set_positions() == sorted(positions)
+    assert BitVector.from_bytes(nbits, vec.to_bytes()) == vec
+    assert BitVector.from_bitstring(vec.to_bitstring()) == vec
+    vec.check_invariants()
+
+
+@settings(max_examples=60)
+@given(
+    nbits=st.integers(min_value=1, max_value=200),
+    data=st.data(),
+)
+def test_property_cover_matches_set_inclusion(nbits, data):
+    a_positions = data.draw(st.sets(st.integers(0, nbits - 1)))
+    b_positions = data.draw(st.sets(st.integers(0, nbits - 1)))
+    a = BitVector.from_positions(nbits, a_positions)
+    b = BitVector.from_positions(nbits, b_positions)
+    assert a.covers(b) == (set(b_positions) <= set(a_positions))
+    assert a.intersects(b) == bool(set(a_positions) & set(b_positions))
+    assert (a | b).set_positions() == sorted(set(a_positions) | set(b_positions))
+    assert (a & b).set_positions() == sorted(set(a_positions) & set(b_positions))

@@ -1,0 +1,228 @@
+"""Tests for the false-drop probability theory (paper §3.2, Appendix A)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.false_drop import (
+    expected_weight,
+    false_drop_partial_query,
+    false_drop_partial_zero_slices,
+    false_drop_subset,
+    false_drop_superset,
+    false_drop_superset_optimal,
+    one_bit_probability,
+    optimal_m_subset,
+    optimal_m_superset,
+    rounded_optimal_m,
+)
+from repro.core.signature import SignatureScheme
+from repro.errors import ConfigurationError
+
+
+class TestExpectedWeight:
+    def test_exact_form(self):
+        # F(1 - (1-m/F)^D) exactly
+        assert expected_weight(100, 10, 1, exact=True) == pytest.approx(10.0)
+        assert expected_weight(100, 10, 2, exact=True) == pytest.approx(19.0)
+
+    def test_approximation_close_for_small_m_over_f(self):
+        exact = expected_weight(500, 2, 10, exact=True)
+        approx = expected_weight(500, 2, 10)
+        assert abs(exact - approx) / exact < 0.01
+
+    def test_zero_cardinality(self):
+        assert expected_weight(100, 5, 0) == 0.0
+
+    def test_monotone_in_cardinality(self):
+        weights = [expected_weight(500, 2, d) for d in range(0, 50)]
+        assert all(a < b for a, b in zip(weights, weights[1:]))
+
+    def test_bounded_by_f(self):
+        assert expected_weight(100, 10, 10_000) <= 100.0
+
+    def test_one_bit_probability(self):
+        assert one_bit_probability(100, 10, 1, exact=True) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_weight(0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            expected_weight(10, 0, 1)
+        with pytest.raises(ConfigurationError):
+            expected_weight(10, 11, 1)
+        with pytest.raises(ConfigurationError):
+            expected_weight(10, 1, -1)
+
+
+class TestSupersetFalseDrop:
+    def test_equation_2_formula(self):
+        F, m, Dt, Dq = 500, 2, 10, 3
+        expected = (1 - math.exp(-m * Dt / F)) ** (m * Dq)
+        assert false_drop_superset(F, m, Dt, Dq) == pytest.approx(expected)
+
+    def test_probability_range(self):
+        for Dq in range(0, 20):
+            fd = false_drop_superset(250, 2, 10, Dq)
+            assert 0.0 <= fd <= 1.0
+
+    def test_decreasing_in_dq(self):
+        values = [false_drop_superset(500, 2, 10, dq) for dq in range(1, 10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_increasing_in_dt(self):
+        values = [false_drop_superset(500, 2, dt, 3) for dt in range(1, 30)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_empty_query_drops_everything(self):
+        assert false_drop_superset(500, 2, 10, 0) == 1.0
+
+    def test_equation_4_at_m_opt(self):
+        F, Dt, Dq = 500, 10, 3
+        m_opt = F * math.log(2) / Dt
+        direct = false_drop_superset_optimal(F, Dt, Dq)
+        assert direct == pytest.approx(0.5 ** (m_opt * Dq))
+
+    def test_m_opt_minimizes_continuousized(self):
+        """Integer m near m_opt must beat integers further away."""
+        F, Dt, Dq = 500, 10, 2
+        m_opt = optimal_m_superset(F, Dt)
+        at_opt = false_drop_superset(F, round(m_opt), Dt, Dq)
+        assert at_opt < false_drop_superset(F, max(1, round(m_opt) - 15), Dt, Dq)
+        assert at_opt < false_drop_superset(F, round(m_opt) + 15, Dt, Dq)
+
+    def test_negative_cardinality_raises(self):
+        with pytest.raises(ConfigurationError):
+            false_drop_superset(100, 2, -1, 1)
+
+
+class TestSubsetFalseDrop:
+    def test_equation_6_formula(self):
+        F, m, Dt, Dq = 500, 2, 10, 100
+        expected = (1 - math.exp(-m * Dq / F)) ** (m * Dt)
+        assert false_drop_subset(F, m, Dt, Dq) == pytest.approx(expected)
+
+    def test_symmetry_with_superset(self):
+        """Eq. (6) is eq. (2) with Dt and Dq exchanged."""
+        assert false_drop_subset(500, 2, 10, 100) == pytest.approx(
+            false_drop_superset(500, 2, 100, 10)
+        )
+
+    def test_increasing_in_dq(self):
+        values = [false_drop_subset(500, 2, 10, dq) for dq in (10, 50, 100, 500)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_approaches_one_for_huge_queries(self):
+        assert false_drop_subset(500, 2, 10, 10_000) > 0.99
+
+    def test_empty_target_drops_everything(self):
+        assert false_drop_subset(500, 2, 0, 10) == 1.0
+
+    def test_optimal_m_subset(self):
+        assert optimal_m_subset(500, 100) == pytest.approx(
+            500 * math.log(2) / 100
+        )
+
+
+class TestPartialForms:
+    def test_partial_zero_slices_appendix_a(self):
+        F, m, Dt, k = 500, 2, 10, 100
+        assert false_drop_partial_zero_slices(F, m, Dt, k) == pytest.approx(
+            (1 - k / F) ** (m * Dt)
+        )
+
+    def test_partial_zero_slices_extremes(self):
+        assert false_drop_partial_zero_slices(500, 2, 10, 0) == 1.0
+        assert false_drop_partial_zero_slices(500, 2, 10, 500) == 0.0
+
+    def test_partial_zero_slices_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            false_drop_partial_zero_slices(500, 2, 10, 501)
+        with pytest.raises(ConfigurationError):
+            false_drop_partial_zero_slices(500, 2, 10, -1)
+
+    def test_partial_zero_slices_empty_target(self):
+        assert false_drop_partial_zero_slices(500, 2, 0, 10) == 1.0
+
+    def test_partial_query_equals_smaller_dq(self):
+        assert false_drop_partial_query(500, 2, 10, 2) == pytest.approx(
+            false_drop_superset(500, 2, 10, 2)
+        )
+
+
+class TestRoundedOptimalM:
+    def test_paper_design_points(self):
+        assert rounded_optimal_m(250, 10) == 17
+        assert rounded_optimal_m(500, 10) == 35
+        assert rounded_optimal_m(1000, 100) == 7
+        assert rounded_optimal_m(2500, 100) == 17
+
+    def test_floor_at_minimum(self):
+        assert rounded_optimal_m(10, 1000) == 1
+        assert rounded_optimal_m(10, 1000, minimum=2) == 2
+
+    def test_cap_at_f(self):
+        assert rounded_optimal_m(4, 1) <= 4
+
+
+class TestMonteCarloAgreement:
+    """The formulas must predict the measured false-drop rate of the real
+    hashing scheme within sampling error."""
+
+    def _measure_superset(self, F, m, Dt, Dq, trials=3000, seed=1):
+        scheme = SignatureScheme(F, m, seed=seed)
+        rng = random.Random(seed)
+        domain = range(100_000)
+        query = rng.sample(domain, Dq)
+        query_sig = scheme.query_signature(query)
+        drops = 0
+        for _ in range(trials):
+            target = rng.sample(domain, Dt)
+            if set(query) <= set(target):
+                continue  # actual drop, excluded by Fd's definition
+            if scheme.is_drop_superset(scheme.set_signature(target), query_sig):
+                drops += 1
+        return drops / trials
+
+    def test_superset_rate_matches_formula(self):
+        F, m, Dt, Dq = 64, 2, 10, 2
+        predicted = false_drop_superset(F, m, Dt, Dq, exact=True)
+        measured = self._measure_superset(F, m, Dt, Dq)
+        sigma = math.sqrt(predicted * (1 - predicted) / 3000)
+        assert abs(measured - predicted) < max(5 * sigma, 0.25 * predicted)
+
+    def test_subset_rate_matches_formula(self):
+        F, m, Dt, Dq, trials = 64, 2, 4, 30, 3000
+        scheme = SignatureScheme(F, m, seed=2)
+        rng = random.Random(2)
+        domain = range(100_000)
+        query = rng.sample(domain, Dq)
+        query_sig = scheme.query_signature(query)
+        drops = 0
+        for _ in range(trials):
+            target = rng.sample(domain, Dt)
+            if set(target) <= set(query):
+                continue
+            if scheme.is_drop_subset(scheme.set_signature(target), query_sig):
+                drops += 1
+        predicted = false_drop_subset(F, m, Dt, Dq, exact=True)
+        measured = drops / trials
+        sigma = math.sqrt(predicted * (1 - predicted) / trials)
+        assert abs(measured - predicted) < max(5 * sigma, 0.25 * predicted)
+
+
+@settings(max_examples=100)
+@given(
+    F=st.integers(min_value=8, max_value=2500),
+    m=st.integers(min_value=1, max_value=8),
+    Dt=st.integers(min_value=0, max_value=200),
+    Dq=st.integers(min_value=0, max_value=200),
+)
+def test_property_probabilities_in_range(F, m, Dt, Dq):
+    for exact in (False, True):
+        assert 0.0 <= false_drop_superset(F, m, Dt, Dq, exact=exact) <= 1.0
+        assert 0.0 <= false_drop_subset(F, m, Dt, Dq, exact=exact) <= 1.0
+    assert 0.0 <= expected_weight(F, m, Dt) <= F

@@ -1,0 +1,134 @@
+"""Tests for element-signature hashing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import ElementHasher, stable_element_key
+from repro.errors import ConfigurationError
+
+
+class TestStableElementKey:
+    def test_type_tags_prevent_collisions(self):
+        # "1", 1, 1.0, True and b"1" must all encode differently.
+        keys = {
+            stable_element_key("1"),
+            stable_element_key(1),
+            stable_element_key(1.0),
+            stable_element_key(True),
+            stable_element_key(b"1"),
+        }
+        assert len(keys) == 5
+
+    def test_deterministic(self):
+        assert stable_element_key("Baseball") == stable_element_key("Baseball")
+
+    def test_tuple_encoding_nested(self):
+        a = stable_element_key(("a", 1))
+        b = stable_element_key(("a", 2))
+        assert a != b
+
+    def test_tuple_structure_matters(self):
+        assert stable_element_key(("ab",)) != stable_element_key(("a", "b"))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            stable_element_key([1, 2])
+
+    def test_oid_elements_supported(self):
+        """OID sets are the paper's primary use case (Student.courses)."""
+        from repro.objects.oid import OID
+
+        a = stable_element_key(OID(2, 1))
+        b = stable_element_key(OID(2, 2))
+        assert a != b
+        assert a == stable_element_key(OID(2, 1))
+
+    def test_bool_distinct_from_int(self):
+        assert stable_element_key(True) != stable_element_key(1)
+        assert stable_element_key(False) != stable_element_key(0)
+
+
+class TestElementHasher:
+    def test_exactly_m_distinct_positions(self):
+        hasher = ElementHasher(64, 4)
+        for element in ("Baseball", "Fishing", 42, 3.5, b"x"):
+            positions = hasher.positions(element)
+            assert len(positions) == 4
+            assert len(set(positions)) == 4
+            assert all(0 <= p < 64 for p in positions)
+            assert positions == sorted(positions)
+
+    def test_deterministic_across_instances(self):
+        a = ElementHasher(500, 2, seed=9)
+        b = ElementHasher(500, 2, seed=9)
+        assert a.positions("Tennis") == b.positions("Tennis")
+
+    def test_seed_changes_positions(self):
+        base = ElementHasher(500, 3, seed=0)
+        other = ElementHasher(500, 3, seed=1)
+        differing = sum(
+            base.positions(f"e{i}") != other.positions(f"e{i}") for i in range(50)
+        )
+        assert differing > 40  # overwhelming majority must differ
+
+    def test_signature_weight(self):
+        hasher = ElementHasher(128, 5)
+        sig = hasher.element_signature("anything")
+        assert sig.popcount() == 5
+        assert sig.nbits == 128
+
+    def test_m_equal_f_sets_every_bit(self):
+        hasher = ElementHasher(7, 7)
+        assert hasher.element_signature("x").popcount() == 7
+
+    def test_m_one(self):
+        hasher = ElementHasher(500, 1)
+        assert len(hasher.positions("y")) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ElementHasher(0, 1)
+        with pytest.raises(ConfigurationError):
+            ElementHasher(10, 0)
+        with pytest.raises(ConfigurationError):
+            ElementHasher(10, 11)
+
+    def test_uniformity_rough(self):
+        """1s should be roughly uniform over positions (paper's assumption)."""
+        F, m, n = 100, 2, 3000
+        hasher = ElementHasher(F, m)
+        counts = [0] * F
+        for i in range(n):
+            for pos in hasher.positions(i):
+                counts[pos] += 1
+        expected = n * m / F
+        # Each count is Binomial(n, m/F); allow 5 sigma.
+        sigma = math.sqrt(n * (m / F) * (1 - m / F))
+        assert all(abs(c - expected) < 5 * sigma for c in counts)
+
+    def test_repr(self):
+        assert "F=64" in repr(ElementHasher(64, 2))
+
+
+@settings(max_examples=80)
+@given(
+    F=st.integers(min_value=1, max_value=600),
+    data=st.data(),
+    element=st.one_of(
+        st.text(max_size=20),
+        st.integers(),
+        st.binary(max_size=12),
+        st.floats(allow_nan=False),
+    ),
+)
+def test_property_positions_valid(F, data, element):
+    m = data.draw(st.integers(min_value=1, max_value=F))
+    hasher = ElementHasher(F, m)
+    positions = hasher.positions(element)
+    assert len(positions) == m == len(set(positions))
+    assert all(0 <= p < F for p in positions)
+    # determinism
+    assert hasher.positions(element) == positions

@@ -1,0 +1,192 @@
+"""Tests for superimposed-coding set signatures and drop conditions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import BitVector
+from repro.core.signature import SetPredicateKind, SignatureScheme
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def scheme() -> SignatureScheme:
+    return SignatureScheme(signature_bits=64, bits_per_element=3, seed=11)
+
+
+class TestConstruction:
+    def test_set_signature_is_or_of_elements(self, scheme):
+        elements = ["Baseball", "Golf", "Fishing"]
+        expected = BitVector(64)
+        for element in elements:
+            expected.or_with(scheme.element_signature(element))
+        assert scheme.set_signature(elements) == expected
+
+    def test_empty_set_signature_is_zero(self, scheme):
+        assert scheme.set_signature([]).is_zero()
+
+    def test_order_independent(self, scheme):
+        assert scheme.set_signature(["a", "b"]) == scheme.set_signature(["b", "a"])
+
+    def test_duplicates_ignored(self, scheme):
+        assert scheme.set_signature(["a", "a"]) == scheme.set_signature(["a"])
+
+    def test_query_signature_alias(self, scheme):
+        assert scheme.query_signature(["x"]) == scheme.set_signature(["x"])
+
+    def test_partial_query_signature(self, scheme):
+        elements = ["a", "b", "c"]
+        partial = scheme.partial_query_signature(elements, 2)
+        assert partial == scheme.set_signature(elements[:2])
+
+    def test_partial_query_signature_needs_elements(self, scheme):
+        with pytest.raises(ConfigurationError):
+            scheme.partial_query_signature([], 1)
+
+    def test_scheme_equality(self):
+        assert SignatureScheme(64, 2, seed=1) == SignatureScheme(64, 2, seed=1)
+        assert SignatureScheme(64, 2) != SignatureScheme(64, 3)
+        assert SignatureScheme(64, 2) != SignatureScheme(128, 2)
+
+    def test_repr(self, scheme):
+        assert "F=64" in repr(scheme)
+
+
+class TestDropConditions:
+    """No-false-dismissal guarantees, including the paper's Figure 1/2."""
+
+    def test_superset_actual_drop(self, scheme):
+        # target ⊇ query  =>  target signature covers query signature
+        target = scheme.set_signature(["Baseball", "Golf", "Fishing"])
+        query = scheme.query_signature(["Baseball", "Fishing"])
+        assert scheme.is_drop_superset(target, query)
+
+    def test_subset_actual_drop(self, scheme):
+        target = scheme.set_signature(["Baseball", "Football"])
+        query = scheme.query_signature(["Baseball", "Football", "Tennis"])
+        assert scheme.is_drop_subset(target, query)
+
+    def test_width_mismatch_raises(self, scheme):
+        other = SignatureScheme(128, 3)
+        with pytest.raises(ConfigurationError):
+            scheme.is_drop_superset(other.set_signature(["a"]), scheme.set_signature(["a"]))
+
+    def test_is_drop_dispatch_contains(self, scheme):
+        target = scheme.set_signature(["a", "b"])
+        query = scheme.query_signature(["a"])
+        assert scheme.is_drop(SetPredicateKind.CONTAINS, target, query)
+        assert scheme.is_drop(SetPredicateKind.HAS_SUBSET, target, query)
+
+    def test_is_drop_equals(self, scheme):
+        sig = scheme.set_signature(["a", "b"])
+        assert scheme.is_drop(SetPredicateKind.EQUALS, sig, sig.copy())
+        assert not scheme.is_drop(
+            SetPredicateKind.EQUALS, sig, scheme.set_signature(["a"])
+        )
+
+    def test_is_drop_overlap(self, scheme):
+        a = scheme.set_signature(["a", "b"])
+        b = scheme.set_signature(["b", "c"])
+        assert scheme.is_drop(SetPredicateKind.OVERLAPS, a, b)
+
+    def test_overlap_with_empty_never_drops(self, scheme):
+        empty = scheme.set_signature([])
+        full = scheme.set_signature(["x"])
+        assert not scheme.is_drop(SetPredicateKind.OVERLAPS, empty, full)
+        assert not scheme.is_drop(SetPredicateKind.OVERLAPS, full, empty)
+
+    def test_empty_query_superset_always_drops(self, scheme):
+        target = scheme.set_signature(["a"])
+        assert scheme.is_drop_superset(target, scheme.query_signature([]))
+
+    def test_empty_target_subset_always_drops(self, scheme):
+        query = scheme.query_signature(["a", "b"])
+        assert scheme.is_drop_subset(scheme.set_signature([]), query)
+
+
+class TestFigureScenarios:
+    """The worked examples of the paper's Figures 1 and 2 with a tiny F.
+
+    We rebuild the figures' spirit with our hash function: construct sets
+    whose relationships force actual and false drops.
+    """
+
+    def test_false_drops_occur_for_superset(self):
+        # With F=8 and m=2 collisions are plentiful: hunt a false drop.
+        scheme = SignatureScheme(8, 2, seed=3)
+        query = ["q0", "q1"]
+        query_sig = scheme.query_signature(query)
+        found_false = False
+        for i in range(300):
+            target = [f"t{i}a", f"t{i}b", f"t{i}c"]
+            if scheme.is_drop_superset(scheme.set_signature(target), query_sig):
+                assert not set(query) <= set(target)
+                found_false = True
+                break
+        assert found_false, "tiny signatures must produce false drops"
+
+    def test_false_drops_occur_for_subset(self):
+        scheme = SignatureScheme(8, 2, seed=3)
+        query = [f"q{i}" for i in range(5)]
+        query_sig = scheme.query_signature(query)
+        found_false = False
+        for i in range(300):
+            target = [f"t{i}a", f"t{i}b"]
+            if scheme.is_drop_subset(scheme.set_signature(target), query_sig):
+                assert not set(target) <= set(query)
+                found_false = True
+                break
+        assert found_false
+
+
+class TestPredicateKindEvaluate:
+    def test_has_subset(self):
+        assert SetPredicateKind.HAS_SUBSET.evaluate(
+            frozenset("abc"), frozenset("ab")
+        )
+        assert not SetPredicateKind.HAS_SUBSET.evaluate(
+            frozenset("ab"), frozenset("abc")
+        )
+
+    def test_in_subset(self):
+        assert SetPredicateKind.IN_SUBSET.evaluate(
+            frozenset("ab"), frozenset("abc")
+        )
+        assert not SetPredicateKind.IN_SUBSET.evaluate(
+            frozenset("abd"), frozenset("abc")
+        )
+
+    def test_contains(self):
+        assert SetPredicateKind.CONTAINS.evaluate(frozenset("ab"), frozenset("a"))
+
+    def test_equals(self):
+        assert SetPredicateKind.EQUALS.evaluate(frozenset("ab"), frozenset("ba"))
+        assert not SetPredicateKind.EQUALS.evaluate(frozenset("a"), frozenset("ab"))
+
+    def test_overlaps(self):
+        assert SetPredicateKind.OVERLAPS.evaluate(frozenset("ab"), frozenset("bc"))
+        assert not SetPredicateKind.OVERLAPS.evaluate(frozenset("a"), frozenset("b"))
+
+
+_element = st.one_of(st.text(max_size=8), st.integers(-100, 100))
+
+
+@settings(max_examples=100)
+@given(
+    target=st.frozensets(_element, max_size=10),
+    query=st.frozensets(_element, max_size=10),
+    seed=st.integers(0, 5),
+)
+def test_property_no_false_dismissals(target, query, seed):
+    """If the sets satisfy the predicate, the signature test must drop."""
+    scheme = SignatureScheme(96, 3, seed=seed)
+    target_sig = scheme.set_signature(target)
+    query_sig = scheme.query_signature(query)
+    if target >= query:
+        assert scheme.is_drop_superset(target_sig, query_sig)
+    if target <= query:
+        assert scheme.is_drop_subset(target_sig, query_sig)
+    if target == query:
+        assert scheme.is_drop(SetPredicateKind.EQUALS, target_sig, query_sig)
+    if target & query:
+        assert scheme.is_drop(SetPredicateKind.OVERLAPS, target_sig, query_sig)

@@ -1,0 +1,98 @@
+"""Tests for design-parameter tuning (§5, Appendix C)."""
+
+import math
+
+import pytest
+
+from repro.core.tuning import (
+    best_m_for_retrieval,
+    dq_opt,
+    optimal_query_elements,
+    optimal_zero_slices,
+)
+from repro.errors import ConfigurationError
+
+
+def _subset_rc(F, m, Dt, S, C, dq):
+    """The Appendix C approximate cost RC(Dq) used for brute-force checks."""
+    x = math.exp(-m * dq / F)
+    return S * F * x + (1 - x) ** (m * Dt) * C
+
+
+class TestDqOpt:
+    def test_matches_brute_force_minimum(self):
+        F, m, Dt, S = 500, 2, 10, 1
+        C = 63 + 32_000  # SC_OID + Pu·N, the paper's resolution ceiling
+        analytic = dq_opt(F, m, Dt, S, C)
+        grid = min(range(1, 3000), key=lambda dq: _subset_rc(F, m, Dt, S, C, dq))
+        assert abs(analytic - grid) <= 2.0
+
+    def test_paper_scale_value_near_300(self):
+        """§5.2.2 reads the minimum of the Dt=10, F=500, m=2 curve at
+        Dq ≈ 300."""
+        value = dq_opt(500, 2, 10, 1, 63 + 32_000)
+        assert 200 <= value <= 420
+
+    def test_larger_resolution_cost_pushes_dq_opt_down(self):
+        cheap = dq_opt(500, 2, 10, 1, 1_000)
+        pricey = dq_opt(500, 2, 10, 1, 100_000)
+        assert pricey < cheap
+
+    def test_degenerate_ratio_returns_infinity(self):
+        # Slices cost more than resolving everything: never filter.
+        assert math.isinf(dq_opt(500, 2, 1, 1_000, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dq_opt(0, 2, 10, 1, 100)
+        with pytest.raises(ConfigurationError):
+            dq_opt(500, 0, 10, 1, 100)
+        with pytest.raises(ConfigurationError):
+            dq_opt(500, 2, 0, 1, 100)
+        with pytest.raises(ConfigurationError):
+            dq_opt(500, 2, 10, 0, 100)
+        with pytest.raises(ConfigurationError):
+            dq_opt(500, 1, 1, 1, 100)  # m·Dt must exceed 1
+
+
+class TestOptimalZeroSlices:
+    def test_equals_slices_at_dq_opt(self):
+        F, m, Dt, S = 500, 2, 10, 1
+        C = 63 + 32_000
+        d_opt = dq_opt(F, m, Dt, S, C)
+        k = optimal_zero_slices(F, m, Dt, S, C)
+        assert k == round(F * math.exp(-m * d_opt / F))
+
+    def test_within_bounds(self):
+        k = optimal_zero_slices(500, 2, 10, 1, 63 + 32_000)
+        assert 0 < k < 500
+
+    def test_degenerate_returns_zero(self):
+        assert optimal_zero_slices(500, 2, 1, 1_000, 1.0) == 0
+
+
+class TestOptimalQueryElements:
+    def test_picks_global_minimum(self):
+        costs = {1: 10.0, 2: 4.0, 3: 6.0, 4: 9.0}
+        assert optimal_query_elements(costs.__getitem__, 4) == 2
+
+    def test_ties_prefer_fewer(self):
+        costs = {1: 5.0, 2: 5.0, 3: 5.0}
+        assert optimal_query_elements(costs.__getitem__, 3) == 1
+
+    def test_single_element(self):
+        assert optimal_query_elements(lambda k: 1.0, 1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_query_elements(lambda k: 1.0, 0)
+
+
+class TestBestMForRetrieval:
+    def test_finds_minimum(self):
+        costs = {1: 30.0, 2: 4.0, 3: 7.0, 4: 9.0, 5: 20.0}
+        assert best_m_for_retrieval(costs.__getitem__, 5) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            best_m_for_retrieval(lambda m: 1.0, 0)

@@ -1,0 +1,130 @@
+"""Tests for actual-drop estimation (§4.4, Appendix B)."""
+
+import math
+import random
+
+import pytest
+
+from repro.costmodel.actual_drop import (
+    actual_drops_subset,
+    actual_drops_superset,
+    expected_intersecting_non_subset,
+    intersection_probability,
+    subset_probability,
+    superset_probability,
+)
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.errors import ConfigurationError
+
+
+class TestSupersetProbability:
+    def test_singleton_query_gives_d_over_n(self):
+        """A(Dq=1) = N·Dt/V = d — the paper's posting-list density."""
+        drops = actual_drops_superset(PAPER_PARAMETERS, 10, 1)
+        assert drops == pytest.approx(32_000 * 10 / 13_000, rel=1e-9)
+
+    def test_formula(self):
+        V, Dt, Dq = 100, 10, 3
+        expected = math.comb(V - Dq, Dt - Dq) / math.comb(V, Dt)
+        assert superset_probability(V, Dt, Dq) == pytest.approx(expected)
+
+    def test_query_larger_than_target_impossible(self):
+        assert superset_probability(100, 5, 6) == 0.0
+
+    def test_empty_query_certain(self):
+        assert superset_probability(100, 5, 0) == 1.0
+
+    def test_decreasing_in_dq(self):
+        values = [superset_probability(100, 20, dq) for dq in range(0, 10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_huge_parameters_no_overflow(self):
+        # Dt=100 over V=13000 involves astronomically large binomials.
+        value = superset_probability(13_000, 100, 10)
+        assert 0.0 < value < 1e-15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            superset_probability(10, 11, 1)
+        with pytest.raises(ConfigurationError):
+            superset_probability(10, 1, 11)
+        with pytest.raises(ConfigurationError):
+            superset_probability(10, -1, 1)
+
+
+class TestSubsetProbability:
+    def test_formula(self):
+        V, Dt, Dq = 100, 3, 10
+        expected = math.comb(Dq, Dt) / math.comb(V, Dt)
+        assert subset_probability(V, Dt, Dq) == pytest.approx(expected)
+
+    def test_target_larger_than_query_impossible(self):
+        assert subset_probability(100, 6, 5) == 0.0
+
+    def test_empty_target_certain(self):
+        assert subset_probability(100, 0, 5) == 1.0
+
+    def test_negligible_at_paper_scale(self):
+        """§4.4: actual drops for T ⊆ Q are 'almost negligible'."""
+        drops = actual_drops_subset(PAPER_PARAMETERS, 10, 100)
+        assert drops < 1e-10
+
+    def test_increasing_in_dq(self):
+        values = [subset_probability(100, 3, dq) for dq in (3, 10, 50, 100)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_full_domain_query_certain(self):
+        assert subset_probability(50, 5, 50) == pytest.approx(1.0)
+
+
+class TestIntersectionProbability:
+    def test_distribution_sums_to_one(self):
+        V, Dt, Dq = 60, 8, 12
+        total = sum(
+            intersection_probability(V, Dt, Dq, j) for j in range(0, Dt + 1)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_out_of_support_is_zero(self):
+        assert intersection_probability(60, 8, 12, -1) == 0.0
+        assert intersection_probability(60, 8, 12, 9) == 0.0
+
+    def test_monte_carlo_agreement(self):
+        V, Dt, Dq, trials = 40, 5, 8, 4000
+        rng = random.Random(0)
+        query = set(rng.sample(range(V), Dq))
+        histogram = [0] * (Dt + 1)
+        for _ in range(trials):
+            target = set(rng.sample(range(V), Dt))
+            histogram[len(target & query)] += 1
+        for j in range(Dt + 1):
+            predicted = intersection_probability(V, Dt, Dq, j)
+            measured = histogram[j] / trials
+            sigma = math.sqrt(max(predicted * (1 - predicted) / trials, 1e-12))
+            assert abs(measured - predicted) < max(6 * sigma, 0.02)
+
+
+class TestIntersectingNonSubset:
+    def test_consistency_with_distribution(self):
+        """Expected failing candidates = N·(P[∩>0] − P[subset])."""
+        params = PAPER_PARAMETERS
+        Dt, Dq = 10, 50
+        p_overlap = 1.0 - intersection_probability(
+            params.domain_cardinality, Dt, Dq, 0
+        )
+        p_subset = subset_probability(params.domain_cardinality, Dt, Dq)
+        expected = params.num_objects * (p_overlap - p_subset)
+        value = expected_intersecting_non_subset(params, Dt, Dq)
+        assert value == pytest.approx(expected, rel=1e-6)
+
+    def test_grows_with_dq(self):
+        params = PAPER_PARAMETERS
+        values = [
+            expected_intersecting_non_subset(params, 10, dq)
+            for dq in (10, 100, 500)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_bounded_by_n(self):
+        value = expected_intersecting_non_subset(PAPER_PARAMETERS, 10, 5000)
+        assert value <= PAPER_PARAMETERS.num_objects

@@ -1,0 +1,177 @@
+"""Tests for the SSF / BSSF / NIX analytical cost models (§4).
+
+Anchor values come straight from the paper's text and tables; shape tests
+pin the monotonicity and dominance claims of Section 5.
+"""
+
+import pytest
+
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.nix_model import NIXCostModel
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.ssf_model import SSFCostModel
+from repro.errors import ConfigurationError
+
+P = PAPER_PARAMETERS
+
+
+class TestSSFStorage:
+    def test_signature_file_pages(self):
+        assert SSFCostModel(P, 250, 2).signature_file_pages == 245
+        assert SSFCostModel(P, 500, 2).signature_file_pages == 493
+
+    def test_storage_anchors_vs_nix(self):
+        """§6: SSF storage ≈ 45% / 80% of NIX for Dt=10; 16% / 38% for 100."""
+        nix10 = NIXCostModel(P, 10).storage_cost()
+        nix100 = NIXCostModel(P, 100).storage_cost()
+        assert SSFCostModel(P, 250, 2).storage_cost() / nix10 == pytest.approx(0.45, abs=0.02)
+        assert SSFCostModel(P, 500, 2).storage_cost() / nix10 == pytest.approx(0.80, abs=0.02)
+        assert SSFCostModel(P, 1000, 3).storage_cost() / nix100 == pytest.approx(0.16, abs=0.02)
+        assert SSFCostModel(P, 2500, 3).storage_cost() / nix100 == pytest.approx(0.38, abs=0.02)
+
+    def test_update_costs(self):
+        model = SSFCostModel(P, 500, 2)
+        assert model.insert_cost() == 2.0
+        assert model.delete_cost() == 31.5  # SC_OID / 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SSFCostModel(P, 0, 1)
+        with pytest.raises(ConfigurationError):
+            SSFCostModel(P, 100, 0)
+        with pytest.raises(ConfigurationError):
+            SSFCostModel(P, 100_000, 2)  # signature larger than a page
+
+
+class TestSSFRetrieval:
+    def test_scan_term_dominates_small_queries(self):
+        """Eq. 7: RC ≥ SC_SIG always — the full scan is unavoidable."""
+        model = SSFCostModel(P, 500, 2)
+        for dq in range(1, 11):
+            assert model.retrieval_cost_superset(10, dq) >= 493
+
+    def test_subset_cost_approaches_pu_n(self):
+        model = SSFCostModel(P, 500, 2)
+        huge = model.retrieval_cost_subset(10, 5000)
+        ceiling = 493 + 63 + P.num_objects
+        assert huge == pytest.approx(ceiling, rel=0.01)
+
+    def test_exact_flag_changes_little(self):
+        model = SSFCostModel(P, 500, 2)
+        approx = model.retrieval_cost_superset(10, 3)
+        exact = model.retrieval_cost_superset(10, 3, exact=True)
+        assert approx == pytest.approx(exact, rel=0.05)
+
+
+class TestBSSFModel:
+    def test_slice_pages_is_one_at_paper_scale(self):
+        assert BSSFCostModel(P, 500, 2).slice_pages == 1
+
+    def test_storage_cost(self):
+        assert BSSFCostModel(P, 500, 2).storage_cost() == 563
+        assert BSSFCostModel(P, 250, 2).storage_cost() == 313
+
+    def test_update_costs(self):
+        model = BSSFCostModel(P, 500, 2)
+        assert model.insert_cost() == 501.0  # F + 1 worst case
+        assert model.delete_cost() == 31.5
+        expected = model.insert_cost_expected(10)
+        assert 1.0 < expected < 40.0  # ~m_t + 1 ≈ 20.6
+
+    def test_superset_cost_grows_with_dq(self):
+        """§5.1.1: BSSF T⊇Q cost rises with Dq via m_q."""
+        model = BSSFCostModel(P, 500, 2)
+        costs = [model.retrieval_cost_superset(10, dq) for dq in range(2, 11)]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_paper_example_six_pages_at_dq3(self):
+        """§5.1.3: m=2, Dq=3 costs ≈6 pages; Dq=2 costs ≈4 pages."""
+        model = BSSFCostModel(P, 500, 2)
+        assert model.retrieval_cost_superset(10, 3) == pytest.approx(6.0, abs=0.2)
+        assert model.retrieval_cost_superset(10, 2) == pytest.approx(4.0, abs=0.3)
+
+    def test_superset_partial_equals_smaller_dq(self):
+        model = BSSFCostModel(P, 500, 2)
+        assert model.retrieval_cost_superset_partial(10, 8, 2) == pytest.approx(
+            model.retrieval_cost_superset(10, 2)
+        )
+
+    def test_partial_validation(self):
+        model = BSSFCostModel(P, 500, 2)
+        with pytest.raises(ConfigurationError):
+            model.retrieval_cost_superset_partial(10, 3, 0)
+        with pytest.raises(ConfigurationError):
+            model.retrieval_cost_superset_partial(10, 3, 4)
+        with pytest.raises(ConfigurationError):
+            model.retrieval_cost_subset_partial(10, 3, -1)
+
+    def test_subset_partial_matches_full_at_all_slices(self):
+        model = BSSFCostModel(P, 500, 2)
+        Dt, Dq = 10, 100
+        available = model.signature_bits - model.query_weight(Dq)
+        partial = model.retrieval_cost_subset_partial(Dt, Dq, int(available) + 50)
+        full = model.retrieval_cost_subset(Dt, Dq)
+        assert partial == pytest.approx(full, rel=0.05)
+
+    def test_bssf_beats_matching_ssf_on_subset(self):
+        """§5.2.1 / Figure 8: BSSF dominates the same-(F, m) SSF."""
+        bssf = BSSFCostModel(P, 500, 2)
+        ssf = SSFCostModel(P, 500, 2)
+        for dq in (10, 30, 100, 300, 1000):
+            assert bssf.retrieval_cost_subset(10, dq) < ssf.retrieval_cost_subset(10, dq)
+
+
+class TestNIXModel:
+    def test_table5_anchors(self):
+        nix10 = NIXCostModel(P, 10)
+        assert (nix10.leaf_pages, nix10.nonleaf_pages) == (685, 5)
+        assert nix10.storage_cost() == 690
+        nix100 = NIXCostModel(P, 100)
+        assert (nix100.leaf_pages, nix100.nonleaf_pages) == (6500, 31)
+        assert nix100.storage_cost() == 6531
+
+    def test_height_and_rc(self):
+        assert NIXCostModel(P, 10).height == 2
+        assert NIXCostModel(P, 10).lookup_cost == 3
+        assert NIXCostModel(P, 100).lookup_cost == 3
+
+    def test_posting_density(self):
+        assert NIXCostModel(P, 10).average_postings == pytest.approx(24.6, abs=0.1)
+
+    def test_update_costs(self):
+        assert NIXCostModel(P, 10).insert_cost() == 30.0   # rc·Dt
+        assert NIXCostModel(P, 100).delete_cost() == 300.0
+
+    def test_superset_cost_linear_in_dq(self):
+        nix = NIXCostModel(P, 10)
+        # beyond Dq=2 actual drops are negligible: RC ≈ 3·Dq
+        assert nix.retrieval_cost_superset(5) == pytest.approx(15.0, abs=0.1)
+        assert nix.retrieval_cost_superset(10) == pytest.approx(30.0, abs=0.1)
+
+    def test_superset_dq1_includes_posting_fetches(self):
+        nix = NIXCostModel(P, 10)
+        assert nix.retrieval_cost_superset(1) == pytest.approx(3 + 24.6, abs=0.1)
+
+    def test_subset_cost_grows_toward_n(self):
+        nix = NIXCostModel(P, 10)
+        costs = [nix.retrieval_cost_subset(dq) for dq in (10, 100, 1000)]
+        assert costs[0] < costs[1] < costs[2]
+        assert costs[2] < P.num_objects + 3 * 1000 + 1
+
+    def test_partial_superset_model(self):
+        nix = NIXCostModel(P, 10)
+        # k=2 lookups: 6 pages + negligible candidates
+        assert nix.retrieval_cost_superset_partial(8, 2) == pytest.approx(6.0, abs=0.1)
+        with pytest.raises(ConfigurationError):
+            nix.retrieval_cost_superset_partial(3, 0)
+        with pytest.raises(ConfigurationError):
+            nix.retrieval_cost_superset_partial(3, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NIXCostModel(P, 0)
+        with pytest.raises(ConfigurationError):
+            NIXCostModel(P, 10, fanout=1)
+        with pytest.raises(ConfigurationError):
+            nix = NIXCostModel(P, 10)
+            nix.retrieval_cost_superset(-1)

@@ -1,0 +1,82 @@
+"""Tests for cost-model parameters (Table 2)."""
+
+import pytest
+
+from repro.costmodel.parameters import (
+    PAPER_DESIGN_POINTS,
+    PAPER_PARAMETERS,
+    CostParameters,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable2Defaults:
+    def test_constants(self):
+        p = PAPER_PARAMETERS
+        assert p.num_objects == 32_000
+        assert p.page_bytes == 4096
+        assert p.oid_bytes == 8
+        assert p.domain_cardinality == 13_000
+        assert p.bits_per_byte == 8
+        assert p.pages_per_successful == 1.0
+        assert p.pages_per_unsuccessful == 1.0
+
+    def test_derived_values(self):
+        p = PAPER_PARAMETERS
+        assert p.oids_per_page == 512          # O_p
+        assert p.oid_file_pages == 63          # SC_OID
+        assert p.page_bits == 32_768           # P·b
+
+    def test_design_points(self):
+        assert PAPER_DESIGN_POINTS[10] == ((250, 2), (500, 2))
+        assert PAPER_DESIGN_POINTS[100] == ((1000, 3), (2500, 3))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_objects": 0},
+            {"page_bytes": 0},
+            {"oid_bytes": 0},
+            {"oid_bytes": 8192},
+            {"domain_cardinality": 0},
+            {"bits_per_byte": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CostParameters(**kwargs)
+
+
+class TestOIDLookupCost:
+    def test_zero_drop_probability_no_actuals(self):
+        assert PAPER_PARAMETERS.oid_lookup_cost(0.0, 0.0) == 0.0
+
+    def test_fd_one_reads_whole_oid_file(self):
+        assert PAPER_PARAMETERS.oid_lookup_cost(1.0, 0.0) == 63.0
+
+    def test_min_caps_per_page_cost(self):
+        """With many drops per page, each page is read at most once."""
+        cost = PAPER_PARAMETERS.oid_lookup_cost(0.5, 1000.0)
+        assert cost == 63.0
+
+    def test_small_fd_scales_linearly(self):
+        p = PAPER_PARAMETERS
+        fd = 1e-4
+        expected = p.oid_file_pages * fd * p.oids_per_page
+        assert p.oid_lookup_cost(fd, 0.0) == pytest.approx(expected)
+
+    def test_alpha_term(self):
+        """One actual drop per OID page (α = 1) forces every page read."""
+        p = PAPER_PARAMETERS
+        actuals = 63.0
+        assert p.oid_lookup_cost(0.0, actuals) == pytest.approx(63.0)
+        # half a drop per page: half the pages in expectation
+        assert p.oid_lookup_cost(0.0, 31.5) == pytest.approx(31.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_PARAMETERS.oid_lookup_cost(1.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            PAPER_PARAMETERS.oid_lookup_cost(0.5, -1.0)

@@ -1,0 +1,171 @@
+"""Tests for the smart retrieval strategies (§5.1.3, §5.2.2, Appendix C)."""
+
+import pytest
+
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.nix_model import NIXCostModel
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.smart import (
+    smart_subset_bssf,
+    smart_subset_dq_opt,
+    smart_superset_bssf,
+    smart_superset_nix,
+    subset_resolution_ceiling,
+)
+from repro.errors import ConfigurationError
+
+P = PAPER_PARAMETERS
+
+
+class TestSmartSupersetBSSF:
+    def test_cost_flat_beyond_strategy_budget(self):
+        """§5.1.3: with m=2 (F=500) the smart cost is constant for Dq ≥ 2."""
+        model = BSSFCostModel(P, 500, 2)
+        costs = [smart_superset_bssf(model, 10, dq).cost for dq in range(2, 11)]
+        assert max(costs) - min(costs) < 1e-9
+
+    def test_paper_rule_two_elements(self):
+        """F=500, m=2: use two elements when Dq ≥ 3 (the paper's rule)."""
+        model = BSSFCostModel(P, 500, 2)
+        for dq in range(3, 11):
+            decision = smart_superset_bssf(model, 10, dq)
+            assert decision.parameter == 2
+
+    def test_full_query_used_when_optimal(self):
+        model = BSSFCostModel(P, 500, 2)
+        decision = smart_superset_bssf(model, 10, 1)
+        assert decision.is_naive  # nothing to drop at Dq=1
+
+    def test_never_worse_than_naive(self):
+        for F, m in ((250, 2), (500, 2), (1000, 3), (2500, 3)):
+            model = BSSFCostModel(P, F, m)
+            for dq in range(1, 11):
+                smart = smart_superset_bssf(model, 10, dq).cost
+                naive = model.retrieval_cost_superset(10, dq)
+                assert smart <= naive + 1e-9
+
+    def test_matches_brute_force_minimum(self):
+        model = BSSFCostModel(P, 250, 2)
+        for dq in (3, 6, 10):
+            brute = min(
+                model.retrieval_cost_superset_partial(10, dq, k)
+                for k in range(1, dq + 1)
+            )
+            assert smart_superset_bssf(model, 10, dq).cost == pytest.approx(brute)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            smart_superset_bssf(BSSFCostModel(P, 500, 2), 10, 0)
+
+
+class TestSmartSupersetNIX:
+    def test_paper_rule_two_lookups(self):
+        """§5.1.3: NIX smart uses two lookups for Dq ≥ 3 → cost ≈ 6 pages."""
+        nix = NIXCostModel(P, 10)
+        for dq in range(3, 11):
+            decision = smart_superset_nix(nix, dq)
+            assert decision.parameter == 2
+            assert decision.cost == pytest.approx(6.0, abs=0.1)
+
+    def test_nix_wins_only_at_dq1(self):
+        """§5.1.3 conclusion: NIX beats smart BSSF only at Dq = 1."""
+        nix = NIXCostModel(P, 10)
+        bssf = BSSFCostModel(P, 500, 2)
+        assert smart_superset_nix(nix, 1).cost < smart_superset_bssf(bssf, 10, 1).cost
+        for dq in range(2, 11):
+            assert (
+                smart_superset_bssf(bssf, 10, dq).cost
+                <= smart_superset_nix(nix, dq).cost + 1e-9
+            )
+
+    def test_never_worse_than_naive(self):
+        nix = NIXCostModel(P, 10)
+        for dq in range(1, 11):
+            assert smart_superset_nix(nix, dq).cost <= nix.retrieval_cost_superset(dq) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            smart_superset_nix(NIXCostModel(P, 10), 0)
+
+
+class TestSmartSubsetBSSF:
+    def test_cost_constant_below_dq_opt(self):
+        """§5.2.2: smart cost is flat for Dq ≤ D_q^opt."""
+        model = BSSFCostModel(P, 500, 2)
+        d_opt = smart_subset_dq_opt(model, 10)
+        sweep = [dq for dq in (10, 30, 100, 200) if dq < d_opt]
+        costs = [smart_subset_bssf(model, 10, dq).cost for dq in sweep]
+        assert max(costs) - min(costs) < 1e-6
+
+    def test_dq_opt_near_300_at_paper_point(self):
+        """§5.2.2 reads the naive curve's minimum at Dq ≈ 300."""
+        model = BSSFCostModel(P, 500, 2)
+        assert 200 <= smart_subset_dq_opt(model, 10) <= 420
+
+    def test_reverts_to_naive_above_dq_opt(self):
+        model = BSSFCostModel(P, 500, 2)
+        d_opt = smart_subset_dq_opt(model, 10)
+        dq = int(d_opt * 2)
+        decision = smart_subset_bssf(model, 10, dq)
+        assert decision.is_naive
+        assert decision.cost == pytest.approx(
+            model.retrieval_cost_subset(10, dq), rel=0.1
+        )
+
+    def test_never_worse_than_naive(self):
+        model = BSSFCostModel(P, 500, 2)
+        for dq in (10, 50, 100, 300, 700, 1000):
+            smart = smart_subset_bssf(model, 10, dq).cost
+            naive = model.retrieval_cost_subset(10, dq)
+            assert smart <= naive * 1.05 + 1e-9
+
+    def test_smart_bssf_beats_nix_for_subset(self):
+        """§5.2.2 conclusion: BSSF overwhelms NIX on T ⊆ Q for probable
+        Dq values (the paper's phrase — i.e. up to around D_q^opt; at
+        extreme Dq both filters saturate and every object is read)."""
+        model = BSSFCostModel(P, 250, 2)
+        nix = NIXCostModel(P, 10)
+        for dq in (10, 50, 100, 300):
+            assert smart_subset_bssf(model, 10, dq).cost < nix.retrieval_cost_subset(dq)
+
+    def test_resolution_ceiling(self):
+        model = BSSFCostModel(P, 500, 2)
+        assert subset_resolution_ceiling(model) == 63 + 32_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            smart_subset_bssf(BSSFCostModel(P, 500, 2), 10, -1)
+
+
+class TestHeadlineConclusion:
+    """The paper's §6 summary, as executable assertions."""
+
+    def test_bssf_small_m_beats_ssf_everywhere(self):
+        from repro.costmodel.ssf_model import SSFCostModel
+
+        bssf = BSSFCostModel(P, 250, 2)
+        ssf = SSFCostModel(P, 250, 2)
+        for dq in range(1, 11):
+            assert bssf.retrieval_cost_superset(10, dq) < ssf.retrieval_cost_superset(10, dq)
+        for dq in (10, 100, 1000):
+            assert bssf.retrieval_cost_subset(10, dq) < ssf.retrieval_cost_subset(10, dq)
+
+    def test_bssf_storage_half_of_nix(self):
+        """§6: BSSF (F=250) storage ≈ half of NIX for Dt=10."""
+        ratio = BSSFCostModel(P, 250, 2).storage_cost() / NIXCostModel(P, 10).storage_cost()
+        assert ratio == pytest.approx(0.45, abs=0.05)
+
+    def test_small_m_beats_m_opt_for_retrieval(self):
+        """§6: 'we had better set a far smaller value to m'."""
+        from repro.core.false_drop import rounded_optimal_m
+        from repro.core.tuning import best_m_for_retrieval
+
+        F, Dt = 500, 10
+        m_opt = rounded_optimal_m(F, Dt)
+
+        def cost(m):
+            model = BSSFCostModel(P, F, m)
+            return sum(model.retrieval_cost_superset(Dt, dq) for dq in range(2, 11))
+
+        best = best_m_for_retrieval(cost, m_opt)
+        assert best <= 4 < m_opt

@@ -1,0 +1,152 @@
+"""Tests for the variable-cardinality cost model (§6 future work)."""
+
+import random
+
+import pytest
+
+from repro.core.signature import SignatureScheme
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.variable import (
+    CardinalityDistribution,
+    VariableCardinalityModel,
+)
+from repro.errors import ConfigurationError
+
+P = PAPER_PARAMETERS
+
+
+class TestDistribution:
+    def test_fixed(self):
+        dist = CardinalityDistribution.fixed(10)
+        assert dist.mean() == 10
+        assert dist.support() == (10,)
+
+    def test_uniform(self):
+        dist = CardinalityDistribution.uniform(1, 19)
+        assert dist.mean() == pytest.approx(10.0)
+        assert dist.support() == tuple(range(1, 20))
+
+    def test_from_samples(self):
+        dist = CardinalityDistribution.from_samples([2, 2, 4])
+        assert dist.probabilities[2] == pytest.approx(2 / 3)
+        assert dist.mean() == pytest.approx(8 / 3)
+
+    def test_expect(self):
+        dist = CardinalityDistribution.uniform(1, 3)
+        assert dist.expect(lambda d: d * d) == pytest.approx((1 + 4 + 9) / 3)
+
+    @pytest.mark.parametrize(
+        "probs",
+        [{}, {5: 0.5}, {-1: 1.0}, {5: -0.2, 6: 1.2}],
+    )
+    def test_validation(self, probs):
+        with pytest.raises(ConfigurationError):
+            CardinalityDistribution(probs)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ConfigurationError):
+            CardinalityDistribution.uniform(5, 4)
+
+    def test_from_samples_empty(self):
+        with pytest.raises(ConfigurationError):
+            CardinalityDistribution.from_samples([])
+
+
+class TestFixedDegeneratesToSection4:
+    """With a point distribution the model must equal the fixed-Dt one."""
+
+    def test_all_costs_match(self):
+        fixed = VariableCardinalityModel(
+            P, CardinalityDistribution.fixed(10), 500, 2
+        )
+        reference = BSSFCostModel(P, 500, 2)
+        for dq in (1, 3, 5, 10):
+            assert fixed.bssf_retrieval_superset(dq) == pytest.approx(
+                reference.retrieval_cost_superset(10, dq)
+            )
+        for dq in (10, 100, 300):
+            assert fixed.bssf_retrieval_subset(dq) == pytest.approx(
+                reference.retrieval_cost_subset(10, dq)
+            )
+
+    def test_nix_geometry_at_mean(self):
+        fixed = VariableCardinalityModel(
+            P, CardinalityDistribution.fixed(10), 500, 2
+        )
+        assert fixed.nix_model().storage_cost() == 690
+        assert fixed.nix_update_cost() == 30.0
+
+
+class TestMixtureEffects:
+    def test_variance_increases_false_drops(self):
+        """Fd_⊇ is convex in Dt, so a mean-preserving spread hurts."""
+        fixed = VariableCardinalityModel(
+            P, CardinalityDistribution.fixed(10), 500, 2
+        )
+        spread = VariableCardinalityModel(
+            P, CardinalityDistribution.uniform(1, 19), 500, 2
+        )
+        for dq in (1, 2, 3, 5):
+            assert spread.false_drop_superset(dq) > fixed.false_drop_superset(dq)
+
+    def test_retrieval_cost_ordering_under_spread(self):
+        fixed = VariableCardinalityModel(
+            P, CardinalityDistribution.fixed(10), 500, 2
+        )
+        spread = VariableCardinalityModel(
+            P, CardinalityDistribution.uniform(1, 19), 500, 2
+        )
+        for dq in (2, 3, 5):
+            assert spread.bssf_retrieval_superset(dq) >= fixed.bssf_retrieval_superset(dq)
+
+    def test_mixture_is_linear_in_probabilities(self):
+        half = CardinalityDistribution({5: 0.5, 15: 0.5})
+        model = VariableCardinalityModel(P, half, 500, 2)
+        five = VariableCardinalityModel(P, CardinalityDistribution.fixed(5), 500, 2)
+        fifteen = VariableCardinalityModel(P, CardinalityDistribution.fixed(15), 500, 2)
+        dq = 2
+        assert model.false_drop_superset(dq) == pytest.approx(
+            0.5 * five.false_drop_superset(dq) + 0.5 * fifteen.false_drop_superset(dq)
+        )
+        assert model.actual_drops_superset(dq) == pytest.approx(
+            0.5 * five.actual_drops_superset(dq)
+            + 0.5 * fifteen.actual_drops_superset(dq)
+        )
+
+    def test_ssf_scan_term_unchanged_by_distribution(self):
+        spread = VariableCardinalityModel(
+            P, CardinalityDistribution.uniform(1, 19), 500, 2
+        )
+        # huge Dq: the filter saturates toward the same ceiling either way
+        assert spread.ssf_retrieval_superset(1) >= 493
+
+
+class TestMonteCarloAgreement:
+    def test_mixed_false_drop_rate_matches_simulation(self):
+        """Measured drop rate over variable-size targets ≈ E_d[Fd(d)]."""
+        F, m, Dq, trials = 64, 2, 2, 4000
+        scheme = SignatureScheme(F, m, seed=4)
+        rng = random.Random(4)
+        domain = range(50_000)
+        query = rng.sample(domain, Dq)
+        query_sig = scheme.query_signature(query)
+        sizes = [1, 2, 3, 4, 5, 6, 7]
+        drops = 0
+        for _ in range(trials):
+            d = rng.choice(sizes)
+            target = rng.sample(domain, d)
+            if set(query) <= set(target):
+                continue
+            if scheme.is_drop_superset(scheme.set_signature(target), query_sig):
+                drops += 1
+        measured = drops / trials
+        params = PAPER_PARAMETERS
+        model = VariableCardinalityModel(
+            params,
+            CardinalityDistribution.uniform(1, 7),
+            F,
+            m,
+        )
+        predicted = model.false_drop_superset(Dq)
+        assert measured == pytest.approx(predicted, rel=0.35, abs=0.01)

@@ -1,0 +1,29 @@
+"""Tests for the Section 6 conclusions summary experiment."""
+
+import pytest
+
+from repro.experiments.conclusions import summary
+from repro.experiments.registry import run_experiment
+
+
+class TestSummary:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return summary()
+
+    def test_every_claim_holds(self, table):
+        failing = [row[0] for row in table.rows if row[2] != "HOLDS"]
+        assert not failing, f"paper claims failing to reproduce: {failing}"
+
+    def test_covers_the_section6_claims(self, table):
+        claims = " | ".join(row[0] for row in table.rows)
+        for keyword in ("storage", "T⊇Q", "T⊆Q", "m_opt", "insert"):
+            assert keyword in claims
+
+    def test_registered(self):
+        result = run_experiment("summary")
+        assert result.experiment_id == "summary"
+
+    def test_renders(self, table):
+        text = table.render()
+        assert "HOLDS" in text and "FAILS" not in text

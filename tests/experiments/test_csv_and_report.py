@@ -1,0 +1,53 @@
+"""Tests for CSV rendering and the report command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.result import SeriesResult, TableResult, render_result
+from repro.experiments.tables import table5
+
+
+class TestCSV:
+    def test_table_csv(self):
+        csv = table5().render_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "Dt,lp,nlp,SC"
+        assert lines[1] == "10,685,5,690"
+
+    def test_series_csv(self):
+        series = SeriesResult(
+            "x", "t", "Dq", [1, 2], {"a": [1.5, 2.0], "b": [3.0, 4.25]}
+        )
+        lines = series.render_csv().splitlines()
+        assert lines[0] == "Dq,a,b"
+        assert lines[1] == "1,1.50,3"
+
+    def test_quoting(self):
+        table = TableResult(
+            "q", "t", ["name", "v"], [['has,comma', 1], ['has"quote', 2]]
+        )
+        csv = table.render_csv()
+        assert '"has,comma",1' in csv
+        assert '"has""quote",2' in csv
+
+    def test_render_result_dispatch(self):
+        assert "Dt,lp" in render_result(table5(), fmt="csv")
+        assert "== table5" in render_result(table5(), fmt="text")
+        with pytest.raises(ValueError):
+            render_result(table5(), fmt="json")
+
+
+class TestCLIFormats:
+    def test_run_csv(self, capsys):
+        assert main(["run", "table5", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "Dt,lp,nlp,SC" in out
+
+    def test_report_analytical(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["report", "--analytical-only", "--output", str(path)]) == 0
+        body = path.read_text()
+        assert "# Reproduction report" in body
+        for eid in ("figure4", "table7", "summary"):
+            assert f"## {eid}" in body
+        assert "## empirical_superset" not in body

@@ -1,0 +1,146 @@
+"""Integration tests: the simulator's measured page accesses vs the model.
+
+These run a genuinely scaled-down testbed (N = 512) so they stay fast while
+still exercising the full stack — loader, three facilities, planner,
+executor, and I/O accounting.
+"""
+
+import pytest
+
+from repro.experiments.empirical import (
+    EmpiricalConfig,
+    Testbed,
+    empirical_sweep,
+    empirical_update_costs,
+)
+
+CONFIG = EmpiricalConfig(
+    num_objects=512,
+    domain_cardinality=208,  # keeps d = Dt·N/V ≈ 24.6 like the paper
+    target_cardinality=10,
+    signature_bits=500,
+    bits_per_element=2,
+    seed=11,
+    queries_per_point=2,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed() -> Testbed:
+    return Testbed.build(CONFIG)
+
+
+class TestTestbedConstruction:
+    def test_loads_n_objects(self, testbed):
+        assert testbed.database.count("EvalObject") == 512
+
+    def test_three_facilities_registered(self, testbed):
+        assert set(testbed.database.indexes_on("EvalObject", "elements")) == {
+            "ssf", "bssf", "nix",
+        }
+
+    def test_indexes_structurally_sound(self, testbed):
+        testbed.database.verify_indexes()
+
+
+class TestMeasuredVsModel:
+    @pytest.mark.parametrize("facility", ["ssf", "bssf", "nix"])
+    def test_superset_measured_close_to_model(self, testbed, facility):
+        for dq in (1, 2, 3):
+            measured = testbed.measure_point(facility, "superset", dq, smart=False)
+            predicted = testbed.predicted_point(facility, "superset", dq, smart=False)
+            # individual queries fluctuate; demand the same order of magnitude
+            assert measured <= max(2.5 * predicted, predicted + 6)
+            assert measured >= min(0.3 * predicted, predicted - 6)
+
+    def test_subset_measured_not_above_model(self, testbed):
+        """The simulator short-circuits saturated slice scans, so measured
+        cost may undercut the model but must not exceed it materially."""
+        for facility in ("bssf", "nix"):
+            measured = testbed.measure_point(facility, "subset", 100, smart=False)
+            predicted = testbed.predicted_point(facility, "subset", 100, smart=False)
+            assert measured <= predicted * 1.3 + 6
+
+    def test_smart_superset_cheaper_or_equal(self, testbed):
+        naive = testbed.measure_point("bssf", "superset", 8, smart=False)
+        smart = testbed.measure_point("bssf", "superset", 8, smart=True)
+        assert smart <= naive + 1
+
+    def test_query_results_identical_across_facilities(self, testbed):
+        query = testbed.generator.random_query_set(3)
+        answers = set()
+        for facility in ("ssf", "bssf", "nix"):
+            _, rows = testbed.measure_query(facility, "superset", query, False)
+            answers.add(rows)
+        assert len(answers) == 1
+
+
+class TestSuccessfulSearch:
+    def test_planted_superset_query_hits(self, testbed):
+        query = testbed.planted_query("superset", 3, index=5)
+        assert len(query) == 3
+        _, rows = testbed.measure_query("nix", "superset", query, False)
+        assert rows >= 1
+
+    def test_planted_subset_query_hits(self, testbed):
+        query = testbed.planted_query("subset", 40, index=2)
+        assert len(query) == 40
+        _, rows = testbed.measure_query("bssf", "subset", query, False)
+        assert rows >= 1
+
+    def test_measure_successful_point(self, testbed):
+        pages, rows = testbed.measure_successful_point("nix", "superset", 2)
+        assert rows >= 1.0
+        assert pages > 0
+
+    def test_unknown_mode_rejected(self, testbed):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            testbed.planted_query("overlap", 3)
+
+
+class TestSweepResult:
+    def test_sweep_produces_pairs(self, testbed):
+        result = empirical_sweep(
+            CONFIG, "superset", (1, 2), testbed=testbed
+        )
+        assert "ssf measured" in result.series
+        assert "ssf model" in result.series
+        assert len(result.x_values) == 2
+        assert "Simulator vs model" in result.title
+
+    def test_sweep_renders(self, testbed):
+        text = empirical_sweep(CONFIG, "superset", (2,), testbed=testbed).render()
+        assert "bssf model" in text
+
+
+class TestUpdateCosts:
+    def test_update_table_magnitudes(self, testbed):
+        table = empirical_update_costs(CONFIG, operations=8, testbed=testbed)
+        values = {row[0]: row[1:] for row in table.rows}
+        ssf_ins, ssf_ins_model, ssf_del, ssf_del_model = values["ssf"]
+        # SSF insert touches ~2 pages (model) but read+write counting can
+        # make it up to ~4; deletion scans about half the OID file.
+        assert ssf_ins <= 2 * ssf_ins_model + 1
+        # At this scale the OID file is only ~2 pages, so the model's
+        # half-file-scan expectation is dominated by page rounding.
+        assert abs(ssf_del - ssf_del_model) <= 3.0
+
+        bssf_ins, bssf_ins_model, _, _ = values["bssf"]
+        assert bssf_ins <= 2 * bssf_ins_model + 2  # expected case ~ m_t + 1
+
+        nix_ins, nix_ins_model, nix_del, nix_del_model = values["nix"]
+        # per-element tree maintenance: same order as rc·Dt. The simulator
+        # counts the descend reads AND the leaf write (plus occasional
+        # splits) where the model idealizes one access per level, so allow
+        # up to ~2.5× on insert.
+        assert nix_ins_model * 0.5 <= nix_ins <= nix_ins_model * 2.5
+        assert nix_del_model * 0.5 <= nix_del <= nix_del_model * 2.5
+
+    def test_bssf_insert_far_below_worst_case(self, testbed):
+        """The paper's F+1 is worst case; honest inserts touch ~m_t+1."""
+        table = empirical_update_costs(CONFIG, operations=4, testbed=testbed)
+        values = {row[0]: row[1:] for row in table.rows}
+        bssf_ins = values["bssf"][0]
+        assert bssf_ins < CONFIG.signature_bits / 4

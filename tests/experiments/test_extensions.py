@@ -1,0 +1,67 @@
+"""Tests for the extension experiments (variable Dt, false-drop validation)."""
+
+import pytest
+
+from repro.experiments.empirical import EmpiricalConfig, Testbed
+from repro.experiments.extensions import false_drop_validation, variable_cardinality
+
+
+class TestVariableCardinalityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return variable_cardinality()
+
+    def test_two_series(self, result):
+        assert set(result.series) == {"fixed Dt=10", "uniform Dt∈[1,19]"}
+
+    def test_spread_never_cheaper(self, result):
+        for dq in result.x_values:
+            assert (
+                result.value("uniform Dt∈[1,19]", dq)
+                >= result.value("fixed Dt=10", dq) - 1e-9
+            )
+
+    def test_renders(self, result):
+        assert "variable_cardinality" in result.render()
+
+
+class TestFalseDropValidation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        config = EmpiricalConfig(
+            num_objects=512,
+            domain_cardinality=208,
+            signature_bits=64,
+            bits_per_element=2,
+            queries_per_point=3,
+            seed=5,
+        )
+        return false_drop_validation(
+            config=config,
+            superset_dq=(1, 2),
+            subset_dq=(30, 60),
+            queries_per_point=3,
+            testbed=Testbed.build(config),
+        )
+
+    def test_rows_cover_both_query_types(self, table):
+        modes = {row[0] for row in table.rows}
+        assert modes == {"T⊇Q", "T⊆Q"}
+
+    def test_measured_tracks_prediction(self, table):
+        """Measured and predicted Fd must agree within the validation
+        regime's tolerance: sampling noise (a few hundred Bernoulli trials
+        per point) plus eq. (6)'s documented low bias at small F (the
+        independence approximation over m·Dt bits)."""
+        for mode, dq, measured, predicted, _ in table.rows:
+            assert predicted / 3.0 - 0.02 <= measured <= predicted * 3.0 + 0.03, (
+                mode, dq, measured, predicted,
+            )
+
+    def test_superset_fd_decreases_with_dq(self, table):
+        superset = [row for row in table.rows if row[0] == "T⊇Q"]
+        predicted = [row[3] for row in superset]
+        assert predicted == sorted(predicted, reverse=True)
+
+    def test_renders(self, table):
+        assert "false_drop_validation" in table.render()

@@ -1,0 +1,188 @@
+"""Tests pinning every analytical figure/table to the paper's claims."""
+
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.registry import (
+    ANALYTICAL_EXPERIMENTS,
+    experiment_ids,
+    run_experiment,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.figure4()
+
+    def test_series_present(self, fig):
+        assert set(fig.series) == {
+            "SSF F=250 m=17", "BSSF F=250 m=17",
+            "SSF F=500 m=35", "BSSF F=500 m=35", "NIX",
+        }
+
+    def test_ssf_floor_is_signature_scan(self, fig):
+        assert min(fig.series["SSF F=250 m=17"]) >= 245
+        assert min(fig.series["SSF F=500 m=35"]) >= 493
+
+    def test_nix_beats_signatures_at_m_opt(self, fig):
+        """§5.1.1: with m = m_opt, SSF and BSSF cost more than NIX."""
+        for dq in range(2, 11):
+            nix = fig.value("NIX", dq)
+            assert fig.value("SSF F=500 m=35", dq) > nix
+            assert fig.value("BSSF F=500 m=35", dq) > nix
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.figure5()
+
+    def test_nix_wins_at_dq1(self, fig):
+        for label in ("BSSF m=1", "BSSF m=2", "BSSF m=3", "BSSF m=4"):
+            assert fig.value(label, 1) > fig.value("NIX", 1)
+
+    def test_small_m_competitive_beyond_dq1(self, fig):
+        """§5.1.2: for Dq ≥ 2, some small-m BSSF is at or below NIX."""
+        for dq in range(2, 11):
+            best_bssf = min(
+                fig.value(f"BSSF m={m}", dq) for m in (1, 2, 3, 4)
+            )
+            assert best_bssf <= fig.value("NIX", dq)
+
+    def test_paper_worked_example(self, fig):
+        """m=2: 6.0 pages at Dq=3, ~4 pages at Dq=2 (§5.1.3 numbers)."""
+        assert fig.value("BSSF m=2", 3) == pytest.approx(6.0, abs=0.2)
+        assert fig.value("BSSF m=2", 2) == pytest.approx(4.2, abs=0.3)
+
+
+class TestFigures6and7:
+    @pytest.mark.parametrize(
+        "fig_func,labels",
+        [
+            (figures.figure6, ("BSSF F=250 m=2 (smart)", "BSSF F=500 m=2 (smart)")),
+            (figures.figure7, ("BSSF F=1000 m=3 (smart)", "BSSF F=2500 m=3 (smart)")),
+        ],
+    )
+    def test_smart_costs_flat_beyond_small_dq(self, fig_func, labels):
+        fig = fig_func()
+        for label in labels:
+            tail = [fig.value(label, dq) for dq in range(3, 11)]
+            assert max(tail) - min(tail) < 1e-6
+
+    def test_nix_wins_only_at_dq1(self):
+        fig = figures.figure6()
+        assert fig.value("NIX (smart)", 1) < fig.value("BSSF F=500 m=2 (smart)", 1)
+        for dq in range(2, 11):
+            assert (
+                fig.value("BSSF F=500 m=2 (smart)", dq)
+                <= fig.value("NIX (smart)", dq) + 1e-9
+            )
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.figure8()
+
+    def test_bssf_dominates_matching_ssf(self, fig):
+        for dq in fig.x_values:
+            assert fig.value("BSSF m=2", dq) < fig.value("SSF m=2", dq)
+            assert fig.value("BSSF m=35", dq) < fig.value("SSF m=35", dq)
+
+    def test_costs_approach_pu_n_for_large_dq(self, fig):
+        ceiling = 32_000
+        assert fig.value("BSSF m=2", 1000) > 0.6 * ceiling
+        assert fig.value("SSF m=2", 1000) > 0.6 * ceiling
+
+    def test_bssf_m2_minimum_near_dq300(self, fig):
+        """§5.2.2 observes the m=2 curve bottoms out around Dq ≈ 300."""
+        values = {dq: fig.value("BSSF m=2", dq) for dq in fig.x_values}
+        best_dq = min(values, key=values.get)
+        assert 150 <= best_dq <= 500
+
+    def test_nix_monotonically_increases(self, fig):
+        nix = fig.series["NIX"]
+        assert all(a < b for a, b in zip(nix, nix[1:]))
+
+
+class TestFigures9and10:
+    def test_figure9_bssf_constant_and_below_nix(self):
+        fig = figures.figure9()
+        for label in ("BSSF F=250 m=2 (smart)", "BSSF F=500 m=2 (smart)"):
+            head = [fig.value(label, dq) for dq in (10, 20, 30, 50, 70, 100)]
+            assert max(head) - min(head) < 1e-6
+            for dq in (10, 50, 100, 300):
+                assert fig.value(label, dq) < fig.value("NIX", dq)
+
+    def test_figure10_dt100(self):
+        fig = figures.figure10()
+        label = "BSSF F=2500 m=3 (smart)"
+        head = [fig.value(label, dq) for dq in (100, 200, 300, 500)]
+        assert max(head) - min(head) < 1e-6
+        for dq in (100, 500, 1000):
+            assert fig.value(label, dq) < fig.value("NIX", dq)
+
+    def test_figure10_notes_carry_dq_opt(self):
+        fig = figures.figure10()
+        assert any("Dq_opt" in note for note in fig.notes)
+
+
+class TestTables:
+    def test_table5_exact_paper_values(self):
+        t5 = tables.table5()
+        assert t5.cell(10, "lp") == 685
+        assert t5.cell(10, "nlp") == 5
+        assert t5.cell(10, "SC") == 690
+        assert t5.cell(100, "lp") == 6500
+        assert t5.cell(100, "nlp") == 31
+        assert t5.cell(100, "SC") == 6531
+
+    def test_table6_ratios(self):
+        t6 = tables.table6()
+        ratios = [row[-1] for row in t6.rows]
+        assert ratios == [0.45, 0.81, 0.16, 0.39]
+
+    def test_table6_ordering(self):
+        t6 = tables.table6()
+        assert [row[0] for row in t6.rows] == [10, 10, 100, 100]
+        for row in t6.rows:
+            _, _, ssf, bssf, nix, _ = row
+            assert ssf <= bssf <= nix  # §6: costs higher in this order
+
+    def test_table7_values(self):
+        t7 = tables.table7()
+        for row in t7.rows:
+            dt, F, ssf_i, ssf_d, bssf_i, bssf_d, nix_i, nix_d = row
+            assert ssf_i == 2.0
+            assert bssf_i == F + 1
+            assert ssf_d == bssf_d == 31.5
+            assert nix_i == nix_d == 3 * dt
+
+    def test_optimal_m_table(self):
+        t = tables.optimal_m_table()
+        assert t.cell(10, "m_opt") == 17  # first Dt=10 row: F=250
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for eid in (
+            "figure4", "figure5", "figure6", "figure7", "figure8",
+            "figure9", "figure10", "table5", "table6", "table7",
+        ):
+            assert eid in ANALYTICAL_EXPERIMENTS
+            assert eid in experiment_ids()
+
+    def test_run_experiment(self):
+        result = run_experiment("table5")
+        assert result.experiment_id == "table5"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("figure99")
+
+    def test_every_analytical_experiment_renders(self):
+        for eid, generator in ANALYTICAL_EXPERIMENTS.items():
+            text = generator().render()
+            assert eid in text

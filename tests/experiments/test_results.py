@@ -1,0 +1,77 @@
+"""Tests for experiment result containers and rendering."""
+
+import pytest
+
+from repro.experiments.result import SeriesResult, TableResult, render_result
+
+
+def make_series() -> SeriesResult:
+    return SeriesResult(
+        experiment_id="fig",
+        title="Demo",
+        x_label="Dq",
+        x_values=[1, 2],
+        series={"A": [1.0, 2.0], "B": [3.3333, 4.0]},
+        notes=["a note"],
+    )
+
+
+class TestSeriesResult:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesResult("x", "t", "Dq", [1, 2], {"A": [1.0]})
+
+    def test_rows_and_columns(self):
+        series = make_series()
+        assert series.column_labels() == ["Dq", "A", "B"]
+        assert series.rows() == [[1, 1.0, 3.3333], [2, 2.0, 4.0]]
+
+    def test_value_lookup(self):
+        assert make_series().value("B", 2) == 4.0
+        with pytest.raises(ValueError):
+            make_series().value("B", 99)
+
+    def test_render_contains_everything(self):
+        text = make_series().render()
+        assert "Demo" in text and "Dq" in text
+        assert "3.33" in text
+        assert "note: a note" in text
+
+    def test_render_aligns_columns(self):
+        lines = make_series().render().splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+
+class TestTableResult:
+    def make(self) -> TableResult:
+        return TableResult(
+            experiment_id="t5",
+            title="Storage",
+            columns=["Dt", "SC"],
+            rows=[[10, 690], [100, 6531]],
+        )
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            TableResult("t", "t", ["a"], [[1, 2]])
+
+    def test_cell_lookup(self):
+        assert self.make().cell(10, "SC") == 690
+        with pytest.raises(KeyError):
+            self.make().cell(42, "SC")
+        with pytest.raises(ValueError):
+            self.make().cell(10, "nope")
+
+    def test_render(self):
+        text = self.make().render()
+        assert "6531" in text and "Storage" in text
+
+
+class TestRenderDispatch:
+    def test_series_and_table(self):
+        assert "Demo" in render_result(make_series())
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            render_result("text")

@@ -1,0 +1,145 @@
+"""Tests for the slotted-page object file."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObjectStoreError
+from repro.objects.object_file import ObjectFile
+from repro.storage.paged_file import StorageManager
+
+
+def make_file(page_size: int = 256) -> ObjectFile:
+    manager = StorageManager(page_size=page_size, pool_capacity=0)
+    return ObjectFile(manager.create_file("heap"))
+
+
+class TestInsertRead:
+    def test_roundtrip(self):
+        heap = make_file()
+        address = heap.insert(b"hello world")
+        assert heap.read(address) == b"hello world"
+
+    def test_multiple_records_one_page(self):
+        heap = make_file()
+        addresses = [heap.insert(f"rec{i}".encode()) for i in range(5)]
+        assert heap.num_pages == 1
+        for i, address in enumerate(addresses):
+            assert heap.read(address) == f"rec{i}".encode()
+
+    def test_page_overflow_allocates_new_page(self):
+        heap = make_file(page_size=64)
+        # 64-byte pages: header 4 + slot 4 leaves < 60 bytes of data room.
+        a = heap.insert(b"x" * 40)
+        b = heap.insert(b"y" * 40)
+        assert a.page_no == 0 and b.page_no == 1
+
+    def test_oversized_record_rejected(self):
+        heap = make_file(page_size=64)
+        with pytest.raises(ObjectStoreError):
+            heap.insert(b"z" * 60)
+
+    def test_max_record_bytes(self):
+        heap = make_file(page_size=64)
+        heap.insert(b"z" * heap.max_record_bytes)  # exactly fits
+
+    def test_empty_record(self):
+        heap = make_file()
+        address = heap.insert(b"")
+        assert heap.read(address) == b""
+
+
+class TestDelete:
+    def test_deleted_record_unreadable(self):
+        heap = make_file()
+        address = heap.insert(b"doomed")
+        heap.delete(address)
+        with pytest.raises(ObjectStoreError):
+            heap.read(address)
+
+    def test_double_delete_rejected(self):
+        heap = make_file()
+        address = heap.insert(b"doomed")
+        heap.delete(address)
+        with pytest.raises(ObjectStoreError):
+            heap.delete(address)
+
+    def test_other_records_survive_delete(self):
+        heap = make_file()
+        keep = heap.insert(b"keep")
+        doomed = heap.insert(b"doomed")
+        heap.delete(doomed)
+        assert heap.read(keep) == b"keep"
+
+    def test_bad_slot_rejected(self):
+        heap = make_file()
+        address = heap.insert(b"x")
+        bad = type(address)(address.page_no, 7)
+        with pytest.raises(ObjectStoreError):
+            heap.read(bad)
+
+
+class TestUpdate:
+    def test_in_place_when_fits(self):
+        heap = make_file()
+        address = heap.insert(b"abcdef")
+        new_address = heap.update(address, b"ABC")
+        assert new_address == address
+        assert heap.read(address) == b"ABC"
+
+    def test_relocates_when_grows(self):
+        heap = make_file()
+        address = heap.insert(b"ab")
+        heap.insert(b"blocker")
+        new_address = heap.update(address, b"a much longer record body")
+        assert new_address != address
+        assert heap.read(new_address) == b"a much longer record body"
+        with pytest.raises(ObjectStoreError):
+            heap.read(address)
+
+    def test_update_deleted_rejected(self):
+        heap = make_file()
+        address = heap.insert(b"x")
+        heap.delete(address)
+        with pytest.raises(ObjectStoreError):
+            heap.update(address, b"y")
+
+
+class TestScan:
+    def test_scan_returns_live_records_in_order(self):
+        heap = make_file()
+        addresses = [heap.insert(f"r{i}".encode()) for i in range(6)]
+        heap.delete(addresses[2])
+        records = [payload for _, payload in heap.scan()]
+        assert records == [b"r0", b"r1", b"r3", b"r4", b"r5"]
+
+    def test_live_record_count(self):
+        heap = make_file()
+        for i in range(4):
+            heap.insert(bytes([i]))
+        assert heap.live_record_count() == 4
+
+    def test_scan_empty(self):
+        assert list(make_file().scan()) == []
+
+
+class TestRecordAddress:
+    def test_properties_and_repr(self):
+        heap = make_file()
+        address = heap.insert(b"x")
+        assert address.page_no == 0
+        assert address.slot == 0
+        assert "page=0" in repr(address)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payloads=st.lists(st.binary(max_size=60), min_size=1, max_size=40),
+)
+def test_property_all_live_records_recoverable(payloads):
+    heap = make_file(page_size=128)
+    addresses = [heap.insert(p) for p in payloads]
+    for address, payload in zip(addresses, payloads):
+        assert heap.read(address) == payload
+    scanned = [payload for _, payload in heap.scan()]
+    assert scanned == payloads

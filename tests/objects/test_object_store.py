@@ -1,0 +1,124 @@
+"""Tests for the object store (OIDs + per-class object files)."""
+
+import pytest
+
+from repro.errors import ObjectStoreError, SchemaError, UnknownOIDError
+from repro.objects.object_store import ObjectStore
+from repro.objects.schema import ClassSchema
+from repro.storage.paged_file import StorageManager
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore(StorageManager(page_size=4096, pool_capacity=0))
+    s.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    return s
+
+
+class TestSchemaManagement:
+    def test_duplicate_class_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.define_class(ClassSchema.build("Student", name="scalar"))
+
+    def test_unknown_class_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.schema("Ghost")
+        with pytest.raises(SchemaError):
+            store.insert("Ghost", {})
+
+    def test_class_names(self, store):
+        store.define_class(ClassSchema.build("Course", name="scalar"))
+        assert store.class_names() == ("Course", "Student")
+
+
+class TestLifecycle:
+    def test_insert_fetch(self, store):
+        oid = store.insert("Student", {"name": "Jeff", "hobbies": {"Baseball"}})
+        assert store.fetch(oid) == {"name": "Jeff", "hobbies": {"Baseball"}}
+        assert store.exists(oid)
+
+    def test_distinct_oids(self, store):
+        a = store.insert("Student", {"name": "a", "hobbies": set()})
+        b = store.insert("Student", {"name": "b", "hobbies": set()})
+        assert a != b
+
+    def test_oid_encodes_class(self, store):
+        oid = store.insert("Student", {"name": "x", "hobbies": set()})
+        assert store.class_name_of(oid) == "Student"
+
+    def test_insert_validates(self, store):
+        with pytest.raises(SchemaError):
+            store.insert("Student", {"name": "x"})
+
+    def test_update(self, store):
+        oid = store.insert("Student", {"name": "x", "hobbies": set()})
+        store.update(oid, {"name": "x", "hobbies": {"Chess"}})
+        assert store.fetch(oid)["hobbies"] == {"Chess"}
+
+    def test_update_validates(self, store):
+        oid = store.insert("Student", {"name": "x", "hobbies": set()})
+        with pytest.raises(SchemaError):
+            store.update(oid, {"name": "x"})
+
+    def test_update_grows_record(self, store):
+        oid = store.insert("Student", {"name": "x", "hobbies": set()})
+        big = {f"hobby-{i}" for i in range(40)}
+        store.update(oid, {"name": "x", "hobbies": big})
+        assert store.fetch(oid)["hobbies"] == big
+
+    def test_delete(self, store):
+        oid = store.insert("Student", {"name": "x", "hobbies": set()})
+        store.delete(oid)
+        assert not store.exists(oid)
+        with pytest.raises(UnknownOIDError):
+            store.fetch(oid)
+        with pytest.raises(UnknownOIDError):
+            store.delete(oid)
+
+    def test_unknown_class_id(self, store):
+        from repro.objects.oid import OID
+
+        with pytest.raises(UnknownOIDError):
+            store.fetch(OID(999, 0))
+
+
+class TestScansAndStats:
+    def test_scan_in_oid_order(self, store):
+        oids = [
+            store.insert("Student", {"name": f"s{i}", "hobbies": set()})
+            for i in range(5)
+        ]
+        store.delete(oids[1])
+        scanned = [oid for oid, _ in store.scan("Student")]
+        assert scanned == [oids[0]] + oids[2:]
+
+    def test_count(self, store):
+        assert store.count("Student") == 0
+        store.insert("Student", {"name": "a", "hobbies": set()})
+        assert store.count("Student") == 1
+
+    def test_count_unknown_class(self, store):
+        with pytest.raises(SchemaError):
+            store.count("Ghost")
+
+    def test_object_pages_grow(self, store):
+        assert store.object_pages("Student") == 0
+        for i in range(200):
+            store.insert(
+                "Student",
+                {"name": f"s{i}", "hobbies": {f"h{j}" for j in range(10)}},
+            )
+        assert store.object_pages("Student") >= 2
+
+    def test_fetch_costs_one_page(self, store):
+        oid = store.insert("Student", {"name": "j", "hobbies": {"a"}})
+        before = store.storage.snapshot()
+        store.fetch(oid)
+        delta = store.storage.snapshot() - before
+        assert delta.logical_total == 1
+
+    def test_set_attribute_value(self, store):
+        oid = store.insert("Student", {"name": "j", "hobbies": {"a", "b"}})
+        assert store.set_attribute_value(oid, "hobbies") == frozenset({"a", "b"})
+        with pytest.raises(ObjectStoreError):
+            store.set_attribute_value(oid, "name")

@@ -1,0 +1,73 @@
+"""Tests for OIDs and the allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ObjectStoreError
+from repro.objects.oid import OID, OID_BYTES, OIDAllocator
+
+
+class TestOID:
+    def test_packing_roundtrip(self):
+        oid = OID(class_id=7, serial=123456)
+        assert OID.from_int(oid.to_int()) == oid
+        assert OID.from_bytes(oid.to_bytes()) == oid
+
+    def test_byte_width_matches_paper(self):
+        assert OID_BYTES == 8
+        assert len(OID(1, 2).to_bytes()) == 8
+
+    def test_ordering_matches_int_order(self):
+        a = OID(1, 5)
+        b = OID(1, 6)
+        c = OID(2, 0)
+        assert a < b < c
+        assert a.to_int() < b.to_int() < c.to_int()
+
+    def test_range_validation(self):
+        with pytest.raises(ObjectStoreError):
+            OID(class_id=0x10000, serial=0)
+        with pytest.raises(ObjectStoreError):
+            OID(class_id=0, serial=1 << 48)
+        with pytest.raises(ObjectStoreError):
+            OID(class_id=-1, serial=0)
+
+    def test_from_bytes_length_checked(self):
+        with pytest.raises(ObjectStoreError):
+            OID.from_bytes(b"\x00" * 7)
+
+    def test_from_int_range_checked(self):
+        with pytest.raises(ObjectStoreError):
+            OID.from_int(-1)
+        with pytest.raises(ObjectStoreError):
+            OID.from_int(1 << 64)
+
+    def test_hashable(self):
+        assert len({OID(1, 1), OID(1, 1), OID(1, 2)}) == 2
+
+    def test_repr(self):
+        assert repr(OID(3, 9)) == "OID(3:9)"
+
+
+class TestAllocator:
+    def test_sequential_per_class(self):
+        alloc = OIDAllocator()
+        assert alloc.allocate(1) == OID(1, 0)
+        assert alloc.allocate(1) == OID(1, 1)
+        assert alloc.allocate(2) == OID(2, 0)
+
+    def test_high_water_mark(self):
+        alloc = OIDAllocator()
+        assert alloc.high_water_mark(1) == 0
+        alloc.allocate(1)
+        alloc.allocate(1)
+        assert alloc.high_water_mark(1) == 2
+        assert alloc.high_water_mark(9) == 0
+
+
+@given(class_id=st.integers(0, 0xFFFF), serial=st.integers(0, (1 << 48) - 1))
+def test_property_roundtrip(class_id, serial):
+    oid = OID(class_id, serial)
+    assert OID.from_int(oid.to_int()) == oid
+    assert OID.from_bytes(oid.to_bytes()) == oid

@@ -1,0 +1,115 @@
+"""Tests for class schemas and validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.objects.oid import OID
+from repro.objects.schema import Attribute, AttributeKind, ClassSchema
+
+
+class TestAttribute:
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Attribute(name="9bad", kind=AttributeKind.SCALAR)
+        with pytest.raises(SchemaError):
+            Attribute(name="", kind=AttributeKind.SCALAR)
+
+    def test_scalar_accepts_primitives(self):
+        attr = Attribute(name="x", kind=AttributeKind.SCALAR)
+        for value in ("s", 1, 1.5, True, b"b", None, OID(1, 1)):
+            attr.validate_value(value)
+
+    def test_scalar_rejects_containers(self):
+        attr = Attribute(name="x", kind=AttributeKind.SCALAR)
+        with pytest.raises(SchemaError):
+            attr.validate_value([1])
+
+    def test_set_requires_set(self):
+        attr = Attribute(name="x", kind=AttributeKind.SET)
+        attr.validate_value({1, 2})
+        attr.validate_value(frozenset())
+        with pytest.raises(SchemaError):
+            attr.validate_value([1, 2])
+
+    def test_reference_attribute_requires_oid(self):
+        attr = Attribute(name="c", kind=AttributeKind.SET, ref_class="Course")
+        attr.validate_value({OID(2, 0)})
+        with pytest.raises(SchemaError):
+            attr.validate_value({"not an oid"})
+
+    def test_scalar_reference(self):
+        attr = Attribute(name="t", kind=AttributeKind.SCALAR, ref_class="Teacher")
+        attr.validate_value(OID(3, 0))
+        with pytest.raises(SchemaError):
+            attr.validate_value("x")
+
+    def test_is_set(self):
+        assert Attribute(name="x", kind=AttributeKind.SET).is_set
+        assert not Attribute(name="x", kind=AttributeKind.SCALAR).is_set
+
+
+class TestClassSchema:
+    def test_build_shorthand(self):
+        schema = ClassSchema.build(
+            "Student", name="scalar", hobbies="set", courses="set:Course"
+        )
+        assert schema.name == "Student"
+        assert schema.attribute("hobbies").is_set
+        assert schema.attribute("courses").ref_class == "Course"
+        assert not schema.attribute("name").is_set
+
+    def test_build_with_attribute_named_name(self):
+        # regression: the class-name parameter must not shadow attributes
+        schema = ClassSchema.build("T", name="scalar")
+        assert schema.has_attribute("name")
+
+    def test_build_bad_spec(self):
+        with pytest.raises(SchemaError):
+            ClassSchema.build("T", x="sequence")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassSchema(
+                "T",
+                [
+                    Attribute("a", AttributeKind.SCALAR),
+                    Attribute("a", AttributeKind.SET),
+                ],
+            )
+
+    def test_invalid_class_name(self):
+        with pytest.raises(SchemaError):
+            ClassSchema.build("9Class")
+
+    def test_unknown_attribute_lookup(self):
+        schema = ClassSchema.build("T", a="scalar")
+        with pytest.raises(SchemaError):
+            schema.attribute("b")
+        assert not schema.has_attribute("b")
+
+    def test_set_attributes_iterates_only_sets(self):
+        schema = ClassSchema.build("T", a="scalar", b="set", c="set")
+        assert sorted(attr.name for attr in schema.set_attributes()) == ["b", "c"]
+
+
+class TestValidateObject:
+    @pytest.fixture
+    def schema(self):
+        return ClassSchema.build("Student", name="scalar", hobbies="set")
+
+    def test_valid(self, schema):
+        schema.validate_object({"name": "Jeff", "hobbies": {"Baseball"}})
+
+    def test_missing_attribute(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate_object({"name": "Jeff"})
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.validate_object(
+                {"name": "J", "hobbies": set(), "age": 3}
+            )
+
+    def test_wrong_value_type(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_object({"name": "J", "hobbies": ["list"]})

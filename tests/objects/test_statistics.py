@@ -1,0 +1,111 @@
+"""Tests for workload statistics collection (ANALYZE)."""
+
+import pytest
+
+from repro.errors import ObjectStoreError, SchemaError
+from repro.objects.statistics import REANALYZE_DRIFT, analyze
+
+from tests.conftest import HOBBIES, populate_students
+
+
+class TestAnalyze:
+    def test_basic_statistics(self, populated_db):
+        stats = analyze(populated_db.objects, "Student", "hobbies")
+        assert stats.num_objects == 120
+        assert stats.mean_cardinality == pytest.approx(3.0)
+        assert stats.target_cardinality == 3
+        assert stats.is_fixed_cardinality
+        assert stats.min_cardinality == stats.max_cardinality == 3
+        assert 3 <= stats.distinct_elements <= len(HOBBIES)
+
+    def test_distribution_collected(self, student_db):
+        student_db.insert("Student", {"name": "a", "hobbies": {"x"}})
+        student_db.insert("Student", {"name": "b", "hobbies": {"x", "y", "z"}})
+        stats = analyze(student_db.objects, "Student", "hobbies")
+        assert not stats.is_fixed_cardinality
+        assert stats.distribution.probabilities[1] == pytest.approx(0.5)
+        assert stats.distribution.probabilities[3] == pytest.approx(0.5)
+        assert stats.mean_cardinality == pytest.approx(2.0)
+
+    def test_empty_class_degenerates_safely(self, student_db):
+        stats = analyze(student_db.objects, "Student", "hobbies")
+        assert stats.num_objects == 1  # upgraded so the model stays defined
+        context = stats.cost_context()
+        assert context.target_cardinality >= 1
+
+    def test_scalar_attribute_rejected(self, populated_db):
+        with pytest.raises(ObjectStoreError):
+            analyze(populated_db.objects, "Student", "name")
+
+    def test_unknown_class_rejected(self, populated_db):
+        with pytest.raises(SchemaError):
+            analyze(populated_db.objects, "Ghost", "hobbies")
+
+    def test_cost_context_conversion(self, populated_db):
+        stats = analyze(populated_db.objects, "Student", "hobbies")
+        context = stats.cost_context()
+        assert context.num_objects == 120
+        assert context.domain_cardinality == stats.distinct_elements
+
+    def test_staleness(self, populated_db):
+        stats = analyze(populated_db.objects, "Student", "hobbies")
+        assert stats.staleness(120) == 0.0
+        assert stats.staleness(180) == pytest.approx(0.5)
+
+
+class TestDatabaseCache:
+    def test_analyze_via_facade(self, populated_db):
+        stats = populated_db.analyze("Student", "hobbies")
+        assert stats.num_objects == 120
+
+    def test_facade_rejects_scalar(self, populated_db):
+        with pytest.raises(SchemaError):
+            populated_db.analyze("Student", "name")
+
+    def test_cache_reused_until_drift(self, populated_db):
+        first = populated_db.statistics.get(
+            populated_db.objects, "Student", "hobbies"
+        )
+        again = populated_db.statistics.get(
+            populated_db.objects, "Student", "hobbies"
+        )
+        assert again is first  # cached object identity
+
+    def test_cache_refreshes_after_drift(self, populated_db):
+        first = populated_db.statistics.get(
+            populated_db.objects, "Student", "hobbies"
+        )
+        grow_by = int(120 * REANALYZE_DRIFT) + 5
+        for i in range(grow_by):
+            populated_db.insert(
+                "Student", {"name": f"new{i}", "hobbies": {"Chess"}}
+            )
+        refreshed = populated_db.statistics.get(
+            populated_db.objects, "Student", "hobbies"
+        )
+        assert refreshed is not first
+        assert refreshed.num_objects == 120 + grow_by
+
+    def test_explicit_refresh(self, populated_db):
+        first = populated_db.statistics.get(
+            populated_db.objects, "Student", "hobbies"
+        )
+        refreshed = populated_db.analyze("Student", "hobbies", refresh=True)
+        assert refreshed is not first
+
+    def test_invalidate(self, populated_db):
+        populated_db.analyze("Student", "hobbies")
+        populated_db.statistics.invalidate("Student")
+        assert populated_db.statistics.peek("Student", "hobbies") is None
+
+    def test_planner_uses_statistics_when_no_context(self, populated_db):
+        from repro.query.parser import parse_query
+        from repro.query.planner import plan_query
+
+        populated_db.create_nested_index("Student", "hobbies")
+        query = parse_query(
+            'select Student where hobbies has-subset ("Baseball")'
+        )
+        plan = plan_query(populated_db, query)  # no context supplied
+        assert plan.facility_name == "nix"
+        assert populated_db.statistics.peek("Student", "hobbies") is not None

@@ -1,0 +1,219 @@
+"""Tests for database snapshots (save / load)."""
+
+import io
+
+import pytest
+
+from repro.errors import StorageError
+from repro.persistence.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    read_header,
+    read_pages,
+    write_snapshot,
+)
+from repro.persistence.snapshot import build_catalog, load_database, save_database
+from repro.query.executor import QueryExecutor
+from repro.query.planner import CostContext
+
+from tests.conftest import populate_students
+
+CTX = CostContext(num_objects=120, domain_cardinality=12, target_cardinality=3)
+
+
+@pytest.fixture
+def full_db(student_db):
+    student_db.create_ssf_index("Student", "hobbies", 64, 2, seed=3)
+    student_db.create_bssf_index("Student", "hobbies", 64, 2, seed=3)
+    student_db.create_nested_index("Student", "hobbies")
+    populate_students(student_db)
+    return student_db
+
+
+QUERY = 'select Student where hobbies has-subset ("Baseball", "Fishing")'
+
+
+class TestRoundtrip:
+    def test_objects_survive(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        loaded = load_database(path)
+        assert loaded.count("Student") == full_db.count("Student")
+        original = dict(full_db.scan("Student"))
+        for oid, values in loaded.scan("Student"):
+            assert values == original[oid]
+
+    def test_queries_survive(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        expected = sorted(
+            QueryExecutor(full_db).execute_text(QUERY, context=CTX).oids()
+        )
+        save_database(full_db, path)
+        loaded = load_database(path)
+        for prefer in ("ssf", "bssf", "nix"):
+            got = sorted(
+                QueryExecutor(loaded)
+                .execute_text(QUERY, context=CTX, prefer_facility=prefer)
+                .oids()
+            )
+            assert got == expected
+
+    def test_indexes_rehydrated_structurally_sound(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        loaded = load_database(path)
+        loaded.verify_indexes()
+        assert set(loaded.indexes_on("Student", "hobbies")) == {
+            "ssf", "bssf", "nix",
+        }
+
+    def test_mutations_after_load(self, full_db, tmp_path):
+        """The loaded database must be fully writable, with fresh OIDs that
+        do not collide with snapshotted ones."""
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        loaded = load_database(path)
+        existing = set(oid for oid, _ in loaded.scan("Student"))
+        new_oid = loaded.insert(
+            "Student", {"name": "post-load", "hobbies": {"Baseball", "Fishing"}}
+        )
+        assert new_oid not in existing
+        result = QueryExecutor(loaded).execute_text(
+            QUERY, context=CTX, prefer_facility="bssf"
+        )
+        assert new_oid in result.oids()
+        victim = next(iter(existing))
+        loaded.delete(victim)
+        assert not loaded.objects.exists(victim)
+
+    def test_save_load_save_is_stable(self, full_db, tmp_path):
+        first = tmp_path / "a.sigdb"
+        second = tmp_path / "b.sigdb"
+        save_database(full_db, first)
+        save_database(load_database(first), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_empty_database(self, database, tmp_path):
+        path = tmp_path / "empty.sigdb"
+        save_database(database, path)
+        loaded = load_database(path)
+        assert loaded.objects.class_names() == ()
+
+    def test_schema_details_preserved(self, tmp_path):
+        from repro.objects.database import Database
+        from repro.objects.schema import ClassSchema
+
+        db = Database()
+        db.define_class(
+            ClassSchema.build(
+                "Student", name="scalar", courses="set:Course", hobbies="set"
+            )
+        )
+        db.define_class(ClassSchema.build("Course", name="scalar"))
+        path = tmp_path / "s.sigdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        attr = loaded.schema("Student").attribute("courses")
+        assert attr.is_set and attr.ref_class == "Course"
+
+    def test_pool_capacity_configurable_on_load(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        loaded = load_database(path, pool_capacity=32)
+        assert loaded.storage.pool.capacity == 32
+
+    def test_dirty_pages_flushed_by_save(self, tmp_path):
+        """Saving a cache-backed database must include unflushed writes."""
+        from repro.objects.database import Database
+        from repro.objects.schema import ClassSchema
+
+        db = Database(pool_capacity=64)
+        db.define_class(ClassSchema.build("T", tags="set"))
+        oid = db.insert("T", {"tags": {"x"}})
+        path = tmp_path / "c.sigdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.get(oid)["tags"] == {"x"}
+
+
+class TestCatalog:
+    def test_catalog_lists_all_files(self, full_db):
+        catalog = build_catalog(full_db)
+        names = [entry["name"] for entry in catalog["files"]]
+        assert "objects:Student" in names
+        assert any(name.endswith(":btree") for name in names)
+        assert catalog["page_size"] == 4096
+
+    def test_catalog_indexes(self, full_db):
+        catalog = build_catalog(full_db)
+        kinds = sorted(ix["facility"] for ix in catalog["indexes"])
+        assert kinds == ["bssf", "nix", "ssf"]
+        ssf = next(ix for ix in catalog["indexes"] if ix["facility"] == "ssf")
+        assert ssf["F"] == 64 and ssf["m"] == 2 and ssf["seed"] == 3
+
+
+class TestFormatErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(b"NOTADB" + b"\x00" * 32)
+        with pytest.raises(StorageError, match="magic|snapshot"):
+            load_database(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc"
+        path.write_bytes(MAGIC[:4])
+        with pytest.raises(StorageError):
+            load_database(path)
+
+    def test_truncated_pages(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-100])
+        with pytest.raises(StorageError, match="truncated"):
+            load_database(path)
+
+    def test_trailing_garbage(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        path.write_bytes(path.read_bytes() + b"!")
+        with pytest.raises(StorageError, match="trailing"):
+            load_database(path)
+
+    def test_bad_version(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        data = bytearray(path.read_bytes())
+        data[8] = 99  # version lives right after the magic
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="version"):
+            load_database(path)
+
+    def test_corrupt_catalog_json(self, full_db, tmp_path):
+        path = tmp_path / "db.sigdb"
+        save_database(full_db, path)
+        data = bytearray(path.read_bytes())
+        data[14] = 0xFF  # stomp the catalog
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            load_database(path)
+
+    def test_write_snapshot_validates_order(self):
+        catalog = {"files": [{"name": "a", "pages": 0}], "page_size": 64}
+        with pytest.raises(StorageError, match="order mismatch"):
+            write_snapshot(io.BytesIO(), catalog, [("b", [])])
+
+    def test_write_snapshot_validates_page_counts(self):
+        catalog = {"files": [{"name": "a", "pages": 2}], "page_size": 64}
+        with pytest.raises(StorageError, match="pages"):
+            write_snapshot(io.BytesIO(), catalog, [("a", [b"\x00" * 64])])
+
+    def test_header_roundtrip(self):
+        stream = io.BytesIO()
+        catalog = {"files": [], "page_size": 64}
+        write_snapshot(stream, catalog, [])
+        stream.seek(0)
+        header = read_header(stream)
+        assert header.version == FORMAT_VERSION
+        assert header.catalog["page_size"] == 64
+        assert read_pages(stream, header.catalog, 64) == {}

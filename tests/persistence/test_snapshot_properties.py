@@ -1,0 +1,62 @@
+"""Property-based tests: arbitrary small databases survive snapshots."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.persistence.snapshot import load_database, save_database
+
+_element = st.one_of(
+    st.text(max_size=8),
+    st.integers(-1000, 1000),
+)
+
+_object_values = st.fixed_dictionaries(
+    {
+        "label": st.text(max_size=12),
+        "tags": st.frozensets(_element, max_size=6).map(set),
+    }
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    objects=st.lists(_object_values, max_size=25),
+    index_kinds=st.sets(st.sampled_from(["ssf", "bssf", "nix"]), max_size=3),
+    deletions=st.sets(st.integers(0, 24), max_size=10),
+)
+def test_property_snapshot_roundtrip(tmp_path_factory, objects, index_kinds, deletions):
+    db = Database()
+    db.define_class(ClassSchema.build("Thing", label="scalar", tags="set"))
+    if "ssf" in index_kinds:
+        db.create_ssf_index("Thing", "tags", 64, 2, seed=1)
+    if "bssf" in index_kinds:
+        db.create_bssf_index("Thing", "tags", 64, 2, seed=1)
+    if "nix" in index_kinds:
+        db.create_nested_index("Thing", "tags")
+    oids = [db.insert("Thing", values) for values in objects]
+    for index in deletions:
+        if index < len(oids) and db.objects.exists(oids[index]):
+            db.delete(oids[index])
+
+    path = tmp_path_factory.mktemp("snap") / "db.sigdb"
+    save_database(db, path)
+    loaded = load_database(path)
+
+    assert dict(loaded.scan("Thing")) == dict(db.scan("Thing"))
+    assert set(loaded.indexes_on("Thing", "tags")) == index_kinds
+    loaded.verify_indexes()
+    # a representative search must agree post-load
+    for name in index_kinds:
+        original = db.index("Thing", "tags", name)
+        restored = loaded.index("Thing", "tags", name)
+        query = frozenset({"probe", 1})
+        assert (
+            original.search_superset(query).candidates
+            == restored.search_superset(query).candidates
+        )

@@ -1,0 +1,140 @@
+"""Tests for the query executor: correctness and statistics."""
+
+import pytest
+
+from repro.query.executor import QueryExecutor
+from repro.query.parser import parse_query
+from repro.query.planner import CostContext
+
+from tests.conftest import populate_students
+
+CTX = CostContext(num_objects=120, domain_cardinality=12, target_cardinality=3)
+
+
+@pytest.fixture
+def full_db(student_db):
+    student_db.create_ssf_index("Student", "hobbies", 64, 2)
+    student_db.create_bssf_index("Student", "hobbies", 64, 2)
+    student_db.create_nested_index("Student", "hobbies")
+    populate_students(student_db)
+    return student_db
+
+
+@pytest.fixture
+def executor(full_db):
+    return QueryExecutor(full_db)
+
+
+def brute_force(db, text):
+    query = parse_query(text)
+    return sorted(
+        oid
+        for oid, values in db.scan(query.class_name)
+        if all(p.matches(values) for p in query.predicates)
+    )
+
+
+QUERIES = [
+    'select Student where hobbies has-subset ("Baseball", "Fishing")',
+    'select Student where hobbies has-subset ("Chess")',
+    'select Student where hobbies in-subset '
+    '("Baseball", "Fishing", "Tennis", "Golf", "Chess")',
+    'select Student where hobbies contains "Sailing"',
+    'select Student where hobbies overlaps ("Cycling", "Painting")',
+    'select Student where hobbies set-equals ("Baseball", "Fishing", "Golf")',
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("text", QUERIES)
+    @pytest.mark.parametrize("prefer", ["ssf", "bssf", "nix", None])
+    def test_every_facility_matches_brute_force(
+        self, executor, full_db, text, prefer
+    ):
+        result = executor.execute_text(text, context=CTX, prefer_facility=prefer)
+        assert sorted(result.oids()) == brute_force(full_db, text)
+
+    @pytest.mark.parametrize("smart", [True, False])
+    def test_smart_and_naive_agree(self, executor, full_db, smart):
+        text = QUERIES[0]
+        result = executor.execute_text(
+            text, context=CTX, prefer_facility="bssf", smart=smart
+        )
+        assert sorted(result.oids()) == brute_force(full_db, text)
+
+    def test_conjunction_applies_residuals(self, executor, full_db):
+        text = (
+            'select Student where hobbies has-subset ("Baseball") '
+            'and hobbies in-subset '
+            '("Baseball", "Fishing", "Tennis", "Golf", "Chess")'
+        )
+        result = executor.execute_text(text, context=CTX)
+        assert sorted(result.oids()) == brute_force(full_db, text)
+
+    def test_rows_carry_attribute_values(self, executor):
+        result = executor.execute_text(QUERIES[1], context=CTX)
+        for _, values in result.rows:
+            assert "Chess" in values["hobbies"]
+
+    def test_scan_fallback_matches(self, student_db):
+        populate_students(student_db)
+        executor = QueryExecutor(student_db)
+        text = QUERIES[0]
+        result = executor.execute_text(text, context=CTX)
+        assert "scan" in result.statistics.plan
+        assert sorted(result.oids()) == brute_force(student_db, text)
+
+
+class TestStatistics:
+    def test_false_drops_counted(self, executor):
+        result = executor.execute_text(
+            QUERIES[0], context=CTX, prefer_facility="ssf"
+        )
+        stats = result.statistics
+        assert stats.candidates == stats.results + stats.false_drops
+        assert stats.false_drops >= 0
+
+    def test_io_snapshot_attached(self, executor):
+        result = executor.execute_text(QUERIES[0], context=CTX)
+        assert result.statistics.page_accesses > 0
+
+    def test_elapsed_recorded(self, executor):
+        result = executor.execute_text(QUERIES[0], context=CTX)
+        assert result.statistics.elapsed_seconds >= 0.0
+
+    def test_false_drop_ratio(self, executor):
+        result = executor.execute_text(
+            QUERIES[0], context=CTX, prefer_facility="ssf"
+        )
+        ratio = result.statistics.false_drop_ratio(population=120)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_nix_superset_has_no_false_drops(self, executor):
+        result = executor.execute_text(
+            QUERIES[0], context=CTX, prefer_facility="nix"
+        )
+        assert result.statistics.false_drops == 0
+
+    def test_detail_propagated_from_facility(self, executor):
+        result = executor.execute_text(
+            QUERIES[0], context=CTX, prefer_facility="bssf"
+        )
+        assert "slices_read" in result.statistics.detail
+
+
+class TestDataMutation:
+    def test_results_reflect_deletes(self, executor, full_db):
+        text = QUERIES[1]
+        before = executor.execute_text(text, context=CTX)
+        victim = before.oids()[0]
+        full_db.delete(victim)
+        after = executor.execute_text(text, context=CTX)
+        assert victim not in after.oids()
+        assert len(after) == len(before) - 1
+
+    def test_results_reflect_inserts(self, executor, full_db):
+        oid = full_db.insert(
+            "Student", {"name": "new", "hobbies": {"Chess", "Golf"}}
+        )
+        result = executor.execute_text(QUERIES[1], context=CTX)
+        assert oid in result.oids()

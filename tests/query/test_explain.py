@@ -1,0 +1,65 @@
+"""Tests for QueryExecutor.explain."""
+
+import pytest
+
+from repro.query.executor import QueryExecutor
+from repro.query.planner import CostContext
+
+from tests.conftest import populate_students
+
+CTX = CostContext(num_objects=120, domain_cardinality=12, target_cardinality=3)
+
+
+@pytest.fixture
+def executor(student_db):
+    student_db.create_ssf_index("Student", "hobbies", 64, 2)
+    student_db.create_bssf_index("Student", "hobbies", 64, 2)
+    student_db.create_nested_index("Student", "hobbies")
+    populate_students(student_db)
+    return QueryExecutor(student_db)
+
+
+class TestExplain:
+    def test_shows_plan_and_alternatives(self, executor):
+        text = executor.explain(
+            'select Student where hobbies has-subset ("Baseball", "Fishing")',
+            context=CTX,
+        )
+        assert "plan  :" in text
+        assert "alternatives" in text
+        for name in ("ssf:", "bssf:", "nix:"):
+            assert name in text
+        assert "<- chosen" in text
+
+    def test_respects_preference(self, executor):
+        text = executor.explain(
+            'select Student where hobbies has-subset ("Baseball")',
+            context=CTX,
+            prefer_facility="nix",
+        )
+        assert "nix.superset" in text
+
+    def test_scan_plan(self, student_db):
+        populate_students(student_db)
+        executor = QueryExecutor(student_db)
+        text = executor.explain(
+            'select Student where hobbies contains "Chess"', context=CTX
+        )
+        assert "scan(Student)" in text
+        assert "residual filters" in text
+
+    def test_does_not_modify_data(self, executor):
+        db = executor.database
+        count_before = db.count("Student")
+        executor.explain(
+            'select Student where hobbies contains "Chess"', context=CTX
+        )
+        assert db.count("Student") == count_before
+
+    def test_residuals_listed(self, executor):
+        text = executor.explain(
+            'select Student where hobbies has-subset ("Golf") '
+            'and hobbies contains "Chess"',
+            context=CTX,
+        )
+        assert "residual filters" in text

@@ -1,0 +1,150 @@
+"""Tests for the SQL-like query language parser."""
+
+import pytest
+
+from repro.core.signature import SetPredicateKind
+from repro.errors import ParseError
+from repro.query.parser import parse_query, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize('select Student where hobbies has-subset ("a", 1)')
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "ident", "ident", "ident", "ident", "ident",
+            "lparen", "string", "comma", "int", "rparen",
+        ]
+
+    def test_string_with_escape(self):
+        tokens = tokenize('"say \\"hi\\""')
+        assert tokens[0].kind == "string"
+
+    def test_floats_and_negatives(self):
+        tokens = tokenize("-1.5 -2 3")
+        assert [t.kind for t in tokens] == ["float", "int", "int"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("select @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select  Student")
+        assert tokens[1].position == 8
+
+
+class TestPaperQueries:
+    def test_query_q1(self):
+        query = parse_query(
+            'select Student where hobbies has-subset ("Baseball", "Fishing")'
+        )
+        assert query.class_name == "Student"
+        (pred,) = query.predicates
+        assert pred.kind is SetPredicateKind.HAS_SUBSET
+        assert pred.attribute == "hobbies"
+        assert pred.constant == frozenset({"Baseball", "Fishing"})
+
+    def test_query_q2(self):
+        query = parse_query(
+            'select Student where hobbies in-subset '
+            '("Baseball", "Fishing", "Tennis")'
+        )
+        (pred,) = query.predicates
+        assert pred.kind is SetPredicateKind.IN_SUBSET
+        assert len(pred.constant) == 3
+
+    def test_describe_roundtrips_semantics(self):
+        query = parse_query('select S where h has-subset ("a")')
+        again = parse_query(query.describe())
+        assert again == query
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,kind",
+        [
+            ("has-subset", SetPredicateKind.HAS_SUBSET),
+            ("in-subset", SetPredicateKind.IN_SUBSET),
+            ("contains", SetPredicateKind.CONTAINS),
+            ("set-equals", SetPredicateKind.EQUALS),
+            ("overlaps", SetPredicateKind.OVERLAPS),
+        ],
+    )
+    def test_all_operators(self, op, kind):
+        query = parse_query(f'select S where attr {op} ("x")')
+        assert query.predicates[0].kind is kind
+
+    def test_contains_bare_literal(self):
+        query = parse_query('select S where h contains "a"')
+        assert query.predicates[0].constant == frozenset({"a"})
+
+    def test_contains_multiple_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query('select S where h contains ("a", "b")')
+
+    def test_unknown_operator(self):
+        with pytest.raises(ParseError, match="unknown operator"):
+            parse_query('select S where h superset-of ("a")')
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query('SELECT S WHERE h HAS-SUBSET ("a")')
+        assert query.class_name == "S"
+
+
+class TestLiterals:
+    def test_int_literals(self):
+        query = parse_query("select S where h has-subset (1, -2, 30)")
+        assert query.predicates[0].constant == frozenset({1, -2, 30})
+
+    def test_float_literals(self):
+        query = parse_query("select S where h has-subset (1.5, -0.25)")
+        assert query.predicates[0].constant == frozenset({1.5, -0.25})
+
+    def test_mixed_literals(self):
+        query = parse_query('select S where h has-subset ("a", 1)')
+        assert query.predicates[0].constant == frozenset({"a", 1})
+
+    def test_escaped_quotes_decoded(self):
+        query = parse_query('select S where h contains "say \\"hi\\""')
+        assert query.predicates[0].constant == frozenset({'say "hi"'})
+
+
+class TestConjunction:
+    def test_and_combines_predicates(self):
+        query = parse_query(
+            'select S where a has-subset ("x") and b in-subset ("y", "z")'
+        )
+        assert len(query.predicates) == 2
+        assert query.predicates[1].attribute == "b"
+
+    def test_three_way_and(self):
+        query = parse_query(
+            'select S where a contains "x" and b contains "y" and c contains "z"'
+        )
+        assert len(query.predicates) == 3
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_missing_select(self):
+        with pytest.raises(ParseError):
+            parse_query('find S where h contains "a"')
+
+    def test_missing_where(self):
+        with pytest.raises(ParseError):
+            parse_query("select S")
+
+    def test_unterminated_set(self):
+        with pytest.raises(ParseError):
+            parse_query('select S where h has-subset ("a"')
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query('select S where h contains "a" extra')
+
+    def test_empty_set_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select S where h has-subset ()")

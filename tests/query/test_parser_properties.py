@@ -1,0 +1,93 @@
+"""Property-based tests: describe() output re-parses to the same query."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import SetPredicateKind
+from repro.query.parser import ParsedQuery, parse_query
+from repro.query.predicates import ScalarPredicate, SetPredicate
+
+_identifier = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
+    # identifiers that collide with keywords would change parse shape
+    lambda s: s.lower() not in {"select", "where", "and", "of"}
+)
+
+_literal = st.one_of(
+    st.text(max_size=10),
+    st.integers(-10_000, 10_000),
+)
+
+_set_kind = st.sampled_from(
+    [
+        SetPredicateKind.HAS_SUBSET,
+        SetPredicateKind.IN_SUBSET,
+        SetPredicateKind.EQUALS,
+        SetPredicateKind.OVERLAPS,
+    ]
+)
+
+
+@st.composite
+def _set_predicate(draw):
+    return SetPredicate(
+        attribute=draw(_identifier),
+        kind=draw(_set_kind),
+        constant=draw(st.frozensets(_literal, min_size=1, max_size=5)),
+    )
+
+
+@st.composite
+def _contains_predicate(draw):
+    return SetPredicate(
+        attribute=draw(_identifier),
+        kind=SetPredicateKind.CONTAINS,
+        constant=frozenset([draw(_literal)]),
+    )
+
+
+@st.composite
+def _scalar_predicate(draw):
+    return ScalarPredicate(attribute=draw(_identifier), value=draw(_literal))
+
+
+_predicate = st.one_of(_set_predicate(), _contains_predicate(), _scalar_predicate())
+
+
+@settings(max_examples=120)
+@given(
+    class_name=_identifier,
+    predicates=st.lists(_predicate, min_size=1, max_size=4),
+)
+def test_property_describe_roundtrips(class_name, predicates):
+    query = ParsedQuery(class_name=class_name, predicates=tuple(predicates))
+    assert parse_query(query.describe()) == query
+
+
+@settings(max_examples=60)
+@given(
+    outer=_identifier,
+    inner=_identifier,
+    attribute=_identifier,
+    inner_attr=_identifier,
+    value=_literal,
+)
+def test_property_subquery_describe_roundtrips(
+    outer, inner, attribute, inner_attr, value
+):
+    from repro.query.predicates import SubqueryPredicate
+
+    inner_query = ParsedQuery(
+        class_name=inner,
+        predicates=(ScalarPredicate(attribute=inner_attr, value=value),),
+    )
+    query = ParsedQuery(
+        class_name=outer,
+        predicates=(
+            SubqueryPredicate(
+                attribute=attribute,
+                kind=SetPredicateKind.HAS_SUBSET,
+                subquery=inner_query,
+            ),
+        ),
+    )
+    assert parse_query(query.describe()) == query

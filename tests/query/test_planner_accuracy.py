@@ -1,0 +1,109 @@
+"""Statistical accuracy of the planner's cost estimates.
+
+The planner's value rests on its estimates tracking reality. This module
+executes a batch of random queries through each facility and asserts the
+estimated page cost stays within a modest factor of the measured logical
+page accesses — individual queries fluctuate (integer signature weights,
+hypergeometric drop counts), so bounds are per-query loose and tight in
+aggregate.
+"""
+
+import pytest
+
+from repro.objects.database import Database
+from repro.query.executor import QueryExecutor
+from repro.query.parser import ParsedQuery
+from repro.query.planner import CostContext
+from repro.query.predicates import has_subset, in_subset
+from repro.workloads.generator import (
+    EVAL_ATTRIBUTE,
+    EVAL_CLASS,
+    SetWorkloadGenerator,
+    WorkloadSpec,
+    load_workload,
+)
+
+SPEC = WorkloadSpec(
+    num_objects=1024, domain_cardinality=416, target_cardinality=10, seed=6
+)
+CTX = CostContext(
+    num_objects=1024, domain_cardinality=416, target_cardinality=10
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    db = Database()
+    load_workload(db, SPEC)
+    db.create_ssf_index(EVAL_CLASS, EVAL_ATTRIBUTE, 250, 2, seed=1)
+    db.create_bssf_index(EVAL_CLASS, EVAL_ATTRIBUTE, 250, 2, seed=1)
+    db.create_nested_index(EVAL_CLASS, EVAL_ATTRIBUTE)
+    generator = SetWorkloadGenerator(
+        WorkloadSpec(0, SPEC.domain_cardinality, SPEC.target_cardinality,
+                     seed=99)
+    )
+    return db, QueryExecutor(db), generator
+
+
+def _run_batch(testbed, facility, mode, dq, count=6):
+    _, executor, generator = testbed
+    ratios = []
+    for _ in range(count):
+        query = generator.random_query_set(dq)
+        predicate = (
+            has_subset(EVAL_ATTRIBUTE, *query)
+            if mode == "superset"
+            else in_subset(EVAL_ATTRIBUTE, *query)
+        )
+        parsed = ParsedQuery(class_name=EVAL_CLASS, predicates=(predicate,))
+        result = executor.execute(
+            parsed, context=CTX, prefer_facility=facility, smart=False
+        )
+        estimated = float(
+            result.statistics.plan.split("~")[1].split(" pages")[0]
+        )
+        measured = result.statistics.page_accesses
+        ratios.append(measured / max(estimated, 1.0))
+    return ratios
+
+
+class TestEstimateAccuracy:
+    @pytest.mark.parametrize("facility", ["ssf", "bssf", "nix"])
+    def test_superset_estimates_track_measurements(self, testbed, facility):
+        ratios = _run_batch(testbed, facility, "superset", dq=3)
+        mean = sum(ratios) / len(ratios)
+        assert 0.3 <= mean <= 2.0, ratios
+
+    @pytest.mark.parametrize("facility", ["ssf", "nix"])
+    def test_subset_estimates_track_measurements(self, testbed, facility):
+        ratios = _run_batch(testbed, facility, "subset", dq=60)
+        mean = sum(ratios) / len(ratios)
+        assert 0.3 <= mean <= 2.0, ratios
+
+    def test_bssf_subset_measured_never_far_above_estimate(self, testbed):
+        """BSSF subset short-circuits, so measured ≤ estimate (plus noise)."""
+        ratios = _run_batch(testbed, "bssf", "subset", dq=60)
+        assert all(ratio <= 1.5 for ratio in ratios), ratios
+
+    def test_planner_ranks_facilities_correctly_on_average(self, testbed):
+        """Across the batch, the plan the planner would choose must be at
+        least as cheap (measured) as the costliest alternative."""
+        db, executor, generator = testbed
+        worse_count = 0
+        trials = 5
+        for _ in range(trials):
+            query = generator.random_query_set(3)
+            parsed = ParsedQuery(
+                class_name=EVAL_CLASS,
+                predicates=(has_subset(EVAL_ATTRIBUTE, *query),),
+            )
+            chosen = executor.execute(parsed, context=CTX, smart=False)
+            costs = {}
+            for facility in ("ssf", "bssf", "nix"):
+                run = executor.execute(
+                    parsed, context=CTX, prefer_facility=facility, smart=False
+                )
+                costs[facility] = run.statistics.page_accesses
+            if chosen.statistics.page_accesses > max(costs.values()):
+                worse_count += 1
+        assert worse_count == 0

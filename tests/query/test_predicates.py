@@ -1,0 +1,92 @@
+"""Tests for set predicates."""
+
+import pytest
+
+from repro.core.signature import SetPredicateKind
+from repro.errors import QueryError
+from repro.query.predicates import (
+    SetPredicate,
+    contains,
+    has_subset,
+    in_subset,
+    overlaps,
+    set_equals,
+)
+
+
+class TestConstruction:
+    def test_constant_coerced_to_frozenset(self):
+        pred = SetPredicate("hobbies", SetPredicateKind.HAS_SUBSET, {"a"})
+        assert isinstance(pred.constant, frozenset)
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            SetPredicate("", SetPredicateKind.HAS_SUBSET, frozenset())
+
+    def test_query_cardinality(self):
+        assert has_subset("h", "a", "b").query_cardinality == 2
+
+    def test_describe(self):
+        text = has_subset("hobbies", "Baseball").describe()
+        assert "hobbies" in text and "has-subset" in text and "Baseball" in text
+
+
+class TestHelpers:
+    def test_has_subset(self):
+        pred = has_subset("h", "a", "b")
+        assert pred.kind is SetPredicateKind.HAS_SUBSET
+        assert pred.constant == frozenset({"a", "b"})
+
+    def test_in_subset(self):
+        assert in_subset("h", "a").kind is SetPredicateKind.IN_SUBSET
+
+    def test_contains(self):
+        pred = contains("h", "a")
+        assert pred.kind is SetPredicateKind.CONTAINS
+        assert pred.constant == frozenset({"a"})
+
+    def test_set_equals(self):
+        assert set_equals("h", 1, 2).kind is SetPredicateKind.EQUALS
+
+    def test_overlaps(self):
+        assert overlaps("h", 1).kind is SetPredicateKind.OVERLAPS
+
+
+class TestMatching:
+    def _obj(self, *hobbies):
+        return {"name": "x", "hobbies": set(hobbies)}
+
+    def test_has_subset_semantics(self):
+        pred = has_subset("hobbies", "a", "b")
+        assert pred.matches(self._obj("a", "b", "c"))
+        assert pred.matches(self._obj("a", "b"))
+        assert not pred.matches(self._obj("a"))
+
+    def test_in_subset_semantics(self):
+        pred = in_subset("hobbies", "a", "b", "c")
+        assert pred.matches(self._obj("a"))
+        assert pred.matches(self._obj())  # empty set is a subset
+        assert not pred.matches(self._obj("a", "z"))
+
+    def test_contains_semantics(self):
+        pred = contains("hobbies", "a")
+        assert pred.matches(self._obj("a", "b"))
+        assert not pred.matches(self._obj("b"))
+
+    def test_equals_semantics(self):
+        pred = set_equals("hobbies", "a", "b")
+        assert pred.matches(self._obj("b", "a"))
+        assert not pred.matches(self._obj("a", "b", "c"))
+
+    def test_overlaps_semantics(self):
+        pred = overlaps("hobbies", "a", "z")
+        assert pred.matches(self._obj("z"))
+        assert not pred.matches(self._obj("q"))
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(QueryError):
+            has_subset("ghost", "a").matches({"hobbies": set()})
+
+    def test_non_set_attribute_raises(self):
+        with pytest.raises(QueryError):
+            has_subset("name", "a").matches({"name": "Jeff"})

@@ -1,0 +1,173 @@
+"""Tests for scalar predicates and nested subqueries (the §1 scheme)."""
+
+import pytest
+
+from repro.core.signature import SetPredicateKind
+from repro.errors import ParseError, PlanningError, QueryError
+from repro.query.executor import QueryExecutor
+from repro.query.parser import parse_query
+from repro.query.planner import CostContext, plan_query
+from repro.query.predicates import ScalarPredicate, SubqueryPredicate
+from repro.workloads.university import build_university
+
+
+@pytest.fixture(scope="module")
+def campus():
+    built = build_university(num_students=120, seed=13)
+    built.database.create_nested_index("Student", "courses")
+    built.database.create_bssf_index("Student", "courses", 64, 2)
+    return built
+
+
+@pytest.fixture(scope="module")
+def executor(campus):
+    return QueryExecutor(campus.database)
+
+
+CTX = CostContext(num_objects=120, domain_cardinality=10, target_cardinality=4)
+
+TWO_STEP = (
+    'select Student where courses has-subset '
+    '(select Course where category = "DB")'
+)
+
+
+class TestScalarPredicateParsing:
+    def test_equality_parses(self):
+        query = parse_query('select Course where category = "DB"')
+        (pred,) = query.predicates
+        assert isinstance(pred, ScalarPredicate)
+        assert pred.attribute == "category"
+        assert pred.value == "DB"
+
+    def test_int_equality(self):
+        query = parse_query("select T where year = 3")
+        assert query.predicates[0].value == 3
+
+    def test_describe_roundtrips(self):
+        query = parse_query('select Course where category = "DB"')
+        assert parse_query(query.describe()) == query
+
+    def test_mixed_with_set_predicate(self):
+        query = parse_query(
+            'select Student where hobbies contains "Chess" and name = "Jeff"'
+        )
+        assert len(query.predicates) == 2
+        assert isinstance(query.predicates[1], ScalarPredicate)
+
+
+class TestScalarPredicateSemantics:
+    def test_matches(self):
+        pred = ScalarPredicate("category", "DB")
+        assert pred.matches({"category": "DB"})
+        assert not pred.matches({"category": "OS"})
+
+    def test_set_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            ScalarPredicate("hobbies", "x").matches({"hobbies": {"x"}})
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            ScalarPredicate("ghost", 1).matches({})
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            ScalarPredicate("", 1)
+
+
+class TestSubqueryParsing:
+    def test_two_step_query_parses(self):
+        query = parse_query(TWO_STEP)
+        (pred,) = query.predicates
+        assert isinstance(pred, SubqueryPredicate)
+        assert pred.kind is SetPredicateKind.HAS_SUBSET
+        assert pred.subquery.class_name == "Course"
+        assert query.has_unresolved_subqueries()
+
+    def test_describe_roundtrips(self):
+        query = parse_query(TWO_STEP)
+        assert parse_query(query.describe()) == query
+
+    def test_nested_subquery_with_conjunction(self):
+        query = parse_query(
+            'select Student where courses in-subset '
+            '(select Course where category = "DB" and name = "DB Theory") '
+            'and hobbies contains "Chess"'
+        )
+        sub = query.predicates[0]
+        assert isinstance(sub, SubqueryPredicate)
+        assert len(sub.subquery.predicates) == 2
+        assert len(query.predicates) == 2
+
+    def test_unterminated_subquery(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                'select S where c has-subset (select Course where x = 1'
+            )
+
+    def test_doubly_nested(self):
+        query = parse_query(
+            "select A where s has-subset "
+            "(select B where t has-subset (select C where u = 1))"
+        )
+        inner = query.predicates[0].subquery.predicates[0]
+        assert isinstance(inner, SubqueryPredicate)
+
+
+class TestPlannerInteraction:
+    def test_planner_rejects_unresolved(self, campus):
+        query = parse_query(TWO_STEP)
+        with pytest.raises(PlanningError, match="unresolved"):
+            plan_query(campus.database, query, context=CTX)
+
+    def test_scalar_only_query_scans(self, campus):
+        query = parse_query('select Course where category = "DB"')
+        plan = plan_query(campus.database, query)
+        assert plan.is_scan
+
+
+class TestExecution:
+    def test_two_step_scheme_matches_manual(self, campus, executor):
+        db = campus.database
+        result = executor.execute_text(TWO_STEP, context=CTX)
+        oid_list = frozenset(campus.course_oids("DB"))
+        expected = sorted(
+            oid for oid, values in db.scan("Student")
+            if oid_list <= frozenset(values["courses"])
+        )
+        assert sorted(result.oids()) == expected
+        assert "nix" in result.statistics.plan or "bssf" in result.statistics.plan
+
+    def test_only_db_lectures_via_subquery(self, campus, executor):
+        db = campus.database
+        text = (
+            'select Student where courses in-subset '
+            '(select Course where category = "DB")'
+        )
+        result = executor.execute_text(text, context=CTX)
+        oid_list = frozenset(campus.course_oids("DB"))
+        expected = sorted(
+            oid for oid, values in db.scan("Student")
+            if frozenset(values["courses"]) <= oid_list
+        )
+        assert sorted(result.oids()) == expected
+
+    def test_scalar_query_executes_by_scan(self, executor):
+        result = executor.execute_text('select Course where category = "DB"')
+        assert len(result) == 3
+        assert all(v["category"] == "DB" for _, v in result.rows)
+
+    def test_subquery_respects_facility_preference(self, campus, executor):
+        result = executor.execute_text(
+            TWO_STEP, context=CTX, prefer_facility="bssf"
+        )
+        assert "bssf" in result.statistics.plan
+
+    def test_empty_subquery_result(self, executor):
+        text = (
+            'select Student where courses has-subset '
+            '(select Course where category = "Nonexistent")'
+        )
+        result = executor.execute_text(text, context=CTX)
+        # every student's course set contains the empty set
+        assert len(result) == 120

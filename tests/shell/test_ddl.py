@@ -1,0 +1,159 @@
+"""Tests for the DDL/DML statement layer."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.objects.database import Database
+from repro.shell.ddl import (
+    Analyze,
+    CreateClass,
+    CreateIndex,
+    InsertObject,
+    RunQuery,
+    execute_statement,
+    parse_statement,
+)
+
+
+class TestParsing:
+    def test_create_class(self):
+        stmt = parse_statement(
+            "create class Student (name scalar, hobbies set, "
+            "courses set of Course)"
+        )
+        assert isinstance(stmt, CreateClass)
+        assert stmt.schema.name == "Student"
+        assert stmt.schema.attribute("courses").ref_class == "Course"
+        assert stmt.schema.attribute("hobbies").is_set
+
+    def test_create_class_duplicate_attribute(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_statement("create class T (a scalar, a set)")
+
+    def test_create_class_bad_kind(self):
+        with pytest.raises(ParseError):
+            parse_statement("create class T (a list)")
+
+    def test_create_index_with_options(self):
+        stmt = parse_statement(
+            "create index bssf on Student.hobbies (F = 500, m = 2, seed = 7)"
+        )
+        assert isinstance(stmt, CreateIndex)
+        assert stmt.kind == "bssf"
+        assert stmt.options == {"F": 500, "m": 2, "seed": 7}
+
+    def test_create_index_defaults(self):
+        stmt = parse_statement("create index nix on Student.courses")
+        assert stmt.kind == "nix" and stmt.options == {}
+
+    def test_create_index_bad_kind(self):
+        with pytest.raises(ParseError):
+            parse_statement("create index btree on S.a")
+
+    def test_nix_rejects_options(self):
+        with pytest.raises(ParseError):
+            parse_statement("create index nix on S.a (F = 10)")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ParseError, match="unknown index option"):
+            parse_statement("create index ssf on S.a (width = 10)")
+
+    def test_non_integer_option_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement('create index ssf on S.a (F = "big")')
+
+    def test_insert(self):
+        stmt = parse_statement(
+            'insert into Student (name = "Jeff", hobbies = {"a", "b"}, n = 3)'
+        )
+        assert isinstance(stmt, InsertObject)
+        assert stmt.values == {"name": "Jeff", "hobbies": {"a", "b"}, "n": 3}
+
+    def test_insert_empty_set(self):
+        stmt = parse_statement("insert into T (tags = {})")
+        assert stmt.values == {"tags": set()}
+
+    def test_insert_duplicate_attribute(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_statement("insert into T (a = 1, a = 2)")
+
+    def test_analyze(self):
+        stmt = parse_statement("analyze Student.hobbies")
+        assert isinstance(stmt, Analyze)
+        assert (stmt.class_name, stmt.attribute) == ("Student", "hobbies")
+
+    def test_select_passthrough(self):
+        stmt = parse_statement('select S where a contains "x";')
+        assert isinstance(stmt, RunQuery)
+        assert not stmt.explain
+
+    def test_explain(self):
+        stmt = parse_statement('explain select S where a contains "x"')
+        assert isinstance(stmt, RunQuery) and stmt.explain
+
+    def test_explain_requires_select(self):
+        with pytest.raises(ParseError):
+            parse_statement("explain create class T (a scalar)")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("drop class T")
+
+    def test_empty_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("   ;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("analyze S.a extra")
+
+
+class TestExecution:
+    @pytest.fixture
+    def db(self):
+        return Database()
+
+    def _setup(self, db):
+        execute_statement(db, "create class Student (name scalar, hobbies set)")
+        execute_statement(
+            db, "create index bssf on Student.hobbies (F = 64, m = 2)"
+        )
+        execute_statement(
+            db, 'insert into Student (name = "Jeff", hobbies = {"a", "b"})'
+        )
+        execute_statement(
+            db, 'insert into Student (name = "Ann", hobbies = {"b"})'
+        )
+
+    def test_full_flow(self, db):
+        self._setup(db)
+        assert db.count("Student") == 2
+        out = execute_statement(
+            db, 'select Student where hobbies has-subset ("a")'
+        )
+        assert "1 row(s)" in out and "Jeff" in out
+
+    def test_analyze_output(self, db):
+        self._setup(db)
+        out = execute_statement(db, "analyze Student.hobbies")
+        assert "N=2" in out
+
+    def test_explain_output(self, db):
+        self._setup(db)
+        out = execute_statement(
+            db, 'explain select Student where hobbies contains "b"'
+        )
+        assert "plan  :" in out
+
+    def test_schema_errors_propagate(self, db):
+        with pytest.raises(SchemaError):
+            execute_statement(db, 'insert into Ghost (a = 1)')
+
+    def test_row_cap(self, db):
+        execute_statement(db, "create class T (tags set)")
+        for i in range(30):
+            execute_statement(db, f'insert into T (tags = {{{i}, 999}})')
+        out = execute_statement(
+            db, "select T where tags contains 999", max_rows=5
+        )
+        assert "... 25 more" in out

@@ -1,0 +1,103 @@
+"""Tests for the interactive shell."""
+
+import io
+
+import pytest
+
+from repro.shell.repl import Shell, interactive_loop
+
+SETUP = [
+    "create class Student (name scalar, hobbies set)",
+    "create index nix on Student.hobbies",
+    'insert into Student (name = "Jeff", hobbies = {"Baseball"})',
+]
+
+
+class TestShell:
+    def test_script_flow(self):
+        shell = Shell()
+        responses = shell.run_script(
+            SETUP + ['select Student where hobbies contains "Baseball"']
+        )
+        assert any("1 row(s)" in r for r in responses)
+
+    def test_blank_lines_and_comments_ignored(self):
+        shell = Shell()
+        assert shell.run_line("") == ""
+        assert shell.run_line("   ") == ""
+        assert shell.run_line("-- a comment") == ""
+
+    def test_errors_reported_not_raised(self):
+        shell = Shell()
+        response = shell.run_line("select Nope where a contains 1")
+        assert response.startswith("error:")
+
+    def test_parse_errors_reported(self):
+        shell = Shell()
+        assert shell.run_line("create index foo on A.b").startswith("error:")
+
+    def test_tables_and_indexes(self):
+        shell = Shell()
+        assert shell.run_line("\\tables") == "(no classes)"
+        assert shell.run_line("\\indexes") == "(no indexes)"
+        shell.run_script(SETUP)
+        assert "Student: 1 object(s)" in shell.run_line("\\tables")
+        assert "Student.hobbies/nix" in shell.run_line("\\indexes")
+
+    def test_check(self):
+        shell = Shell()
+        shell.run_script(SETUP)
+        assert shell.run_line("\\check").startswith("consistent")
+
+    def test_quit_stops_script(self):
+        shell = Shell()
+        responses = shell.run_script(["\\quit", "create class T (a set)"])
+        assert responses == ["bye"]
+        assert shell.finished
+
+    def test_help(self):
+        assert "save" in Shell().run_line("\\help")
+
+    def test_unknown_meta(self):
+        assert Shell().run_line("\\frobnicate").startswith("error:")
+
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "s.sigdb")
+        shell = Shell()
+        shell.run_script(SETUP)
+        assert shell.run_line(f'\\save "{path}"') == f"saved to {path}"
+        fresh = Shell()
+        assert fresh.run_line(f'\\load "{path}"') == f"loaded {path}"
+        out = fresh.run_line('select Student where hobbies contains "Baseball"')
+        assert "1 row(s)" in out
+
+    def test_save_usage_errors(self):
+        shell = Shell()
+        assert shell.run_line("\\save").startswith("usage")
+        assert shell.run_line("\\load a b").startswith("usage")
+
+    def test_load_missing_file(self):
+        assert Shell().run_line('\\load "/nonexistent/x.sigdb"').startswith(
+            "error:"
+        )
+
+
+class TestInteractiveLoop:
+    def test_loop_over_streams(self):
+        stdin = io.StringIO(
+            "create class T (tags set)\n"
+            "insert into T (tags = {1})\n"
+            "select T where tags contains 1\n"
+            "\\quit\n"
+        )
+        stdout = io.StringIO()
+        code = interactive_loop(input_stream=stdin, output_stream=stdout)
+        assert code == 0
+        output = stdout.getvalue()
+        assert "1 row(s)" in output
+        assert "bye" in output
+
+    def test_loop_handles_eof(self):
+        stdin = io.StringIO("create class T (a set)\n")  # no quit: EOF ends
+        stdout = io.StringIO()
+        assert interactive_loop(input_stream=stdin, output_stream=stdout) == 0

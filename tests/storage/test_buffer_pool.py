@@ -1,0 +1,139 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskStore
+from repro.storage.page import Page
+from repro.storage.stats import IOStatistics
+
+
+def make_pool(capacity: int, pages: int = 4, page_size: int = 32):
+    stats = IOStatistics()
+    store = DiskStore(page_size=page_size)
+    store.create_file("f")
+    for _ in range(pages):
+        store.allocate_page("f")
+    return BufferPool(store, stats, capacity=capacity), store, stats
+
+
+class TestCaching:
+    def test_first_fetch_is_miss_second_is_hit(self):
+        pool, _, stats = make_pool(capacity=2)
+        pool.fetch("f", 0)
+        pool.fetch("f", 0)
+        assert pool.misses == 1 and pool.hits == 1
+        assert stats.snapshot().for_file("f").physical_reads == 1
+
+    def test_hit_returns_same_frame(self):
+        pool, _, _ = make_pool(capacity=2)
+        first = pool.fetch("f", 0)
+        assert pool.fetch("f", 0) is first
+
+    def test_lru_eviction_order(self):
+        pool, _, stats = make_pool(capacity=2)
+        pool.fetch("f", 0)
+        pool.fetch("f", 1)
+        pool.fetch("f", 0)  # 1 is now LRU
+        pool.fetch("f", 2)  # evicts 1
+        pool.fetch("f", 0)  # still resident: hit
+        assert pool.hits == 2
+        pool.fetch("f", 1)  # miss again
+        assert stats.snapshot().for_file("f").physical_reads == 4
+
+    def test_capacity_bound_respected(self):
+        pool, _, _ = make_pool(capacity=2)
+        for page_no in range(4):
+            pool.fetch("f", page_no)
+        assert pool.resident_pages == 2
+
+    def test_hit_ratio(self):
+        pool, _, _ = make_pool(capacity=4)
+        assert pool.hit_ratio() == 0.0
+        pool.fetch("f", 0)
+        pool.fetch("f", 0)
+        assert pool.hit_ratio() == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        stats = IOStatistics()
+        store = DiskStore(32)
+        with pytest.raises(BufferPoolError):
+            BufferPool(store, stats, capacity=-1)
+
+
+class TestDirtyPages:
+    def test_dirty_eviction_writes_back(self):
+        pool, store, stats = make_pool(capacity=1)
+        page = pool.fetch("f", 0)
+        page.write_bytes(0, b"x")
+        pool.mark_dirty("f", 0)
+        pool.fetch("f", 1)  # evicts dirty page 0
+        assert store.read_page("f", 0).read_bytes(0, 1) == b"x"
+        assert stats.snapshot().for_file("f").physical_writes == 1
+
+    def test_clean_eviction_skips_writeback(self):
+        pool, _, stats = make_pool(capacity=1)
+        pool.fetch("f", 0)
+        pool.fetch("f", 1)
+        assert stats.snapshot().for_file("f").physical_writes == 0
+
+    def test_mark_dirty_nonresident_raises(self):
+        pool, _, _ = make_pool(capacity=1)
+        with pytest.raises(BufferPoolError):
+            pool.mark_dirty("f", 3)
+
+    def test_flush_all(self):
+        pool, store, _ = make_pool(capacity=4)
+        page = pool.fetch("f", 2)
+        page.write_bytes(0, b"z")
+        pool.mark_dirty("f", 2)
+        assert pool.flush_all() == 1
+        assert store.read_page("f", 2).read_bytes(0, 1) == b"z"
+        assert pool.flush_all() == 0  # idempotent
+
+    def test_put_installs_dirty_frame(self):
+        pool, store, _ = make_pool(capacity=4)
+        page = Page(32)
+        page.write_bytes(0, b"q")
+        pool.put("f", 1, page, dirty=True)
+        pool.flush_all()
+        assert store.read_page("f", 1).read_bytes(0, 1) == b"q"
+
+
+class TestUncachedMode:
+    def test_capacity_zero_keeps_nothing(self):
+        pool, _, _ = make_pool(capacity=0)
+        pool.fetch("f", 0)
+        assert pool.resident_pages == 0
+
+    def test_every_fetch_is_physical(self):
+        pool, _, stats = make_pool(capacity=0)
+        pool.fetch("f", 0)
+        pool.fetch("f", 0)
+        assert stats.snapshot().for_file("f").physical_reads == 2
+
+    def test_write_through(self):
+        pool, store, stats = make_pool(capacity=0)
+        page = Page(32)
+        page.write_bytes(0, b"w")
+        pool.write_through("f", 0, page)
+        assert store.read_page("f", 0).read_bytes(0, 1) == b"w"
+        assert stats.snapshot().for_file("f").physical_writes == 1
+
+
+class TestInvalidation:
+    def test_invalidate_file_drops_frames(self):
+        pool, _, _ = make_pool(capacity=4)
+        pool.fetch("f", 0)
+        pool.invalidate_file("f")
+        assert pool.resident_pages == 0
+
+    def test_clear_flushes_then_empties(self):
+        pool, store, _ = make_pool(capacity=4)
+        page = pool.fetch("f", 0)
+        page.write_bytes(0, b"c")
+        pool.mark_dirty("f", 0)
+        pool.clear()
+        assert pool.resident_pages == 0
+        assert store.read_page("f", 0).read_bytes(0, 1) == b"c"

@@ -1,0 +1,102 @@
+"""Tests for the simulated disk store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskStore
+from repro.storage.page import Page
+
+
+@pytest.fixture
+def store() -> DiskStore:
+    return DiskStore(page_size=64)
+
+
+class TestFileLifecycle:
+    def test_create_and_exists(self, store):
+        store.create_file("a")
+        assert store.exists("a")
+        assert not store.exists("b")
+
+    def test_duplicate_create_raises(self, store):
+        store.create_file("a")
+        with pytest.raises(StorageError):
+            store.create_file("a")
+
+    def test_drop(self, store):
+        store.create_file("a")
+        store.drop_file("a")
+        assert not store.exists("a")
+
+    def test_drop_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.drop_file("ghost")
+
+    def test_file_names_sorted(self, store):
+        for name in ("c", "a", "b"):
+            store.create_file(name)
+        assert store.file_names() == ["a", "b", "c"]
+
+    def test_invalid_page_size(self):
+        with pytest.raises(StorageError):
+            DiskStore(page_size=0)
+
+
+class TestPageOperations:
+    def test_allocate_returns_sequential_numbers(self, store):
+        store.create_file("f")
+        assert store.allocate_page("f") == 0
+        assert store.allocate_page("f") == 1
+        assert store.num_pages("f") == 2
+
+    def test_new_pages_zeroed(self, store):
+        store.create_file("f")
+        store.allocate_page("f")
+        assert store.read_page("f", 0).read_bytes(0, 64) == bytes(64)
+
+    def test_write_read_roundtrip(self, store):
+        store.create_file("f")
+        store.allocate_page("f")
+        page = Page(64)
+        page.write_bytes(0, b"hello")
+        store.write_page("f", 0, page)
+        assert store.read_page("f", 0).read_bytes(0, 5) == b"hello"
+
+    def test_read_returns_independent_copy(self, store):
+        store.create_file("f")
+        store.allocate_page("f")
+        page = store.read_page("f", 0)
+        page.write_bytes(0, b"\xff")
+        assert store.read_page("f", 0).read_bytes(0, 1) == b"\x00"
+
+    def test_out_of_range_read(self, store):
+        store.create_file("f")
+        with pytest.raises(StorageError):
+            store.read_page("f", 0)
+
+    def test_out_of_range_write(self, store):
+        store.create_file("f")
+        with pytest.raises(StorageError):
+            store.write_page("f", 0, Page(64))
+
+    def test_unknown_file_operations(self, store):
+        with pytest.raises(StorageError):
+            store.read_page("nope", 0)
+        with pytest.raises(StorageError):
+            store.allocate_page("nope")
+        with pytest.raises(StorageError):
+            store.num_pages("nope")
+
+    def test_page_size_mismatch_rejected(self, store):
+        store.create_file("f")
+        store.allocate_page("f")
+        with pytest.raises(StorageError):
+            store.write_page("f", 0, Page(32))
+
+    def test_total_pages(self, store):
+        store.create_file("a")
+        store.create_file("b")
+        store.allocate_page("a")
+        store.allocate_page("b")
+        store.allocate_page("b")
+        assert store.total_pages() == 3

@@ -1,0 +1,100 @@
+"""Tests for fixed-size page images."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+
+
+class TestConstruction:
+    def test_default_size_is_paper_p(self):
+        assert DEFAULT_PAGE_SIZE == 4096
+        assert Page().page_size == 4096
+
+    def test_new_page_zeroed(self):
+        assert Page(64).read_bytes(0, 64) == bytes(64)
+
+    def test_from_data(self):
+        page = Page(4, b"\x01\x02\x03\x04")
+        assert page.read_bytes(0, 4) == b"\x01\x02\x03\x04"
+
+    def test_wrong_data_length_raises(self):
+        with pytest.raises(PageError):
+            Page(4, b"\x01")
+
+    def test_nonpositive_size_raises(self):
+        with pytest.raises(PageError):
+            Page(0)
+
+
+class TestByteAccess:
+    def test_write_read(self):
+        page = Page(16)
+        page.write_bytes(3, b"abc")
+        assert page.read_bytes(3, 3) == b"abc"
+
+    def test_read_past_end_raises(self):
+        with pytest.raises(PageError):
+            Page(8).read_bytes(6, 3)
+
+    def test_write_past_end_raises(self):
+        with pytest.raises(PageError):
+            Page(8).write_bytes(7, b"xy")
+
+    def test_negative_offset_raises(self):
+        with pytest.raises(PageError):
+            Page(8).read_bytes(-1, 2)
+
+
+class TestTypedAccess:
+    @pytest.mark.parametrize(
+        "writer,reader,value,width",
+        [
+            ("write_u16", "read_u16", 0xBEEF, 2),
+            ("write_u32", "read_u32", 0xDEADBEEF, 4),
+            ("write_u64", "read_u64", 0x0123456789ABCDEF, 8),
+        ],
+    )
+    def test_roundtrip(self, writer, reader, value, width):
+        page = Page(32)
+        getattr(page, writer)(8, value)
+        assert getattr(page, reader)(8) == value
+
+    @pytest.mark.parametrize(
+        "writer,too_big",
+        [
+            ("write_u16", 0x10000),
+            ("write_u32", 0x100000000),
+            ("write_u64", 1 << 64),
+        ],
+    )
+    def test_range_checked(self, writer, too_big):
+        with pytest.raises(PageError):
+            getattr(Page(32), writer)(0, too_big)
+
+    def test_bounds_checked(self):
+        page = Page(8)
+        with pytest.raises(PageError):
+            page.read_u64(1)
+        with pytest.raises(PageError):
+            page.write_u32(6, 1)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(PageError):
+            Page(8).write_u16(0, -1)
+
+
+class TestUtility:
+    def test_zero(self):
+        page = Page(8, b"\xff" * 8)
+        page.zero()
+        assert page.read_bytes(0, 8) == bytes(8)
+
+    def test_image_is_copy(self):
+        page = Page(4)
+        image = page.image()
+        page.write_bytes(0, b"\xff")
+        assert image == bytes(4)
+
+    def test_repr(self):
+        assert "4096" in repr(Page())

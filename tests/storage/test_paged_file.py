@@ -1,0 +1,119 @@
+"""Tests for paged-file handles and the storage manager."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.paged_file import StorageManager
+
+
+@pytest.fixture
+def manager() -> StorageManager:
+    return StorageManager(page_size=64, pool_capacity=0)
+
+
+class TestLogicalCounting:
+    """Logical counters must track algorithmic page touches exactly."""
+
+    def test_read_counts_one_logical_read(self, manager):
+        f = manager.create_file("f")
+        f.append_page()
+        before = manager.snapshot()
+        f.read_page(0)
+        delta = manager.snapshot() - before
+        assert delta.for_file("f").logical_reads == 1
+        assert delta.for_file("f").logical_writes == 0
+
+    def test_cached_read_still_counts_logically(self):
+        manager = StorageManager(page_size=64, pool_capacity=8)
+        f = manager.create_file("f")
+        f.append_page()
+        manager.pool.clear()  # drop the frame the append installed
+        before = manager.snapshot()
+        f.read_page(0)
+        f.read_page(0)
+        delta = manager.snapshot() - before
+        assert delta.for_file("f").logical_reads == 2
+        assert delta.for_file("f").physical_reads == 1
+
+    def test_append_counts_one_logical_write(self, manager):
+        f = manager.create_file("f")
+        before = manager.snapshot()
+        f.append_page()
+        delta = manager.snapshot() - before
+        assert delta.for_file("f").logical_writes == 1
+
+    def test_write_page_counts(self, manager):
+        f = manager.create_file("f")
+        _, page = f.append_page()
+        before = manager.snapshot()
+        page.write_bytes(0, b"x")
+        f.write_page(0, page)
+        delta = manager.snapshot() - before
+        assert delta.for_file("f").logical_writes == 1
+
+    def test_scan_counts_every_page(self, manager):
+        f = manager.create_file("f")
+        for _ in range(5):
+            f.append_page()
+        before = manager.snapshot()
+        list(f.scan_pages())
+        assert (manager.snapshot() - before).for_file("f").logical_reads == 5
+
+
+class TestPersistence:
+    def test_write_page_persists_uncached(self, manager):
+        f = manager.create_file("f")
+        _, page = f.append_page()
+        page.write_bytes(0, b"hi")
+        f.write_page(0, page)
+        assert f.read_page(0).read_bytes(0, 2) == b"hi"
+
+    def test_write_page_persists_cached_after_flush(self):
+        manager = StorageManager(page_size=64, pool_capacity=4)
+        f = manager.create_file("f")
+        _, page = f.append_page()
+        page.write_bytes(0, b"hi")
+        f.write_page(0, page)
+        manager.flush()
+        assert manager.store.read_page("f", 0).read_bytes(0, 2) == b"hi"
+
+    def test_unwritten_mutation_lost_uncached(self, manager):
+        """Mutating without write_page must not persist (by design)."""
+        f = manager.create_file("f")
+        _, page = f.append_page()
+        page.write_bytes(0, b"zz")  # no write_page call
+        assert f.read_page(0).read_bytes(0, 2) == bytes(2)
+
+    def test_write_out_of_range_raises(self, manager):
+        f = manager.create_file("f")
+        _, page = f.append_page()
+        with pytest.raises(StorageError):
+            f.write_page(5, page)
+
+    def test_append_returns_sequential_page_numbers(self, manager):
+        f = manager.create_file("f")
+        assert f.append_page()[0] == 0
+        assert f.append_page()[0] == 1
+        assert f.num_pages == 2
+
+
+class TestManager:
+    def test_create_open_drop(self, manager):
+        manager.create_file("f")
+        handle = manager.open_file("f")
+        assert handle.num_pages == 0
+        manager.drop_file("f")
+        with pytest.raises(StorageError):
+            manager.open_file("f")
+
+    def test_open_missing_raises(self, manager):
+        with pytest.raises(StorageError):
+            manager.open_file("missing")
+
+    def test_page_size_exposed(self, manager):
+        assert manager.page_size == 64
+        assert manager.create_file("f").page_size == 64
+
+    def test_repr(self, manager):
+        f = manager.create_file("f")
+        assert "f" in repr(f)

@@ -1,0 +1,77 @@
+"""Tests for I/O statistics and snapshot arithmetic."""
+
+from repro.storage.stats import FileIOCounts, IOSnapshot, IOStatistics
+
+
+class TestFileIOCounts:
+    def test_totals(self):
+        counts = FileIOCounts(1, 2, 3, 4)
+        assert counts.logical_total == 3
+        assert counts.physical_total == 7
+
+    def test_subtraction(self):
+        a = FileIOCounts(5, 5, 5, 5)
+        b = FileIOCounts(1, 2, 3, 4)
+        assert a - b == FileIOCounts(4, 3, 2, 1)
+
+    def test_addition(self):
+        assert FileIOCounts(1, 1, 1, 1) + FileIOCounts(2, 0, 0, 2) == FileIOCounts(
+            3, 1, 1, 3
+        )
+
+
+class TestIOStatistics:
+    def test_recording(self):
+        stats = IOStatistics()
+        stats.record_logical_read("a", 2)
+        stats.record_logical_write("a")
+        stats.record_physical_read("b")
+        stats.record_physical_write("b", 3)
+        snap = stats.snapshot()
+        assert snap.for_file("a") == FileIOCounts(2, 1, 0, 0)
+        assert snap.for_file("b") == FileIOCounts(0, 0, 1, 3)
+
+    def test_unknown_file_is_zero(self):
+        assert IOStatistics().snapshot().for_file("nope") == FileIOCounts()
+
+    def test_reset(self):
+        stats = IOStatistics()
+        stats.record_logical_read("a")
+        stats.reset()
+        assert stats.snapshot().for_file("a") == FileIOCounts()
+
+    def test_snapshot_is_immutable_view(self):
+        stats = IOStatistics()
+        stats.record_logical_read("a")
+        snap = stats.snapshot()
+        stats.record_logical_read("a")
+        assert snap.for_file("a").logical_reads == 1
+
+
+class TestSnapshotArithmetic:
+    def test_difference_meters_an_interval(self):
+        stats = IOStatistics()
+        stats.record_logical_read("a", 3)
+        before = stats.snapshot()
+        stats.record_logical_read("a", 2)
+        stats.record_logical_write("b")
+        delta = stats.snapshot() - before
+        assert delta.for_file("a").logical_reads == 2
+        assert delta.for_file("b").logical_writes == 1
+
+    def test_total_sums_all_files(self):
+        snap = IOSnapshot(
+            {"a": FileIOCounts(1, 0, 0, 0), "b": FileIOCounts(2, 3, 0, 0)}
+        )
+        assert snap.total().logical_reads == 3
+        assert snap.logical_total == 6
+        assert snap.physical_total == 0
+
+    def test_files_iterates_sorted(self):
+        snap = IOSnapshot({"b": FileIOCounts(), "a": FileIOCounts()})
+        assert [name for name, _ in snap.files()] == ["a", "b"]
+
+    def test_difference_handles_new_files(self):
+        empty = IOSnapshot({})
+        later = IOSnapshot({"new": FileIOCounts(1, 0, 0, 0)})
+        assert (later - empty).for_file("new").logical_reads == 1

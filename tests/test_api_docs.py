@@ -1,0 +1,34 @@
+"""Guard: docs/API.md stays in sync with the public surface."""
+
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+@pytest.fixture
+def gen_api_docs():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import gen_api_docs  # noqa: F401
+
+        yield gen_api_docs
+    finally:
+        sys.path.remove(str(TOOLS))
+
+
+class TestAPIDocs:
+    def test_generated_content_covers_packages(self, gen_api_docs):
+        content = gen_api_docs.generate()
+        for package in ("repro.core", "repro.costmodel", "repro.shell"):
+            assert f"## `{package}`" in content
+        assert "### `Database`" in content
+        assert "BSSFCostModel" in content
+
+    def test_docs_file_is_current(self, gen_api_docs):
+        assert gen_api_docs.main(["--check"]) == 0
+
+    def test_regeneration_is_deterministic(self, gen_api_docs):
+        assert gen_api_docs.generate() == gen_api_docs.generate()

@@ -1,0 +1,85 @@
+"""Correctness under a real buffer pool (the non-paper configuration).
+
+The cost model assumes no caching, but a production deployment would run
+with a pool. Everything must behave identically — only physical I/O may
+differ — across pool capacities, including writes landing durably through
+LRU evictions.
+"""
+
+import random
+
+import pytest
+
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.query.executor import QueryExecutor
+from repro.query.planner import CostContext
+
+HOBBIES = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]
+CTX = CostContext(num_objects=150, domain_cardinality=10, target_cardinality=3)
+
+
+def build(pool_capacity: int) -> Database:
+    db = Database(page_size=4096, pool_capacity=pool_capacity)
+    db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    db.create_ssf_index("Student", "hobbies", 64, 2, seed=4)
+    db.create_bssf_index("Student", "hobbies", 64, 2, seed=4)
+    db.create_nested_index("Student", "hobbies")
+    rng = random.Random(12)
+    for i in range(150):
+        db.insert(
+            "Student",
+            {"name": f"s{i}", "hobbies": set(rng.sample(HOBBIES, 3))},
+        )
+    return db
+
+
+QUERY = 'select Student where hobbies has-subset ("a", "b")'
+
+
+@pytest.mark.parametrize("capacity", [1, 4, 64, 4096])
+class TestCachedMode:
+    def test_results_independent_of_pool(self, capacity):
+        uncached = build(0)
+        cached = build(capacity)
+        expected = {
+            values["name"]
+            for _, values in QueryExecutor(uncached)
+            .execute_text(QUERY, context=CTX).rows
+        }
+        for prefer in ("ssf", "bssf", "nix"):
+            got = {
+                values["name"]
+                for _, values in QueryExecutor(cached)
+                .execute_text(QUERY, context=CTX, prefer_facility=prefer).rows
+            }
+            assert got == expected
+
+    def test_mutations_survive_evictions(self, capacity):
+        db = build(capacity)
+        executor = QueryExecutor(db)
+        oid = db.insert("Student", {"name": "fresh", "hobbies": {"a", "b"}})
+        # churn the pool so the new pages are evicted
+        for _ in range(3):
+            executor.execute_text(QUERY, context=CTX, prefer_facility="ssf")
+        db.storage.flush()
+        assert db.get(oid)["name"] == "fresh"
+        result = executor.execute_text(QUERY, context=CTX, prefer_facility="bssf")
+        assert oid in result.oids()
+
+    def test_logical_counts_capacity_invariant(self, capacity):
+        baseline = build(0)
+        cached = build(capacity)
+        for db in (baseline, cached):
+            db.storage.pool.clear()
+        runs = {}
+        for name, db in (("uncached", baseline), ("cached", cached)):
+            before = db.io_snapshot()
+            QueryExecutor(db).execute_text(
+                QUERY, context=CTX, prefer_facility="bssf", smart=False
+            )
+            runs[name] = (db.io_snapshot() - before).logical_total
+        assert runs["uncached"] == runs["cached"]
+
+    def test_consistency_checker_with_pool(self, capacity):
+        build(capacity).check_consistency(sample=20)

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out and "table7" in out
+
+
+class TestRun:
+    def test_run_single(self, capsys):
+        assert main(["run", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "685" in out and "6531" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "table5", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out and "table6" in out
+
+    def test_run_analytical_expands(self, capsys):
+        assert main(["run", "analytical"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("figure4", "figure10", "table7"):
+            assert eid in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "figure99"]) == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_failure_does_not_stop_others(self, capsys):
+        assert main(["run", "figure99", "table5"]) == 1
+        captured = capsys.readouterr()
+        assert "685" in captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])

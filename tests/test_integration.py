@@ -1,0 +1,122 @@
+"""End-to-end integration story: build → index → query → snapshot → verify.
+
+Exercises the whole public surface in one realistic flow, the way a
+downstream user would drive the library.
+"""
+
+import pytest
+
+from repro import (
+    CostContext,
+    QueryExecutor,
+    load_database,
+    save_database,
+)
+from repro.workloads.generator import (
+    EVAL_ATTRIBUTE,
+    EVAL_CLASS,
+    WorkloadSpec,
+    load_workload,
+)
+from repro.workloads.university import build_university
+
+
+class TestUniversityStory:
+    @pytest.fixture(scope="class")
+    def campus(self):
+        built = build_university(num_students=150, seed=31)
+        db = built.database
+        db.create_nested_index("Student", "courses")
+        db.create_bssf_index("Student", "courses", 64, 3)
+        db.create_ssf_index("Student", "hobbies", 128, 2)
+        return built
+
+    def test_full_flow(self, campus, tmp_path):
+        db = campus.database
+        executor = QueryExecutor(db)
+        context = CostContext(
+            num_objects=150, domain_cardinality=10, target_cardinality=4
+        )
+
+        # declarative two-step query
+        all_db = executor.execute_text(
+            'select Student where courses has-subset '
+            '(select Course where category = "DB")',
+            context=context,
+        )
+        manual = [
+            oid for oid, v in db.scan("Student")
+            if set(campus.course_oids("DB")) <= set(v["courses"])
+        ]
+        assert sorted(all_db.oids()) == sorted(manual)
+
+        # plan introspection
+        explanation = executor.explain(
+            'select Student where hobbies has-subset ("Baseball")',
+            context=CostContext(150, 18, 3),
+        )
+        assert "ssf" in explanation
+
+        # mutate, stay consistent
+        victim = manual[0] if manual else campus.students[0]
+        db.delete(victim)
+        db.check_consistency(sample=25)
+
+        # snapshot, reload, same answers
+        path = tmp_path / "campus.sigdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        replay = QueryExecutor(loaded).execute_text(
+            'select Student where courses has-subset '
+            '(select Course where category = "DB")',
+            context=context,
+        )
+        assert sorted(replay.oids()) == sorted(
+            oid for oid in manual if oid != victim
+        )
+        loaded.check_consistency(sample=25)
+
+
+class TestSyntheticWorkloadStory:
+    def test_bulk_indexes_and_strategies_agree(self):
+        from repro.objects.database import Database
+
+        db = Database()
+        spec = WorkloadSpec(
+            num_objects=800, domain_cardinality=320, target_cardinality=10,
+            seed=77,
+        )
+        load_workload(db, spec)
+        # created after load → bulk-built
+        db.create_ssf_index(EVAL_CLASS, EVAL_ATTRIBUTE, 250, 2)
+        db.create_bssf_index(EVAL_CLASS, EVAL_ATTRIBUTE, 250, 2)
+        db.create_nested_index(EVAL_CLASS, EVAL_ATTRIBUTE)
+        db.check_consistency(sample=30)
+
+        executor = QueryExecutor(db)
+        context = CostContext(800, 320, 10)
+        text = "select EvalObject where elements in-subset (" + ", ".join(
+            str(v) for v in range(40)
+        ) + ")"
+        answers = set()
+        for prefer in ("ssf", "bssf", "nix"):
+            for smart in (True, False):
+                result = executor.execute_text(
+                    text, context=context, prefer_facility=prefer, smart=smart
+                )
+                answers.add(tuple(sorted(result.oids())))
+        assert len(answers) == 1, "every facility/strategy must agree"
+
+    def test_variable_cardinality_workload_round_trip(self):
+        from repro.objects.database import Database
+
+        db = Database()
+        spec = WorkloadSpec(
+            num_objects=300, domain_cardinality=200, target_cardinality=6,
+            seed=9, variable_cardinality=True,
+        )
+        load_workload(db, spec)
+        db.create_bssf_index(EVAL_CLASS, EVAL_ATTRIBUTE, 128, 2)
+        sizes = {len(v[EVAL_ATTRIBUTE]) for _, v in db.scan(EVAL_CLASS)}
+        assert len(sizes) > 2  # genuinely variable
+        db.check_consistency(sample=20)

@@ -1,0 +1,141 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.objects.database import Database
+from repro.workloads.generator import (
+    EVAL_ATTRIBUTE,
+    EVAL_CLASS,
+    SetWorkloadGenerator,
+    WorkloadSpec,
+    load_workload,
+    query_sets_for_sweep,
+)
+
+
+SPEC = WorkloadSpec(
+    num_objects=50, domain_cardinality=200, target_cardinality=10, seed=3
+)
+
+
+class TestSpecValidation:
+    def test_valid(self):
+        assert SPEC.target_cardinality == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_objects": -1, "domain_cardinality": 10, "target_cardinality": 2},
+            {"num_objects": 1, "domain_cardinality": 0, "target_cardinality": 0},
+            {"num_objects": 1, "domain_cardinality": 10, "target_cardinality": 11},
+            {"num_objects": 1, "domain_cardinality": 10, "target_cardinality": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+
+class TestTargetSets:
+    def test_count_and_cardinality(self):
+        sets = list(SetWorkloadGenerator(SPEC).target_sets())
+        assert len(sets) == 50
+        assert all(len(s) == 10 for s in sets)
+        assert all(all(0 <= e < 200 for e in s) for s in sets)
+
+    def test_deterministic_under_seed(self):
+        a = list(SetWorkloadGenerator(SPEC).target_sets())
+        b = list(SetWorkloadGenerator(SPEC).target_sets())
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        other = WorkloadSpec(50, 200, 10, seed=4)
+        a = list(SetWorkloadGenerator(SPEC).target_sets())
+        b = list(SetWorkloadGenerator(other).target_sets())
+        assert a != b
+
+    def test_variable_cardinality_extension(self):
+        spec = WorkloadSpec(200, 500, 10, seed=1, variable_cardinality=True)
+        generator = SetWorkloadGenerator(spec)
+        sizes = [len(s) for s in generator.target_sets()]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 19
+        assert len(set(sizes)) > 3  # actually varies
+        mean = sum(sizes) / len(sizes)
+        assert 8 <= mean <= 12  # mean stays near Dt
+
+    def test_variable_cardinality_deterministic(self):
+        spec = WorkloadSpec(30, 100, 5, seed=9, variable_cardinality=True)
+        a = [SetWorkloadGenerator(spec).target_cardinality_for(i) for i in range(30)]
+        b = [SetWorkloadGenerator(spec).target_cardinality_for(i) for i in range(30)]
+        assert a == b
+
+
+class TestQuerySets:
+    def test_random_query_set(self):
+        generator = SetWorkloadGenerator(SPEC)
+        query = generator.random_query_set(7)
+        assert len(query) == 7
+
+    def test_random_query_bounds(self):
+        generator = SetWorkloadGenerator(SPEC)
+        with pytest.raises(ConfigurationError):
+            generator.random_query_set(201)
+
+    def test_subquery_guarantees_superset_hit(self):
+        generator = SetWorkloadGenerator(SPEC)
+        target = list(range(20, 40))
+        query = generator.subquery_of(target, 5)
+        assert query <= set(target)
+
+    def test_subquery_too_large(self):
+        generator = SetWorkloadGenerator(SPEC)
+        with pytest.raises(ConfigurationError):
+            generator.subquery_of([1, 2], 3)
+
+    def test_superquery_guarantees_subset_hit(self):
+        generator = SetWorkloadGenerator(SPEC)
+        target = {5, 6, 7}
+        query = generator.superquery_of(target, 10)
+        assert target <= query
+        assert len(query) == 10
+
+    def test_superquery_too_small(self):
+        generator = SetWorkloadGenerator(SPEC)
+        with pytest.raises(ConfigurationError):
+            generator.superquery_of({1, 2, 3}, 2)
+
+    def test_sweep_queries(self):
+        sweep = query_sets_for_sweep(SPEC, [1, 3, 5], queries_per_point=2)
+        assert set(sweep) == {1, 3, 5}
+        assert all(len(queries) == 2 for queries in sweep.values())
+        assert all(len(q) == dq for dq, qs in sweep.items() for q in qs)
+
+
+class TestLoadWorkload:
+    def test_populates_database(self):
+        db = Database()
+        oids = load_workload(db, SPEC)
+        assert len(oids) == 50
+        assert db.count(EVAL_CLASS) == 50
+        _, values = next(iter(db.scan(EVAL_CLASS)))
+        assert len(values[EVAL_ATTRIBUTE]) == 10
+
+    def test_existing_class_reused(self):
+        db = Database()
+        load_workload(db, SPEC)
+        more = WorkloadSpec(5, 200, 10, seed=8)
+        load_workload(db, more)
+        assert db.count(EVAL_CLASS) == 55
+
+    def test_indexes_created_before_load_are_maintained(self):
+        db = Database()
+        from repro.objects.schema import ClassSchema
+
+        db.define_class(ClassSchema.build(EVAL_CLASS, **{EVAL_ATTRIBUTE: "set"}))
+        nix = db.create_nested_index(EVAL_CLASS, EVAL_ATTRIBUTE)
+        oids = load_workload(db, SPEC)
+        values = db.get(oids[0])[EVAL_ATTRIBUTE]
+        element = next(iter(values))
+        assert oids[0] in nix.lookup_element(element)

@@ -1,0 +1,117 @@
+"""Tests for the Zipf-skewed workload extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import SetWorkloadGenerator, WorkloadSpec
+
+
+def make_generator(exponent: float, V: int = 200, Dt: int = 5, seed: int = 3):
+    return SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=300,
+            domain_cardinality=V,
+            target_cardinality=Dt,
+            seed=seed,
+            zipf_exponent=exponent,
+        )
+    )
+
+
+class TestSkewedTargets:
+    def test_sets_have_requested_cardinality(self):
+        generator = make_generator(0.9)
+        sets = list(generator.target_sets())
+        assert len(sets) == 300
+        assert all(len(s) == 5 for s in sets)
+        assert all(all(0 <= e < 200 for e in s) for s in sets)
+
+    def test_deterministic(self):
+        a = list(make_generator(0.9).target_sets())
+        b = list(make_generator(0.9).target_sets())
+        assert a == b
+
+    def test_head_is_hot(self):
+        """Element 0 must appear far more often than a tail element."""
+        generator = make_generator(1.0)
+        counts = {0: 0, 150: 0}
+        for target in generator.target_sets():
+            for element in counts:
+                counts[element] += element in target
+        assert counts[0] > 5 * max(counts[150], 1)
+
+    def test_zero_exponent_is_uniform(self):
+        """s = 0 must reproduce the paper's uniform draw (same machinery)."""
+        generator = make_generator(0.0)
+        counts = [0] * 200
+        for target in generator.target_sets():
+            for element in target:
+                counts[element] += 1
+        # 300 sets × 5 elements over 200 values → mean 7.5 per element
+        assert max(counts) < 25  # no hot head under uniformity
+
+    def test_extreme_skew_still_terminates_with_distinct_elements(self):
+        generator = make_generator(3.0, V=50, Dt=40)
+        target = next(iter(generator.target_sets()))
+        assert len(target) == 40
+
+    def test_cardinality_exceeding_domain_rejected(self):
+        generator = make_generator(1.0, V=10, Dt=5)
+        with pytest.raises(ConfigurationError):
+            generator._draw_skewed_set(11)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(10, 10, 2, zipf_exponent=-0.5)
+
+
+class TestSkewedQueries:
+    def test_skewed_query_set(self):
+        generator = make_generator(1.0)
+        query = generator.skewed_query_set(4)
+        assert len(query) == 4
+
+    def test_skewed_query_requires_skewed_spec(self):
+        with pytest.raises(ConfigurationError):
+            make_generator(0.0).skewed_query_set(3)
+
+    def test_hot_elements(self):
+        generator = make_generator(1.0)
+        assert generator.hot_elements(3) == frozenset({0, 1, 2})
+        with pytest.raises(ConfigurationError):
+            generator.hot_elements(201)
+
+
+class TestSkewAblationExperiment:
+    def test_small_run(self):
+        from repro.experiments.skew import skew_ablation
+
+        table = skew_ablation(
+            exponents=(0.0, 0.9),
+            num_objects=400,
+            domain_cardinality=200,
+            target_cardinality=6,
+            signature_bits=128,
+        )
+        assert len(table.rows) == 2
+        uniform, skewed = table.rows
+        assert uniform[0] == 0.0
+        # BSSF storage identical; NIX postings heavier (or failed) at 0.9
+        assert uniform[4] == skewed[4]
+        assert skewed[1] == "BUILD FAILS" or skewed[1] > uniform[1]
+
+    def test_overflow_chains_survive_heavy_skew(self):
+        from repro.experiments.skew import skew_ablation
+
+        table = skew_ablation(
+            exponents=(1.2,),
+            num_objects=400,
+            domain_cardinality=200,
+            target_cardinality=6,
+            signature_bits=128,
+            overflow_chains=True,
+        )
+        (row,) = table.rows
+        assert row[1] != "BUILD FAILS"
+        assert isinstance(row[1], int) and row[1] > 100
+        assert table.experiment_id == "ablation_skew_chained"

@@ -1,0 +1,109 @@
+"""Tests for the Section 1 university sample database."""
+
+import pytest
+
+from repro.query.executor import QueryExecutor
+from repro.query.planner import CostContext
+from repro.workloads.university import (
+    COURSE_CATEGORIES,
+    UniversityDatabase,
+    build_university,
+)
+
+
+@pytest.fixture(scope="module")
+def campus() -> UniversityDatabase:
+    return build_university(num_students=80, seed=2)
+
+
+class TestPopulation:
+    def test_counts(self, campus):
+        db = campus.database
+        assert db.count("Student") == 80
+        assert db.count("Teacher") == len(COURSE_CATEGORIES)
+        assert db.count("Course") == sum(len(v) for v in COURSE_CATEGORIES.values())
+
+    def test_course_categories(self, campus):
+        assert set(campus.courses) == set(COURSE_CATEGORIES)
+        db_courses = campus.course_oids("DB")
+        assert len(db_courses) == 3
+        for oid in db_courses:
+            assert campus.database.get(oid)["category"] == "DB"
+
+    def test_students_reference_real_courses(self, campus):
+        all_courses = set(campus.all_course_oids())
+        for oid in campus.students[:10]:
+            student = campus.database.get(oid)
+            assert set(student["courses"]) <= all_courses
+            assert len(student["hobbies"]) == 3
+
+    def test_deterministic(self):
+        a = build_university(num_students=10, seed=5)
+        b = build_university(num_students=10, seed=5)
+        names_a = [a.database.get(oid)["name"] for oid in a.students]
+        names_b = [b.database.get(oid)["name"] for oid in b.students]
+        assert names_a == names_b
+
+
+class TestPaperIntroQuery:
+    """'Find all students who take all of the lectures in the DB category'
+    — the two-step scheme of Section 1."""
+
+    def test_two_step_scheme_with_nix(self, campus):
+        db = campus.database
+        db.create_nested_index("Student", "courses")
+        # step 1: OIDs of DB-category courses
+        oid_list = frozenset(campus.course_oids("DB"))
+        # step 2: Student.courses ⊇ OID-list via the set access facility
+        nix = db.index("Student", "courses", "nix")
+        result = nix.search_superset(oid_list)
+        expected = sorted(
+            oid for oid, values in db.scan("Student")
+            if oid_list <= frozenset(values["courses"])
+        )
+        assert sorted(result.candidates) == expected
+
+    def test_only_db_lectures_query(self, campus):
+        """The 'take only DB lectures' variant: courses ⊆ OID-list."""
+        db = campus.database
+        oid_list = frozenset(campus.course_oids("DB"))
+        facility = db.index("Student", "courses", "nix")
+        candidates = facility.search_subset(oid_list).candidates
+        confirmed = sorted(
+            oid for oid in candidates
+            if frozenset(db.get(oid)["courses"]) <= oid_list
+        )
+        expected = sorted(
+            oid for oid, values in db.scan("Student")
+            if frozenset(values["courses"]) <= oid_list
+        )
+        assert confirmed == expected
+
+
+class TestHobbyQueries:
+    def test_q1_and_q2_run_end_to_end(self, campus):
+        db = campus.database
+        db.create_bssf_index("Student", "hobbies", 128, 2)
+        executor = QueryExecutor(db)
+        context = CostContext(
+            num_objects=80, domain_cardinality=18, target_cardinality=3
+        )
+        q1 = executor.execute_text(
+            'select Student where hobbies has-subset ("Baseball", "Fishing")',
+            context=context,
+        )
+        q2 = executor.execute_text(
+            'select Student where hobbies in-subset '
+            '("Baseball", "Fishing", "Tennis")',
+            context=context,
+        )
+        brute_q1 = [
+            oid for oid, v in db.scan("Student")
+            if {"Baseball", "Fishing"} <= set(v["hobbies"])
+        ]
+        brute_q2 = [
+            oid for oid, v in db.scan("Student")
+            if set(v["hobbies"]) <= {"Baseball", "Fishing", "Tennis"}
+        ]
+        assert sorted(q1.oids()) == sorted(brute_q1)
+        assert sorted(q2.oids()) == sorted(brute_q2)
