@@ -1,0 +1,255 @@
+"""Wall-clock benchmark: packed kernels + decode caches vs the naive paths.
+
+The paper's metric is logical page accesses — which both execution paths
+produce bit-identically (see ``tests/access/test_golden_page_accesses.py``).
+This bench measures the *simulator's own* wall-clock cost at the empirical
+design point (N = 4096, F = 500, m = 2), comparing ``use_kernels=True``
+against the per-entry reference path on:
+
+* the BSSF subset sweep (the ``F − m_q`` slice-OR path — the heaviest
+  retrieval loop in the repo),
+* the SSF full-scan search (superset + subset + overlap over every
+  signature page),
+* bulk load of both facilities.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out F]
+
+Writes a JSON report (default ``BENCH_wallclock.json`` at the repo root)
+and exits non-zero if a ``--min-*-speedup`` threshold is not met.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+from repro.workloads.generator import SetWorkloadGenerator, WorkloadSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FULL = {
+    "num_objects": 4096,
+    "domain_cardinality": 1664,
+    "target_cardinality": 10,
+    "signature_bits": 500,
+    "bits_per_element": 2,
+    "page_size": 4096,
+    "target_seed": 42,
+    "query_seed": 43,
+    "subset_dq": [10, 30, 100, 300],
+    "scan_dq": [5, 20, 100],
+    "min_seconds": 1.0,
+}
+
+SMOKE = {
+    "num_objects": 512,
+    "domain_cardinality": 208,
+    "target_cardinality": 10,
+    "signature_bits": 192,
+    "bits_per_element": 2,
+    "page_size": 4096,
+    "target_seed": 42,
+    "query_seed": 43,
+    "subset_dq": [5, 20],
+    "scan_dq": [5, 20],
+    "min_seconds": 0.2,
+}
+
+
+def build(config, use_kernels):
+    manager = StorageManager(
+        page_size=config["page_size"], pool_capacity=0
+    )
+    scheme = SignatureScheme(
+        config["signature_bits"],
+        config["bits_per_element"],
+        seed=config["target_seed"],
+    )
+    ssf = SequentialSignatureFile(manager, scheme, use_kernels=use_kernels)
+    bssf = BitSlicedSignatureFile(manager, scheme, use_kernels=use_kernels)
+    gen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=config["num_objects"],
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["target_seed"],
+        )
+    )
+    pairs = [(s, OID(1, i)) for i, s in enumerate(gen.target_sets())]
+    t0 = time.perf_counter()
+    ssf.bulk_load(pairs)
+    t1 = time.perf_counter()
+    bssf.bulk_load(list(pairs))
+    t2 = time.perf_counter()
+    return ssf, bssf, {"ssf_bulk_load_s": t1 - t0, "bssf_bulk_load_s": t2 - t1}
+
+
+def queries_for(config, key):
+    qgen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=0,
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["query_seed"],
+        )
+    )
+    return [qgen.random_query_set(dq) for dq in config[key]]
+
+
+def best_sweep_time(sweep, min_seconds):
+    """Best-of-reps sweep time, running at least ``min_seconds`` total."""
+    sweep()  # warm-up: decode caches, numpy, element-signature memos
+    best = float("inf")
+    elapsed = 0.0
+    while elapsed < min_seconds:
+        t0 = time.perf_counter()
+        sweep()
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+        elapsed += dt
+    return best
+
+
+def run_benchmarks(config):
+    facilities = {}
+    build_times = {}
+    for use_kernels in (False, True):
+        label = "kernels" if use_kernels else "naive"
+        ssf, bssf, times = build(config, use_kernels)
+        facilities[label] = (ssf, bssf)
+        build_times[label] = times
+
+    subset_queries = queries_for(config, "subset_dq")
+    scan_queries = queries_for(config, "scan_dq")
+
+    def bssf_subset(bssf):
+        return [bssf.search_subset(q) for q in subset_queries]
+
+    def ssf_scan(ssf):
+        out = []
+        for q in scan_queries:
+            out.append(ssf.search_superset(q))
+            out.append(ssf.search_subset(q))
+            out.append(ssf.search_overlap(q))
+        return out
+
+    # Both paths must agree before timing means anything.
+    for runner, index in ((bssf_subset, 1), (ssf_scan, 0)):
+        naive_results = runner(facilities["naive"][index])
+        fast_results = runner(facilities["kernels"][index])
+        for a, b in zip(naive_results, fast_results):
+            if a.candidates != b.candidates or a.detail != b.detail:
+                raise AssertionError(
+                    f"kernel/naive result divergence in {runner.__name__}"
+                )
+
+    results = {}
+    for name, runner, index in (
+        ("bssf_subset_sweep", bssf_subset, 1),
+        ("ssf_scan_sweep", ssf_scan, 0),
+    ):
+        timings = {}
+        for label in ("naive", "kernels"):
+            facility = facilities[label][index]
+            timings[label] = best_sweep_time(
+                lambda: runner(facility), config["min_seconds"]
+            )
+        results[name] = {
+            "naive_ms": timings["naive"] * 1000,
+            "kernels_ms": timings["kernels"] * 1000,
+            "speedup": timings["naive"] / timings["kernels"],
+        }
+    for name in ("ssf_bulk_load_s", "bssf_bulk_load_s"):
+        results[name.replace("_s", "")] = {
+            "naive_ms": build_times["naive"][name] * 1000,
+            "kernels_ms": build_times["kernels"][name] * 1000,
+            "speedup": build_times["naive"][name]
+            / build_times["kernels"][name],
+        }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast configuration for CI sanity checks",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: BENCH_wallclock.json at repo root; "
+        "BENCH_wallclock_smoke.json with --smoke)",
+    )
+    parser.add_argument(
+        "--min-bssf-speedup",
+        type=float,
+        default=None,
+        help="fail unless the BSSF subset sweep speedup reaches this",
+    )
+    parser.add_argument(
+        "--min-ssf-speedup",
+        type=float,
+        default=None,
+        help="fail unless the SSF scan sweep speedup reaches this",
+    )
+    args = parser.parse_args(argv)
+
+    config = dict(SMOKE if args.smoke else FULL)
+    out_path = args.out
+    if out_path is None:
+        name = "BENCH_wallclock_smoke.json" if args.smoke else "BENCH_wallclock.json"
+        out_path = REPO_ROOT / name
+
+    results = run_benchmarks(config)
+
+    thresholds = {
+        "bssf_subset_sweep": args.min_bssf_speedup,
+        "ssf_scan_sweep": args.min_ssf_speedup,
+    }
+    failures = [
+        f"{name}: speedup {results[name]['speedup']:.2f}x < required {minimum:.2f}x"
+        for name, minimum in thresholds.items()
+        if minimum is not None and results[name]["speedup"] < minimum
+    ]
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "config": config,
+        "results": {
+            name: {k: round(v, 3) for k, v in metrics.items()}
+            for name, metrics in results.items()
+        },
+        "thresholds": thresholds,
+        "pass": not failures,
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for name, metrics in report["results"].items():
+        print(
+            f"{name:20s} naive {metrics['naive_ms']:9.2f} ms   "
+            f"kernels {metrics['kernels_ms']:9.2f} ms   "
+            f"speedup {metrics['speedup']:6.2f}x"
+        )
+    print(f"wrote {out_path}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,30 @@ worst case — ``worst_case_insert=True`` reproduces it by touching every
 slice. Slice files are fully materialized (``ceil(N / P·b)`` pages each) as
 entries grow; that extension is bulk file formatting, charged to storage
 (the model's SC) rather than to any single operation's I/O.
+
+Two execution paths produce bit-identical results and bit-identical
+*logical page-access counts* (the paper's metric):
+
+``use_kernels=True`` (default)
+    Slice columns stay packed in uint64 words end-to-end
+    (:mod:`repro.core.kernels`). All ``F`` slices are decoded once into a
+    stacked ``(F, W)`` word matrix memoized in a version-keyed
+    :class:`~repro.storage.decode_cache.DecodeCache` (validated in O(1)
+    through a :meth:`DiskStore.register_version_group` counter spanning
+    every slice file). Decoding reads page images through the
+    accounting-free :meth:`PagedFile.peek_page`; each search then charges
+    exactly the slices it examines through the pool's read-through
+    ``touch`` machinery, so every logical/physical counter and the buffer
+    pool's LRU state match the naive per-slice reads bit for bit. The
+    per-slice AND/OR loops collapse into chunked ``np.bitwise_*.reduce``
+    sweeps; survivor extinction and coverage are monotone along the scan,
+    so a binary search inside the stopping chunk replays the naive loop's
+    early exit at exactly the same slice.
+
+``use_kernels=False``
+    The original per-entry ``unpackbits``-into-bools path, kept as the
+    executable reference for parity tests and the wall-clock benchmark's
+    before/after comparison.
 """
 
 from __future__ import annotations
@@ -30,9 +54,11 @@ import numpy as np
 
 from repro.access.base import SearchResult, SetAccessFacility, SetValue
 from repro.access.oid_file import OIDFile
+from repro.core import kernels
 from repro.core.signature import SignatureScheme
 from repro.errors import AccessFacilityError
 from repro.objects.oid import OID
+from repro.storage.decode_cache import DecodeCache
 from repro.storage.paged_file import PagedFile, StorageManager
 
 
@@ -47,18 +73,27 @@ class BitSlicedSignatureFile(SetAccessFacility):
         scheme: SignatureScheme,
         file_prefix: str = "bssf",
         worst_case_insert: bool = False,
+        use_kernels: bool = True,
     ):
         self.scheme = scheme
         self.signature_bits = scheme.signature_bits
         self.entries_per_slice_page = storage.page_size * 8
         self.worst_case_insert = worst_case_insert
+        self.use_kernels = use_kernels
         self._storage = storage
         self._slice_files: List[PagedFile] = [
             storage.create_file(f"{file_prefix}:slice:{i:04d}")
             for i in range(self.signature_bits)
         ]
-        self.oid_file = OIDFile(storage.create_file(f"{file_prefix}:oids"))
+        self.oid_file = OIDFile(
+            storage.create_file(f"{file_prefix}:oids"), use_cache=use_kernels
+        )
         self._formatted_pages = 0
+        self._group_name = f"{file_prefix}:slices"
+        storage.store.register_version_group(
+            self._group_name, [f.name for f in self._slice_files]
+        )
+        self._decode_cache = DecodeCache(max_entries=1)
 
     @classmethod
     def attach(
@@ -68,6 +103,7 @@ class BitSlicedSignatureFile(SetAccessFacility):
         file_prefix: str,
         entry_count: int,
         worst_case_insert: bool = False,
+        use_kernels: bool = True,
     ) -> "BitSlicedSignatureFile":
         """Bind to an existing BSSF's files (snapshot rehydration)."""
         facility = cls.__new__(cls)
@@ -75,15 +111,23 @@ class BitSlicedSignatureFile(SetAccessFacility):
         facility.signature_bits = scheme.signature_bits
         facility.entries_per_slice_page = storage.page_size * 8
         facility.worst_case_insert = worst_case_insert
+        facility.use_kernels = use_kernels
         facility._storage = storage
         facility._slice_files = [
             storage.open_file(f"{file_prefix}:slice:{i:04d}")
             for i in range(scheme.signature_bits)
         ]
         facility.oid_file = OIDFile(
-            storage.open_file(f"{file_prefix}:oids"), entry_count=entry_count
+            storage.open_file(f"{file_prefix}:oids"),
+            entry_count=entry_count,
+            use_cache=use_kernels,
         )
         facility._formatted_pages = facility.slice_pages
+        facility._group_name = f"{file_prefix}:slices"
+        storage.store.register_version_group(
+            facility._group_name, [f.name for f in facility._slice_files]
+        )
+        facility._decode_cache = DecodeCache(max_entries=1)
         facility.verify()
         return facility
 
@@ -118,30 +162,59 @@ class BitSlicedSignatureFile(SetAccessFacility):
     def bulk_load(self, pairs) -> int:
         """Build the BSSF from scratch, slice-column-at-a-time.
 
-        Materializes the full (entries × F) bit matrix in memory, then
-        writes each slice file's pages once. Only valid on an empty
-        facility; returns the entry count.
+        On the kernel path the full bit matrix is produced by one
+        ``unpackbits`` over the stacked signature words and written out with
+        a single transpose + ``packbits`` covering every slice; the naive
+        path keeps the original per-entry row construction and per-slice
+        packing. Both charge identical I/O: two logical writes (append +
+        write-back) per slice page. Only valid on an empty facility;
+        returns the entry count.
         """
         if self.entry_count:
             raise AccessFacilityError("bulk_load requires an empty BSSF")
         oids: List[OID] = []
-        rows: List[np.ndarray] = []
-        for elements, oid in pairs:
-            signature = self.scheme.set_signature(elements)
-            row = np.zeros(self.signature_bits, dtype=np.uint8)
-            row[signature.set_positions()] = 1
-            rows.append(row)
-            oids.append(oid)
-        if not rows:
-            return 0
-        matrix = np.stack(rows)
+        if self.use_kernels:
+            word_rows: List[np.ndarray] = []
+            for elements, oid in pairs:
+                word_rows.append(self.scheme.set_signature(elements).words)
+                oids.append(oid)
+            if not oids:
+                return 0
+            matrix = kernels.unpack_rows(
+                np.stack(word_rows), self.signature_bits
+            )
+        else:
+            rows: List[np.ndarray] = []
+            for elements, oid in pairs:
+                signature = self.scheme.set_signature(elements)
+                row = np.zeros(self.signature_bits, dtype=np.uint8)
+                row[signature.set_positions()] = 1
+                rows.append(row)
+                oids.append(oid)
+            if not rows:
+                return 0
+            matrix = np.stack(rows)
         entries = len(oids)
         pages_needed = -(-entries // self.entries_per_slice_page)
         page_bytes = self._storage.page_size
-        padded = np.zeros(pages_needed * self.entries_per_slice_page, dtype=np.uint8)
+        if self.use_kernels:
+            padded = np.zeros(
+                (self.signature_bits, pages_needed * self.entries_per_slice_page),
+                dtype=np.uint8,
+            )
+            padded[:, :entries] = matrix.T
+            packed_slices = np.packbits(padded, axis=1, bitorder="little")
+        else:
+            packed_slices = None
         for position in range(self.signature_bits):
-            padded[:entries] = matrix[:, position]
-            packed = np.packbits(padded, bitorder="little").tobytes()
+            if packed_slices is not None:
+                packed = packed_slices[position].tobytes()
+            else:
+                column = np.zeros(
+                    pages_needed * self.entries_per_slice_page, dtype=np.uint8
+                )
+                column[:entries] = matrix[:, position]
+                packed = np.packbits(column, bitorder="little").tobytes()
             slice_file = self._slice_files[position]
             for page_no in range(pages_needed):
                 new_page_no, page = slice_file.append_page()
@@ -181,6 +254,132 @@ class BitSlicedSignatureFile(SetAccessFacility):
     # ------------------------------------------------------------------
     # Slice access
     # ------------------------------------------------------------------
+    def _stacked_slices(self) -> np.ndarray:
+        """All ``F`` slices as one ``(F, W)`` uint64 matrix, cache backed.
+
+        Decoding reads page images through :meth:`PagedFile.peek_page`,
+        which performs *no* accounting: the matrix is a pure decode of
+        store content, and what a search logically reads is charged
+        separately (and exactly) by :meth:`_charge_slices`. The cache key
+        is the slice files' shared version-group counter, so any slice
+        write invalidates in O(1). Bits at index ``>= entry_count`` are
+        always zero (pages are born zeroed and only live entries set bits).
+        """
+        store = self._storage.store
+        version = store.group_version(self._group_name)
+        cached = self._decode_cache.get(self._group_name, version)
+        if cached is not None:
+            return cached
+        pages = self.slice_pages
+        words_per_page = self._storage.page_size // 8
+        matrix = np.zeros(
+            (self.signature_bits, pages * words_per_page), dtype=np.uint64
+        )
+        for position, slice_file in enumerate(self._slice_files):
+            row = matrix[position]
+            for page_no in range(pages):
+                row[page_no * words_per_page : (page_no + 1) * words_per_page] = (
+                    np.frombuffer(slice_file.peek_page(page_no).data, dtype="<u8")
+                )
+        self._decode_cache.put(self._group_name, version, matrix)
+        return matrix
+
+    def _charge_slices(self, positions) -> None:
+        """Charge ``slice_pages`` logical reads against each listed slice.
+
+        Bulk read-through accounting: per-file logical and physical
+        counters, pool hit/miss counts, and (in cached-pool mode) LRU
+        order and residency end up exactly as per-page fetches in the
+        same order would leave them.
+        """
+        pages = self.slice_pages
+        if pages == 0 or len(positions) == 0:
+            return
+        names = [self._slice_files[p].name for p in positions]
+        self._storage.stats.record_logical_read_many(names, pages)
+        self._storage.pool.touch_files(names, pages)
+
+    _SCAN_CHUNK = 128
+
+    def _query_bits(self, signature) -> np.ndarray:
+        """Query signature as a flat 0/1 uint8 array of length ``F``."""
+        return kernels.unpack_rows(
+            signature.words[np.newaxis, :], self.signature_bits
+        )[0]
+
+    def _or_scan(self, positions):
+        """OR the listed slices in order; return ``(acc_words, slices_read)``.
+
+        Chunked ``bitwise_or.reduce`` over rows gathered from the stacked
+        matrix. Coverage is monotone under OR, so when a chunk's total
+        first covers every live entry, a binary search over its prefixes
+        finds the minimal covering prefix — exactly the slice where the
+        naive per-slice loop's ``eliminated.all()`` break fires — and only
+        slices up to that point are counted and charged.
+        """
+        acc = np.zeros(self._slice_word_count, dtype=np.uint64)
+        if len(positions) == 0:
+            return acc, 0
+        full = kernels.ones_mask(self.entry_count, self._slice_word_count)
+        matrix = self._stacked_slices()
+        read = 0
+        for start in range(0, len(positions), self._SCAN_CHUNK):
+            chunk = positions[start : start + self._SCAN_CHUNK]
+            rows = matrix[chunk]
+            total = np.bitwise_or.reduce(rows, axis=0) | acc
+            if not kernels.covers_all(total, full):
+                self._charge_slices(chunk)
+                acc = total
+                read += len(chunk)
+                continue
+            lo, hi = 1, len(chunk)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                prefix = np.bitwise_or.reduce(rows[:mid], axis=0) | acc
+                if kernels.covers_all(prefix, full):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            acc = np.bitwise_or.reduce(rows[:lo], axis=0) | acc
+            self._charge_slices(chunk[:lo])
+            return acc, read + lo
+        return acc, read
+
+    def _and_scan(self, positions):
+        """AND the listed slices in order; return ``(acc_words, slices_read)``.
+
+        Mirror of :meth:`_or_scan` for the superset search: survivor
+        extinction is monotone under AND, so the binary search finds the
+        minimal prefix with no survivors — the naive loop's
+        ``not surviving.any()`` break point — and charging stops there.
+        """
+        acc = kernels.ones_mask(self.entry_count, self._slice_word_count)
+        if len(positions) == 0:
+            return acc, 0
+        matrix = self._stacked_slices()
+        read = 0
+        for start in range(0, len(positions), self._SCAN_CHUNK):
+            chunk = positions[start : start + self._SCAN_CHUNK]
+            rows = matrix[chunk]
+            total = np.bitwise_and.reduce(rows, axis=0) & acc
+            if kernels.any_bit(total):
+                self._charge_slices(chunk)
+                acc = total
+                read += len(chunk)
+                continue
+            lo, hi = 1, len(chunk)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                prefix = np.bitwise_and.reduce(rows[:mid], axis=0) & acc
+                if kernels.any_bit(prefix):
+                    lo = mid + 1
+                else:
+                    hi = mid
+            acc = np.bitwise_and.reduce(rows[:lo], axis=0) & acc
+            self._charge_slices(chunk[:lo])
+            return acc, read + lo
+        return acc, read
+
     def read_slice(self, position: int) -> np.ndarray:
         """Bit column ``position`` over all entries, as a bool array.
 
@@ -190,6 +389,17 @@ class BitSlicedSignatureFile(SetAccessFacility):
             raise AccessFacilityError(
                 f"slice {position} out of range [0, {self.signature_bits})"
             )
+        if self.use_kernels:
+            words = self._stacked_slices()[position]
+            self._slice_files[position].charge_reads(self.slice_pages)
+            if words.size == 0:
+                return np.zeros(0, dtype=bool)
+            bits = np.unpackbits(
+                np.ascontiguousarray(words).view(np.uint8),
+                bitorder="little",
+                count=self.entry_count,
+            )
+            return bits.astype(bool)
         chunks = []
         slice_file = self._slice_files[position]
         for page_no in range(self.slice_pages):
@@ -199,6 +409,10 @@ class BitSlicedSignatureFile(SetAccessFacility):
         if not chunks:
             return np.zeros(0, dtype=bool)
         return np.concatenate(chunks)[: self.entry_count].astype(bool)
+
+    @property
+    def _slice_word_count(self) -> int:
+        return self.slice_pages * self._storage.page_size // 8
 
     # ------------------------------------------------------------------
     # Search
@@ -227,17 +441,23 @@ class BitSlicedSignatureFile(SetAccessFacility):
             )
         else:
             signature = self.scheme.set_signature(query)
-        positions = signature.set_positions()
-        surviving = np.ones(self.entry_count, dtype=bool)
-        slices_read = 0
-        for position in positions:
-            surviving &= self.read_slice(position)
-            slices_read += 1
-            if not surviving.any():
-                # Remaining slices cannot resurrect entries; a real system
-                # would stop here too. Counted slices stay honest.
-                break
-        drop_indices = np.nonzero(surviving)[0].tolist()
+        if self.use_kernels:
+            positions = np.flatnonzero(self._query_bits(signature))
+            surviving, slices_read = self._and_scan(positions)
+            drop_indices = kernels.set_bit_indices(
+                surviving, self.entry_count
+            ).tolist()
+        else:
+            surviving = np.ones(self.entry_count, dtype=bool)
+            slices_read = 0
+            for position in signature.set_positions():
+                surviving &= self.read_slice(position)
+                slices_read += 1
+                if not surviving.any():
+                    # Remaining slices cannot resurrect entries; a real
+                    # system would stop here too. Counted slices stay honest.
+                    break
+            drop_indices = np.nonzero(surviving)[0].tolist()
         return self._resolve(drop_indices, "superset", slices_read)
 
     def search_subset(
@@ -249,24 +469,46 @@ class BitSlicedSignatureFile(SetAccessFacility):
         outside the query set (modulo hashing) and are eliminated. With
         ``slices_to_examine = k`` (smart §5.2.2), only ``k`` arbitrary zero
         slices are read; Appendix A gives the resulting drop probability.
+
+        An empty query short-circuits without touching a single slice:
+        ``T ⊆ ∅`` is satisfiable only by empty targets, so instead of OR-ing
+        all ``F`` zero slices just to isolate the all-zero signatures, every
+        live entry is returned as a candidate (``exact=False``) and drop
+        resolution finds the empty sets — mirroring ``search_superset``'s
+        empty-query fast path.
         """
+        if slices_to_examine is not None and slices_to_examine < 0:
+            raise AccessFacilityError("slices_to_examine must be >= 0")
+        if not query:
+            live = [oid for _, oid in self.oid_file.scan_live()]
+            return SearchResult(live, exact=False, facility=self.name,
+                                detail={"mode": "subset", "slices_read": 0,
+                                        "drops": self.entry_count,
+                                        "live_drops": len(live)})
         signature = self.scheme.set_signature(query)
-        one_positions = set(signature.set_positions())
-        zero_positions = [
-            i for i in range(self.signature_bits) if i not in one_positions
-        ]
-        if slices_to_examine is not None:
-            if slices_to_examine < 0:
-                raise AccessFacilityError("slices_to_examine must be >= 0")
-            zero_positions = zero_positions[:slices_to_examine]
-        eliminated = np.zeros(self.entry_count, dtype=bool)
-        slices_read = 0
-        for position in zero_positions:
-            eliminated |= self.read_slice(position)
-            slices_read += 1
-            if eliminated.all():
-                break
-        drop_indices = np.nonzero(~eliminated)[0].tolist()
+        if self.use_kernels:
+            zero_positions = np.flatnonzero(self._query_bits(signature) == 0)
+            if slices_to_examine is not None:
+                zero_positions = zero_positions[:slices_to_examine]
+            eliminated, slices_read = self._or_scan(zero_positions)
+            drop_indices = kernels.cleared_bit_indices(
+                eliminated, self.entry_count
+            ).tolist()
+        else:
+            one_positions = set(signature.set_positions())
+            zero_positions = [
+                i for i in range(self.signature_bits) if i not in one_positions
+            ]
+            if slices_to_examine is not None:
+                zero_positions = zero_positions[:slices_to_examine]
+            eliminated = np.zeros(self.entry_count, dtype=bool)
+            slices_read = 0
+            for position in zero_positions:
+                eliminated |= self.read_slice(position)
+                slices_read += 1
+                if eliminated.all():
+                    break
+            drop_indices = np.nonzero(~eliminated)[0].tolist()
         return self._resolve(drop_indices, "subset", slices_read)
 
     def search_overlap(self, query: SetValue) -> SearchResult:
@@ -280,14 +522,22 @@ class BitSlicedSignatureFile(SetAccessFacility):
                                 detail={"mode": "overlap", "slices_read": 0,
                                         "drops": 0, "live_drops": 0})
         signature = self.scheme.set_signature(query)
-        overlapping = np.zeros(self.entry_count, dtype=bool)
-        slices_read = 0
-        for position in signature.set_positions():
-            overlapping |= self.read_slice(position)
-            slices_read += 1
-            if overlapping.all():
-                break
-        drop_indices = np.nonzero(overlapping)[0].tolist()
+        if self.use_kernels:
+            overlapping, slices_read = self._or_scan(
+                np.flatnonzero(self._query_bits(signature))
+            )
+            drop_indices = kernels.set_bit_indices(
+                overlapping, self.entry_count
+            ).tolist()
+        else:
+            overlapping = np.zeros(self.entry_count, dtype=bool)
+            slices_read = 0
+            for position in signature.set_positions():
+                overlapping |= self.read_slice(position)
+                slices_read += 1
+                if overlapping.all():
+                    break
+            drop_indices = np.nonzero(overlapping)[0].tolist()
         return self._resolve(drop_indices, "overlap", slices_read)
 
     # ------------------------------------------------------------------
@@ -315,6 +565,10 @@ class BitSlicedSignatureFile(SetAccessFacility):
             "slices": sum(f.num_pages for f in self._slice_files),
             "oid": self.oid_file.num_pages,
         }
+
+    def decode_cache_stats(self) -> dict:
+        """Hit/miss counters of the slice decode cache (diagnostics)."""
+        return self._decode_cache.stats()
 
     def verify(self) -> None:
         """Every slice file must be exactly ``slice_pages`` long."""

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import AccessFacilityError
 from repro.objects.oid import OID, OID_BYTES
+from repro.storage.decode_cache import DecodeCache
 from repro.storage.paged_file import PagedFile
 
 # All-ones is not a constructible OID in practice (class id 0xFFFF is
@@ -23,9 +26,17 @@ _TOMBSTONE = b"\xff" * OID_BYTES
 
 
 class OIDFile:
-    """Sequential OID file with delete flags."""
+    """Sequential OID file with delete flags.
 
-    def __init__(self, paged_file: PagedFile, entry_count: int = 0):
+    With ``use_cache=True`` the decoded entry table is memoized against the
+    underlying file's version, so drop-index materialization skips per-entry
+    byte decoding on repeat lookups. Logical and physical page accesses are
+    charged identically either way (see :meth:`get_many`).
+    """
+
+    def __init__(
+        self, paged_file: PagedFile, entry_count: int = 0, use_cache: bool = True
+    ):
         self.file = paged_file
         self.entries_per_page = self.file.page_size // OID_BYTES
         if entry_count < 0:
@@ -38,6 +49,7 @@ class OIDFile:
                 f"entry_count {entry_count} exceeds file capacity {max_entries}"
             )
         self._count = entry_count
+        self._decode_cache = DecodeCache(max_entries=1) if use_cache else None
 
     @property
     def entry_count(self) -> int:
@@ -104,8 +116,22 @@ class OIDFile:
 
         This is the executor's OID-list lookup step; its page cost is the
         number of *distinct* pages the indices fall on, matching the
-        ``LC_OID`` term of the cost model.
+        ``LC_OID`` term of the cost model. The cached path answers from the
+        decoded entry table but charges exactly the same distinct pages, in
+        the same ascending order, as the per-entry reference path below.
         """
+        if self._decode_cache is not None:
+            if not indices:
+                return []
+            unique = np.unique(np.asarray(indices, dtype=np.int64))
+            if unique[0] < 0:
+                self._check_index(int(unique[0]))
+            elif unique[-1] >= self._count:
+                self._check_index(int(unique[unique >= self._count][0]))
+            entries = self._decoded_entries()
+            for page_no in np.unique(unique // self.entries_per_page):
+                self.file.charge_read(int(page_no))
+            return [entries[index] for index in indices]
         by_page: Dict[int, List[int]] = {}
         for index in sorted(set(indices)):
             self._check_index(index)
@@ -152,6 +178,28 @@ class OIDFile:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _decoded_entries(self) -> List[Optional[OID]]:
+        """Every entry decoded once, memoized against the file version.
+
+        Decoding goes through :meth:`PagedFile.peek_page`, which performs
+        no accounting; callers charge the pages their lookup logically
+        touches themselves.
+        """
+        name = self.file.name
+        version = self.file.version
+        cached = self._decode_cache.get(name, version)
+        if cached is None:
+            cached = []
+            for page_no in range(self.file.num_pages):
+                data = bytes(self.file.peek_page(page_no).data)
+                for slot in range(self._entries_on_page(page_no)):
+                    raw = data[slot * OID_BYTES : (slot + 1) * OID_BYTES]
+                    cached.append(
+                        None if raw == _TOMBSTONE else OID.from_bytes(raw)
+                    )
+            self._decode_cache.put(name, version, cached)
+        return cached
+
     def _locate(self, index: int) -> tuple:
         return index // self.entries_per_page, (index % self.entries_per_page) * OID_BYTES
 

@@ -10,6 +10,14 @@ Updates follow the paper: insertion appends to both files (``UC_I = 2``
 page accesses in the model); deletion tombstones the OID file only
 (``UC_D = SC_OID / 2``), leaving a stale signature that later searches
 filter out via the tombstone.
+
+Like BSSF, the SSF has two execution paths with bit-identical results and
+logical page-access counts: the default kernel path decodes the whole
+signature file into one packed ``(N, F/64)`` uint64 matrix — memoized in a
+version-keyed :class:`~repro.storage.decode_cache.DecodeCache` with
+read-through charging — and runs the drop tests as row-wise word kernels;
+``use_kernels=False`` keeps the original page-at-a-time unpacked-matrix
+scan as the executable reference.
 """
 
 from __future__ import annotations
@@ -27,9 +35,11 @@ from repro.access.sigpack import (
     store_bit_array,
     write_signature_in_page,
 )
+from repro.core import kernels
 from repro.core.signature import SignatureScheme
 from repro.errors import AccessFacilityError
 from repro.objects.oid import OID
+from repro.storage.decode_cache import DecodeCache
 from repro.storage.paged_file import StorageManager
 
 
@@ -43,14 +53,19 @@ class SequentialSignatureFile(SetAccessFacility):
         storage: StorageManager,
         scheme: SignatureScheme,
         file_prefix: str = "ssf",
+        use_kernels: bool = True,
     ):
         self.scheme = scheme
         self.signature_bits = scheme.signature_bits
         self.sigs_per_page = signatures_per_page(
             storage.page_size, self.signature_bits
         )
+        self.use_kernels = use_kernels
         self.signature_file = storage.create_file(f"{file_prefix}:signatures")
-        self.oid_file = OIDFile(storage.create_file(f"{file_prefix}:oids"))
+        self.oid_file = OIDFile(
+            storage.create_file(f"{file_prefix}:oids"), use_cache=use_kernels
+        )
+        self._decode_cache = DecodeCache(max_entries=1)
 
     @classmethod
     def attach(
@@ -59,6 +74,7 @@ class SequentialSignatureFile(SetAccessFacility):
         scheme: SignatureScheme,
         file_prefix: str,
         entry_count: int,
+        use_kernels: bool = True,
     ) -> "SequentialSignatureFile":
         """Bind to an existing SSF's files (snapshot rehydration)."""
         facility = cls.__new__(cls)
@@ -67,10 +83,14 @@ class SequentialSignatureFile(SetAccessFacility):
         facility.sigs_per_page = signatures_per_page(
             storage.page_size, scheme.signature_bits
         )
+        facility.use_kernels = use_kernels
         facility.signature_file = storage.open_file(f"{file_prefix}:signatures")
         facility.oid_file = OIDFile(
-            storage.open_file(f"{file_prefix}:oids"), entry_count=entry_count
+            storage.open_file(f"{file_prefix}:oids"),
+            entry_count=entry_count,
+            use_cache=use_kernels,
         )
+        facility._decode_cache = DecodeCache(max_entries=1)
         facility.verify()
         return facility
 
@@ -86,10 +106,15 @@ class SequentialSignatureFile(SetAccessFacility):
 
         ``pairs`` is an iterable of ``(set value, OID)``. Each signature
         page and each OID page is written once, instead of once per entry.
-        Only valid on an empty facility; returns the entry count.
+        The kernel path builds every page image with one batched
+        ``unpackbits``/``packbits`` pass over the stacked signature words;
+        the naive path fills a per-page bit buffer entry by entry. Only
+        valid on an empty facility; returns the entry count.
         """
         if self.entry_count:
             raise AccessFacilityError("bulk_load requires an empty SSF")
+        if self.use_kernels:
+            return self._bulk_load_packed(pairs)
         oids: List[OID] = []
         page_bits = np.zeros(self.signature_file.page_size * 8, dtype=np.uint8)
         slot = 0
@@ -113,6 +138,37 @@ class SequentialSignatureFile(SetAccessFacility):
         self.oid_file.bulk_append(oids)
         self.verify()
         return len(oids)
+
+    def _bulk_load_packed(self, pairs) -> int:
+        """Vectorized bulk path: one bit-matrix pass, one write per page."""
+        oids: List[OID] = []
+        word_rows: List[np.ndarray] = []
+        for elements, oid in pairs:
+            word_rows.append(self.scheme.set_signature(elements).words)
+            oids.append(oid)
+        if not oids:
+            return 0
+        entries = len(oids)
+        bit_rows = kernels.unpack_rows(np.stack(word_rows), self.signature_bits)
+        pages_needed = -(-entries // self.sigs_per_page)
+        page_bit_count = self.signature_file.page_size * 8
+        slot_bits = self.sigs_per_page * self.signature_bits
+        slots = np.zeros(
+            (pages_needed * self.sigs_per_page, self.signature_bits),
+            dtype=np.uint8,
+        )
+        slots[:entries] = bit_rows
+        page_images = np.zeros((pages_needed, page_bit_count), dtype=np.uint8)
+        page_images[:, :slot_bits] = slots.reshape(pages_needed, slot_bits)
+        packed = np.packbits(page_images, axis=1, bitorder="little")
+        for page_no in range(pages_needed):
+            new_page_no, page = self.signature_file.append_page()
+            assert new_page_no == page_no
+            page.write_bytes(0, packed[page_no].tobytes())
+            self.signature_file.write_page(page_no, page)
+        self.oid_file.bulk_append(oids)
+        self.verify()
+        return entries
 
     def _flush_bulk_page(self, page_bits) -> None:
         page_no, page = self.signature_file.append_page()
@@ -138,6 +194,43 @@ class SequentialSignatureFile(SetAccessFacility):
         self.oid_file.delete(oid)
 
     # ------------------------------------------------------------------
+    # Packed scan substrate
+    # ------------------------------------------------------------------
+    def _signature_matrix(self) -> np.ndarray:
+        """All stored signatures as an ``(entry_count, F/64)`` uint64 matrix.
+
+        Decode-cache backed: page images are read through the
+        accounting-free :meth:`PagedFile.peek_page`, and the full scan the
+        paper bills every SSF search for is charged uniformly — hit or
+        miss — through :meth:`PagedFile.charge_reads`, which replays per
+        page exactly the counters and pool state a real fetch sequence
+        would produce. The decoded matrix is memoized keyed on the file
+        version.
+        """
+        num_pages = self.signature_file.num_pages
+        version = self.signature_file.version
+        name = self.signature_file.name
+        matrix = self._decode_cache.get(name, version)
+        if matrix is None:
+            nwords = kernels.words_for_bits(self.signature_bits)
+            if self.entry_count == 0:
+                matrix = np.zeros((0, nwords), dtype=np.uint64)
+            else:
+                row_chunks: List[np.ndarray] = []
+                for page_no in range(num_pages):
+                    page = self.signature_file.peek_page(page_no)
+                    count = self._entries_on_page(page_no)
+                    raw = np.frombuffer(bytes(page.data), dtype=np.uint8)
+                    bits = np.unpackbits(
+                        raw, bitorder="little", count=count * self.signature_bits
+                    )
+                    row_chunks.append(bits.reshape(count, self.signature_bits))
+                matrix = kernels.pack_rows(np.vstack(row_chunks))
+            self._decode_cache.put(name, version, matrix)
+        self.signature_file.charge_reads(num_pages)
+        return matrix
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def search_superset(
@@ -154,6 +247,11 @@ class SequentialSignatureFile(SetAccessFacility):
             # Every target contains the empty set.
             return self._all_live("superset", drops=self.entry_count)
         signature = self._query_signature(query, use_elements)
+        if self.use_kernels:
+            matrix = self._signature_matrix()
+            hits = kernels.rows_covering(matrix, signature.words)
+            drop_indices = np.nonzero(hits)[0].tolist()
+            return self._resolve(drop_indices, mode="superset")
         query_bits = signature_to_bits(signature)
         drop_indices: List[int] = []
         for page_no in range(self.signature_file.num_pages):
@@ -175,13 +273,36 @@ class SequentialSignatureFile(SetAccessFacility):
         ``slices_to_examine`` restricts the check to that many of the query
         signature's zero positions (Appendix A form) — again only meaningful
         for cost in BSSF, supported here for strategy-parity experiments.
+
+        An empty query short-circuits without scanning the signature file
+        (parity with BSSF's fast path): only empty targets satisfy
+        ``T ⊆ ∅``, so every live entry is returned as a candidate
+        (``exact=False``) for drop resolution to settle.
         """
+        if slices_to_examine is not None and slices_to_examine < 0:
+            raise AccessFacilityError("slices_to_examine must be >= 0")
+        if not query:
+            return self._all_live(
+                "subset", drops=self.entry_count, exact=False
+            )
         signature = self.scheme.set_signature(query)
+        if self.use_kernels:
+            zero_mask_bits = 1 - kernels.unpack_rows(
+                signature.words[np.newaxis, :], self.signature_bits
+            )[0]
+            zero_positions = np.nonzero(zero_mask_bits)[0]
+            if slices_to_examine is not None:
+                zero_positions = zero_positions[:slices_to_examine]
+                zero_mask_bits = np.zeros(self.signature_bits, dtype=np.uint8)
+                zero_mask_bits[zero_positions] = 1
+            mask_words = kernels.pack_rows(zero_mask_bits[np.newaxis, :])[0]
+            matrix = self._signature_matrix()
+            hits = kernels.rows_disjoint_from(matrix, mask_words)
+            drop_indices = np.nonzero(hits)[0].tolist()
+            return self._resolve(drop_indices, mode="subset")
         query_bits = signature_to_bits(signature).astype(bool)
         zero_positions = np.nonzero(~query_bits)[0]
         if slices_to_examine is not None:
-            if slices_to_examine < 0:
-                raise AccessFacilityError("slices_to_examine must be >= 0")
             zero_positions = zero_positions[:slices_to_examine]
         drop_indices: List[int] = []
         for page_no in range(self.signature_file.num_pages):
@@ -210,6 +331,12 @@ class SequentialSignatureFile(SetAccessFacility):
             return SearchResult([], exact=True, facility=self.name,
                                 detail={"mode": "overlap", "drops": 0,
                                         "live_drops": 0})
+        if self.use_kernels:
+            signature = self.scheme.set_signature(query)
+            matrix = self._signature_matrix()
+            hits = kernels.rows_intersecting(matrix, signature.words)
+            drop_indices = np.nonzero(hits)[0].tolist()
+            return self._resolve(drop_indices, mode="overlap")
         query_bits = signature_to_bits(self.scheme.set_signature(query))
         drop_indices: List[int] = []
         for page_no in range(self.signature_file.num_pages):
@@ -248,11 +375,11 @@ class SequentialSignatureFile(SetAccessFacility):
             detail={"mode": mode, "drops": len(drop_indices), "live_drops": len(live)},
         )
 
-    def _all_live(self, mode: str, drops: int) -> SearchResult:
+    def _all_live(self, mode: str, drops: int, exact: bool = True) -> SearchResult:
         live = [oid for _, oid in self.oid_file.scan_live()]
         return SearchResult(
             candidates=live,
-            exact=True,
+            exact=exact,
             facility=self.name,
             detail={"mode": mode, "drops": drops, "live_drops": len(live)},
         )
@@ -262,6 +389,10 @@ class SequentialSignatureFile(SetAccessFacility):
             "signature": self.signature_file.num_pages,
             "oid": self.oid_file.num_pages,
         }
+
+    def decode_cache_stats(self) -> dict:
+        """Hit/miss counters of the signature-matrix decode cache."""
+        return self._decode_cache.stats()
 
     def verify(self) -> None:
         """Structural check: signature file sized for the OID entry count."""

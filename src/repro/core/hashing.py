@@ -101,6 +101,7 @@ class ElementHasher:
         # relative to database sizes, so a bounded memo pays for itself in
         # bulk loads. Evicted wholesale when full (no LRU bookkeeping).
         self._memo: dict = {}
+        self._word_memo: dict = {}
         self._memo_cap = 65_536
 
     def positions(self, element: Hashable) -> List[int]:
@@ -124,6 +125,25 @@ class ElementHasher:
     def element_signature(self, element: Hashable) -> BitVector:
         """The F-bit, weight-m signature of a single element."""
         return BitVector.from_positions(self.signature_bits, self.positions(element))
+
+    def signature_words(self, element: Hashable):
+        """The element signature as shared packed uint64 words.
+
+        The returned array is memoized and write-protected: callers OR it
+        into their own accumulators (set-signature superimposition) without
+        paying per-bit construction again. Mutating it raises.
+        """
+        memo_key = (type(element).__name__, element)
+        cached = self._word_memo.get(memo_key)
+        if cached is None:
+            cached = BitVector.from_positions(
+                self.signature_bits, self.positions(element)
+            ).words
+            cached.setflags(write=False)
+            if len(self._word_memo) >= self._memo_cap:
+                self._word_memo.clear()
+            self._word_memo[memo_key] = cached
+        return cached
 
     def __repr__(self) -> str:
         return (

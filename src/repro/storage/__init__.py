@@ -6,6 +6,7 @@ counterpart of the paper's analytical cost model.
 """
 
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.decode_cache import DecodeCache
 from repro.storage.disk import DiskStore
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.paged_file import PagedFile, StorageManager
@@ -14,6 +15,7 @@ from repro.storage.stats import FileIOCounts, IOSnapshot, IOStatistics
 __all__ = [
     "BufferPool",
     "DEFAULT_PAGE_SIZE",
+    "DecodeCache",
     "DiskStore",
     "FileIOCounts",
     "IOSnapshot",

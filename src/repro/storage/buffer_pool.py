@@ -57,6 +57,73 @@ class BufferPool:
         self._install(key, page)
         return page
 
+    def touch(self, file_name: str, page_no: int) -> None:
+        """Replay :meth:`fetch`'s accounting and state transitions without
+        returning the page image.
+
+        Decode caches use this for read-through charging: hit/miss counters,
+        LRU recency, physical-read counts, residency and eviction side
+        effects are all identical to a real fetch; in uncached mode
+        (capacity 0) the page materialization itself is skipped, which is
+        the whole point.
+        """
+        key = (file_name, page_no)
+        if key in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(key)
+            return
+        if not 0 <= page_no < self.store.num_pages(file_name):
+            # Raise the canonical out-of-range error, exactly as fetch would.
+            self.store.read_page(file_name, page_no)
+        self.misses += 1
+        self.stats.record_physical_read(file_name)
+        if self.capacity > 0:
+            self._install(key, self.store.read_page(file_name, page_no))
+
+    def peek(self, file_name: str, page_no: int) -> Page:
+        """Current page image with zero accounting and zero state change.
+
+        Simulator-internal: decode caches read content through this and
+        charge the corresponding logical/physical I/O separately (via
+        :meth:`touch` and friends), so that what-is-read and what-is-charged
+        can be decoupled without ever diverging in the counters. Prefers the
+        resident frame (which may be dirty) over the store image.
+        """
+        frame = self._frames.get((file_name, page_no))
+        if frame is not None:
+            return frame
+        return self.store.read_page(file_name, page_no)
+
+    def touch_file(self, file_name: str, pages: int) -> None:
+        """Replay fetch accounting for pages ``0..pages-1`` of one file.
+
+        In uncached mode (capacity 0) every logical read is a physical read
+        and nothing is retained, so the whole batch collapses to two counter
+        increments; the caller guarantees the pages exist (it just decoded
+        them). With a real pool the per-page :meth:`touch` loop preserves
+        LRU order, residency, and eviction side effects exactly.
+        """
+        if pages <= 0:
+            return
+        if self.capacity == 0:
+            self.misses += pages
+            self.stats.record_physical_read(file_name, pages)
+            return
+        for page_no in range(pages):
+            self.touch(file_name, page_no)
+
+    def touch_files(self, file_names, pages_each: int) -> None:
+        """Batch :meth:`touch_file` over many files (BSSF slice charging)."""
+        if pages_each <= 0:
+            return
+        if self.capacity == 0:
+            self.misses += pages_each * len(file_names)
+            self.stats.record_physical_read_many(file_names, pages_each)
+            return
+        for file_name in file_names:
+            for page_no in range(pages_each):
+                self.touch(file_name, page_no)
+
     def put(self, file_name: str, page_no: int, page: Page, dirty: bool = True) -> None:
         """Install a page image produced by the caller (e.g. a fresh append)."""
         key = (file_name, page_no)
@@ -128,10 +195,17 @@ class BufferPool:
             self._dirty.discard(key)
 
     def clear(self) -> None:
-        """Flush then empty the pool (e.g. between metered experiments)."""
+        """Flush then empty the pool (e.g. between metered experiments).
+
+        Also resets the hit/miss counters: a cleared pool starts a fresh
+        measurement, and a stale ratio would leak one experiment's locality
+        into the next run's ``hit_ratio()``.
+        """
         self.flush_all()
         self._frames.clear()
         self._dirty.clear()
+        self.hits = 0
+        self.misses = 0
 
     @property
     def resident_pages(self) -> int:

@@ -1,0 +1,75 @@
+"""Version-keyed cache of decoded page-file content.
+
+The access methods repeatedly decode the same immutable page images into
+packed word arrays — a BSSF slice column, an SSF signature matrix. Decoding
+is pure function of ``(file content)``, and every file content change bumps
+the file's :attr:`~repro.storage.paged_file.PagedFile.version`, so a decode
+captured at version ``v`` is valid exactly while the file is still at
+``v``. A :class:`DecodeCache` memoizes one payload per file name, keyed on
+that version; a lookup with any other version is a miss and implicitly
+invalidates the stale entry.
+
+The cache lives strictly *above* the I/O accounting: callers must charge
+the logical page reads of a hit themselves (see
+:meth:`PagedFile.charge_read`), which keeps the paper's page-access metric
+bit-identical whether or not the cache is warm.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+class DecodeCache:
+    """LRU cache of ``file name → (version, decoded payload)``."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise StorageError(
+                f"decode cache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Tuple[int, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str, version: int) -> Optional[Any]:
+        """The payload cached for ``name`` iff it was decoded at ``version``."""
+        entry = self._entries.get(name)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            self._entries.move_to_end(name)
+            return entry[1]
+        self.misses += 1
+        if entry is not None:
+            # Stale version: the slot will be overwritten by the caller's
+            # re-decode; drop it now so it cannot be served again.
+            del self._entries[name]
+        return None
+
+    def put(self, name: str, version: int, payload: Any) -> None:
+        self._entries[name] = (version, payload)
+        self._entries.move_to_end(name)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -23,11 +23,21 @@ class DiskStore:
             raise StorageError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
         self._files: Dict[str, List[bytes]] = {}
+        # Per-file modification counters for version-keyed decode caches.
+        # Monotonic across the store's lifetime — surviving drop/recreate of
+        # a name — so a (name, version) key can never alias stale content.
+        self._versions: Dict[str, int] = {}
+        # Version groups: a named counter bumped whenever any member file
+        # bumps, giving callers O(1) staleness checks over many files
+        # (e.g. a BSSF's F slice files) instead of F version lookups.
+        self._group_versions: Dict[str, int] = {}
+        self._file_groups: Dict[str, str] = {}
 
     def create_file(self, name: str) -> None:
         if name in self._files:
             raise StorageError(f"file already exists: {name!r}")
         self._files[name] = []
+        self.bump_version(name)
 
     def drop_file(self, name: str) -> None:
         if name not in self._files:
@@ -43,6 +53,41 @@ class DiskStore:
     def num_pages(self, name: str) -> int:
         return len(self._pages(name))
 
+    def version(self, name: str) -> int:
+        """Current modification counter of ``name`` (0 if never touched)."""
+        return self._versions.get(name, 0)
+
+    def bump_version(self, name: str) -> int:
+        """Advance and return the file's modification counter.
+
+        Called on every structural or content change — page allocation and
+        page writes from the store itself, logical writes from
+        :class:`~repro.storage.paged_file.PagedFile` (which may buffer the
+        bytes in the pool long before they reach the store).
+        """
+        bumped = self._versions.get(name, 0) + 1
+        self._versions[name] = bumped
+        group = self._file_groups.get(name)
+        if group is not None:
+            self._group_versions[group] = self._group_versions.get(group, 0) + 1
+        return bumped
+
+    def register_version_group(self, group: str, names) -> None:
+        """Make ``group``'s counter advance whenever any named file bumps.
+
+        A decode cache spanning many files (a BSSF's ``F`` slice files) can
+        then validate itself with one counter read instead of ``F``.
+        Registration itself bumps the group, conservatively invalidating
+        anything keyed on an earlier membership.
+        """
+        for name in names:
+            self._file_groups[name] = group
+        self._group_versions[group] = self._group_versions.get(group, 0) + 1
+
+    def group_version(self, group: str) -> int:
+        """Current counter of a version group (0 if never registered)."""
+        return self._group_versions.get(group, 0)
+
     def _pages(self, name: str) -> List[bytes]:
         try:
             return self._files[name]
@@ -53,6 +98,7 @@ class DiskStore:
         """Extend the file by one zeroed page; return its page number."""
         pages = self._pages(name)
         pages.append(bytes(self.page_size))
+        self.bump_version(name)
         return len(pages) - 1
 
     def read_page(self, name: str, page_no: int) -> Page:
@@ -74,6 +120,7 @@ class DiskStore:
                 f"page size mismatch: store {self.page_size}, page {page.page_size}"
             )
         pages[page_no] = page.image()
+        self.bump_version(name)
 
     def total_pages(self) -> int:
         """Pages across all files — the simulated database footprint."""

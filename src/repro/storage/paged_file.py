@@ -49,6 +49,16 @@ class PagedFile:
     def num_pages(self) -> int:
         return self._store.num_pages(self.name)
 
+    @property
+    def version(self) -> int:
+        """Monotonic modification counter — key for decoded-page caches.
+
+        Bumped by every logical write or page allocation, so any cached
+        decode of this file's content is valid exactly as long as the
+        version it was captured at is still current.
+        """
+        return self._store.version(self.name)
+
     # ------------------------------------------------------------------
     # Page operations
     # ------------------------------------------------------------------
@@ -56,6 +66,41 @@ class PagedFile:
         """Fetch one page; counts one logical read."""
         self._stats.record_logical_read(self.name)
         return self._pool.fetch(self.name, page_no)
+
+    def charge_read(self, page_no: int) -> None:
+        """Charge the full accounting of :meth:`read_page` without decoding.
+
+        Used by version-keyed decode caches: on a cache hit the algorithm
+        still *logically* reads every page (the paper's metric), and the
+        buffer pool must land in exactly the state a real fetch would leave
+        it in (hit/miss counters, LRU order, residency, physical reads) —
+        only the page image materialization is skipped.
+        """
+        self._stats.record_logical_read(self.name)
+        self._pool.touch(self.name, page_no)
+
+    def peek_page(self, page_no: int) -> Page:
+        """Current page image with NO accounting or pool-state change.
+
+        For decode caches only: read the content here, then charge the
+        logical I/O the algorithm actually performs via :meth:`charge_read`
+        or :meth:`charge_reads`. Never a substitute for :meth:`read_page`
+        in access-method code paths that the cost model meters.
+        """
+        return self._pool.peek(self.name, page_no)
+
+    def charge_reads(self, count: int) -> None:
+        """Charge ``count`` logical reads of pages ``0..count-1`` in bulk.
+
+        Same contract as :meth:`charge_read` — counters and pool state end
+        up exactly as ``count`` real fetches would leave them — but with
+        O(1) cost in uncached mode. The caller guarantees the pages exist
+        (decode caches charge only pages they just decoded).
+        """
+        if count <= 0:
+            return
+        self._stats.record_logical_read(self.name, count)
+        self._pool.touch_file(self.name, count)
 
     def write_page(self, page_no: int, page: Page) -> None:
         """Record a logical write of a (mutated) page and persist it."""
@@ -65,6 +110,7 @@ class PagedFile:
                 f"({self.num_pages} pages)"
             )
         self._stats.record_logical_write(self.name)
+        self._store.bump_version(self.name)
         if self._pool.capacity == 0:
             self._pool.write_through(self.name, page_no, page)
         else:

@@ -117,6 +117,23 @@ class IOStatistics:
             self._physical_writes.get(file_name, 0) + pages
         )
 
+    def record_logical_read_many(self, file_names, pages_each: int) -> None:
+        """Charge ``pages_each`` logical reads to every named file.
+
+        Equivalent to calling :meth:`record_logical_read` per file, but one
+        call for a whole batch — the hot path of packed slice search, which
+        charges hundreds of slice files per query.
+        """
+        counters = self._logical_reads
+        for name in file_names:
+            counters[name] = counters.get(name, 0) + pages_each
+
+    def record_physical_read_many(self, file_names, pages_each: int) -> None:
+        """Bulk form of :meth:`record_physical_read` (see above)."""
+        counters = self._physical_reads
+        for name in file_names:
+            counters[name] = counters.get(name, 0) + pages_each
+
     def snapshot(self) -> IOSnapshot:
         names = (
             set(self._logical_reads)

@@ -1,0 +1,281 @@
+"""Kernel-path vs naive-path parity for SSF and BSSF.
+
+The packed-word fast paths (``use_kernels=True``) must be observationally
+identical to the original per-entry/per-bit reference paths: same
+candidates, same result detail (including ``slices_read`` early-exit
+points), and bit-identical logical *and* physical page-access accounting —
+the paper's metric must not know which implementation ran. The property
+tests also cross-check both implementations against the plain
+:class:`BitVector`-semantics drop conditions of §3.1.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+DOMAIN = list(range(24))
+
+sets_strategy = st.lists(
+    st.frozensets(st.sampled_from(DOMAIN), max_size=6), max_size=24
+)
+query_strategy = st.frozensets(st.sampled_from(DOMAIN), max_size=8)
+# 70 and 200 exercise the non-multiple-of-64 tail-mask edge.
+f_strategy = st.sampled_from([70, 128, 200])
+
+
+def build_pair(factory, sets, F, m, capacity, use_bulk, page_size=128):
+    """The same facility twice: kernel path and naive reference path."""
+    out = []
+    for use_kernels in (True, False):
+        manager = StorageManager(page_size=page_size, pool_capacity=capacity)
+        scheme = SignatureScheme(F, m, seed=7)
+        facility = factory(manager, scheme, use_kernels=use_kernels)
+        pairs = [(elements, OID(1, i)) for i, elements in enumerate(sets)]
+        if use_bulk:
+            facility.bulk_load(pairs)
+        else:
+            for elements, oid in pairs:
+                facility.insert(elements, oid)
+        out.append((facility, manager))
+    return out
+
+
+def make_ssf(manager, scheme, use_kernels):
+    return SequentialSignatureFile(manager, scheme, use_kernels=use_kernels)
+
+
+def make_bssf(manager, scheme, use_kernels):
+    return BitSlicedSignatureFile(manager, scheme, use_kernels=use_kernels)
+
+
+def metered(manager, op):
+    before_pool = (manager.pool.hits, manager.pool.misses)
+    before = manager.snapshot()
+    result = op()
+    delta = manager.snapshot() - before
+    pool_delta = (
+        manager.pool.hits - before_pool[0],
+        manager.pool.misses - before_pool[1],
+    )
+    return result, delta, pool_delta
+
+
+def assert_same_behavior(fast_pair, naive_pair, op_name, *args, **kwargs):
+    """Run one search twice on both paths and compare round by round.
+
+    The second round hits the fast path's decode cache (and, in cached-pool
+    mode, a warm buffer pool on both paths); every round must agree on
+    results, logical/physical I/O deltas, and pool hit/miss deltas.
+    """
+    (fast, fast_mgr), (naive, naive_mgr) = fast_pair, naive_pair
+    for _ in range(2):
+        n_result, n_delta, n_pool = metered(
+            naive_mgr, lambda: getattr(naive, op_name)(*args, **kwargs)
+        )
+        f_result, f_delta, f_pool = metered(
+            fast_mgr, lambda: getattr(fast, op_name)(*args, **kwargs)
+        )
+        assert f_result.candidates == n_result.candidates
+        assert f_result.exact == n_result.exact
+        assert f_result.detail == n_result.detail
+        assert f_delta == n_delta
+        assert f_pool == n_pool
+    return n_result
+
+
+class TestBSSFParity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sets=sets_strategy,
+        query=query_strategy,
+        F=f_strategy,
+        m=st.integers(1, 3),
+        capacity=st.sampled_from([0, 3]),
+        use_bulk=st.booleans(),
+    )
+    def test_all_modes_match_naive_and_bitvector_reference(
+        self, sets, query, F, m, capacity, use_bulk
+    ):
+        fast_pair, naive_pair = build_pair(
+            make_bssf, sets, F, m, capacity, use_bulk
+        )
+        scheme = SignatureScheme(F, m, seed=7)
+        target_sigs = [scheme.set_signature(s) for s in sets]
+        query_sig = scheme.set_signature(query)
+
+        result = assert_same_behavior(fast_pair, naive_pair, "search_superset", query)
+        if query:
+            expected = [
+                OID(1, i)
+                for i, sig in enumerate(target_sigs)
+                if scheme.is_drop_superset(sig, query_sig)
+            ]
+            assert result.candidates == expected
+
+        result = assert_same_behavior(fast_pair, naive_pair, "search_subset", query)
+        if query:
+            expected = [
+                OID(1, i)
+                for i, sig in enumerate(target_sigs)
+                if scheme.is_drop_subset(sig, query_sig)
+            ]
+            assert result.candidates == expected
+
+        result = assert_same_behavior(fast_pair, naive_pair, "search_overlap", query)
+        if query:
+            expected = [
+                OID(1, i)
+                for i, sig in enumerate(target_sigs)
+                if not sig.is_zero() and sig.intersects(query_sig)
+            ]
+            assert result.candidates == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sets=sets_strategy,
+        query=query_strategy,
+        F=f_strategy,
+        k=st.integers(0, 205),
+        use_elements=st.integers(1, 4),
+    )
+    def test_smart_strategies_match_naive(self, sets, query, F, k, use_elements):
+        fast_pair, naive_pair = build_pair(
+            make_bssf, sets, F, 2, capacity=0, use_bulk=True
+        )
+        if query:
+            assert_same_behavior(
+                fast_pair,
+                naive_pair,
+                "search_superset",
+                query,
+                use_elements=use_elements,
+            )
+        assert_same_behavior(
+            fast_pair,
+            naive_pair,
+            "search_subset",
+            query,
+            slices_to_examine=min(k, F),
+        )
+
+    def test_insert_invalidates_decode_cache(self):
+        """A write between searches must be visible — and charged — on both
+        paths identically."""
+        sets = [frozenset({1, 2}), frozenset({3, 4}), frozenset({5})]
+        fast_pair, naive_pair = build_pair(
+            make_bssf, sets, 128, 2, capacity=0, use_bulk=False
+        )
+        query = frozenset({1, 2, 5})
+        assert_same_behavior(fast_pair, naive_pair, "search_subset", query)
+        for facility, _ in (fast_pair, naive_pair):
+            facility.insert(frozenset({1, 5}), OID(1, 99))
+        assert_same_behavior(fast_pair, naive_pair, "search_subset", query)
+        assert_same_behavior(fast_pair, naive_pair, "search_superset", query)
+
+    def test_delete_tombstones_match(self):
+        sets = [frozenset({1}), frozenset({1, 2}), frozenset({2})]
+        fast_pair, naive_pair = build_pair(
+            make_bssf, sets, 70, 2, capacity=0, use_bulk=True
+        )
+        for facility, _ in (fast_pair, naive_pair):
+            facility.delete(frozenset({1, 2}), OID(1, 1))
+        result = assert_same_behavior(
+            fast_pair, naive_pair, "search_superset", frozenset({1})
+        )
+        assert OID(1, 1) not in result.candidates
+
+    def test_multipage_slices_match(self):
+        """Entry counts past one slice page (page_size 16 → 128 entries/page)."""
+        sets = [frozenset({i % 11, (i * 7) % 11}) for i in range(300)]
+        fast_pair, naive_pair = build_pair(
+            make_bssf, sets, 70, 2, capacity=0, use_bulk=True, page_size=16
+        )
+        assert fast_pair[0].slice_pages == 3
+        for query in (frozenset({3}), frozenset({1, 4, 9}), frozenset(range(11))):
+            assert_same_behavior(fast_pair, naive_pair, "search_superset", query)
+            assert_same_behavior(fast_pair, naive_pair, "search_subset", query)
+            assert_same_behavior(fast_pair, naive_pair, "search_overlap", query)
+
+
+class TestSSFParity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sets=sets_strategy,
+        query=query_strategy,
+        F=f_strategy,
+        m=st.integers(1, 3),
+        capacity=st.sampled_from([0, 3]),
+        use_bulk=st.booleans(),
+    )
+    def test_all_modes_match_naive_and_bitvector_reference(
+        self, sets, query, F, m, capacity, use_bulk
+    ):
+        fast_pair, naive_pair = build_pair(
+            make_ssf, sets, F, m, capacity, use_bulk
+        )
+        scheme = SignatureScheme(F, m, seed=7)
+        target_sigs = [scheme.set_signature(s) for s in sets]
+        query_sig = scheme.set_signature(query)
+
+        result = assert_same_behavior(fast_pair, naive_pair, "search_superset", query)
+        if query:
+            expected = [
+                OID(1, i)
+                for i, sig in enumerate(target_sigs)
+                if scheme.is_drop_superset(sig, query_sig)
+            ]
+            assert result.candidates == expected
+
+        result = assert_same_behavior(fast_pair, naive_pair, "search_subset", query)
+        if query:
+            expected = [
+                OID(1, i)
+                for i, sig in enumerate(target_sigs)
+                if scheme.is_drop_subset(sig, query_sig)
+            ]
+            assert result.candidates == expected
+
+        result = assert_same_behavior(fast_pair, naive_pair, "search_overlap", query)
+        if query:
+            expected = [
+                OID(1, i)
+                for i, sig in enumerate(target_sigs)
+                if not sig.is_zero() and sig.intersects(query_sig)
+            ]
+            assert result.candidates == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sets=sets_strategy,
+        query=query_strategy.filter(bool),
+        k=st.integers(0, 70),
+        use_elements=st.integers(1, 4),
+    )
+    def test_smart_strategies_match_naive(self, sets, query, k, use_elements):
+        fast_pair, naive_pair = build_pair(
+            make_ssf, sets, 70, 2, capacity=0, use_bulk=True
+        )
+        assert_same_behavior(
+            fast_pair, naive_pair, "search_superset", query, use_elements=use_elements
+        )
+        assert_same_behavior(
+            fast_pair, naive_pair, "search_subset", query, slices_to_examine=k
+        )
+
+    def test_insert_invalidates_decode_cache(self):
+        sets = [frozenset({1, 2}), frozenset({3})]
+        fast_pair, naive_pair = build_pair(
+            make_ssf, sets, 128, 2, capacity=0, use_bulk=False
+        )
+        query = frozenset({1, 2, 3})
+        assert_same_behavior(fast_pair, naive_pair, "search_subset", query)
+        for facility, _ in (fast_pair, naive_pair):
+            facility.insert(frozenset({2, 3}), OID(1, 50))
+        assert_same_behavior(fast_pair, naive_pair, "search_subset", query)
+        assert_same_behavior(fast_pair, naive_pair, "search_overlap", query)

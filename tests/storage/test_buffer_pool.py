@@ -137,3 +137,110 @@ class TestInvalidation:
         pool.clear()
         assert pool.resident_pages == 0
         assert store.read_page("f", 0).read_bytes(0, 1) == b"c"
+
+
+class TestClearResetsCounters:
+    def test_clear_resets_hit_miss_counters(self):
+        pool, _, _ = make_pool(capacity=2)
+        pool.fetch("f", 0)
+        pool.fetch("f", 0)
+        assert (pool.hits, pool.misses) == (1, 1)
+        pool.clear()
+        assert (pool.hits, pool.misses) == (0, 0)
+        assert pool.hit_ratio() == 0.0
+
+
+class TestReadThrough:
+    """touch/touch_file/touch_files must replay fetch accounting exactly."""
+
+    def _drive(self, capacity, op):
+        pool, _, stats = make_pool(capacity=capacity)
+        op(pool)
+        return (
+            pool.hits,
+            pool.misses,
+            pool.resident_pages,
+            stats.snapshot().for_file("f").physical_reads,
+        )
+
+    @pytest.mark.parametrize("capacity", [0, 2])
+    def test_touch_matches_fetch(self, capacity):
+        sequence = [0, 1, 0, 2, 3, 1]
+
+        def by_fetch(pool):
+            for page_no in sequence:
+                pool.fetch("f", page_no)
+
+        def by_touch(pool):
+            for page_no in sequence:
+                pool.touch("f", page_no)
+
+        assert self._drive(capacity, by_fetch) == self._drive(capacity, by_touch)
+
+    @pytest.mark.parametrize("capacity", [0, 2])
+    def test_touch_file_matches_fetch_loop(self, capacity):
+        def by_fetch(pool):
+            for page_no in range(4):
+                pool.fetch("f", page_no)
+
+        assert self._drive(capacity, by_fetch) == self._drive(
+            capacity, lambda pool: pool.touch_file("f", 4)
+        )
+
+    @pytest.mark.parametrize("capacity", [0, 2])
+    def test_touch_files_matches_fetch_loop(self, capacity):
+        stats_a = IOStatistics()
+        store = DiskStore(page_size=32)
+        for name in ("a", "b"):
+            store.create_file(name)
+            for _ in range(2):
+                store.allocate_page(name)
+        fetch_pool = BufferPool(store, stats_a, capacity=capacity)
+        for name in ("a", "b"):
+            for page_no in range(2):
+                fetch_pool.fetch(name, page_no)
+        stats_b = IOStatistics()
+        touch_pool = BufferPool(store, stats_b, capacity=capacity)
+        touch_pool.touch_files(["a", "b"], 2)
+        assert (fetch_pool.hits, fetch_pool.misses) == (
+            touch_pool.hits,
+            touch_pool.misses,
+        )
+        for name in ("a", "b"):
+            assert stats_a.snapshot().for_file(name) == stats_b.snapshot().for_file(
+                name
+            )
+
+    def test_touch_out_of_range_raises_like_fetch(self):
+        from repro.errors import StorageError
+
+        pool, _, _ = make_pool(capacity=2)
+        with pytest.raises(StorageError):
+            pool.touch("f", 99)
+
+    def test_touch_preserves_lru_recency(self):
+        pool, _, _ = make_pool(capacity=2)
+        pool.fetch("f", 0)
+        pool.fetch("f", 1)
+        pool.touch("f", 0)  # page 0 becomes MRU; 1 is eviction victim
+        pool.fetch("f", 2)
+        assert pool.fetch("f", 0) is not None
+        assert pool.hits == 2  # the touch hit plus the re-fetch of page 0
+
+
+class TestPeek:
+    def test_peek_changes_no_counters_or_residency(self):
+        pool, _, stats = make_pool(capacity=2)
+        page = pool.peek("f", 0)
+        assert page is not None
+        assert (pool.hits, pool.misses, pool.resident_pages) == (0, 0, 0)
+        assert stats.snapshot().for_file("f").physical_reads == 0
+
+    def test_peek_prefers_dirty_resident_frame(self):
+        pool, store, _ = make_pool(capacity=2)
+        page = pool.fetch("f", 0)
+        page.write_bytes(0, b"z")
+        pool.mark_dirty("f", 0)
+        # The store still has the old image; peek must see the dirty frame.
+        assert pool.peek("f", 0).read_bytes(0, 1) == b"z"
+        assert store.read_page("f", 0).read_bytes(0, 1) == b"\x00"

@@ -1,0 +1,78 @@
+"""Render a BENCH_wallclock.json report as a markdown table.
+
+Reads the JSON written by ``benchmarks/bench_wallclock.py`` and prints a
+human-readable summary — configuration, per-benchmark timings/speedups and
+threshold verdicts — suitable for pasting into a PR description::
+
+    python tools/bench_report.py [BENCH_wallclock.json]
+
+Exits non-zero if the report's recorded ``pass`` flag is false.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_CONFIG_LABELS = [
+    ("num_objects", "N"),
+    ("signature_bits", "F"),
+    ("bits_per_element", "m"),
+    ("domain_cardinality", "|D|"),
+    ("target_cardinality", "Dt"),
+    ("page_size", "page"),
+]
+
+
+def render(report: dict) -> str:
+    config = report["config"]
+    summary = ", ".join(
+        f"{label}={config[key]}" for key, label in _CONFIG_LABELS if key in config
+    )
+    lines = [
+        f"## Wall-clock benchmark ({report['mode']} mode)",
+        "",
+        f"Configuration: {summary}",
+        "",
+        "| benchmark | naive (ms) | kernels (ms) | speedup | threshold |",
+        "|---|---:|---:|---:|---|",
+    ]
+    thresholds = report.get("thresholds", {})
+    for name, metrics in sorted(report["results"].items()):
+        minimum = thresholds.get(name)
+        if minimum is None:
+            verdict = "—"
+        elif metrics["speedup"] >= minimum:
+            verdict = f"PASS (≥{minimum:g}x)"
+        else:
+            verdict = f"FAIL (<{minimum:g}x)"
+        lines.append(
+            f"| {name} | {metrics['naive_ms']:.2f} | {metrics['kernels_ms']:.2f} "
+            f"| {metrics['speedup']:.2f}x | {verdict} |"
+        )
+    lines.append("")
+    lines.append(f"Overall: {'PASS' if report['pass'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report",
+        type=Path,
+        nargs="?",
+        default=REPO_ROOT / "BENCH_wallclock.json",
+        help="path to a bench_wallclock JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = json.loads(args.report.read_text())
+    print(render(report))
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

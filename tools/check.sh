@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repo check: tier-1 test suite + smoke wall-clock benchmark.
+#
+# The smoke thresholds are deliberately loose (full-mode acceptance is
+# 5x / 3x; smoke typically measures 3x+ / 5x+) so CI noise cannot flake
+# the run while a real regression to parity-speed still fails it.
+set -e
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== smoke benchmark =="
+python benchmarks/bench_wallclock.py --smoke \
+    --min-bssf-speedup 1.5 --min-ssf-speedup 1.2 \
+    --out /tmp/BENCH_wallclock_smoke.json
+python tools/bench_report.py /tmp/BENCH_wallclock_smoke.json
+
+echo "OK"
