@@ -12,6 +12,7 @@ from repro.experiments.result import TableResult
 from repro.objects.database import Database
 from repro.objects.schema import ClassSchema
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import ParsedQuery
 from repro.query.planner import CostContext
 from repro.query.predicates import has_subset
@@ -54,7 +55,9 @@ def _run_workload(db: Database) -> tuple:
             class_name=EVAL_CLASS,
             predicates=(has_subset(EVAL_ATTRIBUTE, *query),),
         )
-        executor.execute(parsed, context=context, prefer_facility="bssf")
+        executor.execute(
+            parsed, ExecutionOptions(context=context, prefer_facility="bssf")
+        )
     delta = db.io_snapshot() - before
     return delta.logical_total, delta.physical_total
 

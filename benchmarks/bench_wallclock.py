@@ -10,14 +10,18 @@ against the per-entry reference path on:
   retrieval loop in the repo),
 * the SSF full-scan search (superset + subset + overlap over every
   signature page),
-* bulk load of both facilities.
+* bulk load of both facilities,
+* the wall-clock overhead of an *active* span tracer (``repro.obs``) on
+  the BSSF subset sweep — recorded under the report's ``tracer_overhead``
+  key (tracing *off* is the null-tracer default in every other number).
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out F]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--json] [--out F]
 
-Writes a JSON report (default ``BENCH_wallclock.json`` at the repo root)
-and exits non-zero if a ``--min-*-speedup`` threshold is not met.
+Writes a JSON report (default ``BENCH_wallclock.json`` at the repo root;
+``--json`` also dumps it to stdout) and exits non-zero if a
+``--min-*-speedup`` threshold is not met.
 """
 
 from __future__ import annotations
@@ -32,6 +36,8 @@ from repro.access.bssf import BitSlicedSignatureFile
 from repro.access.ssf import SequentialSignatureFile
 from repro.core.signature import SignatureScheme
 from repro.objects.oid import OID
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import Tracer, activate
 from repro.storage.paged_file import StorageManager
 from repro.workloads.generator import SetWorkloadGenerator, WorkloadSpec
 
@@ -91,7 +97,8 @@ def build(config, use_kernels):
     t1 = time.perf_counter()
     bssf.bulk_load(list(pairs))
     t2 = time.perf_counter()
-    return ssf, bssf, {"ssf_bulk_load_s": t1 - t0, "bssf_bulk_load_s": t2 - t1}
+    times = {"ssf_bulk_load_s": t1 - t0, "bssf_bulk_load_s": t2 - t1}
+    return ssf, bssf, manager, times
 
 
 def queries_for(config, key):
@@ -120,13 +127,44 @@ def best_sweep_time(sweep, min_seconds):
     return best
 
 
+def measure_tracer_overhead(config, bssf, manager):
+    """Wall-clock cost of an *active* tracer on the BSSF subset sweep.
+
+    The off path is the production default (module-level null tracer); the
+    on path activates a real ``Tracer`` with a ring-buffer sink, so every
+    search opens a span and snapshots per-file I/O deltas. This bounds the
+    worst case — per-query tracing amortizes the same work over far more
+    time than a bare facility sweep does.
+    """
+    queries = queries_for(config, "subset_dq")
+
+    def sweep():
+        return [bssf.search_subset(q) for q in queries]
+
+    tracer = Tracer(io_source=manager, sinks=[RingBufferSink(64)])
+
+    def traced_sweep():
+        with activate(tracer):
+            return [bssf.search_subset(q) for q in queries]
+
+    off = best_sweep_time(sweep, config["min_seconds"])
+    on = best_sweep_time(traced_sweep, config["min_seconds"])
+    return {
+        "off_ms": off * 1000,
+        "on_ms": on * 1000,
+        "overhead_ratio": on / off,
+    }
+
+
 def run_benchmarks(config):
     facilities = {}
     build_times = {}
+    managers = {}
     for use_kernels in (False, True):
         label = "kernels" if use_kernels else "naive"
-        ssf, bssf, times = build(config, use_kernels)
+        ssf, bssf, manager, times = build(config, use_kernels)
         facilities[label] = (ssf, bssf)
+        managers[label] = manager
         build_times[label] = times
 
     subset_queries = queries_for(config, "subset_dq")
@@ -176,7 +214,10 @@ def run_benchmarks(config):
             "speedup": build_times["naive"][name]
             / build_times["kernels"][name],
         }
-    return results
+    tracer_overhead = measure_tracer_overhead(
+        config, facilities["kernels"][1], managers["kernels"]
+    )
+    return results, tracer_overhead
 
 
 def main(argv=None):
@@ -205,6 +246,11 @@ def main(argv=None):
         default=None,
         help="fail unless the SSF scan sweep speedup reaches this",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the full JSON report to stdout instead of the table",
+    )
     args = parser.parse_args(argv)
 
     config = dict(SMOKE if args.smoke else FULL)
@@ -213,7 +259,7 @@ def main(argv=None):
         name = "BENCH_wallclock_smoke.json" if args.smoke else "BENCH_wallclock.json"
         out_path = REPO_ROOT / name
 
-    results = run_benchmarks(config)
+    results, tracer_overhead = run_benchmarks(config)
 
     thresholds = {
         "bssf_subset_sweep": args.min_bssf_speedup,
@@ -232,18 +278,30 @@ def main(argv=None):
             name: {k: round(v, 3) for k, v in metrics.items()}
             for name, metrics in results.items()
         },
+        "tracer_overhead": {
+            k: round(v, 3) for k, v in tracer_overhead.items()
+        },
         "thresholds": thresholds,
         "pass": not failures,
     }
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
-    for name, metrics in report["results"].items():
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for name, metrics in report["results"].items():
+            print(
+                f"{name:20s} naive {metrics['naive_ms']:9.2f} ms   "
+                f"kernels {metrics['kernels_ms']:9.2f} ms   "
+                f"speedup {metrics['speedup']:6.2f}x"
+            )
+        overhead = report["tracer_overhead"]
         print(
-            f"{name:20s} naive {metrics['naive_ms']:9.2f} ms   "
-            f"kernels {metrics['kernels_ms']:9.2f} ms   "
-            f"speedup {metrics['speedup']:6.2f}x"
+            f"{'tracer (bssf subset)':20s} off   {overhead['off_ms']:9.2f} ms   "
+            f"on      {overhead['on_ms']:9.2f} ms   "
+            f"ratio   {overhead['overhead_ratio']:6.2f}x"
         )
-    print(f"wrote {out_path}")
+        print(f"wrote {out_path}")
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)

@@ -12,7 +12,13 @@ Run: ``python examples/quickstart.py``
 
 import random
 
-from repro import ClassSchema, CostContext, Database, QueryExecutor
+from repro import (
+    ClassSchema,
+    CostContext,
+    Database,
+    ExecutionOptions,
+    QueryExecutor,
+)
 
 HOBBIES = [
     "Baseball", "Fishing", "Tennis", "Football", "Golf", "Chess",
@@ -50,7 +56,7 @@ def main() -> None:
          'select Student where hobbies in-subset '
          '("Baseball", "Fishing", "Tennis")'),
     ]:
-        result = executor.execute_text(text, context=context)
+        result = executor.execute_text(text, ExecutionOptions(context=context))
         stats = result.statistics
         print(f"--- {title} ---")
         print(f"query : {text}")

@@ -21,7 +21,13 @@ Run: ``python examples/two_step_queries.py``
 import tempfile
 from pathlib import Path
 
-from repro import CostContext, QueryExecutor, load_database, save_database
+from repro import (
+    CostContext,
+    ExecutionOptions,
+    QueryExecutor,
+    load_database,
+    save_database,
+)
 from repro.workloads.university import build_university
 
 
@@ -47,7 +53,7 @@ def main() -> None:
 
     for title, text in [("take ALL DB lectures", all_db),
                         ("take ONLY DB lectures", only_db)]:
-        result = executor.execute_text(text, context=context)
+        result = executor.execute_text(text, ExecutionOptions(context=context))
         stats = result.statistics
         print(f"{title}: {len(result)} students")
         print(f"  plan: {stats.plan}")
@@ -60,8 +66,10 @@ def main() -> None:
         save_database(db, path)
         print(f"snapshot written: {path.stat().st_size / 1024:.0f} KiB")
         loaded = load_database(path)
-        replay = QueryExecutor(loaded).execute_text(all_db, context=context)
-        original = executor.execute_text(all_db, context=context)
+        replay = QueryExecutor(loaded).execute_text(
+            all_db, ExecutionOptions(context=context)
+        )
+        original = executor.execute_text(all_db, ExecutionOptions(context=context))
         assert sorted(replay.oids()) == sorted(original.oids())
         print(
             f"loaded copy answers identically: {len(replay)} students, "

@@ -29,6 +29,7 @@ from repro.objects.oid import OID
 from repro.objects.schema import Attribute, AttributeKind, ClassSchema
 from repro.persistence.snapshot import load_database, save_database
 from repro.query.executor import QueryExecutor, QueryResult
+from repro.query.options import ExecutionOptions
 from repro.query.parser import parse_query
 from repro.query.planner import CostContext, plan_query
 
@@ -40,6 +41,7 @@ __all__ = [
     "ClassSchema",
     "CostContext",
     "Database",
+    "ExecutionOptions",
     "OID",
     "QueryExecutor",
     "QueryResult",

@@ -58,6 +58,8 @@ from repro.core import kernels
 from repro.core.signature import SignatureScheme
 from repro.errors import AccessFacilityError
 from repro.objects.oid import OID
+from repro.obs import tracer as trace
+from repro.obs.tracer import traced_search
 from repro.storage.decode_cache import DecodeCache
 from repro.storage.paged_file import PagedFile, StorageManager
 
@@ -268,6 +270,7 @@ class BitSlicedSignatureFile(SetAccessFacility):
         store = self._storage.store
         version = store.group_version(self._group_name)
         cached = self._decode_cache.get(self._group_name, version)
+        trace.annotate(decode="miss" if cached is None else "hit")
         if cached is not None:
             return cached
         pages = self.slice_pages
@@ -417,6 +420,7 @@ class BitSlicedSignatureFile(SetAccessFacility):
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    @traced_search("bssf.search.superset")
     def search_superset(
         self, query: SetValue, use_elements: Optional[int] = None
     ) -> SearchResult:
@@ -460,6 +464,7 @@ class BitSlicedSignatureFile(SetAccessFacility):
             drop_indices = np.nonzero(surviving)[0].tolist()
         return self._resolve(drop_indices, "superset", slices_read)
 
+    @traced_search("bssf.search.subset")
     def search_subset(
         self, query: SetValue, slices_to_examine: Optional[int] = None
     ) -> SearchResult:
@@ -511,6 +516,7 @@ class BitSlicedSignatureFile(SetAccessFacility):
             drop_indices = np.nonzero(~eliminated)[0].tolist()
         return self._resolve(drop_indices, "subset", slices_read)
 
+    @traced_search("bssf.search.overlap")
     def search_overlap(self, query: SetValue) -> SearchResult:
         """``T ∩ Q ≠ ∅`` (§6 extension): OR the query signature's 1-slices.
 

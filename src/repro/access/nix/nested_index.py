@@ -30,6 +30,7 @@ from repro.access.nix.btree import BPlusTree
 from repro.access.nix.keycodec import EMPTY_SET_KEY, encode_key
 from repro.errors import AccessFacilityError
 from repro.objects.oid import OID
+from repro.obs.tracer import traced_search
 from repro.storage.paged_file import StorageManager
 
 
@@ -116,6 +117,7 @@ class NestedIndex(SetAccessFacility):
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    @traced_search("nix.search.superset")
     def search_superset(
         self, query: SetValue, use_elements: Optional[int] = None
     ) -> SearchResult:
@@ -148,6 +150,7 @@ class NestedIndex(SetAccessFacility):
             detail={"mode": "superset", "lookups": lookups, "partial": partial},
         )
 
+    @traced_search("nix.search.subset")
     def search_subset(self, query: SetValue) -> SearchResult:
         """Union per-element OID lists plus the empty-set bucket."""
         result: Set[OID] = set(self.tree.lookup(EMPTY_SET_KEY))
@@ -162,6 +165,7 @@ class NestedIndex(SetAccessFacility):
             detail={"mode": "subset", "lookups": lookups},
         )
 
+    @traced_search("nix.search.overlap")
     def search_overlap(self, query: SetValue) -> SearchResult:
         """``T ∩ Q ≠ ∅`` (§6 extension): the union of posting lists is
         exactly the overlapping objects — an exact answer for NIX."""

@@ -38,6 +38,8 @@ from repro.access.sigpack import (
 from repro.core import kernels
 from repro.core.signature import SignatureScheme
 from repro.errors import AccessFacilityError
+from repro.obs import tracer as trace
+from repro.obs.tracer import traced_search
 from repro.objects.oid import OID
 from repro.storage.decode_cache import DecodeCache
 from repro.storage.paged_file import StorageManager
@@ -211,6 +213,7 @@ class SequentialSignatureFile(SetAccessFacility):
         version = self.signature_file.version
         name = self.signature_file.name
         matrix = self._decode_cache.get(name, version)
+        trace.annotate(decode="miss" if matrix is None else "hit")
         if matrix is None:
             nwords = kernels.words_for_bits(self.signature_bits)
             if self.entry_count == 0:
@@ -233,6 +236,7 @@ class SequentialSignatureFile(SetAccessFacility):
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    @traced_search("ssf.search.superset")
     def search_superset(
         self, query: SetValue, use_elements: Optional[int] = None
     ) -> SearchResult:
@@ -265,6 +269,7 @@ class SequentialSignatureFile(SetAccessFacility):
                 drop_indices.append(page_no * self.sigs_per_page + int(local))
         return self._resolve(drop_indices, mode="superset")
 
+    @traced_search("ssf.search.subset")
     def search_subset(
         self, query: SetValue, slices_to_examine: Optional[int] = None
     ) -> SearchResult:
@@ -320,6 +325,7 @@ class SequentialSignatureFile(SetAccessFacility):
                 drop_indices.append(page_no * self.sigs_per_page + int(local))
         return self._resolve(drop_indices, mode="subset")
 
+    @traced_search("ssf.search.overlap")
     def search_overlap(self, query: SetValue) -> SearchResult:
         """Full-scan drop test for ``T ∩ Q ≠ ∅`` (§6 extension).
 

@@ -5,6 +5,7 @@ Usage::
     sigfile-repro list
     sigfile-repro run figure4 [figure5 ...]
     sigfile-repro run all
+    sigfile-repro trace 'select Student where hobbies contains "Chess"'
     python -m repro run table6
 
 Output is the plain-text rendering of the experiment (the same rows/series
@@ -59,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", metavar="SNAPSHOT", default=None,
         help="start from a saved database snapshot",
     )
+    traced = subparsers.add_parser(
+        "trace",
+        help="run one query with tracing on and print the span tree",
+        description=(
+            "Execute a query with span tracing enabled and print an "
+            "EXPLAIN ANALYZE-style report attributing every page access. "
+            "Runs against a snapshot (--load) or, by default, the bundled "
+            "university sample database."
+        ),
+    )
+    traced.add_argument("query", help="query text (the SQL-like language)")
+    traced.add_argument(
+        "--load", metavar="SNAPSHOT", default=None,
+        help="run against a saved database snapshot instead of the sample",
+    )
+    traced.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the span tree and metrics snapshot as JSON",
+    )
     return parser
 
 
@@ -82,6 +103,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         database = load_database(args.load) if args.load else None
         return interactive_loop(database)
+    if args.command == "trace":
+        return _run_trace(args.query, snapshot=args.load, as_json=args.json)
     if args.command == "report":
         return _write_report(args.output, analytical_only=args.analytical_only)
     failures = 0
@@ -95,6 +118,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_result(result, fmt=args.format))
         print()
     return 1 if failures else 0
+
+
+def _run_trace(query: str, snapshot: Optional[str], as_json: bool) -> int:
+    """Execute one query with tracing on and print the report."""
+    import json
+
+    from repro.obs.metrics import REGISTRY
+    from repro.query.executor import QueryExecutor
+    from repro.query.options import ExecutionOptions
+
+    if snapshot:
+        from repro.persistence.snapshot import load_database
+
+        database = load_database(snapshot)
+    else:
+        from repro.workloads.university import build_university
+
+        uni = build_university()
+        database = uni.database
+        database.create_bssf_index(
+            "Student", "hobbies", signature_bits=128, bits_per_element=2
+        )
+        database.create_nested_index("Student", "courses")
+    executor = QueryExecutor(database)
+    try:
+        if as_json:
+            result = executor.execute_text(query, ExecutionOptions(trace=True))
+            payload = {
+                "plan": result.statistics.plan,
+                "rows": result.statistics.results,
+                "candidates": result.statistics.candidates,
+                "false_drops": result.statistics.false_drops,
+                "logical_pages": result.statistics.page_accesses,
+                "trace": result.trace.to_dict() if result.trace else None,
+                "metrics": REGISTRY.snapshot(),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(executor.explain_analyze(query))
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _write_report(output_path: str, analytical_only: bool) -> int:

@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.result import SeriesResult, TableResult
 from repro.objects.database import Database
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import ParsedQuery
 from repro.query.planner import CostContext
 from repro.query.predicates import SetPredicate, has_subset, in_subset
@@ -135,9 +136,11 @@ class Testbed:
         )
         result = self.executor.execute(
             parsed,
-            context=self.config.context(),
-            prefer_facility=facility,
-            smart=smart,
+            ExecutionOptions(
+                context=self.config.context(),
+                prefer_facility=facility,
+                smart=smart,
+            ),
         )
         return float(result.statistics.page_accesses), len(result)
 

@@ -26,6 +26,7 @@ from repro.errors import AccessFacilityError
 from repro.experiments.result import TableResult
 from repro.objects.database import Database
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import ParsedQuery
 from repro.query.planner import CostContext
 from repro.query.predicates import has_subset
@@ -55,7 +56,8 @@ def _measure_hot_query(database, generator, Dq: int, facility: str,
         predicates=(has_subset(EVAL_ATTRIBUTE, *query),),
     )
     result = executor.execute(
-        parsed, context=context, prefer_facility=facility, smart=False
+        parsed,
+        ExecutionOptions(context=context, prefer_facility=facility, smart=False),
     )
     return float(result.statistics.page_accesses)
 

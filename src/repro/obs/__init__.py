@@ -1,0 +1,68 @@
+"""Structured observability: span tracing, process metrics, trace sinks.
+
+The paper's whole evaluation is expressed in page accesses; this package
+makes those pages *attributable*. Three pieces:
+
+* :mod:`repro.obs.tracer` — nested spans around the query pipeline
+  (executor → planner → facility search → drop resolution), each carrying
+  its per-file logical/physical page delta and buffer-pool hit/miss
+  counts. Off by default via a no-op singleton; never perturbs the
+  page-access accounting.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms fed by the buffer pool, decode caches, the simulated
+  disk, and the query executor.
+* :mod:`repro.obs.sinks` — where finished traces go: an in-memory ring
+  buffer, a JSON-lines writer, and the ``EXPLAIN ANALYZE``-style text
+  renderer behind :meth:`QueryExecutor.explain_analyze`.
+
+Quick start::
+
+    from repro import Database, ExecutionOptions, QueryExecutor
+
+    executor = QueryExecutor(db)
+    print(executor.explain_analyze(
+        'select Student where hobbies has-subset ("Baseball")'
+    ))
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    file_kind,
+)
+from repro.obs.sinks import JsonLinesSink, RingBufferSink, render_span_tree
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    annotate,
+    current,
+    span,
+    traced_search,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "REGISTRY",
+    "RingBufferSink",
+    "Span",
+    "Tracer",
+    "activate",
+    "annotate",
+    "current",
+    "file_kind",
+    "render_span_tree",
+    "span",
+    "traced_search",
+]

@@ -1,0 +1,152 @@
+"""Trace sinks and the human-readable span-tree renderer.
+
+A sink receives every finished *root* span from a
+:class:`~repro.obs.tracer.Tracer`:
+
+* :class:`RingBufferSink` — bounded in-memory buffer (tests, REPL);
+* :class:`JsonLinesSink` — one JSON object per root span, append-only
+  (offline analysis, ``jq``-able);
+* :func:`render_span_tree` — ``EXPLAIN ANALYZE``-style text tree, the
+  backend of :meth:`QueryExecutor.explain_analyze` and the shell's
+  ``\\trace on`` mode.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+from repro.obs.metrics import file_kind
+from repro.obs.tracer import Span
+
+__all__ = ["JsonLinesSink", "RingBufferSink", "render_span_tree"]
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` root spans in memory."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: "deque[Span]" = deque(maxlen=capacity)
+
+    def emit(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        """Buffered root spans, oldest first."""
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class JsonLinesSink:
+    """Writes each root span as one JSON line.
+
+    Accepts a path (opened append-mode, closed by :meth:`close`) or any
+    object with a ``write`` method (e.g. ``io.StringIO``, ``sys.stdout``).
+    """
+
+    def __init__(self, target: Union[str, Path, io.IOBase, Any]):
+        if isinstance(target, (str, Path)):
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, span: Span) -> None:
+        self._stream.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+_SKIP_ATTRS = {"error"}  # rendered separately
+
+
+def _format_attributes(span: Span, max_items: int = 6) -> str:
+    parts = []
+    for key, value in span.attributes.items():
+        if key in _SKIP_ATTRS:
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3g}")
+        else:
+            parts.append(f"{key}={value}")
+        if len(parts) >= max_items:
+            break
+    return "  ".join(parts)
+
+
+def _pages_summary(span: Span) -> str:
+    by_kind: dict = {}
+    for name, pages in span.pages_by_file().items():
+        kind = file_kind(name)
+        by_kind[kind] = by_kind.get(kind, 0) + pages
+    detail = ", ".join(f"{kind}={pages}" for kind, pages in sorted(by_kind.items()))
+    self_pages = span.self_logical_pages
+    head = f"pages={span.logical_pages}"
+    if span.children:
+        head += f" (self {self_pages})"
+    if detail:
+        head += f" [{detail}]"
+    return head
+
+
+def _render_line(span: Span, prefix: str, connector: str) -> str:
+    error = span.attributes.get("error")
+    line = (
+        f"{prefix}{connector}{span.name}  {_pages_summary(span)}  "
+        f"cache={span.pool_hits}h/{span.pool_misses}m  "
+        f"elapsed={span.elapsed_seconds * 1000.0:.3f}ms"
+    )
+    attrs = _format_attributes(span)
+    if attrs:
+        line += f"  {attrs}"
+    if error:
+        line += f"  !{error}"
+    return line
+
+
+def render_span_tree(span: Optional[Span]) -> str:
+    """Render a span tree as an indented text diagram.
+
+    Each line shows the span's inclusive logical pages (and exclusive
+    "self" pages when it has children), a per-file-kind page breakdown,
+    the buffer-pool hit/miss delta, elapsed wall-clock, and attributes.
+    """
+    if span is None:
+        return "(no trace recorded)"
+    lines = [_render_line(span, "", "")]
+
+    def walk(node: Span, prefix: str) -> None:
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            connector = "└─ " if last else "├─ "
+            lines.append(_render_line(child, prefix, connector))
+            walk(child, prefix + ("   " if last else "│  "))
+
+    walk(span, "")
+    return "\n".join(lines)

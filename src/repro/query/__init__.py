@@ -1,6 +1,7 @@
 """Query layer: predicates, the SQL-like parser, planner, and executor."""
 
 from repro.query.executor import QueryExecutor, QueryResult, QueryStatistics
+from repro.query.options import ExecutionOptions, coerce_options
 from repro.query.parser import ParsedQuery, parse_query, tokenize
 from repro.query.planner import AccessPlan, CostContext, plan_query
 from repro.query.predicates import (
@@ -17,10 +18,12 @@ from repro.query.predicates import (
 __all__ = [
     "AccessPlan",
     "CostContext",
+    "ExecutionOptions",
     "ParsedQuery",
     "QueryExecutor",
     "QueryResult",
     "QueryStatistics",
+    "coerce_options",
     "ScalarPredicate",
     "SetPredicate",
     "SubqueryPredicate",

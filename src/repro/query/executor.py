@@ -7,6 +7,14 @@ returned. Candidates failing the exact test are the false drops; the
 executor reports them, together with the I/O snapshot delta, in
 :class:`QueryStatistics` — this is how the empirical experiments measure
 the quantities the cost model predicts.
+
+Execution behaviour is configured through one
+:class:`~repro.query.options.ExecutionOptions` object (the old
+``context=`` / ``prefer_facility=`` / ``smart=`` keywords still work for a
+release, with a ``DeprecationWarning``). With ``ExecutionOptions(trace=True)``
+the executor records a span tree (see :mod:`repro.obs`) attached to
+``QueryResult.trace``; :meth:`QueryExecutor.explain_analyze` renders it as
+an ``EXPLAIN ANALYZE``-style report.
 """
 
 from __future__ import annotations
@@ -19,8 +27,13 @@ from repro.access.base import SearchResult
 from repro.errors import PlanningError
 from repro.objects.database import Database
 from repro.objects.oid import OID
+from repro.obs import tracer as trace
+from repro.obs.metrics import REGISTRY, file_kind
+from repro.obs.sinks import render_span_tree
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+from repro.query.options import ExecutionOptions, coerce_options
 from repro.query.parser import ParsedQuery, parse_query
-from repro.query.planner import AccessPlan, CostContext, plan_query
+from repro.query.planner import AccessPlan, plan_query
 from repro.query.predicates import SubqueryPredicate
 from repro.storage.stats import IOSnapshot
 
@@ -50,10 +63,11 @@ class QueryStatistics:
 
 @dataclass
 class QueryResult:
-    """Rows plus execution statistics."""
+    """Rows plus execution statistics (and, when traced, the span tree)."""
 
     rows: List[Tuple[OID, Dict[str, Any]]]
     statistics: QueryStatistics
+    trace: Optional[Span] = None
 
     def oids(self) -> List[OID]:
         return [oid for oid, _ in self.rows]
@@ -74,24 +88,17 @@ class QueryExecutor:
     def execute_text(
         self,
         text: str,
-        context: Optional[CostContext] = None,
-        prefer_facility: Optional[str] = None,
-        smart: bool = True,
+        options: Optional[ExecutionOptions] = None,
+        **legacy: Any,
     ) -> QueryResult:
         """Parse, plan and run a query given in the SQL-like language."""
-        return self.execute(
-            parse_query(text),
-            context=context,
-            prefer_facility=prefer_facility,
-            smart=smart,
-        )
+        return self.execute(parse_query(text), coerce_options(options, legacy))
 
     def explain(
         self,
         text: str,
-        context: Optional[CostContext] = None,
-        prefer_facility: Optional[str] = None,
-        smart: bool = True,
+        options: Optional[ExecutionOptions] = None,
+        **legacy: Any,
     ) -> str:
         """Render the chosen plan and its alternatives without executing.
 
@@ -99,15 +106,14 @@ class QueryExecutor:
         query's ``Dq``, which the cost model needs), but the outer query is
         only planned.
         """
-        query = self._resolve_subqueries(
-            parse_query(text), context=context, smart=smart
-        )
+        opts = coerce_options(options, legacy)
+        query = self._resolve_subqueries(parse_query(text), opts)
         plan = plan_query(
             self.database,
             query,
-            context=context,
-            prefer_facility=prefer_facility,
-            smart=smart,
+            context=opts.context,
+            prefer_facility=opts.prefer_facility,
+            smart=opts.smart,
         )
         lines = [f"query : {query.describe()}", f"plan  : {plan.describe()}"]
         if plan.residual_predicates:
@@ -124,28 +130,86 @@ class QueryExecutor:
                 lines.append(f"  {name:24s} {cost:10.1f}{marker}")
         return "\n".join(lines)
 
+    def explain_analyze(
+        self,
+        text: str,
+        options: Optional[ExecutionOptions] = None,
+        **legacy: Any,
+    ) -> str:
+        """Execute the query with tracing on and render the span tree.
+
+        The report shows the chosen plan, result/candidate/false-drop
+        counts, the query's logical/physical page totals, and the recorded
+        span tree with per-span page attribution — the executed counterpart
+        of :meth:`explain`.
+        """
+        opts = coerce_options(options, legacy)
+        if not opts.tracing_requested:
+            opts = opts.evolve(trace=True)
+        result = self.execute(parse_query(text), opts)
+        stats = result.statistics
+        physical = stats.io.physical_total if stats.io else 0
+        lines = [
+            f"query : {text.strip()}",
+            f"plan  : {stats.plan}",
+            f"rows  : {stats.results}   candidates: {stats.candidates}"
+            f"   false drops: {stats.false_drops}",
+            f"pages : {stats.page_accesses} logical / {physical} physical"
+            f"   elapsed: {stats.elapsed_seconds * 1000.0:.3f}ms",
+            "",
+            render_span_tree(result.trace),
+        ]
+        return "\n".join(lines)
+
     def execute(
         self,
         query: ParsedQuery,
-        context: Optional[CostContext] = None,
-        prefer_facility: Optional[str] = None,
-        smart: bool = True,
+        options: Optional[ExecutionOptions] = None,
+        **legacy: Any,
     ) -> QueryResult:
-        query = self._resolve_subqueries(query, context=context, smart=smart)
-        plan = plan_query(
-            self.database,
-            query,
-            context=context,
-            prefer_facility=prefer_facility,
-            smart=smart,
-        )
+        opts = coerce_options(options, legacy)
+        tracer = self._tracer_for(opts)
+        if tracer is None:
+            # Either tracing is off, or an outer execute() already
+            # activated a tracer — in the latter case our spans nest into
+            # the active tree rather than starting a second root.
+            return self._execute(query, opts)
+        with trace.activate(tracer):
+            with tracer.span("query.execute", query=query.describe()) as root:
+                result = self._execute(query, opts)
+                root.set("plan", result.statistics.plan)
+                root.set("results", result.statistics.results)
+        result.trace = root
+        return result
+
+    def _tracer_for(self, opts: ExecutionOptions) -> Optional[Tracer]:
+        """The tracer to activate for this call, or ``None`` to not activate."""
+        if trace.current() is not NULL_TRACER:
+            return None
+        if opts.tracer is not None:
+            return opts.tracer
+        if opts.trace:
+            return Tracer(io_source=self.database.storage)
+        return None
+
+    def _execute(self, query: ParsedQuery, opts: ExecutionOptions) -> QueryResult:
+        query = self._resolve_subqueries(query, opts)
+        with trace.span("query.plan", class_name=query.class_name) as sp:
+            plan = plan_query(
+                self.database,
+                query,
+                context=opts.context,
+                prefer_facility=opts.prefer_facility,
+                smart=opts.smart,
+            )
+            sp.set("plan", plan.describe())
+            sp.set("estimated_pages", plan.estimated_cost)
         return self.execute_plan(plan, query)
 
     def _resolve_subqueries(
         self,
         query: ParsedQuery,
-        context: Optional[CostContext],
-        smart: bool,
+        opts: ExecutionOptions,
         depth: int = 0,
     ) -> ParsedQuery:
         """Materialize subquery predicates (the paper's §1 step 1).
@@ -159,14 +223,18 @@ class QueryExecutor:
             raise PlanningError("subquery nesting deeper than 8 levels")
         if not query.has_unresolved_subqueries():
             return query
+        inner_opts = ExecutionOptions(smart=opts.smart)
         resolved = []
         for predicate in query.predicates:
             if isinstance(predicate, SubqueryPredicate):
                 inner = self._resolve_subqueries(
-                    predicate.subquery, context=None, smart=smart,
-                    depth=depth + 1,
+                    predicate.subquery, inner_opts, depth=depth + 1
                 )
-                result = self.execute(inner, smart=smart)
+                with trace.span(
+                    "query.subquery", class_name=inner.class_name, depth=depth + 1
+                ) as sp:
+                    result = self.execute(inner, inner_opts)
+                    sp.set("results", result.statistics.results)
                 resolved.append(predicate.resolve(result.oids()))
             else:
                 resolved.append(predicate)
@@ -181,7 +249,8 @@ class QueryExecutor:
         before = self.database.io_snapshot()
         started = time.perf_counter()
         if plan.is_scan:
-            rows, stats_detail, candidates = self._run_scan(plan, query)
+            with trace.span("query.scan", class_name=plan.class_name):
+                rows, stats_detail, candidates = self._run_scan(plan, query)
         else:
             rows, stats_detail, candidates = self._run_index(plan, query)
         elapsed = time.perf_counter() - started
@@ -194,7 +263,27 @@ class QueryExecutor:
             elapsed_seconds=elapsed,
             detail=stats_detail,
         )
+        self._record_metrics(stats)
         return QueryResult(rows=rows, statistics=stats)
+
+    @staticmethod
+    def _record_metrics(stats: QueryStatistics) -> None:
+        """Feed the process-wide registry; pure arithmetic, no I/O."""
+        REGISTRY.counter("query.executed").inc()
+        REGISTRY.counter("query.candidates").inc(stats.candidates)
+        REGISTRY.counter("query.false_drops").inc(stats.false_drops)
+        REGISTRY.counter("query.results").inc(stats.results)
+        if stats.io is not None:
+            for name, counts in stats.io.files():
+                pages = counts.logical_total
+                if pages:
+                    REGISTRY.counter(f"query.pages.{file_kind(name)}").inc(pages)
+            REGISTRY.histogram("query.pages").record(stats.io.logical_total)
+        REGISTRY.histogram("query.elapsed_seconds").record(stats.elapsed_seconds)
+        if stats.candidates:
+            REGISTRY.histogram("query.false_drop_ratio").record(
+                stats.false_drops / stats.candidates
+            )
 
     def _run_scan(self, plan: AccessPlan, query: ParsedQuery):
         rows = []
@@ -217,19 +306,25 @@ class QueryExecutor:
             second_facility = self.database.index(
                 plan.class_name, second.predicate.attribute, second.facility_name
             )
-            if second.search_mode == "superset":
-                second_result = second_facility.search_superset(
-                    second.predicate.constant
-                )
-            elif second.search_mode == "subset":
-                second_result = second_facility.search_subset(
-                    second.predicate.constant
-                )
-            else:
-                second_result = second_facility.search_overlap(
-                    second.predicate.constant
-                )
-            survivors = set(candidates) & set(second_result.candidates)
+            with trace.span(
+                "query.intersect",
+                facility=second.facility_name,
+                attribute=second.predicate.attribute,
+            ) as sp:
+                if second.search_mode == "superset":
+                    second_result = second_facility.search_superset(
+                        second.predicate.constant
+                    )
+                elif second.search_mode == "subset":
+                    second_result = second_facility.search_subset(
+                        second.predicate.constant
+                    )
+                else:
+                    second_result = second_facility.search_overlap(
+                        second.predicate.constant
+                    )
+                survivors = set(candidates) & set(second_result.candidates)
+                sp.set("surviving", len(survivors))
             detail["intersected_with"] = {
                 "facility": second.facility_name,
                 "candidates": len(second_result.candidates),
@@ -237,10 +332,12 @@ class QueryExecutor:
             }
             candidates = sorted(survivors)
         rows = []
-        for oid in candidates:
-            values = self.database.get(oid)
-            if all(p.matches(values) for p in query.predicates):
-                rows.append((oid, values))
+        with trace.span("query.drop_resolution", candidates=len(candidates)) as sp:
+            for oid in candidates:
+                values = self.database.get(oid)
+                if all(p.matches(values) for p in query.predicates):
+                    rows.append((oid, values))
+            sp.set("false_drops", len(candidates) - len(rows))
         detail["exact_search"] = result.exact and plan.intersect_with is None
         return rows, detail, len(candidates)
 

@@ -1,0 +1,97 @@
+"""Execution options: one object instead of keyword sprawl.
+
+``QueryExecutor.execute`` / ``execute_text`` / ``explain`` historically
+grew a keyword per feature (``context``, ``prefer_facility``, ``smart``,
+and now ``trace``). :class:`ExecutionOptions` collapses them into a single
+immutable dataclass::
+
+    executor.execute_text(text, ExecutionOptions(prefer_facility="bssf"))
+
+The old keywords still work for one release through
+:func:`coerce_options`, which converts them and emits a
+``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (planner imports us not)
+    from repro.obs.tracer import Tracer
+    from repro.query.planner import CostContext
+
+__all__ = ["ExecutionOptions", "coerce_options"]
+
+#: keywords accepted by the pre-ExecutionOptions API, shimmed for one release
+_LEGACY_KEYS = ("context", "prefer_facility", "smart", "trace")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Everything that shapes how one query is planned and executed.
+
+    ``context``
+        Workload statistics for the cost model; ``None`` falls back to the
+        database's ANALYZE cache.
+    ``prefer_facility``
+        Force one facility name ("ssf" / "bssf" / "nix") instead of
+        letting the cost model choose.
+    ``smart``
+        Enable the Section 5 smart-retrieval strategies (default on).
+    ``trace``
+        Record a span tree for the execution (off by default; the no-op
+        tracer costs nothing). The finished tree is attached to
+        ``QueryResult.trace``.
+    ``tracer``
+        Use this exact :class:`~repro.obs.tracer.Tracer` (with its sinks)
+        instead of a fresh one; implies ``trace``.
+    """
+
+    context: Optional["CostContext"] = None
+    prefer_facility: Optional[str] = None
+    smart: bool = True
+    trace: bool = False
+    tracer: Optional["Tracer"] = None
+
+    @property
+    def tracing_requested(self) -> bool:
+        return self.trace or self.tracer is not None
+
+    def evolve(self, **changes: Any) -> "ExecutionOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def coerce_options(
+    options: Optional[ExecutionOptions], legacy: Dict[str, Any]
+) -> ExecutionOptions:
+    """Resolve the new-style ``options`` object against legacy keywords.
+
+    Legacy keywords (``context=``, ``prefer_facility=``, ``smart=``,
+    ``trace=``) are accepted for one release: they are converted into an
+    :class:`ExecutionOptions` and a ``DeprecationWarning`` is emitted.
+    Mixing both styles in one call is an error, as is any unknown keyword.
+    """
+    if not legacy:
+        return options if options is not None else ExecutionOptions()
+    unknown = set(legacy) - set(_LEGACY_KEYS)
+    if unknown:
+        raise TypeError(
+            f"unknown execution keyword(s) {sorted(unknown)}; "
+            f"supported legacy keywords are {list(_LEGACY_KEYS)}"
+        )
+    if options is not None:
+        raise TypeError(
+            "pass either an ExecutionOptions object or legacy keywords, "
+            "not both"
+        )
+    warnings.warn(
+        "QueryExecutor keyword arguments "
+        "(context=, prefer_facility=, smart=, trace=) are deprecated; "
+        "pass ExecutionOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExecutionOptions(**legacy)

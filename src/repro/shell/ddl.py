@@ -24,7 +24,9 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ParseError, QueryError
 from repro.objects.database import Database
 from repro.objects.schema import ClassSchema
+from repro.obs.sinks import render_span_tree
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import Token, tokenize
 
 _INDEX_KINDS = ("ssf", "bssf", "nix")
@@ -275,8 +277,15 @@ def _parse_insert(cursor: _Cursor) -> InsertObject:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def execute_statement(database: Database, text: str, max_rows: int = 20) -> str:
-    """Parse and run one statement; returns a printable result."""
+def execute_statement(
+    database: Database, text: str, max_rows: int = 20, trace: bool = False
+) -> str:
+    """Parse and run one statement; returns a printable result.
+
+    With ``trace=True`` (the shell's ``\\trace on`` mode), queries are
+    executed with tracing enabled and the rendered span tree is appended
+    to the normal result listing.
+    """
     statement = parse_statement(text)
     executor = QueryExecutor(database)
 
@@ -321,7 +330,9 @@ def execute_statement(database: Database, text: str, max_rows: int = 20) -> str:
     if isinstance(statement, RunQuery):
         if statement.explain:
             return executor.explain(statement.text)
-        result = executor.execute_text(statement.text)
+        result = executor.execute_text(
+            statement.text, ExecutionOptions(trace=trace)
+        )
         lines = [
             f"{len(result)} row(s); plan: {result.statistics.plan}; "
             f"pages: {result.statistics.page_accesses}; "
@@ -334,6 +345,8 @@ def execute_statement(database: Database, text: str, max_rows: int = 20) -> str:
             lines.append(f"  {oid}: {rendered}")
         if len(result) > max_rows:
             lines.append(f"  ... {len(result) - max_rows} more")
+        if trace and result.trace is not None:
+            lines.append(render_span_tree(result.trace))
         return "\n".join(lines)
 
     raise QueryError(f"unhandled statement type: {type(statement).__name__}")

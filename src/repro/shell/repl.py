@@ -7,6 +7,8 @@ meta-commands::
     \\load "file.sigdb"     replace the session database from a snapshot
     \\tables               list classes and their object counts
     \\indexes              list facilities and their page counts
+    \\trace on|off         append a span tree with per-span page counts
+                          to every query result (see repro.obs)
     \\check                run the consistency checker
     \\help                 this text
     \\quit                 leave
@@ -38,6 +40,7 @@ class Shell:
     def __init__(self, database: Optional[Database] = None):
         self.database = database or Database()
         self.finished = False
+        self.tracing = False
 
     # ------------------------------------------------------------------
     # Line handling
@@ -50,7 +53,7 @@ class Shell:
         if line.startswith("\\"):
             return self._meta(line)
         try:
-            return execute_statement(self.database, line)
+            return execute_statement(self.database, line, trace=self.tracing)
         except ReproError as exc:
             return f"error: {exc}"
 
@@ -97,6 +100,11 @@ class Shell:
                 f"{path}: {pages} ({sum(pages.values())} pages)"
                 for path, pages in sorted(report.items())
             )
+        if command == "trace":
+            if len(args) != 1 or args[0].lower() not in ("on", "off"):
+                return "usage: \\trace on|off"
+            self.tracing = args[0].lower() == "on"
+            return f"tracing {'on' if self.tracing else 'off'}"
         if command == "check":
             try:
                 checked = self.database.check_consistency()

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Tuple
 
 from repro.errors import BufferPoolError
+from repro.obs.metrics import REGISTRY
 from repro.storage.disk import DiskStore
 from repro.storage.page import Page
 from repro.storage.stats import IOStatistics
@@ -39,6 +40,9 @@ class BufferPool:
         self._dirty: set = set()
         self.hits = 0
         self.misses = 0
+        # Process-wide instruments (shared across pools, survive clear()).
+        self._metric_hits = REGISTRY.counter("storage.pool.hits")
+        self._metric_misses = REGISTRY.counter("storage.pool.misses")
 
     # ------------------------------------------------------------------
     # Core operations
@@ -49,9 +53,11 @@ class BufferPool:
         frame = self._frames.get(key)
         if frame is not None:
             self.hits += 1
+            self._metric_hits.inc()
             self._frames.move_to_end(key)
             return frame
         self.misses += 1
+        self._metric_misses.inc()
         page = self.store.read_page(file_name, page_no)
         self.stats.record_physical_read(file_name)
         self._install(key, page)
@@ -70,12 +76,14 @@ class BufferPool:
         key = (file_name, page_no)
         if key in self._frames:
             self.hits += 1
+            self._metric_hits.inc()
             self._frames.move_to_end(key)
             return
         if not 0 <= page_no < self.store.num_pages(file_name):
             # Raise the canonical out-of-range error, exactly as fetch would.
             self.store.read_page(file_name, page_no)
         self.misses += 1
+        self._metric_misses.inc()
         self.stats.record_physical_read(file_name)
         if self.capacity > 0:
             self._install(key, self.store.read_page(file_name, page_no))
@@ -107,6 +115,7 @@ class BufferPool:
             return
         if self.capacity == 0:
             self.misses += pages
+            self._metric_misses.inc(pages)
             self.stats.record_physical_read(file_name, pages)
             return
         for page_no in range(pages):
@@ -118,6 +127,7 @@ class BufferPool:
             return
         if self.capacity == 0:
             self.misses += pages_each * len(file_names)
+            self._metric_misses.inc(pages_each * len(file_names))
             self.stats.record_physical_read_many(file_names, pages_each)
             return
         for file_name in file_names:

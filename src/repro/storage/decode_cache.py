@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.obs.metrics import REGISTRY
 
 
 class DecodeCache:
@@ -35,15 +36,19 @@ class DecodeCache:
         self._entries: "OrderedDict[str, Tuple[int, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._metric_hits = REGISTRY.counter("storage.decode_cache.hits")
+        self._metric_misses = REGISTRY.counter("storage.decode_cache.misses")
 
     def get(self, name: str, version: int) -> Optional[Any]:
         """The payload cached for ``name`` iff it was decoded at ``version``."""
         entry = self._entries.get(name)
         if entry is not None and entry[0] == version:
             self.hits += 1
+            self._metric_hits.inc()
             self._entries.move_to_end(name)
             return entry[1]
         self.misses += 1
+        self._metric_misses.inc()
         if entry is not None:
             # Stale version: the slot will be overwritten by the caller's
             # re-decode; drop it now so it cannot be served again.

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.errors import StorageError
+from repro.obs.metrics import REGISTRY
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 
 
@@ -22,6 +23,12 @@ class DiskStore:
         if page_size <= 0:
             raise StorageError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
+        # Raw device-operation counters (includes accounting-free peeks,
+        # which also read through the store); the paper-model physical
+        # counts live in IOStatistics, recorded by the buffer pool.
+        self._metric_reads = REGISTRY.counter("storage.disk.page_reads")
+        self._metric_writes = REGISTRY.counter("storage.disk.page_writes")
+        self._metric_allocs = REGISTRY.counter("storage.disk.pages_allocated")
         self._files: Dict[str, List[bytes]] = {}
         # Per-file modification counters for version-keyed decode caches.
         # Monotonic across the store's lifetime — surviving drop/recreate of
@@ -99,6 +106,7 @@ class DiskStore:
         pages = self._pages(name)
         pages.append(bytes(self.page_size))
         self.bump_version(name)
+        self._metric_allocs.inc()
         return len(pages) - 1
 
     def read_page(self, name: str, page_no: int) -> Page:
@@ -107,6 +115,7 @@ class DiskStore:
             raise StorageError(
                 f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
             )
+        self._metric_reads.inc()
         return Page(self.page_size, pages[page_no])
 
     def write_page(self, name: str, page_no: int, page: Page) -> None:
@@ -121,6 +130,7 @@ class DiskStore:
             )
         pages[page_no] = page.image()
         self.bump_version(name)
+        self._metric_writes.inc()
 
     def total_pages(self) -> int:
         """Pages across all files — the simulated database footprint."""

@@ -1,0 +1,106 @@
+"""Acceptance: ``explain_analyze`` span trees reconcile with IOSnapshot.
+
+The ISSUE's acceptance criterion: running ``explain_analyze`` on a BSSF
+superset query renders a span tree whose per-span page counts sum to the
+query's IOSnapshot logical total. The cost context is passed explicitly so
+planning performs no I/O of its own — the root span then covers exactly the
+pages the statistics delta covers.
+"""
+
+import pytest
+
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
+from repro.query.planner import CostContext
+from tests.conftest import HOBBIES, populate_students
+
+CTX = CostContext(
+    num_objects=120, domain_cardinality=len(HOBBIES), target_cardinality=3
+)
+QUERY = 'select Student where hobbies has-subset ("Baseball", "Fishing")'
+
+
+@pytest.fixture
+def indexed_db(student_db):
+    populate_students(student_db)
+    student_db.create_bssf_index(
+        "Student", "hobbies", signature_bits=128, bits_per_element=2
+    )
+    return student_db
+
+
+class TestExplainAnalyze:
+    def test_span_pages_sum_to_io_snapshot_total(self, indexed_db):
+        executor = QueryExecutor(indexed_db)
+        result = executor.execute_text(
+            QUERY,
+            ExecutionOptions(context=CTX, prefer_facility="bssf", trace=True),
+        )
+        root = result.trace
+        assert root is not None and root.name == "query.execute"
+        io_total = result.statistics.io.logical_total
+        assert io_total > 0
+        # Inclusive root total == the query's IOSnapshot logical total ...
+        assert root.logical_pages == io_total
+        # ... and the exclusive per-span counts partition it exactly.
+        assert sum(s.self_logical_pages for s in root.walk()) == io_total
+
+    def test_rendered_tree_shows_pipeline_spans(self, indexed_db):
+        executor = QueryExecutor(indexed_db)
+        text = executor.explain_analyze(
+            QUERY, ExecutionOptions(context=CTX, prefer_facility="bssf")
+        )
+        assert "query.execute" in text
+        assert "query.plan" in text
+        assert "bssf.search.superset" in text
+        assert "query.drop_resolution" in text
+        assert "pages=" in text
+        assert "plan  :" in text
+
+    def test_results_identical_with_and_without_tracing(self, indexed_db):
+        executor = QueryExecutor(indexed_db)
+        opts = ExecutionOptions(context=CTX, prefer_facility="bssf")
+        plain = executor.execute_text(QUERY, opts)
+        traced = executor.execute_text(QUERY, opts.evolve(trace=True))
+        assert plain.oids() == traced.oids()
+        assert (
+            plain.statistics.io.logical_total
+            == traced.statistics.io.logical_total
+        )
+        assert plain.trace is None and traced.trace is not None
+
+    def test_explicit_tracer_with_sink_receives_root(self, indexed_db):
+        sink = RingBufferSink()
+        tracer = Tracer(io_source=indexed_db.storage, sinks=[sink])
+        executor = QueryExecutor(indexed_db)
+        executor.execute_text(QUERY, ExecutionOptions(context=CTX, tracer=tracer))
+        assert [s.name for s in sink.spans()] == ["query.execute"]
+
+    def test_subquery_spans_nest_under_one_root(self, database):
+        from repro.objects.schema import ClassSchema
+
+        database.define_class(
+            ClassSchema.build("Course", name="scalar", category="scalar")
+        )
+        database.define_class(
+            ClassSchema.build("Student", name="scalar", courses="set")
+        )
+        db_courses = [
+            database.insert("Course", {"name": f"c{i}", "category": "DB"})
+            for i in range(2)
+        ]
+        database.insert(
+            "Student", {"name": "amy", "courses": set(db_courses)}
+        )
+        executor = QueryExecutor(database)
+        result = executor.execute_text(
+            'select Student where courses has-subset '
+            '(select Course where category = "DB")',
+            ExecutionOptions(trace=True),
+        )
+        assert len(result) == 1
+        names = [s.name for s in result.trace.walk()]
+        assert names.count("query.execute") == 1
+        assert "query.subquery" in names

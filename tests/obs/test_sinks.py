@@ -1,0 +1,91 @@
+"""Trace sinks: ring buffer, JSON-lines, text renderer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.sinks import JsonLinesSink, RingBufferSink, render_span_tree
+from repro.obs.tracer import Tracer
+
+
+def make_root(name="root", children=("a", "b")):
+    tracer = Tracer()
+    with tracer.span(name):
+        for child in children:
+            with tracer.span(child):
+                pass
+    return tracer.last_root
+
+
+class TestRingBufferSink:
+    def test_keeps_last_capacity_roots(self):
+        sink = RingBufferSink(capacity=2)
+        tracer = Tracer(sinks=[sink])
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in sink.spans()] == ["s2", "s3"]
+        assert len(sink) == 2
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        sink.emit(make_root())
+        sink.clear()
+        assert sink.spans() == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_only_roots_reach_the_sink(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in sink.spans()] == ["outer"]
+
+
+class TestJsonLinesSink:
+    def test_writes_one_json_object_per_root(self):
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        sink.emit(make_root("first"))
+        sink.emit(make_root("second"))
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["name"] for p in parsed] == ["first", "second"]
+        assert [c["name"] for c in parsed[0]["children"]] == ["a", "b"]
+        assert sink.emitted == 2
+
+    def test_path_target_appends_and_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonLinesSink(path) as sink:
+            sink.emit(make_root())
+        with JsonLinesSink(path) as sink:
+            sink.emit(make_root())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+
+
+class TestRenderSpanTree:
+    def test_renders_connectors_and_names(self):
+        text = render_span_tree(make_root("query.execute", ("plan", "search")))
+        lines = text.splitlines()
+        assert lines[0].startswith("query.execute")
+        assert any(line.startswith("├─ plan") for line in lines)
+        assert any(line.startswith("└─ search") for line in lines)
+        assert "pages=" in lines[0]
+        assert "elapsed=" in lines[0]
+
+    def test_renders_error_marker(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert "!ValueError" in render_span_tree(tracer.last_root)
+
+    def test_none_renders_placeholder(self):
+        assert render_span_tree(None) == "(no trace recorded)"

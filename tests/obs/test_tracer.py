@@ -1,0 +1,144 @@
+"""Span tracer: nesting, I/O deltas, the null tracer, traced_search."""
+
+import pytest
+
+from repro.obs import tracer as trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, activate
+from repro.storage.paged_file import StorageManager
+
+
+@pytest.fixture
+def manager():
+    return StorageManager(page_size=256, pool_capacity=0)
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a.1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        root = tracer.last_root
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a.1"]
+        assert [s.name for s in root.walk()] == ["root", "a", "a.1", "b"]
+
+    def test_only_roots_are_collected(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+
+    def test_active_span_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.active_span is None
+        with tracer.span("outer") as outer:
+            assert tracer.active_span is outer
+            with tracer.span("inner") as inner:
+                assert tracer.active_span is inner
+            assert tracer.active_span is outer
+        assert tracer.active_span is None
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert tracer.last_root.attributes["error"] == "ValueError"
+
+    def test_annotate_hits_innermost(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.annotate(k="v")
+        root = tracer.last_root
+        assert "k" not in root.attributes
+        assert root.children[0].attributes["k"] == "v"
+
+
+class TestIODeltas:
+    def test_span_captures_per_file_delta(self, manager):
+        f = manager.create_file("data")
+        for _ in range(4):
+            f.append_page()
+        tracer = Tracer(io_source=manager)
+        with tracer.span("reads") as sp:
+            f.read_page(0)
+            f.read_page(1)
+        assert sp.logical_pages == 2
+        assert sp.pages_by_file() == {"data": 2}
+        assert sp.elapsed_seconds > 0.0
+
+    def test_self_pages_sum_to_inclusive_total(self, manager):
+        f = manager.create_file("data")
+        for _ in range(6):
+            f.append_page()
+        tracer = Tracer(io_source=manager)
+        with tracer.span("root"):
+            f.read_page(0)
+            with tracer.span("child"):
+                f.read_page(1)
+                f.read_page(2)
+            f.read_page(3)
+        root = tracer.last_root
+        assert root.logical_pages == 4
+        assert root.self_logical_pages == 2
+        assert sum(s.self_logical_pages for s in root.walk()) == root.logical_pages
+
+    def test_tracing_never_charges_io(self, manager):
+        f = manager.create_file("data")
+        f.append_page()
+        before = manager.snapshot()
+        tracer = Tracer(io_source=manager)
+        with tracer.span("idle"):
+            pass
+        assert (manager.snapshot() - before).total().logical_reads == 0
+        assert (manager.snapshot() - before).total().physical_reads == 0
+
+    def test_to_dict_round_trips_structure(self, manager):
+        f = manager.create_file("data")
+        f.append_page()
+        tracer = Tracer(io_source=manager)
+        with tracer.span("root", tag="x"):
+            f.read_page(0)
+        d = tracer.last_root.to_dict()
+        assert d["name"] == "root"
+        assert d["logical_pages"] == 1
+        assert d["attributes"]["tag"] == "x"
+        assert d["children"] == []
+
+
+class TestActivation:
+    def test_default_is_null_tracer(self):
+        assert trace.current() is NULL_TRACER
+        assert isinstance(trace.current(), NullTracer)
+
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert trace.current() is tracer
+            with trace.span("via-module"):
+                pass
+        assert trace.current() is NULL_TRACER
+        assert [s.name for s in tracer.roots] == ["via-module"]
+
+    def test_activate_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with activate(tracer):
+                raise RuntimeError("bail")
+        assert trace.current() is NULL_TRACER
+
+    def test_null_tracer_span_is_shared_noop(self):
+        a = NULL_TRACER.span("x")
+        b = NULL_TRACER.span("y", attr=1)
+        assert a is b
+        with a as sp:
+            sp.set("ignored", True)  # must not raise
+        NULL_TRACER.annotate(ignored=True)
+        assert NULL_TRACER.active_span is None

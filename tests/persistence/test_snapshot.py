@@ -14,6 +14,7 @@ from repro.persistence.format import (
 )
 from repro.persistence.snapshot import build_catalog, load_database, save_database
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.planner import CostContext
 
 from tests.conftest import populate_students
@@ -46,14 +47,14 @@ class TestRoundtrip:
     def test_queries_survive(self, full_db, tmp_path):
         path = tmp_path / "db.sigdb"
         expected = sorted(
-            QueryExecutor(full_db).execute_text(QUERY, context=CTX).oids()
+            QueryExecutor(full_db).execute_text(QUERY, ExecutionOptions(context=CTX)).oids()
         )
         save_database(full_db, path)
         loaded = load_database(path)
         for prefer in ("ssf", "bssf", "nix"):
             got = sorted(
                 QueryExecutor(loaded)
-                .execute_text(QUERY, context=CTX, prefer_facility=prefer)
+                .execute_text(QUERY, ExecutionOptions(context=CTX, prefer_facility=prefer))
                 .oids()
             )
             assert got == expected
@@ -79,7 +80,7 @@ class TestRoundtrip:
         )
         assert new_oid not in existing
         result = QueryExecutor(loaded).execute_text(
-            QUERY, context=CTX, prefer_facility="bssf"
+            QUERY, ExecutionOptions(context=CTX, prefer_facility="bssf")
         )
         assert new_oid in result.oids()
         victim = next(iter(existing))

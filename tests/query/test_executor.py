@@ -3,6 +3,7 @@
 import pytest
 
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import parse_query
 from repro.query.planner import CostContext
 
@@ -51,14 +52,14 @@ class TestCorrectness:
     def test_every_facility_matches_brute_force(
         self, executor, full_db, text, prefer
     ):
-        result = executor.execute_text(text, context=CTX, prefer_facility=prefer)
+        result = executor.execute_text(text, ExecutionOptions(context=CTX, prefer_facility=prefer))
         assert sorted(result.oids()) == brute_force(full_db, text)
 
     @pytest.mark.parametrize("smart", [True, False])
     def test_smart_and_naive_agree(self, executor, full_db, smart):
         text = QUERIES[0]
         result = executor.execute_text(
-            text, context=CTX, prefer_facility="bssf", smart=smart
+            text, ExecutionOptions(context=CTX, prefer_facility="bssf", smart=smart)
         )
         assert sorted(result.oids()) == brute_force(full_db, text)
 
@@ -68,11 +69,11 @@ class TestCorrectness:
             'and hobbies in-subset '
             '("Baseball", "Fishing", "Tennis", "Golf", "Chess")'
         )
-        result = executor.execute_text(text, context=CTX)
+        result = executor.execute_text(text, ExecutionOptions(context=CTX))
         assert sorted(result.oids()) == brute_force(full_db, text)
 
     def test_rows_carry_attribute_values(self, executor):
-        result = executor.execute_text(QUERIES[1], context=CTX)
+        result = executor.execute_text(QUERIES[1], ExecutionOptions(context=CTX))
         for _, values in result.rows:
             assert "Chess" in values["hobbies"]
 
@@ -80,7 +81,7 @@ class TestCorrectness:
         populate_students(student_db)
         executor = QueryExecutor(student_db)
         text = QUERIES[0]
-        result = executor.execute_text(text, context=CTX)
+        result = executor.execute_text(text, ExecutionOptions(context=CTX))
         assert "scan" in result.statistics.plan
         assert sorted(result.oids()) == brute_force(student_db, text)
 
@@ -88,36 +89,36 @@ class TestCorrectness:
 class TestStatistics:
     def test_false_drops_counted(self, executor):
         result = executor.execute_text(
-            QUERIES[0], context=CTX, prefer_facility="ssf"
+            QUERIES[0], ExecutionOptions(context=CTX, prefer_facility="ssf")
         )
         stats = result.statistics
         assert stats.candidates == stats.results + stats.false_drops
         assert stats.false_drops >= 0
 
     def test_io_snapshot_attached(self, executor):
-        result = executor.execute_text(QUERIES[0], context=CTX)
+        result = executor.execute_text(QUERIES[0], ExecutionOptions(context=CTX))
         assert result.statistics.page_accesses > 0
 
     def test_elapsed_recorded(self, executor):
-        result = executor.execute_text(QUERIES[0], context=CTX)
+        result = executor.execute_text(QUERIES[0], ExecutionOptions(context=CTX))
         assert result.statistics.elapsed_seconds >= 0.0
 
     def test_false_drop_ratio(self, executor):
         result = executor.execute_text(
-            QUERIES[0], context=CTX, prefer_facility="ssf"
+            QUERIES[0], ExecutionOptions(context=CTX, prefer_facility="ssf")
         )
         ratio = result.statistics.false_drop_ratio(population=120)
         assert 0.0 <= ratio <= 1.0
 
     def test_nix_superset_has_no_false_drops(self, executor):
         result = executor.execute_text(
-            QUERIES[0], context=CTX, prefer_facility="nix"
+            QUERIES[0], ExecutionOptions(context=CTX, prefer_facility="nix")
         )
         assert result.statistics.false_drops == 0
 
     def test_detail_propagated_from_facility(self, executor):
         result = executor.execute_text(
-            QUERIES[0], context=CTX, prefer_facility="bssf"
+            QUERIES[0], ExecutionOptions(context=CTX, prefer_facility="bssf")
         )
         assert "slices_read" in result.statistics.detail
 
@@ -125,10 +126,10 @@ class TestStatistics:
 class TestDataMutation:
     def test_results_reflect_deletes(self, executor, full_db):
         text = QUERIES[1]
-        before = executor.execute_text(text, context=CTX)
+        before = executor.execute_text(text, ExecutionOptions(context=CTX))
         victim = before.oids()[0]
         full_db.delete(victim)
-        after = executor.execute_text(text, context=CTX)
+        after = executor.execute_text(text, ExecutionOptions(context=CTX))
         assert victim not in after.oids()
         assert len(after) == len(before) - 1
 
@@ -136,5 +137,5 @@ class TestDataMutation:
         oid = full_db.insert(
             "Student", {"name": "new", "hobbies": {"Chess", "Golf"}}
         )
-        result = executor.execute_text(QUERIES[1], context=CTX)
+        result = executor.execute_text(QUERIES[1], ExecutionOptions(context=CTX))
         assert oid in result.oids()

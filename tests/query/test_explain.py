@@ -3,6 +3,7 @@
 import pytest
 
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.planner import CostContext
 
 from tests.conftest import populate_students
@@ -23,7 +24,7 @@ class TestExplain:
     def test_shows_plan_and_alternatives(self, executor):
         text = executor.explain(
             'select Student where hobbies has-subset ("Baseball", "Fishing")',
-            context=CTX,
+            ExecutionOptions(context=CTX),
         )
         assert "plan  :" in text
         assert "alternatives" in text
@@ -34,8 +35,7 @@ class TestExplain:
     def test_respects_preference(self, executor):
         text = executor.explain(
             'select Student where hobbies has-subset ("Baseball")',
-            context=CTX,
-            prefer_facility="nix",
+            ExecutionOptions(context=CTX, prefer_facility="nix"),
         )
         assert "nix.superset" in text
 
@@ -43,7 +43,7 @@ class TestExplain:
         populate_students(student_db)
         executor = QueryExecutor(student_db)
         text = executor.explain(
-            'select Student where hobbies contains "Chess"', context=CTX
+            'select Student where hobbies contains "Chess"', ExecutionOptions(context=CTX)
         )
         assert "scan(Student)" in text
         assert "residual filters" in text
@@ -52,7 +52,7 @@ class TestExplain:
         db = executor.database
         count_before = db.count("Student")
         executor.explain(
-            'select Student where hobbies contains "Chess"', context=CTX
+            'select Student where hobbies contains "Chess"', ExecutionOptions(context=CTX)
         )
         assert db.count("Student") == count_before
 
@@ -60,6 +60,6 @@ class TestExplain:
         text = executor.explain(
             'select Student where hobbies has-subset ("Golf") '
             'and hobbies contains "Chess"',
-            context=CTX,
+            ExecutionOptions(context=CTX),
         )
         assert "residual filters" in text

@@ -7,6 +7,7 @@ import pytest
 from repro.objects.database import Database
 from repro.objects.schema import ClassSchema
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import parse_query
 from repro.query.planner import CostContext, plan_query
 
@@ -112,24 +113,24 @@ class TestExecution:
     )
     def test_results_match_brute_force(self, two_attribute_db, text):
         executor = QueryExecutor(two_attribute_db)
-        result = executor.execute_text(text, context=CTX)
+        result = executor.execute_text(text, ExecutionOptions(context=CTX))
         assert sorted(result.oids()) == brute_force(two_attribute_db, text)
 
     def test_intersection_shrinks_candidates(self, two_attribute_db):
         executor = QueryExecutor(two_attribute_db)
-        combined = executor.execute_text(CONJUNCTION, context=CTX)
+        combined = executor.execute_text(CONJUNCTION, ExecutionOptions(context=CTX))
         single = executor.execute_text(
-            'select Item where colors has-subset ("red")', context=CTX,
-            prefer_facility="nix",
+            'select Item where colors has-subset ("red")', ExecutionOptions(context=CTX,
+            prefer_facility="nix"),
         )
         assert combined.statistics.candidates < single.statistics.candidates
         assert "intersected_with" in combined.statistics.detail
 
     def test_intersection_costs_fewer_pages(self, two_attribute_db):
         executor = QueryExecutor(two_attribute_db)
-        intersected = executor.execute_text(CONJUNCTION, context=CTX)
+        intersected = executor.execute_text(CONJUNCTION, ExecutionOptions(context=CTX))
         forced_single = executor.execute_text(
-            CONJUNCTION, context=CTX, prefer_facility="nix"
+            CONJUNCTION, ExecutionOptions(context=CTX, prefer_facility="nix")
         )
         assert (
             intersected.statistics.page_accesses

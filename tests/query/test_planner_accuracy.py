@@ -12,6 +12,7 @@ import pytest
 
 from repro.objects.database import Database
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import ParsedQuery
 from repro.query.planner import CostContext
 from repro.query.predicates import has_subset, in_subset
@@ -57,7 +58,7 @@ def _run_batch(testbed, facility, mode, dq, count=6):
         )
         parsed = ParsedQuery(class_name=EVAL_CLASS, predicates=(predicate,))
         result = executor.execute(
-            parsed, context=CTX, prefer_facility=facility, smart=False
+            parsed, ExecutionOptions(context=CTX, prefer_facility=facility, smart=False)
         )
         estimated = float(
             result.statistics.plan.split("~")[1].split(" pages")[0]
@@ -97,11 +98,11 @@ class TestEstimateAccuracy:
                 class_name=EVAL_CLASS,
                 predicates=(has_subset(EVAL_ATTRIBUTE, *query),),
             )
-            chosen = executor.execute(parsed, context=CTX, smart=False)
+            chosen = executor.execute(parsed, ExecutionOptions(context=CTX, smart=False))
             costs = {}
             for facility in ("ssf", "bssf", "nix"):
                 run = executor.execute(
-                    parsed, context=CTX, prefer_facility=facility, smart=False
+                    parsed, ExecutionOptions(context=CTX, prefer_facility=facility, smart=False)
                 )
                 costs[facility] = run.statistics.page_accesses
             if chosen.statistics.page_accesses > max(costs.values()):

@@ -5,6 +5,7 @@ import pytest
 from repro.core.signature import SetPredicateKind
 from repro.errors import ParseError, PlanningError, QueryError
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.parser import parse_query
 from repro.query.planner import CostContext, plan_query
 from repro.query.predicates import ScalarPredicate, SubqueryPredicate
@@ -129,7 +130,7 @@ class TestPlannerInteraction:
 class TestExecution:
     def test_two_step_scheme_matches_manual(self, campus, executor):
         db = campus.database
-        result = executor.execute_text(TWO_STEP, context=CTX)
+        result = executor.execute_text(TWO_STEP, ExecutionOptions(context=CTX))
         oid_list = frozenset(campus.course_oids("DB"))
         expected = sorted(
             oid for oid, values in db.scan("Student")
@@ -144,7 +145,7 @@ class TestExecution:
             'select Student where courses in-subset '
             '(select Course where category = "DB")'
         )
-        result = executor.execute_text(text, context=CTX)
+        result = executor.execute_text(text, ExecutionOptions(context=CTX))
         oid_list = frozenset(campus.course_oids("DB"))
         expected = sorted(
             oid for oid, values in db.scan("Student")
@@ -159,7 +160,7 @@ class TestExecution:
 
     def test_subquery_respects_facility_preference(self, campus, executor):
         result = executor.execute_text(
-            TWO_STEP, context=CTX, prefer_facility="bssf"
+            TWO_STEP, ExecutionOptions(context=CTX, prefer_facility="bssf")
         )
         assert "bssf" in result.statistics.plan
 
@@ -168,6 +169,6 @@ class TestExecution:
             'select Student where courses has-subset '
             '(select Course where category = "Nonexistent")'
         )
-        result = executor.execute_text(text, context=CTX)
+        result = executor.execute_text(text, ExecutionOptions(context=CTX))
         # every student's course set contains the empty set
         assert len(result) == 120

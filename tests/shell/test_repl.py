@@ -61,6 +61,23 @@ class TestShell:
     def test_unknown_meta(self):
         assert Shell().run_line("\\frobnicate").startswith("error:")
 
+    def test_trace_toggle_appends_span_tree(self):
+        shell = Shell()
+        shell.run_script(SETUP)
+        query = 'select Student where hobbies contains "Baseball"'
+        assert "query.execute" not in shell.run_line(query)
+        assert shell.run_line("\\trace on") == "tracing on"
+        traced = shell.run_line(query)
+        assert "1 row(s)" in traced
+        assert "query.execute" in traced and "pages=" in traced
+        assert shell.run_line("\\trace off") == "tracing off"
+        assert "query.execute" not in shell.run_line(query)
+
+    def test_trace_usage_errors(self):
+        shell = Shell()
+        assert shell.run_line("\\trace").startswith("usage")
+        assert shell.run_line("\\trace maybe").startswith("usage")
+
     def test_save_and_load(self, tmp_path):
         path = str(tmp_path / "s.sigdb")
         shell = Shell()

@@ -13,6 +13,7 @@ import pytest
 from repro.objects.database import Database
 from repro.objects.schema import ClassSchema
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.planner import CostContext
 
 HOBBIES = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]
@@ -45,13 +46,13 @@ class TestCachedMode:
         expected = {
             values["name"]
             for _, values in QueryExecutor(uncached)
-            .execute_text(QUERY, context=CTX).rows
+            .execute_text(QUERY, ExecutionOptions(context=CTX)).rows
         }
         for prefer in ("ssf", "bssf", "nix"):
             got = {
                 values["name"]
                 for _, values in QueryExecutor(cached)
-                .execute_text(QUERY, context=CTX, prefer_facility=prefer).rows
+                .execute_text(QUERY, ExecutionOptions(context=CTX, prefer_facility=prefer)).rows
             }
             assert got == expected
 
@@ -61,10 +62,10 @@ class TestCachedMode:
         oid = db.insert("Student", {"name": "fresh", "hobbies": {"a", "b"}})
         # churn the pool so the new pages are evicted
         for _ in range(3):
-            executor.execute_text(QUERY, context=CTX, prefer_facility="ssf")
+            executor.execute_text(QUERY, ExecutionOptions(context=CTX, prefer_facility="ssf"))
         db.storage.flush()
         assert db.get(oid)["name"] == "fresh"
-        result = executor.execute_text(QUERY, context=CTX, prefer_facility="bssf")
+        result = executor.execute_text(QUERY, ExecutionOptions(context=CTX, prefer_facility="bssf"))
         assert oid in result.oids()
 
     def test_logical_counts_capacity_invariant(self, capacity):
@@ -76,7 +77,7 @@ class TestCachedMode:
         for name, db in (("uncached", baseline), ("cached", cached)):
             before = db.io_snapshot()
             QueryExecutor(db).execute_text(
-                QUERY, context=CTX, prefer_facility="bssf", smart=False
+                QUERY, ExecutionOptions(context=CTX, prefer_facility="bssf", smart=False)
             )
             runs[name] = (db.io_snapshot() - before).logical_total
         assert runs["uncached"] == runs["cached"]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -37,6 +39,27 @@ class TestRun:
         assert main(["run", "figure99", "table5"]) == 1
         captured = capsys.readouterr()
         assert "685" in captured.out
+
+
+class TestTrace:
+    QUERY = 'select Student where hobbies contains "Chess"'
+
+    def test_prints_span_tree(self, capsys):
+        assert main(["trace", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "query.execute" in out
+        assert "plan  :" in out and "pages :" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["trace", "--json", self.QUERY]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["name"] == "query.execute"
+        assert payload["rows"] == payload["trace"]["attributes"]["results"]
+        assert "storage.pool.hits" in payload["metrics"]["counters"]
+
+    def test_bad_query_fails(self, capsys):
+        assert main(["trace", "select Nope where a contains 1"]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestParser:

@@ -8,6 +8,7 @@ import pytest
 
 from repro import (
     CostContext,
+    ExecutionOptions,
     QueryExecutor,
     load_database,
     save_database,
@@ -42,7 +43,7 @@ class TestUniversityStory:
         all_db = executor.execute_text(
             'select Student where courses has-subset '
             '(select Course where category = "DB")',
-            context=context,
+            ExecutionOptions(context=context),
         )
         manual = [
             oid for oid, v in db.scan("Student")
@@ -53,7 +54,7 @@ class TestUniversityStory:
         # plan introspection
         explanation = executor.explain(
             'select Student where hobbies has-subset ("Baseball")',
-            context=CostContext(150, 18, 3),
+            ExecutionOptions(context=CostContext(150, 18, 3)),
         )
         assert "ssf" in explanation
 
@@ -69,7 +70,7 @@ class TestUniversityStory:
         replay = QueryExecutor(loaded).execute_text(
             'select Student where courses has-subset '
             '(select Course where category = "DB")',
-            context=context,
+            ExecutionOptions(context=context),
         )
         assert sorted(replay.oids()) == sorted(
             oid for oid in manual if oid != victim
@@ -102,7 +103,7 @@ class TestSyntheticWorkloadStory:
         for prefer in ("ssf", "bssf", "nix"):
             for smart in (True, False):
                 result = executor.execute_text(
-                    text, context=context, prefer_facility=prefer, smart=smart
+                    text, ExecutionOptions(context=context, prefer_facility=prefer, smart=smart)
                 )
                 answers.add(tuple(sorted(result.oids())))
         assert len(answers) == 1, "every facility/strategy must agree"

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
 from repro.query.planner import CostContext
 from repro.workloads.university import (
     COURSE_CATEGORIES,
@@ -90,12 +91,12 @@ class TestHobbyQueries:
         )
         q1 = executor.execute_text(
             'select Student where hobbies has-subset ("Baseball", "Fishing")',
-            context=context,
+            ExecutionOptions(context=context),
         )
         q2 = executor.execute_text(
             'select Student where hobbies in-subset '
             '("Baseball", "Fishing", "Tennis")',
-            context=context,
+            ExecutionOptions(context=context),
         )
         brute_q1 = [
             oid for oid, v in db.scan("Student")

@@ -54,6 +54,14 @@ def render(report: dict) -> str:
             f"| {name} | {metrics['naive_ms']:.2f} | {metrics['kernels_ms']:.2f} "
             f"| {metrics['speedup']:.2f}x | {verdict} |"
         )
+    overhead = report.get("tracer_overhead")
+    if overhead:
+        lines.append("")
+        lines.append(
+            "Active-tracer overhead (BSSF subset sweep): "
+            f"off {overhead['off_ms']:.2f} ms → on {overhead['on_ms']:.2f} ms "
+            f"({overhead['overhead_ratio']:.2f}x)"
+        )
     lines.append("")
     lines.append(f"Overall: {'PASS' if report['pass'] else 'FAIL'}")
     return "\n".join(lines)

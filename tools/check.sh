@@ -13,6 +13,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== tracing overhead guard =="
+# Golden page-access counts must be bit-identical with a live tracer
+# attached (tier-1 already covers this; kept as an explicit gate so a
+# future tier-1 reshuffle cannot silently drop it).
+python -m pytest tests/obs/test_no_overhead.py -q
+
 echo "== smoke benchmark =="
 python benchmarks/bench_wallclock.py --smoke \
     --min-bssf-speedup 1.5 --min-ssf-speedup 1.2 \
