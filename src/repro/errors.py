@@ -23,6 +23,24 @@ class PageError(StorageError):
     """A page-level operation failed (bad page id, overflow, corruption)."""
 
 
+class CorruptPageError(PageError):
+    """A page image failed its CRC32 checksum on a physical read."""
+
+
+class TransientIOError(StorageError):
+    """A (simulated) transient device failure; retrying may succeed."""
+
+
+class SimulatedCrashError(ReproError):
+    """A fault-injection crash point fired.
+
+    Deliberately *not* a :class:`StorageError`: recovery paths that degrade
+    gracefully on storage failures must never swallow a simulated crash —
+    a crash means the process is gone, and the test harness catches it at
+    the top level to exercise restart/recovery behaviour.
+    """
+
+
 class BufferPoolError(StorageError):
     """The buffer pool could not satisfy a request (e.g. all frames pinned)."""
 

@@ -29,10 +29,22 @@ IndexKey = Tuple[str, str]  # (class name, set attribute name)
 class Database:
     """A small but complete object database."""
 
-    def __init__(self, page_size: int = 4096, pool_capacity: int = 0):
+    def __init__(
+        self,
+        page_size: int = 4096,
+        pool_capacity: int = 0,
+        auto_rebuild: bool = False,
+    ):
         self.storage = StorageManager(page_size=page_size, pool_capacity=pool_capacity)
         self.objects = ObjectStore(self.storage)
         self._indexes: Dict[IndexKey, Dict[str, SetAccessFacility]] = {}
+        #: Facilities whose storage failed a read or checksum, keyed
+        #: ``(class, attribute, facility name)`` -> reason. Queries answer
+        #: via object-file scan until the facility is rebuilt.
+        self._degraded: Dict[Tuple[str, str, str], str] = {}
+        #: When True, the executor rebuilds a degraded facility on its next
+        #: access instead of scanning around it.
+        self.auto_rebuild = auto_rebuild
         from repro.objects.statistics import StatisticsCache
 
         self.statistics = StatisticsCache()
@@ -223,6 +235,66 @@ class Database:
         return self.objects.count(class_name)
 
     # ------------------------------------------------------------------
+    # Degraded facilities and recovery
+    # ------------------------------------------------------------------
+    def mark_degraded(
+        self, class_name: str, attribute: str, facility_name: str, reason: str
+    ) -> None:
+        """Record that a facility's storage failed; queries must not use it.
+
+        Idempotent — the first reason is kept so diagnostics point at the
+        original failure, not a follow-on symptom.
+        """
+        key = (class_name, attribute, facility_name)
+        self._degraded.setdefault(key, reason)
+        self._sync_degraded_gauge()
+
+    def clear_degraded(
+        self, class_name: str, attribute: str, facility_name: str
+    ) -> None:
+        self._degraded.pop((class_name, attribute, facility_name), None)
+        self._sync_degraded_gauge()
+
+    def is_degraded(
+        self, class_name: str, attribute: str, facility_name: str
+    ) -> bool:
+        return (class_name, attribute, facility_name) in self._degraded
+
+    def degraded_reason(
+        self, class_name: str, attribute: str, facility_name: str
+    ) -> Optional[str]:
+        return self._degraded.get((class_name, attribute, facility_name))
+
+    def degraded_facilities(self) -> Dict[str, str]:
+        """``{"Class.attribute/facility": reason}`` for every degraded path."""
+        return {
+            f"{cls}.{attr}/{name}": reason
+            for (cls, attr, name), reason in sorted(self._degraded.items())
+        }
+
+    def _sync_degraded_gauge(self) -> None:
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.gauge("recovery.degraded_facilities").set(len(self._degraded))
+
+    def rebuild_facility(
+        self,
+        class_name: str,
+        attribute: str,
+        facility_name: Optional[str] = None,
+    ) -> "SetAccessFacility":
+        """Reconstruct one facility from the object file.
+
+        The repair path for a degraded (corrupted / lost) facility: drops
+        its files, bulk-loads a fresh structure from live objects, clears
+        the degraded mark, and returns the new facility. The result is
+        byte-for-byte what a fresh build over the same objects produces.
+        """
+        from repro.recovery.rebuild import rebuild_facility
+
+        return rebuild_facility(self, class_name, attribute, facility_name)
+
+    # ------------------------------------------------------------------
     # Instrumentation
     # ------------------------------------------------------------------
     def io_snapshot(self) -> IOSnapshot:
@@ -244,29 +316,13 @@ class Database:
         inflate both storage and scan costs. Rebuilding drops the facility's
         files and bulk-loads a fresh one from the object store. Returns the
         new facility (the old handle is invalid afterwards).
+
+        A vacuum *is* a rebuild — same implementation as
+        :meth:`rebuild_facility` (tombstones cannot survive either).
         """
-        old = self.index(class_name, attribute, facility_name)
-        key = (class_name, attribute)
-        del self._indexes[key][facility_name]
-        for file_name in list(self.storage.store.file_names()):
-            if file_name.startswith(f"{facility_name}:{class_name}.{attribute}:"):
-                self.storage.drop_file(file_name)
-        if isinstance(old, SequentialSignatureFile):
-            return self.create_ssf_index(
-                class_name, attribute,
-                old.signature_bits, old.scheme.bits_per_element,
-                seed=old.scheme.seed,
-            )
-        if isinstance(old, BitSlicedSignatureFile):
-            return self.create_bssf_index(
-                class_name, attribute,
-                old.signature_bits, old.scheme.bits_per_element,
-                seed=old.scheme.seed,
-                worst_case_insert=old.worst_case_insert,
-            )
-        return self.create_nested_index(
-            class_name, attribute, overflow_chains=old.overflow_chains
-        )
+        from repro.recovery.rebuild import rebuild_facility
+
+        return rebuild_facility(self, class_name, attribute, facility_name)
 
     def analyze(self, class_name: str, attribute: str, refresh: bool = True):
         """Collect (or refresh) workload statistics for one set attribute.

@@ -16,7 +16,15 @@ traffic" view the per-query :class:`QueryStatistics` cannot give:
   ``query.results`` — drop-resolution tallies, plus ``query.pages.<kind>``
   logical pages per file kind and the ``query.elapsed_seconds`` /
   ``query.pages`` / ``query.false_drop_ratio`` histograms (fed by
-  :class:`~repro.query.executor.QueryExecutor`).
+  :class:`~repro.query.executor.QueryExecutor`);
+* ``storage.faults.injected`` — faults fired by an attached
+  :class:`~repro.storage.faults.FaultInjector`; ``storage.retries`` —
+  transient-fault retries by the buffer pool's
+  :func:`~repro.storage.faults.with_retries`;
+* ``query.degraded_fallbacks`` — queries answered by sequential scan after
+  a facility storage failure; ``recovery.rebuilds`` — facility
+  reconstructions from the object file; ``recovery.degraded_facilities``
+  (gauge) — facilities currently marked degraded.
 
 Instruments are plain attribute-increment objects: feeding them is a few
 nanoseconds and never touches the I/O accounting, so golden page-access

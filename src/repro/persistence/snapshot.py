@@ -25,7 +25,7 @@ from repro.access.bssf import BitSlicedSignatureFile
 from repro.access.nix import NestedIndex
 from repro.access.ssf import SequentialSignatureFile
 from repro.core.signature import SignatureScheme
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError
 from repro.objects.database import Database
 from repro.objects.object_file import ObjectFile, RecordAddress
 from repro.objects.oid import OID
@@ -98,7 +98,14 @@ def build_catalog(db: Database) -> Dict[str, Any]:
     return {
         "page_size": store.page_size,
         "files": [
-            {"name": name, "pages": store.num_pages(name)}
+            {
+                "name": name,
+                "pages": store.num_pages(name),
+                # Recorded CRC32s travel with the snapshot, so corruption of
+                # the snapshot file itself (or of a page before saving) is
+                # detectable at load time and by the read path afterwards.
+                "checksums": store.page_checksums(name),
+            }
             for name in store.file_names()
         ],
         "classes": classes,
@@ -116,7 +123,13 @@ def build_catalog(db: Database) -> Dict[str, Any]:
 
 
 def save_database(db: Database, path: PathLike) -> None:
-    """Flush and snapshot ``db`` into a single file at ``path``."""
+    """Flush and snapshot ``db`` into a single file at ``path``.
+
+    The write is atomic: the snapshot is assembled in ``<path>.tmp``,
+    flushed and fsynced, then renamed over ``path`` with ``os.replace``.
+    A crash (or any exception) mid-save leaves a previous snapshot at
+    ``path`` untouched and cleans up the partial temporary file.
+    """
     db.storage.flush()
     catalog = build_catalog(db)
     store = db.storage.store
@@ -130,8 +143,20 @@ def save_database(db: Database, path: PathLike) -> None:
         )
         for entry in catalog["files"]
     ]
-    with open(path, "wb") as stream:
-        write_snapshot(stream, catalog, payloads)
+    path_str = os.fspath(path)
+    tmp_path = f"{path_str}.tmp"
+    try:
+        with open(tmp_path, "wb") as stream:
+            write_snapshot(stream, catalog, payloads)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path_str)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -182,19 +207,63 @@ def _rehydrate_index(db: Database, descriptor: Dict[str, Any]) -> None:
     db._indexes.setdefault((class_name, attribute), {})[facility.name] = facility
 
 
-def load_database(path: PathLike, pool_capacity: int = 0) -> Database:
-    """Load a snapshot into a fresh :class:`Database`."""
-    with open(path, "rb") as stream:
-        header = read_header(stream)
-        catalog = header.catalog
-        page_images = read_pages(stream, catalog, catalog["page_size"])
+_REQUIRED_CATALOG_KEYS = (
+    "page_size", "files", "classes", "next_class_id", "allocator",
+    "directory", "indexes",
+)
+
+
+def _validate_catalog(catalog: Dict[str, Any]) -> None:
+    missing = [key for key in _REQUIRED_CATALOG_KEYS if key not in catalog]
+    if missing:
+        raise StorageError(f"catalog is missing key(s) {missing}")
+    for entry in catalog["files"]:
+        if "name" not in entry or "pages" not in entry:
+            raise StorageError(f"malformed file entry in catalog: {entry!r}")
+
+
+def load_database(
+    path: PathLike,
+    pool_capacity: int = 0,
+    verify_checksums: bool = True,
+) -> Database:
+    """Load a snapshot into a fresh :class:`Database`.
+
+    Malformed snapshots — bad magic, unsupported version, truncated
+    catalog or page section — raise :class:`StorageError` naming ``path``.
+    With ``verify_checksums`` (the default) every loaded page is checked
+    against the CRC32s recorded in the catalog and a mismatch raises
+    :class:`~repro.errors.CorruptPageError`; ``fsck`` loads with
+    ``verify_checksums=False`` so it can report the damage instead.
+    """
+    path_str = os.fspath(path)
+    try:
+        with open(path_str, "rb") as stream:
+            header = read_header(stream)
+            catalog = header.catalog
+            _validate_catalog(catalog)
+            page_images = read_pages(stream, catalog, catalog["page_size"])
+    except OSError as exc:
+        raise StorageError(f"cannot read snapshot {path_str!r}: {exc}") from exc
+    except StorageError as exc:
+        raise StorageError(f"snapshot {path_str!r}: {exc}") from exc
 
     db = Database(page_size=catalog["page_size"], pool_capacity=pool_capacity)
     store = db.storage.store
     for entry in catalog["files"]:
         store.create_file(entry["name"])
-        pages = store._pages(entry["name"])
-        pages.extend(page_images[entry["name"]])
+        store.adopt_pages(
+            entry["name"],
+            page_images[entry["name"]],
+            checksums=entry.get("checksums"),
+        )
+        if verify_checksums:
+            bad = store.corrupt_pages(entry["name"])
+            if bad:
+                raise CorruptPageError(
+                    f"snapshot {path_str!r}: file {entry['name']!r} page(s) "
+                    f"{bad} do not match their recorded checksums"
+                )
 
     objects = db.objects
     for class_entry in sorted(catalog["classes"], key=lambda c: c["class_id"]):

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.access.base import SearchResult
-from repro.errors import PlanningError
+from repro.errors import AccessFacilityError, PlanningError, StorageError
 from repro.objects.database import Database
 from repro.objects.oid import OID
 from repro.obs import tracer as trace
@@ -254,8 +254,11 @@ class QueryExecutor:
         else:
             rows, stats_detail, candidates = self._run_index(plan, query)
         elapsed = time.perf_counter() - started
+        described = plan.describe()
+        if "degraded" in stats_detail:
+            described += f" -> degraded-fallback scan({plan.class_name})"
         stats = QueryStatistics(
-            plan=plan.describe(),
+            plan=described,
             candidates=candidates,
             false_drops=candidates - len(rows),
             results=len(rows),
@@ -295,10 +298,11 @@ class QueryExecutor:
         return rows, {"scanned": scanned}, scanned
 
     def _run_index(self, plan: AccessPlan, query: ParsedQuery):
-        facility = self.database.index(
-            plan.class_name, plan.driving_predicate.attribute, plan.facility_name
-        )
-        result = self._search(facility, plan)
+        result, reason = self._driving_search(plan)
+        if result is None:
+            # The driving facility is unusable; answer via sequential scan
+            # (exact by construction) instead of surfacing the failure.
+            return self._run_degraded_scan(plan, query, reason)
         candidates = result.candidates
         detail = dict(result.detail)
         if plan.intersect_with is not None:
@@ -311,26 +315,46 @@ class QueryExecutor:
                 facility=second.facility_name,
                 attribute=second.predicate.attribute,
             ) as sp:
-                if second.search_mode == "superset":
-                    second_result = second_facility.search_superset(
-                        second.predicate.constant
+                try:
+                    if second.search_mode == "superset":
+                        second_result = second_facility.search_superset(
+                            second.predicate.constant
+                        )
+                    elif second.search_mode == "subset":
+                        second_result = second_facility.search_subset(
+                            second.predicate.constant
+                        )
+                    else:
+                        second_result = second_facility.search_overlap(
+                            second.predicate.constant
+                        )
+                except StorageError as exc:
+                    # Skipping the intersection is always safe: it only
+                    # narrows candidates, and drop resolution re-checks
+                    # every predicate exactly.
+                    self.database.mark_degraded(
+                        plan.class_name,
+                        second.predicate.attribute,
+                        second.facility_name,
+                        str(exc),
                     )
-                elif second.search_mode == "subset":
-                    second_result = second_facility.search_subset(
-                        second.predicate.constant
-                    )
+                    second_result = None
+                    sp.set("skipped", str(exc))
                 else:
-                    second_result = second_facility.search_overlap(
-                        second.predicate.constant
-                    )
-                survivors = set(candidates) & set(second_result.candidates)
-                sp.set("surviving", len(survivors))
-            detail["intersected_with"] = {
-                "facility": second.facility_name,
-                "candidates": len(second_result.candidates),
-                "surviving": len(survivors),
-            }
-            candidates = sorted(survivors)
+                    survivors = set(candidates) & set(second_result.candidates)
+                    sp.set("surviving", len(survivors))
+            if second_result is None:
+                detail["intersection_skipped"] = {
+                    "facility": second.facility_name,
+                    "reason": "facility degraded",
+                }
+            else:
+                detail["intersected_with"] = {
+                    "facility": second.facility_name,
+                    "candidates": len(second_result.candidates),
+                    "surviving": len(survivors),
+                }
+                candidates = sorted(survivors)
         rows = []
         with trace.span("query.drop_resolution", candidates=len(candidates)) as sp:
             for oid in candidates:
@@ -340,6 +364,74 @@ class QueryExecutor:
             sp.set("false_drops", len(candidates) - len(rows))
         detail["exact_search"] = result.exact and plan.intersect_with is None
         return rows, detail, len(candidates)
+
+    # ------------------------------------------------------------------
+    # Degraded-mode execution
+    # ------------------------------------------------------------------
+    def _driving_search(self, plan: AccessPlan):
+        """Search the driving facility, degrading gracefully on failure.
+
+        Returns ``(SearchResult, None)`` on success or ``(None, reason)``
+        when the facility cannot answer — already degraded, or its storage
+        failed mid-search — and the query must fall back to a scan. With
+        ``auto_rebuild`` the facility is reconstructed from the object file
+        and searched once more before giving up.
+        """
+        database = self.database
+        attribute = plan.driving_predicate.attribute
+        key = (plan.class_name, attribute, plan.facility_name)
+        if database.is_degraded(*key):
+            if not database.auto_rebuild:
+                return None, database.degraded_reason(*key) or "facility degraded"
+            if self._try_rebuild(*key) is None:
+                return None, database.degraded_reason(*key) or "facility degraded"
+        facility = database.index(plan.class_name, attribute, plan.facility_name)
+        try:
+            return self._search(facility, plan), None
+        except StorageError as exc:
+            database.mark_degraded(*key, str(exc))
+            if database.auto_rebuild:
+                rebuilt = self._try_rebuild(*key)
+                if rebuilt is not None:
+                    try:
+                        return self._search(rebuilt, plan), None
+                    except StorageError as again:
+                        database.mark_degraded(*key, str(again))
+                        return None, str(again)
+            return None, str(exc)
+
+    def _try_rebuild(self, class_name: str, attribute: str, facility_name: str):
+        """Rebuild one facility, returning it, or ``None`` if that failed."""
+        with trace.span(
+            "recovery.rebuild", facility=facility_name, attribute=attribute
+        ):
+            try:
+                return self.database.rebuild_facility(
+                    class_name, attribute, facility_name
+                )
+            except (StorageError, AccessFacilityError):
+                return None
+
+    def _run_degraded_scan(self, plan: AccessPlan, query: ParsedQuery, reason):
+        """Answer the query by sequential scan after a facility failure.
+
+        The scan applies every predicate exactly, so results are identical
+        to a healthy index path — only the page-access profile differs
+        (object-file pages instead of facility pages).
+        """
+        REGISTRY.counter("query.degraded_fallbacks").inc()
+        with trace.span(
+            "degraded-fallback",
+            class_name=plan.class_name,
+            facility=plan.facility_name,
+            reason=str(reason),
+        ):
+            rows, detail, candidates = self._run_scan(plan, query)
+        detail["degraded"] = {
+            "facility": plan.facility_name,
+            "reason": str(reason),
+        }
+        return rows, detail, candidates
 
     def _search(self, facility, plan: AccessPlan) -> SearchResult:
         constant = plan.driving_predicate.constant

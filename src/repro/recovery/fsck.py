@@ -1,0 +1,97 @@
+"""Database consistency check (``fsck``).
+
+Sweeps every stored page against its CRC32 sidecar checksum, structurally
+verifies every access facility, and lists facilities currently marked
+degraded. ``deep=True`` additionally cross-validates facilities against
+the object store via :meth:`Database.check_consistency`.
+
+The sweep is offline: it reads stored images directly (no buffer pool, no
+I/O accounting), so running fsck never perturbs metered page counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.objects.database import Database
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One problem found by :func:`run_fsck`."""
+
+    kind: str  # "checksum" | "structure" | "degraded" | "consistency"
+    subject: str  # file name or class.attribute/facility path
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one fsck pass."""
+
+    issues: List[FsckIssue] = field(default_factory=list)
+    files_checked: int = 0
+    pages_checked: int = 0
+    facilities_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def render(self) -> str:
+        lines = [
+            f"fsck: {self.files_checked} files / {self.pages_checked} pages / "
+            f"{self.facilities_checked} facilities checked"
+        ]
+        if self.ok:
+            lines.append("fsck: clean")
+        else:
+            lines.extend(issue.render() for issue in self.issues)
+            lines.append(f"fsck: {len(self.issues)} issue(s) found")
+        return "\n".join(lines)
+
+
+def run_fsck(database: "Database", deep: bool = False) -> FsckReport:
+    """Check the whole database; never raises for problems it finds."""
+    report = FsckReport()
+    # Dirty frames in the pool may supersede stored images; flush first so
+    # the sweep sees exactly what a restart would see.
+    database.storage.flush()
+    store = database.storage.store
+    for file_name in store.file_names():
+        report.files_checked += 1
+        report.pages_checked += store.num_pages(file_name)
+        bad = store.corrupt_pages(file_name)
+        if bad:
+            report.issues.append(
+                FsckIssue(
+                    "checksum",
+                    file_name,
+                    f"page(s) {bad} fail CRC32 verification",
+                )
+            )
+    for (class_name, attribute), per_path in sorted(database._indexes.items()):
+        for name, facility in sorted(per_path.items()):
+            report.facilities_checked += 1
+            subject = f"{class_name}.{attribute}/{name}"
+            try:
+                facility.verify()
+            except ReproError as exc:
+                report.issues.append(FsckIssue("structure", subject, str(exc)))
+    for path, reason in sorted(database.degraded_facilities().items()):
+        report.issues.append(
+            FsckIssue("degraded", path, f"marked degraded: {reason}")
+        )
+    if deep:
+        try:
+            database.check_consistency()
+        except ReproError as exc:
+            report.issues.append(FsckIssue("consistency", "database", str(exc)))
+    return report

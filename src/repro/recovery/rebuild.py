@@ -1,0 +1,109 @@
+"""Facility reconstruction from the object file.
+
+SSF, BSSF and NIX are *derived* structures: every bit of their content is a
+function of the live objects, so losing or corrupting one is never fatal —
+it can be dropped and bulk-loaded again from the object store. This module
+is the single implementation of that rebuild, shared by
+:meth:`Database.rebuild_facility`, :meth:`Database.vacuum_index` (a rebuild
+is exactly a vacuum: tombstones do not survive it), auto-rebuild-on-access
+in the executor, and ``fsck --repair``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.ssf import SequentialSignatureFile
+from repro.errors import AccessFacilityError
+from repro.obs.metrics import REGISTRY
+
+if TYPE_CHECKING:
+    from repro.access.base import SetAccessFacility
+    from repro.objects.database import Database
+
+#: File-name prefixes of the three facility kinds (`{kind}:{Class}.{attr}:...`).
+FACILITY_KINDS = ("ssf", "bssf", "nix")
+
+
+def facility_of_file(file_name: str) -> Optional[Tuple[str, str, str]]:
+    """``(class_name, attribute, facility_name)`` owning a storage file.
+
+    Facility files are named ``{kind}:{Class}.{attr}:{part}``; anything
+    else (object files, OID catalogs) returns ``None``.
+    """
+    parts = file_name.split(":", 2)
+    if len(parts) < 3 or parts[0] not in FACILITY_KINDS:
+        return None
+    path = parts[1]
+    if "." not in path:
+        return None
+    class_name, attribute = path.split(".", 1)
+    return class_name, attribute, parts[0]
+
+
+def rebuild_facility(
+    database: "Database",
+    class_name: str,
+    attribute: str,
+    facility_name: Optional[str] = None,
+) -> "SetAccessFacility":
+    """Drop one facility's files and bulk-load a fresh one from the objects.
+
+    Works whether or not the old files are readable — configuration
+    (signature scheme, option flags) lives on the in-memory handle, and the
+    new content comes entirely from the object file. Clears the facility's
+    degraded mark and increments the ``recovery.rebuilds`` metric. Returns
+    the new facility; the old handle is invalid afterwards.
+    """
+    old = database.index(class_name, attribute, facility_name)
+    name = old.name
+    key = (class_name, attribute)
+    del database._indexes[key][name]
+    prefix = f"{name}:{class_name}.{attribute}:"
+    for file_name in list(database.storage.store.file_names()):
+        if file_name.startswith(prefix):
+            database.storage.drop_file(file_name)
+    try:
+        if isinstance(old, SequentialSignatureFile):
+            rebuilt = database.create_ssf_index(
+                class_name, attribute,
+                old.signature_bits, old.scheme.bits_per_element,
+                seed=old.scheme.seed,
+            )
+        elif isinstance(old, BitSlicedSignatureFile):
+            rebuilt = database.create_bssf_index(
+                class_name, attribute,
+                old.signature_bits, old.scheme.bits_per_element,
+                seed=old.scheme.seed,
+                worst_case_insert=old.worst_case_insert,
+            )
+        else:
+            rebuilt = database.create_nested_index(
+                class_name, attribute, overflow_chains=old.overflow_chains
+            )
+    except Exception:
+        # The facility is gone and could not be recreated; leave the
+        # degraded mark in place so queries keep falling back to scans.
+        database.mark_degraded(class_name, attribute, name, "rebuild failed")
+        raise
+    database.clear_degraded(class_name, attribute, name)
+    REGISTRY.counter("recovery.rebuilds").inc()
+    return rebuilt
+
+
+def rebuild_degraded(database: "Database") -> List[str]:
+    """Rebuild every facility currently marked degraded.
+
+    Returns the rebuilt paths as ``class.attribute/facility`` strings.
+    Facilities whose registration disappeared (e.g. dropped concurrently)
+    are skipped rather than fatal.
+    """
+    rebuilt = []
+    for (class_name, attribute, name) in sorted(database._degraded):
+        try:
+            rebuild_facility(database, class_name, attribute, name)
+        except AccessFacilityError:
+            continue
+        rebuilt.append(f"{class_name}.{attribute}/{name}")
+    return rebuilt

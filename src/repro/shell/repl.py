@@ -10,6 +10,10 @@ meta-commands::
     \\trace on|off         append a span tree with per-span page counts
                           to every query result (see repro.obs)
     \\check                run the consistency checker
+    \\health               run fsck: checksum sweep, facility verification,
+                          degraded-facility listing
+    \\rebuild Class.attr [facility]
+                          reconstruct a facility from the object file
     \\help                 this text
     \\quit                 leave
 
@@ -114,6 +118,22 @@ class Shell:
                 return "consistent (no indexes)"
             body = ", ".join(f"{path}×{n}" for path, n in sorted(checked.items()))
             return f"consistent ({body})"
+        if command == "health":
+            from repro.recovery import run_fsck
+
+            return run_fsck(self.database, deep="deep" in args).render()
+        if command == "rebuild":
+            if not 1 <= len(args) <= 2 or "." not in args[0]:
+                return "usage: \\rebuild Class.attribute [facility]"
+            class_name, attribute = args[0].split(".", 1)
+            facility_name = args[1] if len(args) == 2 else None
+            try:
+                facility = self.database.rebuild_facility(
+                    class_name, attribute, facility_name
+                )
+            except ReproError as exc:
+                return f"error: {exc}"
+            return f"rebuilt {facility.name} on {class_name}.{attribute}"
         if command == "save":
             if len(args) != 1:
                 return "usage: \\save <path>"

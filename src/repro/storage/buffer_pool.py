@@ -16,11 +16,12 @@ paper's no-buffering cost model exactly.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import BufferPoolError
 from repro.obs.metrics import REGISTRY
 from repro.storage.disk import DiskStore
+from repro.storage.faults import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
 from repro.storage.page import Page
 from repro.storage.stats import IOStatistics
 
@@ -28,14 +29,29 @@ _FrameKey = Tuple[str, int]
 
 
 class BufferPool:
-    """Write-back LRU cache of page frames."""
+    """Write-back LRU cache of page frames.
 
-    def __init__(self, store: DiskStore, stats: IOStatistics, capacity: int = 64):
+    The pool is the single place where page images cross to or from the
+    device, so it is also where transient device faults are retried: every
+    ``store.read_page`` / ``store.write_page`` is wrapped in
+    :func:`~repro.storage.faults.with_retries` under ``retry_policy``.
+    Retries are a device-level concern and charge no logical or physical
+    I/O beyond the one the caller asked for.
+    """
+
+    def __init__(
+        self,
+        store: DiskStore,
+        stats: IOStatistics,
+        capacity: int = 64,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         if capacity < 0:
             raise BufferPoolError(f"capacity must be >= 0, got {capacity}")
         self.store = store
         self.stats = stats
         self.capacity = capacity
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._frames: "OrderedDict[_FrameKey, Page]" = OrderedDict()
         self._dirty: set = set()
         self.hits = 0
@@ -43,6 +59,20 @@ class BufferPool:
         # Process-wide instruments (shared across pools, survive clear()).
         self._metric_hits = REGISTRY.counter("storage.pool.hits")
         self._metric_misses = REGISTRY.counter("storage.pool.misses")
+
+    # ------------------------------------------------------------------
+    # Device access (single choke point, transient faults retried here)
+    # ------------------------------------------------------------------
+    def _read_page(self, file_name: str, page_no: int) -> Page:
+        return with_retries(
+            lambda: self.store.read_page(file_name, page_no), self.retry_policy
+        )
+
+    def _write_page(self, file_name: str, page_no: int, page: Page) -> None:
+        with_retries(
+            lambda: self.store.write_page(file_name, page_no, page),
+            self.retry_policy,
+        )
 
     # ------------------------------------------------------------------
     # Core operations
@@ -58,7 +88,7 @@ class BufferPool:
             return frame
         self.misses += 1
         self._metric_misses.inc()
-        page = self.store.read_page(file_name, page_no)
+        page = self._read_page(file_name, page_no)
         self.stats.record_physical_read(file_name)
         self._install(key, page)
         return page
@@ -81,12 +111,12 @@ class BufferPool:
             return
         if not 0 <= page_no < self.store.num_pages(file_name):
             # Raise the canonical out-of-range error, exactly as fetch would.
-            self.store.read_page(file_name, page_no)
+            self._read_page(file_name, page_no)
         self.misses += 1
         self._metric_misses.inc()
         self.stats.record_physical_read(file_name)
         if self.capacity > 0:
-            self._install(key, self.store.read_page(file_name, page_no))
+            self._install(key, self._read_page(file_name, page_no))
 
     def peek(self, file_name: str, page_no: int) -> Page:
         """Current page image with zero accounting and zero state change.
@@ -100,7 +130,7 @@ class BufferPool:
         frame = self._frames.get((file_name, page_no))
         if frame is not None:
             return frame
-        return self.store.read_page(file_name, page_no)
+        return self._read_page(file_name, page_no)
 
     def touch_file(self, file_name: str, pages: int) -> None:
         """Replay fetch accounting for pages ``0..pages-1`` of one file.
@@ -168,7 +198,7 @@ class BufferPool:
 
     def _writeback(self, key: _FrameKey, page: Page) -> None:
         file_name, page_no = key
-        self.store.write_page(file_name, page_no, page)
+        self._write_page(file_name, page_no, page)
         self.stats.record_physical_write(file_name)
 
     # ------------------------------------------------------------------

@@ -9,20 +9,33 @@ transfer to or from the store is a *physical* I/O and is recorded in
 
 from __future__ import annotations
 
-from typing import Dict, List
+import zlib
+from typing import Dict, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError
 from repro.obs.metrics import REGISTRY
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 
 
 class DiskStore:
-    """In-memory page store for any number of named files."""
+    """In-memory page store for any number of named files.
+
+    Every page carries a CRC32 checksum in a sidecar map (never inside the
+    page payload, so page layouts and the golden page-access counts stay
+    bit-identical). The checksum is maintained on every write/allocation
+    and verified on every physical read; a mismatch — which only fault
+    injection or a genuine bug can produce — raises
+    :class:`~repro.errors.CorruptPageError`. Verification is pure
+    arithmetic on the already-transferred image and charges no I/O.
+    """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
         if page_size <= 0:
             raise StorageError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
+        #: set False to skip CRC verification on reads (escape hatch for
+        #: benches that want the absolute minimum per-read overhead)
+        self.verify_checksums = True
         # Raw device-operation counters (includes accounting-free peeks,
         # which also read through the store); the paper-model physical
         # counts live in IOStatistics, recorded by the buffer pool.
@@ -30,6 +43,9 @@ class DiskStore:
         self._metric_writes = REGISTRY.counter("storage.disk.page_writes")
         self._metric_allocs = REGISTRY.counter("storage.disk.pages_allocated")
         self._files: Dict[str, List[bytes]] = {}
+        # Sidecar CRC32 per (file, page), parallel to _files.
+        self._checksums: Dict[str, List[int]] = {}
+        self._zero_page_crc = zlib.crc32(bytes(page_size))
         # Per-file modification counters for version-keyed decode caches.
         # Monotonic across the store's lifetime — surviving drop/recreate of
         # a name — so a (name, version) key can never alias stale content.
@@ -44,12 +60,21 @@ class DiskStore:
         if name in self._files:
             raise StorageError(f"file already exists: {name!r}")
         self._files[name] = []
+        self._checksums[name] = []
         self.bump_version(name)
 
     def drop_file(self, name: str) -> None:
         if name not in self._files:
             raise StorageError(f"no such file: {name!r}")
         del self._files[name]
+        del self._checksums[name]
+        # A dropped file leaves its version group: a later file recreated
+        # under the same name must not silently rejoin (and bump) a group
+        # registered for the old incarnation. The group itself is bumped
+        # once so caches keyed on the old membership cannot stay valid.
+        group = self._file_groups.pop(name, None)
+        if group is not None:
+            self._group_versions[group] = self._group_versions.get(group, 0) + 1
 
     def exists(self, name: str) -> bool:
         return name in self._files
@@ -105,6 +130,7 @@ class DiskStore:
         """Extend the file by one zeroed page; return its page number."""
         pages = self._pages(name)
         pages.append(bytes(self.page_size))
+        self._checksums[name].append(self._zero_page_crc)
         self.bump_version(name)
         self._metric_allocs.inc()
         return len(pages) - 1
@@ -116,7 +142,13 @@ class DiskStore:
                 f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
             )
         self._metric_reads.inc()
-        return Page(self.page_size, pages[page_no])
+        image = pages[page_no]
+        if self.verify_checksums and zlib.crc32(image) != self._checksums[name][page_no]:
+            raise CorruptPageError(
+                f"checksum mismatch on {name!r} page {page_no}: stored image "
+                f"does not match its recorded CRC32"
+            )
+        return Page(self.page_size, image)
 
     def write_page(self, name: str, page_no: int, page: Page) -> None:
         pages = self._pages(name)
@@ -128,10 +160,119 @@ class DiskStore:
             raise StorageError(
                 f"page size mismatch: store {self.page_size}, page {page.page_size}"
             )
-        pages[page_no] = page.image()
+        image = page.image()
+        pages[page_no] = image
+        self._checksums[name][page_no] = zlib.crc32(image)
         self.bump_version(name)
         self._metric_writes.inc()
 
     def total_pages(self) -> int:
         """Pages across all files — the simulated database footprint."""
         return sum(len(pages) for pages in self._files.values())
+
+    # ------------------------------------------------------------------
+    # Checksum facilities (fsck / snapshot / fault injection)
+    # ------------------------------------------------------------------
+    def page_checksums(self, name: str) -> List[int]:
+        """Copy of the recorded CRC32 sidecar for one file."""
+        self._pages(name)  # canonical no-such-file error
+        return list(self._checksums[name])
+
+    def page_image(self, name: str, page_no: int) -> bytes:
+        """Raw stored bytes of one page — no verification, no accounting.
+
+        Offline access for fsck and fault injection; regular readers go
+        through :meth:`read_page`.
+        """
+        pages = self._pages(name)
+        if not 0 <= page_no < len(pages):
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+            )
+        return pages[page_no]
+
+    def verify_page(self, name: str, page_no: int) -> bool:
+        """``True`` iff the stored image matches its recorded checksum.
+
+        Offline verification: touches no I/O counter and no pool state.
+        """
+        pages = self._pages(name)
+        if not 0 <= page_no < len(pages):
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+            )
+        return zlib.crc32(pages[page_no]) == self._checksums[name][page_no]
+
+    def corrupt_pages(self, name: str) -> List[int]:
+        """Page numbers of ``name`` whose image fails its checksum."""
+        pages = self._pages(name)
+        sums = self._checksums[name]
+        return [
+            page_no
+            for page_no, image in enumerate(pages)
+            if zlib.crc32(image) != sums[page_no]
+        ]
+
+    def checksum_report(self) -> Dict[str, List[int]]:
+        """``{file: [corrupt page numbers]}`` over every file (fsck sweep)."""
+        return {name: self.corrupt_pages(name) for name in sorted(self._files)}
+
+    def adopt_pages(
+        self,
+        name: str,
+        images: List[bytes],
+        checksums: Optional[List[int]] = None,
+    ) -> None:
+        """Append page images wholesale (snapshot load path).
+
+        ``checksums`` installs recorded CRCs from an external source (the
+        snapshot catalog) instead of recomputing them — a loaded image that
+        does not match its catalog checksum is then detectable by the
+        normal read-path verification and by :meth:`corrupt_pages`.
+        """
+        pages = self._pages(name)
+        for image in images:
+            if len(image) != self.page_size:
+                raise StorageError(
+                    f"adopted page for {name!r} is {len(image)} bytes, "
+                    f"expected {self.page_size}"
+                )
+        if checksums is not None and len(checksums) != len(images):
+            raise StorageError(
+                f"{name!r}: {len(checksums)} checksums for {len(images)} pages"
+            )
+        pages.extend(bytes(image) for image in images)
+        if checksums is not None:
+            self._checksums[name].extend(int(c) for c in checksums)
+        else:
+            self._checksums[name].extend(zlib.crc32(image) for image in images)
+        self.bump_version(name)
+
+    def _apply_corruption(
+        self,
+        name: str,
+        page_no: int,
+        image: bytes,
+        checksum: Optional[int] = None,
+    ) -> None:
+        """Fault-injection hook: store ``image`` as-is, bypassing checksum
+        maintenance (unless ``checksum`` explicitly sets the sidecar entry).
+
+        Bumps the file version — the device content *did* change, so any
+        decode cache keyed on the old version must re-read (and thereby
+        detect the corruption). I/O metrics are untouched: corruption is
+        not an operation the workload performed.
+        """
+        pages = self._pages(name)
+        if not 0 <= page_no < len(pages):
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+            )
+        if len(image) != self.page_size:
+            raise StorageError(
+                f"corrupted image is {len(image)} bytes, expected {self.page_size}"
+            )
+        pages[page_no] = bytes(image)
+        if checksum is not None:
+            self._checksums[name][page_no] = checksum
+        self.bump_version(name)

@@ -158,6 +158,43 @@ class StorageManager:
     def page_size(self) -> int:
         return self.store.page_size
 
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def attach_fault_injector(self, injector=None, **kwargs):
+        """Interpose a fault injector between the pool and the disk.
+
+        Pass a ready-made :class:`~repro.storage.faults.FaultInjector`, or
+        keyword arguments (``rules=``, ``seed=``, rates) to build one
+        around the current store. All device traffic — pool fetches and
+        write-backs, accounting-free peeks — flows through the injector;
+        already-open :class:`PagedFile` handles are unaffected because
+        their page images travel via the pool, which is rewired here.
+        Returns the injector so callers can add rules or read its log.
+        """
+        from repro.storage.faults import FaultInjector
+
+        if isinstance(self.store, FaultInjector):
+            raise StorageError("a fault injector is already attached")
+        if injector is None:
+            injector = FaultInjector(self.store, **kwargs)
+        elif kwargs:
+            raise StorageError(
+                "pass either a FaultInjector or constructor kwargs, not both"
+            )
+        self.store = injector
+        self.pool.store = injector
+        return injector
+
+    def detach_fault_injector(self) -> None:
+        """Remove the injector (if any), restoring the raw store."""
+        from repro.storage.faults import FaultInjector
+
+        if isinstance(self.store, FaultInjector):
+            inner = self.store.inner
+            self.store = inner
+            self.pool.store = inner
+
     def create_file(self, name: str) -> PagedFile:
         self.store.create_file(name)
         return PagedFile(name, self.store, self.pool, self.stats)

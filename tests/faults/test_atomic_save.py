@@ -1,0 +1,82 @@
+"""Satellite (a): ``save_database`` is atomic under crashes.
+
+A crash at any point mid-save must leave the previous snapshot at the
+target path intact (loading yields the pre-crash state) and must not leave
+a partial ``<path>.tmp`` behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import SimulatedCrashError
+from repro.persistence import load_database, save_database
+from repro.storage import FaultRule
+from tests.conftest import HOBBIES
+from tests.faults.conftest import (
+    QUERY_SETS,
+    build_indexed_db,
+    scan_ground_truth,
+    superset_results,
+)
+
+
+def test_crash_mid_save_keeps_previous_snapshot(tmp_path):
+    db = build_indexed_db(count=30)
+    target = tmp_path / "db.sigdb"
+    save_database(db, target)
+    baseline = scan_ground_truth(db, QUERY_SETS[0])
+
+    # Change the database, then crash while the new snapshot is being
+    # assembled (saving reads every page through the device).
+    db.insert("Student", {"name": "late", "hobbies": set(HOBBIES[:3])})
+    db.storage.attach_fault_injector(
+        rules=[FaultRule("read", "crash", at_call=5)]
+    )
+    with pytest.raises(SimulatedCrashError):
+        save_database(db, target)
+    db.storage.detach_fault_injector()
+
+    assert not os.path.exists(f"{target}.tmp")
+    loaded = load_database(target)
+    assert scan_ground_truth(loaded, QUERY_SETS[0]) == baseline
+    oids, _ = superset_results(loaded, QUERY_SETS[0], "ssf")
+    assert oids == baseline
+
+
+def test_failure_during_file_write_keeps_previous_snapshot(tmp_path, monkeypatch):
+    db = build_indexed_db(count=30)
+    target = tmp_path / "db.sigdb"
+    save_database(db, target)
+    before = target.read_bytes()
+
+    import repro.persistence.snapshot as snapshot_module
+
+    def exploding_write(stream, catalog, payloads):
+        stream.write(b"partial garbage")
+        raise OSError("disk full")
+
+    monkeypatch.setattr(snapshot_module, "write_snapshot", exploding_write)
+    with pytest.raises(OSError):
+        save_database(db, target)
+    monkeypatch.undo()
+
+    assert not os.path.exists(f"{target}.tmp")
+    assert target.read_bytes() == before
+    load_database(target)  # still a valid snapshot
+
+
+def test_successful_save_replaces_previous_snapshot(tmp_path):
+    db = build_indexed_db(count=30)
+    target = tmp_path / "db.sigdb"
+    save_database(db, target)
+    db.insert("Student", {"name": "late", "hobbies": set(HOBBIES[:3])})
+    save_database(db, target)
+    assert not os.path.exists(f"{target}.tmp")
+    loaded = load_database(target)
+    assert loaded.count("Student") == 31
+    assert scan_ground_truth(loaded, QUERY_SETS[0]) == scan_ground_truth(
+        db, QUERY_SETS[0]
+    )

@@ -1,0 +1,77 @@
+"""Satellite (d): degraded fallback's I/O matches the cost-model scan.
+
+The fallback is an object-file sequential scan, so its page profile must
+equal both the analytic prediction (``Pu * N``) and a plain scan plan run
+on a never-indexed twin; and ``explain_analyze`` must label the work with
+the ``degraded-fallback`` span.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.parameters import CostParameters
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
+from tests.conftest import populate_students
+from tests.faults.conftest import (
+    QUERY_SETS,
+    build_indexed_db,
+    corrupt_page,
+    facility_files,
+    superset_results,
+)
+
+COUNT = 60
+OBJECT_FILE = "objects:Student"
+
+
+def query_text(query_set) -> str:
+    elements = ", ".join(f'"{e}"' for e in sorted(query_set))
+    return f"select Student where hobbies has-subset ({elements})"
+
+
+def test_fallback_pages_match_cost_model_scan_prediction():
+    db = build_indexed_db(count=COUNT)
+    corrupt_page(db, facility_files(db, "ssf")[0], 0)
+    _, stats = superset_results(db, QUERY_SETS[0], "ssf")
+    assert "degraded" in stats.detail
+    params = CostParameters(
+        num_objects=COUNT,
+        page_bytes=db.storage.page_size,
+        domain_cardinality=12,
+    )
+    predicted = params.pages_per_unsuccessful * COUNT
+    assert stats.io.for_file(OBJECT_FILE).logical_reads == predicted
+
+
+def test_fallback_pages_match_forced_scan_twin():
+    damaged = build_indexed_db(count=COUNT)
+    corrupt_page(damaged, facility_files(damaged, "ssf")[0], 0)
+
+    # Twin with no facilities at all: the planner can only scan.
+    twin = Database(page_size=4096, pool_capacity=0)
+    twin.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    populate_students(twin, count=COUNT)
+
+    for query_set in QUERY_SETS:
+        oids_a, stats_a = superset_results(damaged, query_set, "ssf")
+        result = QueryExecutor(twin).execute_text(query_text(query_set))
+        oids_b = sorted(result.oids())
+        stats_b = result.statistics
+        assert oids_a == oids_b
+        assert (
+            stats_a.io.for_file(OBJECT_FILE)
+            == stats_b.io.for_file(OBJECT_FILE)
+        )
+
+
+def test_explain_analyze_labels_degraded_span():
+    db = build_indexed_db(count=COUNT)
+    corrupt_page(db, facility_files(db, "ssf")[0], 0)
+    report = QueryExecutor(db).explain_analyze(
+        query_text(QUERY_SETS[0]),
+        ExecutionOptions(prefer_facility="ssf"),
+    )
+    assert "degraded-fallback" in report
+    assert "-> degraded-fallback scan(Student)" in report

@@ -1,0 +1,110 @@
+"""Satellite (b): ``load_database`` validates the container before trust.
+
+Every malformed-snapshot fixture must produce a clear ``StorageError``
+that names the offending path — never a bare ``struct.error``,
+``KeyError`` or silent partial load.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import CorruptPageError, StorageError
+from repro.persistence import load_database, save_database
+from repro.persistence.format import FORMAT_VERSION, MAGIC
+from tests.faults.conftest import build_indexed_db
+
+HEADER = struct.Struct("<8sHI")
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    db = build_indexed_db(count=20)
+    target = tmp_path / "db.sigdb"
+    save_database(db, target)
+    return target
+
+
+def expect_error(path, exc=StorageError):
+    with pytest.raises(exc) as info:
+        load_database(path)
+    assert str(path) in str(info.value), (
+        f"error does not name the snapshot path: {info.value}"
+    )
+    return info.value
+
+
+def test_bad_magic(snapshot):
+    raw = bytearray(snapshot.read_bytes())
+    raw[:8] = b"NOTADB!!"
+    snapshot.write_bytes(bytes(raw))
+    error = expect_error(snapshot)
+    assert "magic" in str(error)
+
+
+def test_unsupported_version(snapshot):
+    raw = bytearray(snapshot.read_bytes())
+    struct.pack_into("<H", raw, 8, 99)
+    snapshot.write_bytes(bytes(raw))
+    error = expect_error(snapshot)
+    assert "version" in str(error)
+
+
+def test_truncated_header(snapshot):
+    snapshot.write_bytes(snapshot.read_bytes()[:3])
+    error = expect_error(snapshot)
+    assert "header" in str(error)
+
+
+def test_truncated_catalog(snapshot):
+    snapshot.write_bytes(snapshot.read_bytes()[: HEADER.size + 10])
+    error = expect_error(snapshot)
+    assert "catalog" in str(error)
+
+
+def test_garbage_catalog(snapshot):
+    raw = bytearray(snapshot.read_bytes())
+    raw[HEADER.size] ^= 0xFF  # breaks the JSON's first byte
+    snapshot.write_bytes(bytes(raw))
+    error = expect_error(snapshot)
+    assert "catalog" in str(error)
+
+
+def test_truncated_page_section(snapshot):
+    snapshot.write_bytes(snapshot.read_bytes()[:-100])
+    error = expect_error(snapshot)
+    assert "truncated page data" in str(error)
+
+
+def test_trailing_garbage(snapshot):
+    snapshot.write_bytes(snapshot.read_bytes() + b"EXTRA")
+    error = expect_error(snapshot)
+    assert "trailing" in str(error)
+
+
+def test_missing_catalog_key(tmp_path):
+    catalog = json.dumps({"page_size": 4096}).encode("utf-8")
+    path = tmp_path / "thin.sigdb"
+    path.write_bytes(HEADER.pack(MAGIC, FORMAT_VERSION, len(catalog)) + catalog)
+    error = expect_error(path)
+    assert "missing key" in str(error)
+
+
+def test_missing_file(tmp_path):
+    path = tmp_path / "never-saved.sigdb"
+    error = expect_error(path)
+    assert "cannot read" in str(error)
+
+
+def test_checksum_corrupt_page_detected_at_load(snapshot):
+    raw = bytearray(snapshot.read_bytes())
+    raw[-1] ^= 0xFF  # flip a bit inside the last page image
+    snapshot.write_bytes(bytes(raw))
+    error = expect_error(snapshot, CorruptPageError)
+    assert "checksum" in str(error)
+    # fsck-style loading still works so damage can be reported, not hidden.
+    db = load_database(snapshot, verify_checksums=False)
+    assert db.count("Student") == 20

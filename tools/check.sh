@@ -19,6 +19,17 @@ echo "== tracing overhead guard =="
 # future tier-1 reshuffle cannot silently drop it).
 python -m pytest tests/obs/test_no_overhead.py -q
 
+echo "== fault injection (fixed seed) =="
+python -m pytest tests/faults -q
+
+echo "== fault injection (randomized smoke) =="
+# A fresh seed each run widens coverage over time; the seed is printed so
+# any failure can be reproduced exactly.
+FAULTS_RANDOM_SEED="${FAULTS_RANDOM_SEED:-$(python -c 'import secrets; print(secrets.randbelow(2**32))')}"
+export FAULTS_RANDOM_SEED
+echo "randomized fault seed: $FAULTS_RANDOM_SEED"
+python -m pytest tests/faults/test_random_smoke.py -q
+
 echo "== smoke benchmark =="
 python benchmarks/bench_wallclock.py --smoke \
     --min-bssf-speedup 1.5 --min-ssf-speedup 1.2 \
