@@ -13,7 +13,11 @@ against the per-entry reference path on:
 * bulk load of both facilities,
 * the wall-clock overhead of an *active* span tracer (``repro.obs``) on
   the BSSF subset sweep — recorded under the report's ``tracer_overhead``
-  key (tracing *off* is the null-tracer default in every other number).
+  key (tracing *off* is the null-tracer default in every other number),
+* the wall-clock overhead of ``durability="wal"`` on the update path —
+  each update appends + fsyncs one logical record before mutating —
+  against an identical WAL-off database, recorded under the report's
+  ``wal_overhead`` key.
 
 Run standalone::
 
@@ -156,6 +160,74 @@ def measure_tracer_overhead(config, bssf, manager):
     }
 
 
+def measure_wal_overhead(config):
+    """Wall-clock cost of ``durability="wal"`` on the update path.
+
+    Two identical databases (one SSF-indexed set class, same objects) run
+    the same update sweep; the WAL-mode one appends and fsyncs one logical
+    record per update before touching any page. The ratio is the price of
+    crash recoverability — dominated by the fsync, so expect it to track
+    the host's disk, not the simulator.
+    """
+    import tempfile
+
+    from repro.objects.database import Database
+    from repro.objects.oid import OID as ObjOID
+    from repro.objects.schema import ClassSchema
+
+    num_objects = min(256, config["num_objects"])
+    gen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=num_objects * 2,
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["target_seed"],
+        )
+    )
+    sets = list(gen.target_sets())
+    initial, replacement = sets[:num_objects], sets[num_objects:]
+
+    def build_db(wal_dir=None):
+        db = Database(
+            page_size=config["page_size"], pool_capacity=0, wal_dir=wal_dir
+        )
+        db.define_class(ClassSchema.build("Item", items="set"))
+        db.create_ssf_index(
+            "Item",
+            "items",
+            signature_bits=config["signature_bits"],
+            bits_per_element=config["bits_per_element"],
+            seed=config["target_seed"],
+        )
+        for elements in initial:
+            db.insert("Item", {"items": set(elements)})
+        return db
+
+    def update_sweep(db, flip):
+        source = replacement if flip[0] else initial
+        flip[0] = not flip[0]
+        for i, elements in enumerate(source):
+            db.update(ObjOID(1, i), {"items": set(elements)})
+
+    timings = {}
+    with tempfile.TemporaryDirectory() as wal_dir:
+        for label, db in (
+            ("off", build_db()),
+            ("on", build_db(wal_dir=wal_dir)),
+        ):
+            flip = [True]
+            timings[label] = best_sweep_time(
+                lambda: update_sweep(db, flip), config["min_seconds"]
+            )
+            db.close()
+    return {
+        "off_ms": timings["off"] * 1000,
+        "on_ms": timings["on"] * 1000,
+        "overhead_ratio": timings["on"] / timings["off"],
+        "updates_per_sweep": float(num_objects),
+    }
+
+
 def run_benchmarks(config):
     facilities = {}
     build_times = {}
@@ -217,7 +289,8 @@ def run_benchmarks(config):
     tracer_overhead = measure_tracer_overhead(
         config, facilities["kernels"][1], managers["kernels"]
     )
-    return results, tracer_overhead
+    wal_overhead = measure_wal_overhead(config)
+    return results, tracer_overhead, wal_overhead
 
 
 def main(argv=None):
@@ -259,7 +332,7 @@ def main(argv=None):
         name = "BENCH_wallclock_smoke.json" if args.smoke else "BENCH_wallclock.json"
         out_path = REPO_ROOT / name
 
-    results, tracer_overhead = run_benchmarks(config)
+    results, tracer_overhead, wal_overhead = run_benchmarks(config)
 
     thresholds = {
         "bssf_subset_sweep": args.min_bssf_speedup,
@@ -281,6 +354,9 @@ def main(argv=None):
         "tracer_overhead": {
             k: round(v, 3) for k, v in tracer_overhead.items()
         },
+        "wal_overhead": {
+            k: round(v, 3) for k, v in wal_overhead.items()
+        },
         "thresholds": thresholds,
         "pass": not failures,
     }
@@ -300,6 +376,12 @@ def main(argv=None):
             f"{'tracer (bssf subset)':20s} off   {overhead['off_ms']:9.2f} ms   "
             f"on      {overhead['on_ms']:9.2f} ms   "
             f"ratio   {overhead['overhead_ratio']:6.2f}x"
+        )
+        wal = report["wal_overhead"]
+        print(
+            f"{'wal (update sweep)':20s} off   {wal['off_ms']:9.2f} ms   "
+            f"on      {wal['on_ms']:9.2f} ms   "
+            f"ratio   {wal['overhead_ratio']:6.2f}x"
         )
         print(f"wrote {out_path}")
     if failures:

@@ -231,6 +231,7 @@ class BitSlicedSignatureFile(SetAccessFacility):
         return entries
 
     def insert(self, elements: SetValue, oid: OID) -> None:
+        self.log_wal_maintenance("facility_insert", elements, oid)
         index = self.oid_file.append(oid)
         pages_needed = -(-(index + 1) // self.entries_per_slice_page)
         self._format_slices_to(pages_needed)
@@ -251,6 +252,7 @@ class BitSlicedSignatureFile(SetAccessFacility):
 
     def delete(self, elements: SetValue, oid: OID) -> None:
         """Tombstone the OID entry only — slice bits stay (paper's model)."""
+        self.log_wal_maintenance("facility_delete", elements, oid)
         self.oid_file.delete(oid)
 
     # ------------------------------------------------------------------

@@ -179,6 +179,7 @@ class SequentialSignatureFile(SetAccessFacility):
 
     def insert(self, elements: SetValue, oid: OID) -> None:
         """Append signature + OID entry (the model's 2 page accesses)."""
+        self.log_wal_maintenance("facility_insert", elements, oid)
         signature = self.scheme.set_signature(elements)
         index = self.oid_file.append(oid)
         page_no = index // self.sigs_per_page
@@ -193,6 +194,7 @@ class SequentialSignatureFile(SetAccessFacility):
 
     def delete(self, elements: SetValue, oid: OID) -> None:
         """Tombstone the OID entry; the signature stays (paper's model)."""
+        self.log_wal_maintenance("facility_delete", elements, oid)
         self.oid_file.delete(oid)
 
     # ------------------------------------------------------------------

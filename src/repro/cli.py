@@ -92,7 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
             "clean, 1 issues found (0 after a successful repair)."
         ),
     )
-    fsck.add_argument("snapshot", help="snapshot file to check")
+    fsck.add_argument(
+        "snapshot", nargs="?", default=None, help="snapshot file to check"
+    )
+    fsck.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help=(
+            "check a WAL-mode database directory instead of a snapshot "
+            "(recovers checkpoint + log tail, then checks; --repair "
+            "checkpoints after rebuilding)"
+        ),
+    )
     fsck.add_argument(
         "--deep",
         action="store_true",
@@ -102,6 +112,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair",
         action="store_true",
         help="rebuild implicated facilities and re-save the snapshot",
+    )
+    wal = subparsers.add_parser(
+        "wal",
+        help="inspect or repair a write-ahead log",
+        description=(
+            "Operate on a WAL directory's log file without opening the "
+            "database. 'inspect' lists records and tail health; 'truncate' "
+            "cuts the log at a record boundary — the repair for interior "
+            "corruption (work at and past the cut is lost)."
+        ),
+    )
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+    wal_inspect = wal_sub.add_parser("inspect", help="list log records and health")
+    wal_inspect.add_argument("wal_dir", help="WAL directory (holds wal.log)")
+    wal_inspect.add_argument(
+        "--json", action="store_true", help="emit records as JSON"
+    )
+    wal_truncate = wal_sub.add_parser(
+        "truncate", help="drop every record at or past an LSN"
+    )
+    wal_truncate.add_argument("wal_dir", help="WAL directory (holds wal.log)")
+    wal_truncate.add_argument(
+        "--lsn", type=int, required=True,
+        help="record boundary to cut at (from 'wal inspect' or fsck)",
     )
     return parser
 
@@ -129,7 +163,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _run_trace(args.query, snapshot=args.load, as_json=args.json)
     if args.command == "fsck":
-        return _run_fsck(args.snapshot, deep=args.deep, repair=args.repair)
+        return _run_fsck(
+            args.snapshot,
+            deep=args.deep,
+            repair=args.repair,
+            wal_dir=args.wal_dir,
+        )
+    if args.command == "wal":
+        if args.wal_command == "inspect":
+            return _run_wal_inspect(args.wal_dir, as_json=args.json)
+        return _run_wal_truncate(args.wal_dir, lsn=args.lsn)
     if args.command == "report":
         return _write_report(args.output, analytical_only=args.analytical_only)
     failures = 0
@@ -188,11 +231,37 @@ def _run_trace(query: str, snapshot: Optional[str], as_json: bool) -> int:
     return 0
 
 
-def _run_fsck(snapshot: str, deep: bool, repair: bool) -> int:
-    """Check (and optionally repair) a saved snapshot."""
+def _run_fsck(
+    snapshot: Optional[str],
+    deep: bool,
+    repair: bool,
+    wal_dir: Optional[str] = None,
+) -> int:
+    """Check (and optionally repair) a saved snapshot or WAL directory."""
+    from repro.errors import WalCorruptError
     from repro.persistence.snapshot import load_database, save_database
     from repro.recovery import facility_of_file, run_fsck
 
+    if (snapshot is None) == (wal_dir is None):
+        print("fsck: pass either a snapshot or --wal-dir", file=sys.stderr)
+        return 1
+    if wal_dir is not None:
+        from repro.objects.database import Database
+
+        try:
+            database = Database.open(wal_dir)
+        except WalCorruptError as exc:
+            print(
+                f"fsck: wal in {wal_dir!r} is corrupt at lsn {exc.lsn}: {exc}\n"
+                f"fsck: repair with `wal truncate {wal_dir} --lsn {exc.lsn}` "
+                "(work at and past that lsn is lost), then re-run",
+                file=sys.stderr,
+            )
+            return 1
+        except Exception as exc:
+            print(f"fsck: cannot recover {wal_dir!r}: {exc}", file=sys.stderr)
+            return 1
+        return _fsck_database(database, deep=deep, repair=repair, wal_dir=wal_dir)
     try:
         # verify_checksums=False: fsck's job is to *report* corruption, so
         # a bad page must not abort the load.
@@ -240,6 +309,123 @@ def _run_fsck(snapshot: str, deep: bool, repair: bool) -> int:
         return 1
     save_database(database, snapshot)
     print(f"fsck: repaired snapshot saved to {snapshot}")
+    return 0
+
+
+def _fsck_database(database, deep: bool, repair: bool, wal_dir: str) -> int:
+    """fsck of a recovered WAL-mode database; --repair checkpoints after."""
+    from repro.recovery import facility_of_file, run_fsck
+
+    report = run_fsck(database, deep=deep)
+    print(report.render())
+    if report.ok or not repair:
+        database.close()
+        return 0 if report.ok else 1
+    implicated = set()
+    unrepairable = []
+    for issue in report.issues:
+        if issue.kind == "wal":
+            continue  # already handled by recovery / needs wal truncate
+        if issue.kind == "checksum":
+            owner = facility_of_file(issue.subject)
+            if owner is None:
+                unrepairable.append(issue)
+            else:
+                implicated.add(owner)
+        else:
+            class_attr, _, name = issue.subject.rpartition("/")
+            if "." in class_attr:
+                class_name, attribute = class_attr.split(".", 1)
+                implicated.add((class_name, attribute, name))
+    for class_name, attribute, name in sorted(implicated):
+        try:
+            database.rebuild_facility(class_name, attribute, name)
+            print(f"fsck: rebuilt {name} on {class_name}.{attribute}")
+        except Exception as exc:
+            print(
+                f"fsck: rebuild of {name} on {class_name}.{attribute} "
+                f"failed: {exc}",
+                file=sys.stderr,
+            )
+            database.close()
+            return 1
+    for issue in unrepairable:
+        print(f"fsck: cannot repair {issue.render()}", file=sys.stderr)
+    after = run_fsck(database, deep=deep)
+    if not after.ok:
+        print(after.render(), file=sys.stderr)
+        database.close()
+        return 1
+    database.checkpoint()
+    database.close()
+    print(f"fsck: repaired database checkpointed in {wal_dir}")
+    return 0
+
+
+def _run_wal_inspect(wal_dir: str, as_json: bool) -> int:
+    """Print a WAL directory's log records and tail health."""
+    import json
+    import os
+
+    from repro.errors import WalCorruptError, WalError
+    from repro.wal.log import WAL_FILE_NAME, scan_wal
+
+    path = os.path.join(wal_dir, WAL_FILE_NAME)
+    try:
+        scan = scan_wal(path)
+    except WalCorruptError as exc:
+        print(
+            f"wal: {path} corrupt at lsn {exc.lsn}: {exc}\n"
+            f"wal: repair with `wal truncate {wal_dir} --lsn {exc.lsn}`",
+            file=sys.stderr,
+        )
+        return 1
+    except (OSError, WalError) as exc:
+        print(f"wal: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    if as_json:
+        payload = {
+            "path": path,
+            "base_lsn": scan.base_lsn,
+            "end_lsn": scan.end_lsn,
+            "torn_bytes": scan.torn_bytes,
+            "records": [
+                {"lsn": r.lsn, "type": r.type, "fields": repr(r.fields[1:])}
+                for r in scan.records
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"wal: {path}: {len(scan.records)} record(s), "
+        f"lsn [{scan.base_lsn}, {scan.end_lsn}]"
+    )
+    for record in scan.records:
+        print(f"  {record.lsn:>8}  {record.type:<16} {record.fields[1:]!r}")
+    if scan.torn_bytes:
+        print(
+            f"wal: torn tail of {scan.torn_bytes} byte(s) after lsn "
+            f"{scan.end_lsn} (recovery will truncate it)"
+        )
+    return 0
+
+
+def _run_wal_truncate(wal_dir: str, lsn: int) -> int:
+    """Cut a log at a record boundary (the interior-corruption repair)."""
+    import os
+
+    from repro.errors import WalError
+    from repro.wal.log import WAL_FILE_NAME, truncate_wal
+
+    path = os.path.join(wal_dir, WAL_FILE_NAME)
+    try:
+        dropped, end_lsn = truncate_wal(path, lsn)
+    except (OSError, WalError) as exc:
+        print(f"wal: cannot truncate {path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"wal: dropped {dropped} record(s); {path} now ends at lsn {end_lsn}"
+    )
     return 0
 
 

@@ -45,6 +45,24 @@ class BufferPoolError(StorageError):
     """The buffer pool could not satisfy a request (e.g. all frames pinned)."""
 
 
+class WalError(StorageError):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruptError(WalError):
+    """An interior WAL record failed its CRC32 frame check.
+
+    A *final* half-written record is normal after a crash and is silently
+    truncated during recovery; corruption anywhere before the tail means
+    the log cannot be trusted past that point. ``lsn`` names the first
+    unreadable record.
+    """
+
+    def __init__(self, message: str, lsn: int):
+        super().__init__(message)
+        self.lsn = lsn
+
+
 class ObjectStoreError(ReproError):
     """Base class for object-store failures."""
 

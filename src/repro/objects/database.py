@@ -9,21 +9,39 @@ every affected index synchronized.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.access.base import SetAccessFacility
 from repro.access.bssf import BitSlicedSignatureFile
 from repro.access.nix import NestedIndex
 from repro.access.ssf import SequentialSignatureFile
 from repro.core.signature import SignatureScheme
-from repro.errors import AccessFacilityError, SchemaError
+from repro.errors import (
+    AccessFacilityError,
+    ConfigurationError,
+    SchemaError,
+    StorageError,
+)
 from repro.objects.object_store import ObjectStore
 from repro.objects.oid import OID
 from repro.objects.schema import ClassSchema
+from repro.objects.serde import encode_object
 from repro.storage.paged_file import StorageManager
 from repro.storage.stats import IOSnapshot
 
 IndexKey = Tuple[str, str]  # (class name, set attribute name)
+
+#: The durability contract of a :class:`Database`:
+#: ``"none"`` — in-memory only, nothing survives the process;
+#: ``"snapshot"`` — durable exactly at :func:`save_database` points;
+#: ``"wal"`` — every mutating operation is redo-logged (fsynced) before it
+#: applies, so the last checkpoint plus the log tail survives any crash.
+DURABILITY_MODES = ("none", "snapshot", "wal")
+
+#: Snapshot file a WAL directory's checkpoints are written to.
+CHECKPOINT_FILE_NAME = "checkpoint.sigdb"
 
 
 class Database:
@@ -34,6 +52,9 @@ class Database:
         page_size: int = 4096,
         pool_capacity: int = 0,
         auto_rebuild: bool = False,
+        durability: Optional[str] = None,
+        wal_dir: Optional[str] = None,
+        wal_fsync: bool = True,
     ):
         self.storage = StorageManager(page_size=page_size, pool_capacity=pool_capacity)
         self.objects = ObjectStore(self.storage)
@@ -45,15 +66,166 @@ class Database:
         #: When True, the executor rebuilds a degraded facility on its next
         #: access instead of scanning around it.
         self.auto_rebuild = auto_rebuild
+        if durability is None:
+            durability = "wal" if wal_dir is not None else "snapshot"
+        if durability not in DURABILITY_MODES:
+            raise ConfigurationError(
+                f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
+            )
+        if durability != "wal" and wal_dir is not None:
+            raise ConfigurationError(
+                f"wal_dir is only meaningful with durability='wal', "
+                f"not {durability!r}"
+            )
+        self.durability = durability
+        #: the attached :class:`~repro.wal.WriteAheadLog` (``"wal"`` mode only)
+        self.wal = None
+        self.wal_dir: Optional[str] = None
+        #: LSN up to which the log is reflected in this database's state.
+        #: Replay skips records below it, which is what makes redo
+        #: idempotent: replaying the same tail twice is a no-op.
+        self.wal_applied_lsn = 0
+        if durability == "wal":
+            if wal_dir is None:
+                raise ConfigurationError("durability='wal' requires wal_dir")
+            from repro.wal.log import WriteAheadLog
+
+            wal = WriteAheadLog(wal_dir, fsync=wal_fsync)
+            if wal.end_lsn > 0 or os.path.exists(
+                os.path.join(wal_dir, CHECKPOINT_FILE_NAME)
+            ):
+                wal.close()
+                raise StorageError(
+                    f"wal directory {wal_dir!r} holds an existing log or "
+                    "checkpoint; recover it with Database.open(wal_dir) "
+                    "instead of starting a fresh database over it"
+                )
+            self.attach_wal(wal, wal_dir)
         from repro.objects.statistics import StatisticsCache
 
         self.statistics = StatisticsCache()
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        wal_dir: str,
+        page_size: int = 4096,
+        pool_capacity: int = 0,
+        auto_rebuild: bool = False,
+        wal_fsync: bool = True,
+    ) -> "Database":
+        """Recover a WAL-mode database from its directory.
+
+        Loads the checkpoint snapshot if one exists (an empty database
+        otherwise), replays the log tail — truncating a torn final record,
+        raising :class:`~repro.errors.WalCorruptError` on interior damage —
+        and returns the database with the log attached for further logging.
+        """
+        from repro.wal.replay import recover_database
+
+        return recover_database(
+            wal_dir,
+            page_size=page_size,
+            pool_capacity=pool_capacity,
+            auto_rebuild=auto_rebuild,
+            wal_fsync=wal_fsync,
+        )
+
+    def attach_wal(self, wal, wal_dir: str) -> None:
+        """Bind an open log to this database and to every facility."""
+        self.wal = wal
+        self.wal_dir = wal_dir
+        self.durability = "wal"
+        self.wal_applied_lsn = wal.end_lsn
+        for (cls_name, attribute), per_path in self._indexes.items():
+            for facility in per_path.values():
+                facility.bind_wal(wal, cls_name, attribute)
+
+    @property
+    def checkpoint_path(self) -> Optional[str]:
+        return (
+            os.path.join(self.wal_dir, CHECKPOINT_FILE_NAME)
+            if self.wal_dir is not None
+            else None
+        )
+
+    def checkpoint(self) -> str:
+        """Snapshot to the WAL directory and truncate the log.
+
+        A fuzzy checkpoint in the ARIES sense: ``checkpoint_begin`` is
+        logged, the snapshot is written stamped with the current LSN, and
+        records before that LSN are dropped from the log. Returns the
+        checkpoint snapshot path.
+        """
+        if self.wal is None:
+            raise StorageError("checkpoint() requires durability='wal'")
+        from repro.persistence.snapshot import save_database
+
+        path = self.checkpoint_path
+        save_database(self, path)
+        return path
+
+    def close(self) -> None:
+        """Release OS resources (the WAL file handle); safe to call twice."""
+        if self.wal is not None:
+            self.wal.close()
+
+    @contextmanager
+    def _wal_op(self, make_fields: Callable[[], list]):
+        """Choke point for logical redo logging.
+
+        When WAL durability is on (and we are not already inside a logical
+        operation or a replay), ``make_fields()`` builds the record, which
+        is durably appended *before* the body runs; facility-level
+        maintenance records are suppressed for the scope since the logical
+        record already implies them.
+        """
+        wal = self.wal
+        if wal is None or not wal.accepts_logical_records:
+            yield
+            return
+        wal.append(make_fields())
+        with wal.logical_op():
+            yield
+        self.wal_applied_lsn = wal.end_lsn
+
+    def attach_fault_injector(self, injector=None, **kwargs):
+        """Interpose a fault injector on the device *and* the WAL.
+
+        Same contract as
+        :meth:`~repro.storage.paged_file.StorageManager.attach_fault_injector`,
+        plus: when this database logs through a WAL, the injector also
+        intercepts ``wal-append`` operations (crash / torn / transient
+        rules), so crash matrices can kill the process at any log point.
+        """
+        injector = self.storage.attach_fault_injector(injector, **kwargs)
+        if self.wal is not None:
+            self.wal.fault_injector = injector
+        return injector
+
+    def detach_fault_injector(self) -> None:
+        self.storage.detach_fault_injector()
+        if self.wal is not None:
+            self.wal.fault_injector = None
+
+    # ------------------------------------------------------------------
     # Schema
     # ------------------------------------------------------------------
     def define_class(self, schema: ClassSchema) -> None:
-        self.objects.define_class(schema)
+        if schema.name in self.objects.class_names():
+            # Pre-check so a failing DDL never reaches the log.
+            raise SchemaError(f"class already defined: {schema.name!r}")
+        with self._wal_op(
+            lambda: [
+                "define_class",
+                schema.name,
+                [[a.name, a.kind.value, a.ref_class] for a in schema.attributes],
+            ]
+        ):
+            self.objects.define_class(schema)
 
     def schema(self, class_name: str) -> ClassSchema:
         return self.objects.schema(class_name)
@@ -91,6 +263,8 @@ class Database:
                 f"{class_name}.{attribute}"
             )
         per_path[facility.name] = facility
+        if self.wal is not None:
+            facility.bind_wal(self.wal, class_name, attribute)
         # Backfill from existing objects so indexes may be added lazily;
         # facilities with a bulk path build bottom-up (one write per page)
         # instead of paying per-object maintenance cost.
@@ -117,10 +291,19 @@ class Database:
         self._check_indexable(class_name, attribute)
         self._check_no_duplicate(class_name, attribute, "ssf")
         scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
-        facility = SequentialSignatureFile(
-            self.storage, scheme, file_prefix=f"ssf:{class_name}.{attribute}"
-        )
-        self._register(class_name, attribute, facility)
+        with self._wal_op(
+            lambda: [
+                "create_index",
+                "ssf",
+                class_name,
+                attribute,
+                [signature_bits, bits_per_element, seed],
+            ]
+        ):
+            facility = SequentialSignatureFile(
+                self.storage, scheme, file_prefix=f"ssf:{class_name}.{attribute}"
+            )
+            self._register(class_name, attribute, facility)
         return facility
 
     def create_bssf_index(
@@ -136,13 +319,22 @@ class Database:
         self._check_indexable(class_name, attribute)
         self._check_no_duplicate(class_name, attribute, "bssf")
         scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
-        facility = BitSlicedSignatureFile(
-            self.storage,
-            scheme,
-            file_prefix=f"bssf:{class_name}.{attribute}",
-            worst_case_insert=worst_case_insert,
-        )
-        self._register(class_name, attribute, facility)
+        with self._wal_op(
+            lambda: [
+                "create_index",
+                "bssf",
+                class_name,
+                attribute,
+                [signature_bits, bits_per_element, seed, worst_case_insert],
+            ]
+        ):
+            facility = BitSlicedSignatureFile(
+                self.storage,
+                scheme,
+                file_prefix=f"bssf:{class_name}.{attribute}",
+                worst_case_insert=worst_case_insert,
+            )
+            self._register(class_name, attribute, facility)
         return facility
 
     def create_nested_index(
@@ -156,12 +348,21 @@ class Database:
         """
         self._check_indexable(class_name, attribute)
         self._check_no_duplicate(class_name, attribute, "nix")
-        facility = NestedIndex(
-            self.storage,
-            file_prefix=f"nix:{class_name}.{attribute}",
-            overflow_chains=overflow_chains,
-        )
-        self._register(class_name, attribute, facility)
+        with self._wal_op(
+            lambda: [
+                "create_index",
+                "nix",
+                class_name,
+                attribute,
+                [overflow_chains],
+            ]
+        ):
+            facility = NestedIndex(
+                self.storage,
+                file_prefix=f"nix:{class_name}.{attribute}",
+                overflow_chains=overflow_chains,
+            )
+            self._register(class_name, attribute, facility)
         return facility
 
     def indexes_on(self, class_name: str, attribute: str) -> Dict[str, SetAccessFacility]:
@@ -194,11 +395,20 @@ class Database:
     # Object lifecycle (index-maintaining)
     # ------------------------------------------------------------------
     def insert(self, class_name: str, values: Dict[str, Any]) -> OID:
-        oid = self.objects.insert(class_name, values)
-        for (cls, attr), per_path in self._indexes.items():
-            if cls == class_name:
-                for facility in per_path.values():
-                    facility.insert(frozenset(values[attr]), oid)
+        def fields() -> list:
+            # Validate-before-log: a rejected insert must never reach the
+            # WAL. OID allocation is deterministic, so the record can name
+            # the OID the insert is about to allocate.
+            self.schema(class_name).validate_object(values)
+            next_oid = self.objects.peek_next_oid(class_name)
+            return ["insert", class_name, next_oid.to_int(), encode_object(values)]
+
+        with self._wal_op(fields):
+            oid = self.objects.insert(class_name, values)
+            for (cls, attr), per_path in self._indexes.items():
+                if cls == class_name:
+                    for facility in per_path.values():
+                        facility.insert(frozenset(values[attr]), oid)
         return oid
 
     def get(self, oid: OID) -> Dict[str, Any]:
@@ -207,26 +417,33 @@ class Database:
     def update(self, oid: OID, values: Dict[str, Any]) -> None:
         class_name = self.objects.class_name_of(oid)
         old_values = self.objects.fetch(oid)
-        self.objects.update(oid, values)
-        for (cls, attr), per_path in self._indexes.items():
-            if cls != class_name:
-                continue
-            old_set = frozenset(old_values[attr])
-            new_set = frozenset(values[attr])
-            if old_set == new_set:
-                continue
-            for facility in per_path.values():
-                facility.delete(old_set, oid)
-                facility.insert(new_set, oid)
+
+        def fields() -> list:
+            self.schema(class_name).validate_object(values)
+            return ["update", oid.to_int(), encode_object(values)]
+
+        with self._wal_op(fields):
+            self.objects.update(oid, values)
+            for (cls, attr), per_path in self._indexes.items():
+                if cls != class_name:
+                    continue
+                old_set = frozenset(old_values[attr])
+                new_set = frozenset(values[attr])
+                if old_set == new_set:
+                    continue
+                for facility in per_path.values():
+                    facility.delete(old_set, oid)
+                    facility.insert(new_set, oid)
 
     def delete(self, oid: OID) -> None:
         class_name = self.objects.class_name_of(oid)
         values = self.objects.fetch(oid)
-        for (cls, attr), per_path in self._indexes.items():
-            if cls == class_name:
-                for facility in per_path.values():
-                    facility.delete(frozenset(values[attr]), oid)
-        self.objects.delete(oid)
+        with self._wal_op(lambda: ["delete", oid.to_int()]):
+            for (cls, attr), per_path in self._indexes.items():
+                if cls == class_name:
+                    for facility in per_path.values():
+                        facility.delete(frozenset(values[attr]), oid)
+            self.objects.delete(oid)
 
     def scan(self, class_name: str) -> Iterator[Tuple[OID, Dict[str, Any]]]:
         return self.objects.scan(class_name)

@@ -70,6 +70,10 @@ class ObjectStore:
     # ------------------------------------------------------------------
     # Object lifecycle
     # ------------------------------------------------------------------
+    def peek_next_oid(self, class_name: str) -> OID:
+        """The OID the next insert into ``class_name`` will allocate."""
+        return self._allocator.peek(self._class_ids[class_name])
+
     def insert(self, class_name: str, values: Dict[str, Any]) -> OID:
         schema = self.schema(class_name)
         schema.validate_object(values)

@@ -66,6 +66,14 @@ class OIDAllocator:
         self._next_serial[class_id] = serial + 1
         return OID(class_id=class_id, serial=serial)
 
+    def peek(self, class_id: int) -> OID:
+        """The OID the next :meth:`allocate` call will return.
+
+        Write-ahead logging needs the OID *before* the insert mutates any
+        state, so the redo record can name it.
+        """
+        return OID(class_id=class_id, serial=self._next_serial.get(class_id, 0))
+
     def high_water_mark(self, class_id: int) -> int:
         """Number of OIDs ever allocated for the class."""
         return self._next_serial.get(class_id, 0)

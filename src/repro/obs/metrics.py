@@ -22,9 +22,17 @@ traffic" view the per-query :class:`QueryStatistics` cannot give:
   transient-fault retries by the buffer pool's
   :func:`~repro.storage.faults.with_retries`;
 * ``query.degraded_fallbacks`` — queries answered by sequential scan after
-  a facility storage failure; ``recovery.rebuilds`` — facility
-  reconstructions from the object file; ``recovery.degraded_facilities``
-  (gauge) — facilities currently marked degraded.
+  a facility storage failure (at most once per query); ``recovery.rebuilds``
+  — facility reconstructions from the object file;
+  ``recovery.degraded_facilities`` (gauge) — facilities currently marked
+  degraded;
+* ``wal.appends`` / ``wal.fsyncs`` — write-ahead-log records durably
+  appended and the fsyncs they issued; ``wal.checkpoints`` — fuzzy
+  checkpoints taken; ``wal.torn_tails_truncated`` — half-written final
+  records dropped while opening a log; ``recovery.wal_replayed_records`` —
+  log records redone during recovery; ``recovery.wal_replay_rebuilds`` —
+  facilities reconstructed because replay hit a damaged facility (all fed
+  by :mod:`repro.wal`).
 
 Instruments are plain attribute-increment objects: feeding them is a few
 nanoseconds and never touches the I/O accounting, so golden page-access

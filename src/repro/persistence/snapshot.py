@@ -19,6 +19,7 @@ Usage::
 from __future__ import annotations
 
 import os
+import shutil
 from typing import Any, Dict, List, Tuple, Union
 
 from repro.access.bssf import BitSlicedSignatureFile
@@ -30,6 +31,7 @@ from repro.objects.database import Database
 from repro.objects.object_file import ObjectFile, RecordAddress
 from repro.objects.oid import OID
 from repro.objects.schema import Attribute, AttributeKind, ClassSchema
+from repro.obs.metrics import REGISTRY
 from repro.persistence.format import read_header, read_pages, write_snapshot
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -95,7 +97,11 @@ def build_catalog(db: Database) -> Dict[str, Any]:
         for (cls, attr), per_path in sorted(db._indexes.items())
         for facility in per_path.values()
     ]
+    wal_stamp = (
+        {"checkpoint_lsn": db.wal.end_lsn} if db.wal is not None else None
+    )
     return {
+        **({"wal": wal_stamp} if wal_stamp is not None else {}),
         "page_size": store.page_size,
         "files": [
             {
@@ -129,7 +135,18 @@ def save_database(db: Database, path: PathLike) -> None:
     flushed and fsynced, then renamed over ``path`` with ``os.replace``.
     A crash (or any exception) mid-save leaves a previous snapshot at
     ``path`` untouched and cleans up the partial temporary file.
+
+    In WAL mode this is a *fuzzy checkpoint*: ``checkpoint_begin`` is
+    logged first, the snapshot's catalog is stamped with the log position
+    it captures, the snapshot also lands at the WAL directory's checkpoint
+    path, and only then are records before the stamp dropped from the log
+    (a crash anywhere in between still recovers — either from the old
+    checkpoint plus the full log, or from the new one plus the tail).
     """
+    wal = db.wal if db.wal is not None and db.wal.accepts_logical_records else None
+    if wal is not None:
+        wal.append(["checkpoint_begin"])
+    checkpoint_lsn = wal.end_lsn if wal is not None else 0
     db.storage.flush()
     catalog = build_catalog(db)
     store = db.storage.store
@@ -151,6 +168,31 @@ def save_database(db: Database, path: PathLike) -> None:
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(tmp_path, path_str)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if wal is not None:
+        checkpoint_path = db.checkpoint_path
+        if os.path.abspath(path_str) != os.path.abspath(checkpoint_path):
+            _copy_file_durably(path_str, checkpoint_path)
+        wal.truncate_until(checkpoint_lsn)
+        wal.append(["checkpoint_end", checkpoint_lsn])
+        db.wal_applied_lsn = wal.end_lsn
+        REGISTRY.counter("wal.checkpoints").inc()
+
+
+def _copy_file_durably(source: str, target: str) -> None:
+    """Copy ``source`` over ``target`` with the same atomicity as a save."""
+    tmp_path = f"{target}.tmp"
+    try:
+        with open(source, "rb") as src, open(tmp_path, "wb") as dst:
+            shutil.copyfileobj(src, dst)
+            dst.flush()
+            os.fsync(dst.fileno())
+        os.replace(tmp_path, target)
     except BaseException:
         try:
             os.unlink(tmp_path)
@@ -287,4 +329,7 @@ def load_database(
 
     for descriptor in catalog["indexes"]:
         _rehydrate_index(db, descriptor)
+    # A WAL-stamped snapshot (a checkpoint) records the log position its
+    # state reflects; replay skips records below it.
+    db.wal_applied_lsn = (catalog.get("wal") or {}).get("checkpoint_lsn", 0)
     return db

@@ -257,6 +257,10 @@ class QueryExecutor:
         described = plan.describe()
         if "degraded" in stats_detail:
             described += f" -> degraded-fallback scan({plan.class_name})"
+            # Counted here — once per query — rather than inside the
+            # fallback helper, so a plan whose legs degrade independently
+            # can never inflate the metric.
+            REGISTRY.counter("query.degraded_fallbacks").inc()
         stats = QueryStatistics(
             plan=described,
             candidates=candidates,
@@ -419,7 +423,6 @@ class QueryExecutor:
         to a healthy index path — only the page-access profile differs
         (object-file pages instead of facility pages).
         """
-        REGISTRY.counter("query.degraded_fallbacks").inc()
         with trace.span(
             "degraded-fallback",
             class_name=plan.class_name,

@@ -12,9 +12,9 @@ I/O accounting), so running fsck never perturbs metered page counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ReproError, WalCorruptError, WalError
 
 if TYPE_CHECKING:
     from repro.objects.database import Database
@@ -24,7 +24,7 @@ if TYPE_CHECKING:
 class FsckIssue:
     """One problem found by :func:`run_fsck`."""
 
-    kind: str  # "checksum" | "structure" | "degraded" | "consistency"
+    kind: str  # "checksum" | "structure" | "degraded" | "consistency" | "wal"
     subject: str  # file name or class.attribute/facility path
     detail: str
 
@@ -40,6 +40,10 @@ class FsckReport:
     files_checked: int = 0
     pages_checked: int = 0
     facilities_checked: int = 0
+    #: intact records in the attached WAL (0 when no WAL)
+    wal_records: int = 0
+    #: one-line WAL summary, or ``None`` when the database has no WAL
+    wal_status: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -50,6 +54,8 @@ class FsckReport:
             f"fsck: {self.files_checked} files / {self.pages_checked} pages / "
             f"{self.facilities_checked} facilities checked"
         ]
+        if self.wal_status is not None:
+            lines.append(f"fsck: wal {self.wal_status}")
         if self.ok:
             lines.append("fsck: clean")
         else:
@@ -89,9 +95,62 @@ def run_fsck(database: "Database", deep: bool = False) -> FsckReport:
         report.issues.append(
             FsckIssue("degraded", path, f"marked degraded: {reason}")
         )
+    if database.wal is not None:
+        _check_wal(database, report)
     if deep:
         try:
             database.check_consistency()
         except ReproError as exc:
             report.issues.append(FsckIssue("consistency", "database", str(exc)))
     return report
+
+
+def _check_wal(database: "Database", report: FsckReport) -> None:
+    """Scan the attached write-ahead log and summarize its health."""
+    from repro.wal.log import scan_wal
+
+    wal = database.wal
+    try:
+        scan = scan_wal(wal.path)
+    except WalCorruptError as exc:
+        report.wal_status = f"CORRUPT at lsn {exc.lsn}"
+        report.issues.append(
+            FsckIssue(
+                "wal",
+                wal.path,
+                f"{exc}; repair with `wal truncate --lsn {exc.lsn}` "
+                "(work at and past that lsn is lost)",
+            )
+        )
+        return
+    except WalError as exc:
+        report.wal_status = "UNREADABLE"
+        report.issues.append(FsckIssue("wal", wal.path, str(exc)))
+        return
+    report.wal_records = len(scan.records)
+    report.wal_status = (
+        f"ok: {len(scan.records)} record(s), lsn [{scan.base_lsn}, "
+        f"{scan.end_lsn}], applied through {database.wal_applied_lsn}"
+    )
+    if scan.torn_bytes:
+        # Can only appear if the file was damaged after the log was opened
+        # (opening truncates torn tails); recovery would drop it silently,
+        # but fsck reports everything it sees.
+        report.issues.append(
+            FsckIssue(
+                "wal",
+                wal.path,
+                f"torn tail of {scan.torn_bytes} byte(s) after lsn "
+                f"{scan.end_lsn} (will be truncated on recovery)",
+            )
+        )
+    if database.wal_applied_lsn < scan.end_lsn:
+        report.issues.append(
+            FsckIssue(
+                "wal",
+                wal.path,
+                f"log extends past the applied watermark "
+                f"({database.wal_applied_lsn} < {scan.end_lsn}); "
+                "records await replay",
+            )
+        )

@@ -58,6 +58,17 @@ def rebuild_facility(
     """
     old = database.index(class_name, attribute, facility_name)
     name = old.name
+    with database._wal_op(lambda: ["rebuild", class_name, attribute, name]):
+        return _rebuild_body(database, old, class_name, attribute, name)
+
+
+def _rebuild_body(
+    database: "Database",
+    old: "SetAccessFacility",
+    class_name: str,
+    attribute: str,
+    name: str,
+) -> "SetAccessFacility":
     key = (class_name, attribute)
     del database._indexes[key][name]
     prefix = f"{name}:{class_name}.{attribute}:"

@@ -121,7 +121,13 @@ class Shell:
         if command == "health":
             from repro.recovery import run_fsck
 
-            return run_fsck(self.database, deep="deep" in args).render()
+            report = run_fsck(self.database, deep="deep" in args)
+            rendered = report.render()
+            if report.wal_status is None:
+                rendered += "\nfsck: wal disabled (durability: {})".format(
+                    self.database.durability
+                )
+            return rendered
         if command == "rebuild":
             if not 1 <= len(args) <= 2 or "." not in args[0]:
                 return "usage: \\rebuild Class.attribute [facility]"

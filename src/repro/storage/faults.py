@@ -49,7 +49,9 @@ from repro.storage.disk import DiskStore
 from repro.storage.page import Page
 
 _KINDS = ("transient", "torn", "bitflip", "crash")
-_OPS = ("read", "write")
+#: ``wal-append`` targets write-ahead-log appends (the "page" of a matching
+#: rule is interpreted as the record's LSN).
+_OPS = ("read", "write", "wal-append")
 
 T = TypeVar("T")
 
@@ -60,12 +62,18 @@ class RetryPolicy:
 
     ``backoff_seconds`` defaults to 0 — the simulator has no real device to
     wait for, but the exponential schedule is honored when a caller opts
-    into real sleeps.
+    into real sleeps. ``jitter_seconds`` adds up to that much uniform
+    random extra delay per sleep (decorrelates retry storms);
+    ``max_elapsed_seconds`` caps the total time spent inside
+    :func:`with_retries` — once exceeded, the next transient fault
+    propagates even if attempts remain.
     """
 
     max_attempts: int = 3
     backoff_seconds: float = 0.0
     multiplier: float = 2.0
+    jitter_seconds: float = 0.0
+    max_elapsed_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -76,6 +84,21 @@ class RetryPolicy:
             raise StorageError(
                 f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
             )
+        if self.jitter_seconds < 0:
+            raise StorageError(
+                f"jitter_seconds must be >= 0, got {self.jitter_seconds}"
+            )
+        if self.max_elapsed_seconds is not None and self.max_elapsed_seconds <= 0:
+            raise StorageError(
+                f"max_elapsed_seconds must be > 0, got {self.max_elapsed_seconds}"
+            )
+
+    def sleep_for(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Delay before retry number ``attempt`` (1-based failed attempts)."""
+        delay = self.backoff_seconds * self.multiplier ** (attempt - 1)
+        if self.jitter_seconds > 0:
+            delay += (rng or random).uniform(0.0, self.jitter_seconds)
+        return delay
 
 
 #: Policy used by every buffer pool unless one is supplied explicitly.
@@ -90,6 +113,7 @@ def with_retries(operation: Callable[[], T], policy: RetryPolicy) -> T:
     :class:`~repro.errors.TransientIOError` propagates.
     """
     attempt = 1
+    started = time.monotonic()
     while True:
         try:
             return operation()
@@ -97,10 +121,14 @@ def with_retries(operation: Callable[[], T], policy: RetryPolicy) -> T:
             REGISTRY.counter("storage.retries").inc()
             if attempt >= policy.max_attempts:
                 raise
-            if policy.backoff_seconds > 0:
-                time.sleep(
-                    policy.backoff_seconds * policy.multiplier ** (attempt - 1)
-                )
+            if (
+                policy.max_elapsed_seconds is not None
+                and time.monotonic() - started >= policy.max_elapsed_seconds
+            ):
+                raise
+            delay = policy.sleep_for(attempt)
+            if delay > 0:
+                time.sleep(delay)
             attempt += 1
 
 
@@ -131,8 +159,10 @@ class FaultRule:
             raise StorageError(
                 f"fault kind must be one of {_KINDS}, got {self.kind!r}"
             )
-        if self.kind == "torn" and self.op != "write":
+        if self.kind == "torn" and self.op == "read":
             raise StorageError("torn faults only apply to writes")
+        if self.op == "wal-append" and self.kind == "bitflip":
+            raise StorageError("bitflip faults do not apply to wal appends")
         if self.at_call < 1:
             raise StorageError(f"at_call must be >= 1, got {self.at_call}")
         if self.count < 1:
@@ -196,7 +226,7 @@ class FaultInjector:
         #: every fault fired, in order
         self.injected: List[InjectedFault] = []
         #: device operations seen per op kind (for crash-point enumeration)
-        self.op_counts: Dict[str, int] = {"read": 0, "write": 0}
+        self.op_counts: Dict[str, int] = {"read": 0, "write": 0, "wal-append": 0}
         self._metric_injected = REGISTRY.counter("storage.faults.injected")
 
     # ------------------------------------------------------------------
@@ -315,3 +345,18 @@ class FaultInjector:
         # bitflip: the write lands, then one stored bit silently flips.
         self._inner.write_page(name, page_no, page)
         self._flip_bit(name, page_no, rule.bit)
+
+    def wal_append_fault(self, lsn: int) -> Optional[str]:
+        """Fault decision for one WAL append (consulted by the log itself).
+
+        The WAL is a real OS file, not a simulated device, so the injector
+        only *decides* here — the log performs the fault (raise transient,
+        write half the frame then crash, or crash cleanly). The matching
+        rule's ``page`` is compared against the record's LSN. Returns the
+        fault kind or ``None``.
+        """
+        rule = self._pick("wal-append", "wal.log", lsn)
+        if rule is None:
+            return None
+        self._record(rule, "wal-append", "wal.log", lsn)
+        return rule.kind

@@ -225,6 +225,49 @@ class TestIntersectionLeg:
         assert detail["intersection_skipped"]["facility"] == "ssf"
         assert db.is_degraded("Student", "sports", "ssf")
         assert not db.is_degraded("Student", "hobbies", "ssf")
+        # a skipped intersection narrows nothing but degrades nothing
+        # user-visible either: it is NOT a fallback scan
+        assert REGISTRY.counter("query.degraded_fallbacks").value == 0
+
+    def test_both_legs_failing_counts_one_fallback(self):
+        """Regression: the fallback metric is per *query*, not per leg.
+
+        With both legs of an intersection plan corrupt, the executor
+        answers via a single degraded scan; the counter must read exactly
+        1, however many facilities failed along the way.
+        """
+        db = self._two_attribute_db()
+        first = SetPredicate(
+            "hobbies", SetPredicateKind.HAS_SUBSET, frozenset({HOBBIES[0]})
+        )
+        second = SetPredicate(
+            "sports", SetPredicateKind.HAS_SUBSET, frozenset({HOBBIES[1]})
+        )
+        plan = AccessPlan(
+            class_name="Student",
+            driving_predicate=first,
+            facility_name="ssf",
+            search_mode="superset",
+            residual_predicates=(second,),
+            intersect_with=SecondaryAccess(second, "ssf", "superset"),
+        )
+        query = ParsedQuery(class_name="Student", predicates=(first, second))
+        truth = sorted(
+            oid
+            for oid, values in db.objects.scan("Student")
+            if first.matches(values) and second.matches(values)
+        )
+        store = db.storage.store
+        for file_name in facility_files(db, "ssf"):
+            for page_no in range(store.num_pages(file_name)):
+                corrupt_page(db, file_name, page_no)
+        result = QueryExecutor(db).execute_plan(plan, query)
+        assert sorted(result.oids()) == truth
+        assert "degraded" in result.statistics.detail
+        assert result.statistics.plan.endswith(
+            "-> degraded-fallback scan(Student)"
+        )
+        assert REGISTRY.counter("query.degraded_fallbacks").value == 1
 
     def test_healthy_intersection_still_runs(self):
         db = self._two_attribute_db()

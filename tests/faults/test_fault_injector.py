@@ -199,6 +199,47 @@ class TestRetry:
             RetryPolicy(max_attempts=0)
         with pytest.raises(StorageError):
             RetryPolicy(backoff_seconds=-1)
+        with pytest.raises(StorageError):
+            RetryPolicy(jitter_seconds=-0.1)
+        with pytest.raises(StorageError):
+            RetryPolicy(max_elapsed_seconds=0)
+
+    def test_jitter_adds_bounded_random_delay(self):
+        import random
+
+        policy = RetryPolicy(
+            backoff_seconds=0.01, multiplier=1.0, jitter_seconds=0.05
+        )
+        delays = [
+            policy.sleep_for(1, rng=random.Random(seed)) for seed in range(20)
+        ]
+        assert all(0.01 <= d <= 0.06 for d in delays)
+        assert len(set(delays)) > 1  # the jitter actually decorrelates
+        # same rng state => same delay: replayable under a fixed seed
+        assert policy.sleep_for(2, rng=random.Random(7)) == policy.sleep_for(
+            2, rng=random.Random(7)
+        )
+        # without jitter the schedule is the plain exponential backoff
+        plain = RetryPolicy(backoff_seconds=0.01, multiplier=2.0)
+        assert [plain.sleep_for(a) for a in (1, 2, 3)] == [0.01, 0.02, 0.04]
+
+    def test_max_elapsed_cap_stops_retries_early(self):
+        calls = {"n": 0}
+
+        def operation():
+            calls["n"] += 1
+            raise TransientIOError("always")
+
+        policy = RetryPolicy(
+            max_attempts=50,
+            backoff_seconds=0.002,
+            multiplier=1.0,
+            max_elapsed_seconds=0.01,
+        )
+        with pytest.raises(TransientIOError):
+            with_retries(operation, policy)
+        # the cap, not the attempt budget, ended the loop
+        assert 2 <= calls["n"] < 50
 
     def test_pool_retries_transient_reads(self):
         manager = StorageManager(page_size=128, pool_capacity=0)

@@ -1,0 +1,112 @@
+"""CLI surface: ``sigfile-repro wal inspect|truncate`` and ``fsck --wal-dir``."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import main
+from repro.objects.database import Database
+from repro.wal.log import WAL_FILE_NAME, scan_wal
+from tests.wal.conftest import apply_ops, workload_ops
+
+
+def make_wal_dir(tmp_path, ops_count: int = 8) -> str:
+    wal_dir = str(tmp_path)
+    db = Database(wal_dir=wal_dir)
+    apply_ops(db, workload_ops()[:ops_count])
+    db.close()
+    return wal_dir
+
+
+def corrupt_interior(wal_dir: str, record_index: int) -> int:
+    """Flip a payload byte of one interior record; returns its lsn."""
+    path = os.path.join(wal_dir, WAL_FILE_NAME)
+    victim = scan_wal(path).records[record_index]
+    offset = 16 + victim.lsn + 8  # file header + frame header
+    with open(path, "r+b") as stream:
+        stream.seek(offset)
+        byte = stream.read(1)
+        stream.seek(offset)
+        stream.write(bytes([byte[0] ^ 0xFF]))
+    return victim.lsn
+
+
+class TestWalInspect:
+    def test_lists_records(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        assert main(["wal", "inspect", wal_dir]) == 0
+        out = capsys.readouterr().out
+        assert "8 record(s)" in out
+        assert "define_class" in out and "insert" in out
+
+    def test_json_payload(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        assert main(["wal", "inspect", wal_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["base_lsn"] == 0 and payload["torn_bytes"] == 0
+        assert len(payload["records"]) == 8
+        assert payload["records"][0]["type"] == "define_class"
+
+    def test_corrupt_log_fails_with_repair_hint(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        lsn = corrupt_interior(wal_dir, record_index=4)
+        assert main(["wal", "inspect", wal_dir]) == 1
+        err = capsys.readouterr().err
+        assert f"corrupt at lsn {lsn}" in err
+        assert f"wal truncate {wal_dir} --lsn {lsn}" in err
+
+    def test_missing_log_fails(self, tmp_path, capsys):
+        assert main(["wal", "inspect", str(tmp_path)]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestWalTruncate:
+    def test_cuts_at_boundary(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        lsn = scan_wal(os.path.join(wal_dir, WAL_FILE_NAME)).records[5].lsn
+        assert main(["wal", "truncate", wal_dir, "--lsn", str(lsn)]) == 0
+        assert "dropped 3 record(s)" in capsys.readouterr().out
+        assert len(scan_wal(os.path.join(wal_dir, WAL_FILE_NAME)).records) == 5
+
+    def test_repairs_corrupt_log_end_to_end(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        lsn = corrupt_interior(wal_dir, record_index=4)
+        assert main(["wal", "truncate", wal_dir, "--lsn", str(lsn)]) == 0
+        assert main(["wal", "inspect", wal_dir]) == 0  # readable again
+        db = Database.open(wal_dir)  # and recoverable
+        assert db.count("Student") == 0  # the cut dropped every insert
+        db.close()
+
+    def test_rejects_non_boundary(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        assert main(["wal", "truncate", wal_dir, "--lsn", "3"]) == 1
+        assert "cannot truncate" in capsys.readouterr().err
+
+
+class TestFsckWalDir:
+    def test_healthy_directory(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        assert main(["fsck", "--wal-dir", wal_dir, "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "fsck: clean" in out and "wal ok" in out
+
+    def test_corrupt_log_names_lsn(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        lsn = corrupt_interior(wal_dir, record_index=4)
+        assert main(["fsck", "--wal-dir", wal_dir]) == 1
+        err = capsys.readouterr().err
+        assert f"corrupt at lsn {lsn}" in err and "wal truncate" in err
+
+    def test_requires_exactly_one_target(self, tmp_path, capsys):
+        assert main(["fsck"]) == 1
+        assert "either a snapshot or --wal-dir" in capsys.readouterr().err
+
+    def test_repair_of_clean_directory_is_a_no_op(self, tmp_path, capsys):
+        wal_dir = make_wal_dir(tmp_path)
+        before = len(scan_wal(os.path.join(wal_dir, WAL_FILE_NAME)).records)
+        assert main(["fsck", "--wal-dir", wal_dir, "--repair"]) == 0
+        assert "fsck: clean" in capsys.readouterr().out
+        # nothing to repair: no checkpoint taken, the log is untouched
+        records = scan_wal(os.path.join(wal_dir, WAL_FILE_NAME)).records
+        assert len(records) == before

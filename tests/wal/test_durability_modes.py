@@ -1,0 +1,102 @@
+"""Durability mode selection and the no-WAL invariants.
+
+The acceptance bar for the WAL work is that databases which do not opt in
+pay nothing: ``durability="snapshot"`` (the default) must leave page-access
+counts, tracer output, and metrics exactly as they were before the WAL
+subsystem existed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.objects.database import Database
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import Tracer, activate
+from tests.wal.conftest import apply_ops, fingerprint, workload_ops
+
+
+class TestModeSelection:
+    def test_default_is_snapshot(self):
+        db = Database()
+        assert db.durability == "snapshot"
+        assert db.wal is None
+
+    def test_wal_dir_implies_wal_mode(self, tmp_path):
+        db = Database(wal_dir=str(tmp_path))
+        assert db.durability == "wal"
+        assert db.wal is not None
+        db.close()
+
+    def test_none_mode_is_accepted(self):
+        db = Database(durability="none")
+        assert db.durability == "none"
+        assert db.wal is None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Database(durability="paranoid")
+
+    def test_wal_dir_with_non_wal_mode_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Database(wal_dir=str(tmp_path), durability="snapshot")
+
+    def test_wal_mode_requires_wal_dir(self):
+        with pytest.raises(ConfigurationError):
+            Database(durability="wal")
+
+    def test_checkpoint_requires_wal_mode(self):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            Database().checkpoint()
+
+
+class TestNoWalInvariants:
+    def test_snapshot_mode_state_matches_wal_mode(self, tmp_path):
+        ops = workload_ops()
+        plain = Database(page_size=4096, pool_capacity=0)
+        apply_ops(plain, ops)
+        logged = Database(wal_dir=str(tmp_path))
+        apply_ops(logged, ops)
+        assert fingerprint(plain) == fingerprint(logged)
+        logged.close()
+
+    def test_snapshot_mode_page_counts_match_wal_mode(self, tmp_path):
+        """The WAL is a host file, not simulated pages: identical I/O."""
+        ops = workload_ops()
+        plain = Database(page_size=4096, pool_capacity=0)
+        apply_ops(plain, ops)
+        logged = Database(wal_dir=str(tmp_path))
+        apply_ops(logged, ops)
+        plain_total = plain.io_snapshot().total()
+        logged_total = logged.io_snapshot().total()
+        assert (plain_total.logical_reads, plain_total.logical_writes) == (
+            logged_total.logical_reads,
+            logged_total.logical_writes,
+        )
+        logged.close()
+
+    def test_snapshot_mode_emits_no_wal_metrics(self):
+        db = Database()
+        apply_ops(db, workload_ops())
+        assert REGISTRY.counter("wal.appends").value == 0
+        assert REGISTRY.counter("wal.fsyncs").value == 0
+
+    def test_snapshot_mode_traces_no_wal_spans(self):
+        tracer = Tracer()
+        db = Database()
+        with activate(tracer):
+            apply_ops(db, workload_ops())
+        names = {s.name for root in tracer.roots for s in root.walk()}
+        assert "wal-append" not in names and "wal-replay" not in names
+
+    def test_wal_mode_traces_wal_append_spans(self, tmp_path):
+        tracer = Tracer()
+        db = Database(wal_dir=str(tmp_path))
+        with activate(tracer):
+            apply_ops(db, workload_ops()[:5])
+        names = [s.name for root in tracer.roots for s in root.walk()]
+        assert names.count("wal-append") == 5
+        db.close()

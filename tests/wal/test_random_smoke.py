@@ -1,0 +1,83 @@
+"""Randomized WAL smoke: seeded chaos at the log layer, exact recovery.
+
+CI runs this with a fresh ``FAULTS_RANDOM_SEED`` each time (printed by
+``tools/check.sh``); set the variable to replay a failure exactly. Without
+it a fixed default keeps local runs deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.errors import SimulatedCrashError
+from repro.objects.database import Database
+from repro.obs.metrics import REGISTRY
+from repro.recovery import run_fsck
+from repro.storage import FaultRule, RetryPolicy
+from repro.storage.faults import with_retries
+from repro.wal.log import WAL_FILE_NAME, scan_wal
+from tests.wal.conftest import (
+    apply_ops,
+    baseline_fingerprints,
+    fingerprint,
+    workload_ops,
+)
+
+SEED = int(os.environ.get("FAULTS_RANDOM_SEED", "1993"))
+
+RETRIES = RetryPolicy(max_attempts=6)
+
+
+def test_random_crash_points_recover_exactly(tmp_path_factory):
+    """Random clean/torn crashes at random appends: durable prefix, always."""
+    rng = random.Random(SEED)
+    ops = workload_ops()
+    base = baseline_fingerprints(ops)
+    for round_no in range(4):
+        kind = rng.choice(["crash", "torn"])
+        at_call = rng.randrange(1, len(ops) + 1)
+        wal_dir = str(tmp_path_factory.mktemp(f"round{round_no}"))
+        db = Database(wal_dir=wal_dir)
+        db.attach_fault_injector(
+            rules=[FaultRule("wal-append", kind, at_call=at_call)]
+        )
+        with pytest.raises(SimulatedCrashError):
+            apply_ops(db, ops)
+        db.detach_fault_injector()
+        db.close()
+
+        durable = len(scan_wal(os.path.join(wal_dir, WAL_FILE_NAME)).records)
+        recovered = Database.open(wal_dir)
+        assert fingerprint(recovered) == base[durable], (
+            f"seed {SEED}: round {round_no} ({kind} @{at_call}) lost state"
+        )
+        assert run_fsck(recovered, deep=True).ok, f"seed {SEED}: fsck dirty"
+        recovered.close()
+
+
+def test_random_transient_wal_faults_are_retryable(tmp_path):
+    """Transient append faults happen before any byte is written: retry-safe."""
+    rng = random.Random(SEED)
+    ops = workload_ops()
+    fault_at = sorted(rng.sample(range(1, len(ops) + 1), 3))
+    db = Database(wal_dir=str(tmp_path))
+    db.attach_fault_injector(
+        rules=[
+            FaultRule("wal-append", "transient", at_call=at) for at in fault_at
+        ]
+    )
+    for _, op in ops:
+        with_retries(lambda: op(db), RETRIES)
+    db.detach_fault_injector()
+    assert REGISTRY.counter("storage.retries").value == len(fault_at)
+    expected = fingerprint(db)
+    assert expected == baseline_fingerprints(ops)[len(ops)], (
+        f"seed {SEED}: retried workload diverged from baseline"
+    )
+    db.close()
+    recovered = Database.open(str(tmp_path))
+    assert fingerprint(recovered) == expected, f"seed {SEED}: recovery diverged"
+    recovered.close()

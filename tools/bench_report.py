@@ -62,6 +62,14 @@ def render(report: dict) -> str:
             f"off {overhead['off_ms']:.2f} ms → on {overhead['on_ms']:.2f} ms "
             f"({overhead['overhead_ratio']:.2f}x)"
         )
+    wal = report.get("wal_overhead")
+    if wal:
+        lines.append("")
+        lines.append(
+            "WAL overhead (update sweep, append+fsync per update): "
+            f"off {wal['off_ms']:.2f} ms → on {wal['on_ms']:.2f} ms "
+            f"({wal['overhead_ratio']:.2f}x)"
+        )
     lines.append("")
     lines.append(f"Overall: {'PASS' if report['pass'] else 'FAIL'}")
     return "\n".join(lines)

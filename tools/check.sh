@@ -22,6 +22,12 @@ python -m pytest tests/obs/test_no_overhead.py -q
 echo "== fault injection (fixed seed) =="
 python -m pytest tests/faults -q
 
+echo "== wal crash matrix (fixed seed) =="
+# Byte-equivalence of crash recovery at every sampled WAL-append, torn
+# write, and device-write crash point (tier-1 covers this too; an explicit
+# gate so a tier-1 reshuffle cannot silently drop it).
+python -m pytest tests/faults/test_wal_crash_matrix.py tests/wal -q
+
 echo "== fault injection (randomized smoke) =="
 # A fresh seed each run widens coverage over time; the seed is printed so
 # any failure can be reproduced exactly.
@@ -29,6 +35,10 @@ FAULTS_RANDOM_SEED="${FAULTS_RANDOM_SEED:-$(python -c 'import secrets; print(sec
 export FAULTS_RANDOM_SEED
 echo "randomized fault seed: $FAULTS_RANDOM_SEED"
 python -m pytest tests/faults/test_random_smoke.py -q
+
+echo "== wal randomized smoke =="
+# Same seed as above: random crash points and transient append faults.
+python -m pytest tests/wal/test_random_smoke.py -q
 
 echo "== smoke benchmark =="
 python benchmarks/bench_wallclock.py --smoke \
