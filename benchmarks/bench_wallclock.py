@@ -17,11 +17,17 @@ against the per-entry reference path on:
 * the wall-clock overhead of ``durability="wal"`` on the update path —
   each update appends + fsyncs one logical record before mutating —
   against an identical WAL-off database, recorded under the report's
-  ``wal_overhead`` key.
+  ``wal_overhead`` key,
+* concurrent read throughput: one query batch served sequentially vs by a
+  :class:`~repro.server.QueryService` worker pool over a store with
+  simulated per-page read latency (the sleeps overlap across workers the
+  way real disk requests would), recorded under the report's
+  ``concurrency`` key as ``concurrent_speedup``.
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--json] [--out F]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--json]
+        [--out F] [--workers N] [--concurrent-only]
 
 Writes a JSON report (default ``BENCH_wallclock.json`` at the repo root;
 ``--json`` also dumps it to stdout) and exits non-zero if a
@@ -59,6 +65,9 @@ FULL = {
     "subset_dq": [10, 30, 100, 300],
     "scan_dq": [5, 20, 100],
     "min_seconds": 1.0,
+    "concurrent_queries": 48,
+    "concurrent_objects": 512,
+    "device_read_latency_s": 0.0002,
 }
 
 SMOKE = {
@@ -73,6 +82,9 @@ SMOKE = {
     "subset_dq": [5, 20],
     "scan_dq": [5, 20],
     "min_seconds": 0.2,
+    "concurrent_queries": 24,
+    "concurrent_objects": 256,
+    "device_read_latency_s": 0.0002,
 }
 
 
@@ -228,6 +240,87 @@ def measure_wal_overhead(config):
     }
 
 
+def measure_concurrent_speedup(config, workers):
+    """Concurrent read throughput: one batch served by N workers vs one.
+
+    The simulator's CPU work is GIL-bound, so honest thread-level speedup
+    must come from overlappable waiting. The store's simulated per-page
+    read latency supplies it: with ``pool_capacity=0`` every object fetch
+    in drop resolution is a device read, and the latency sleep happens
+    outside every lock — sequential serving pays the sleeps back-to-back,
+    a worker pool overlaps them exactly the way a multi-threaded server
+    overlaps real disk requests. Same queries, same results, bit-identical
+    page counts; only the wall clock differs.
+    """
+    from repro.objects.database import Database
+    from repro.objects.schema import ClassSchema
+    from repro.query.executor import QueryExecutor
+    from repro.server import QueryService
+
+    num_objects = config["concurrent_objects"]
+    gen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=num_objects,
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["target_seed"],
+        )
+    )
+    db = Database(page_size=config["page_size"], pool_capacity=0)
+    db.define_class(ClassSchema.build("Item", items="set"))
+    db.create_ssf_index(
+        "Item",
+        "items",
+        signature_bits=config["signature_bits"],
+        bits_per_element=config["bits_per_element"],
+        seed=config["target_seed"],
+    )
+    for elements in gen.target_sets():
+        db.insert("Item", {"items": set(elements)})
+
+    qgen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=0,
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["query_seed"],
+        )
+    )
+    # Overlap queries surface many candidates (any shared element drops),
+    # so drop resolution dominates with one device read — one latency
+    # sleep — per candidate object page.
+    texts = [
+        "select Item where items overlaps ({})".format(
+            ", ".join(str(e) for e in sorted(qgen.random_query_set(8)))
+        )
+        for _ in range(config["concurrent_queries"])
+    ]
+
+    db.storage.store.read_latency_seconds = config["device_read_latency_s"]
+    try:
+        executor = QueryExecutor(db)
+
+        def sequential():
+            return [executor.execute_text(text) for text in texts]
+
+        sequential_s = best_sweep_time(sequential, config["min_seconds"])
+        with QueryService(
+            db, max_workers=workers, queue_depth=len(texts)
+        ) as service:
+            concurrent_s = best_sweep_time(
+                lambda: service.execute_many(texts), config["min_seconds"]
+            )
+    finally:
+        db.storage.store.read_latency_seconds = 0.0
+    return {
+        "workers": float(workers),
+        "queries": float(len(texts)),
+        "sequential_ms": sequential_s * 1000,
+        "concurrent_ms": concurrent_s * 1000,
+        "concurrent_speedup": sequential_s / concurrent_s,
+    }
+
+
 def run_benchmarks(config):
     facilities = {}
     build_times = {}
@@ -324,6 +417,23 @@ def main(argv=None):
         action="store_true",
         help="dump the full JSON report to stdout instead of the table",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="worker-pool width for the concurrent serving sweep (default 8)",
+    )
+    parser.add_argument(
+        "--min-concurrent-speedup",
+        type=float,
+        default=None,
+        help="fail unless the concurrent serving speedup reaches this",
+    )
+    parser.add_argument(
+        "--concurrent-only",
+        action="store_true",
+        help="run only the concurrent serving sweep (fast CI smoke)",
+    )
     args = parser.parse_args(argv)
 
     config = dict(SMOKE if args.smoke else FULL)
@@ -332,7 +442,11 @@ def main(argv=None):
         name = "BENCH_wallclock_smoke.json" if args.smoke else "BENCH_wallclock.json"
         out_path = REPO_ROOT / name
 
-    results, tracer_overhead, wal_overhead = run_benchmarks(config)
+    if args.concurrent_only:
+        results, tracer_overhead, wal_overhead = {}, {}, {}
+    else:
+        results, tracer_overhead, wal_overhead = run_benchmarks(config)
+    concurrency = measure_concurrent_speedup(config, args.workers)
 
     thresholds = {
         "bssf_subset_sweep": args.min_bssf_speedup,
@@ -341,8 +455,19 @@ def main(argv=None):
     failures = [
         f"{name}: speedup {results[name]['speedup']:.2f}x < required {minimum:.2f}x"
         for name, minimum in thresholds.items()
-        if minimum is not None and results[name]["speedup"] < minimum
+        if minimum is not None
+        and name in results
+        and results[name]["speedup"] < minimum
     ]
+    thresholds["concurrent"] = args.min_concurrent_speedup
+    if (
+        args.min_concurrent_speedup is not None
+        and concurrency["concurrent_speedup"] < args.min_concurrent_speedup
+    ):
+        failures.append(
+            f"concurrent: speedup {concurrency['concurrent_speedup']:.2f}x "
+            f"< required {args.min_concurrent_speedup:.2f}x"
+        )
 
     report = {
         "mode": "smoke" if args.smoke else "full",
@@ -357,6 +482,7 @@ def main(argv=None):
         "wal_overhead": {
             k: round(v, 3) for k, v in wal_overhead.items()
         },
+        "concurrency": {k: round(v, 3) for k, v in concurrency.items()},
         "thresholds": thresholds,
         "pass": not failures,
     }
@@ -371,17 +497,25 @@ def main(argv=None):
                 f"kernels {metrics['kernels_ms']:9.2f} ms   "
                 f"speedup {metrics['speedup']:6.2f}x"
             )
-        overhead = report["tracer_overhead"]
+        if tracer_overhead:
+            overhead = report["tracer_overhead"]
+            print(
+                f"{'tracer (bssf subset)':20s} off   {overhead['off_ms']:9.2f} ms   "
+                f"on      {overhead['on_ms']:9.2f} ms   "
+                f"ratio   {overhead['overhead_ratio']:6.2f}x"
+            )
+        if wal_overhead:
+            wal = report["wal_overhead"]
+            print(
+                f"{'wal (update sweep)':20s} off   {wal['off_ms']:9.2f} ms   "
+                f"on      {wal['on_ms']:9.2f} ms   "
+                f"ratio   {wal['overhead_ratio']:6.2f}x"
+            )
+        conc = report["concurrency"]
         print(
-            f"{'tracer (bssf subset)':20s} off   {overhead['off_ms']:9.2f} ms   "
-            f"on      {overhead['on_ms']:9.2f} ms   "
-            f"ratio   {overhead['overhead_ratio']:6.2f}x"
-        )
-        wal = report["wal_overhead"]
-        print(
-            f"{'wal (update sweep)':20s} off   {wal['off_ms']:9.2f} ms   "
-            f"on      {wal['on_ms']:9.2f} ms   "
-            f"ratio   {wal['overhead_ratio']:6.2f}x"
+            f"{'concurrent serving':20s} 1 thr {conc['sequential_ms']:9.2f} ms   "
+            f"{int(conc['workers'])} thr  {conc['concurrent_ms']:9.2f} ms   "
+            f"speedup {conc['concurrent_speedup']:6.2f}x"
         )
         print(f"wrote {out_path}")
     if failures:

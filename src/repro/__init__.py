@@ -23,6 +23,7 @@ Quick start::
     )
 """
 
+from repro.concurrency import RWLatch, ShardedLatch
 from repro.core.signature import SetPredicateKind, SignatureScheme
 from repro.objects.database import Database
 from repro.objects.oid import OID
@@ -32,6 +33,7 @@ from repro.query.executor import QueryExecutor, QueryResult
 from repro.query.options import ExecutionOptions
 from repro.query.parser import parse_query
 from repro.query.planner import CostContext, plan_query
+from repro.server.service import QueryService
 
 __version__ = "1.0.0"
 
@@ -45,7 +47,10 @@ __all__ = [
     "OID",
     "QueryExecutor",
     "QueryResult",
+    "QueryService",
+    "RWLatch",
     "SetPredicateKind",
+    "ShardedLatch",
     "SignatureScheme",
     "load_database",
     "parse_query",

@@ -63,6 +63,19 @@ class WalCorruptError(WalError):
         self.lsn = lsn
 
 
+class ConcurrencyError(ReproError):
+    """Base class for concurrency-layer failures (latches, admission)."""
+
+
+class LatchError(ConcurrencyError):
+    """A latch was misused (release without hold, conflicting upgrade)."""
+
+
+class AdmissionError(ConcurrencyError):
+    """The query service shed a request: its admission queue stayed full
+    through every retry the policy allowed."""
+
+
 class ObjectStoreError(ReproError):
     """Base class for object-store failures."""
 

@@ -5,6 +5,15 @@ number of access facilities over set-valued attribute paths (several
 facilities may index the same path — that is exactly how the experiments
 compare SSF, BSSF and NIX on identical data). All object mutations keep
 every affected index synchronized.
+
+Concurrency: the facade carries a reader-writer latch
+(:class:`~repro.concurrency.RWLatch` by default, or a
+:class:`~repro.concurrency.ShardedLatch` keyed by class name with
+``latch="sharded"``). Queries hold it in read mode via
+:meth:`Database.read_scope`; every mutating facade operation takes write
+mode, and checkpoint/snapshot hold :meth:`Database.exclusive_scope`. The
+latch serializes *structure* changes against readers — per-page counters
+stay exact through the thread-safe storage substrate underneath.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from repro.access.base import SetAccessFacility
 from repro.access.bssf import BitSlicedSignatureFile
 from repro.access.nix import NestedIndex
 from repro.access.ssf import SequentialSignatureFile
+from repro.concurrency import RWLatch, ShardedLatch
 from repro.core.signature import SignatureScheme
 from repro.errors import (
     AccessFacilityError,
@@ -55,7 +65,28 @@ class Database:
         durability: Optional[str] = None,
         wal_dir: Optional[str] = None,
         wal_fsync: bool = True,
+        latch: Any = None,
     ):
+        # The facade-level reader-writer latch: queries share it in read
+        # mode, every mutating facade operation takes it in write mode.
+        # ``None`` installs one database-wide RWLatch; ``"sharded"``
+        # installs a ShardedLatch keyed by class name (mutations of one
+        # class never block readers of another); any object exposing
+        # read_scope/write_scope/exclusive_scope is accepted as-is.
+        if latch is None:
+            latch = RWLatch("db")
+        elif latch == "sharded":
+            latch = ShardedLatch("db")
+        elif not (
+            hasattr(latch, "read_scope")
+            and hasattr(latch, "write_scope")
+            and hasattr(latch, "exclusive_scope")
+        ):
+            raise ConfigurationError(
+                "latch must be None, 'sharded', or expose "
+                "read_scope/write_scope/exclusive_scope"
+            )
+        self.latch = latch
         self.storage = StorageManager(page_size=page_size, pool_capacity=pool_capacity)
         self.objects = ObjectStore(self.storage)
         self._indexes: Dict[IndexKey, Dict[str, SetAccessFacility]] = {}
@@ -165,7 +196,8 @@ class Database:
         from repro.persistence.snapshot import save_database
 
         path = self.checkpoint_path
-        save_database(self, path)
+        with self.exclusive_scope():
+            save_database(self, path)
         return path
 
     def close(self) -> None:
@@ -192,6 +224,26 @@ class Database:
             yield
         self.wal_applied_lsn = wal.end_lsn
 
+    # ------------------------------------------------------------------
+    # Latching
+    # ------------------------------------------------------------------
+    def read_scope(self, key: Optional[str] = None):
+        """Shared (read-mode) hold on the facade latch for the body.
+
+        ``key`` names the class being read — required when the latch is
+        sharded, ignored by a database-wide :class:`RWLatch`. The query
+        executor opens one of these around every plan execution.
+        """
+        return self.latch.read_scope(key)
+
+    def write_scope(self, key: Optional[str] = None):
+        """Exclusive (write-mode) hold for one class's mutations."""
+        return self.latch.write_scope(key)
+
+    def exclusive_scope(self):
+        """Whole-database exclusion (checkpoint, snapshot save)."""
+        return self.latch.exclusive_scope()
+
     def attach_fault_injector(self, injector=None, **kwargs):
         """Interpose a fault injector on the device *and* the WAL.
 
@@ -215,17 +267,21 @@ class Database:
     # Schema
     # ------------------------------------------------------------------
     def define_class(self, schema: ClassSchema) -> None:
-        if schema.name in self.objects.class_names():
-            # Pre-check so a failing DDL never reaches the log.
-            raise SchemaError(f"class already defined: {schema.name!r}")
-        with self._wal_op(
-            lambda: [
-                "define_class",
-                schema.name,
-                [[a.name, a.kind.value, a.ref_class] for a in schema.attributes],
-            ]
-        ):
-            self.objects.define_class(schema)
+        with self.write_scope(schema.name):
+            if schema.name in self.objects.class_names():
+                # Pre-check so a failing DDL never reaches the log.
+                raise SchemaError(f"class already defined: {schema.name!r}")
+            with self._wal_op(
+                lambda: [
+                    "define_class",
+                    schema.name,
+                    [
+                        [a.name, a.kind.value, a.ref_class]
+                        for a in schema.attributes
+                    ],
+                ]
+            ):
+                self.objects.define_class(schema)
 
     def schema(self, class_name: str) -> ClassSchema:
         return self.objects.schema(class_name)
@@ -288,23 +344,26 @@ class Database:
         seed: int = 0,
     ) -> SequentialSignatureFile:
         """Sequential signature file on ``class.attribute``."""
-        self._check_indexable(class_name, attribute)
-        self._check_no_duplicate(class_name, attribute, "ssf")
-        scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
-        with self._wal_op(
-            lambda: [
-                "create_index",
-                "ssf",
-                class_name,
-                attribute,
-                [signature_bits, bits_per_element, seed],
-            ]
-        ):
-            facility = SequentialSignatureFile(
-                self.storage, scheme, file_prefix=f"ssf:{class_name}.{attribute}"
-            )
-            self._register(class_name, attribute, facility)
-        return facility
+        with self.write_scope(class_name):
+            self._check_indexable(class_name, attribute)
+            self._check_no_duplicate(class_name, attribute, "ssf")
+            scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
+            with self._wal_op(
+                lambda: [
+                    "create_index",
+                    "ssf",
+                    class_name,
+                    attribute,
+                    [signature_bits, bits_per_element, seed],
+                ]
+            ):
+                facility = SequentialSignatureFile(
+                    self.storage,
+                    scheme,
+                    file_prefix=f"ssf:{class_name}.{attribute}",
+                )
+                self._register(class_name, attribute, facility)
+            return facility
 
     def create_bssf_index(
         self,
@@ -316,26 +375,27 @@ class Database:
         worst_case_insert: bool = False,
     ) -> BitSlicedSignatureFile:
         """Bit-sliced signature file on ``class.attribute``."""
-        self._check_indexable(class_name, attribute)
-        self._check_no_duplicate(class_name, attribute, "bssf")
-        scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
-        with self._wal_op(
-            lambda: [
-                "create_index",
-                "bssf",
-                class_name,
-                attribute,
-                [signature_bits, bits_per_element, seed, worst_case_insert],
-            ]
-        ):
-            facility = BitSlicedSignatureFile(
-                self.storage,
-                scheme,
-                file_prefix=f"bssf:{class_name}.{attribute}",
-                worst_case_insert=worst_case_insert,
-            )
-            self._register(class_name, attribute, facility)
-        return facility
+        with self.write_scope(class_name):
+            self._check_indexable(class_name, attribute)
+            self._check_no_duplicate(class_name, attribute, "bssf")
+            scheme = SignatureScheme(signature_bits, bits_per_element, seed=seed)
+            with self._wal_op(
+                lambda: [
+                    "create_index",
+                    "bssf",
+                    class_name,
+                    attribute,
+                    [signature_bits, bits_per_element, seed, worst_case_insert],
+                ]
+            ):
+                facility = BitSlicedSignatureFile(
+                    self.storage,
+                    scheme,
+                    file_prefix=f"bssf:{class_name}.{attribute}",
+                    worst_case_insert=worst_case_insert,
+                )
+                self._register(class_name, attribute, facility)
+            return facility
 
     def create_nested_index(
         self, class_name: str, attribute: str, overflow_chains: bool = False
@@ -346,24 +406,25 @@ class Database:
         limit (needed for heavily skewed domains) at the cost of extra page
         reads on hot keys.
         """
-        self._check_indexable(class_name, attribute)
-        self._check_no_duplicate(class_name, attribute, "nix")
-        with self._wal_op(
-            lambda: [
-                "create_index",
-                "nix",
-                class_name,
-                attribute,
-                [overflow_chains],
-            ]
-        ):
-            facility = NestedIndex(
-                self.storage,
-                file_prefix=f"nix:{class_name}.{attribute}",
-                overflow_chains=overflow_chains,
-            )
-            self._register(class_name, attribute, facility)
-        return facility
+        with self.write_scope(class_name):
+            self._check_indexable(class_name, attribute)
+            self._check_no_duplicate(class_name, attribute, "nix")
+            with self._wal_op(
+                lambda: [
+                    "create_index",
+                    "nix",
+                    class_name,
+                    attribute,
+                    [overflow_chains],
+                ]
+            ):
+                facility = NestedIndex(
+                    self.storage,
+                    file_prefix=f"nix:{class_name}.{attribute}",
+                    overflow_chains=overflow_chains,
+                )
+                self._register(class_name, attribute, facility)
+            return facility
 
     def indexes_on(self, class_name: str, attribute: str) -> Dict[str, SetAccessFacility]:
         return dict(self._indexes.get((class_name, attribute), {}))
@@ -403,12 +464,13 @@ class Database:
             next_oid = self.objects.peek_next_oid(class_name)
             return ["insert", class_name, next_oid.to_int(), encode_object(values)]
 
-        with self._wal_op(fields):
-            oid = self.objects.insert(class_name, values)
-            for (cls, attr), per_path in self._indexes.items():
-                if cls == class_name:
-                    for facility in per_path.values():
-                        facility.insert(frozenset(values[attr]), oid)
+        with self.write_scope(class_name):
+            with self._wal_op(fields):
+                oid = self.objects.insert(class_name, values)
+                for (cls, attr), per_path in self._indexes.items():
+                    if cls == class_name:
+                        for facility in per_path.values():
+                            facility.insert(frozenset(values[attr]), oid)
         return oid
 
     def get(self, oid: OID) -> Dict[str, Any]:
@@ -416,34 +478,36 @@ class Database:
 
     def update(self, oid: OID, values: Dict[str, Any]) -> None:
         class_name = self.objects.class_name_of(oid)
-        old_values = self.objects.fetch(oid)
 
         def fields() -> list:
             self.schema(class_name).validate_object(values)
             return ["update", oid.to_int(), encode_object(values)]
 
-        with self._wal_op(fields):
-            self.objects.update(oid, values)
-            for (cls, attr), per_path in self._indexes.items():
-                if cls != class_name:
-                    continue
-                old_set = frozenset(old_values[attr])
-                new_set = frozenset(values[attr])
-                if old_set == new_set:
-                    continue
-                for facility in per_path.values():
-                    facility.delete(old_set, oid)
-                    facility.insert(new_set, oid)
+        with self.write_scope(class_name):
+            old_values = self.objects.fetch(oid)
+            with self._wal_op(fields):
+                self.objects.update(oid, values)
+                for (cls, attr), per_path in self._indexes.items():
+                    if cls != class_name:
+                        continue
+                    old_set = frozenset(old_values[attr])
+                    new_set = frozenset(values[attr])
+                    if old_set == new_set:
+                        continue
+                    for facility in per_path.values():
+                        facility.delete(old_set, oid)
+                        facility.insert(new_set, oid)
 
     def delete(self, oid: OID) -> None:
         class_name = self.objects.class_name_of(oid)
-        values = self.objects.fetch(oid)
-        with self._wal_op(lambda: ["delete", oid.to_int()]):
-            for (cls, attr), per_path in self._indexes.items():
-                if cls == class_name:
-                    for facility in per_path.values():
-                        facility.delete(frozenset(values[attr]), oid)
-            self.objects.delete(oid)
+        with self.write_scope(class_name):
+            values = self.objects.fetch(oid)
+            with self._wal_op(lambda: ["delete", oid.to_int()]):
+                for (cls, attr), per_path in self._indexes.items():
+                    if cls == class_name:
+                        for facility in per_path.values():
+                            facility.delete(frozenset(values[attr]), oid)
+                self.objects.delete(oid)
 
     def scan(self, class_name: str) -> Iterator[Tuple[OID, Dict[str, Any]]]:
         return self.objects.scan(class_name)
@@ -506,10 +570,15 @@ class Database:
         its files, bulk-loads a fresh structure from live objects, clears
         the degraded mark, and returns the new facility. The result is
         byte-for-byte what a fresh build over the same objects produces.
+
+        Takes the write latch for the class — when called from a reader
+        (the executor's auto-rebuild path) this is a read-to-write upgrade,
+        which the latch supports for a single upgrader at a time.
         """
         from repro.recovery.rebuild import rebuild_facility
 
-        return rebuild_facility(self, class_name, attribute, facility_name)
+        with self.write_scope(class_name):
+            return rebuild_facility(self, class_name, attribute, facility_name)
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -539,7 +608,8 @@ class Database:
         """
         from repro.recovery.rebuild import rebuild_facility
 
-        return rebuild_facility(self, class_name, attribute, facility_name)
+        with self.write_scope(class_name):
+            return rebuild_facility(self, class_name, attribute, facility_name)
 
     def analyze(self, class_name: str, attribute: str, refresh: bool = True):
         """Collect (or refresh) workload statistics for one set attribute.

@@ -32,7 +32,16 @@ traffic" view the per-query :class:`QueryStatistics` cannot give:
   records dropped while opening a log; ``recovery.wal_replayed_records`` —
   log records redone during recovery; ``recovery.wal_replay_rebuilds`` —
   facilities reconstructed because replay hit a damaged facility (all fed
-  by :mod:`repro.wal`).
+  by :mod:`repro.wal`);
+* ``latch.read_acquires`` / ``latch.write_acquires`` /
+  ``latch.read_waits`` / ``latch.write_waits`` / ``latch.upgrades`` —
+  reader-writer latch traffic (fed by
+  :class:`~repro.concurrency.latch.RWLatch`);
+* ``server.submitted`` / ``server.admitted`` / ``server.shed`` /
+  ``server.completed`` / ``server.errors`` — query-service admission and
+  completion counts, plus the ``server.workers`` gauge and the
+  ``server.admission_wait_seconds`` / ``server.query_seconds`` histograms
+  (fed by :class:`~repro.server.QueryService`).
 
 Instruments are plain attribute-increment objects: feeding them is a few
 nanoseconds and never touches the I/O accounting, so golden page-access
@@ -42,6 +51,7 @@ registry instance.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional
 
 __all__ = [
@@ -55,16 +65,26 @@ __all__ = [
 
 
 class Counter:
-    """Monotonically increasing integer."""
+    """Monotonically increasing integer.
 
-    __slots__ = ("name", "value")
+    Increments are atomic: a plain ``+=`` on an instance attribute is a
+    read-modify-write that CPython may interleave across threads (the GIL
+    guarantees bytecode atomicity, not statement atomicity), silently
+    losing counts once the query service runs concurrent workers. Each
+    counter carries its own lock; reads of :attr:`value` need none (int
+    loads are atomic and the value is monotone).
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
@@ -94,7 +114,7 @@ class Histogram:
     samples.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
 
     _BOUNDS = tuple(10.0 ** e for e in range(-6, 7))  # 1e-6 .. 1e6
 
@@ -105,19 +125,21 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets = [0] * (len(self._BOUNDS) + 1)
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for i, bound in enumerate(self._BOUNDS):
-            if value <= bound:
-                self.buckets[i] += 1
-                return
-        self.buckets[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for i, bound in enumerate(self._BOUNDS):
+                if value <= bound:
+                    self.buckets[i] += 1
+                    return
+            self.buckets[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -137,9 +159,15 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use and stable thereafter."""
+    """Named instruments, created on first use and stable thereafter.
+
+    Creation is serialized by a registry lock so two threads asking for the
+    same name always observe one instrument; components cache the returned
+    references, so the lock is off the hot path.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -147,19 +175,22 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
         return instrument
 
     def snapshot(self) -> Dict[str, Any]:

@@ -15,7 +15,7 @@ query span becomes its child, and exclusive ("self") page counts of all
 spans in a tree sum to the root's inclusive total.
 
 Tracing is **off by default** and adds near-zero overhead when off: the
-module-level active tracer is a :data:`NULL_TRACER` singleton whose
+per-thread active tracer defaults to a :data:`NULL_TRACER` singleton whose
 ``span()`` returns one shared no-op context manager — no allocation, no
 snapshotting, no accounting side effects. Crucially the tracer only *reads*
 I/O counters (:meth:`IOStatistics.snapshot`); it never charges a page
@@ -27,6 +27,7 @@ fixed-seed suite).
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
@@ -261,39 +262,41 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 # ----------------------------------------------------------------------
-# Module-level active tracer
+# Thread-level active tracer
 # ----------------------------------------------------------------------
-# The simulator is single-threaded (see BufferPool's docstring), so a plain
-# module global is sufficient — and cheaper than a contextvar on the hot
-# search paths that consult it once per call.
-_active = NULL_TRACER
+# The active tracer is *per thread*: a span stack shared across the query
+# service's worker pool would interleave unrelated queries into one tree
+# (and corrupt the stack invariant outright). A ``threading.local`` slot
+# costs one attribute load on the hot search paths — measurably cheaper
+# than a contextvar and safe under concurrency; each worker activates its
+# own tracer and other threads stay on the null singleton.
+_local = threading.local()
 
 
 def current():
-    """The active tracer (the :data:`NULL_TRACER` singleton when off)."""
-    return _active
+    """This thread's active tracer (the :data:`NULL_TRACER` when off)."""
+    return getattr(_local, "tracer", NULL_TRACER)
 
 
 def span(name: str, **attributes: Any):
     """Open a span on the active tracer (no-op when tracing is off)."""
-    return _active.span(name, **attributes)
+    return getattr(_local, "tracer", NULL_TRACER).span(name, **attributes)
 
 
 def annotate(**attributes: Any) -> None:
     """Attach attributes to the innermost active span (no-op when off)."""
-    _active.annotate(**attributes)
+    getattr(_local, "tracer", NULL_TRACER).annotate(**attributes)
 
 
 @contextmanager
 def activate(tracer: Tracer):
-    """Install ``tracer`` as the active tracer for the ``with`` body."""
-    global _active
-    previous = _active
-    _active = tracer
+    """Install ``tracer`` as this thread's active tracer for the body."""
+    previous = getattr(_local, "tracer", NULL_TRACER)
+    _local.tracer = tracer
     try:
         yield tracer
     finally:
-        _active = previous
+        _local.tracer = previous
 
 
 def traced_search(span_name: str) -> Callable:
@@ -309,9 +312,10 @@ def traced_search(span_name: str) -> Callable:
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(self, query, *args, **kwargs):
-            if _active is NULL_TRACER:
+            active = getattr(_local, "tracer", NULL_TRACER)
+            if active is NULL_TRACER:
                 return fn(self, query, *args, **kwargs)
-            with _active.span(span_name, query_cardinality=len(query)) as sp:
+            with active.span(span_name, query_cardinality=len(query)) as sp:
                 result = fn(self, query, *args, **kwargs)
                 for key, value in result.detail.items():
                     if isinstance(value, (str, int, float, bool)):

@@ -182,6 +182,28 @@ class QueryExecutor:
         result.trace = root
         return result
 
+    def execute_many(
+        self,
+        queries: List[str],
+        options: Optional[ExecutionOptions] = None,
+    ) -> List[QueryResult]:
+        """Run a batch of query texts, optionally across a worker pool.
+
+        With ``options.max_workers`` unset (or 1) the batch runs
+        sequentially on the calling thread. Otherwise a transient
+        :class:`~repro.server.QueryService` serves it with that many
+        workers; results come back in submission order either way, and the
+        merged page-access totals are identical to the sequential run.
+        """
+        opts = coerce_options(options, {})
+        workers = opts.max_workers
+        if workers is None or workers <= 1:
+            return [self.execute_text(text, opts) for text in queries]
+        from repro.server.service import QueryService
+
+        with QueryService(self.database, max_workers=workers) as service:
+            return service.execute_many(queries, opts)
+
     def _tracer_for(self, opts: ExecutionOptions) -> Optional[Tracer]:
         """The tracer to activate for this call, or ``None`` to not activate."""
         if trace.current() is not NULL_TRACER:
@@ -246,14 +268,24 @@ class QueryExecutor:
     # Plan execution
     # ------------------------------------------------------------------
     def execute_plan(self, plan: AccessPlan, query: ParsedQuery) -> QueryResult:
-        before = self.database.io_snapshot()
-        started = time.perf_counter()
-        if plan.is_scan:
-            with trace.span("query.scan", class_name=plan.class_name):
-                rows, stats_detail, candidates = self._run_scan(plan, query)
-        else:
-            rows, stats_detail, candidates = self._run_index(plan, query)
-        elapsed = time.perf_counter() - started
+        # Read latch for the whole plan execution (keyed by class for a
+        # sharded latch), plus a per-thread I/O scope: under concurrent
+        # serving the before/after metering below must see only this
+        # thread's page accesses, and the scope's merge-on-exit keeps the
+        # shared totals bit-identical to a sequential run.
+        with self.database.read_scope(plan.class_name):
+            with self.database.storage.stats.isolated():
+                before = self.database.io_snapshot()
+                started = time.perf_counter()
+                if plan.is_scan:
+                    with trace.span("query.scan", class_name=plan.class_name):
+                        rows, stats_detail, candidates = self._run_scan(
+                            plan, query
+                        )
+                else:
+                    rows, stats_detail, candidates = self._run_index(plan, query)
+                elapsed = time.perf_counter() - started
+                io_delta = self.database.io_snapshot() - before
         described = plan.describe()
         if "degraded" in stats_detail:
             described += f" -> degraded-fallback scan({plan.class_name})"
@@ -266,7 +298,7 @@ class QueryExecutor:
             candidates=candidates,
             false_drops=candidates - len(rows),
             results=len(rows),
-            io=self.database.io_snapshot() - before,
+            io=io_delta,
             elapsed_seconds=elapsed,
             detail=stats_detail,
         )

@@ -47,6 +47,12 @@ class ExecutionOptions:
     ``tracer``
         Use this exact :class:`~repro.obs.tracer.Tracer` (with its sinks)
         instead of a fresh one; implies ``trace``.
+    ``max_workers``
+        Worker-pool width for batch entry points
+        (:meth:`QueryExecutor.execute_many`,
+        :class:`~repro.server.QueryService`). ``None`` means serve
+        sequentially on the calling thread; single-query execution ignores
+        it.
     """
 
     context: Optional["CostContext"] = None
@@ -54,6 +60,7 @@ class ExecutionOptions:
     smart: bool = True
     trace: bool = False
     tracer: Optional["Tracer"] = None
+    max_workers: Optional[int] = None
 
     @property
     def tracing_requested(self) -> bool:

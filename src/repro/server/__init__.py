@@ -1,0 +1,12 @@
+"""Concurrent query serving on top of the executor.
+
+:class:`QueryService` wraps one :class:`~repro.query.executor.QueryExecutor`
+in a worker pool with bounded admission, turning the single-query API into
+a serving surface: ``submit`` for futures, ``execute`` for one blocking
+query, ``execute_many`` for an ordered batch. See ``docs/CONCURRENCY.md``
+for the latch hierarchy the service relies on.
+"""
+
+from repro.server.service import QueryService
+
+__all__ = ["QueryService"]

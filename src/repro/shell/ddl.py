@@ -278,13 +278,20 @@ def _parse_insert(cursor: _Cursor) -> InsertObject:
 # Execution
 # ----------------------------------------------------------------------
 def execute_statement(
-    database: Database, text: str, max_rows: int = 20, trace: bool = False
+    database: Database,
+    text: str,
+    max_rows: int = 20,
+    trace: bool = False,
+    service=None,
 ) -> str:
     """Parse and run one statement; returns a printable result.
 
     With ``trace=True`` (the shell's ``\\trace on`` mode), queries are
     executed with tracing enabled and the rendered span tree is appended
-    to the normal result listing.
+    to the normal result listing. With a ``service`` (a
+    :class:`~repro.server.service.QueryService`, the shell's ``\\workers``
+    mode), select queries are served through its worker pool; DDL and
+    mutations always run on the calling thread.
     """
     statement = parse_statement(text)
     executor = QueryExecutor(database)
@@ -330,9 +337,11 @@ def execute_statement(
     if isinstance(statement, RunQuery):
         if statement.explain:
             return executor.explain(statement.text)
-        result = executor.execute_text(
-            statement.text, ExecutionOptions(trace=trace)
-        )
+        options = ExecutionOptions(trace=trace)
+        if service is not None:
+            result = service.execute(statement.text, options)
+        else:
+            result = executor.execute_text(statement.text, options)
         lines = [
             f"{len(result)} row(s); plan: {result.statistics.plan}; "
             f"pages: {result.statistics.page_accesses}; "

@@ -14,6 +14,8 @@ meta-commands::
                           degraded-facility listing
     \\rebuild Class.attr [facility]
                           reconstruct a facility from the object file
+    \\workers N            serve select queries through an N-worker
+                          QueryService pool (1 restores sequential)
     \\help                 this text
     \\quit                 leave
 
@@ -45,6 +47,17 @@ class Shell:
         self.database = database or Database()
         self.finished = False
         self.tracing = False
+        self.service = None  # QueryService when \workers N (N > 1) is active
+
+    def _set_workers(self, workers: int) -> None:
+        """Install (or drain) the session QueryService for ``\\workers``."""
+        if self.service is not None:
+            self.service.shutdown()
+            self.service = None
+        if workers > 1:
+            from repro.server.service import QueryService
+
+            self.service = QueryService(self.database, max_workers=workers)
 
     # ------------------------------------------------------------------
     # Line handling
@@ -57,7 +70,9 @@ class Shell:
         if line.startswith("\\"):
             return self._meta(line)
         try:
-            return execute_statement(self.database, line, trace=self.tracing)
+            return execute_statement(
+                self.database, line, trace=self.tracing, service=self.service
+            )
         except ReproError as exc:
             return f"error: {exc}"
 
@@ -85,6 +100,9 @@ class Shell:
         command, args = parts[0].lower(), parts[1:]
         if command in ("quit", "exit", "q"):
             self.finished = True
+            if self.service is not None:
+                self.service.shutdown()
+                self.service = None
             return "bye"
         if command == "help":
             return _HELP
@@ -140,6 +158,17 @@ class Shell:
             except ReproError as exc:
                 return f"error: {exc}"
             return f"rebuilt {facility.name} on {class_name}.{attribute}"
+        if command == "workers":
+            if len(args) != 1 or not args[0].isdigit() or int(args[0]) < 1:
+                return "usage: \\workers N (N >= 1)"
+            workers = int(args[0])
+            try:
+                self._set_workers(workers)
+            except ReproError as exc:
+                return f"error: {exc}"
+            if workers == 1:
+                return "serving sequentially"
+            return f"serving through {workers} worker(s)"
         if command == "save":
             if len(args) != 1:
                 return "usage: \\save <path>"
@@ -155,6 +184,9 @@ class Shell:
                 self.database = load_database(args[0])
             except (ReproError, OSError) as exc:
                 return f"error: {exc}"
+            if self.service is not None:
+                # Rebind the worker pool to the freshly loaded database.
+                self._set_workers(self.service.max_workers)
             return f"loaded {args[0]}"
         return f"error: unknown meta-command \\{command}"
 

@@ -6,15 +6,23 @@ physical write. Logical accesses are recorded by :class:`PagedFile`, not
 here, so that the paper-model quantity (pages *touched* by the algorithm) is
 independent of cache hits.
 
-The pool intentionally has no pinning protocol: the simulator is
-single-threaded and access methods never hold page references across other
-page operations. ``capacity = 0`` disables caching entirely (every logical
+The pool intentionally has no pinning protocol: access methods never hold
+page references across other page operations, and page images are immutable
+once fetched. ``capacity = 0`` disables caching entirely (every logical
 access becomes a physical one), which is the configuration that matches the
 paper's no-buffering cost model exactly.
+
+Thread-safety: all frame-map and counter state is guarded by one reentrant
+lock. In uncached mode the device read happens *outside* the lock — there
+is no shared frame state to protect, and holding the lock across a
+simulated-latency read would serialize concurrent readers and erase the
+overlap the query service exists to exploit. With a real cache the lock is
+held across the miss so two threads cannot double-install one page.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -52,6 +60,7 @@ class BufferPool:
         self.stats = stats
         self.capacity = capacity
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self._lock = threading.RLock()
         self._frames: "OrderedDict[_FrameKey, Page]" = OrderedDict()
         self._dirty: set = set()
         self.hits = 0
@@ -80,18 +89,28 @@ class BufferPool:
     def fetch(self, file_name: str, page_no: int) -> Page:
         """Return the page, loading it from the store on a miss."""
         key = (file_name, page_no)
-        frame = self._frames.get(key)
-        if frame is not None:
-            self.hits += 1
-            self._metric_hits.inc()
-            self._frames.move_to_end(key)
-            return frame
-        self.misses += 1
-        self._metric_misses.inc()
-        page = self._read_page(file_name, page_no)
-        self.stats.record_physical_read(file_name)
-        self._install(key, page)
-        return page
+        if self.capacity == 0:
+            # Nothing resident and nothing retained: count the miss, then
+            # read outside the lock so concurrent device reads overlap.
+            with self._lock:
+                self.misses += 1
+            self._metric_misses.inc()
+            page = self._read_page(file_name, page_no)
+            self.stats.record_physical_read(file_name)
+            return page
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self.hits += 1
+                self._metric_hits.inc()
+                self._frames.move_to_end(key)
+                return frame
+            self.misses += 1
+            self._metric_misses.inc()
+            page = self._read_page(file_name, page_no)
+            self.stats.record_physical_read(file_name)
+            self._install(key, page)
+            return page
 
     def touch(self, file_name: str, page_no: int) -> None:
         """Replay :meth:`fetch`'s accounting and state transitions without
@@ -104,19 +123,20 @@ class BufferPool:
         the whole point.
         """
         key = (file_name, page_no)
-        if key in self._frames:
-            self.hits += 1
-            self._metric_hits.inc()
-            self._frames.move_to_end(key)
-            return
-        if not 0 <= page_no < self.store.num_pages(file_name):
-            # Raise the canonical out-of-range error, exactly as fetch would.
-            self._read_page(file_name, page_no)
-        self.misses += 1
-        self._metric_misses.inc()
-        self.stats.record_physical_read(file_name)
-        if self.capacity > 0:
-            self._install(key, self._read_page(file_name, page_no))
+        with self._lock:
+            if key in self._frames:
+                self.hits += 1
+                self._metric_hits.inc()
+                self._frames.move_to_end(key)
+                return
+            if not 0 <= page_no < self.store.num_pages(file_name):
+                # Raise the canonical out-of-range error, exactly as fetch would.
+                self._read_page(file_name, page_no)
+            self.misses += 1
+            self._metric_misses.inc()
+            self.stats.record_physical_read(file_name)
+            if self.capacity > 0:
+                self._install(key, self._read_page(file_name, page_no))
 
     def peek(self, file_name: str, page_no: int) -> Page:
         """Current page image with zero accounting and zero state change.
@@ -127,9 +147,12 @@ class BufferPool:
         can be decoupled without ever diverging in the counters. Prefers the
         resident frame (which may be dirty) over the store image.
         """
-        frame = self._frames.get((file_name, page_no))
+        with self._lock:
+            frame = self._frames.get((file_name, page_no))
         if frame is not None:
             return frame
+        # Device read outside the lock: peeks dominate the warm search path
+        # and must overlap across reader threads under simulated latency.
         return self._read_page(file_name, page_no)
 
     def touch_file(self, file_name: str, pages: int) -> None:
@@ -144,7 +167,8 @@ class BufferPool:
         if pages <= 0:
             return
         if self.capacity == 0:
-            self.misses += pages
+            with self._lock:
+                self.misses += pages
             self._metric_misses.inc(pages)
             self.stats.record_physical_read(file_name, pages)
             return
@@ -156,7 +180,8 @@ class BufferPool:
         if pages_each <= 0:
             return
         if self.capacity == 0:
-            self.misses += pages_each * len(file_names)
+            with self._lock:
+                self.misses += pages_each * len(file_names)
             self._metric_misses.inc(pages_each * len(file_names))
             self.stats.record_physical_read_many(file_names, pages_each)
             return
@@ -173,15 +198,17 @@ class BufferPool:
             if dirty:
                 self._writeback(key, page)
             return
-        self._install(key, page)
-        if dirty:
-            self._dirty.add(key)
+        with self._lock:
+            self._install(key, page)
+            if dirty:
+                self._dirty.add(key)
 
     def mark_dirty(self, file_name: str, page_no: int) -> None:
         key = (file_name, page_no)
-        if key not in self._frames:
-            raise BufferPoolError(f"page not resident: {key}")
-        self._dirty.add(key)
+        with self._lock:
+            if key not in self._frames:
+                raise BufferPoolError(f"page not resident: {key}")
+            self._dirty.add(key)
 
     def _install(self, key: _FrameKey, page: Page) -> None:
         if self.capacity == 0:
@@ -209,9 +236,10 @@ class BufferPool:
         and by callers that need durability mid-run)."""
         key = (file_name, page_no)
         self._writeback(key, page)
-        if key in self._frames:
-            self._frames[key] = page
-            self._dirty.discard(key)
+        with self._lock:
+            if key in self._frames:
+                self._frames[key] = page
+                self._dirty.discard(key)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -219,20 +247,22 @@ class BufferPool:
     def flush_all(self) -> int:
         """Write every dirty frame back; return the number written."""
         written = 0
-        for key in list(self._dirty):
-            page = self._frames.get(key)
-            if page is not None:
-                self._writeback(key, page)
-                written += 1
-            self._dirty.discard(key)
+        with self._lock:
+            for key in list(self._dirty):
+                page = self._frames.get(key)
+                if page is not None:
+                    self._writeback(key, page)
+                    written += 1
+                self._dirty.discard(key)
         return written
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop (without writeback) all frames of a file being destroyed."""
-        doomed = [key for key in self._frames if key[0] == file_name]
-        for key in doomed:
-            del self._frames[key]
-            self._dirty.discard(key)
+        with self._lock:
+            doomed = [key for key in self._frames if key[0] == file_name]
+            for key in doomed:
+                del self._frames[key]
+                self._dirty.discard(key)
 
     def clear(self) -> None:
         """Flush then empty the pool (e.g. between metered experiments).
@@ -241,15 +271,17 @@ class BufferPool:
         measurement, and a stale ratio would leak one experiment's locality
         into the next run's ``hit_ratio()``.
         """
-        self.flush_all()
-        self._frames.clear()
-        self._dirty.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.flush_all()
+            self._frames.clear()
+            self._dirty.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def resident_pages(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     def hit_ratio(self) -> float:
         total = self.hits + self.misses

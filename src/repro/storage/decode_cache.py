@@ -13,10 +13,16 @@ The cache lives strictly *above* the I/O accounting: callers must charge
 the logical page reads of a hit themselves (see
 :meth:`PagedFile.charge_read`), which keeps the paper's page-access metric
 bit-identical whether or not the cache is warm.
+
+Lookups and insertions are serialized by a small internal lock so the LRU
+order, hit/miss counters, and entry map stay consistent under concurrent
+readers; payloads themselves are immutable once decoded, so sharing one
+across threads is safe.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -33,6 +39,7 @@ class DecodeCache:
                 f"decode cache needs max_entries >= 1, got {max_entries}"
             )
         self.max_entries = max_entries
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Tuple[int, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -41,40 +48,46 @@ class DecodeCache:
 
     def get(self, name: str, version: int) -> Optional[Any]:
         """The payload cached for ``name`` iff it was decoded at ``version``."""
-        entry = self._entries.get(name)
-        if entry is not None and entry[0] == version:
-            self.hits += 1
-            self._metric_hits.inc()
-            self._entries.move_to_end(name)
-            return entry[1]
-        self.misses += 1
-        self._metric_misses.inc()
-        if entry is not None:
-            # Stale version: the slot will be overwritten by the caller's
-            # re-decode; drop it now so it cannot be served again.
-            del self._entries[name]
-        return None
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None and entry[0] == version:
+                self.hits += 1
+                self._metric_hits.inc()
+                self._entries.move_to_end(name)
+                return entry[1]
+            self.misses += 1
+            self._metric_misses.inc()
+            if entry is not None:
+                # Stale version: the slot will be overwritten by the caller's
+                # re-decode; drop it now so it cannot be served again.
+                del self._entries[name]
+            return None
 
     def put(self, name: str, version: int, payload: Any) -> None:
-        self._entries[name] = (version, payload)
-        self._entries.move_to_end(name)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[name] = (version, payload)
+            self._entries.move_to_end(name)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def invalidate(self, name: str) -> None:
-        self._entries.pop(name, None)
+        with self._lock:
+            self._entries.pop(name, None)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

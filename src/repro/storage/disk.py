@@ -5,10 +5,19 @@ wall-clock time on a particular device, so the backing store is an in-memory
 map from ``(file name, page number)`` to immutable page images. Every
 transfer to or from the store is a *physical* I/O and is recorded in
 :class:`~repro.storage.stats.IOStatistics` by the buffer pool.
+
+The store is thread-safe (one reentrant lock over all maps) and can
+optionally simulate device latency: when ``read_latency_seconds`` /
+``write_latency_seconds`` are non-zero, each transfer sleeps that long
+*after* releasing the lock, so concurrent workers' transfers overlap the
+way independent disk requests would. The wall-clock benchmark uses this to
+measure concurrent serving speedup honestly.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 import zlib
 from typing import Dict, List, Optional
 
@@ -36,6 +45,17 @@ class DiskStore:
         #: set False to skip CRC verification on reads (escape hatch for
         #: benches that want the absolute minimum per-read overhead)
         self.verify_checksums = True
+        #: simulated per-page device latency, slept *after* the store's
+        #: lock is released so concurrent transfers overlap (sleeping
+        #: releases the GIL — this is what makes multi-worker serving pay
+        #: off in wall-clock terms). Zero (the default) sleeps nothing and
+        #: keeps the sequential fast path sleep-free.
+        self.read_latency_seconds = 0.0
+        self.write_latency_seconds = 0.0
+        # One reentrant lock over all file/checksum/version maps: store
+        # operations are short dict-and-list manipulations, and reentrancy
+        # lets write_page/allocate_page call bump_version under the lock.
+        self._lock = threading.RLock()
         # Raw device-operation counters (includes accounting-free peeks,
         # which also read through the store); the paper-model physical
         # counts live in IOStatistics, recorded by the buffer pool.
@@ -57,37 +77,45 @@ class DiskStore:
         self._file_groups: Dict[str, str] = {}
 
     def create_file(self, name: str) -> None:
-        if name in self._files:
-            raise StorageError(f"file already exists: {name!r}")
-        self._files[name] = []
-        self._checksums[name] = []
-        self.bump_version(name)
+        with self._lock:
+            if name in self._files:
+                raise StorageError(f"file already exists: {name!r}")
+            self._files[name] = []
+            self._checksums[name] = []
+            self.bump_version(name)
 
     def drop_file(self, name: str) -> None:
-        if name not in self._files:
-            raise StorageError(f"no such file: {name!r}")
-        del self._files[name]
-        del self._checksums[name]
-        # A dropped file leaves its version group: a later file recreated
-        # under the same name must not silently rejoin (and bump) a group
-        # registered for the old incarnation. The group itself is bumped
-        # once so caches keyed on the old membership cannot stay valid.
-        group = self._file_groups.pop(name, None)
-        if group is not None:
-            self._group_versions[group] = self._group_versions.get(group, 0) + 1
+        with self._lock:
+            if name not in self._files:
+                raise StorageError(f"no such file: {name!r}")
+            del self._files[name]
+            del self._checksums[name]
+            # A dropped file leaves its version group: a later file recreated
+            # under the same name must not silently rejoin (and bump) a group
+            # registered for the old incarnation. The group itself is bumped
+            # once so caches keyed on the old membership cannot stay valid.
+            group = self._file_groups.pop(name, None)
+            if group is not None:
+                self._group_versions[group] = (
+                    self._group_versions.get(group, 0) + 1
+                )
 
     def exists(self, name: str) -> bool:
-        return name in self._files
+        with self._lock:
+            return name in self._files
 
     def file_names(self) -> List[str]:
-        return sorted(self._files)
+        with self._lock:
+            return sorted(self._files)
 
     def num_pages(self, name: str) -> int:
-        return len(self._pages(name))
+        with self._lock:
+            return len(self._pages(name))
 
     def version(self, name: str) -> int:
         """Current modification counter of ``name`` (0 if never touched)."""
-        return self._versions.get(name, 0)
+        with self._lock:
+            return self._versions.get(name, 0)
 
     def bump_version(self, name: str) -> int:
         """Advance and return the file's modification counter.
@@ -97,12 +125,15 @@ class DiskStore:
         :class:`~repro.storage.paged_file.PagedFile` (which may buffer the
         bytes in the pool long before they reach the store).
         """
-        bumped = self._versions.get(name, 0) + 1
-        self._versions[name] = bumped
-        group = self._file_groups.get(name)
-        if group is not None:
-            self._group_versions[group] = self._group_versions.get(group, 0) + 1
-        return bumped
+        with self._lock:
+            bumped = self._versions.get(name, 0) + 1
+            self._versions[name] = bumped
+            group = self._file_groups.get(name)
+            if group is not None:
+                self._group_versions[group] = (
+                    self._group_versions.get(group, 0) + 1
+                )
+            return bumped
 
     def register_version_group(self, group: str, names) -> None:
         """Make ``group``'s counter advance whenever any named file bumps.
@@ -112,13 +143,15 @@ class DiskStore:
         Registration itself bumps the group, conservatively invalidating
         anything keyed on an earlier membership.
         """
-        for name in names:
-            self._file_groups[name] = group
-        self._group_versions[group] = self._group_versions.get(group, 0) + 1
+        with self._lock:
+            for name in names:
+                self._file_groups[name] = group
+            self._group_versions[group] = self._group_versions.get(group, 0) + 1
 
     def group_version(self, group: str) -> int:
         """Current counter of a version group (0 if never registered)."""
-        return self._group_versions.get(group, 0)
+        with self._lock:
+            return self._group_versions.get(group, 0)
 
     def _pages(self, name: str) -> List[bytes]:
         try:
@@ -128,55 +161,68 @@ class DiskStore:
 
     def allocate_page(self, name: str) -> int:
         """Extend the file by one zeroed page; return its page number."""
-        pages = self._pages(name)
-        pages.append(bytes(self.page_size))
-        self._checksums[name].append(self._zero_page_crc)
-        self.bump_version(name)
-        self._metric_allocs.inc()
-        return len(pages) - 1
+        with self._lock:
+            pages = self._pages(name)
+            pages.append(bytes(self.page_size))
+            self._checksums[name].append(self._zero_page_crc)
+            self.bump_version(name)
+            self._metric_allocs.inc()
+            return len(pages) - 1
 
     def read_page(self, name: str, page_no: int) -> Page:
-        pages = self._pages(name)
-        if not 0 <= page_no < len(pages):
-            raise StorageError(
-                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
-            )
-        self._metric_reads.inc()
-        image = pages[page_no]
-        if self.verify_checksums and zlib.crc32(image) != self._checksums[name][page_no]:
-            raise CorruptPageError(
-                f"checksum mismatch on {name!r} page {page_no}: stored image "
-                f"does not match its recorded CRC32"
-            )
+        with self._lock:
+            pages = self._pages(name)
+            if not 0 <= page_no < len(pages):
+                raise StorageError(
+                    f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+                )
+            self._metric_reads.inc()
+            image = pages[page_no]
+            if (
+                self.verify_checksums
+                and zlib.crc32(image) != self._checksums[name][page_no]
+            ):
+                raise CorruptPageError(
+                    f"checksum mismatch on {name!r} page {page_no}: stored image "
+                    f"does not match its recorded CRC32"
+                )
+        if self.read_latency_seconds:
+            time.sleep(self.read_latency_seconds)
         return Page(self.page_size, image)
 
     def write_page(self, name: str, page_no: int, page: Page) -> None:
-        pages = self._pages(name)
-        if not 0 <= page_no < len(pages):
-            raise StorageError(
-                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
-            )
-        if page.page_size != self.page_size:
-            raise StorageError(
-                f"page size mismatch: store {self.page_size}, page {page.page_size}"
-            )
-        image = page.image()
-        pages[page_no] = image
-        self._checksums[name][page_no] = zlib.crc32(image)
-        self.bump_version(name)
-        self._metric_writes.inc()
+        with self._lock:
+            pages = self._pages(name)
+            if not 0 <= page_no < len(pages):
+                raise StorageError(
+                    f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+                )
+            if page.page_size != self.page_size:
+                raise StorageError(
+                    f"page size mismatch: store {self.page_size}, "
+                    f"page {page.page_size}"
+                )
+            image = page.image()
+            pages[page_no] = image
+            self._checksums[name][page_no] = zlib.crc32(image)
+            self.bump_version(name)
+            self._metric_writes.inc()
+        if self.write_latency_seconds:
+            time.sleep(self.write_latency_seconds)
 
     def total_pages(self) -> int:
         """Pages across all files — the simulated database footprint."""
-        return sum(len(pages) for pages in self._files.values())
+        with self._lock:
+            return sum(len(pages) for pages in self._files.values())
 
     # ------------------------------------------------------------------
     # Checksum facilities (fsck / snapshot / fault injection)
     # ------------------------------------------------------------------
     def page_checksums(self, name: str) -> List[int]:
         """Copy of the recorded CRC32 sidecar for one file."""
-        self._pages(name)  # canonical no-such-file error
-        return list(self._checksums[name])
+        with self._lock:
+            self._pages(name)  # canonical no-such-file error
+            return list(self._checksums[name])
 
     def page_image(self, name: str, page_no: int) -> bytes:
         """Raw stored bytes of one page — no verification, no accounting.
@@ -184,38 +230,44 @@ class DiskStore:
         Offline access for fsck and fault injection; regular readers go
         through :meth:`read_page`.
         """
-        pages = self._pages(name)
-        if not 0 <= page_no < len(pages):
-            raise StorageError(
-                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
-            )
-        return pages[page_no]
+        with self._lock:
+            pages = self._pages(name)
+            if not 0 <= page_no < len(pages):
+                raise StorageError(
+                    f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+                )
+            return pages[page_no]
 
     def verify_page(self, name: str, page_no: int) -> bool:
         """``True`` iff the stored image matches its recorded checksum.
 
         Offline verification: touches no I/O counter and no pool state.
         """
-        pages = self._pages(name)
-        if not 0 <= page_no < len(pages):
-            raise StorageError(
-                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
-            )
-        return zlib.crc32(pages[page_no]) == self._checksums[name][page_no]
+        with self._lock:
+            pages = self._pages(name)
+            if not 0 <= page_no < len(pages):
+                raise StorageError(
+                    f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+                )
+            return zlib.crc32(pages[page_no]) == self._checksums[name][page_no]
 
     def corrupt_pages(self, name: str) -> List[int]:
         """Page numbers of ``name`` whose image fails its checksum."""
-        pages = self._pages(name)
-        sums = self._checksums[name]
-        return [
-            page_no
-            for page_no, image in enumerate(pages)
-            if zlib.crc32(image) != sums[page_no]
-        ]
+        with self._lock:
+            pages = self._pages(name)
+            sums = self._checksums[name]
+            return [
+                page_no
+                for page_no, image in enumerate(pages)
+                if zlib.crc32(image) != sums[page_no]
+            ]
 
     def checksum_report(self) -> Dict[str, List[int]]:
         """``{file: [corrupt page numbers]}`` over every file (fsck sweep)."""
-        return {name: self.corrupt_pages(name) for name in sorted(self._files)}
+        with self._lock:
+            return {
+                name: self.corrupt_pages(name) for name in sorted(self._files)
+            }
 
     def adopt_pages(
         self,
@@ -230,23 +282,26 @@ class DiskStore:
         does not match its catalog checksum is then detectable by the
         normal read-path verification and by :meth:`corrupt_pages`.
         """
-        pages = self._pages(name)
-        for image in images:
-            if len(image) != self.page_size:
+        with self._lock:
+            pages = self._pages(name)
+            for image in images:
+                if len(image) != self.page_size:
+                    raise StorageError(
+                        f"adopted page for {name!r} is {len(image)} bytes, "
+                        f"expected {self.page_size}"
+                    )
+            if checksums is not None and len(checksums) != len(images):
                 raise StorageError(
-                    f"adopted page for {name!r} is {len(image)} bytes, "
-                    f"expected {self.page_size}"
+                    f"{name!r}: {len(checksums)} checksums for {len(images)} pages"
                 )
-        if checksums is not None and len(checksums) != len(images):
-            raise StorageError(
-                f"{name!r}: {len(checksums)} checksums for {len(images)} pages"
-            )
-        pages.extend(bytes(image) for image in images)
-        if checksums is not None:
-            self._checksums[name].extend(int(c) for c in checksums)
-        else:
-            self._checksums[name].extend(zlib.crc32(image) for image in images)
-        self.bump_version(name)
+            pages.extend(bytes(image) for image in images)
+            if checksums is not None:
+                self._checksums[name].extend(int(c) for c in checksums)
+            else:
+                self._checksums[name].extend(
+                    zlib.crc32(image) for image in images
+                )
+            self.bump_version(name)
 
     def _apply_corruption(
         self,
@@ -263,16 +318,18 @@ class DiskStore:
         detect the corruption). I/O metrics are untouched: corruption is
         not an operation the workload performed.
         """
-        pages = self._pages(name)
-        if not 0 <= page_no < len(pages):
-            raise StorageError(
-                f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
-            )
-        if len(image) != self.page_size:
-            raise StorageError(
-                f"corrupted image is {len(image)} bytes, expected {self.page_size}"
-            )
-        pages[page_no] = bytes(image)
-        if checksum is not None:
-            self._checksums[name][page_no] = checksum
-        self.bump_version(name)
+        with self._lock:
+            pages = self._pages(name)
+            if not 0 <= page_no < len(pages):
+                raise StorageError(
+                    f"page {page_no} out of range for {name!r} ({len(pages)} pages)"
+                )
+            if len(image) != self.page_size:
+                raise StorageError(
+                    f"corrupted image is {len(image)} bytes, "
+                    f"expected {self.page_size}"
+                )
+            pages[page_no] = bytes(image)
+            if checksum is not None:
+                self._checksums[name][page_no] = checksum
+            self.bump_version(name)

@@ -15,10 +15,22 @@ two layers of counts per file:
 
 Counters are cheap plain ints; snapshots are immutable and subtractable so
 an experiment can meter a single query as ``after - before``.
+
+Concurrency: the shared counters are guarded by a lock, and a thread may
+open an :meth:`IOStatistics.isolated` scope that routes its own recording
+into a private :class:`PageAccessStats` delta, merged into the shared
+counters when the scope closes. Inside the scope, :meth:`snapshot` returns
+the scope's entry snapshot plus the thread's own delta — so a worker's
+``after - before`` metering sees exactly its own page accesses, never a
+concurrent neighbour's — and because merging is pure addition, the totals
+after all scopes close are bit-identical to a sequential run of the same
+work.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Tuple
 
@@ -73,6 +85,16 @@ class IOSnapshot:
             }
         )
 
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        names = set(self.per_file) | set(other.per_file)
+        zero = FileIOCounts()
+        return IOSnapshot(
+            {
+                name: self.per_file.get(name, zero) + other.per_file.get(name, zero)
+                for name in names
+            }
+        )
+
     def total(self) -> FileIOCounts:
         result = FileIOCounts()
         for counts in self.per_file.values():
@@ -94,8 +116,22 @@ class IOSnapshot:
         return self.total().physical_total
 
 
-class IOStatistics:
-    """Mutable counter registry shared by a storage manager's files."""
+class PageAccessStats:
+    """One thread's private page-access delta.
+
+    Same recording surface as :class:`IOStatistics`, but unshared: no lock
+    is needed because exactly one thread writes it. Created by
+    :meth:`IOStatistics.isolated` and merged into the shared counters when
+    the scope exits — merging is pure addition, so concurrent workers'
+    merged totals equal the sequential totals of the same work.
+    """
+
+    __slots__ = (
+        "_logical_reads",
+        "_logical_writes",
+        "_physical_reads",
+        "_physical_writes",
+    )
 
     def __init__(self) -> None:
         self._logical_reads: Dict[str, int] = {}
@@ -118,18 +154,11 @@ class IOStatistics:
         )
 
     def record_logical_read_many(self, file_names, pages_each: int) -> None:
-        """Charge ``pages_each`` logical reads to every named file.
-
-        Equivalent to calling :meth:`record_logical_read` per file, but one
-        call for a whole batch — the hot path of packed slice search, which
-        charges hundreds of slice files per query.
-        """
         counters = self._logical_reads
         for name in file_names:
             counters[name] = counters.get(name, 0) + pages_each
 
     def record_physical_read_many(self, file_names, pages_each: int) -> None:
-        """Bulk form of :meth:`record_physical_read` (see above)."""
         counters = self._physical_reads
         for name in file_names:
             counters[name] = counters.get(name, 0) + pages_each
@@ -153,8 +182,168 @@ class IOStatistics:
             }
         )
 
+
+class IOStatistics:
+    """Mutable counter registry shared by a storage manager's files.
+
+    Thread-safe: shared counters are mutated under a lock, and a thread
+    inside an :meth:`isolated` scope records into its own
+    :class:`PageAccessStats` without touching the lock at all.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._logical_reads: Dict[str, int] = {}
+        self._logical_writes: Dict[str, int] = {}
+        self._physical_reads: Dict[str, int] = {}
+        self._physical_writes: Dict[str, int] = {}
+
+    def _delta(self):
+        scope = getattr(self._local, "scope", None)
+        return scope[1] if scope is not None else None
+
+    def record_logical_read(self, file_name: str, pages: int = 1) -> None:
+        delta = self._delta()
+        if delta is not None:
+            delta.record_logical_read(file_name, pages)
+            return
+        with self._lock:
+            self._logical_reads[file_name] = (
+                self._logical_reads.get(file_name, 0) + pages
+            )
+
+    def record_logical_write(self, file_name: str, pages: int = 1) -> None:
+        delta = self._delta()
+        if delta is not None:
+            delta.record_logical_write(file_name, pages)
+            return
+        with self._lock:
+            self._logical_writes[file_name] = (
+                self._logical_writes.get(file_name, 0) + pages
+            )
+
+    def record_physical_read(self, file_name: str, pages: int = 1) -> None:
+        delta = self._delta()
+        if delta is not None:
+            delta.record_physical_read(file_name, pages)
+            return
+        with self._lock:
+            self._physical_reads[file_name] = (
+                self._physical_reads.get(file_name, 0) + pages
+            )
+
+    def record_physical_write(self, file_name: str, pages: int = 1) -> None:
+        delta = self._delta()
+        if delta is not None:
+            delta.record_physical_write(file_name, pages)
+            return
+        with self._lock:
+            self._physical_writes[file_name] = (
+                self._physical_writes.get(file_name, 0) + pages
+            )
+
+    def record_logical_read_many(self, file_names, pages_each: int) -> None:
+        """Charge ``pages_each`` logical reads to every named file.
+
+        Equivalent to calling :meth:`record_logical_read` per file, but one
+        call for a whole batch — the hot path of packed slice search, which
+        charges hundreds of slice files per query.
+        """
+        delta = self._delta()
+        if delta is not None:
+            delta.record_logical_read_many(file_names, pages_each)
+            return
+        with self._lock:
+            counters = self._logical_reads
+            for name in file_names:
+                counters[name] = counters.get(name, 0) + pages_each
+
+    def record_physical_read_many(self, file_names, pages_each: int) -> None:
+        """Bulk form of :meth:`record_physical_read` (see above)."""
+        delta = self._delta()
+        if delta is not None:
+            delta.record_physical_read_many(file_names, pages_each)
+            return
+        with self._lock:
+            counters = self._physical_reads
+            for name in file_names:
+                counters[name] = counters.get(name, 0) + pages_each
+
+    # ------------------------------------------------------------------
+    # Per-thread isolation
+    # ------------------------------------------------------------------
+    @contextmanager
+    def isolated(self):
+        """Route this thread's recording into a private delta for the body.
+
+        On entry the shared snapshot is captured once; inside the scope
+        :meth:`snapshot` returns *entry snapshot + own delta*, so metering
+        a query as ``after - before`` observes exactly this thread's page
+        accesses regardless of concurrent neighbours. On exit the delta
+        merges into the shared counters (or the enclosing scope's delta —
+        scopes nest). Yields the :class:`PageAccessStats` delta.
+        """
+        base = self.snapshot()
+        delta = PageAccessStats()
+        previous = getattr(self._local, "scope", None)
+        self._local.scope = (base, delta)
+        try:
+            yield delta
+        finally:
+            self._local.scope = previous
+            self._merge(delta)
+
+    def _merge(self, delta: PageAccessStats) -> None:
+        """Fold a finished delta into the enclosing scope or shared state."""
+        outer = self._delta()
+        if outer is not None:
+            for mine, theirs in (
+                (outer._logical_reads, delta._logical_reads),
+                (outer._logical_writes, delta._logical_writes),
+                (outer._physical_reads, delta._physical_reads),
+                (outer._physical_writes, delta._physical_writes),
+            ):
+                for name, pages in theirs.items():
+                    mine[name] = mine.get(name, 0) + pages
+            return
+        with self._lock:
+            for mine, theirs in (
+                (self._logical_reads, delta._logical_reads),
+                (self._logical_writes, delta._logical_writes),
+                (self._physical_reads, delta._physical_reads),
+                (self._physical_writes, delta._physical_writes),
+            ):
+                for name, pages in theirs.items():
+                    mine[name] = mine.get(name, 0) + pages
+
+    def snapshot(self) -> IOSnapshot:
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            base, delta = scope
+            return base + delta.snapshot()
+        with self._lock:
+            names = (
+                set(self._logical_reads)
+                | set(self._logical_writes)
+                | set(self._physical_reads)
+                | set(self._physical_writes)
+            )
+            return IOSnapshot(
+                {
+                    name: FileIOCounts(
+                        self._logical_reads.get(name, 0),
+                        self._logical_writes.get(name, 0),
+                        self._physical_reads.get(name, 0),
+                        self._physical_writes.get(name, 0),
+                    )
+                    for name in names
+                }
+            )
+
     def reset(self) -> None:
-        self._logical_reads.clear()
-        self._logical_writes.clear()
-        self._physical_reads.clear()
-        self._physical_writes.clear()
+        with self._lock:
+            self._logical_reads.clear()
+            self._logical_writes.clear()
+            self._physical_reads.clear()
+            self._physical_writes.clear()

@@ -1,0 +1,187 @@
+"""Concurrent serving is observationally identical to sequential execution.
+
+The whole point of the serving layer is that the worker pool changes
+*wall-clock overlap only*. These tests replay one seeded query mix over the
+three §2 access facilities (SSF, BSSF, NIX) twice — once through a plain
+sequential :class:`~repro.query.executor.QueryExecutor` loop, once through
+an N-worker :class:`~repro.server.service.QueryService` — against two
+identically built databases, and demand byte-identical observations:
+
+* every query's result OIDs (order included — results are sorted);
+* every query's described plan, including degraded-fallback rewrites;
+* the number of degraded fallbacks taken;
+* the merged per-file page-access totals (``pool_capacity=0`` makes the
+  paper's logical = physical counts deterministic, and the per-thread
+  I/O-delta merge is commutative, so the concurrent totals must match the
+  sequential ones bit for bit).
+
+A hypothesis variant fuzzes the seed; a fixed-seed golden variant pins the
+exact logical page total so silent accounting drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.database import Database
+from repro.query.executor import QueryExecutor
+from repro.server.service import QueryService
+from repro.storage.stats import IOSnapshot
+from repro.workloads.generator import SetWorkloadGenerator, WorkloadSpec, load_workload
+
+#: (class, facility) triple exercised by every mix.
+FACILITIES = ("SsfObj", "BssfObj", "NixObj")
+
+
+def _build_db(seed: int, num_objects: int) -> Database:
+    """Three classes, one per facility kind, same seeded payload."""
+    db = Database(page_size=2048, pool_capacity=0)
+    spec = lambda cls: WorkloadSpec(  # noqa: E731 - local shorthand
+        num_objects=num_objects,
+        domain_cardinality=40,
+        target_cardinality=6,
+        seed=seed,
+    )
+    load_workload(db, spec("SsfObj"), class_name="SsfObj")
+    load_workload(db, spec("BssfObj"), class_name="BssfObj")
+    load_workload(db, spec("NixObj"), class_name="NixObj")
+    db.create_ssf_index("SsfObj", "elements", 64, 2, seed=seed)
+    db.create_bssf_index("BssfObj", "elements", 64, 2, seed=seed)
+    db.create_nested_index("NixObj", "elements")
+    return db
+
+
+def _query_mix(seed: int, count: int) -> List[str]:
+    """Seeded superset/subset mix across all three facilities."""
+    rng = random.Random(seed * 7919 + 1)
+    generator = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=0,
+            domain_cardinality=40,
+            target_cardinality=6,
+            seed=seed + 1,
+        )
+    )
+    texts = []
+    for i in range(count):
+        class_name = rng.choice(FACILITIES)
+        if rng.random() < 0.5:
+            dq = rng.randint(1, 4)
+            operator = "has-subset"
+        else:
+            dq = rng.randint(6, 12)
+            operator = "in-subset"
+        elements = sorted(generator.random_query_set(dq))
+        texts.append(
+            "select {} where elements {} ({})".format(
+                class_name, operator, ", ".join(str(e) for e in elements)
+            )
+        )
+    return texts
+
+
+def _mark_one_degraded(db: Database) -> None:
+    """Force the degraded-fallback path into the mix (both runs get it)."""
+    db.mark_degraded("BssfObj", "elements", "bssf", "injected by test")
+
+
+Observation = Tuple[List[str], List[str], int, IOSnapshot]
+
+
+def _observe_sequential(db: Database, texts: List[str]) -> Observation:
+    executor = QueryExecutor(db)
+    before = db.io_snapshot()
+    oids, plans = [], []
+    for text in texts:
+        result = executor.execute_text(text)
+        oids.append([str(oid) for oid in result.oids()])
+        plans.append(result.statistics.plan)
+    delta = db.io_snapshot() - before
+    degraded = sum("degraded-fallback" in plan for plan in plans)
+    return oids, plans, degraded, delta
+
+
+def _observe_concurrent(
+    db: Database, texts: List[str], workers: int
+) -> Observation:
+    before = db.io_snapshot()
+    with QueryService(
+        db, max_workers=workers, queue_depth=len(texts)
+    ) as service:
+        results = service.execute_many(texts)
+    delta = db.io_snapshot() - before
+    oids = [[str(oid) for oid in r.oids()] for r in results]
+    plans = [r.statistics.plan for r in results]
+    degraded = sum("degraded-fallback" in plan for plan in plans)
+    return oids, plans, degraded, delta
+
+
+def _per_file_counts(delta: IOSnapshot) -> Dict[str, Tuple[int, int, int, int]]:
+    return {
+        name: (
+            counts.logical_reads,
+            counts.logical_writes,
+            counts.physical_reads,
+            counts.physical_writes,
+        )
+        for name, counts in delta.files()
+    }
+
+
+def _assert_equivalent(seed: int, num_objects: int, queries: int, workers: int):
+    texts = _query_mix(seed, queries)
+
+    sequential_db = _build_db(seed, num_objects)
+    _mark_one_degraded(sequential_db)
+    seq_oids, seq_plans, seq_degraded, seq_delta = _observe_sequential(
+        sequential_db, texts
+    )
+
+    concurrent_db = _build_db(seed, num_objects)
+    _mark_one_degraded(concurrent_db)
+    con_oids, con_plans, con_degraded, con_delta = _observe_concurrent(
+        concurrent_db, texts, workers
+    )
+
+    assert con_oids == seq_oids
+    assert con_plans == seq_plans
+    assert con_degraded == seq_degraded
+    assert _per_file_counts(con_delta) == _per_file_counts(seq_delta)
+    return seq_degraded, seq_delta
+
+
+class TestSequentialEquivalence:
+    def test_fixed_seed_golden(self):
+        """Pinned mix: equivalence plus the exact logical page total."""
+        degraded, delta = _assert_equivalent(
+            seed=42, num_objects=80, queries=24, workers=8
+        )
+        # The mix must actually exercise the degraded-fallback path.
+        assert degraded > 0
+        # Golden accounting: bit-identical to the sequential baseline, and
+        # pinned so a silent metering change cannot hide behind symmetry.
+        assert delta.total().logical_reads == GOLDEN_LOGICAL_READS
+
+    def test_workers_one_equals_workers_eight(self):
+        """Pool width never changes observations, only overlap."""
+        texts = _query_mix(7, 12)
+        db_one = _build_db(7, 40)
+        db_eight = _build_db(7, 40)
+        one = _observe_concurrent(db_one, texts, workers=1)
+        eight = _observe_concurrent(db_eight, texts, workers=8)
+        assert one[0] == eight[0]
+        assert one[1] == eight[1]
+        assert _per_file_counts(one[3]) == _per_file_counts(eight[3])
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1023))
+    def test_hypothesis_seeded_mixes(self, seed: int):
+        _assert_equivalent(seed, num_objects=40, queries=10, workers=4)
+
+
+#: Logical reads of the seed-42 golden mix (sequential == concurrent).
+GOLDEN_LOGICAL_READS = 1223

@@ -1,0 +1,105 @@
+"""Golden tests for cost-model edge cases the sweeps skim past.
+
+Two corners of the §5 strategy space get pinned to exact page counts at the
+paper's parameter point (PAPER_PARAMETERS, F=500):
+
+* ``Dq = 1`` superset retrieval — the one point where the nested index
+  beats even the smart bit-sliced strategy (§5.1.3's conclusion). One
+  element gives BSSF only ``m`` slices of discrimination, so false drops
+  dominate; NIX walks a single posting list.
+* ``m = 1`` bit-sliced flatness — with one bit per element the smart
+  superset strategy saturates at a three-element budget, so its cost is
+  *constant* in ``Dq`` beyond that point while the naive cost climbs with
+  every extra slice read.
+
+The golden numbers are pinned tight (``rel=1e-9``): these expressions are
+closed-form, so any drift is a semantic change to the model, not noise.
+"""
+
+import pytest
+
+from repro.costmodel.bssf_model import BSSFCostModel
+from repro.costmodel.nix_model import NIXCostModel
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.smart import smart_superset_bssf, smart_superset_nix
+
+P = PAPER_PARAMETERS
+
+#: Expected logical page accesses at the paper point (see module docstring).
+GOLDEN_NIX_SUPERSET_DQ1 = 27.615384615384617
+GOLDEN_BSSF_SUPERSET_DQ1 = 138.77252319887657
+GOLDEN_BSSF_M1_FLAT_COST = 3.4899194807153107
+GOLDEN_BSSF_M1_DQ1 = 721.7694221931009
+
+
+class TestDq1SupersetCrossover:
+    """§5.1.3: NIX wins at Dq = 1, and only there."""
+
+    def test_golden_costs_at_dq1(self):
+        nix = NIXCostModel(P, 10)
+        bssf = BSSFCostModel(P, 500, 2)
+        assert nix.retrieval_cost_superset(1) == pytest.approx(
+            GOLDEN_NIX_SUPERSET_DQ1, rel=1e-9
+        )
+        assert bssf.retrieval_cost_superset(10, 1) == pytest.approx(
+            GOLDEN_BSSF_SUPERSET_DQ1, rel=1e-9
+        )
+
+    def test_nix_beats_bssf_by_5x_at_dq1(self):
+        """The gap is structural (~5x), not a rounding artifact."""
+        assert GOLDEN_BSSF_SUPERSET_DQ1 / GOLDEN_NIX_SUPERSET_DQ1 > 5.0
+
+    def test_smart_strategies_cannot_close_the_gap_at_dq1(self):
+        """With one query element there is nothing for smart BSSF to drop."""
+        nix = NIXCostModel(P, 10)
+        bssf = BSSFCostModel(P, 500, 2)
+        smart_nix = smart_superset_nix(nix, 1).cost
+        smart_bssf = smart_superset_bssf(bssf, 10, 1).cost
+        assert smart_nix == pytest.approx(GOLDEN_NIX_SUPERSET_DQ1, rel=1e-9)
+        assert smart_bssf == pytest.approx(GOLDEN_BSSF_SUPERSET_DQ1, rel=1e-9)
+        assert smart_nix < smart_bssf
+
+    def test_crossover_is_exactly_at_dq2(self):
+        """One more element flips the winner to BSSF for good."""
+        nix = NIXCostModel(P, 10)
+        bssf = BSSFCostModel(P, 500, 2)
+        assert (
+            smart_superset_bssf(bssf, 10, 2).cost
+            < smart_superset_nix(nix, 2).cost
+        )
+
+
+class TestM1BssfFlatness:
+    """m = 1: smart superset cost is flat in Dq past its element budget."""
+
+    def test_smart_cost_constant_beyond_budget(self):
+        model = BSSFCostModel(P, 500, 1)
+        costs = [
+            smart_superset_bssf(model, 10, dq).cost
+            for dq in (3, 5, 10, 50, 200)
+        ]
+        for cost in costs:
+            assert cost == pytest.approx(GOLDEN_BSSF_M1_FLAT_COST, rel=1e-9)
+
+    def test_budget_is_three_elements(self):
+        """At m = 1 / F = 500 the optimum examines exactly 3 elements."""
+        model = BSSFCostModel(P, 500, 1)
+        for dq in (5, 10, 200):
+            assert smart_superset_bssf(model, 10, dq).parameter == 3
+
+    def test_naive_cost_climbs_while_smart_stays_flat(self):
+        model = BSSFCostModel(P, 500, 1)
+        naive = [model.retrieval_cost_superset(10, dq) for dq in (5, 10, 50)]
+        assert naive == sorted(naive) and naive[-1] > naive[0]
+        assert all(
+            cost > GOLDEN_BSSF_M1_FLAT_COST for cost in naive
+        )
+
+    def test_dq1_golden_cost_dominated_by_false_drops(self):
+        """One 1-bit slice barely discriminates: ~722 pages at Dq = 1."""
+        model = BSSFCostModel(P, 500, 1)
+        assert model.retrieval_cost_superset(10, 1) == pytest.approx(
+            GOLDEN_BSSF_M1_DQ1, rel=1e-9
+        )
+        # Degenerate discrimination: two orders of magnitude above flat.
+        assert GOLDEN_BSSF_M1_DQ1 > 100 * GOLDEN_BSSF_M1_FLAT_COST

@@ -40,10 +40,38 @@ echo "== wal randomized smoke =="
 # Same seed as above: random crash points and transient append faults.
 python -m pytest tests/wal/test_random_smoke.py -q
 
+echo "== concurrency (latches, service, equivalence, stress) =="
+# The equivalence suite demands concurrent serving byte-identical to a
+# sequential replay (results, plans, merged page counts); the stress
+# test races readers against a writer under WAL durability and checks
+# fsck + replay stay clean. Runs under the randomized seed exported
+# above so failures reproduce exactly.
+python -m pytest tests/concurrency -q
+
 echo "== smoke benchmark =="
 python benchmarks/bench_wallclock.py --smoke \
     --min-bssf-speedup 1.5 --min-ssf-speedup 1.2 \
     --out /tmp/BENCH_wallclock_smoke.json
 python tools/bench_report.py /tmp/BENCH_wallclock_smoke.json
+
+echo "== concurrent serving smoke (4 workers) =="
+# Loose threshold (full-mode acceptance is 2.0x at 8 workers; smoke at 4
+# workers typically measures 3x+) so CI noise cannot flake the gate
+# while a serialization regression still fails it.
+python benchmarks/bench_wallclock.py --smoke --concurrent-only \
+    --workers 4 --min-concurrent-speedup 1.5 --json \
+    --out /tmp/BENCH_concurrent_smoke.json > /dev/null
+python - <<'PY'
+import json
+report = json.load(open("/tmp/BENCH_concurrent_smoke.json"))
+c = report["concurrency"]
+print(
+    "concurrent serving: {:.0f} queries, 1 thr {:.1f} ms -> {} thr "
+    "{:.1f} ms ({:.2f}x)".format(
+        c["queries"], c["sequential_ms"], int(c["workers"]),
+        c["concurrent_ms"], c["concurrent_speedup"],
+    )
+)
+PY
 
 echo "OK"
