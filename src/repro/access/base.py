@@ -17,11 +17,27 @@ the query set), matching the paper's §4.3 retrieval procedures.
 from __future__ import annotations
 
 import abc
-from typing import FrozenSet, Hashable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, List, Optional
 
 from repro.objects.oid import OID
 
 SetValue = FrozenSet[Hashable]
+
+
+@dataclass(frozen=True)
+class BatchQuerySpec:
+    """One query's search parameters inside a facility batch.
+
+    Mirrors the keyword surface of ``search_superset`` / ``search_subset``
+    / ``search_overlap``: ``mode`` selects the drop test, the optional
+    fields carry the §5.1.3 smart-strategy knobs.
+    """
+
+    mode: str
+    query: SetValue
+    use_elements: Optional[int] = None
+    slices_to_examine: Optional[int] = None
 
 
 class SearchResult:
@@ -110,6 +126,39 @@ class SetAccessFacility(abc.ABC):
         Optional; facilities that support it override. The default raises.
         """
         raise NotImplementedError(f"{self.name} does not support overlap search")
+
+    def search_spec(self, spec: BatchQuerySpec) -> SearchResult:
+        """Run one :class:`BatchQuerySpec` through the sequential search."""
+        if spec.mode == "superset":
+            if spec.use_elements is not None:
+                return self.search_superset(
+                    spec.query, use_elements=spec.use_elements
+                )
+            return self.search_superset(spec.query)
+        if spec.mode == "subset":
+            if spec.slices_to_examine is not None:
+                return self.search_subset(
+                    spec.query, slices_to_examine=spec.slices_to_examine
+                )
+            return self.search_subset(spec.query)
+        if spec.mode == "overlap":
+            return self.search_overlap(spec.query)
+        raise ValueError(f"unknown search mode: {spec.mode!r}")
+
+    def prepare_batch(
+        self, specs: List[BatchQuerySpec]
+    ) -> List[Callable[[], SearchResult]]:
+        """Stage a batch of searches; return one completion per spec.
+
+        Phase 1 (this call) may do arbitrary *uncharged* shared work — e.g.
+        decode the signature matrix once for the whole batch. Each returned
+        completion, invoked later in query order, performs that query's
+        page-access charging and candidate resolution, producing a
+        :class:`SearchResult` identical to the sequential search's. The
+        base implementation stages nothing: every completion just runs the
+        sequential search, so any facility is batch-safe by default.
+        """
+        return [(lambda s=spec: self.search_spec(s)) for spec in specs]
 
     @abc.abstractmethod
     def storage_pages(self) -> dict:

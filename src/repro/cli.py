@@ -91,6 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fail unless the concurrent serving speedup reaches this",
     )
+    bench.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="batch size for the batched execute_many sweep "
+        "(default: the benchmark mode's configured size)",
+    )
+    bench.add_argument(
+        "--process-workers",
+        type=int,
+        default=None,
+        help="worker processes for the process-pool sweep (default 4)",
+    )
     shell = subparsers.add_parser("shell", help="interactive database shell")
     shell.add_argument(
         "--load", metavar="SNAPSHOT", default=None,
@@ -262,6 +275,10 @@ def _run_bench(args) -> int:
         forwarded.extend(
             ["--min-concurrent-speedup", str(args.min_concurrent_speedup)]
         )
+    if args.batch_size is not None:
+        forwarded.extend(["--batch-size", str(args.batch_size)])
+    if args.process_workers is not None:
+        forwarded.extend(["--process-workers", str(args.process_workers)])
     return module.main(forwarded)
 
 

@@ -27,7 +27,7 @@ from typing import FrozenSet, Hashable, Iterable
 
 import numpy as np
 
-from repro.core.bits import BitVector
+from repro.core.bits import BitVector, words_for_bits
 from repro.core.hashing import ElementHasher
 from repro.errors import ConfigurationError
 
@@ -91,6 +91,52 @@ class SignatureScheme:
     # Query signatures are constructed identically; the alias keeps call
     # sites readable and gives the smart strategies a single place to hook.
     query_signature = set_signature
+
+    def set_signature_words_many(self, element_sets) -> np.ndarray:
+        """Packed set signatures for many sets at once: an ``(n, W)`` array.
+
+        Row ``i`` equals ``set_signature(element_sets[i]).words``. Gathers
+        every element's memoized packed row into one stacked array and
+        superimposes each set's segment with a single
+        ``np.bitwise_or.reduceat`` — one vectorized pass instead of one
+        Python-level reduce per set, which is what made kernel bulk loads
+        lose to the naive path.
+        """
+        signature_words = self.hasher.signature_words
+        words = words_for_bits(self.signature_bits)
+        # Hash each *distinct* element once and gather occurrences with one
+        # fancy index — bulk loads repeat domain elements thousands of
+        # times, and a per-occurrence numpy call is what made the kernel
+        # path lose to naive.
+        index_of: dict = {}
+        unique_rows = []
+        occurrences = []
+        offsets = []
+        position = 0
+        for elements in element_sets:
+            offsets.append(position)
+            for element in elements:
+                idx = index_of.get(element)
+                if idx is None:
+                    idx = len(unique_rows)
+                    index_of[element] = idx
+                    unique_rows.append(signature_words(element))
+                occurrences.append(idx)
+                position += 1
+        out = np.zeros((len(offsets), words), dtype=np.uint64)
+        if not occurrences:
+            return out
+        stacked = np.vstack(unique_rows)[np.asarray(occurrences)]
+        # reduceat cannot represent empty segments (an offset equal to the
+        # next one reduces a single row instead of none), so superimpose
+        # only the non-empty sets and leave empty ones all-zero.
+        starts = np.array(offsets + [position])
+        lengths = np.diff(starts)
+        nonempty = np.flatnonzero(lengths)
+        if nonempty.size:
+            reduced = np.bitwise_or.reduceat(stacked, starts[nonempty], axis=0)
+            out[nonempty] = reduced
+        return out
 
     def partial_query_signature(
         self, elements: Iterable[Hashable], use_elements: int

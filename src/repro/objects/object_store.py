@@ -31,6 +31,7 @@ class ObjectStore:
         self._class_names: Dict[int, str] = {}
         self._files: Dict[str, ObjectFile] = {}
         self._directory: Dict[OID, RecordAddress] = {}
+        self._live_counts: Dict[int, int] = {}
         self._allocator = OIDAllocator()
         self._next_class_id = 1
 
@@ -80,6 +81,8 @@ class ObjectStore:
         oid = self._allocator.allocate(self._class_ids[class_name])
         address = self._files[class_name].insert(encode_object(values))
         self._directory[oid] = address
+        class_id = oid.class_id
+        self._live_counts[class_id] = self._live_counts.get(class_id, 0) + 1
         return oid
 
     def fetch(self, oid: OID) -> Dict[str, Any]:
@@ -100,6 +103,7 @@ class ObjectStore:
         address = self._address(oid)
         self._files[class_name].delete(address)
         del self._directory[oid]
+        self._live_counts[oid.class_id] -= 1
 
     def _address(self, oid: OID) -> RecordAddress:
         try:
@@ -127,9 +131,15 @@ class ObjectStore:
             yield oid, self.fetch(oid)
 
     def count(self, class_name: str) -> int:
+        """Live objects of a class — O(1) via the maintained counter.
+
+        Called on every planner statistics lookup (drift detection), so it
+        must not scan the directory: on a 64K-object store that genexpr
+        dominated per-query planning time.
+        """
         self.schema(class_name)
         class_id = self._class_ids[class_name]
-        return sum(1 for oid in self._directory if oid.class_id == class_id)
+        return self._live_counts.get(class_id, 0)
 
     def object_pages(self, class_name: str) -> int:
         """Pages occupied by a class's object file."""

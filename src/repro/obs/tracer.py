@@ -29,8 +29,11 @@ from __future__ import annotations
 import functools
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.storage.stats import JournalMark, diff_raw
 
 __all__ = [
     "NULL_TRACER",
@@ -53,12 +56,13 @@ class Span:
         "attributes",
         "children",
         "elapsed_seconds",
-        "io",
         "pool_hits",
         "pool_misses",
         "_tracer",
         "_started",
-        "_io_before",
+        "_io_raw_before",
+        "_io_raw_after",
+        "_io_cache",
         "_pool_before",
     )
 
@@ -67,12 +71,13 @@ class Span:
         self.attributes = attributes
         self.children: List["Span"] = []
         self.elapsed_seconds = 0.0
-        self.io = None  # IOSnapshot delta, set when the span closes
         self.pool_hits = 0
         self.pool_misses = 0
         self._tracer = tracer
         self._started = 0.0
-        self._io_before = None
+        self._io_raw_before = None
+        self._io_raw_after = None
+        self._io_cache = None
         self._pool_before = (0, 0)
 
     # ------------------------------------------------------------------
@@ -95,6 +100,20 @@ class Span:
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
+    @property
+    def io(self):
+        """The span's per-file I/O delta, materialized on first access.
+
+        The tracer records only raw counter captures while the span is
+        open (microseconds); the :class:`IOSnapshot` subtraction —
+        the expensive part — happens here, on demand, and is cached.
+        Returns ``None`` when the tracer had no I/O source or the span
+        was skipped by sampling.
+        """
+        if self._io_cache is None and self._io_raw_after is not None:
+            self._io_cache = diff_raw(self._io_raw_after, self._io_raw_before)
+        return self._io_cache
+
     @property
     def logical_pages(self) -> int:
         """Inclusive logical page accesses during the span."""
@@ -171,11 +190,35 @@ class Tracer:
     every sink (objects with an ``emit(span)`` method).
     """
 
-    def __init__(self, io_source: Any = None, sinks: Optional[List[Any]] = None):
+    def __init__(
+        self,
+        io_source: Any = None,
+        sinks: Optional[List[Any]] = None,
+        sample_every: Optional[int] = None,
+        max_roots: int = 1024,
+    ):
         self._io = io_source
         self.sinks = list(sinks or [])
         self._stack: List[Span] = []
-        self.roots: List[Span] = []
+        self._roots: Deque[Span] = deque(maxlen=max_roots)
+        self._sample_every = sample_every if sample_every and sample_every > 1 else None
+        self._root_seq = 0
+        self._capture_io = False
+        # Journal marks (a list index) cost nanoseconds; raw captures
+        # (dict copies) cost microseconds; full IOSnapshot materialization
+        # costs milliseconds on stores with hundreds of files. Use the
+        # cheapest capture the source exposes.
+        stats = getattr(io_source, "stats", io_source)
+        self._journal_stats = stats if hasattr(stats, "journal_acquire") else None
+        self._raw_stats = stats if hasattr(stats, "raw_snapshot") else None
+        self._pool = getattr(io_source, "pool", None)
+        self._journal = None
+        self._journal_owned = False
+
+    @property
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first (bounded ring)."""
+        return list(self._roots)
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -192,23 +235,45 @@ class Tracer:
     def active_span(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None
 
+    def _snap(self):
+        journal = self._journal
+        if journal is not None:
+            return JournalMark(journal, len(journal))
+        if self._raw_stats is not None:
+            return self._raw_stats.raw_snapshot()
+        return self._io.snapshot()
+
     def _enter(self, span: Span) -> None:
         if self._stack:
             self._stack[-1].children.append(span)
+        else:
+            # Sampling decides once per root tree: a skipped tree still
+            # records structure, attributes and timing, just no I/O deltas.
+            self._root_seq += 1
+            self._capture_io = self._io is not None and (
+                self._sample_every is None
+                or (self._root_seq - 1) % self._sample_every == 0
+            )
+            if self._capture_io and self._journal_stats is not None:
+                self._journal, self._journal_owned = (
+                    self._journal_stats.journal_acquire()
+                )
         self._stack.append(span)
-        if self._io is not None:
-            span._io_before = self._io.snapshot()
-            pool = self._io.pool
-            span._pool_before = (pool.hits, pool.misses)
+        if self._capture_io:
+            span._io_raw_before = self._snap()
+            pool = self._pool
+            if pool is not None:
+                span._pool_before = (pool.hits, pool.misses)
         span._started = time.perf_counter()
 
     def _exit(self, span: Span) -> None:
         span.elapsed_seconds = time.perf_counter() - span._started
-        if self._io is not None:
-            span.io = self._io.snapshot() - span._io_before
-            pool = self._io.pool
-            span.pool_hits = pool.hits - span._pool_before[0]
-            span.pool_misses = pool.misses - span._pool_before[1]
+        if span._io_raw_before is not None:
+            span._io_raw_after = self._snap()
+            pool = self._pool
+            if pool is not None:
+                span.pool_hits = pool.hits - span._pool_before[0]
+                span.pool_misses = pool.misses - span._pool_before[1]
         popped = self._stack.pop()
         if popped is not span:  # pragma: no cover — misuse guard
             raise RuntimeError(
@@ -216,13 +281,18 @@ class Tracer:
                 f"but {popped.name!r} was innermost"
             )
         if not self._stack:
-            self.roots.append(span)
+            if self._journal is not None:
+                if self._journal_owned:
+                    self._journal_stats.journal_release()
+                self._journal = None
+                self._journal_owned = False
+            self._roots.append(span)
             for sink in self.sinks:
                 sink.emit(span)
 
     @property
     def last_root(self) -> Optional[Span]:
-        return self.roots[-1] if self.roots else None
+        return self._roots[-1] if self._roots else None
 
 
 class _NullSpan:

@@ -326,6 +326,10 @@ def load_database(
         OID.from_int(oid_int): RecordAddress(page_no, slot)
         for oid_int, page_no, slot in catalog["directory"]
     }
+    live_counts = {}
+    for oid in objects._directory:
+        live_counts[oid.class_id] = live_counts.get(oid.class_id, 0) + 1
+    objects._live_counts = live_counts
 
     for descriptor in catalog["indexes"]:
         _rehydrate_index(db, descriptor)

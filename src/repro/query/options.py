@@ -14,6 +14,7 @@ The old keywords still work for one release through
 
 from __future__ import annotations
 
+import enum
 import warnings
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, Optional
@@ -22,7 +23,28 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard (planner imports us
     from repro.obs.tracer import Tracer
     from repro.query.planner import CostContext
 
-__all__ = ["ExecutionOptions", "coerce_options"]
+__all__ = ["ExecutionMode", "ExecutionOptions", "coerce_options"]
+
+
+class ExecutionMode(enum.Enum):
+    """How :meth:`QueryExecutor.execute_many` distributes a batch.
+
+    ``SERIAL``
+        Run on the calling thread (batched kernel evaluation still applies
+        when ``batch_size > 1``).
+    ``THREAD``
+        Serve through a transient thread-pool
+        :class:`~repro.server.QueryService` — wins when simulated device
+        latency dominates (I/O-bound).
+    ``PROCESS``
+        Serve through a :class:`~repro.server.ProcessQueryService`
+        (worker processes over a read-only snapshot) — wins when matching
+        is CPU-bound and the GIL serializes threads.
+    """
+
+    SERIAL = "serial"
+    THREAD = "thread"
+    PROCESS = "process"
 
 #: keywords accepted by the pre-ExecutionOptions API, shimmed for one release
 _LEGACY_KEYS = ("context", "prefer_facility", "smart", "trace")
@@ -53,6 +75,15 @@ class ExecutionOptions:
         :class:`~repro.server.QueryService`). ``None`` means serve
         sequentially on the calling thread; single-query execution ignores
         it.
+    ``batch_size``
+        Evaluate batch entry points in groups of up to this many queries
+        against one shared signature-matrix / slice decode (the
+        ``match_many`` fast path). ``None`` or ``1`` evaluates one query
+        at a time. Results and per-query page accounting are identical
+        either way; only wall-clock changes.
+    ``execution_mode``
+        Backend for :meth:`QueryExecutor.execute_many`. ``None`` infers:
+        ``THREAD`` when ``max_workers > 1``, else ``SERIAL``.
     """
 
     context: Optional["CostContext"] = None
@@ -61,10 +92,20 @@ class ExecutionOptions:
     trace: bool = False
     tracer: Optional["Tracer"] = None
     max_workers: Optional[int] = None
+    batch_size: Optional[int] = None
+    execution_mode: Optional[ExecutionMode] = None
 
     @property
     def tracing_requested(self) -> bool:
         return self.trace or self.tracer is not None
+
+    def resolved_mode(self) -> ExecutionMode:
+        """The effective :class:`ExecutionMode` for batch entry points."""
+        if self.execution_mode is not None:
+            return self.execution_mode
+        if self.max_workers is not None and self.max_workers > 1:
+            return ExecutionMode.THREAD
+        return ExecutionMode.SERIAL
 
     def evolve(self, **changes: Any) -> "ExecutionOptions":
         """A copy with the given fields replaced."""

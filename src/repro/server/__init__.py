@@ -5,8 +5,13 @@ in a worker pool with bounded admission, turning the single-query API into
 a serving surface: ``submit`` for futures, ``execute`` for one blocking
 query, ``execute_many`` for an ordered batch. See ``docs/CONCURRENCY.md``
 for the latch hierarchy the service relies on.
+
+:class:`ProcessQueryService` is the CPU-bound counterpart: worker
+*processes* over a read-only snapshot replica, for workloads where
+matching arithmetic (not simulated device latency) dominates.
 """
 
+from repro.server.process import ProcessQueryService
 from repro.server.service import QueryService
 
-__all__ = ["QueryService"]
+__all__ = ["ProcessQueryService", "QueryService"]

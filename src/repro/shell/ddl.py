@@ -342,23 +342,41 @@ def execute_statement(
             result = service.execute(statement.text, options)
         else:
             result = executor.execute_text(statement.text, options)
-        lines = [
-            f"{len(result)} row(s); plan: {result.statistics.plan}; "
-            f"pages: {result.statistics.page_accesses}; "
-            f"false drops: {result.statistics.false_drops}"
-        ]
-        for oid, values in result.rows[:max_rows]:
-            rendered = ", ".join(
-                f"{name}={_render(value)}" for name, value in sorted(values.items())
-            )
-            lines.append(f"  {oid}: {rendered}")
-        if len(result) > max_rows:
-            lines.append(f"  ... {len(result) - max_rows} more")
-        if trace and result.trace is not None:
-            lines.append(render_span_tree(result.trace))
-        return "\n".join(lines)
+        return format_query_result(result, max_rows=max_rows, trace=trace)
 
     raise QueryError(f"unhandled statement type: {type(statement).__name__}")
+
+
+def is_plain_select(text: str) -> bool:
+    """True when ``text`` is a bare ``select`` statement.
+
+    These are the statements the shell's ``\\batch`` mode may group into
+    one :meth:`~repro.query.executor.QueryExecutor.execute_batched` call;
+    ``explain``, DDL and mutations always run one at a time.
+    """
+    stripped = text.strip().rstrip(";").lower()
+    return stripped.startswith("select") and (
+        len(stripped) == len("select") or not stripped[len("select")].isalnum()
+    )
+
+
+def format_query_result(result, max_rows: int = 20, trace: bool = False) -> str:
+    """Render one :class:`~repro.query.executor.QueryResult` for the shell."""
+    lines = [
+        f"{len(result)} row(s); plan: {result.statistics.plan}; "
+        f"pages: {result.statistics.page_accesses}; "
+        f"false drops: {result.statistics.false_drops}"
+    ]
+    for oid, values in result.rows[:max_rows]:
+        rendered = ", ".join(
+            f"{name}={_render(value)}" for name, value in sorted(values.items())
+        )
+        lines.append(f"  {oid}: {rendered}")
+    if len(result) > max_rows:
+        lines.append(f"  ... {len(result) - max_rows} more")
+    if trace and result.trace is not None:
+        lines.append(render_span_tree(result.trace))
+    return "\n".join(lines)
 
 
 def _render(value: Any) -> str:

@@ -116,6 +116,171 @@ class IOSnapshot:
         return self.total().physical_total
 
 
+class _RawCounts:
+    """Plain-dict capture of per-file counters.
+
+    The cheap cousin of :class:`IOSnapshot`: four dicts of ints, no frozen
+    dataclass per file. Copying ~500 small dicts costs microseconds where
+    materializing 500 :class:`FileIOCounts` costs milliseconds — this is
+    what makes always-on tracing affordable. Materialize to a real
+    :class:`IOSnapshot` only when someone asks.
+    """
+
+    __slots__ = ("lr", "lw", "pr", "pw")
+
+    def __init__(self, lr, lw, pr, pw) -> None:
+        self.lr = lr
+        self.lw = lw
+        self.pr = pr
+        self.pw = pw
+
+    def merged(self, delta: "PageAccessStats") -> "_RawCounts":
+        """New counts = self plus a private delta's counts."""
+        out = _RawCounts(dict(self.lr), dict(self.lw), dict(self.pr), dict(self.pw))
+        for mine, theirs in (
+            (out.lr, delta._logical_reads),
+            (out.lw, delta._logical_writes),
+            (out.pr, delta._physical_reads),
+            (out.pw, delta._physical_writes),
+        ):
+            for name, pages in theirs.items():
+                mine[name] = mine.get(name, 0) + pages
+        return out
+
+    def to_snapshot(self) -> IOSnapshot:
+        names = set(self.lr) | set(self.lw) | set(self.pr) | set(self.pw)
+        return IOSnapshot(
+            {
+                name: FileIOCounts(
+                    self.lr.get(name, 0),
+                    self.lw.get(name, 0),
+                    self.pr.get(name, 0),
+                    self.pw.get(name, 0),
+                )
+                for name in names
+            }
+        )
+
+    def diff(self, other: "_RawCounts") -> IOSnapshot:
+        """Sparse ``self - other``: only files whose counters changed.
+
+        Observably equivalent to the dense :meth:`IOSnapshot.__sub__` for
+        every consumer (totals, ``for_file``, non-zero ``pages_by_file``)
+        — it merely omits the zero-delta entries the dense form carries.
+        """
+        names = (
+            set(self.lr) | set(self.lw) | set(self.pr) | set(self.pw)
+            | set(other.lr) | set(other.lw) | set(other.pr) | set(other.pw)
+        )
+        out = {}
+        for name in names:
+            counts = FileIOCounts(
+                self.lr.get(name, 0) - other.lr.get(name, 0),
+                self.lw.get(name, 0) - other.lw.get(name, 0),
+                self.pr.get(name, 0) - other.pr.get(name, 0),
+                self.pw.get(name, 0) - other.pw.get(name, 0),
+            )
+            if (
+                counts.logical_reads or counts.logical_writes
+                or counts.physical_reads or counts.physical_writes
+            ):
+                out[name] = counts
+        return IOSnapshot(out)
+
+
+class RawIOSnapshot:
+    """A near-free capture of counter state, diffable later.
+
+    ``token`` identifies the recording context the capture was taken in
+    (the thread's private :class:`PageAccessStats` inside an
+    :meth:`IOStatistics.isolated` scope, else the shared
+    :class:`IOStatistics`). Two captures with the same token diff by their
+    relative ``counts`` alone; captures straddling a scope boundary fall
+    back to absolute counts (``base`` + ``counts``), still exact.
+    """
+
+    __slots__ = ("token", "counts", "base")
+
+    def __init__(self, token, counts: _RawCounts, base) -> None:
+        self.token = token
+        self.counts = counts
+        self.base = base
+
+    def absolute(self) -> _RawCounts:
+        if self.base is None:
+            return self.counts
+        out = _RawCounts(
+            dict(self.base.lr), dict(self.base.lw),
+            dict(self.base.pr), dict(self.base.pw),
+        )
+        for mine, theirs in (
+            (out.lr, self.counts.lr), (out.lw, self.counts.lw),
+            (out.pr, self.counts.pr), (out.pw, self.counts.pw),
+        ):
+            for name, pages in theirs.items():
+                mine[name] = mine.get(name, 0) + pages
+        return out
+
+
+class JournalMark:
+    """An O(1) position capture in a thread's I/O journal.
+
+    The cheapest possible "snapshot": the journal list plus an index.
+    Two marks bracket a span; replaying the entries between them yields
+    the exact per-file delta this thread charged — lazily, only when
+    someone reads ``span.io``.
+    """
+
+    __slots__ = ("journal", "index")
+
+    def __init__(self, journal: list, index: int) -> None:
+        self.journal = journal
+        self.index = index
+
+
+def _replay(journal: list, start: int, stop: int) -> IOSnapshot:
+    """Fold journal entries ``[start:stop)`` into a sparse snapshot."""
+    lr: Dict[str, int] = {}
+    lw: Dict[str, int] = {}
+    pr: Dict[str, int] = {}
+    pw: Dict[str, int] = {}
+    single = {"lr": lr, "lw": lw, "pr": pr, "pw": pw}
+    for kind, payload, pages in journal[start:stop]:
+        counters = single.get(kind)
+        if counters is not None:
+            counters[payload] = counters.get(payload, 0) + pages
+        else:  # many-file form: payload is a list of names
+            counters = lr if kind == "LR" else pr
+            for name in payload:
+                counters[name] = counters.get(name, 0) + pages
+    names = set(lr) | set(lw) | set(pr) | set(pw)
+    return IOSnapshot(
+        {
+            name: FileIOCounts(
+                lr.get(name, 0), lw.get(name, 0), pr.get(name, 0), pw.get(name, 0)
+            )
+            for name in names
+        }
+    )
+
+
+def diff_raw(after, before) -> IOSnapshot:
+    """Exact I/O delta between two captures taken on the same statistics.
+
+    Accepts :class:`JournalMark` pairs (the tracer's fast path),
+    :class:`RawIOSnapshot` pairs (the batch executor's fast path) or plain
+    :class:`IOSnapshot` pairs (eager fallback for exotic ``io_source``
+    objects that only expose ``snapshot()``).
+    """
+    if isinstance(after, JournalMark):
+        return _replay(after.journal, before.index, after.index)
+    if isinstance(after, IOSnapshot):
+        return after - before
+    if after.token is before.token:
+        return after.counts.diff(before.counts)
+    return after.absolute().diff(before.absolute())
+
+
 class PageAccessStats:
     """One thread's private page-access delta.
 
@@ -203,7 +368,37 @@ class IOStatistics:
         scope = getattr(self._local, "scope", None)
         return scope[1] if scope is not None else None
 
+    # ------------------------------------------------------------------
+    # Tracing journal
+    # ------------------------------------------------------------------
+    # When a tracer is active on this thread, every record_* call appends
+    # one entry to a thread-local journal (an O(1) list append per *call*,
+    # not per file). Spans capture journal positions instead of snapshots,
+    # making the per-span capture cost independent of how many files the
+    # store holds. With no tracer active the journal is None and each
+    # record path pays one attribute read.
+    def journal_acquire(self):
+        """Enable (or join) this thread's I/O journal.
+
+        Returns ``(journal, owned)``; the caller that received
+        ``owned=True`` enabled journaling and must call
+        :meth:`journal_release` when its root span closes.
+        """
+        journal = getattr(self._local, "journal", None)
+        if journal is not None:
+            return journal, False
+        journal = []
+        self._local.journal = journal
+        return journal, True
+
+    def journal_release(self) -> None:
+        """Stop journaling on this thread (spans keep their entries alive)."""
+        self._local.journal = None
+
     def record_logical_read(self, file_name: str, pages: int = 1) -> None:
+        journal = getattr(self._local, "journal", None)
+        if journal is not None:
+            journal.append(("lr", file_name, pages))
         delta = self._delta()
         if delta is not None:
             delta.record_logical_read(file_name, pages)
@@ -214,6 +409,9 @@ class IOStatistics:
             )
 
     def record_logical_write(self, file_name: str, pages: int = 1) -> None:
+        journal = getattr(self._local, "journal", None)
+        if journal is not None:
+            journal.append(("lw", file_name, pages))
         delta = self._delta()
         if delta is not None:
             delta.record_logical_write(file_name, pages)
@@ -224,6 +422,9 @@ class IOStatistics:
             )
 
     def record_physical_read(self, file_name: str, pages: int = 1) -> None:
+        journal = getattr(self._local, "journal", None)
+        if journal is not None:
+            journal.append(("pr", file_name, pages))
         delta = self._delta()
         if delta is not None:
             delta.record_physical_read(file_name, pages)
@@ -234,6 +435,9 @@ class IOStatistics:
             )
 
     def record_physical_write(self, file_name: str, pages: int = 1) -> None:
+        journal = getattr(self._local, "journal", None)
+        if journal is not None:
+            journal.append(("pw", file_name, pages))
         delta = self._delta()
         if delta is not None:
             delta.record_physical_write(file_name, pages)
@@ -250,6 +454,10 @@ class IOStatistics:
         call for a whole batch — the hot path of packed slice search, which
         charges hundreds of slice files per query.
         """
+        journal = getattr(self._local, "journal", None)
+        if journal is not None:
+            file_names = list(file_names)
+            journal.append(("LR", file_names, pages_each))
         delta = self._delta()
         if delta is not None:
             delta.record_logical_read_many(file_names, pages_each)
@@ -261,6 +469,10 @@ class IOStatistics:
 
     def record_physical_read_many(self, file_names, pages_each: int) -> None:
         """Bulk form of :meth:`record_physical_read` (see above)."""
+        journal = getattr(self._local, "journal", None)
+        if journal is not None:
+            file_names = list(file_names)
+            journal.append(("PR", file_names, pages_each))
         delta = self._delta()
         if delta is not None:
             delta.record_physical_read_many(file_names, pages_each)
@@ -284,7 +496,7 @@ class IOStatistics:
         merges into the shared counters (or the enclosing scope's delta —
         scopes nest). Yields the :class:`PageAccessStats` delta.
         """
-        base = self.snapshot()
+        base = self._raw_base()
         delta = PageAccessStats()
         previous = getattr(self._local, "scope", None)
         self._local.scope = (base, delta)
@@ -317,11 +529,85 @@ class IOStatistics:
                 for name, pages in theirs.items():
                     mine[name] = mine.get(name, 0) + pages
 
+    def _raw_base(self) -> _RawCounts:
+        """Counter state visible to this thread, as cheap raw dicts."""
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            base, delta = scope
+            return base.merged(delta)
+        with self._lock:
+            return _RawCounts(
+                dict(self._logical_reads),
+                dict(self._logical_writes),
+                dict(self._physical_reads),
+                dict(self._physical_writes),
+            )
+
+    def raw_snapshot(self) -> RawIOSnapshot:
+        """Capture counter state without materializing an :class:`IOSnapshot`.
+
+        Costs a handful of dict copies (microseconds) instead of building
+        one frozen dataclass per file (milliseconds on a bit-sliced store
+        with hundreds of slice files). Pair two captures with
+        :func:`diff_raw` for an exact per-file delta. This is the tracer's
+        hot path.
+        """
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            base, delta = scope
+            counts = _RawCounts(
+                dict(delta._logical_reads),
+                dict(delta._logical_writes),
+                dict(delta._physical_reads),
+                dict(delta._physical_writes),
+            )
+            return RawIOSnapshot(delta, counts, base)
+        with self._lock:
+            counts = _RawCounts(
+                dict(self._logical_reads),
+                dict(self._logical_writes),
+                dict(self._physical_reads),
+                dict(self._physical_writes),
+            )
+        return RawIOSnapshot(self, counts, None)
+
+    def merge_snapshot(self, snap: IOSnapshot) -> None:
+        """Fold an externally metered :class:`IOSnapshot` into the counters.
+
+        Used by the process-pool execution mode: each worker process meters
+        its queries against its own private store, ships the per-query
+        delta back, and the parent merges it here so shared totals match a
+        sequential run of the same work (merging is pure addition, exactly
+        like :meth:`isolated` scope exits).
+        """
+        delta = self._delta()
+        if delta is not None:
+            for name, counts in snap.per_file.items():
+                if counts.logical_reads:
+                    delta.record_logical_read(name, counts.logical_reads)
+                if counts.logical_writes:
+                    delta.record_logical_write(name, counts.logical_writes)
+                if counts.physical_reads:
+                    delta.record_physical_read(name, counts.physical_reads)
+                if counts.physical_writes:
+                    delta.record_physical_write(name, counts.physical_writes)
+            return
+        with self._lock:
+            for name, counts in snap.per_file.items():
+                for store, pages in (
+                    (self._logical_reads, counts.logical_reads),
+                    (self._logical_writes, counts.logical_writes),
+                    (self._physical_reads, counts.physical_reads),
+                    (self._physical_writes, counts.physical_writes),
+                ):
+                    if pages:
+                        store[name] = store.get(name, 0) + pages
+
     def snapshot(self) -> IOSnapshot:
         scope = getattr(self._local, "scope", None)
         if scope is not None:
             base, delta = scope
-            return base + delta.snapshot()
+            return base.merged(delta).to_snapshot()
         with self._lock:
             names = (
                 set(self._logical_reads)

@@ -1,0 +1,237 @@
+"""Batched execution equivalence: ``execute_many`` vs one-at-a-time.
+
+The batch fast path (facility ``prepare_batch`` + ``match_many`` kernels +
+raw-counter accounting) must be *observably invisible*: identical rows in
+identical order, identical plans and statistics, and bit-identical
+per-file page accounting — for every facility, every search mode, every
+batch size, and through every fallback (scans, subqueries, degraded
+facilities). Fixed-seed golden checks pin that contract; a hypothesis
+sweep searches for query mixes that break it.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
+
+from tests.conftest import HOBBIES, populate_students
+
+OPS = ["has-subset", "in-subset", "overlaps", "contains"]
+
+
+def build_db(seed=5):
+    db = Database(page_size=4096, pool_capacity=0)
+    db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    db.create_ssf_index("Student", "hobbies", 64, 2)
+    db.create_bssf_index("Student", "hobbies", 64, 2)
+    db.create_nested_index("Student", "hobbies")
+    populate_students(db, seed=seed)
+    return db
+
+
+def golden_queries(count=30, seed=9):
+    rng = random.Random(seed)
+    texts = []
+    for _ in range(count):
+        op = rng.choice(OPS)
+        if op == "contains":
+            texts.append(
+                f'select Student where hobbies contains "{rng.choice(HOBBIES)}"'
+            )
+            continue
+        elements = rng.sample(HOBBIES, rng.choice([1, 2, 3]))
+        literals = ", ".join(f'"{e}"' for e in elements)
+        texts.append(f"select Student where hobbies {op} ({literals})")
+    return texts
+
+
+def page_profile(stats):
+    """Nonzero per-file counters — the comparable core of an I/O snapshot.
+
+    The sequential path diffs dense snapshots (zero-count files survive as
+    explicit zeros) while the batch path diffs raw counters (only touched
+    files appear), so equality is defined over nonzero entries.
+    """
+    assert stats.io is not None
+    return sorted(
+        (name, counts.logical_reads, counts.logical_writes,
+         counts.physical_reads, counts.physical_writes)
+        for name, counts in stats.io.files()
+        if counts.logical_total or counts.physical_total
+    )
+
+
+def assert_equivalent(sequential, batched):
+    assert len(sequential) == len(batched)
+    for left, right in zip(sequential, batched):
+        assert left.rows == right.rows
+        a, b = left.statistics, right.statistics
+        assert a.plan == b.plan
+        assert a.candidates == b.candidates
+        assert a.false_drops == b.false_drops
+        assert a.results == b.results
+        assert a.detail.get("exact_search") == b.detail.get("exact_search")
+        assert ("degraded" in a.detail) == ("degraded" in b.detail)
+        assert page_profile(a) == page_profile(b)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("prefer", ["ssf", "bssf", "nix", None])
+    @pytest.mark.parametrize("batch_size", [2, 8, 64])
+    def test_rows_stats_and_pages_identical(self, prefer, batch_size):
+        texts = golden_queries()
+        db_seq, db_bat = build_db(), build_db()
+        opts = ExecutionOptions(prefer_facility=prefer)
+        sequential = [
+            QueryExecutor(db_seq).execute_text(text, opts) for text in texts
+        ]
+        batched = QueryExecutor(db_bat).execute_many(
+            texts, opts.evolve(batch_size=batch_size)
+        )
+        assert_equivalent(sequential, batched)
+        # Merged shared totals — not just per-query deltas — must agree.
+        assert db_seq.io_snapshot().total() == db_bat.io_snapshot().total()
+
+    def test_batch_size_one_is_plain_sequential(self):
+        texts = golden_queries(count=6)
+        db = build_db()
+        executor = QueryExecutor(db)
+        sequential = [executor.execute_text(t) for t in texts]
+        unbatched = executor.execute_many(
+            texts, ExecutionOptions(batch_size=1)
+        )
+        assert_equivalent(sequential, unbatched)
+
+    def test_scan_queries_fall_out_of_batches(self):
+        # Scalar-only predicates plan as scans; interleaved with index
+        # queries they must break batches without perturbing anything.
+        texts = [
+            'select Student where hobbies contains "Chess"',
+            'select Student where name = "s001"',
+            'select Student where hobbies overlaps ("Golf", "Tennis")',
+            'select Student where name = "s002"',
+        ]
+        db_seq, db_bat = build_db(), build_db()
+        sequential = [
+            QueryExecutor(db_seq).execute_text(text) for text in texts
+        ]
+        batched = QueryExecutor(db_bat).execute_many(
+            texts, ExecutionOptions(batch_size=4)
+        )
+        assert_equivalent(sequential, batched)
+
+    def test_subqueries_fall_out_of_batches(self):
+        def build_courses():
+            db = Database(page_size=4096, pool_capacity=0)
+            db.define_class(
+                ClassSchema.build("Course", name="scalar", category="scalar")
+            )
+            db.define_class(
+                ClassSchema.build("Student", name="scalar", courses="set:Course")
+            )
+            db.create_bssf_index("Student", "courses", 64, 2)
+            course_oids = [
+                db.insert(
+                    "Course",
+                    {"name": f"c{i}", "category": "DB" if i % 2 else "AI"},
+                )
+                for i in range(6)
+            ]
+            rng = random.Random(3)
+            for i in range(40):
+                db.insert(
+                    "Student",
+                    {
+                        "name": f"s{i}",
+                        "courses": set(rng.sample(course_oids, 2)),
+                    },
+                )
+            return db
+
+        texts = [
+            "select Student where courses has-subset "
+            '(select Course where category = "DB")',
+            'select Student where courses overlaps '
+            '(select Course where category = "AI")',
+        ]
+        db_seq, db_bat = build_courses(), build_courses()
+        sequential = [
+            QueryExecutor(db_seq).execute_text(text) for text in texts
+        ]
+        batched = QueryExecutor(db_bat).execute_many(
+            texts, ExecutionOptions(batch_size=4)
+        )
+        assert_equivalent(sequential, batched)
+
+
+class TestDegradedFallback:
+    def test_degraded_facility_batches_identically(self):
+        texts = golden_queries(count=10)
+        db_seq, db_bat = build_db(), build_db()
+        for db in (db_seq, db_bat):
+            db.mark_degraded("Student", "hobbies", "bssf", "injected for test")
+        opts = ExecutionOptions(prefer_facility="bssf")
+        sequential = [
+            QueryExecutor(db_seq).execute_text(text, opts) for text in texts
+        ]
+        batched = QueryExecutor(db_bat).execute_many(
+            texts, opts.evolve(batch_size=8)
+        )
+        assert_equivalent(sequential, batched)
+        for result in batched:
+            assert result.statistics.plan.endswith(
+                "-> degraded-fallback scan(Student)"
+            )
+        assert db_seq.io_snapshot().total() == db_bat.io_snapshot().total()
+
+    def test_healthy_facilities_still_batch_around_degraded_one(self):
+        texts = golden_queries(count=10)
+        db_seq, db_bat = build_db(), build_db()
+        for db in (db_seq, db_bat):
+            db.mark_degraded("Student", "hobbies", "ssf", "injected for test")
+        sequential = [
+            QueryExecutor(db_seq).execute_text(text) for text in texts
+        ]
+        batched = QueryExecutor(db_bat).execute_many(
+            texts, ExecutionOptions(batch_size=8)
+        )
+        assert_equivalent(sequential, batched)
+
+
+@st.composite
+def query_text(draw):
+    op = draw(st.sampled_from(OPS))
+    if op == "contains":
+        hobby = draw(st.sampled_from(HOBBIES))
+        return f'select Student where hobbies contains "{hobby}"'
+    elements = draw(
+        st.lists(st.sampled_from(HOBBIES), min_size=1, max_size=5, unique=True)
+    )
+    literals = ", ".join(f'"{e}"' for e in elements)
+    return f"select Student where hobbies {op} ({literals})"
+
+
+# One database pair for the whole sweep: queries are read-only, so reuse
+# keeps the property test fast enough to run as tier-1.
+_DB = build_db()
+_EXECUTOR = QueryExecutor(_DB)
+
+
+class TestBatchedProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        texts=st.lists(query_text(), min_size=1, max_size=12),
+        batch_size=st.integers(2, 6),
+    )
+    def test_any_query_mix_is_equivalent(self, texts, batch_size):
+        sequential = [_EXECUTOR.execute_text(text) for text in texts]
+        batched = _EXECUTOR.execute_many(
+            texts, ExecutionOptions(batch_size=batch_size)
+        )
+        assert_equivalent(sequential, batched)

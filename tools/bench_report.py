@@ -56,11 +56,44 @@ def render(report: dict) -> str:
         )
     overhead = report.get("tracer_overhead")
     if overhead:
+        ceiling = thresholds.get("tracer_overhead")
+        verdict = ""
+        if ceiling is not None:
+            state = "PASS" if overhead["overhead_ratio"] <= ceiling else "FAIL"
+            verdict = f" — {state} (≤{ceiling:g}x)"
         lines.append("")
         lines.append(
             "Active-tracer overhead (BSSF subset sweep): "
             f"off {overhead['off_ms']:.2f} ms → on {overhead['on_ms']:.2f} ms "
-            f"({overhead['overhead_ratio']:.2f}x)"
+            f"({overhead['overhead_ratio']:.2f}x){verdict}"
+        )
+    batched = report.get("batched")
+    if batched:
+        floor = thresholds.get("batched")
+        verdict = ""
+        if floor is not None:
+            state = "PASS" if batched["batched_speedup"] >= floor else "FAIL"
+            verdict = f" — {state} (≥{floor:g}x)"
+        lines.append("")
+        lines.append(
+            f"Batched execute_many (batch={int(batched['batch_size'])}, "
+            f"{int(batched['queries'])} queries): "
+            f"{batched['sequential_ms']:.2f} ms → {batched['batched_ms']:.2f} ms "
+            f"({batched['batched_speedup']:.2f}x){verdict}"
+        )
+    process = report.get("process")
+    if process:
+        floor = thresholds.get("process")
+        verdict = ""
+        if floor is not None:
+            state = "PASS" if process["process_speedup"] >= floor else "FAIL"
+            verdict = f" — {state} (≥{floor:g}x)"
+        lines.append("")
+        lines.append(
+            f"Process-pool serving ({int(process['workers'])} workers, "
+            f"{int(process['queries'])} queries, CPU-bound): "
+            f"{process['sequential_ms']:.2f} ms → {process['process_ms']:.2f} ms "
+            f"({process['process_speedup']:.2f}x){verdict}"
         )
     wal = report.get("wal_overhead")
     if wal:
