@@ -21,8 +21,16 @@ Quick start::
     result = executor.execute_text(
         'select Student where hobbies has-subset ("Baseball")'
     )
+
+Served over the network (``sigfile-repro serve`` on the other end)::
+
+    from repro import connect
+
+    with connect("sigfile://127.0.0.1:7731") as db:
+        result = db.execute('select Student where hobbies has-subset ("Chess")')
 """
 
+from repro.client import RemoteClient
 from repro.concurrency import RWLatch, ShardedLatch
 from repro.core.signature import SetPredicateKind, SignatureScheme
 from repro.objects.database import Database
@@ -30,10 +38,12 @@ from repro.objects.oid import OID
 from repro.objects.schema import Attribute, AttributeKind, ClassSchema
 from repro.persistence.snapshot import load_database, save_database
 from repro.query.executor import QueryExecutor, QueryResult
-from repro.query.options import ExecutionOptions
+from repro.query.options import ExecutionMode, ExecutionOptions
 from repro.query.parser import parse_query
 from repro.query.planner import CostContext, plan_query
+from repro.server.net import TcpQueryServer
 from repro.server.service import QueryService
+from repro.serving import QueryBackend, connect, make_service
 
 __version__ = "1.0.0"
 
@@ -43,16 +53,22 @@ __all__ = [
     "ClassSchema",
     "CostContext",
     "Database",
+    "ExecutionMode",
     "ExecutionOptions",
     "OID",
+    "QueryBackend",
     "QueryExecutor",
     "QueryResult",
     "QueryService",
     "RWLatch",
+    "RemoteClient",
     "SetPredicateKind",
     "ShardedLatch",
     "SignatureScheme",
+    "TcpQueryServer",
+    "connect",
     "load_database",
+    "make_service",
     "parse_query",
     "plan_query",
     "save_database",

@@ -6,6 +6,7 @@ Usage::
     sigfile-repro run figure4 [figure5 ...]
     sigfile-repro run all
     sigfile-repro trace 'select Student where hobbies contains "Chess"'
+    sigfile-repro serve --port 7731 --load campus.sigdb
     python -m repro run table6
 
 Output is the plain-text rendering of the experiment (the same rows/series
@@ -109,6 +110,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", metavar="SNAPSHOT", default=None,
         help="start from a saved database snapshot",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a database over TCP (the repro.wire protocol)",
+        description=(
+            "Start a TcpQueryServer answering remote queries over the "
+            "length-prefixed repro.wire protocol. Serves a snapshot "
+            "(--load) or, by default, the bundled university sample "
+            "database (the same one `trace` uses). Connect with "
+            "repro.connect('sigfile://host:port') or the shell's "
+            "\\connect."
+        ),
+    )
+    serve.add_argument(
+        "--load", metavar="SNAPSHOT", default=None,
+        help="serve a saved database snapshot instead of the sample",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default 7731; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="QueryService worker-pool width (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="admitted-but-waiting backlog (default 2x workers)",
+    )
+    serve.add_argument(
+        "--auth", action="append", default=[], metavar="TOKEN[:TENANT]",
+        help=(
+            "require client tokens; repeatable. TOKEN alone maps to a "
+            "tenant of the same name"
+        ),
+    )
+    serve.add_argument(
+        "--quota", action="append", default=[], metavar="TENANT=N",
+        help="cap a tenant at N in-flight queries; repeatable",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=30.0,
+        help="per-connection idle read timeout in seconds (default 30)",
+    )
     traced = subparsers.add_parser(
         "trace",
         help="run one query with tracing on and print the span tree",
@@ -209,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         database = load_database(args.load) if args.load else None
         return interactive_loop(database)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "trace":
         return _run_trace(args.query, snapshot=args.load, as_json=args.json)
     if args.command == "fsck":
@@ -282,6 +331,73 @@ def _run_bench(args) -> int:
     return module.main(forwarded)
 
 
+def _sample_database():
+    """The bundled university sample, indexed the way ``trace`` indexes it."""
+    from repro.workloads.university import build_university
+
+    uni = build_university()
+    database = uni.database
+    database.create_bssf_index(
+        "Student", "hobbies", signature_bits=128, bits_per_element=2
+    )
+    database.create_nested_index("Student", "courses")
+    return database
+
+
+def _run_serve(args) -> int:
+    """Serve a database over TCP until interrupted."""
+    from repro.errors import ReproError
+    from repro.server.net import TcpQueryServer
+    from repro.wire import DEFAULT_PORT
+
+    if args.load:
+        from repro.persistence.snapshot import load_database
+
+        database = load_database(args.load)
+        source = args.load
+    else:
+        database = _sample_database()
+        source = "university sample"
+    auth_tokens = {}
+    for spec in args.auth:
+        token, _, tenant = spec.partition(":")
+        if not token:
+            print(f"serve: bad --auth {spec!r}", file=sys.stderr)
+            return 2
+        auth_tokens[token] = tenant or token
+    tenant_quotas = {}
+    for spec in args.quota:
+        tenant, sep, limit = spec.partition("=")
+        if not sep or not tenant or not limit.lstrip("-").isdigit():
+            print(f"serve: bad --quota {spec!r} (want TENANT=N)", file=sys.stderr)
+            return 2
+        tenant_quotas[tenant] = int(limit)
+    try:
+        server = TcpQueryServer(
+            database,
+            host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            max_workers=args.workers,
+            queue_depth=args.queue_depth,
+            auth_tokens=auth_tokens or None,
+            tenant_quotas=tenant_quotas or None,
+            read_timeout_seconds=args.read_timeout,
+        )
+        server.start()
+    except (OSError, ReproError) as exc:
+        print(f"serve: cannot start: {exc}", file=sys.stderr)
+        return 1
+    guarded = " (token auth on)" if auth_tokens else ""
+    print(f"serving {source} at {server.url}{guarded} — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nserve: draining ...", file=sys.stderr)
+    finally:
+        server.stop(drain=True)
+    return 0
+
+
 def _run_trace(query: str, snapshot: Optional[str], as_json: bool) -> int:
     """Execute one query with tracing on and print the report."""
     import json
@@ -295,14 +411,7 @@ def _run_trace(query: str, snapshot: Optional[str], as_json: bool) -> int:
 
         database = load_database(snapshot)
     else:
-        from repro.workloads.university import build_university
-
-        uni = build_university()
-        database = uni.database
-        database.create_bssf_index(
-            "Student", "hobbies", signature_bits=128, bits_per_element=2
-        )
-        database.create_nested_index("Student", "courses")
+        database = _sample_database()
     executor = QueryExecutor(database)
     try:
         if as_json:

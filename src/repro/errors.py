@@ -2,33 +2,80 @@
 
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch one base class. Subsystems raise the most specific subclass available.
+
+Every class carries a stable machine-readable ``code`` — the identifier the
+wire protocol (:mod:`repro.wire`) ships across the network so a
+:class:`~repro.client.RemoteClient` can re-raise the *same* exception class
+the server raised. Codes are registered automatically at class-definition
+time; :func:`error_class_for_code` resolves a code back to its class, and a
+code minted by a newer server that this client does not know decodes to
+:class:`RemoteError` with the original code preserved.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+#: code -> exception class; populated by ``ReproError.__init_subclass__``.
+_CODE_REGISTRY: Dict[str, Type["ReproError"]] = {}
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: stable machine-readable identifier, shipped over the wire protocol
+    code: str = "internal"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Only classes that declare their own code register it; the first
+        # declarer wins so aliases cannot silently repoint a code.
+        declared = cls.__dict__.get("code")
+        if declared is not None and declared not in _CODE_REGISTRY:
+            _CODE_REGISTRY[declared] = cls
+
+
+_CODE_REGISTRY[ReproError.code] = ReproError
+
+
+def error_class_for_code(code: str) -> Optional[Type[ReproError]]:
+    """The exception class registered for ``code``, or ``None`` if unknown."""
+    return _CODE_REGISTRY.get(code)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable code for any exception (non-repro errors are "internal")."""
+    return getattr(exc, "code", ReproError.code)
+
 
 class ConfigurationError(ReproError):
     """A parameter or parameter combination is invalid (e.g. m > F)."""
+
+    code = "bad-config"
 
 
 class StorageError(ReproError):
     """Base class for storage-layer failures."""
 
+    code = "storage"
+
 
 class PageError(StorageError):
     """A page-level operation failed (bad page id, overflow, corruption)."""
+
+    code = "page"
 
 
 class CorruptPageError(PageError):
     """A page image failed its CRC32 checksum on a physical read."""
 
+    code = "corrupt-page"
+
 
 class TransientIOError(StorageError):
     """A (simulated) transient device failure; retrying may succeed."""
+
+    code = "transient-io"
 
 
 class SimulatedCrashError(ReproError):
@@ -40,13 +87,19 @@ class SimulatedCrashError(ReproError):
     the top level to exercise restart/recovery behaviour.
     """
 
+    code = "simulated-crash"
+
 
 class BufferPoolError(StorageError):
     """The buffer pool could not satisfy a request (e.g. all frames pinned)."""
 
+    code = "buffer-pool"
+
 
 class WalError(StorageError):
     """Base class for write-ahead-log failures."""
+
+    code = "wal"
 
 
 class WalCorruptError(WalError):
@@ -58,6 +111,8 @@ class WalCorruptError(WalError):
     unreadable record.
     """
 
+    code = "wal-corrupt"
+
     def __init__(self, message: str, lsn: int):
         super().__init__(message)
         self.lsn = lsn
@@ -66,43 +121,114 @@ class WalCorruptError(WalError):
 class ConcurrencyError(ReproError):
     """Base class for concurrency-layer failures (latches, admission)."""
 
+    code = "concurrency"
+
 
 class LatchError(ConcurrencyError):
     """A latch was misused (release without hold, conflicting upgrade)."""
+
+    code = "latch"
 
 
 class AdmissionError(ConcurrencyError):
     """The query service shed a request: its admission queue stayed full
     through every retry the policy allowed."""
 
+    code = "admission"
+
+
+class TenantQuotaError(AdmissionError):
+    """A tenant exceeded its per-tenant in-flight admission quota.
+
+    A quota breach is the tenant's own saturation, not the server's — it is
+    shed at the network edge before consuming a service admission slot, so
+    one noisy tenant cannot starve the others.
+    """
+
+    code = "tenant-quota"
+
 
 class ObjectStoreError(ReproError):
     """Base class for object-store failures."""
+
+    code = "object-store"
 
 
 class UnknownOIDError(ObjectStoreError):
     """An OID does not identify a live object."""
 
+    code = "unknown-oid"
+
 
 class SchemaError(ObjectStoreError):
     """An object does not conform to its class schema."""
+
+    code = "schema"
 
 
 class AccessFacilityError(ReproError):
     """Base class for access-facility (SSF / BSSF / NIX) failures."""
 
+    code = "access-facility"
+
 
 class IndexCorruptionError(AccessFacilityError):
     """An index invariant was violated (detected during verification)."""
+
+    code = "index-corruption"
 
 
 class QueryError(ReproError):
     """Base class for query-layer failures."""
 
+    code = "query"
+
 
 class ParseError(QueryError):
     """The SQL-like query text could not be parsed."""
 
+    code = "parse"
+
 
 class PlanningError(QueryError):
     """No executable plan could be produced for a query."""
+
+    code = "planning"
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol frame was malformed, oversized, or version-skewed."""
+
+    code = "protocol"
+
+
+class AuthenticationError(ReproError):
+    """The server rejected the connection's auth token."""
+
+    code = "auth"
+
+
+class ConnectionLostError(ReproError):
+    """The transport to a remote server failed (dial, send, or receive).
+
+    Raised client-side after every reconnect attempt the retry policy
+    allows has failed; distinct from :class:`ProtocolError` (the peer spoke,
+    but spoke garbage) and from server-raised errors (which arrive as
+    well-formed error frames and re-raise as their own classes).
+    """
+
+    code = "connection-lost"
+
+
+class RemoteError(ReproError):
+    """A server-side error whose class this client does not know.
+
+    Round-trips the original code and message so callers can still branch
+    on ``remote_code`` even across a protocol-version skew.
+    """
+
+    code = "remote"
+
+    def __init__(self, message: str, remote_code: Optional[str] = None):
+        super().__init__(message)
+        self.remote_code = remote_code or RemoteError.code

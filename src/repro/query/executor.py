@@ -194,12 +194,24 @@ class QueryExecutor:
         ``batch_size > 1``), ``THREAD`` serves through a transient
         :class:`~repro.server.QueryService`, ``PROCESS`` through a
         :class:`~repro.server.ProcessQueryService` over a read-only
-        snapshot. Results come back in submission order on every backend,
-        with rows and per-query page accounting identical to a sequential
-        one-at-a-time run.
+        snapshot, and ``REMOTE`` through a transient
+        :class:`~repro.client.RemoteClient` against
+        ``options.remote_url``. Results come back in submission order on
+        every backend, with rows and per-query page accounting identical
+        to a sequential one-at-a-time run.
         """
         opts = coerce_options(options, {})
         mode = opts.resolved_mode()
+        if mode is ExecutionMode.REMOTE:
+            from repro.errors import ConfigurationError
+            from repro.serving import connect
+
+            if not opts.remote_url:
+                raise ConfigurationError(
+                    "REMOTE execution needs ExecutionOptions(remote_url=...)"
+                )
+            with connect(opts.remote_url) as client:
+                return client.execute_many(queries, opts)
         if mode is ExecutionMode.PROCESS:
             from repro.server.process import ProcessQueryService
 

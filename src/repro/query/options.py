@@ -40,11 +40,16 @@ class ExecutionMode(enum.Enum):
         Serve through a :class:`~repro.server.ProcessQueryService`
         (worker processes over a read-only snapshot) — wins when matching
         is CPU-bound and the GIL serializes threads.
+    ``REMOTE``
+        Serve through a :class:`~repro.client.RemoteClient` against the
+        ``remote_url`` server — the networked backend
+        (``sigfile-repro serve``).
     """
 
     SERIAL = "serial"
     THREAD = "thread"
     PROCESS = "process"
+    REMOTE = "remote"
 
 #: keywords accepted by the pre-ExecutionOptions API, shimmed for one release
 _LEGACY_KEYS = ("context", "prefer_facility", "smart", "trace")
@@ -83,7 +88,11 @@ class ExecutionOptions:
         either way; only wall-clock changes.
     ``execution_mode``
         Backend for :meth:`QueryExecutor.execute_many`. ``None`` infers:
-        ``THREAD`` when ``max_workers > 1``, else ``SERIAL``.
+        ``REMOTE`` when ``remote_url`` is set, ``THREAD`` when
+        ``max_workers > 1``, else ``SERIAL``.
+    ``remote_url``
+        A ``sigfile://host:port`` server address for ``REMOTE`` execution
+        (see :func:`repro.connect`).
     """
 
     context: Optional["CostContext"] = None
@@ -94,6 +103,7 @@ class ExecutionOptions:
     max_workers: Optional[int] = None
     batch_size: Optional[int] = None
     execution_mode: Optional[ExecutionMode] = None
+    remote_url: Optional[str] = None
 
     @property
     def tracing_requested(self) -> bool:
@@ -103,6 +113,8 @@ class ExecutionOptions:
         """The effective :class:`ExecutionMode` for batch entry points."""
         if self.execution_mode is not None:
             return self.execution_mode
+        if self.remote_url is not None:
+            return ExecutionMode.REMOTE
         if self.max_workers is not None and self.max_workers > 1:
             return ExecutionMode.THREAD
         return ExecutionMode.SERIAL
@@ -110,6 +122,57 @@ class ExecutionOptions:
     def evolve(self, **changes: Any) -> "ExecutionOptions":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Wire serialization
+    # ------------------------------------------------------------------
+    # ``context`` and ``tracer`` are live local objects (an ANALYZE cache
+    # and a span recorder); they deliberately never travel. Everything
+    # else round-trips as plain JSON types with a stable key set, and
+    # ``from_dict`` ignores keys it does not know — a newer peer may add
+    # fields without breaking an older one.
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form of the portable fields (stable key set)."""
+        return {
+            "prefer_facility": self.prefer_facility,
+            "smart": self.smart,
+            "trace": self.trace,
+            "max_workers": self.max_workers,
+            "batch_size": self.batch_size,
+            "execution_mode": (
+                self.execution_mode.value
+                if self.execution_mode is not None
+                else None
+            ),
+            "remote_url": self.remote_url,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "ExecutionOptions":
+        """Rebuild from :meth:`to_dict` output; tolerant of drift.
+
+        Unknown keys are ignored, missing keys take their defaults, and an
+        ``execution_mode`` value this version does not know resolves to
+        ``None`` (mode inference) instead of failing — so options encoded
+        by a newer protocol version still decode.
+        """
+        data = data or {}
+        mode: Optional[ExecutionMode] = None
+        raw_mode = data.get("execution_mode")
+        if raw_mode is not None:
+            try:
+                mode = ExecutionMode(raw_mode)
+            except ValueError:
+                mode = None
+        return cls(
+            prefer_facility=data.get("prefer_facility"),
+            smart=bool(data.get("smart", True)),
+            trace=bool(data.get("trace", False)),
+            max_workers=data.get("max_workers"),
+            batch_size=data.get("batch_size"),
+            execution_mode=mode,
+            remote_url=data.get("remote_url"),
+        )
 
 
 def coerce_options(

@@ -9,9 +9,16 @@ for the latch hierarchy the service relies on.
 :class:`ProcessQueryService` is the CPU-bound counterpart: worker
 *processes* over a read-only snapshot replica, for workloads where
 matching arithmetic (not simulated device latency) dominates.
+
+:class:`TcpQueryServer` is the network edge: the :mod:`repro.wire`
+protocol over TCP, backed by a :class:`QueryService`, with auth, per-tenant
+quotas, and graceful drain (see ``docs/SERVING.md``). All three — plus the
+:class:`~repro.client.RemoteClient` on the other end of the wire — satisfy
+the :class:`~repro.serving.QueryBackend` protocol.
 """
 
+from repro.server.net import TcpQueryServer
 from repro.server.process import ProcessQueryService
 from repro.server.service import QueryService
 
-__all__ = ["ProcessQueryService", "QueryService"]
+__all__ = ["ProcessQueryService", "QueryService", "TcpQueryServer"]

@@ -1,0 +1,488 @@
+"""TCP serving edge: :class:`TcpQueryServer` over a :class:`QueryService`.
+
+The in-process :class:`~repro.server.service.QueryService` proved queries
+correct under concurrency; this module gives it a network edge. One
+listener thread accepts connections; each connection gets a handler thread
+that reads frames (see :mod:`repro.wire`), runs queries through the shared
+service, and writes responses. Concurrency and overload control stay where
+they already live — the service's worker pool and bounded admission — so a
+saturated server sheds with a protocol-level ``admission`` error frame
+instead of dropping connections.
+
+Edge policies handled here:
+
+* **Handshake** — the first frame must be ``HELLO`` carrying the protocol
+  version and, when the server was given ``auth_tokens``, a valid token;
+  the token names the connection's *tenant*.
+* **Per-tenant quotas** — ``tenant_quotas`` caps each tenant's in-flight
+  queries; a breach sheds that request with a ``tenant-quota`` error
+  *before* it consumes a service admission slot.
+* **Read timeouts** — a connection idle longer than
+  ``read_timeout_seconds`` is closed (frees handler threads from dead
+  peers).
+* **Graceful shutdown** — :meth:`stop` with ``drain=True`` stops
+  accepting, lets every in-flight request finish and deliver its
+  response, sends ``BYE``, then closes.
+* **Error discipline** — a malformed or oversized frame earns a
+  ``protocol`` error frame and a close (the stream cannot be resynced);
+  a well-formed request that fails keeps the connection: the error
+  round-trips as a structured frame and the client re-raises the same
+  exception class (:mod:`repro.errors` codes).
+
+Traffic feeds ``server.net.*`` metrics: connection / request counters,
+auth and quota rejections, protocol errors, and client disconnects.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import wire
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    ConnectionLostError,
+    ProtocolError,
+    ReproError,
+    TenantQuotaError,
+)
+from repro.obs.metrics import REGISTRY
+from repro.query.options import ExecutionOptions
+from repro.server.service import QueryService
+
+__all__ = ["TcpQueryServer"]
+
+
+class _Connection:
+    """Per-connection bookkeeping: socket, identity, and a request lock.
+
+    The handler holds ``lock`` while processing one request (execute +
+    respond); a draining shutdown acquires it to guarantee the in-flight
+    response is fully written before the socket is torn down.
+    """
+
+    __slots__ = ("sock", "tenant", "lock")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.tenant: Optional[str] = None
+        self.lock = threading.Lock()
+
+
+class TcpQueryServer:
+    """Serve the wire protocol over TCP, backed by one `QueryService`.
+
+    ``database`` / ``service``
+        Pass a :class:`~repro.objects.database.Database` (the server builds
+        and owns a :class:`QueryService` with ``max_workers`` /
+        ``queue_depth``) or an existing service (shared; not shut down with
+        the server). Exactly one of the two.
+    ``host`` / ``port``
+        Bind address. ``port=0`` picks a free port; read the bound address
+        from :attr:`address` after :meth:`start`.
+    ``auth_tokens``
+        ``{token: tenant_name}``. When set, every connection must present
+        a known token in its ``HELLO``; when ``None``, auth is off and all
+        connections share the anonymous tenant.
+    ``tenant_quotas``
+        ``{tenant_name: max_in_flight}`` — per-tenant admission caps,
+        enforced at the edge before service admission.
+    ``read_timeout_seconds``
+        Per-connection socket timeout; an idle peer is disconnected.
+    ``max_frame_bytes``
+        Upper bound on a single frame in either direction.
+
+    The server is a context manager: entering calls :meth:`start`, leaving
+    calls :meth:`stop` (draining).
+    """
+
+    def __init__(
+        self,
+        database=None,
+        *,
+        service: Optional[QueryService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 4,
+        queue_depth: Optional[int] = None,
+        auth_tokens: Optional[Mapping[str, str]] = None,
+        tenant_quotas: Optional[Mapping[str, int]] = None,
+        read_timeout_seconds: float = 30.0,
+        max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+    ):
+        if (database is None) == (service is None):
+            raise ConfigurationError(
+                "TcpQueryServer needs a database or a service (not both)"
+            )
+        if read_timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"read_timeout_seconds must be positive, got {read_timeout_seconds}"
+            )
+        self._owns_service = service is None
+        self.service = service or QueryService(
+            database, max_workers=max_workers, queue_depth=queue_depth
+        )
+        self.host = host
+        self.port = port
+        self.auth_tokens = dict(auth_tokens) if auth_tokens is not None else None
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.read_timeout_seconds = read_timeout_seconds
+        self.max_frame_bytes = max_frame_bytes
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: Dict[_Connection, threading.Thread] = {}
+        self._state_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._started = False
+        self._tenant_inflight: Dict[str, int] = {}
+        self._m_connections = REGISTRY.counter("server.net.connections")
+        self._m_requests = REGISTRY.counter("server.net.requests")
+        self._m_auth_failures = REGISTRY.counter("server.net.auth_failures")
+        self._m_quota_rejections = REGISTRY.counter("server.net.quota_rejections")
+        self._m_protocol_errors = REGISTRY.counter("server.net.protocol_errors")
+        self._m_disconnects = REGISTRY.counter("server.net.disconnects")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TcpQueryServer":
+        """Bind, listen, and start accepting in a background thread."""
+        if self._started:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        # A blocking accept() is not reliably interrupted by close() on
+        # another thread; a short timeout turns stop() into a bounded wait.
+        listener.settimeout(0.2)
+        self.host, self.port = listener.getsockname()[:2]
+        self._listener = listener
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tcp-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (final port only after `start`)."""
+        return (self.host, self.port)
+
+    @property
+    def url(self) -> str:
+        """The ``sigfile://`` URL clients connect to."""
+        return f"sigfile://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """`start` and block until :meth:`stop` is called."""
+        self.start()
+        assert self._accept_thread is not None
+        while self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=0.5)
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting and close connections; idempotent.
+
+        With ``drain=True`` every in-flight request finishes and its
+        response is delivered (the per-connection lock guarantees the
+        write completed) before the socket closes with a ``BYE``. With
+        ``drain=False`` sockets are torn down immediately.
+        """
+        if not self._started or self._stopping.is_set():
+            # Not started, or a previous stop already ran.
+            if self._owns_service and not self._stopping.is_set():
+                self._stopping.set()
+                self.service.shutdown()
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        with self._state_lock:
+            connections = list(self._handlers.items())
+        for connection, _thread in connections:
+            if drain:
+                # Waits for the in-flight request (if any) to finish and
+                # flush its response, then wakes the blocked frame read.
+                with connection.lock:
+                    self._farewell(connection)
+            else:
+                self._farewell(connection)
+        for _connection, thread in connections:
+            thread.join(timeout=timeout)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        if self._owns_service:
+            self.service.shutdown(wait=drain)
+
+    def _farewell(self, connection: _Connection) -> None:
+        """Best-effort BYE, then unblock the handler's pending read.
+
+        ``SHUT_RDWR`` (not ``SHUT_RD``): only a full shutdown generates the
+        poll event that wakes a handler blocked inside ``recv``. Queued
+        outbound data — the BYE, a just-written response — is still
+        delivered; shutdown is not close.
+        """
+        with contextlib.suppress(OSError, ProtocolError):
+            wire.write_frame(connection.sock, wire.BYE, {}, self.max_frame_bytes)
+        with contextlib.suppress(OSError):
+            connection.sock.shutdown(socket.SHUT_RDWR)
+
+    def __enter__(self) -> "TcpQueryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:
+        state = (
+            "stopped"
+            if self._stopping.is_set()
+            else ("serving" if self._started else "idle")
+        )
+        return f"TcpQueryServer({self.host}:{self.port}, {state}, {self.service!r})"
+
+    # ------------------------------------------------------------------
+    # Accepting
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue  # periodic stop-flag check
+            except OSError:
+                break  # listener closed by stop()
+            if self._stopping.is_set():
+                with contextlib.suppress(OSError):
+                    sock.close()
+                break
+            connection = _Connection(sock)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="tcp-conn",
+                daemon=True,
+            )
+            with self._state_lock:
+                self._handlers[connection] = thread
+            self._m_connections.inc()
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _serve_connection(self, connection: _Connection) -> None:
+        sock = connection.sock
+        sock.settimeout(self.read_timeout_seconds)
+        try:
+            if not self._handshake(connection):
+                return
+            while not self._stopping.is_set():
+                try:
+                    frame = wire.read_frame(sock, self.max_frame_bytes)
+                except ProtocolError as exc:
+                    self._m_protocol_errors.inc()
+                    self._send_error(connection, exc, request_id=None)
+                    return
+                except socket.timeout:
+                    self._m_disconnects.inc()
+                    return  # idle peer
+                except (ConnectionLostError, ConnectionError, OSError):
+                    self._m_disconnects.inc()
+                    return
+                if frame is None:
+                    return  # orderly close between frames
+                kind, payload = frame
+                # A request that was already read is served even if a
+                # draining stop() races in — drain means no accepted work
+                # is dropped. The loop condition ends the connection after.
+                with connection.lock:
+                    if not self._dispatch(connection, kind, payload):
+                        return
+        except (ConnectionError, BrokenPipeError, OSError):
+            # Peer vanished mid-response; nothing left to tell it.
+            self._m_disconnects.inc()
+        finally:
+            with contextlib.suppress(OSError):
+                sock.close()
+            with self._state_lock:
+                self._handlers.pop(connection, None)
+
+    def _handshake(self, connection: _Connection) -> bool:
+        """Require a HELLO; authenticate when tokens are configured."""
+        try:
+            frame = wire.read_frame(connection.sock, self.max_frame_bytes)
+        except ProtocolError as exc:
+            self._m_protocol_errors.inc()
+            self._send_error(connection, exc, request_id=None)
+            return False
+        except (socket.timeout, ConnectionLostError, ConnectionError, OSError):
+            self._m_disconnects.inc()
+            return False
+        if frame is None:
+            return False
+        kind, payload = frame
+        if kind != wire.HELLO:
+            self._m_protocol_errors.inc()
+            self._send_error(
+                connection,
+                ProtocolError("first frame must be HELLO"),
+                request_id=None,
+            )
+            return False
+        if self.auth_tokens is not None:
+            token = payload.get("token")
+            tenant = self.auth_tokens.get(token) if token is not None else None
+            if tenant is None:
+                self._m_auth_failures.inc()
+                self._send_error(
+                    connection,
+                    AuthenticationError("unknown or missing auth token"),
+                    request_id=None,
+                )
+                return False
+            connection.tenant = tenant
+        from repro import __version__
+
+        self._send(
+            connection,
+            wire.OK,
+            {
+                "protocol": wire.PROTOCOL_VERSION,
+                "server": f"sigfile-repro/{__version__}",
+                "tenant": connection.tenant,
+            },
+        )
+        return True
+
+    def _dispatch(
+        self, connection: _Connection, kind: int, payload: Dict[str, Any]
+    ) -> bool:
+        """Serve one request frame; False ends the connection."""
+        request_id = payload.get("id")
+        if kind == wire.PING:
+            self._send(connection, wire.PONG, {"id": request_id})
+            return True
+        if kind == wire.GOODBYE:
+            self._send(connection, wire.BYE, {})
+            return False
+        if kind == wire.QUERY:
+            self._m_requests.inc()
+            try:
+                result = self._execute(payload, connection.tenant)
+            except Exception as exc:  # round-trips as a structured frame
+                self._note_rejection(exc)
+                self._send_error(connection, exc, request_id)
+                return True
+            self._send(
+                connection,
+                wire.RESULT,
+                {"id": request_id, **wire.encode_result(result)},
+            )
+            return True
+        if kind == wire.BATCH:
+            texts = payload.get("texts", [])
+            self._m_requests.inc(len(texts) or 1)
+            try:
+                results = [
+                    self._execute({**payload, "text": text}, connection.tenant)
+                    for text in texts
+                ]
+            except Exception as exc:
+                self._note_rejection(exc)
+                self._send_error(connection, exc, request_id)
+                return True
+            self._send(
+                connection,
+                wire.RESULTS,
+                {
+                    "id": request_id,
+                    "results": [wire.encode_result(r) for r in results],
+                },
+            )
+            return True
+        # read_frame vetted the kind, so this is a *response* kind arriving
+        # on the server — a confused client.
+        self._m_protocol_errors.inc()
+        self._send_error(
+            connection,
+            ProtocolError(f"unexpected frame kind {kind} from a client"),
+            request_id,
+        )
+        return False
+
+    def _note_rejection(self, exc: BaseException) -> None:
+        if isinstance(exc, TenantQuotaError):
+            self._m_quota_rejections.inc()
+
+    def _execute(self, payload: Dict[str, Any], tenant: Optional[str]):
+        text = payload.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("query frame is missing its text")
+        options = ExecutionOptions.from_dict(payload.get("options"))
+        # Server-local sanitization: a remote caller must not recurse into
+        # another pool (or back out over the network), and span trees
+        # cannot cross the wire.
+        options = options.evolve(
+            max_workers=None,
+            execution_mode=None,
+            remote_url=None,
+            trace=False,
+            tracer=None,
+        )
+        with self._tenant_slot(tenant):
+            return self.service.execute(text, options)
+
+    @contextlib.contextmanager
+    def _tenant_slot(self, tenant: Optional[str]):
+        """Hold one of the tenant's in-flight slots, or shed."""
+        quota = self.tenant_quotas.get(tenant) if tenant is not None else None
+        if quota is None:
+            yield
+            return
+        with self._state_lock:
+            inflight = self._tenant_inflight.get(tenant, 0)
+            if inflight >= quota:
+                raise TenantQuotaError(
+                    f"tenant {tenant!r} is at its quota of {quota} "
+                    f"in-flight quer{'y' if quota == 1 else 'ies'}"
+                )
+            self._tenant_inflight[tenant] = inflight + 1
+        try:
+            yield
+        finally:
+            with self._state_lock:
+                self._tenant_inflight[tenant] -= 1
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def _send(
+        self, connection: _Connection, kind: int, payload: Dict[str, Any]
+    ) -> None:
+        wire.write_frame(connection.sock, kind, payload, self.max_frame_bytes)
+
+    def _send_error(
+        self,
+        connection: _Connection,
+        exc: BaseException,
+        request_id: Optional[int],
+    ) -> None:
+        if not isinstance(exc, ReproError):
+            self._m_errors_internal()
+        payload = wire.encode_error(exc)
+        payload["id"] = request_id
+        with contextlib.suppress(OSError, ProtocolError, ConnectionError):
+            self._send(connection, wire.ERROR, payload)
+
+    @staticmethod
+    def _m_errors_internal() -> None:
+        REGISTRY.counter("server.net.internal_errors").inc()

@@ -180,12 +180,50 @@ class ProcessQueryService:
         if error is not None:
             self._m_errors.inc()
             raise error
+        self._fold(results)
+        self._m_completed.inc(len(results))
+        return results
+
+    def execute(
+        self, text: str, options: Optional[ExecutionOptions] = None
+    ) -> QueryResult:
+        """Serve one query through a worker process and wait for it."""
+        return self.submit(text, options).result()
+
+    def submit(
+        self, text: str, options: Optional[ExecutionOptions] = None
+    ) -> "Future[QueryResult]":
+        """Enqueue one query; returns a future for its result.
+
+        The worker-side chunk future is adapted so the returned future
+        resolves to the single :class:`QueryResult` with its I/O delta
+        already folded into the serving database's shared statistics.
+        """
+        if self._closed:
+            raise ConfigurationError("process query service is shut down")
+        inner = self._pool.submit(_run_chunk, [text], self._worker_options(options))
+        outer: "Future[QueryResult]" = Future()
+
+        def _settle(done: "Future[List[QueryResult]]") -> None:
+            exc = done.exception()
+            if exc is not None:
+                self._m_errors.inc()
+                outer.set_exception(exc)
+                return
+            results = done.result()
+            self._fold(results)
+            self._m_completed.inc(len(results))
+            outer.set_result(results[0])
+
+        inner.add_done_callback(_settle)
+        return outer
+
+    def _fold(self, results: List[QueryResult]) -> None:
+        """Merge worker-metered I/O deltas into the shared statistics."""
         stats = self.database.storage.stats
         for result in results:
             if result.statistics.io is not None:
                 stats.merge_snapshot(result.statistics.io)
-        self._m_completed.inc(len(results))
-        return results
 
     def _worker_options(
         self, options: Optional[ExecutionOptions]
@@ -221,6 +259,10 @@ class ProcessQueryService:
             REGISTRY.gauge("server.process_workers").set(0)
             if self._tmpdir is not None:
                 shutil.rmtree(self._tmpdir, ignore_errors=True)
+
+    def close(self) -> None:
+        """Alias of :meth:`shutdown` (the ``QueryBackend`` spelling)."""
+        self.shutdown()
 
     def __enter__(self) -> "ProcessQueryService":
         return self

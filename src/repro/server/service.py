@@ -291,6 +291,10 @@ class QueryService:
             self._pool.shutdown(wait=wait)
             REGISTRY.gauge("server.workers").set(0)
 
+    def close(self) -> None:
+        """Alias of :meth:`shutdown` (the ``QueryBackend`` spelling)."""
+        self.shutdown()
+
     def __enter__(self) -> "QueryService":
         return self
 

@@ -1,0 +1,176 @@
+"""One serving surface: the ``QueryBackend`` protocol and its factories.
+
+Three ways of serving queries grew up side by side — the thread-pool
+:class:`~repro.server.service.QueryService`, the snapshot-replica
+:class:`~repro.server.process.ProcessQueryService`, and the networked
+:class:`~repro.client.RemoteClient`. They now share one structural
+contract, :class:`QueryBackend`::
+
+    execute(text, options=None)       -> QueryResult
+    execute_many(queries, options=None) -> List[QueryResult]
+    submit(text, options=None)        -> Future[QueryResult]
+    close()                           # also a context manager
+
+and two blessed constructors pick the right one:
+
+:func:`connect`
+    ``connect("sigfile://host:port")`` → a :class:`RemoteClient`.
+
+:func:`make_service`
+    ``make_service(db_or_url, mode=...)`` → any backend, keyed by
+    :class:`~repro.query.options.ExecutionMode` (``SERIAL`` and ``THREAD``
+    are a :class:`QueryService`; ``PROCESS`` a
+    :class:`ProcessQueryService`; ``REMOTE`` — or a URL instead of a
+    database — a :class:`RemoteClient`).
+
+Direct construction of the three classes keeps working; the factories are
+the documented entry point, and legacy keyword spellings (``workers=``,
+``process_workers=`` — the pre-unification CLI vocabulary) are accepted
+for one release with a ``DeprecationWarning``, mirroring the
+``ExecutionOptions`` migration.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import Future
+from typing import Any, List, Optional, Protocol, Union, runtime_checkable
+
+from repro.client import RemoteClient
+from repro.errors import ConfigurationError
+from repro.query.executor import QueryResult
+from repro.query.options import ExecutionMode, ExecutionOptions
+from repro.server.process import ProcessQueryService
+from repro.server.service import QueryService
+
+__all__ = ["QueryBackend", "connect", "make_service"]
+
+
+@runtime_checkable
+class QueryBackend(Protocol):
+    """Structural contract every serving backend satisfies.
+
+    ``isinstance(obj, QueryBackend)`` checks the method surface at
+    runtime; the conformance test suite checks the behaviour (ordering,
+    context-manager semantics, error classes).
+    """
+
+    def execute(
+        self, text: str, options: Optional[ExecutionOptions] = None
+    ) -> QueryResult:
+        """Run one query text and block for its result."""
+        ...
+
+    def execute_many(
+        self,
+        queries: List[str],
+        options: Optional[ExecutionOptions] = None,
+    ) -> List[QueryResult]:
+        """Run an ordered batch; results line up with ``queries``."""
+        ...
+
+    def submit(
+        self, text: str, options: Optional[ExecutionOptions] = None
+    ) -> "Future[QueryResult]":
+        """Enqueue one query; returns a future for its result."""
+        ...
+
+    def close(self) -> None:
+        """Release the backend's resources; idempotent."""
+        ...
+
+    def __enter__(self) -> "QueryBackend":
+        ...
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        ...
+
+
+def connect(url: str, **kwargs: Any) -> RemoteClient:
+    """Open a :class:`~repro.client.RemoteClient` to a served database.
+
+    ``url`` is ``sigfile://host:port`` (scheme optional; port defaults to
+    :data:`repro.wire.DEFAULT_PORT`). Keyword arguments — ``token``,
+    ``pool_size``, ``retry_policy``, timeouts — pass through to
+    :class:`~repro.client.RemoteClient`.
+    """
+    return RemoteClient.from_url(url, **kwargs)
+
+
+#: legacy keyword -> (new keyword, implied mode); shimmed for one release
+_LEGACY_SERVICE_KEYS = {
+    "workers": ("max_workers", None),
+    "process_workers": ("max_workers", ExecutionMode.PROCESS),
+}
+
+
+def make_service(
+    db_or_url,
+    mode: Union[ExecutionMode, str, None] = None,
+    *,
+    max_workers: Optional[int] = None,
+    **kwargs: Any,
+):
+    """Build the right :class:`QueryBackend` for a database or URL.
+
+    ``db_or_url``
+        A :class:`~repro.objects.database.Database` (in-process backends)
+        or a ``sigfile://host:port`` string (remote).
+    ``mode``
+        An :class:`~repro.query.options.ExecutionMode` or its string value
+        (``"serial"`` / ``"thread"`` / ``"process"`` / ``"remote"``).
+        Defaults to ``THREAD`` for a database and ``REMOTE`` for a URL;
+        ``SERIAL`` is a single-worker :class:`QueryService` (admission
+        control without overlap).
+    ``max_workers`` and remaining keywords
+        Forwarded to the chosen backend's constructor
+        (``queue_depth`` / ``admission_policy`` for thread serving,
+        ``batch_size`` / ``snapshot_path`` for process serving,
+        ``token`` / ``pool_size`` / ``retry_policy`` for remote).
+    """
+    for legacy, (replacement, implied_mode) in _LEGACY_SERVICE_KEYS.items():
+        if legacy in kwargs:
+            warnings.warn(
+                f"make_service({legacy}=...) is deprecated; pass "
+                f"{replacement}="
+                + (
+                    f" with mode=ExecutionMode.{implied_mode.name}"
+                    if implied_mode is not None
+                    else ""
+                ),
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            value = kwargs.pop(legacy)
+            if max_workers is None:
+                max_workers = value
+            if implied_mode is not None and mode is None:
+                mode = implied_mode
+    if isinstance(mode, str):
+        try:
+            mode = ExecutionMode(mode.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown serving mode {mode!r}; expected one of "
+                f"{[m.value for m in ExecutionMode]}"
+            ) from None
+    if isinstance(db_or_url, str):
+        if mode not in (None, ExecutionMode.REMOTE):
+            raise ConfigurationError(
+                f"a server URL implies REMOTE serving, not {mode.value!r}"
+            )
+        if max_workers is not None:
+            kwargs.setdefault("pool_size", max_workers)
+        return connect(db_or_url, **kwargs)
+    if mode is ExecutionMode.REMOTE:
+        raise ConfigurationError(
+            "REMOTE serving needs a sigfile://host:port URL, not a database"
+        )
+    if mode is ExecutionMode.PROCESS:
+        return ProcessQueryService(
+            db_or_url, max_workers=max_workers or 4, **kwargs
+        )
+    if mode is ExecutionMode.SERIAL:
+        return QueryService(db_or_url, max_workers=1, **kwargs)
+    # None or THREAD: the default in-process serving backend.
+    return QueryService(db_or_url, max_workers=max_workers or 4, **kwargs)

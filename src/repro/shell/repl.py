@@ -16,6 +16,10 @@ meta-commands::
                           reconstruct a facility from the object file
     \\workers N            serve select queries through an N-worker
                           QueryService pool (1 restores sequential)
+    \\connect URL [TOKEN]  serve select queries through a remote
+                          sigfile://host:port server (see `sigfile-repro
+                          serve`); DDL and mutations stay local
+    \\disconnect           drop the remote connection
     \\batch N              in scripts, run consecutive select statements
                           in groups of N through the batched kernel path
                           (1 restores statement-at-a-time execution)
@@ -55,7 +59,21 @@ class Shell:
         self.finished = False
         self.tracing = False
         self.service = None  # QueryService when \workers N (N > 1) is active
+        self.remote = None  # RemoteClient when \connect is active
         self.batch_size = 1  # \batch N groups script selects when N > 1
+
+    def _backend(self):
+        """The serving backend selects go through; remote wins over pool."""
+        return self.remote if self.remote is not None else self.service
+
+    def _disconnect(self) -> None:
+        """Close and drop the remote connection, if any."""
+        if self.remote is not None:
+            try:
+                self.remote.close()
+            except OSError:
+                pass
+            self.remote = None
 
     def _set_workers(self, workers: int) -> None:
         """Install (or drain) the session QueryService for ``\\workers``."""
@@ -79,7 +97,7 @@ class Shell:
             return self._meta(line)
         try:
             return execute_statement(
-                self.database, line, trace=self.tracing, service=self.service
+                self.database, line, trace=self.tracing, service=self._backend()
             )
         except ReproError as exc:
             return f"error: {exc}"
@@ -126,9 +144,10 @@ class Shell:
         from repro.query.options import ExecutionOptions
 
         options = ExecutionOptions(batch_size=self.batch_size)
+        backend = self._backend()
         try:
-            if self.service is not None:
-                results = self.service.execute_many(texts, options)
+            if backend is not None:
+                results = backend.execute_many(texts, options)
             else:
                 results = QueryExecutor(self.database).execute_batched(
                     texts, options
@@ -155,6 +174,7 @@ class Shell:
             if self.service is not None:
                 self.service.shutdown()
                 self.service = None
+            self._disconnect()
             return "bye"
         if command == "help":
             return _HELP
@@ -210,6 +230,29 @@ class Shell:
             except ReproError as exc:
                 return f"error: {exc}"
             return f"rebuilt {facility.name} on {class_name}.{attribute}"
+        if command == "connect":
+            if not 1 <= len(args) <= 2:
+                return "usage: \\connect sigfile://host:port [token]"
+            from repro.serving import connect
+
+            try:
+                client = connect(
+                    args[0], token=args[1] if len(args) == 2 else None
+                )
+                client.ping()
+            except (ReproError, OSError) as exc:
+                return f"error: cannot connect to {args[0]}: {exc}"
+            self._disconnect()
+            self.remote = client
+            info = client.server_info or {}
+            server = info.get("server", "sigfile-repro")
+            return f"connected to {client.url} ({server})"
+        if command == "disconnect":
+            if self.remote is None:
+                return "not connected"
+            url = self.remote.url
+            self._disconnect()
+            return f"disconnected from {url}"
         if command == "workers":
             if len(args) != 1 or not args[0].isdigit() or int(args[0]) < 1:
                 return "usage: \\workers N (N >= 1)"

@@ -1,0 +1,169 @@
+"""QueryBackend conformance: one contract, four implementations.
+
+The same behavioural suite runs against ``QueryService`` (serial and
+thread modes), ``ProcessQueryService``, and ``RemoteClient`` over a
+loopback ``TcpQueryServer`` — all built through the blessed factories —
+so the unified serving surface cannot drift apart per backend.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import Future
+
+import pytest
+
+from repro.client import RemoteClient
+from repro.errors import ConfigurationError, ParseError
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionMode
+from repro.server.net import TcpQueryServer
+from repro.server.process import ProcessQueryService
+from repro.server.service import QueryService
+from repro.serving import QueryBackend, connect, make_service
+from tests.conftest import populate_students
+
+QUERIES = [
+    'select Student where hobbies has-subset ("Chess")',
+    'select Student where hobbies has-subset ("Fishing")',
+    'select Student where hobbies overlaps ("Golf", "Tennis")',
+]
+
+
+def _build_db() -> Database:
+    db = Database(page_size=4096, pool_capacity=0)
+    db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    db.create_bssf_index("Student", "hobbies", 128, 2)
+    populate_students(db, count=60)
+    return db
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Sequential reference answers for the shared query mix."""
+    executor = QueryExecutor(_build_db())
+    return {text: executor.execute_text(text).oids() for text in QUERIES}
+
+
+@pytest.fixture(params=["serial", "thread", "process", "remote"])
+def backend(request):
+    db = _build_db()
+    if request.param == "remote":
+        with TcpQueryServer(db, max_workers=2) as server:
+            with make_service(server.url) as built:
+                yield built
+        return
+    mode = {
+        "serial": ExecutionMode.SERIAL,
+        "thread": ExecutionMode.THREAD,
+        "process": ExecutionMode.PROCESS,
+    }[request.param]
+    with make_service(db, mode, max_workers=2) as built:
+        yield built
+
+
+class TestConformance:
+    def test_satisfies_the_protocol(self, backend):
+        assert isinstance(backend, QueryBackend)
+
+    def test_execute(self, backend, golden):
+        for text in QUERIES:
+            assert backend.execute(text).oids() == golden[text]
+
+    def test_execute_many_preserves_order(self, backend, golden):
+        results = backend.execute_many(QUERIES * 2)
+        assert len(results) == len(QUERIES) * 2
+        for text, result in zip(QUERIES * 2, results):
+            assert result.oids() == golden[text]
+
+    def test_execute_many_empty_batch(self, backend):
+        assert backend.execute_many([]) == []
+
+    def test_submit_returns_a_future(self, backend, golden):
+        future = backend.submit(QUERIES[0])
+        assert isinstance(future, Future)
+        assert future.result(timeout=30).oids() == golden[QUERIES[0]]
+
+    def test_query_errors_surface_as_the_same_class(self, backend):
+        with pytest.raises(ParseError):
+            backend.execute("selectt nonsense")
+
+    def test_close_is_idempotent(self, backend):
+        backend.close()
+        backend.close()
+
+
+class TestFactories:
+    def test_database_defaults_to_thread_service(self):
+        with make_service(_build_db()) as service:
+            assert isinstance(service, QueryService)
+            assert service.max_workers == 4
+
+    def test_serial_mode_is_single_worker(self):
+        with make_service(_build_db(), "serial") as service:
+            assert isinstance(service, QueryService)
+            assert service.max_workers == 1
+
+    def test_mode_accepts_enum_and_string(self):
+        with make_service(_build_db(), ExecutionMode.THREAD, max_workers=2) as s:
+            assert isinstance(s, QueryService)
+            assert s.max_workers == 2
+
+    def test_process_mode(self):
+        with make_service(_build_db(), "process", max_workers=2) as service:
+            assert isinstance(service, ProcessQueryService)
+
+    def test_unknown_mode_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown serving mode"):
+            make_service(_build_db(), "quantum")
+
+    def test_url_returns_remote_client(self):
+        client = make_service("sigfile://127.0.0.1:7731")
+        assert isinstance(client, RemoteClient)
+        assert client.url == "sigfile://127.0.0.1:7731"
+        client.close()
+
+    def test_url_with_non_remote_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="REMOTE"):
+            make_service("sigfile://127.0.0.1:7731", "thread")
+
+    def test_remote_mode_with_database_rejected(self):
+        with pytest.raises(ConfigurationError, match="URL"):
+            make_service(_build_db(), ExecutionMode.REMOTE)
+
+    def test_connect_parses_url_forms(self):
+        for url in ("sigfile://h:9", "tcp://h:9", "h:9"):
+            client = connect(url)
+            assert (client.host, client.port) == ("h", 9)
+            client.close()
+        bare = connect("somehost")
+        assert (bare.host, bare.port) == ("somehost", 7731)
+        bare.close()
+
+    def test_connect_rejects_bad_scheme(self):
+        with pytest.raises(ConfigurationError, match="scheme"):
+            connect("http://h:9")
+
+
+class TestLegacyShims:
+    def test_workers_keyword_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="workers"):
+            service = make_service(_build_db(), workers=2)
+        with service:
+            assert isinstance(service, QueryService)
+            assert service.max_workers == 2
+
+    def test_process_workers_keyword_warns_and_implies_process_mode(self):
+        with pytest.warns(DeprecationWarning, match="process_workers"):
+            service = make_service(_build_db(), process_workers=2)
+        with service:
+            assert isinstance(service, ProcessQueryService)
+            assert service.max_workers == 2
+
+    def test_explicit_arguments_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with make_service(_build_db(), max_workers=2) as service:
+                assert service.max_workers == 2

@@ -1,0 +1,121 @@
+"""Error-taxonomy round trips: the same class re-raises across the wire."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import wire
+from repro.errors import (
+    AdmissionError,
+    AuthenticationError,
+    ConfigurationError,
+    ConnectionLostError,
+    CorruptPageError,
+    ParseError,
+    ProtocolError,
+    QueryError,
+    RemoteError,
+    ReproError,
+    TenantQuotaError,
+    WalCorruptError,
+    error_class_for_code,
+    error_code,
+)
+
+
+def round_trip(exc: BaseException) -> ReproError:
+    """Encode, push through JSON (as the socket would), decode."""
+    return wire.decode_error(json.loads(json.dumps(wire.encode_error(exc))))
+
+
+class TestCodes:
+    @pytest.mark.parametrize(
+        "cls,code",
+        [
+            (ReproError, "internal"),
+            (ConfigurationError, "bad-config"),
+            (CorruptPageError, "corrupt-page"),
+            (WalCorruptError, "wal-corrupt"),
+            (AdmissionError, "admission"),
+            (TenantQuotaError, "tenant-quota"),
+            (QueryError, "query"),
+            (ParseError, "parse"),
+            (ProtocolError, "protocol"),
+            (AuthenticationError, "auth"),
+            (ConnectionLostError, "connection-lost"),
+            (RemoteError, "remote"),
+        ],
+    )
+    def test_stable_code_and_registry(self, cls, code):
+        assert cls.code == code
+        assert error_class_for_code(code) is cls
+
+    def test_every_repro_error_subclass_has_a_registered_code(self):
+        def walk(cls):
+            yield cls
+            for sub in cls.__subclasses__():
+                yield from walk(sub)
+
+        for cls in walk(ReproError):
+            assert isinstance(cls.code, str) and cls.code
+            registered = error_class_for_code(cls.code)
+            # First declarer wins; every class's code must resolve to an
+            # ancestor-or-self so decoding never *broadens* past the taxonomy.
+            assert registered is not None
+            assert issubclass(cls, registered) or issubclass(registered, cls)
+
+    def test_error_code_of_instance(self):
+        assert error_code(AdmissionError("x")) == "admission"
+        assert error_code(ValueError("x")) == "internal"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AdmissionError("query shed: no admission slot"),
+            TenantQuotaError("tenant 'a' is at its quota"),
+            CorruptPageError("page 7 checksum mismatch"),
+            ParseError("unexpected token 'wherre'"),
+            AuthenticationError("unknown or missing auth token"),
+            ProtocolError("bad frame magic"),
+            ConfigurationError("bad knob"),
+        ],
+    )
+    def test_same_class_same_message(self, exc):
+        restored = round_trip(exc)
+        assert type(restored) is type(exc)
+        assert str(restored) == str(exc)
+
+    def test_tenant_quota_is_catchable_as_admission(self):
+        restored = round_trip(TenantQuotaError("over quota"))
+        assert isinstance(restored, AdmissionError)
+
+    def test_wal_corrupt_preserves_lsn(self):
+        restored = round_trip(WalCorruptError("bad record", lsn=42))
+        assert type(restored) is WalCorruptError
+        assert restored.lsn == 42
+
+    def test_non_repro_exception_degrades_to_internal(self):
+        restored = round_trip(ValueError("boom"))
+        assert type(restored) is ReproError
+        assert "boom" in str(restored)
+
+    def test_unknown_code_becomes_remote_error(self):
+        restored = wire.decode_error(
+            {"code": "flux-capacitor", "message": "from the future"}
+        )
+        assert type(restored) is RemoteError
+        assert restored.remote_code == "flux-capacitor"
+        assert "from the future" in str(restored)
+
+    def test_remote_error_rerelay_keeps_original_code(self):
+        """A proxy re-encoding a RemoteError must not launder its code."""
+        first = wire.decode_error({"code": "flux-capacitor", "message": "m"})
+        assert round_trip(first).remote_code == "flux-capacitor"
+
+    def test_decode_tolerates_missing_fields(self):
+        restored = wire.decode_error({})
+        assert isinstance(restored, ReproError)

@@ -29,20 +29,24 @@ _CONFIG_LABELS = [
 
 
 def render(report: dict) -> str:
-    config = report["config"]
+    config = report.get("config", {})
     summary = ", ".join(
         f"{label}={config[key]}" for key, label in _CONFIG_LABELS if key in config
     )
-    lines = [
-        f"## Wall-clock benchmark ({report['mode']} mode)",
-        "",
-        f"Configuration: {summary}",
-        "",
-        "| benchmark | naive (ms) | kernels (ms) | speedup | threshold |",
-        "|---|---:|---:|---:|---|",
-    ]
+    lines = [f"## Wall-clock benchmark ({report.get('mode', '?')} mode)"]
+    if summary:
+        lines.extend(["", f"Configuration: {summary}"])
     thresholds = report.get("thresholds", {})
-    for name, metrics in sorted(report["results"].items()):
+    results = report.get("results", {})
+    if results:
+        lines.extend(
+            [
+                "",
+                "| benchmark | naive (ms) | kernels (ms) | speedup | threshold |",
+                "|---|---:|---:|---:|---|",
+            ]
+        )
+    for name, metrics in sorted(results.items()):
         minimum = thresholds.get(name)
         if minimum is None:
             verdict = "—"
@@ -103,6 +107,33 @@ def render(report: dict) -> str:
             f"off {wal['off_ms']:.2f} ms → on {wal['on_ms']:.2f} ms "
             f"({wal['overhead_ratio']:.2f}x)"
         )
+    serving = report.get("serving")
+    if serving:
+        gates = serving.get("thresholds", {})
+        floor = gates.get("serving_min_qps")
+        ceiling = gates.get("serving_max_p99_ms")
+        qps_verdict = ""
+        if floor is not None:
+            state = "PASS" if serving["qps"] >= floor else "FAIL"
+            qps_verdict = f" — {state} (≥{floor:g} qps)"
+        p99_verdict = ""
+        if ceiling is not None:
+            state = "PASS" if serving["p99_ms"] <= ceiling else "FAIL"
+            p99_verdict = f" — {state} (≤{ceiling:g} ms)"
+        lines.append("")
+        lines.append(
+            f"Network serving ({int(serving['clients'])} clients, "
+            f"{int(serving['workers'])} workers, "
+            f"{int(serving['requests'])} requests over "
+            f"{serving['duration_s']:.2f} s): "
+            f"{serving['qps']:.1f} qps sustained{qps_verdict}; "
+            f"p50 {serving['p50_ms']:.2f} ms, "
+            f"p99 {serving['p99_ms']:.2f} ms{p99_verdict}"
+        )
+        if serving.get("errors"):
+            lines.append(
+                f"  FAIL: {int(serving['errors'])} request error(s)"
+            )
     lines.append("")
     lines.append(f"Overall: {'PASS' if report['pass'] else 'FAIL'}")
     return "\n".join(lines)

@@ -78,4 +78,13 @@ print(
 )
 PY
 
+echo "== network serving smoke (loopback TCP) =="
+# Sustained-QPS floor and p99 latency ceiling for the wire protocol +
+# RemoteClient pool against a loopback TcpQueryServer (smoke gates in
+# benchmarks/bench_serving.py: ≥60 qps, p99 ≤400 ms — the dev machine
+# sustains 300+ qps, so only a real serving regression trips this).
+python benchmarks/bench_serving.py --smoke --json \
+    --out /tmp/BENCH_serving_smoke.json > /dev/null
+python tools/bench_report.py /tmp/BENCH_serving_smoke.json
+
 echo "OK"
