@@ -156,6 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--read-timeout", type=float, default=30.0,
         help="per-connection idle read timeout in seconds (default 30)",
     )
+    serve.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help=(
+            "serve a WAL-mode primary out of DIR (recovers existing state "
+            "or starts fresh); replicas can subscribe to it"
+        ),
+    )
+    serve.add_argument(
+        "--replica-of", default=None, metavar="URL",
+        help=(
+            "serve a read-only replica that tails the primary at URL "
+            "(sigfile://host:port); requires --wal-dir for the replica's "
+            "own log"
+        ),
+    )
+    serve.add_argument(
+        "--replica-name", default=None, metavar="NAME",
+        help="name this replica reports to the primary (default: from DIR)",
+    )
+    serve.add_argument(
+        "--token", default=None,
+        help="auth token --replica-of presents to the primary",
+    )
     traced = subparsers.add_parser(
         "trace",
         help="run one query with tracing on and print the span tree",
@@ -350,7 +373,46 @@ def _run_serve(args) -> int:
     from repro.server.net import TcpQueryServer
     from repro.wire import DEFAULT_PORT
 
-    if args.load:
+    replica = None
+    modes = sum(
+        1 for flag in (args.load, args.wal_dir and not args.replica_of, args.replica_of)
+        if flag
+    )
+    if modes > 1:
+        print(
+            "serve: --load, --wal-dir, and --replica-of are exclusive "
+            "(--replica-of also needs --wal-dir)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replica_of:
+        if not args.wal_dir:
+            print("serve: --replica-of needs --wal-dir", file=sys.stderr)
+            return 2
+        from repro.replication import ReplicaDatabase
+
+        try:
+            replica = ReplicaDatabase(
+                args.replica_of,
+                args.wal_dir,
+                name=args.replica_name,
+                token=args.token,
+            )
+        except ReproError as exc:
+            print(f"serve: cannot start replica: {exc}", file=sys.stderr)
+            return 1
+        database = replica.database
+        source = f"replica of {args.replica_of} (wal in {args.wal_dir})"
+    elif args.wal_dir:
+        from repro.objects.database import Database
+
+        try:
+            database = Database.open(args.wal_dir)
+        except ReproError as exc:
+            print(f"serve: cannot recover {args.wal_dir!r}: {exc}", file=sys.stderr)
+            return 1
+        source = f"wal-mode primary in {args.wal_dir}"
+    elif args.load:
         from repro.persistence.snapshot import load_database
 
         database = load_database(args.load)
@@ -395,6 +457,8 @@ def _run_serve(args) -> int:
         print("\nserve: draining ...", file=sys.stderr)
     finally:
         server.stop(drain=True)
+        if replica is not None:
+            replica.close()
     return 0
 
 

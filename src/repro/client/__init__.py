@@ -137,6 +137,7 @@ class RemoteClient:
         self._m_requests = REGISTRY.counter("client.requests")
         self._m_retries = REGISTRY.counter("client.transport_retries")
         self._m_errors = REGISTRY.counter("client.remote_errors")
+        self._m_stale = REGISTRY.counter("client.stale_connections")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -182,19 +183,25 @@ class RemoteClient:
             raise
         return _Connection(sock)
 
-    def _acquire(self) -> _Connection:
+    def _acquire(self) -> Tuple[_Connection, bool]:
+        """``(connection, pooled)`` — pooled sockets may be stale.
+
+        A socket that sat idle across a server restart looks healthy until
+        its first use; the ``pooled`` flag lets :meth:`_roundtrip` treat a
+        failure on it as "discard and re-dial" rather than a real attempt.
+        """
         with self._cond:
             while True:
                 if self._closed:
                     raise ConnectionLostError("client is closed")
                 if self._idle:
-                    return self._idle.pop()
+                    return self._idle.pop(), True
                 if self._open_count < self.pool_size:
                     self._open_count += 1
                     break
                 self._cond.wait()
         try:
-            return self._dial()
+            return self._dial(), False
         except BaseException:
             with self._cond:
                 self._open_count -= 1
@@ -216,12 +223,21 @@ class RemoteClient:
     def _roundtrip(
         self, kind: int, payload: Dict[str, Any], expect: int
     ) -> Dict[str, Any]:
-        """Send one request, retrying transport failures on new sockets."""
+        """Send one request, retrying transport failures on new sockets.
+
+        A failure on a *pooled* socket does not consume a retry attempt:
+        an idle socket that died while pooled (server restart, idle
+        timeout) says nothing about the server's health now, so it is
+        discarded and the request immediately re-tried on a fresh dial.
+        The pool is finite, so this drains stale sockets in bounded work.
+        """
         policy = self.retry_policy
         last_error: Optional[BaseException] = None
-        for attempt in range(1, policy.max_attempts + 1):
+        attempt = 1
+        while attempt <= policy.max_attempts:
+            pooled = False
             try:
-                connection = self._acquire()
+                connection, pooled = self._acquire()
             except _TRANSPORT_ERRORS as exc:
                 last_error = exc
             else:
@@ -248,13 +264,18 @@ class RemoteClient:
                     return response
                 except _TRANSPORT_ERRORS as exc:
                     last_error = exc
+                    if pooled:
+                        self._m_stale.inc()
                 finally:
                     self._release(connection, broken)
+                if pooled:
+                    continue  # stale idle socket: retry now, at no cost
             if attempt < policy.max_attempts:
                 self._m_retries.inc()
                 delay = policy.sleep_for(attempt)
                 if delay > 0:
                     time.sleep(delay)
+            attempt += 1
         raise ConnectionLostError(
             f"no response from {self.host}:{self.port} after "
             f"{policy.max_attempts} attempt(s): {last_error}"
@@ -325,6 +346,15 @@ class RemoteClient:
         started = time.perf_counter()
         self._roundtrip(wire.PING, {"id": next(self._ids)}, wire.PONG)
         return time.perf_counter() - started
+
+    def status(self) -> Dict[str, Any]:
+        """The server's ``PONG`` payload: role, LSN, and replica lag.
+
+        ``role`` is ``"primary"`` (WAL-mode, carries ``replicas`` lag
+        entries), ``"replica"`` (read-only; ``lsn`` is its watermark), or
+        ``"standalone"``. Failover clients route on exactly this.
+        """
+        return self._roundtrip(wire.PING, {"id": next(self._ids)}, wire.PONG)
 
     # ------------------------------------------------------------------
     # Lifecycle

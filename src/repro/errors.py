@@ -202,6 +202,18 @@ class ProtocolError(ReproError):
     code = "protocol"
 
 
+class FrameTooLargeError(ProtocolError):
+    """A frame exceeds the negotiated ``max_frame_bytes`` ceiling.
+
+    Raised on the sending side *before* any bytes hit the socket, so the
+    connection stays usable: a server whose result overflows the limit
+    ships this as a structured error frame instead of an opaque disconnect,
+    and the client re-raises it under the same class.
+    """
+
+    code = "frame-too-large"
+
+
 class AuthenticationError(ReproError):
     """The server rejected the connection's auth token."""
 
@@ -218,6 +230,39 @@ class ConnectionLostError(ReproError):
     """
 
     code = "connection-lost"
+
+
+class ReplicationError(ReproError):
+    """Base class for primary→replica log-shipping failures."""
+
+    code = "replication"
+
+
+class StaleSubscriberError(ReplicationError):
+    """A subscriber's watermark fell behind the primary's log.
+
+    A checkpoint truncated records the replica never received; tailing the
+    log cannot close the gap. ``base_lsn`` names the oldest LSN the primary
+    still holds — the replica must run a merkle re-sync (ship only the
+    differing page ranges) before re-subscribing from the sync point.
+    """
+
+    code = "stale-subscriber"
+
+    def __init__(self, message: str, base_lsn: int = -1):
+        super().__init__(message)
+        self.base_lsn = base_lsn
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A mutating operation reached a read-only replica.
+
+    Replicas apply shipped WAL records and serve queries; direct writes
+    would diverge them from the primary. Write to the primary, or
+    :meth:`~repro.replication.ReplicaDatabase.promote` the replica first.
+    """
+
+    code = "read-only-replica"
 
 
 class RemoteError(ReproError):

@@ -109,6 +109,10 @@ class Database:
                 f"not {durability!r}"
             )
         self.durability = durability
+        #: True on a replica: every facade mutation raises
+        #: :class:`~repro.errors.ReadOnlyReplicaError` (shipped WAL records
+        #: are applied through a scope that lifts the flag).
+        self.read_only = False
         #: the attached :class:`~repro.wal.WriteAheadLog` (``"wal"`` mode only)
         self.wal = None
         self.wal_dir: Optional[str] = None
@@ -214,7 +218,17 @@ class Database:
         is durably appended *before* the body runs; facility-level
         maintenance records are suppressed for the scope since the logical
         record already implies them.
+
+        Every facade mutator wraps its body in this scope, which makes it
+        the one place the replica read-only guard needs to live.
         """
+        if self.read_only:
+            from repro.errors import ReadOnlyReplicaError
+
+            raise ReadOnlyReplicaError(
+                "this database is a read-only replica; write to the "
+                "primary or promote() the replica first"
+            )
         wal = self.wal
         if wal is None or not wal.accepts_logical_records:
             yield

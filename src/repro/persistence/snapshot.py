@@ -291,6 +291,31 @@ def load_database(
         raise StorageError(f"snapshot {path_str!r}: {exc}") from exc
 
     db = Database(page_size=catalog["page_size"], pool_capacity=pool_capacity)
+    populate_database(
+        db,
+        catalog,
+        page_images,
+        verify_checksums=verify_checksums,
+        source=f"snapshot {path_str!r}",
+    )
+    return db
+
+
+def populate_database(
+    db: Database,
+    catalog: Dict[str, Any],
+    page_images: Dict[str, List[bytes]],
+    verify_checksums: bool = True,
+    source: str = "catalog",
+) -> Database:
+    """Rehydrate a *fresh* :class:`Database` from a catalog plus page images.
+
+    The shared landing for snapshot loads and replication anti-entropy:
+    both arrive at "a catalog and every file's page images" and need the
+    same store adoption, schema/allocator/directory registration, and
+    facility re-attachment. ``db`` must be empty (its page size matching
+    the catalog's); ``source`` labels error messages.
+    """
     store = db.storage.store
     for entry in catalog["files"]:
         store.create_file(entry["name"])
@@ -303,7 +328,7 @@ def load_database(
             bad = store.corrupt_pages(entry["name"])
             if bad:
                 raise CorruptPageError(
-                    f"snapshot {path_str!r}: file {entry['name']!r} page(s) "
+                    f"{source}: file {entry['name']!r} page(s) "
                     f"{bad} do not match their recorded checksums"
                 )
 

@@ -1,0 +1,192 @@
+"""Merkle digests over page files for replication anti-entropy.
+
+A replica whose watermark fell behind a checkpoint truncation cannot catch
+up by tailing the log — the records it needs are gone. Re-shipping every
+page would work but wastes the fact that most of the replica's state is
+already correct. Instead both sides summarize each file as a merkle tree
+over fixed-size *chunks* of pages and walk the trees top-down: equal roots
+prove equal files in one comparison, and where digests differ the walk
+narrows to exactly the chunks whose pages must travel.
+
+The leaf digests come for free: :class:`~repro.storage.disk.DiskStore`
+already maintains a CRC32 sidecar per page (verified on every physical
+read), so a chunk digest is a SHA-256 over its pages' recorded CRCs — no
+page data is touched to build a tree. CRC32 is what the storage layer
+already trusts for corruption detection; anti-entropy inherits exactly
+that trust boundary (this is sync repair, not an adversarial proof).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: pages summarized per leaf chunk — the granularity re-sync ships at
+DEFAULT_CHUNK_PAGES = 8
+
+#: children per interior node of the tree
+DEFAULT_FANOUT = 16
+
+
+def chunk_digests(checksums: Sequence[int], chunk_pages: int) -> List[str]:
+    """One hex digest per ``chunk_pages``-sized group of page CRCs."""
+    if chunk_pages < 1:
+        raise ValueError(f"chunk_pages must be >= 1, got {chunk_pages}")
+    digests = []
+    for start in range(0, len(checksums), chunk_pages):
+        group = checksums[start:start + chunk_pages]
+        digests.append(
+            hashlib.sha256(struct.pack(f"<{len(group)}I", *group)).hexdigest()
+        )
+    return digests
+
+
+def _parent_level(level: Sequence[str], fanout: int) -> List[str]:
+    return [
+        hashlib.sha256("".join(level[i:i + fanout]).encode("ascii")).hexdigest()
+        for i in range(0, len(level), fanout)
+    ]
+
+
+@dataclass
+class MerkleTree:
+    """Digest tree over one file's pages, chunked for shippable diffs.
+
+    ``levels[0]`` is the leaf level (one digest per chunk); each higher
+    level hashes ``fanout`` children; ``levels[-1]`` is a single root. An
+    empty file still gets a root (the hash of nothing) so two empty files
+    compare equal.
+    """
+
+    pages: int
+    chunk_pages: int = DEFAULT_CHUNK_PAGES
+    fanout: int = DEFAULT_FANOUT
+    levels: List[List[str]] = field(default_factory=list)
+
+    @classmethod
+    def from_checksums(
+        cls,
+        checksums: Sequence[int],
+        chunk_pages: int = DEFAULT_CHUNK_PAGES,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> "MerkleTree":
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        leaves = chunk_digests(checksums, chunk_pages)
+        levels = [leaves]
+        while len(levels[-1]) > 1:
+            levels.append(_parent_level(levels[-1], fanout))
+        if not levels[-1]:  # empty file: a canonical empty root
+            levels = [[], [hashlib.sha256(b"").hexdigest()]]
+        return cls(
+            pages=len(checksums),
+            chunk_pages=chunk_pages,
+            fanout=fanout,
+            levels=levels,
+        )
+
+    @property
+    def leaves(self) -> List[str]:
+        return self.levels[0]
+
+    @property
+    def root(self) -> str:
+        return self.levels[-1][0]
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.levels[0])
+
+
+def diff_chunks(mine: MerkleTree, theirs: MerkleTree) -> List[int]:
+    """Leaf chunk indices of ``mine`` that differ from ``theirs``.
+
+    Walked top-down so identical subtrees are dismissed at their highest
+    shared node. A chunk ``theirs`` lacks entirely (the file grew) counts
+    as differing; chunks only ``theirs`` has (the file shrank) do not —
+    the receiver truncates to ``mine.pages`` anyway.
+    """
+    if mine.root == theirs.root and mine.pages == theirs.pages:
+        return []
+    if mine.chunk_pages != theirs.chunk_pages or mine.fanout != theirs.fanout:
+        return list(range(mine.chunk_count))  # shapes disagree: full ship
+    # Walk levels top-down, keeping only the suspect node indices per level.
+    suspects = list(range(len(mine.levels[-1])))
+    for depth in range(len(mine.levels) - 1, 0, -1):
+        level_mine = mine.levels[depth]
+        level_theirs = (
+            theirs.levels[depth] if depth < len(theirs.levels) else []
+        )
+        next_suspects: List[int] = []
+        for index in suspects:
+            ours = level_mine[index]
+            other = level_theirs[index] if index < len(level_theirs) else None
+            if ours == other:
+                continue
+            child_lo = index * mine.fanout
+            child_hi = min(child_lo + mine.fanout, len(mine.levels[depth - 1]))
+            next_suspects.extend(range(child_lo, child_hi))
+        suspects = next_suspects
+    their_leaves = theirs.leaves
+    return [
+        index
+        for index in suspects
+        if index >= len(their_leaves) or mine.leaves[index] != their_leaves[index]
+    ]
+
+
+def chunk_ranges(indices: Sequence[int], chunk_pages: int, pages: int) -> List[Tuple[int, int]]:
+    """Merge chunk indices into ``(first_page, page_count)`` ship ranges."""
+    ranges: List[Tuple[int, int]] = []
+    for index in sorted(set(indices)):
+        start = index * chunk_pages
+        count = min(chunk_pages, pages - start)
+        if count <= 0:
+            continue
+        if ranges and ranges[-1][0] + ranges[-1][1] == start:
+            ranges[-1] = (ranges[-1][0], ranges[-1][1] + count)
+        else:
+            ranges.append((start, count))
+    return ranges
+
+
+def store_trees(
+    store,
+    chunk_pages: int = DEFAULT_CHUNK_PAGES,
+    fanout: int = DEFAULT_FANOUT,
+) -> Dict[str, MerkleTree]:
+    """A tree per file of a :class:`~repro.storage.disk.DiskStore`."""
+    return {
+        name: MerkleTree.from_checksums(
+            store.page_checksums(name), chunk_pages=chunk_pages, fanout=fanout
+        )
+        for name in store.file_names()
+    }
+
+
+def encode_tree(tree: MerkleTree) -> Dict[str, object]:
+    """Wire form of a tree: the receiver rebuilds upper levels itself."""
+    return {
+        "pages": tree.pages,
+        "chunk_pages": tree.chunk_pages,
+        "fanout": tree.fanout,
+        "leaves": tree.leaves,
+    }
+
+
+def decode_tree(payload: Dict[str, object]) -> MerkleTree:
+    leaves = list(payload.get("leaves") or [])
+    levels = [leaves]
+    fanout = int(payload.get("fanout", DEFAULT_FANOUT))
+    while len(levels[-1]) > 1:
+        levels.append(_parent_level(levels[-1], fanout))
+    if not levels[-1]:
+        levels = [[], [hashlib.sha256(b"").hexdigest()]]
+    return MerkleTree(
+        pages=int(payload.get("pages", 0)),
+        chunk_pages=int(payload.get("chunk_pages", DEFAULT_CHUNK_PAGES)),
+        fanout=fanout,
+        levels=levels,
+    )

@@ -23,14 +23,25 @@ Edge policies handled here:
 * **Graceful shutdown** — :meth:`stop` with ``drain=True`` stops
   accepting, lets every in-flight request finish and deliver its
   response, sends ``BYE``, then closes.
-* **Error discipline** — a malformed or oversized frame earns a
-  ``protocol`` error frame and a close (the stream cannot be resynced);
+* **Error discipline** — a malformed or oversized *incoming* frame earns
+  a typed error frame (``frame-too-large`` for oversized) and a close
+  (the stream cannot be resynced past unread bytes); an oversized
+  *response* is caught before any byte hits the socket, so it round-trips
+  as a structured ``frame-too-large`` error and the connection survives;
   a well-formed request that fails keeps the connection: the error
   round-trips as a structured frame and the client re-raises the same
   exception class (:mod:`repro.errors` codes).
+* **Replication** — when the served database is a WAL-mode primary, a
+  ``WAL_SUBSCRIBE`` frame turns the connection into a log-shipping
+  stream: a sender thread pushes ``WAL_RECORDS`` batches from the
+  subscriber's watermark (``HEARTBEAT`` frames when idle) while the
+  handler keeps reading ``WAL_ACK`` lag reports. ``SYNC`` answers merkle
+  anti-entropy for replicas a checkpoint truncation left behind. See
+  :mod:`repro.replication`.
 
 Traffic feeds ``server.net.*`` metrics: connection / request counters,
-auth and quota rejections, protocol errors, and client disconnects.
+auth and quota rejections, protocol errors, and client disconnects;
+shipping feeds ``replication.*``.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from __future__ import annotations
 import contextlib
 import socket
 import threading
+import time
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro import wire
@@ -45,8 +57,11 @@ from repro.errors import (
     AuthenticationError,
     ConfigurationError,
     ConnectionLostError,
+    FrameTooLargeError,
     ProtocolError,
+    ReplicationError,
     ReproError,
+    StaleSubscriberError,
     TenantQuotaError,
 )
 from repro.obs.metrics import REGISTRY
@@ -62,14 +77,22 @@ class _Connection:
     The handler holds ``lock`` while processing one request (execute +
     respond); a draining shutdown acquires it to guarantee the in-flight
     response is fully written before the socket is torn down.
+
+    ``lock`` also serializes the socket between the handler and a
+    replication sender thread, so response and stream frames never
+    interleave mid-frame. ``closed`` tells the sender the handler is done.
     """
 
-    __slots__ = ("sock", "tenant", "lock")
+    __slots__ = ("sock", "tenant", "lock", "closed", "streamer", "cursor", "cursor_id")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self.tenant: Optional[str] = None
         self.lock = threading.Lock()
+        self.closed = threading.Event()
+        self.streamer: Optional[threading.Thread] = None
+        self.cursor = None
+        self.cursor_id: Optional[int] = None
 
 
 class TcpQueryServer:
@@ -112,6 +135,7 @@ class TcpQueryServer:
         tenant_quotas: Optional[Mapping[str, int]] = None,
         read_timeout_seconds: float = 30.0,
         max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+        heartbeat_seconds: float = 1.0,
     ):
         if (database is None) == (service is None):
             raise ConfigurationError(
@@ -120,6 +144,10 @@ class TcpQueryServer:
         if read_timeout_seconds <= 0:
             raise ConfigurationError(
                 f"read_timeout_seconds must be positive, got {read_timeout_seconds}"
+            )
+        if heartbeat_seconds <= 0:
+            raise ConfigurationError(
+                f"heartbeat_seconds must be positive, got {heartbeat_seconds}"
             )
         self._owns_service = service is None
         self.service = service or QueryService(
@@ -131,6 +159,8 @@ class TcpQueryServer:
         self.tenant_quotas = dict(tenant_quotas or {})
         self.read_timeout_seconds = read_timeout_seconds
         self.max_frame_bytes = max_frame_bytes
+        self.heartbeat_seconds = heartbeat_seconds
+        self._replication = None
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._handlers: Dict[_Connection, threading.Thread] = {}
@@ -311,8 +341,11 @@ class TcpQueryServer:
             # Peer vanished mid-response; nothing left to tell it.
             self._m_disconnects.inc()
         finally:
+            connection.closed.set()
             with contextlib.suppress(OSError):
                 sock.close()
+            if connection.streamer is not None:
+                connection.streamer.join(timeout=2.0)
             with self._state_lock:
                 self._handlers.pop(connection, None)
 
@@ -369,11 +402,23 @@ class TcpQueryServer:
         """Serve one request frame; False ends the connection."""
         request_id = payload.get("id")
         if kind == wire.PING:
-            self._send(connection, wire.PONG, {"id": request_id})
+            self._send(
+                connection, wire.PONG, {"id": request_id, **self._role_payload()}
+            )
             return True
         if kind == wire.GOODBYE:
             self._send(connection, wire.BYE, {})
             return False
+        if kind == wire.WAL_SUBSCRIBE:
+            return self._handle_subscribe(connection, payload)
+        if kind == wire.WAL_ACK:
+            if connection.cursor is not None and self._replication is not None:
+                self._replication.note_ack(
+                    connection.cursor, int(payload.get("lsn", 0))
+                )
+            return True
+        if kind == wire.SYNC:
+            return self._handle_sync(connection, payload)
         if kind == wire.QUERY:
             self._m_requests.inc()
             try:
@@ -382,10 +427,11 @@ class TcpQueryServer:
                 self._note_rejection(exc)
                 self._send_error(connection, exc, request_id)
                 return True
-            self._send(
+            self._respond(
                 connection,
                 wire.RESULT,
                 {"id": request_id, **wire.encode_result(result)},
+                request_id,
             )
             return True
         if kind == wire.BATCH:
@@ -400,13 +446,14 @@ class TcpQueryServer:
                 self._note_rejection(exc)
                 self._send_error(connection, exc, request_id)
                 return True
-            self._send(
+            self._respond(
                 connection,
                 wire.RESULTS,
                 {
                     "id": request_id,
                     "results": [wire.encode_result(r) for r in results],
                 },
+                request_id,
             )
             return True
         # read_frame vetted the kind, so this is a *response* kind arriving
@@ -463,12 +510,184 @@ class TcpQueryServer:
                 self._tenant_inflight[tenant] -= 1
 
     # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def replication_source(self):
+        """This server's :class:`~repro.replication.primary
+        .ReplicationSource`, created on first use; ``None`` unless the
+        served database is a WAL-mode primary."""
+        database = getattr(self.service, "database", None)
+        if database is None or getattr(database, "wal", None) is None:
+            return None
+        if getattr(database, "read_only", False):
+            return None  # a replica does not cascade (yet)
+        with self._state_lock:
+            if self._replication is None:
+                from repro.replication.primary import ReplicationSource
+
+                self._replication = ReplicationSource(database)
+            return self._replication
+
+    def _role_payload(self) -> Dict[str, Any]:
+        """Role, LSN, and replica lag — piggybacked on every ``PONG``.
+
+        This is what :class:`~repro.client.failover.FailoverClient` uses
+        to discover topology and enforce read-your-writes tokens.
+        """
+        database = getattr(self.service, "database", None)
+        if database is None:
+            return {"role": "standalone", "lsn": 0}
+        lsn = getattr(database, "wal_applied_lsn", 0)
+        if getattr(database, "read_only", False):
+            return {"role": "replica", "lsn": lsn}
+        if getattr(database, "wal", None) is not None:
+            source = self.replication_source()
+            return {
+                "role": "primary",
+                "lsn": database.wal.end_lsn,
+                "replicas": source.status() if source is not None else [],
+            }
+        return {"role": "standalone", "lsn": lsn}
+
+    def _handle_subscribe(
+        self, connection: _Connection, payload: Dict[str, Any]
+    ) -> bool:
+        source = self.replication_source()
+        if source is None:
+            self._send_error(
+                connection,
+                ReplicationError(
+                    "this server does not serve a WAL-mode primary; "
+                    "nothing to subscribe to"
+                ),
+                request_id=None,
+            )
+            return False
+        if connection.cursor is not None:
+            self._send_error(
+                connection,
+                ProtocolError("connection already carries a subscription"),
+                request_id=None,
+            )
+            return False
+        from_lsn = int(payload.get("from_lsn", 0))
+        name = payload.get("name")
+        try:
+            cursor_id, cursor = source.subscribe(from_lsn, name=name)
+        except (StaleSubscriberError, ReplicationError) as exc:
+            # Keep the connection: a stale subscriber's next frame is a
+            # SYNC on this very socket, then a fresh WAL_SUBSCRIBE.
+            self._send_error(connection, exc, request_id=None)
+            return True
+        connection.cursor_id = cursor_id
+        connection.cursor = cursor
+        connection.streamer = threading.Thread(
+            target=self._stream_wal,
+            args=(connection, source, cursor_id, cursor),
+            name=f"wal-ship:{cursor.name}",
+            daemon=True,
+        )
+        connection.streamer.start()
+        return True
+
+    def _handle_sync(
+        self, connection: _Connection, payload: Dict[str, Any]
+    ) -> bool:
+        source = self.replication_source()
+        if source is None:
+            self._send_error(
+                connection,
+                ReplicationError("this server is not a WAL-mode primary"),
+                request_id=None,
+            )
+            return False
+        try:
+            response = source.sync_response(payload)
+        except Exception as exc:
+            self._send_error(connection, exc, request_id=None)
+            return True
+        self._respond(connection, wire.SYNC_PAGES, response, request_id=None)
+        return True
+
+    def _stream_wal(self, connection, source, cursor_id, cursor) -> None:
+        """Sender loop: push records past the cursor, heartbeat when idle.
+
+        Budgeted below half the frame cap (base64 expands payloads 4/3,
+        plus JSON overhead) so a shipped batch can never trip the frame
+        limit. Ends when the peer, the handler, or the server goes away —
+        or the log's base outruns the cursor (a checkpoint truncated
+        records not yet shipped), which surfaces to the subscriber as a
+        typed ``stale-subscriber`` error so it can run anti-entropy.
+        """
+        budget = max(4096, self.max_frame_bytes // 2)
+        last_heartbeat = time.monotonic()
+        try:
+            while not self._stopping.is_set() and not connection.closed.is_set():
+                try:
+                    batch, end = source.records_since(cursor.shipped_lsn, budget)
+                except StaleSubscriberError as exc:
+                    with connection.lock:
+                        self._send_error(connection, exc, request_id=None)
+                    return
+                if batch:
+                    with connection.lock:
+                        self._send(
+                            connection,
+                            wire.WAL_RECORDS,
+                            {
+                                "from_lsn": cursor.shipped_lsn,
+                                "end_lsn": end,
+                                "records": batch,
+                            },
+                        )
+                    shipped = end - cursor.shipped_lsn
+                    cursor.shipped_lsn = end
+                    source.note_shipped(cursor, len(batch), shipped)
+                    last_heartbeat = time.monotonic()
+                    continue
+                source.wait_for_append(
+                    cursor.shipped_lsn, min(self.heartbeat_seconds, 0.2)
+                )
+                now = time.monotonic()
+                if now - last_heartbeat >= self.heartbeat_seconds:
+                    with connection.lock:
+                        self._send(
+                            connection, wire.HEARTBEAT, {"lsn": source.end_lsn}
+                        )
+                    source.note_heartbeat()
+                    last_heartbeat = now
+        except (OSError, ConnectionError, ProtocolError):
+            pass  # peer went away; the handler thread notices on its read
+        finally:
+            source.unsubscribe(cursor_id)
+
+    # ------------------------------------------------------------------
     # Responses
     # ------------------------------------------------------------------
     def _send(
         self, connection: _Connection, kind: int, payload: Dict[str, Any]
     ) -> None:
         wire.write_frame(connection.sock, kind, payload, self.max_frame_bytes)
+
+    def _respond(
+        self,
+        connection: _Connection,
+        kind: int,
+        payload: Dict[str, Any],
+        request_id: Optional[int],
+    ) -> None:
+        """Send a response; an oversized one degrades to a typed error.
+
+        ``write_frame`` raises :class:`~repro.errors.FrameTooLargeError`
+        *before* any byte hits the socket, so the stream stays framed and
+        the connection stays usable — the client just sees a structured
+        ``frame-too-large`` failure for this one request.
+        """
+        try:
+            self._send(connection, kind, payload)
+        except FrameTooLargeError as exc:
+            self._m_protocol_errors.inc()
+            self._send_error(connection, exc, request_id)
 
     def _send_error(
         self,

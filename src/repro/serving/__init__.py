@@ -86,14 +86,23 @@ class QueryBackend(Protocol):
         ...
 
 
-def connect(url: str, **kwargs: Any) -> RemoteClient:
-    """Open a :class:`~repro.client.RemoteClient` to a served database.
+def connect(url, **kwargs: Any):
+    """Open a remote backend: one URL or a whole replicated fleet.
 
-    ``url`` is ``sigfile://host:port`` (scheme optional; port defaults to
-    :data:`repro.wire.DEFAULT_PORT`). Keyword arguments — ``token``,
-    ``pool_size``, ``retry_policy``, timeouts — pass through to
-    :class:`~repro.client.RemoteClient`.
+    A single ``sigfile://host:port`` URL (scheme optional; port defaults
+    to :data:`repro.wire.DEFAULT_PORT`) opens a
+    :class:`~repro.client.RemoteClient`. A list/tuple of URLs — or one
+    string with commas — opens a
+    :class:`~repro.client.failover.FailoverClient` that discovers which
+    endpoint is the primary and routes around failures. Keyword arguments
+    — ``token``, ``pool_size``, ``retry_policy``, timeouts, and (fleet
+    only) ``prefer_replicas`` / ``failure_threshold`` — pass through to
+    the chosen client.
     """
+    if isinstance(url, (list, tuple)) or (isinstance(url, str) and "," in url):
+        from repro.client.failover import FailoverClient
+
+        return FailoverClient(url, **kwargs)
     return RemoteClient.from_url(url, **kwargs)
 
 

@@ -11,7 +11,9 @@ meta-commands::
                           to every query result (see repro.obs)
     \\check                run the consistency checker
     \\health               run fsck: checksum sweep, facility verification,
-                          degraded-facility listing
+                          degraded-facility listing, replication role
+    \\replicas             replication topology: this session's role, or —
+                          when \\connect'ed — the fleet's roles and lag
     \\rebuild Class.attr [facility]
                           reconstruct a facility from the object file
     \\workers N            serve select queries through an N-worker
@@ -65,6 +67,63 @@ class Shell:
     def _backend(self):
         """The serving backend selects go through; remote wins over pool."""
         return self.remote if self.remote is not None else self.service
+
+    def _replication_line(self) -> str:
+        """One-line replication role for ``\\health``."""
+        db = self.database
+        if getattr(db, "read_only", False):
+            return (
+                "replication: read-only replica "
+                f"(watermark lsn {db.wal_applied_lsn})"
+            )
+        if db.wal is not None:
+            return (
+                "replication: wal-mode primary "
+                f"(end lsn {db.wal.end_lsn}; serve with `sigfile-repro "
+                "serve --wal-dir` to accept subscribers)"
+            )
+        return "replication: standalone (no wal attached)"
+
+    def _replicas_report(self) -> str:
+        """Topology for ``\\replicas``: fleet status when connected."""
+        if self.remote is not None:
+            try:
+                if hasattr(self.remote, "_endpoints"):  # FailoverClient
+                    entries = self.remote.status()
+                    return "\n".join(
+                        "{url}: {role}{lsn}{fails}".format(
+                            url=entry["url"],
+                            role=entry["role"] if entry["alive"] else "down",
+                            lsn=(
+                                f" @ lsn {entry['lsn']}"
+                                if entry["alive"]
+                                else ""
+                            ),
+                            fails=(
+                                f" ({entry['consecutive_failures']} recent "
+                                "failure(s))"
+                                if entry["consecutive_failures"]
+                                else ""
+                            ),
+                        )
+                        for entry in entries
+                    )
+                status = self.remote.status()
+                role = status.get("role", "standalone")
+                lines = [
+                    f"{self.remote.url}: {role} @ lsn {status.get('lsn', 0)}"
+                ]
+                for replica in status.get("replicas", []):
+                    lines.append(
+                        "  replica {name}: acked lsn {acked_lsn}, "
+                        "lag {lag_bytes} byte(s)".format(**replica)
+                    )
+                if role == "primary" and len(lines) == 1:
+                    lines.append("  (no subscribed replicas)")
+                return "\n".join(lines)
+            except (ReproError, OSError) as exc:
+                return f"error: {exc}"
+        return self._replication_line()
 
     def _disconnect(self) -> None:
         """Close and drop the remote connection, if any."""
@@ -217,7 +276,10 @@ class Shell:
                 rendered += "\nfsck: wal disabled (durability: {})".format(
                     self.database.durability
                 )
+            rendered += "\n" + self._replication_line()
             return rendered
+        if command == "replicas":
+            return self._replicas_report()
         if command == "rebuild":
             if not 1 <= len(args) <= 2 or "." not in args[0]:
                 return "usage: \\rebuild Class.attribute [facility]"

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -162,6 +163,8 @@ class WriteAheadLog:
         #: optional :class:`~repro.storage.faults.FaultInjector` consulted
         #: before every append (crash / torn / transient wal faults).
         self.fault_injector = None
+        # Log-shipping subscribers block on this until the tail grows.
+        self._append_cond = threading.Condition()
         if not os.path.exists(self.path):
             with open(self.path, "wb") as stream:
                 stream.write(_HEADER.pack(WAL_MAGIC, 0))
@@ -232,8 +235,47 @@ class WriteAheadLog:
             if self._fsync:
                 os.fsync(self._stream.fileno())
                 REGISTRY.counter("wal.fsyncs").inc()
-        self.end_lsn = lsn + len(frame)
+        self._advance(lsn + len(frame))
         return lsn
+
+    def append_payload(self, payload: bytes) -> int:
+        """Durably append one already-encoded record payload; returns its LSN.
+
+        The log-shipping path: a replica appends the primary's raw serde
+        payload bytes so its local log is byte-identical (frame, CRC, LSN)
+        to the primary's. Unlike :meth:`append` this ignores the
+        ``enabled`` flag — shipping is a physical transfer, not a logical
+        record the replica originated.
+        """
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        lsn = self.end_lsn
+        self._maybe_fault(lsn, frame)
+        self._stream.write(frame)
+        self._stream.flush()
+        REGISTRY.counter("wal.appends").inc()
+        if self._fsync:
+            os.fsync(self._stream.fileno())
+            REGISTRY.counter("wal.fsyncs").inc()
+        self._advance(lsn + len(frame))
+        return lsn
+
+    def _advance(self, end_lsn: int) -> None:
+        with self._append_cond:
+            self.end_lsn = end_lsn
+            self._append_cond.notify_all()
+
+    def wait_for_append(self, lsn: int, timeout: float) -> bool:
+        """Block until the log grows past ``lsn`` (or ``timeout`` elapses).
+
+        Returns True when ``end_lsn > lsn`` on wake-up. This is the
+        subscriber's idle wait: the streaming loop parks here instead of
+        polling, and every append wakes it.
+        """
+        with self._append_cond:
+            if self.end_lsn > lsn:
+                return True
+            self._append_cond.wait(timeout)
+            return self.end_lsn > lsn
 
     def _maybe_fault(self, lsn: int, frame: bytes) -> None:
         injector = self.fault_injector
@@ -262,6 +304,81 @@ class WriteAheadLog:
         """Every intact record currently in the log (fresh scan)."""
         return scan_wal(self.path).records
 
+    def records_from(self, lsn: int) -> List[WalRecord]:
+        """Intact records at or past ``lsn`` (fresh scan)."""
+        return [r for r in scan_wal(self.path).records if r.lsn >= lsn]
+
+    def payloads_from(
+        self, lsn: int, max_bytes: Optional[int] = None
+    ) -> Tuple[List[Tuple[int, bytes]], int]:
+        """Raw record payloads at or past ``lsn``: ``([(lsn, bytes)...], end)``.
+
+        The shipping read: payload bytes are returned exactly as framed so
+        a replica can re-frame them byte-identically. One consistent file
+        read (safe against a concurrent :meth:`truncate_until` swapping the
+        file underneath — base and offsets come from the same image); a
+        torn tail mid-append is simply "no more records yet". ``max_bytes``
+        bounds the summed payload size of one batch; ``end`` is the LSN
+        just past the last *returned* record (or ``lsn`` when none).
+        Raises :class:`~repro.errors.WalError` when ``lsn`` precedes the
+        log's base (the caller's cue that only an anti-entropy sync can
+        catch the subscriber up) or is not a record boundary.
+        """
+        with open(self.path, "rb") as stream:
+            data = stream.read()
+        if len(data) < _HEADER.size:
+            raise WalError(f"wal file {self.path!r} is shorter than its header")
+        magic, base_lsn = _HEADER.unpack_from(data, 0)
+        if magic != WAL_MAGIC:
+            raise WalError(f"wal file {self.path!r} has bad magic {magic!r}")
+        if lsn < base_lsn:
+            raise WalError(
+                f"lsn {lsn} precedes the log's base lsn {base_lsn} "
+                "(truncated by a checkpoint)"
+            )
+        batch: List[Tuple[int, bytes]] = []
+        offset = _HEADER.size
+        taken = 0
+        seen_boundary = False
+        while offset < len(data):
+            at = base_lsn + (offset - _HEADER.size)
+            if at == lsn:
+                seen_boundary = True
+            frame_end = offset + _FRAME.size
+            if frame_end > len(data):
+                break  # torn tail: not committed yet
+            length, crc = _FRAME.unpack_from(data, offset)
+            payload_end = frame_end + length
+            if payload_end > len(data):
+                break
+            payload = data[frame_end:payload_end]
+            if zlib.crc32(payload) != crc:
+                if payload_end == len(data):
+                    break  # torn final record
+                raise WalCorruptError(
+                    f"wal record at lsn {at} fails its CRC32 check", lsn=at
+                )
+            if at >= lsn:
+                # The budget always admits the first record (progress must
+                # be possible even when one record exceeds max_bytes).
+                if (
+                    max_bytes is not None
+                    and batch
+                    and taken + len(payload) > max_bytes
+                ):
+                    break
+                batch.append((at, payload))
+                taken += len(payload)
+                if max_bytes is not None and taken >= max_bytes:
+                    offset = payload_end
+                    break
+            offset = payload_end
+        end = base_lsn + (offset - _HEADER.size)
+        if not seen_boundary and lsn != end and lsn > base_lsn:
+            raise WalError(f"lsn {lsn} is not a record boundary")
+        return batch, (batch[-1][0] + _FRAME.size + len(batch[-1][1])
+                       if batch else lsn)
+
     def truncate_until(self, lsn: int) -> None:
         """Checkpoint truncation: drop records *before* ``lsn``.
 
@@ -288,6 +405,25 @@ class WriteAheadLog:
         self._stream.close()
         os.replace(tmp_path, self.path)
         self.base_lsn = lsn
+        self._stream = open(self.path, "r+b")
+        self._stream.seek(0, os.SEEK_END)
+
+    def reset(self, base_lsn: int) -> None:
+        """Replace the log with an empty one whose base is ``base_lsn``.
+
+        The anti-entropy landing: after a merkle sync rebuilt a replica's
+        state at the primary's LSN, its old log (whose records predate the
+        sync) is wholesale obsolete; tailing resumes from the sync point.
+        """
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "wb") as stream:
+            stream.write(_HEADER.pack(WAL_MAGIC, base_lsn))
+            stream.flush()
+            os.fsync(stream.fileno())
+        self._stream.close()
+        os.replace(tmp_path, self.path)
+        self.base_lsn = base_lsn
+        self._advance(base_lsn)
         self._stream = open(self.path, "r+b")
         self._stream.seek(0, os.SEEK_END)
 

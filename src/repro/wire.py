@@ -33,9 +33,11 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import (
     ConnectionLostError,
+    FrameTooLargeError,
     ProtocolError,
     RemoteError,
     ReproError,
+    StaleSubscriberError,
     WalCorruptError,
     error_class_for_code,
     error_code,
@@ -53,12 +55,18 @@ __all__ = [
     "BATCH",
     "PING",
     "GOODBYE",
+    "WAL_SUBSCRIBE",
+    "WAL_ACK",
+    "SYNC",
     "OK",
     "RESULT",
     "RESULTS",
     "ERROR",
     "PONG",
     "BYE",
+    "WAL_RECORDS",
+    "HEARTBEAT",
+    "SYNC_PAGES",
     "read_frame",
     "write_frame",
     "encode_value",
@@ -87,6 +95,9 @@ QUERY = 2  # one query text + options
 BATCH = 3  # many query texts + shared options
 PING = 4  # liveness / latency probe
 GOODBYE = 5  # orderly close
+WAL_SUBSCRIBE = 6  # replica: stream WAL records from my watermark LSN
+WAL_ACK = 7  # replica: records through this LSN are durably applied
+SYNC = 8  # replica: merkle digests of my pages; ship what differs
 
 # Response frame kinds (server -> client).
 OK = 16  # handshake accepted
@@ -95,9 +106,16 @@ RESULTS = 18  # ordered list of QueryResults
 ERROR = 19  # structured error payload
 PONG = 20
 BYE = 21  # server is closing this connection (drain or GOODBYE ack)
+WAL_RECORDS = 22  # a batch of [lsn, base64 payload] log records
+HEARTBEAT = 23  # idle stream liveness; carries the primary's end LSN
+SYNC_PAGES = 24  # merkle anti-entropy: only the differing page ranges
 
 _KNOWN_KINDS = frozenset(
-    (HELLO, QUERY, BATCH, PING, GOODBYE, OK, RESULT, RESULTS, ERROR, PONG, BYE)
+    (
+        HELLO, QUERY, BATCH, PING, GOODBYE, WAL_SUBSCRIBE, WAL_ACK, SYNC,
+        OK, RESULT, RESULTS, ERROR, PONG, BYE,
+        WAL_RECORDS, HEARTBEAT, SYNC_PAGES,
+    )
 )
 
 
@@ -132,7 +150,7 @@ def write_frame(
         "utf-8"
     )
     if len(body) > max_frame_bytes:
-        raise ProtocolError(
+        raise FrameTooLargeError(
             f"outgoing frame of {len(body)} bytes exceeds the "
             f"{max_frame_bytes}-byte frame limit"
         )
@@ -164,7 +182,7 @@ def read_frame(
     if kind not in _KNOWN_KINDS:
         raise ProtocolError(f"unknown frame kind {kind}")
     if length > max_frame_bytes:
-        raise ProtocolError(
+        raise FrameTooLargeError(
             f"incoming frame declares {length} bytes, over the "
             f"{max_frame_bytes}-byte frame limit"
         )
@@ -303,6 +321,8 @@ def encode_error(exc: BaseException) -> Dict[str, Any]:
     details: Dict[str, Any] = {"class": type(exc).__name__}
     if isinstance(exc, WalCorruptError):
         details["lsn"] = exc.lsn
+    if isinstance(exc, StaleSubscriberError):
+        details["base_lsn"] = exc.base_lsn
     if isinstance(exc, RemoteError):
         # Re-relaying (e.g. through a proxy): keep the original code.
         return {
@@ -323,6 +343,8 @@ def decode_error(payload: Dict[str, Any]) -> ReproError:
         return RemoteError(message, remote_code=code)
     if cls is WalCorruptError:
         return WalCorruptError(message, lsn=details.get("lsn", -1))
+    if cls is StaleSubscriberError:
+        return StaleSubscriberError(message, base_lsn=details.get("base_lsn", -1))
     try:
         return cls(message)
     except TypeError:

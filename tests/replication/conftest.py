@@ -1,0 +1,56 @@
+"""Fixtures for the replication suite: loopback primaries and replicas.
+
+Everything runs over real loopback sockets with fast heartbeats and short
+stall timeouts so failure-path tests (reconnects, stale subscribers) stay
+sub-second. Byte-equivalence leans on the WAL suite's :func:`fingerprint`
+— replication's core guarantee is exactly the recovery suite's, extended
+across a network hop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.objects.database import Database
+from repro.replication import ReplicaDatabase
+from repro.server.net import TcpQueryServer
+
+
+@pytest.fixture(autouse=True)
+def _reset_registry():
+    REGISTRY.reset()
+    yield
+    REGISTRY.reset()
+
+
+@pytest.fixture
+def primary(tmp_path):
+    """A WAL-mode primary served over loopback: ``(db, server)``."""
+    db = Database(wal_dir=str(tmp_path / "primary"))
+    server = TcpQueryServer(db, heartbeat_seconds=0.1)
+    server.start()
+    yield db, server
+    server.stop(drain=False)
+    db.wal.close()
+
+
+@pytest.fixture
+def make_replica(tmp_path):
+    """Factory for tailing replicas; each gets its own wal dir + cleanup."""
+    created = []
+    counter = [0]
+
+    def build(url: str, **kwargs) -> ReplicaDatabase:
+        counter[0] += 1
+        kwargs.setdefault("name", f"replica-{counter[0]}")
+        kwargs.setdefault("stall_timeout_seconds", 3.0)
+        replica = ReplicaDatabase(
+            url, str(tmp_path / f"replica-{counter[0]}"), **kwargs
+        )
+        created.append(replica)
+        return replica
+
+    yield build
+    for replica in created:
+        replica.close()

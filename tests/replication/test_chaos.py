@@ -1,0 +1,226 @@
+"""Chaos matrix: hard kills, torn frames, restarts, checkpoint races.
+
+Each scenario ends in the same gate the recovery suite uses — byte
+equivalence via :func:`tests.wal.conftest.fingerprint` — because the
+replication guarantee *is* the recovery guarantee stretched over a wire:
+whatever survives, the replica's state must equal a deterministic replay
+of the primary's durable prefix up to the replica's watermark.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+
+from repro.objects.database import Database
+from repro.obs.metrics import REGISTRY
+from repro.replication.merkle import store_trees
+from repro.wal.replay import replay_records
+from tests.wal.conftest import apply_ops, fingerprint, workload_ops
+
+
+def _caught_up(primary_db, replica, timeout=10.0):
+    assert replica.wait_for_lsn(primary_db.wal.end_lsn, timeout=timeout), (
+        f"replica stalled at {replica.watermark} < {primary_db.wal.end_lsn}"
+        f" (last_error={replica.last_error!r})"
+    )
+
+
+class TestPrimaryKillMidStream:
+    def test_promoted_state_equals_durable_prefix(self, primary, make_replica):
+        """Kill the primary server mid-stream; the promoted replica must be
+        byte-identical to a fresh replay of every primary log record whose
+        frame it had fully received."""
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=60))
+        replica = make_replica(server.url)
+        # Kill as soon as *something* arrived — wherever the stream was.
+        assert replica.wait_for_lsn(1, timeout=10)
+        server.stop(drain=False)
+        replica.stop()
+
+        promoted = replica.promote()
+        watermark = promoted.wal_applied_lsn
+
+        expected = Database(page_size=4096, pool_capacity=0)
+        prefix = [r for r in db.wal.records() if r.next_lsn <= watermark]
+        replay_records(expected, prefix)
+        assert fingerprint(promoted) == fingerprint(expected)
+        # The promoted log holds exactly the shipped prefix, byte for byte.
+        assert promoted.wal.end_lsn == watermark
+
+
+class _TearingProxy:
+    """Loopback TCP proxy that cuts the *first* connection mid-frame.
+
+    Forwards bytes both ways; once the primary→replica direction of the
+    first proxied connection has relayed ``tear_after`` bytes it closes
+    both sockets abruptly — the replica observes a frame torn partway
+    through its body. Later connections pass through untouched.
+    """
+
+    def __init__(self, target_host: str, target_port: int, tear_after: int):
+        self.target = (target_host, target_port)
+        self.tear_after = tear_after
+        self._torn_once = False
+        self._stop = threading.Event()
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self.url = f"sigfile://127.0.0.1:{self.port}"
+        self._threads = [threading.Thread(target=self._accept_loop, daemon=True)]
+        self._threads[0].start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                downstream, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self.target, timeout=2.0)
+            except OSError:
+                downstream.close()
+                continue
+            tear = None
+            if not self._torn_once:
+                self._torn_once = True
+                tear = self.tear_after
+            for src, dst, limit in (
+                (downstream, upstream, None),
+                (upstream, downstream, tear),
+            ):
+                thread = threading.Thread(
+                    target=self._pump, args=(src, dst, limit), daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def _pump(self, src, dst, tear_limit) -> None:
+        forwarded = 0
+        try:
+            while not self._stop.is_set():
+                data = src.recv(4096)
+                if not data:
+                    break
+                if tear_limit is not None and forwarded + len(data) >= tear_limit:
+                    dst.sendall(data[: tear_limit - forwarded])
+                    break  # tear: close both mid-frame
+                dst.sendall(data)
+                forwarded += len(data)
+        except OSError:
+            pass
+        finally:
+            for sock in (src, dst):
+                with contextlib.suppress(OSError):
+                    sock.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+
+
+class TestTornFrame:
+    def test_replica_recovers_from_a_frame_cut_midway(
+        self, primary, make_replica
+    ):
+        db, server = primary
+        # 701 bytes lands inside some WAL_RECORDS frame body (frames here
+        # are hundreds of bytes; any non-boundary offset works).
+        proxy = _TearingProxy(server.host, server.port, tear_after=701)
+        try:
+            apply_ops(db, workload_ops(inserts=12))
+            replica = make_replica(proxy.url)
+            _caught_up(db, replica)
+            assert fingerprint(replica.database) == fingerprint(db)
+            # Recovery path was reconnect + retransmit, never anti-entropy:
+            # a torn frame is a transport fault, not divergence.
+            assert REGISTRY.counter("replication.reconnects").value >= 1
+            assert REGISTRY.counter("replication.resyncs").value == 0
+        finally:
+            proxy.close()
+
+
+class TestReplicaRestartMidStream:
+    def test_reopened_replica_resumes_from_its_watermark(
+        self, primary, tmp_path
+    ):
+        from repro.replication import ReplicaDatabase
+
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=40))
+        wal_dir = str(tmp_path / "mid-restart")
+        replica = ReplicaDatabase(
+            server.url, wal_dir, name="mid-restart", stall_timeout_seconds=3.0
+        )
+        try:
+            # Stop somewhere mid-stream — whatever had been applied stays.
+            assert replica.wait_for_lsn(1, timeout=10)
+        finally:
+            replica.close()
+
+        reopened = ReplicaDatabase(
+            server.url, wal_dir, name="mid-restart", stall_timeout_seconds=3.0
+        )
+        try:
+            resumed_from = reopened.watermark
+            _caught_up(db, reopened)
+            assert fingerprint(reopened.database) == fingerprint(db)
+            assert reopened.watermark >= resumed_from
+        finally:
+            reopened.close()
+
+
+class TestCheckpointWhileTailing:
+    def test_caught_up_subscriber_rides_through_truncation(
+        self, primary, make_replica
+    ):
+        db, server = primary
+        ops = workload_ops(inserts=10)
+        apply_ops(db, ops[:8])
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        db.checkpoint()  # truncates the primary log under the subscriber
+        apply_ops(db, ops[8:])
+        _caught_up(db, replica)
+        assert fingerprint(replica.database) == fingerprint(db)
+        assert REGISTRY.counter("replication.resyncs").value == 0
+
+
+class TestMerkleResync:
+    def test_resync_ships_only_differing_ranges(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=40))
+        replica = make_replica(server.url, chunk_pages=2)
+        _caught_up(db, replica)
+        replica.stop()
+
+        # While the replica is down: new writes, then a checkpoint that
+        # truncates history the replica never saw -> its watermark is
+        # below the primary's base and tailing alone cannot catch up.
+        for i in range(6):
+            db.insert("Student", {"name": f"gap{i}", "hobbies": {"Chess"}})
+        db.checkpoint()
+        assert replica.watermark < db.wal.base_lsn
+
+        replica.start()
+        _caught_up(db, replica)
+        assert fingerprint(replica.database) == fingerprint(db)
+        assert REGISTRY.counter("replication.resyncs").value == 1
+
+        db.storage.flush()
+        total_chunks = sum(
+            tree.chunk_count
+            for tree in store_trees(db.storage.store, chunk_pages=2).values()
+        )
+        shipped = REGISTRY.counter("replication.sync_chunks_shipped").value
+        assert 0 < shipped < total_chunks, (
+            f"anti-entropy shipped {shipped} of {total_chunks} chunks — "
+            "expected a strict subset (only the differing ranges)"
+        )

@@ -1,0 +1,163 @@
+"""Unit tests for the merkle anti-entropy digests and diff walk."""
+
+from __future__ import annotations
+
+import random
+
+from repro.replication.merkle import (
+    MerkleTree,
+    chunk_digests,
+    chunk_ranges,
+    decode_tree,
+    diff_chunks,
+    encode_tree,
+    store_trees,
+)
+
+
+def _checksums(pages: int, seed: int = 7) -> list:
+    rng = random.Random(seed)
+    return [rng.getrandbits(32) for _ in range(pages)]
+
+
+class TestDigests:
+    def test_one_digest_per_chunk(self):
+        digests = chunk_digests(_checksums(17), chunk_pages=4)
+        assert len(digests) == 5  # 4+4+4+4+1
+
+    def test_digest_depends_on_every_checksum(self):
+        base = _checksums(8)
+        for position in range(8):
+            bumped = list(base)
+            bumped[position] ^= 1
+            assert chunk_digests(bumped, 8) != chunk_digests(base, 8)
+
+    def test_partial_final_chunk_digest_differs_from_full(self):
+        # A 9-page file and an 8-page file agree on chunk 0 but the 9-page
+        # file has a second (partial) chunk the other lacks.
+        nine, eight = chunk_digests(_checksums(9), 8), chunk_digests(_checksums(9)[:8], 8)
+        assert nine[0] == eight[0]
+        assert len(nine) == 2 and len(eight) == 1
+
+
+class TestTree:
+    def test_root_stable_and_sensitive(self):
+        checksums = _checksums(100)
+        a = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        b = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        assert a.root == b.root
+        checksums[57] ^= 1
+        c = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        assert c.root != a.root
+
+    def test_empty_file_has_canonical_root(self):
+        a = MerkleTree.from_checksums([], chunk_pages=4)
+        b = MerkleTree.from_checksums([], chunk_pages=8)
+        assert a.root == b.root
+        assert a.chunk_count == 0
+
+    def test_levels_shrink_to_single_root(self):
+        tree = MerkleTree.from_checksums(_checksums(300), chunk_pages=2, fanout=4)
+        assert len(tree.levels[-1]) == 1
+        for lower, upper in zip(tree.levels, tree.levels[1:]):
+            assert len(upper) < len(lower) or len(lower) == 1
+
+
+class TestDiff:
+    def test_identical_trees_diff_empty(self):
+        checksums = _checksums(64)
+        mine = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        theirs = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        assert diff_chunks(mine, theirs) == []
+
+    def test_single_page_change_isolates_one_chunk(self):
+        checksums = _checksums(64)
+        theirs = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        checksums[30] ^= 1  # page 30 lives in chunk 7
+        mine = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        assert diff_chunks(mine, theirs) == [30 // 4]
+
+    def test_grown_file_ships_new_chunks(self):
+        old = _checksums(16)
+        theirs = MerkleTree.from_checksums(old, chunk_pages=4, fanout=4)
+        mine = MerkleTree.from_checksums(old + _checksums(9, seed=9), 4, fanout=4)
+        differing = diff_chunks(mine, theirs)
+        # chunks 0-3 unchanged; chunks 4.. are new
+        assert differing == [4, 5, 6]
+
+    def test_shrunk_file_ships_nothing_extra(self):
+        old = _checksums(32)
+        theirs = MerkleTree.from_checksums(old, chunk_pages=4, fanout=4)
+        mine = MerkleTree.from_checksums(old[:16], chunk_pages=4, fanout=4)
+        differing = diff_chunks(mine, theirs)
+        assert all(index < mine.chunk_count for index in differing)
+
+    def test_shape_mismatch_falls_back_to_full_ship(self):
+        checksums = _checksums(32)
+        mine = MerkleTree.from_checksums(checksums, chunk_pages=4)
+        theirs = MerkleTree.from_checksums(checksums, chunk_pages=8)
+        assert diff_chunks(mine, theirs) == list(range(mine.chunk_count))
+
+    def test_diff_never_misses_a_real_difference(self):
+        """Randomized cross-check against brute-force leaf comparison."""
+        rng = random.Random(11)
+        for _ in range(25):
+            pages = rng.randint(0, 120)
+            base = [rng.getrandbits(32) for _ in range(pages)]
+            mutated = list(base)
+            for _ in range(rng.randint(0, 6)):
+                if mutated and rng.random() < 0.7:
+                    mutated[rng.randrange(len(mutated))] ^= rng.getrandbits(32) or 1
+                elif rng.random() < 0.5:
+                    mutated.append(rng.getrandbits(32))
+                elif mutated:
+                    mutated.pop()
+            mine = MerkleTree.from_checksums(mutated, chunk_pages=4, fanout=4)
+            theirs = MerkleTree.from_checksums(base, chunk_pages=4, fanout=4)
+            expected = [
+                index
+                for index in range(mine.chunk_count)
+                if index >= theirs.chunk_count
+                or mine.leaves[index] != theirs.leaves[index]
+            ]
+            assert diff_chunks(mine, theirs) == expected
+
+
+class TestRanges:
+    def test_adjacent_chunks_merge(self):
+        assert chunk_ranges([0, 1, 3], chunk_pages=4, pages=16) == [
+            (0, 8),
+            (12, 4),
+        ]
+
+    def test_final_partial_chunk_clamped_to_file_size(self):
+        assert chunk_ranges([2], chunk_pages=4, pages=10) == [(8, 2)]
+
+    def test_duplicates_and_order_are_normalized(self):
+        assert chunk_ranges([3, 1, 1, 2], 4, 16) == [(4, 12)]
+
+
+class TestWireCodec:
+    def test_round_trip_preserves_root_and_diff(self):
+        checksums = _checksums(50)
+        tree = MerkleTree.from_checksums(checksums, chunk_pages=4, fanout=4)
+        decoded = decode_tree(encode_tree(tree))
+        assert decoded.root == tree.root
+        assert diff_chunks(tree, decoded) == []
+
+    def test_store_trees_covers_every_file(self, tmp_path):
+        from repro.objects.database import Database
+        from repro.objects.schema import ClassSchema
+
+        db = Database(page_size=4096, pool_capacity=0)
+        db.define_class(
+            ClassSchema.build("Student", name="scalar", hobbies="set")
+        )
+        for i in range(30):
+            db.insert("Student", {"name": f"s{i}", "hobbies": {"Chess"}})
+        db.storage.flush()
+        store = db.storage.store
+        trees = store_trees(store, chunk_pages=4)
+        assert set(trees) == set(store.file_names())
+        for name, tree in trees.items():
+            assert tree.pages == store.num_pages(name)

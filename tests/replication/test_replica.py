@@ -1,0 +1,208 @@
+"""Replica lifecycle: catch-up byte-equivalence, read-only serving,
+restart recovery, local checkpoints, and promotion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReadOnlyReplicaError, ReplicationError
+from repro.objects.database import Database
+from repro.obs.metrics import REGISTRY
+from repro.replication import ReplicaDatabase
+from repro.server.service import QueryService
+from tests.wal.conftest import apply_ops, fingerprint, workload_ops
+
+QUERY = 'select Student where hobbies has-subset ("Chess")'
+
+
+def _caught_up(primary_db, replica, timeout=10.0):
+    assert replica.wait_for_lsn(primary_db.wal.end_lsn, timeout=timeout), (
+        f"replica stalled at {replica.watermark} < {primary_db.wal.end_lsn}"
+        f" (last_error={replica.last_error!r})"
+    )
+
+
+class TestTailCatchUp:
+    def test_replayed_state_is_byte_identical(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=10))
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        assert fingerprint(replica.database) == fingerprint(db)
+        assert REGISTRY.counter("replication.applied_records").value > 0
+
+    def test_tails_writes_arriving_after_subscribe(self, primary, make_replica):
+        db, server = primary
+        ops = workload_ops(inserts=9)
+        apply_ops(db, ops[:3])
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        apply_ops(db, ops[3:])  # lands while the subscriber is streaming
+        _caught_up(db, replica)
+        assert fingerprint(replica.database) == fingerprint(db)
+
+    def test_watermark_and_lag_track_the_primary(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=8))
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        assert replica.watermark == db.wal.end_lsn
+        assert replica.lag_bytes == 0
+
+
+class TestReadOnlyServing:
+    def test_direct_writes_are_rejected(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=8))
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        with pytest.raises(ReadOnlyReplicaError):
+            replica.database.insert(
+                "Student", {"name": "nope", "hobbies": {"Chess"}}
+            )
+        from repro.objects.oid import OID
+
+        with pytest.raises(ReadOnlyReplicaError):
+            replica.database.delete(OID(1, 1))
+
+    def test_query_stats_match_local_execution(self, primary, make_replica):
+        """Per-query I/O accounting on a replica is bit-identical to a
+        local database that applied the same logical operations."""
+        db, server = primary
+        ops = workload_ops(inserts=12)
+        apply_ops(db, ops)
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+
+        local = Database(page_size=4096, pool_capacity=0)
+        apply_ops(local, ops)
+
+        remote_service = QueryService(replica.database, max_workers=1)
+        local_service = QueryService(local, max_workers=1)
+        try:
+            remote = remote_service.execute(QUERY)
+            baseline = local_service.execute(QUERY)
+        finally:
+            remote_service.shutdown()
+            local_service.shutdown()
+        assert remote.rows == baseline.rows
+        for field in ("plan", "candidates", "false_drops", "results", "io"):
+            assert getattr(remote.statistics, field) == getattr(
+                baseline.statistics, field
+            ), field
+
+
+class TestRestart:
+    def test_restarted_replica_recovers_and_resubscribes(
+        self, primary, tmp_path
+    ):
+        db, server = primary
+        ops = workload_ops(inserts=10)
+        apply_ops(db, ops[:8])
+        wal_dir = str(tmp_path / "restartable")
+        replica = ReplicaDatabase(
+            server.url, wal_dir, name="restartable", stall_timeout_seconds=3.0
+        )
+        try:
+            _caught_up(db, replica)
+        finally:
+            replica.close()
+
+        apply_ops(db, ops[8:])  # missed while the replica was down
+        reopened = ReplicaDatabase(
+            server.url, wal_dir, name="restartable", stall_timeout_seconds=3.0
+        )
+        try:
+            assert reopened.watermark > 0  # recovered local state first
+            _caught_up(db, reopened)
+            assert fingerprint(reopened.database) == fingerprint(db)
+        finally:
+            reopened.close()
+
+
+class TestReplicaCheckpoint:
+    def test_checkpoint_truncates_to_watermark(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=8))
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        replica.checkpoint()
+        # No marker records: the local log is truncated exactly to the
+        # watermark and holds nothing the primary's log does not.
+        assert replica.wal.base_lsn == replica.watermark
+        assert list(replica.wal.records()) == []
+
+    def test_tail_survives_a_local_checkpoint(self, primary, make_replica):
+        db, server = primary
+        ops = workload_ops(inserts=9)
+        apply_ops(db, ops[:6])
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        replica.checkpoint()
+        apply_ops(db, ops[6:])
+        _caught_up(db, replica)
+        assert fingerprint(replica.database) == fingerprint(db)
+        assert REGISTRY.counter("replication.resyncs").value == 0
+
+    def test_restart_recovers_from_checkpoint_plus_tail(
+        self, primary, tmp_path
+    ):
+        db, server = primary
+        ops = workload_ops(inserts=10)
+        apply_ops(db, ops[:7])
+        wal_dir = str(tmp_path / "ckpt-restart")
+        replica = ReplicaDatabase(
+            server.url, wal_dir, name="ckpt-restart", stall_timeout_seconds=3.0
+        )
+        try:
+            _caught_up(db, replica)
+            replica.checkpoint()
+        finally:
+            replica.close()
+        apply_ops(db, ops[7:])
+        reopened = ReplicaDatabase(
+            server.url, wal_dir, name="ckpt-restart", stall_timeout_seconds=3.0
+        )
+        try:
+            _caught_up(db, reopened)
+            assert fingerprint(reopened.database) == fingerprint(db)
+        finally:
+            reopened.close()
+
+
+class TestPromote:
+    def test_promote_yields_a_writable_wal_primary(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=8))
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        before = fingerprint(db)
+
+        promoted = replica.promote()
+        assert replica.promoted
+        assert fingerprint(promoted) == before
+        assert promoted.wal is replica.wal  # the local log attached
+
+        oid = promoted.insert(
+            "Student", {"name": "post-promotion", "hobbies": {"Chess"}}
+        )
+        assert promoted.get(oid)["name"] == "post-promotion"
+        assert REGISTRY.counter("replication.promotions").value == 1
+
+    def test_promoted_replica_cannot_resubscribe(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=8))
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        replica.promote()
+        with pytest.raises(ReplicationError):
+            replica.start()
+
+
+class TestWaitForLsn:
+    def test_unreachable_lsn_times_out_false(self, primary, make_replica):
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=8))
+        replica = make_replica(server.url)
+        _caught_up(db, replica)
+        assert replica.wait_for_lsn(db.wal.end_lsn + 4096, timeout=0.2) is False

@@ -1,0 +1,86 @@
+"""Oversized frames surface as typed ``FrameTooLargeError``s, not as
+opaque disconnects — on the server's sending side, on its receiving side,
+and on the client's sending side."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro import wire
+from repro.client import RemoteClient
+from repro.errors import FrameTooLargeError
+from repro.server.net import TcpQueryServer
+from tests.serving.test_loopback import _build_db, _raw_handshake
+
+WIDE_QUERY = (
+    'select Student where hobbies overlaps '
+    '("Chess", "Fishing", "Golf", "Tennis", "Painting", "Cooking", '
+    '"Sailing", "Climbing")'
+)
+NARROW_QUERY = (
+    'select Student where hobbies has-subset '
+    '("Chess", "Painting", "Sailing", "Golf")'
+)
+
+
+class TestServerSendingSide:
+    def test_oversized_result_is_a_typed_error_not_a_disconnect(self):
+        db = _build_db(count=400)
+        with TcpQueryServer(db, max_workers=2, max_frame_bytes=4096) as server:
+            with RemoteClient.from_url(server.url) as client:
+                with pytest.raises(FrameTooLargeError) as excinfo:
+                    client.execute(WIDE_QUERY)
+                assert excinfo.value.code == "frame-too-large"
+                # The connection survived: the same client keeps working.
+                assert client.ping() >= 0.0
+                small = client.execute(NARROW_QUERY)
+                assert small.rows is not None
+
+    def test_oversized_batch_response_is_typed_too(self):
+        db = _build_db(count=400)
+        with TcpQueryServer(db, max_workers=2, max_frame_bytes=4096) as server:
+            with RemoteClient.from_url(server.url) as client:
+                with pytest.raises(FrameTooLargeError):
+                    client.execute_many([WIDE_QUERY, WIDE_QUERY])
+                assert client.execute_many([NARROW_QUERY])
+
+
+class TestServerReceivingSide:
+    def test_oversized_incoming_declaration_gets_typed_error_then_close(self):
+        db = _build_db(count=20)
+        with TcpQueryServer(db, max_workers=1, max_frame_bytes=4096) as server:
+            sock = _raw_handshake(server)
+            try:
+                sock.sendall(
+                    struct.pack(
+                        ">2sBBI", b"SF", wire.PROTOCOL_VERSION, wire.BATCH,
+                        50 * 1024 * 1024,
+                    )
+                )
+                kind, payload = wire.read_frame(sock)
+                assert kind == wire.ERROR
+                restored = wire.decode_error(payload)
+                assert isinstance(restored, FrameTooLargeError)
+                assert restored.code == "frame-too-large"
+                # The unread body makes the stream unframeable; the server
+                # must close rather than misparse what follows.
+                assert wire.read_frame(sock) is None
+            finally:
+                sock.close()
+
+
+class TestClientSendingSide:
+    def test_client_refuses_to_send_an_oversized_batch(self):
+        db = _build_db(count=20)
+        with TcpQueryServer(db, max_workers=1) as server:
+            client = RemoteClient.from_url(server.url, max_frame_bytes=2048)
+            with client:
+                with pytest.raises(FrameTooLargeError):
+                    client.execute_many([NARROW_QUERY] * 200)
+                # Nothing was written to the socket, so the connection is
+                # still framed correctly and immediately reusable.
+                result = client.execute(NARROW_QUERY)
+                assert result.rows is not None

@@ -1,0 +1,77 @@
+"""Pooled connections go stale when a server restarts; the client must
+detect the dead socket, re-dial, and complete the request — without
+burning a retry attempt on a connection that was broken before the
+request ever reached a server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import RemoteClient
+from repro.errors import ConnectionLostError
+from repro.server.net import TcpQueryServer
+from repro.storage.faults import RetryPolicy
+from tests.serving.test_loopback import _build_db
+
+QUERY = 'select Student where hobbies has-subset ("Chess")'
+
+
+class TestServerRestart:
+    def test_stale_pooled_socket_is_replaced_transparently(self):
+        db = _build_db(count=40)
+        server = TcpQueryServer(db, max_workers=2).start()
+        port = server.port
+        client = RemoteClient.from_url(server.url, pool_size=2)
+        try:
+            baseline = client.execute(QUERY)  # warms the pool
+            server.stop(drain=False)
+            server = TcpQueryServer(
+                db, max_workers=2, host="127.0.0.1", port=port
+            ).start()
+
+            # Same client object, same pooled (now dead) socket: the next
+            # request must succeed against the restarted server.
+            again = client.execute(QUERY)
+            assert again.rows == baseline.rows
+            assert client._m_stale.value >= 1
+        finally:
+            client.close()
+            server.stop(drain=False)
+
+    def test_stale_detection_does_not_consume_retry_attempts(self):
+        """With retries disabled entirely, a stale pooled socket alone
+        must not surface as a transport error — only a server that is
+        actually unreachable may."""
+        db = _build_db(count=20)
+        server = TcpQueryServer(db, max_workers=1).start()
+        port = server.port
+        client = RemoteClient.from_url(
+            server.url, pool_size=1,
+            retry_policy=RetryPolicy(max_attempts=1, backoff_seconds=0.0),
+        )
+        try:
+            client.execute(QUERY)
+            server.stop(drain=False)
+            server = TcpQueryServer(
+                db, max_workers=1, host="127.0.0.1", port=port
+            ).start()
+            assert client.execute(QUERY).rows is not None
+        finally:
+            client.close()
+            server.stop(drain=False)
+
+    def test_server_down_for_good_still_fails_cleanly(self):
+        db = _build_db(count=20)
+        server = TcpQueryServer(db, max_workers=1).start()
+        client = RemoteClient.from_url(
+            server.url, pool_size=1,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_seconds=0.01),
+            connect_timeout_seconds=0.5,
+        )
+        try:
+            client.execute(QUERY)
+            server.stop(drain=False)
+            with pytest.raises(ConnectionLostError):
+                client.execute(QUERY)
+        finally:
+            client.close()

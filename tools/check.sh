@@ -78,6 +78,13 @@ print(
 )
 PY
 
+echo "== replication smoke (loopback failover drill) =="
+# Primary + tailing replica over loopback, random workload with a
+# mid-stream checkpoint, hard primary kill, promote — the promoted
+# replica must be byte-identical to the primary's durable prefix and the
+# FailoverClient must ride the failover with zero transport errors.
+python tools/replication_smoke.py
+
 echo "== network serving smoke (loopback TCP) =="
 # Sustained-QPS floor and p99 latency ceiling for the wire protocol +
 # RemoteClient pool against a loopback TcpQueryServer (smoke gates in
