@@ -218,6 +218,21 @@ class FailoverClient:
             + ", ".join(e.url for e in self._endpoints)
         )
 
+    #: fallback probe order for reads: the primary trivially satisfies any
+    #: LSN token, standalones are writable too, unknowns might be either
+    _ROLE_PREFERENCE = {"primary": 0, "standalone": 1, None: 2}
+
+    def _replica_barred(self, endpoint: _Endpoint, min_lsn: Optional[int]) -> bool:
+        """True when routing a read here would break a guarantee: with
+        ``prefer_replicas`` off replicas are failover spares, never read
+        targets; under a read-your-writes token a replica known to be
+        below it must not serve the read."""
+        if endpoint.role != "replica":
+            return False
+        if not self.prefer_replicas:
+            return True
+        return min_lsn is not None and endpoint.lsn < min_lsn
+
     def _read_candidates(self, min_lsn: Optional[int]) -> List[_Endpoint]:
         """Endpoints to try for a read, in preference order."""
         now = time.monotonic()
@@ -239,11 +254,26 @@ class FailoverClient:
                 replicas[(start + i) % len(replicas)]
                 for i in range(len(replicas))
             )
-        for endpoint in self._endpoints:
-            if endpoint not in ordered and endpoint.available(now):
+        # Fall back primary-first; a barred replica never joins, so a
+        # token read that outran every replica lands on the primary.
+        for endpoint in sorted(
+            self._endpoints,
+            key=lambda e: self._ROLE_PREFERENCE.get(e.role, 3),
+        ):
+            if (
+                endpoint not in ordered
+                and endpoint.available(now)
+                and not self._replica_barred(endpoint, min_lsn)
+            ):
                 ordered.append(endpoint)
         if not ordered:
-            ordered = list(self._endpoints)  # all circuits open: try anyway
+            # All circuits open (or everything filtered): try anyway —
+            # except replicas that stay barred even as a last resort.
+            ordered = [
+                e
+                for e in self._endpoints
+                if not self._replica_barred(e, min_lsn)
+            ]
         return ordered
 
     def _await_watermark(

@@ -10,18 +10,21 @@ everything log shipping needs, with no socket knowledge of its own:
   for the JSON wire (the replica re-frames them byte-identically);
 * :meth:`sync_response` — the merkle anti-entropy answer: compare the
   subscriber's chunk digests against ours under a quiesced database and
-  ship only the differing page ranges plus the catalog;
+  ship only the differing page ranges plus the catalog, split across
+  budgeted ``SYNC_PAGES`` frames so no diff can outgrow the frame cap;
 * :meth:`status` — the operator surface behind ``PONG`` and ``\\replicas``.
 """
 
 from __future__ import annotations
 
 import base64
+import json
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import wire
 from repro.errors import ReplicationError, StaleSubscriberError
 from repro.obs.metrics import REGISTRY
 from repro.replication.merkle import (
@@ -33,6 +36,10 @@ from repro.replication.merkle import (
 )
 
 __all__ = ["ReplicaCursor", "ReplicationSource"]
+
+#: page data budgeted per SYNC_PAGES frame when the caller names no cap —
+#: half the default frame ceiling leaves room for base64/JSON overhead
+_DEFAULT_SYNC_FRAME_BYTES = wire.DEFAULT_MAX_FRAME_BYTES // 2
 
 
 @dataclass
@@ -168,14 +175,22 @@ class ReplicationSource:
     # ------------------------------------------------------------------
     # Merkle anti-entropy
     # ------------------------------------------------------------------
-    def sync_response(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Answer one ``SYNC`` request with only the differing page ranges.
+    def sync_response(
+        self, request: Dict[str, Any], *, max_bytes: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Answer one ``SYNC`` request with budgeted ``SYNC_PAGES`` frames.
 
         Quiesces the database (exclusive latch) so the shipped catalog,
         pages, and LSN are one consistent cut; the subscriber resumes
-        tailing from exactly that LSN.
+        tailing from exactly that LSN. Only the differing page ranges
+        travel, split across as many frames as ``max_bytes`` demands (a
+        range may be cut mid-run) so a large diff can never outgrow the
+        wire's frame cap. Every frame repeats the cut's LSN, the first
+        also carries the catalog, and ``more`` is ``True`` on all but the
+        last — the subscriber reads until it sees ``more: false``.
         """
         db = self.database
+        budget = max(4096, max_bytes or _DEFAULT_SYNC_FRAME_BYTES)
         chunk_pages = int(request.get("chunk_pages") or DEFAULT_CHUNK_PAGES)
         their_trees = {
             name: decode_tree(tree)
@@ -190,7 +205,9 @@ class ReplicationSource:
             lsn = self.wal.end_lsn
             store = db.storage.store
             mine = store_trees(store, chunk_pages=chunk_pages)
-            files = []
+            # One consistent cut: every differing page image is captured
+            # (base64'd) under the latch; framing happens after release.
+            shipments = []
             chunks_shipped = 0
             for name, tree in sorted(mine.items()):
                 theirs = their_trees.get(name)
@@ -198,35 +215,92 @@ class ReplicationSource:
                     differing = list(range(tree.chunk_count))
                 else:
                     differing = diff_chunks(tree, theirs)
-                ranges = chunk_ranges(differing, chunk_pages, tree.pages)
-                shipped_ranges = [
-                    [
-                        start,
-                        [
-                            base64.b64encode(store.page_image(name, page_no))
-                            .decode("ascii")
-                            for page_no in range(start, start + count)
-                        ],
-                    ]
-                    for start, count in ranges
+                pages = [
+                    (
+                        page_no,
+                        base64.b64encode(store.page_image(name, page_no))
+                        .decode("ascii"),
+                    )
+                    for start, count in chunk_ranges(
+                        differing, chunk_pages, tree.pages
+                    )
+                    for page_no in range(start, start + count)
                 ]
                 chunks_shipped += len(differing)
-                files.append(
-                    {
-                        "name": name,
-                        "pages": tree.pages,
-                        "total_chunks": tree.chunk_count,
-                        "chunks_shipped": len(differing),
-                        "ranges": shipped_ranges,
-                    }
-                )
+                shipments.append((name, tree, len(differing), pages))
         self._m_sync_chunks.inc(chunks_shipped)
-        return {
-            "lsn": lsn,
-            "chunk_pages": chunk_pages,
-            "catalog": catalog,
-            "files": files,
-        }
+        return self._frame_sync(
+            shipments, catalog=catalog, lsn=lsn,
+            chunk_pages=chunk_pages, budget=budget,
+        )
+
+    @staticmethod
+    def _frame_sync(
+        shipments, *, catalog, lsn: int, chunk_pages: int, budget: int
+    ) -> List[Dict[str, Any]]:
+        """Split shipments into frames whose estimated size fits ``budget``.
+
+        Every file appears in at least one frame (an unchanged file still
+        ships its metadata entry, so the subscriber keeps its local pages);
+        a frame always admits at least one page, so a budget below one
+        page's base64 cost degrades to one-page frames, never to zero
+        progress.
+        """
+
+        def entry_for(name: str, tree, differing: int) -> Dict[str, Any]:
+            return {
+                "name": name,
+                "pages": tree.pages,
+                "total_chunks": tree.chunk_count,
+                "chunks_shipped": differing,
+                "ranges": [],
+            }
+
+        frames: List[Dict[str, Any]] = []
+        files: List[Dict[str, Any]] = []
+        # The first frame carries the catalog; count it against the budget
+        # so pages spill to later frames instead of stacking on top of it.
+        used = len(json.dumps(catalog, separators=(",", ":"))) + 64
+        pages_in_frame = 0
+        for name, tree, differing, pages in shipments:
+            entry = entry_for(name, tree, differing)
+            files.append(entry)
+            used += 96
+            run: Optional[List[Any]] = None
+            next_page = None
+            for page_no, encoded in pages:
+                cost = len(encoded) + 32
+                if pages_in_frame and used + cost > budget:
+                    frames.append(
+                        {
+                            "lsn": lsn,
+                            "chunk_pages": chunk_pages,
+                            "files": files,
+                            "more": True,
+                        }
+                    )
+                    entry = entry_for(name, tree, differing)
+                    files = [entry]
+                    used = 96
+                    pages_in_frame = 0
+                    run = None
+                if run is None or page_no != next_page:
+                    run = [page_no, []]
+                    entry["ranges"].append(run)
+                run[1].append(encoded)
+                next_page = page_no + 1
+                used += cost
+                pages_in_frame += 1
+        frames.append(
+            {
+                "lsn": lsn,
+                "chunk_pages": chunk_pages,
+                "files": files,
+                "more": False,
+            }
+        )
+        frames[0]["catalog"] = catalog
+        return frames
 
     # ------------------------------------------------------------------
     # Observability

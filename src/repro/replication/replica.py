@@ -51,10 +51,16 @@ from repro.wal.replay import recover_database, replay_records
 
 __all__ = ["ReplicaDatabase", "DEFAULT_RECONNECT_POLICY"]
 
-#: unbounded patience, exponential backoff capped by max_elapsed per round
+#: reconnect backoff *schedule* only: 0.05s doubling per consecutive
+#: failure, clamped to _RECONNECT_BACKOFF_CAP_SECONDS in ``_backoff``.
+#: ``max_attempts`` is deliberately not honored — the tail retries until
+#: :meth:`ReplicaDatabase.stop`.
 DEFAULT_RECONNECT_POLICY = RetryPolicy(
     max_attempts=3, backoff_seconds=0.05, multiplier=2.0
 )
+
+#: longest single pause between reconnect attempts, whatever the policy
+_RECONNECT_BACKOFF_CAP_SECONDS = 1.0
 
 _TRANSPORT_ERRORS = (
     ConnectionLostError,
@@ -280,7 +286,9 @@ class ReplicaDatabase:
         while not self._stop.is_set():
             try:
                 sock = self._connect()
-            except _TRANSPORT_ERRORS as exc:
+            except Exception as exc:
+                # Transport faults, but also handshake refusals (auth,
+                # version skew): back off and retry — never kill the tail.
                 self.last_error = exc
                 failures += 1
                 self._backoff(failures)
@@ -293,22 +301,26 @@ class ReplicaDatabase:
                     self._run_sync(sock)
                 self._stream_from(sock)
             except StaleSubscriberError:
-                # Checkpoint truncation passed us: anti-entropy, then the
-                # outer loop reconnects and re-subscribes from the sync LSN.
+                # Checkpoint truncation passed us: run anti-entropy on this
+                # same connection (the primary drops the stream's cursor
+                # before sending the stale error, so the in-band
+                # re-subscribe inside _stream_from is accepted) and keep
+                # tailing. _needs_sync stays set until a sync completes, so
+                # any failure in here simply retries from a fresh
+                # connection. Nothing may escape this handler — sibling
+                # except clauses do not catch it, and an escape would kill
+                # the tail thread.
+                self._needs_sync = True
                 try:
                     self._run_sync(sock)
-                    continue_stream = True
+                    self._stream_from(sock)
+                except StaleSubscriberError:
+                    pass  # truncated again already; resync on reconnect
                 except _TRANSPORT_ERRORS as exc:
                     self.last_error = exc
-                    continue_stream = False
-                if continue_stream:
-                    try:
-                        self._stream_from(sock)
-                    except _TRANSPORT_ERRORS as exc:
-                        self.last_error = exc
-                        self._m_reconnects.inc()
-                    except StaleSubscriberError:
-                        self._needs_sync = True
+                    self._m_reconnects.inc()
+                except Exception as exc:
+                    self.last_error = exc
             except _TRANSPORT_ERRORS as exc:
                 self.last_error = exc
                 self._m_reconnects.inc()
@@ -317,12 +329,20 @@ class ReplicaDatabase:
                 # longer be trusted to extend by tailing — full resync.
                 self.last_error = exc
                 self._needs_sync = True
+            except Exception as exc:
+                # Defensive: a replica's tail thread must never die; treat
+                # anything unforeseen like divergence and resync.
+                self.last_error = exc
+                self._needs_sync = True
             finally:
                 self.connected = False
                 self._close_socket()
 
     def _backoff(self, failures: int) -> None:
-        delay = min(self.reconnect_policy.sleep_for(min(failures, 8)), 1.0)
+        delay = min(
+            self.reconnect_policy.sleep_for(min(failures, 8)),
+            _RECONNECT_BACKOFF_CAP_SECONDS,
+        )
         if delay > 0:
             self._stop.wait(delay)
 
@@ -495,32 +515,50 @@ class ReplicaDatabase:
             },
             self.max_frame_bytes,
         )
-        frame = wire.read_frame(sock, self.max_frame_bytes)
-        if frame is None:
-            raise ConnectionLostError("primary closed during sync")
-        kind, payload = frame
-        if kind == wire.ERROR:
-            raise wire.decode_error(payload)
-        if kind != wire.SYNC_PAGES:
-            raise ProtocolError(f"expected SYNC_PAGES, got kind {kind}")
+        # The answer is a sequence of budgeted SYNC_PAGES frames (a large
+        # diff cannot fit one frame); accumulate until "more" goes false.
+        # The first frame carries the catalog; every frame repeats the
+        # cut's LSN, and a file may reappear with further ranges.
+        catalog: Optional[Dict[str, Any]] = None
+        sync_lsn: Optional[int] = None
+        shipped: Dict[str, Dict[int, bytes]] = {}
+        file_pages: Dict[str, int] = {}
+        more = True
+        while more:
+            frame = wire.read_frame(sock, self.max_frame_bytes)
+            if frame is None:
+                raise ConnectionLostError("primary closed during sync")
+            kind, payload = frame
+            if kind == wire.ERROR:
+                raise wire.decode_error(payload)
+            if kind != wire.SYNC_PAGES:
+                raise ProtocolError(f"expected SYNC_PAGES, got kind {kind}")
+            if "catalog" in payload:
+                catalog = payload["catalog"]
+            sync_lsn = int(payload["lsn"])
+            for entry in payload.get("files", []):
+                name = entry["name"]
+                file_pages[name] = int(entry["pages"])
+                pages_for = shipped.setdefault(name, {})
+                for start, images in entry.get("ranges", []):
+                    for offset, encoded in enumerate(images):
+                        pages_for[int(start) + offset] = base64.b64decode(
+                            encoded
+                        )
+            more = bool(payload.get("more", False))
+        if catalog is None or sync_lsn is None:
+            raise ProtocolError("sync stream ended without a catalog frame")
 
-        catalog = payload["catalog"]
-        sync_lsn = int(payload["lsn"])
         page_images: Dict[str, List[bytes]] = {}
-        for entry in payload.get("files", []):
-            name = entry["name"]
-            pages = int(entry["pages"])
-            shipped: Dict[int, bytes] = {}
-            for start, images in entry.get("ranges", []):
-                for offset, encoded in enumerate(images):
-                    shipped[int(start) + offset] = base64.b64decode(encoded)
+        for name, pages in file_pages.items():
+            pages_for = shipped.get(name, {})
             have = (
                 old_store.num_pages(name) if old_store.exists(name) else 0
             )
             images_out: List[bytes] = []
             for page_no in range(pages):
-                if page_no in shipped:
-                    images_out.append(shipped[page_no])
+                if page_no in pages_for:
+                    images_out.append(pages_for[page_no])
                 elif page_no < have:
                     images_out.append(old_store.page_image(name, page_no))
                 else:

@@ -602,11 +602,17 @@ class TcpQueryServer:
             )
             return False
         try:
-            response = source.sync_response(payload)
+            frames = source.sync_response(
+                payload, max_bytes=max(4096, self.max_frame_bytes // 2)
+            )
         except Exception as exc:
             self._send_error(connection, exc, request_id=None)
             return True
-        self._respond(connection, wire.SYNC_PAGES, response, request_id=None)
+        for frame in frames:
+            if not self._respond(connection, wire.SYNC_PAGES, frame, request_id=None):
+                # Degraded to a frame-too-large error: the subscriber saw a
+                # typed failure and will restart the sync; stop streaming.
+                return True
         return True
 
     def _stream_wal(self, connection, source, cursor_id, cursor) -> None:
@@ -626,7 +632,15 @@ class TcpQueryServer:
                 try:
                     batch, end = source.records_since(cursor.shipped_lsn, budget)
                 except StaleSubscriberError as exc:
+                    # The stream is over but the connection survives: the
+                    # subscriber's next frames are an in-band SYNC and a
+                    # fresh WAL_SUBSCRIBE on this same socket. Drop the
+                    # cursor *before* the error frame goes out (both under
+                    # the lock), so by the time the subscriber reacts the
+                    # re-subscribe is guaranteed to be accepted.
                     with connection.lock:
+                        connection.cursor = None
+                        connection.cursor_id = None
                         self._send_error(connection, exc, request_id=None)
                     return
                 if batch:
@@ -675,19 +689,22 @@ class TcpQueryServer:
         kind: int,
         payload: Dict[str, Any],
         request_id: Optional[int],
-    ) -> None:
+    ) -> bool:
         """Send a response; an oversized one degrades to a typed error.
 
         ``write_frame`` raises :class:`~repro.errors.FrameTooLargeError`
         *before* any byte hits the socket, so the stream stays framed and
         the connection stays usable — the client just sees a structured
-        ``frame-too-large`` failure for this one request.
+        ``frame-too-large`` failure for this one request. Returns whether
+        the payload itself went out (``False`` on the degraded path).
         """
         try:
             self._send(connection, kind, payload)
         except FrameTooLargeError as exc:
             self._m_protocol_errors.inc()
             self._send_error(connection, exc, request_id)
+            return False
+        return True
 
     def _send_error(
         self,

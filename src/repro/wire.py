@@ -108,7 +108,8 @@ PONG = 20
 BYE = 21  # server is closing this connection (drain or GOODBYE ack)
 WAL_RECORDS = 22  # a batch of [lsn, base64 payload] log records
 HEARTBEAT = 23  # idle stream liveness; carries the primary's end LSN
-SYNC_PAGES = 24  # merkle anti-entropy: only the differing page ranges
+SYNC_PAGES = 24  # merkle anti-entropy: differing page ranges, budgeted
+#                  into a frame sequence ("more" marks continuations)
 
 _KNOWN_KINDS = frozenset(
     (

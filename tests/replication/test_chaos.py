@@ -13,9 +13,13 @@ import contextlib
 import socket
 import threading
 
+from repro import wire
+from repro.errors import StaleSubscriberError
 from repro.objects.database import Database
 from repro.obs.metrics import REGISTRY
+from repro.replication import ReplicaDatabase
 from repro.replication.merkle import store_trees
+from repro.server.net import TcpQueryServer
 from repro.wal.replay import replay_records
 from tests.wal.conftest import apply_ops, fingerprint, workload_ops
 
@@ -193,6 +197,123 @@ class TestCheckpointWhileTailing:
         assert REGISTRY.counter("replication.resyncs").value == 0
 
 
+def _force_stale_once(server, db):
+    """Patch the server's source so its *next* ship attempt goes stale.
+
+    This is the exact window a checkpoint-truncation race puts a lagging
+    subscriber in: the streamer's mid-stream ``records_since`` raises
+    ``StaleSubscriberError``. Returns an event set when it fired; later
+    calls pass through untouched.
+    """
+    source = server.replication_source()
+    real = source.records_since
+    fired = threading.Event()
+
+    def stale_once(lsn, max_bytes):
+        if not fired.is_set():
+            fired.set()
+            raise StaleSubscriberError(
+                "forced: checkpoint truncated past this subscriber",
+                base_lsn=db.wal.base_lsn,
+            )
+        return real(lsn, max_bytes)
+
+    source.records_since = stale_once
+    return fired
+
+
+class TestStaleMidStream:
+    def test_tail_survives_mid_stream_truncation(self, primary, make_replica):
+        """A mid-stream stale-subscriber error must not kill the tail
+        thread: the replica runs anti-entropy and keeps replicating."""
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=20))
+        replica = make_replica(server.url, chunk_pages=2)
+        _caught_up(db, replica)
+
+        fired = _force_stale_once(server, db)
+        assert fired.wait(timeout=5)
+
+        db.insert("Student", {"name": "after-stale", "hobbies": {"Chess"}})
+        _caught_up(db, replica)
+        # A second round after the recovery completed: this write can only
+        # arrive through a stream the recovered tail re-established, so a
+        # thread that died (or stopped subscribing) fails here.
+        db.insert("Student", {"name": "after-resync", "hobbies": {"Chess"}})
+        _caught_up(db, replica)
+        assert fingerprint(replica.database) == fingerprint(db)
+        assert replica._thread is not None and replica._thread.is_alive()
+        assert REGISTRY.counter("replication.resyncs").value == 1
+
+    def test_in_band_sync_and_resubscribe_on_one_socket(self, primary):
+        """After a mid-stream stale error the primary must accept the
+        subscriber's SYNC and a fresh WAL_SUBSCRIBE on the *same* socket
+        (it drops the dead cursor before the error frame goes out)."""
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=12))
+        sock = socket.create_connection((server.host, server.port), timeout=5)
+        sock.settimeout(5.0)
+        try:
+            wire.write_frame(
+                sock,
+                wire.HELLO,
+                {"protocol": wire.PROTOCOL_VERSION, "token": None},
+            )
+            kind, _payload = wire.read_frame(sock)
+            assert kind == wire.OK
+            wire.write_frame(
+                sock,
+                wire.WAL_SUBSCRIBE,
+                {"from_lsn": db.wal.base_lsn, "name": "raw-subscriber"},
+            )
+            watermark = db.wal.base_lsn
+            while watermark < db.wal.end_lsn:
+                kind, payload = wire.read_frame(sock)
+                if kind == wire.WAL_RECORDS:
+                    watermark = payload["end_lsn"]
+                    wire.write_frame(sock, wire.WAL_ACK, {"lsn": watermark})
+                else:
+                    assert kind == wire.HEARTBEAT
+
+            fired = _force_stale_once(server, db)
+            assert fired.wait(timeout=5)
+            kind, payload = wire.read_frame(sock)
+            while kind == wire.HEARTBEAT:
+                kind, payload = wire.read_frame(sock)
+            assert kind == wire.ERROR
+            assert payload["code"] == "stale-subscriber"
+
+            # Same socket: anti-entropy (claiming no pages ships them all,
+            # possibly across several budgeted frames) ...
+            wire.write_frame(
+                sock,
+                wire.SYNC,
+                {"name": "raw-subscriber", "chunk_pages": 2, "files": {}},
+            )
+            lsn, more = None, True
+            while more:
+                kind, payload = wire.read_frame(sock)
+                assert kind == wire.SYNC_PAGES
+                lsn = payload["lsn"]
+                more = bool(payload.get("more", False))
+
+            # ... then an in-band re-subscribe that must be accepted and
+            # must stream subsequent writes.
+            wire.write_frame(
+                sock,
+                wire.WAL_SUBSCRIBE,
+                {"from_lsn": lsn, "name": "raw-subscriber"},
+            )
+            db.insert("Student", {"name": "resumed", "hobbies": {"Chess"}})
+            while True:
+                kind, payload = wire.read_frame(sock)
+                assert kind in (wire.WAL_RECORDS, wire.HEARTBEAT)
+                if kind == wire.WAL_RECORDS:
+                    break
+        finally:
+            sock.close()
+
+
 class TestMerkleResync:
     def test_resync_ships_only_differing_ranges(self, primary, make_replica):
         db, server = primary
@@ -224,3 +345,45 @@ class TestMerkleResync:
             f"anti-entropy shipped {shipped} of {total_chunks} chunks — "
             "expected a strict subset (only the differing ranges)"
         )
+
+    def test_resync_larger_than_one_frame_completes(self, tmp_path):
+        """A diff bigger than the wire's frame cap must still sync: the
+        primary splits SYNC_PAGES into budgeted frames instead of tripping
+        the frame limit and retrying forever."""
+        db = Database(wal_dir=str(tmp_path / "small-frame-primary"))
+        # 16 KiB cap -> an 8 KiB sync budget that one base64'd 4 KiB page
+        # (~5.5 KiB) nearly fills; any multi-page diff needs several frames.
+        server = TcpQueryServer(
+            db, heartbeat_seconds=0.1, max_frame_bytes=16384
+        ).start()
+        replica = None
+        try:
+            apply_ops(db, workload_ops(inserts=40))
+            replica = ReplicaDatabase(
+                server.url,
+                str(tmp_path / "small-frame-replica"),
+                name="small-frame",
+                chunk_pages=2,
+                stall_timeout_seconds=3.0,
+                max_frame_bytes=16384,
+            )
+            _caught_up(db, replica)
+            replica.stop()
+            for i in range(8):
+                db.insert("Student", {"name": f"gap{i}", "hobbies": {"Chess"}})
+            db.checkpoint()
+            assert replica.watermark < db.wal.base_lsn
+
+            replica.start()
+            _caught_up(db, replica)
+            assert fingerprint(replica.database) == fingerprint(db)
+            assert REGISTRY.counter("replication.resyncs").value == 1
+            # Enough chunks travelled that one frame cannot have held them.
+            assert (
+                REGISTRY.counter("replication.sync_chunks_shipped").value >= 2
+            )
+        finally:
+            if replica is not None:
+                replica.close()
+            server.stop(drain=False)
+            db.wal.close()

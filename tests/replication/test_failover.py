@@ -87,6 +87,19 @@ class TestRouting:
         assert REGISTRY.counter("client.primary_reads").value >= 1
         assert REGISTRY.counter("client.replica_reads").value == 0
 
+    def test_prefer_replicas_false_pins_reads_despite_fleet_order(self, fleet):
+        """Replicas are failover spares, never read targets — even when a
+        replica is listed before the primary."""
+        db, server, replica, replica_server = fleet
+        client = FailoverClient(
+            [replica_server.url, server.url], prefer_replicas=False
+        )
+        with client:
+            client.execute(QUERY)
+            client.execute(QUERY)
+        assert REGISTRY.counter("client.primary_reads").value >= 2
+        assert REGISTRY.counter("client.replica_reads").value == 0
+
     def test_writes_pin_to_the_primary(self, fleet):
         db, server, replica, replica_server = fleet
         with FailoverClient([server.url, replica_server.url]) as client:
@@ -136,6 +149,35 @@ class TestReadYourWrites:
             # The frozen replica cannot satisfy the token; the primary did.
             assert any("unseen" in str(row) for row in result.rows)
             assert REGISTRY.counter("client.primary_reads").value >= 1
+        finally:
+            replica_server.stop(drain=False)
+
+    def test_stale_replica_listed_first_never_serves_a_token_read(
+        self, primary, make_replica
+    ):
+        """Fleet order must not matter: with the below-token replica listed
+        before the primary, the fallback still excludes it — a min_lsn read
+        may never land on a replica known to be behind the token."""
+        db, server = primary
+        apply_ops(db, workload_ops(inserts=8))
+        replica = make_replica(server.url)
+        assert replica.wait_for_lsn(db.wal.end_lsn, timeout=10)
+        replica.stop()  # freeze the watermark
+        replica_server = TcpQueryServer(
+            service=QueryService(replica.database, max_workers=1),
+            heartbeat_seconds=0.1,
+        ).start()
+        try:
+            client = FailoverClient(
+                [replica_server.url, server.url],
+                read_your_writes_timeout_seconds=0.3,
+            )
+            with client:
+                db.insert("Student", {"name": "unseen", "hobbies": {"Chess"}})
+                token = client.lsn_token()
+                result = client.execute(QUERY, min_lsn=token)
+            assert any("unseen" in str(row) for row in result.rows)
+            assert REGISTRY.counter("client.replica_reads").value == 0
         finally:
             replica_server.stop(drain=False)
 

@@ -143,6 +143,96 @@ class TestStreamingPrimitives:
         log.close()
 
 
+class TestSyncResponse:
+    def test_empty_diff_is_one_final_frame_listing_every_file(self, tmp_path):
+        from repro.replication.merkle import encode_tree, store_trees
+
+        db = _primary(tmp_path)
+        source = ReplicationSource(db)
+        db.storage.flush()
+        trees = store_trees(db.storage.store, chunk_pages=2)
+        frames = source.sync_response(
+            {
+                "chunk_pages": 2,
+                "files": {name: encode_tree(t) for name, t in trees.items()},
+            }
+        )
+        (frame,) = frames
+        assert frame["more"] is False
+        assert "catalog" in frame
+        # Unchanged files still ship their metadata entry (the subscriber
+        # keeps its local pages for every listed file), just no ranges.
+        assert {e["name"] for e in frame["files"]} == set(trees)
+        assert all(entry["ranges"] == [] for entry in frame["files"])
+
+    def test_large_diff_splits_into_budgeted_frames(self, tmp_path):
+        import json
+
+        db = _primary(tmp_path)
+        source = ReplicationSource(db)
+        budget = 16384
+        # An empty digest set claims nothing: every page differs.
+        frames = source.sync_response(
+            {"chunk_pages": 2, "files": {}}, max_bytes=budget
+        )
+        assert len(frames) > 1
+        assert all(frame["more"] is True for frame in frames[:-1])
+        assert frames[-1]["more"] is False
+        assert "catalog" in frames[0]
+        assert all("catalog" not in frame for frame in frames[1:])
+        assert len({frame["lsn"] for frame in frames}) == 1  # one cut
+        for frame in frames:
+            body = json.dumps(frame, separators=(",", ":"))
+            assert len(body) <= budget + 4096, (
+                f"frame of {len(body)} bytes blows the {budget} budget"
+            )
+
+    def test_split_frames_cover_every_page_exactly_once(self, tmp_path):
+        db = _primary(tmp_path)
+        source = ReplicationSource(db)
+        frames = source.sync_response(
+            {"chunk_pages": 2, "files": {}}, max_bytes=8192
+        )
+        shipped = {}
+        for frame in frames:
+            for entry in frame["files"]:
+                per_file = shipped.setdefault(entry["name"], {})
+                for start, images in entry["ranges"]:
+                    for offset, encoded in enumerate(images):
+                        page_no = start + offset
+                        assert page_no not in per_file, (
+                            f"page {page_no} of {entry['name']} shipped twice"
+                        )
+                        per_file[page_no] = base64.b64decode(encoded)
+        store = db.storage.store
+        for name in store.file_names():
+            pages = store.num_pages(name)
+            assert set(shipped.get(name, ())) == set(range(pages))
+            for page_no in range(pages):
+                assert shipped[name][page_no] == store.page_image(
+                    name, page_no
+                )
+
+    def test_tiny_budget_still_makes_progress(self, tmp_path):
+        db = _primary(tmp_path)
+        source = ReplicationSource(db)
+        # Below one page's base64 cost: degrade to one page per frame,
+        # never to an unshippable frame or an empty one.
+        frames = source.sync_response(
+            {"chunk_pages": 2, "files": {}}, max_bytes=1
+        )
+        pages_per_frame = [
+            sum(
+                len(images)
+                for entry in frame["files"]
+                for _start, images in entry["ranges"]
+            )
+            for frame in frames
+        ]
+        assert all(count == 1 for count in pages_per_frame[:-1])
+        assert sum(pages_per_frame) > 1
+
+
 class TestLagAccounting:
     def test_status_tracks_ship_and_ack(self, tmp_path):
         db = _primary(tmp_path)
