@@ -30,7 +30,12 @@ against the per-entry reference path on:
 * process-pool serving: a persistent
   :class:`~repro.server.ProcessQueryService` vs the sequential loop on a
   zero-latency (CPU-bound) store, recorded under the report's ``process``
-  key as ``process_speedup``.
+  key as ``process_speedup``,
+* sharded scatter-gather: the same latency-simulated query batch served
+  by a :class:`~repro.sharding.ShardRouter` over N hash-partitioned
+  shards (each query fans out, per-shard device reads overlap) vs the
+  sequential unsharded loop, recorded under the report's ``sharded`` key
+  as ``sharded_speedup``.
 
 Run standalone::
 
@@ -118,6 +123,7 @@ FULL_THRESHOLDS = {
     "concurrent": 2.0,
     "batched": 2.0,
     "process": 1.5,
+    "sharded": 1.5,
     "tracer_overhead": 1.15,
 }
 SMOKE_THRESHOLDS = {
@@ -128,6 +134,7 @@ SMOKE_THRESHOLDS = {
     "concurrent": 1.5,
     "batched": 1.3,
     "process": 1.1,
+    "sharded": 1.2,
     "tracer_overhead": 1.4,
 }
 
@@ -362,6 +369,93 @@ def measure_concurrent_speedup(config, workers):
         "sequential_ms": sequential_s * 1000,
         "concurrent_ms": concurrent_s * 1000,
         "concurrent_speedup": sequential_s / concurrent_s,
+    }
+
+
+def measure_sharded_speedup(config, num_shards):
+    """Scatter-gather throughput: a ShardRouter over N shards vs one db.
+
+    Same honesty rules as the concurrent sweep: the speedup comes from
+    overlappable simulated device-read latency, not from GIL-bound CPU
+    work. Hash-partitioning splits each query's candidate fetches across
+    the shards, so the router's fan-out overlaps the per-shard latency
+    sleeps while the unsharded sequential loop pays them back-to-back.
+    Results stay bit-identical (disjoint hash slices merge exactly); only
+    the wall clock differs.
+    """
+    from repro.objects.database import Database
+    from repro.objects.schema import ClassSchema
+    from repro.query.executor import QueryExecutor
+    from repro.serving import make_service
+    from repro.sharding import partition_database
+
+    num_objects = config["concurrent_objects"]
+    gen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=num_objects,
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["target_seed"],
+        )
+    )
+    db = Database(page_size=config["page_size"], pool_capacity=0)
+    db.define_class(ClassSchema.build("Item", items="set"))
+    db.create_ssf_index(
+        "Item",
+        "items",
+        signature_bits=config["signature_bits"],
+        bits_per_element=config["bits_per_element"],
+        seed=config["target_seed"],
+    )
+    for elements in gen.target_sets():
+        db.insert("Item", {"items": set(elements)})
+
+    qgen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=0,
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["query_seed"],
+        )
+    )
+    texts = [
+        "select Item where items overlaps ({})".format(
+            ", ".join(str(e) for e in sorted(qgen.random_query_set(8)))
+        )
+        for _ in range(config["concurrent_queries"])
+    ]
+
+    shards = partition_database(db, num_shards)
+    db.storage.store.read_latency_seconds = config["device_read_latency_s"]
+    for shard in shards:
+        shard.storage.store.read_latency_seconds = (
+            config["device_read_latency_s"]
+        )
+    try:
+        executor = QueryExecutor(db)
+
+        def sequential():
+            return [executor.execute_text(text) for text in texts]
+
+        sequential_s = best_sweep_time(sequential, config["min_seconds"])
+        router = make_service(shards, "serial")
+        try:
+            sharded_s = best_sweep_time(
+                lambda: [router.execute(text) for text in texts],
+                config["min_seconds"],
+            )
+        finally:
+            router.close()
+    finally:
+        db.storage.store.read_latency_seconds = 0.0
+        for shard in shards:
+            shard.storage.store.read_latency_seconds = 0.0
+    return {
+        "shards": float(num_shards),
+        "queries": float(len(texts)),
+        "sequential_ms": sequential_s * 1000,
+        "sharded_ms": sharded_s * 1000,
+        "sharded_speedup": sequential_s / sharded_s,
     }
 
 
@@ -683,6 +777,18 @@ def main(argv=None):
         help="override the process-pool speedup floor",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for the scatter-gather sweep (default 4)",
+    )
+    parser.add_argument(
+        "--min-sharded-speedup",
+        type=float,
+        default=None,
+        help="override the sharded scatter-gather speedup floor",
+    )
+    parser.add_argument(
         "--max-tracer-overhead",
         type=float,
         default=None,
@@ -698,6 +804,7 @@ def main(argv=None):
         ("concurrent", args.min_concurrent_speedup),
         ("batched", args.min_batched_speedup),
         ("process", args.min_process_speedup),
+        ("sharded", args.min_sharded_speedup),
         ("tracer_overhead", args.max_tracer_overhead),
     ):
         if override is not None:
@@ -710,13 +817,14 @@ def main(argv=None):
 
     if args.concurrent_only:
         results, tracer_overhead, wal_overhead = {}, {}, {}
-        batched, process = {}, {}
+        batched, process, sharded = {}, {}, {}
     else:
         results, tracer_overhead, wal_overhead = run_benchmarks(config)
         batched = measure_batched_speedup(config, batch_size)
         process = measure_process_speedup(
             config, args.process_workers, batch_size
         )
+        sharded = measure_sharded_speedup(config, args.shards)
     concurrency = measure_concurrent_speedup(config, args.workers)
 
     failures = [
@@ -729,6 +837,7 @@ def main(argv=None):
         ("concurrent", concurrency, "concurrent_speedup"),
         ("batched", batched, "batched_speedup"),
         ("process", process, "process_speedup"),
+        ("sharded", sharded, "sharded_speedup"),
     ):
         if section and section[key] < thresholds[name]:
             failures.append(
@@ -760,6 +869,7 @@ def main(argv=None):
         "concurrency": {k: round(v, 3) for k, v in concurrency.items()},
         "batched": {k: round(v, 3) for k, v in batched.items()},
         "process": {k: round(v, 3) for k, v in process.items()},
+        "sharded": {k: round(v, 3) for k, v in sharded.items()},
         "thresholds": thresholds,
         "pass": not failures,
     }
@@ -801,6 +911,13 @@ def main(argv=None):
                 f"{'process pool':20s} 1 proc {proc['sequential_ms']:8.2f} ms   "
                 f"{int(proc['workers'])} proc {proc['process_ms']:9.2f} ms   "
                 f"speedup {proc['process_speedup']:6.2f}x"
+            )
+        if sharded:
+            shd = report["sharded"]
+            print(
+                f"{'sharded router':20s} 1 db   {shd['sequential_ms']:8.2f} ms   "
+                f"{int(shd['shards'])} shards {shd['sharded_ms']:7.2f} ms   "
+                f"speedup {shd['sharded_speedup']:6.2f}x"
             )
         conc = report["concurrency"]
         print(

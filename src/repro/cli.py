@@ -179,6 +179,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--token", default=None,
         help="auth token --replica-of presents to the primary",
     )
+    serve.add_argument(
+        "--shard-of", default=None, metavar="K/N",
+        help=(
+            "announce this server as shard K of an N-way hash "
+            "partitioning (0-based); clients discover it via PONG"
+        ),
+    )
+    route = subparsers.add_parser(
+        "route",
+        help="serve a scatter-gather router over a shard map",
+        description=(
+            "Start a TcpQueryServer whose backend is a ShardRouter: every "
+            "query fans out to the shard servers, answers merge in OID "
+            "order, and the partial-result policy decides what a lost "
+            "shard does. SHARDS is ';'-separated, one segment per shard; "
+            "a segment may be a comma-separated replicated fleet, e.g. "
+            "'s0a:7731,s0b:7731;s1:7731'."
+        ),
+    )
+    route.add_argument(
+        "shards", metavar="SHARDS",
+        help="shard map: ';' between shards, ',' between a shard's replicas",
+    )
+    route.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    route.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default 7731; 0 picks a free port)",
+    )
+    route.add_argument(
+        "--partial-results", choices=("strict", "degraded"), default="strict",
+        help=(
+            "lost-shard policy: strict raises shard-unavailable, degraded "
+            "returns partial answers flagged as such (default strict)"
+        ),
+    )
+    route.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline budget in milliseconds",
+    )
+    route.add_argument(
+        "--hedge", default=None, metavar="SECONDS|p99",
+        help=(
+            "hedged reads: launch a backup sub-request after this many "
+            "seconds, or adaptively at each shard's p99 latency"
+        ),
+    )
+    route.add_argument(
+        "--token", default=None,
+        help="auth token presented to every shard server",
+    )
     traced = subparsers.add_parser(
         "trace",
         help="run one query with tracing on and print the span tree",
@@ -281,6 +333,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return interactive_loop(database)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "route":
+        return _run_route(args)
     if args.command == "trace":
         return _run_trace(args.query, snapshot=args.load, as_json=args.json)
     if args.command == "fsck":
@@ -434,6 +488,23 @@ def _run_serve(args) -> int:
             print(f"serve: bad --quota {spec!r} (want TENANT=N)", file=sys.stderr)
             return 2
         tenant_quotas[tenant] = int(limit)
+    shard_info = None
+    if args.shard_of:
+        index_text, sep, count_text = args.shard_of.partition("/")
+        if (
+            not sep
+            or not index_text.isdigit()
+            or not count_text.isdigit()
+            or int(count_text) < 1
+            or not int(index_text) < int(count_text)
+        ):
+            print(
+                f"serve: bad --shard-of {args.shard_of!r} "
+                "(want K/N with 0 <= K < N)",
+                file=sys.stderr,
+            )
+            return 2
+        shard_info = {"index": int(index_text), "count": int(count_text)}
     try:
         server = TcpQueryServer(
             database,
@@ -444,12 +515,17 @@ def _run_serve(args) -> int:
             auth_tokens=auth_tokens or None,
             tenant_quotas=tenant_quotas or None,
             read_timeout_seconds=args.read_timeout,
+            shard_info=shard_info,
         )
         server.start()
     except (OSError, ReproError) as exc:
         print(f"serve: cannot start: {exc}", file=sys.stderr)
         return 1
     guarded = " (token auth on)" if auth_tokens else ""
+    if shard_info is not None:
+        source = (
+            f"{source} as shard {shard_info['index']}/{shard_info['count']}"
+        )
     print(f"serving {source} at {server.url}{guarded} — Ctrl-C to stop")
     try:
         server.serve_forever()
@@ -459,6 +535,71 @@ def _run_serve(args) -> int:
         server.stop(drain=True)
         if replica is not None:
             replica.close()
+    return 0
+
+
+def _run_route(args) -> int:
+    """Serve a scatter-gather shard router over TCP until interrupted."""
+    from repro.errors import ReproError
+    from repro.server.net import TcpQueryServer
+    from repro.serving import connect
+    from repro.wire import DEFAULT_PORT
+
+    hedge = args.hedge
+    if hedge is not None and hedge != "p99":
+        try:
+            hedge = float(hedge)
+        except ValueError:
+            print(
+                f"route: bad --hedge {args.hedge!r} (want seconds or 'p99')",
+                file=sys.stderr,
+            )
+            return 2
+    client_kwargs = {}
+    if args.token:
+        client_kwargs["token"] = args.token
+    try:
+        router = connect(
+            args.shards,
+            partial_results=args.partial_results,
+            deadline_ms=args.deadline_ms,
+            hedge_delay_seconds=hedge,
+            **client_kwargs,
+        )
+    except (OSError, ReproError, ValueError) as exc:
+        print(f"route: cannot build router: {exc}", file=sys.stderr)
+        return 1
+    shard_count = getattr(router, "shard_count", None)
+    if shard_count is None:
+        print(
+            f"route: {args.shards!r} names fewer than two shards; "
+            "use 'serve' for a single server",
+            file=sys.stderr,
+        )
+        router.close()
+        return 2
+    try:
+        server = TcpQueryServer(
+            service=router,
+            host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+        )
+        server.start()
+    except (OSError, ReproError) as exc:
+        print(f"route: cannot start: {exc}", file=sys.stderr)
+        router.close()
+        return 1
+    print(
+        f"routing over {shard_count} shard(s) "
+        f"[{args.partial_results}] at {server.url} — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nroute: draining ...", file=sys.stderr)
+    finally:
+        server.stop(drain=True)
+        router.close()
     return 0
 
 

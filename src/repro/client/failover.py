@@ -22,6 +22,7 @@ before falling back to the primary.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -82,7 +83,12 @@ class _Endpoint:
         self.consecutive_failures += 1
         if self.consecutive_failures >= threshold:
             past = self.consecutive_failures - threshold + 1
-            self.open_until = now + min(policy.sleep_for(min(past, 8)), 5.0)
+            cooldown = min(policy.sleep_for(min(past, 8)), 5.0)
+            # Jitter the re-probe instant (±15%): a fleet of clients whose
+            # breakers opened together must not all half-open against the
+            # recovered server on the same tick — that thundering herd can
+            # knock it straight back over.
+            self.open_until = now + cooldown * random.uniform(0.85, 1.15)
 
 
 class FailoverClient:

@@ -196,6 +196,38 @@ class PlanningError(QueryError):
     code = "planning"
 
 
+class DeadlineExceededError(QueryError):
+    """A request's deadline budget expired before it could execute.
+
+    Carried end-to-end: clients ship the remaining budget as
+    ``ExecutionOptions.deadline_ms``; a server or service that receives an
+    already-expired request rejects it up front (no worker is burned on an
+    answer nobody is waiting for), and a
+    :class:`~repro.sharding.ShardRouter` charges every sub-request against
+    the same budget.
+    """
+
+    code = "deadline-exceeded"
+
+
+class ShardUnavailableError(ReproError):
+    """A strict-mode scatter-gather request lost one or more shards.
+
+    Raised by :class:`~repro.sharding.ShardRouter` when
+    ``partial_results="strict"`` and any shard stayed unreachable through
+    the retry budget — a complete answer cannot be produced.
+    ``missing_shards`` names the shards (by index/URL) that never answered;
+    in ``"degraded"`` mode the same information rides on the merged
+    result's ``missing_shards`` field instead of raising.
+    """
+
+    code = "shard-unavailable"
+
+    def __init__(self, message: str, missing_shards=None):
+        super().__init__(message)
+        self.missing_shards = list(missing_shards or [])
+
+
 class ProtocolError(ReproError):
     """A wire-protocol frame was malformed, oversized, or version-skewed."""
 

@@ -443,6 +443,11 @@ class Database:
     def indexes_on(self, class_name: str, attribute: str) -> Dict[str, SetAccessFacility]:
         return dict(self._indexes.get((class_name, attribute), {}))
 
+    def indexed_paths(self) -> List[IndexKey]:
+        """Every ``(class, attribute)`` pair that carries at least one
+        facility, sorted — the iteration surface for schema replication."""
+        return sorted(self._indexes)
+
     def index(
         self, class_name: str, attribute: str, facility_name: Optional[str] = None
     ) -> SetAccessFacility:
@@ -481,6 +486,32 @@ class Database:
         with self.write_scope(class_name):
             with self._wal_op(fields):
                 oid = self.objects.insert(class_name, values)
+                for (cls, attr), per_path in self._indexes.items():
+                    if cls == class_name:
+                        for facility in per_path.values():
+                            facility.insert(frozenset(values[attr]), oid)
+        return oid
+
+    def insert_with_oid(
+        self, class_name: str, oid: OID, values: Dict[str, Any]
+    ) -> OID:
+        """Insert under a caller-chosen OID, maintaining every index.
+
+        The shard-loading path: :func:`repro.sharding.partition_database`
+        places each object on its hash-owner shard under the *original*
+        OID, so sharded query answers are row-for-row identical to the
+        unsharded database's. WAL records look exactly like a plain
+        insert's (the record names its OID either way), so replay and log
+        shipping need no new record kind.
+        """
+
+        def fields() -> list:
+            self.schema(class_name).validate_object(values)
+            return ["insert", class_name, oid.to_int(), encode_object(values)]
+
+        with self.write_scope(class_name):
+            with self._wal_op(fields):
+                self.objects.insert_with_oid(class_name, oid, values)
                 for (cls, attr), per_path in self._indexes.items():
                     if cls == class_name:
                         for facility in per_path.values():

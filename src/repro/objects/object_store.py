@@ -62,6 +62,15 @@ class ObjectStore:
     def class_names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._schemas))
 
+    def class_ids(self) -> Dict[str, int]:
+        """``{class name: class id}`` — ids follow definition order.
+
+        Replicating a schema elsewhere (shard loading, replica rebuild)
+        must define classes in ascending id order so OIDs — which embed
+        the class id — mean the same thing on both sides.
+        """
+        return dict(self._class_ids)
+
     def class_name_of(self, oid: OID) -> str:
         try:
             return self._class_names[oid.class_id]
@@ -82,6 +91,32 @@ class ObjectStore:
         address = self._files[class_name].insert(encode_object(values))
         self._directory[oid] = address
         class_id = oid.class_id
+        self._live_counts[class_id] = self._live_counts.get(class_id, 0) + 1
+        return oid
+
+    def insert_with_oid(
+        self, class_name: str, oid: OID, values: Dict[str, Any]
+    ) -> OID:
+        """Insert under a caller-chosen OID (WAL replay, shard loading).
+
+        The OID's class id must match ``class_name`` and the OID must not
+        already be live; its serial is reserved so later fresh allocations
+        cannot collide. Serial gaps are fine — a shard holds only its hash
+        slice of a class, and :meth:`scan` orders by OID, not by density.
+        """
+        schema = self.schema(class_name)
+        schema.validate_object(values)
+        class_id = self._class_ids[class_name]
+        if oid.class_id != class_id:
+            raise ObjectStoreError(
+                f"OID {oid} carries class id {oid.class_id}, but "
+                f"{class_name!r} is class {class_id}"
+            )
+        if oid in self._directory:
+            raise ObjectStoreError(f"{oid} is already live")
+        self._allocator.reserve(class_id, oid.serial)
+        address = self._files[class_name].insert(encode_object(values))
+        self._directory[oid] = address
         self._live_counts[class_id] = self._live_counts.get(class_id, 0) + 1
         return oid
 

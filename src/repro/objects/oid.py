@@ -74,6 +74,19 @@ class OIDAllocator:
         """
         return OID(class_id=class_id, serial=self._next_serial.get(class_id, 0))
 
+    def reserve(self, class_id: int, serial: int) -> None:
+        """Mark ``serial`` as used; later allocations start past it.
+
+        Explicit-OID inserts (WAL replay, shard loading) place objects
+        under serials that did not come from :meth:`allocate`; reserving
+        keeps the monotonic guarantee — a fresh allocation can never
+        collide with a reserved serial.
+        """
+        if not 0 <= serial <= _MAX_SERIAL:
+            raise ObjectStoreError(f"serial out of range: {serial}")
+        if serial >= self._next_serial.get(class_id, 0):
+            self._next_serial[class_id] = serial + 1
+
     def high_water_mark(self, class_id: int) -> int:
         """Number of OIDs ever allocated for the class."""
         return self._next_serial.get(class_id, 0)

@@ -63,11 +63,21 @@ class QueryStatistics:
 
 @dataclass
 class QueryResult:
-    """Rows plus execution statistics (and, when traced, the span tree)."""
+    """Rows plus execution statistics (and, when traced, the span tree).
+
+    ``partial`` / ``missing_shards`` only ever deviate from their defaults
+    on a result merged by a degraded-mode
+    :class:`~repro.sharding.ShardRouter`: ``partial=True`` flags that one
+    or more shards never answered, and ``missing_shards`` names them. A
+    partial answer is an exact *subset* of the complete one — scatter-
+    gather over disjoint hash slices can under-report, never invent rows.
+    """
 
     rows: List[Tuple[OID, Dict[str, Any]]]
     statistics: QueryStatistics
     trace: Optional[Span] = None
+    partial: bool = False
+    missing_shards: List[str] = field(default_factory=list)
 
     def oids(self) -> List[OID]:
         return [oid for oid, _ in self.rows]

@@ -93,6 +93,16 @@ class ExecutionOptions:
     ``remote_url``
         A ``sigfile://host:port`` server address for ``REMOTE`` execution
         (see :func:`repro.connect`).
+    ``deadline_ms``
+        Remaining time budget for this request, in milliseconds. A
+        *duration*, not a wall-clock instant — it survives clock skew
+        across the wire; each hop re-anchors it on receipt. A server or
+        service that receives an exhausted budget (``<= 0``, or expired
+        while queued) rejects the request with
+        :class:`~repro.errors.DeadlineExceededError` instead of burning a
+        worker; a :class:`~repro.sharding.ShardRouter` charges every
+        sub-request and retry against the one budget. ``None`` (default)
+        means unbounded.
     """
 
     context: Optional["CostContext"] = None
@@ -104,6 +114,7 @@ class ExecutionOptions:
     batch_size: Optional[int] = None
     execution_mode: Optional[ExecutionMode] = None
     remote_url: Optional[str] = None
+    deadline_ms: Optional[float] = None
 
     @property
     def tracing_requested(self) -> bool:
@@ -145,6 +156,7 @@ class ExecutionOptions:
                 else None
             ),
             "remote_url": self.remote_url,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod
@@ -172,6 +184,7 @@ class ExecutionOptions:
             batch_size=data.get("batch_size"),
             execution_mode=mode,
             remote_url=data.get("remote_url"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 

@@ -57,6 +57,7 @@ from repro.errors import (
     AuthenticationError,
     ConfigurationError,
     ConnectionLostError,
+    DeadlineExceededError,
     FrameTooLargeError,
     ProtocolError,
     ReplicationError,
@@ -136,6 +137,7 @@ class TcpQueryServer:
         read_timeout_seconds: float = 30.0,
         max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
         heartbeat_seconds: float = 1.0,
+        shard_info: Optional[Mapping[str, Any]] = None,
     ):
         if (database is None) == (service is None):
             raise ConfigurationError(
@@ -160,6 +162,10 @@ class TcpQueryServer:
         self.read_timeout_seconds = read_timeout_seconds
         self.max_frame_bytes = max_frame_bytes
         self.heartbeat_seconds = heartbeat_seconds
+        #: ``{"index": k, "count": n}`` when this server holds shard k of
+        #: an n-way partitioning (``sigfile-repro serve --shard-of k/n``);
+        #: piggybacked on every PONG so clients can discover the topology.
+        self.shard_info = dict(shard_info) if shard_info is not None else None
         self._replication = None
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -174,6 +180,10 @@ class TcpQueryServer:
         self._m_quota_rejections = REGISTRY.counter("server.net.quota_rejections")
         self._m_protocol_errors = REGISTRY.counter("server.net.protocol_errors")
         self._m_disconnects = REGISTRY.counter("server.net.disconnects")
+        self._m_drain_timeouts = REGISTRY.counter("server.net.drain_timeouts")
+        self._m_deadline_rejections = REGISTRY.counter(
+            "server.net.deadline_rejections"
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -215,13 +225,22 @@ class TcpQueryServer:
         while self._accept_thread.is_alive():
             self._accept_thread.join(timeout=0.5)
 
-    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+    def stop(
+        self,
+        drain: bool = True,
+        timeout: float = 30.0,
+        drain_timeout: float = 10.0,
+    ) -> None:
         """Stop accepting and close connections; idempotent.
 
         With ``drain=True`` every in-flight request finishes and its
         response is delivered (the per-connection lock guarantees the
-        write completed) before the socket closes with a ``BYE``. With
-        ``drain=False`` sockets are torn down immediately.
+        write completed) before the socket closes with a ``BYE``. The wait
+        is bounded: a request still wedged after ``drain_timeout`` seconds
+        (shared across all connections) is abandoned — its socket is torn
+        down anyway and ``server.net.drain_timeouts`` counts the firing —
+        so one stuck query can never hang shutdown. With ``drain=False``
+        sockets are torn down immediately.
         """
         if not self._started or self._stopping.is_set():
             # Not started, or a previous stop already ran.
@@ -235,12 +254,21 @@ class TcpQueryServer:
                 self._listener.close()
         with self._state_lock:
             connections = list(self._handlers.items())
+        drain_deadline = time.monotonic() + max(0.0, drain_timeout)
         for connection, _thread in connections:
             if drain:
                 # Waits for the in-flight request (if any) to finish and
                 # flush its response, then wakes the blocked frame read.
-                with connection.lock:
+                # One shared deadline bounds the whole drain pass.
+                remaining = drain_deadline - time.monotonic()
+                acquired = connection.lock.acquire(timeout=max(0.0, remaining))
+                try:
+                    if not acquired:
+                        self._m_drain_timeouts.inc()
                     self._farewell(connection)
+                finally:
+                    if acquired:
+                        connection.lock.release()
             else:
                 self._farewell(connection)
         for _connection, thread in connections:
@@ -475,9 +503,19 @@ class TcpQueryServer:
         if not isinstance(text, str):
             raise ProtocolError("query frame is missing its text")
         options = ExecutionOptions.from_dict(payload.get("options"))
+        if options.deadline_ms is not None and options.deadline_ms <= 0:
+            # The client's budget was spent before the request got here;
+            # reject at the edge instead of burning a worker on an answer
+            # nobody is waiting for. (The service re-checks after queueing.)
+            self._m_deadline_rejections.inc()
+            raise DeadlineExceededError(
+                f"request arrived with its deadline budget exhausted "
+                f"({options.deadline_ms:.1f}ms remaining)"
+            )
         # Server-local sanitization: a remote caller must not recurse into
         # another pool (or back out over the network), and span trees
-        # cannot cross the wire.
+        # cannot cross the wire. ``deadline_ms`` survives — the budget
+        # keeps binding queue and execution time on this side too.
         options = options.evolve(
             max_workers=None,
             execution_mode=None,
@@ -534,6 +572,12 @@ class TcpQueryServer:
         This is what :class:`~repro.client.failover.FailoverClient` uses
         to discover topology and enforce read-your-writes tokens.
         """
+        payload = self._base_role_payload()
+        if self.shard_info is not None:
+            payload["shard"] = dict(self.shard_info)
+        return payload
+
+    def _base_role_payload(self) -> Dict[str, Any]:
         database = getattr(self.service, "database", None)
         if database is None:
             return {"role": "standalone", "lsn": 0}

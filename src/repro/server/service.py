@@ -29,7 +29,11 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import List, Optional
 
-from repro.errors import AdmissionError, ConfigurationError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExceededError,
+)
 from repro.obs.metrics import REGISTRY
 from repro.query.executor import QueryExecutor, QueryResult
 from repro.query.options import ExecutionOptions
@@ -101,6 +105,7 @@ class QueryService:
         )
         self._closed = False
         self._m_submitted = REGISTRY.counter("server.submitted")
+        self._m_deadline = REGISTRY.counter("server.deadline_rejections")
         self._m_admitted = REGISTRY.counter("server.admitted")
         self._m_shed = REGISTRY.counter("server.shed")
         self._m_completed = REGISTRY.counter("server.completed")
@@ -147,19 +152,49 @@ class QueryService:
         """
         if self._closed:
             raise AdmissionError("query service is shut down")
+        deadline_at = self._deadline_at(options)
         self._m_submitted.inc()
         self._admit()
         try:
-            return self._pool.submit(self._run_one, text, options)
+            return self._pool.submit(self._run_one, text, options, deadline_at)
         except RuntimeError:
             # Pool shut down between the check and the submit.
             self._slots.release()
             self._m_shed.inc()
             raise AdmissionError("query service is shut down") from None
 
+    def _deadline_at(self, options: Optional[ExecutionOptions]) -> Optional[float]:
+        """Anchor the request's remaining budget to this process's clock.
+
+        ``deadline_ms`` is a duration; anchoring happens once, at
+        submission, so queue time counts against the budget. A budget that
+        is already spent is rejected here — before it takes an admission
+        slot a live request could have used.
+        """
+        budget_ms = getattr(options, "deadline_ms", None)
+        if budget_ms is None:
+            return None
+        if budget_ms <= 0:
+            self._m_deadline.inc()
+            raise DeadlineExceededError(
+                f"deadline budget exhausted before submission "
+                f"({budget_ms:.1f}ms remaining)"
+            )
+        return time.monotonic() + budget_ms / 1000.0
+
     def _run_one(
-        self, text: str, options: Optional[ExecutionOptions]
+        self,
+        text: str,
+        options: Optional[ExecutionOptions],
+        deadline_at: Optional[float] = None,
     ) -> QueryResult:
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            # Spent its whole budget queued; answering now helps nobody.
+            self._m_deadline.inc()
+            self._slots.release()
+            raise DeadlineExceededError(
+                "deadline expired while the request waited for a worker"
+            )
         started = time.perf_counter()
         try:
             result = self.executor.execute_text(text, options)

@@ -86,8 +86,18 @@ class QueryBackend(Protocol):
         ...
 
 
+#: ``connect`` keywords that configure the router, not its member clients
+_ROUTER_KEYS = (
+    "partial_results",
+    "deadline_ms",
+    "hedge_delay_seconds",
+    "shard_retry_policy",
+    "breaker_cooldown_seconds",
+)
+
+
 def connect(url, **kwargs: Any):
-    """Open a remote backend: one URL or a whole replicated fleet.
+    """Open a remote backend: one URL, a replicated fleet, or a shard map.
 
     A single ``sigfile://host:port`` URL (scheme optional; port defaults
     to :data:`repro.wire.DEFAULT_PORT`) opens a
@@ -98,12 +108,62 @@ def connect(url, **kwargs: Any):
     — ``token``, ``pool_size``, ``retry_policy``, timeouts, and (fleet
     only) ``prefer_replicas`` / ``failure_threshold`` — pass through to
     the chosen client.
+
+    A ``;``-separated string — or a list whose elements are themselves
+    lists/comma-strings — is a *shard map*: each ``;`` segment is one
+    shard (itself a single server or a replicated fleet), and the result
+    is a :class:`~repro.sharding.ShardRouter` over per-shard clients
+    built by this same function. Router policy keywords
+    (``partial_results``, ``deadline_ms``, ``hedge_delay_seconds``,
+    ``shard_retry_policy`` — the router's ``retry_policy`` —
+    ``breaker_cooldown_seconds``) configure the router; everything else
+    passes through to every member client::
+
+        connect("s0a,s0b;s1a,s1b", partial_results="degraded")
     """
-    if isinstance(url, (list, tuple)) or (isinstance(url, str) and "," in url):
+    if isinstance(url, str) and ";" in url:
+        # A ';' always means sharding, even when every shard is a single
+        # server ("a;b;c" is three shards, not a three-way fleet).
+        segments = [part.strip() for part in url.split(";") if part.strip()]
+        return _shard_router(segments, kwargs)
+    if isinstance(url, (list, tuple)):
+        nested = any(
+            isinstance(item, (list, tuple))
+            or (isinstance(item, str) and "," in item)
+            for item in url
+        )
+        if nested:
+            return _shard_router(list(url), kwargs)
+        # A flat list of single URLs stays a replicated fleet (the PR 8
+        # behaviour); only nesting or ';' introduces sharding.
+        from repro.client.failover import FailoverClient
+
+        return FailoverClient(url, **kwargs)
+    if isinstance(url, str) and "," in url:
         from repro.client.failover import FailoverClient
 
         return FailoverClient(url, **kwargs)
     return RemoteClient.from_url(url, **kwargs)
+
+
+def _shard_router(shard_specs, kwargs):
+    """A router whose shards each come from :func:`connect` recursively."""
+    from repro.sharding import ShardRouter
+
+    router_kwargs = {
+        key: kwargs.pop(key) for key in _ROUTER_KEYS if key in kwargs
+    }
+    if "shard_retry_policy" in router_kwargs:
+        router_kwargs["retry_policy"] = router_kwargs.pop("shard_retry_policy")
+    shards = []
+    try:
+        for spec in shard_specs:
+            shards.append(connect(spec, **kwargs))
+    except Exception:
+        for shard in shards:
+            shard.close()
+        raise
+    return ShardRouter(shards, **router_kwargs)
 
 
 #: legacy keyword -> (new keyword, implied mode); shimmed for one release
@@ -123,8 +183,15 @@ def make_service(
     """Build the right :class:`QueryBackend` for a database or URL.
 
     ``db_or_url``
-        A :class:`~repro.objects.database.Database` (in-process backends)
-        or a ``sigfile://host:port`` string (remote).
+        A :class:`~repro.objects.database.Database` (in-process backends),
+        a ``sigfile://host:port`` string (remote), or a list of shard
+        databases / backends — e.g. straight from
+        :func:`repro.sharding.partition_database` — which builds a
+        :class:`~repro.sharding.ShardRouter` whose members are made by
+        this same factory (``mode`` / ``max_workers`` apply per shard;
+        router policy keywords — ``partial_results``, ``deadline_ms``,
+        ``hedge_delay_seconds``, ``shard_retry_policy``,
+        ``breaker_cooldown_seconds`` — configure the router).
     ``mode``
         An :class:`~repro.query.options.ExecutionMode` or its string value
         (``"serial"`` / ``"thread"`` / ``"process"`` / ``"remote"``).
@@ -163,6 +230,34 @@ def make_service(
                 f"unknown serving mode {mode!r}; expected one of "
                 f"{[m.value for m in ExecutionMode]}"
             ) from None
+    if isinstance(db_or_url, (list, tuple)):
+        from repro.sharding import ShardRouter
+
+        router_kwargs = {
+            key: kwargs.pop(key) for key in _ROUTER_KEYS if key in kwargs
+        }
+        if "shard_retry_policy" in router_kwargs:
+            router_kwargs["retry_policy"] = router_kwargs.pop(
+                "shard_retry_policy"
+            )
+        shards = []
+        try:
+            for member in db_or_url:
+                if isinstance(member, QueryBackend):
+                    # Already a backend (a service, client, or nested
+                    # router): used as-is, lifecycle owned by the router.
+                    shards.append(member)
+                else:
+                    shards.append(
+                        make_service(
+                            member, mode, max_workers=max_workers, **kwargs
+                        )
+                    )
+        except Exception:
+            for shard in shards:
+                shard.close()
+            raise
+        return ShardRouter(shards, **router_kwargs)
     if isinstance(db_or_url, str):
         if mode not in (None, ExecutionMode.REMOTE):
             raise ConfigurationError(

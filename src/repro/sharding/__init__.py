@@ -1,0 +1,38 @@
+"""Horizontal sharding: hash partitioning plus a scatter-gather router.
+
+The placement function and the loader live in
+:mod:`repro.sharding.partitioner`; the fault-tolerant
+:class:`~repro.serving.QueryBackend` that fans queries out over the
+shards and merges the answers lives in :mod:`repro.sharding.router`.
+
+Typical in-process use::
+
+    from repro.sharding import ShardRouter, partition_database
+
+    shards = partition_database(db, 4)
+    router = ShardRouter(
+        [QueryService(s, max_workers=2) for s in shards],
+        partial_results="degraded",
+        deadline_ms=500,
+    )
+    result = router.execute("find Student superset hobbies {chess}")
+
+Networked topologies come from :func:`repro.serving.connect` with a
+``;``-separated shard spec (each shard may itself be a comma-separated
+replicated fleet) or from ``sigfile-repro route`` on the command line.
+"""
+
+from repro.sharding.partitioner import HashPartitioner, partition_database
+from repro.sharding.router import (
+    DEFAULT_SHARD_RETRY,
+    ShardRouter,
+    merge_results,
+)
+
+__all__ = [
+    "HashPartitioner",
+    "partition_database",
+    "ShardRouter",
+    "DEFAULT_SHARD_RETRY",
+    "merge_results",
+]

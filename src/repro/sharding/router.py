@@ -1,0 +1,693 @@
+"""Scatter-gather query routing over hash-partitioned shards.
+
+:class:`ShardRouter` is a :class:`~repro.serving.QueryBackend` whose
+"database" is N shard backends — in-process
+:class:`~repro.server.service.QueryService` instances, snapshot-replica
+process services, plain :class:`~repro.client.RemoteClient` connections,
+or whole replicated fleets behind a
+:class:`~repro.client.failover.FailoverClient`. Every query fans out to
+all shards (the set predicates are evaluated per object, so each shard
+answers for exactly its hash slice), and the router merges: rows in OID
+order, statistics counters summed, per-shard :class:`IOSnapshot` deltas
+added file by file. With healthy shards over a
+:func:`~repro.sharding.partition_database` split, the merged rows and the
+object-file page counts are bit-identical to the unsharded answers.
+
+The robustness policy — the reason this module exists — wraps every
+sub-request:
+
+* **Deadline budget.** One ``deadline_ms`` (from the options or the
+  router default) bounds the whole scatter-gather; each sub-request and
+  retry ships the *remaining* budget, and a shard that cannot answer in
+  time counts as missing rather than hanging the request.
+* **Bounded retries with jittered backoff**, per shard, for transport-
+  class failures only (a parse error is the same on every shard and
+  propagates immediately).
+* **Hedged reads** (optional): when a shard's response is slower than the
+  hedge delay — a fixed value, or ``"p99"`` of that shard's recent
+  latencies — a backup sub-request races it and the first answer wins.
+  Only the winner's rows and I/O are merged, so accounting never double
+  counts.
+* **Per-shard circuit breakers** with jittered cool-downs; an open
+  breaker fast-fails the shard in degraded mode (strict mode still
+  probes — it must either get a complete answer or fail loudly anyway).
+* **Partial-result policy.** ``partial_results="strict"`` raises a typed
+  :class:`~repro.errors.ShardUnavailableError` the moment a complete
+  answer is impossible; ``"degraded"`` returns the merged survivors with
+  ``partial=True`` and the missing-shard list — an exact *subset* of the
+  complete answer (disjoint slices can under-report, never invent rows).
+
+Traffic feeds the ``router.*`` metrics and, when tracing is requested,
+one ``router.execute`` span carrying per-shard outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ConnectionLostError,
+    DeadlineExceededError,
+    ShardUnavailableError,
+    TransientIOError,
+)
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import Tracer
+from repro.query.executor import QueryResult, QueryStatistics
+from repro.query.options import ExecutionOptions
+from repro.storage.faults import RetryPolicy
+
+__all__ = ["ShardRouter", "DEFAULT_SHARD_RETRY", "merge_results"]
+
+#: per-shard sub-request budget: quick retries with decorrelating jitter
+DEFAULT_SHARD_RETRY = RetryPolicy(
+    max_attempts=3, backoff_seconds=0.02, multiplier=2.0, jitter_seconds=0.02
+)
+
+#: failures worth retrying / routing around — transport and overload, not
+#: query semantics (a parse error is identical on every shard)
+_SHARD_FAULTS = (
+    ConnectionLostError,
+    ConnectionError,
+    socket.timeout,
+    OSError,
+    AdmissionError,
+    TransientIOError,
+)
+
+#: latency window per shard for the adaptive ("p99") hedge delay
+_LATENCY_WINDOW = 64
+
+
+class _ShardDown(Exception):
+    """Internal: one shard stayed unavailable through its retry budget."""
+
+    def __init__(self, cause: BaseException):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _ShardState:
+    """Router-side bookkeeping for one shard: breaker + latency window."""
+
+    __slots__ = (
+        "name",
+        "backend",
+        "consecutive_failures",
+        "open_until",
+        "latencies",
+        "requests",
+        "failures",
+        "lock",
+    )
+
+    def __init__(self, name: str, backend: Any):
+        self.name = name
+        self.backend = backend
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        self.latencies: List[float] = []
+        self.requests = 0
+        self.failures = 0
+        self.lock = threading.Lock()
+
+    def breaker_open(self, now: float) -> bool:
+        return now < self.open_until
+
+    def note_success(self, elapsed: float) -> None:
+        with self.lock:
+            self.consecutive_failures = 0
+            self.open_until = 0.0
+            self.latencies.append(elapsed)
+            if len(self.latencies) > _LATENCY_WINDOW:
+                del self.latencies[: -_LATENCY_WINDOW]
+
+    def note_failure(
+        self, threshold: int, cooldown_seconds: float, now: float
+    ) -> None:
+        with self.lock:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= threshold:
+                past = min(self.consecutive_failures - threshold, 6)
+                cooldown = min(cooldown_seconds * (2.0 ** past), 5.0)
+                # Jittered (±15%) for the same reason the failover client
+                # jitters: a fleet of routers must not re-probe a
+                # recovered shard on the same tick.
+                self.open_until = now + cooldown * random.uniform(0.85, 1.15)
+
+    def p99_seconds(self) -> Optional[float]:
+        with self.lock:
+            if len(self.latencies) < 8:
+                return None
+            ordered = sorted(self.latencies)
+            return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+
+def merge_results(
+    results: Sequence[QueryResult],
+    *,
+    missing: Sequence[str] = (),
+    elapsed_seconds: float = 0.0,
+) -> QueryResult:
+    """Union per-shard answers into one :class:`QueryResult`.
+
+    Rows sort by OID (disjoint hash slices — a plain merge, no dedup);
+    candidate / false-drop / result counters sum exactly because the
+    signature test is per object; I/O snapshots add file by file, which
+    keeps the object-file page counts equal to an unsharded run (each
+    qualified candidate costs one logical object-page read on whichever
+    side it lives).
+    """
+    rows = sorted(
+        (row for result in results for row in result.rows),
+        key=lambda row: row[0].to_int(),
+    )
+    io = None
+    for result in results:
+        snapshot = result.statistics.io
+        if snapshot is not None:
+            io = snapshot if io is None else io + snapshot
+    plans = sorted({result.statistics.plan for result in results})
+    plan = plans[0] if len(plans) == 1 else f"mixed({', '.join(plans)})"
+    statistics = QueryStatistics(
+        plan=plan,
+        candidates=sum(r.statistics.candidates for r in results),
+        false_drops=sum(r.statistics.false_drops for r in results),
+        results=sum(r.statistics.results for r in results),
+        io=io,
+        elapsed_seconds=elapsed_seconds,
+        detail={
+            "sharding": {
+                "merged": len(results),
+                "missing": list(missing),
+            }
+        },
+    )
+    return QueryResult(
+        rows=rows,
+        statistics=statistics,
+        partial=bool(missing),
+        missing_shards=list(missing),
+    )
+
+
+class ShardRouter:
+    """One ``QueryBackend`` over N shard backends (scatter-gather).
+
+    ``shards``
+        The shard backends, in shard-index order (index i serves hash
+        slice i). Anything with ``execute(text, options)`` /
+        ``execute_many`` / ``close`` qualifies: services, remote clients,
+        failover clients, nested routers.
+    ``partial_results``
+        ``"strict"`` (default) — a missing shard raises
+        :class:`~repro.errors.ShardUnavailableError`; ``"degraded"`` —
+        merged survivors come back flagged ``partial=True``.
+    ``deadline_ms``
+        Default per-request budget when the options carry none;
+        ``None`` means unbounded.
+    ``retry_policy``
+        Per-shard sub-request retries (transport-class failures only).
+    ``hedge_delay_seconds``
+        ``None`` disables hedging; a float hedges after that fixed delay;
+        ``"p99"`` adapts to each shard's recent latency (no hedging until
+        a window accumulates).
+    ``failure_threshold`` / ``breaker_cooldown_seconds``
+        Consecutive sub-request failures before a shard's breaker opens,
+        and the base cool-down (exponential per further failure, jittered,
+        capped at 5s).
+    ``owns_shards``
+        Close the shard backends with the router (default); pass
+        ``False`` when the caller manages their lifecycle.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        *,
+        partial_results: str = "strict",
+        deadline_ms: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        hedge_delay_seconds: Union[float, str, None] = None,
+        failure_threshold: int = 3,
+        breaker_cooldown_seconds: float = 0.5,
+        max_workers: Optional[int] = None,
+        owns_shards: bool = True,
+    ):
+        shards = list(shards)
+        if not shards:
+            raise ConfigurationError("ShardRouter needs at least one shard")
+        if partial_results not in ("strict", "degraded"):
+            raise ConfigurationError(
+                f"partial_results must be 'strict' or 'degraded', "
+                f"got {partial_results!r}"
+            )
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        if isinstance(hedge_delay_seconds, str) and hedge_delay_seconds != "p99":
+            raise ConfigurationError(
+                "hedge_delay_seconds must be a float, 'p99', or None, "
+                f"got {hedge_delay_seconds!r}"
+            )
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.partial_results = partial_results
+        self.deadline_ms = deadline_ms
+        self.retry_policy = retry_policy or DEFAULT_SHARD_RETRY
+        self.hedge_delay_seconds = hedge_delay_seconds
+        self.failure_threshold = failure_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self._owns_shards = owns_shards
+        self._shards = [
+            _ShardState(getattr(b, "url", None) or f"shard-{i}", b)
+            for i, b in enumerate(shards)
+        ]
+        self._closed = False
+        self._lock = threading.Lock()
+        # Fan-out threads (one per shard per in-flight request) and hedge
+        # backups run on separate pools so a hedging fan-out thread can
+        # never deadlock waiting for a slot its own request occupies.
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or 2 * len(shards),
+            thread_name_prefix="shard-router",
+        )
+        self._hedge_pool = ThreadPoolExecutor(
+            max_workers=2 * len(shards),
+            thread_name_prefix="shard-hedge",
+        )
+        self._submit_pool: Optional[ThreadPoolExecutor] = None
+        self._m_requests = REGISTRY.counter("router.requests")
+        self._m_sub_requests = REGISTRY.counter("router.sub_requests")
+        self._m_retries = REGISTRY.counter("router.retries")
+        self._m_shard_failures = REGISTRY.counter("router.shard_failures")
+        self._m_partial = REGISTRY.counter("router.partial_results")
+        self._m_hedges = REGISTRY.counter("router.hedges")
+        self._m_hedge_wins = REGISTRY.counter("router.hedge_wins")
+        self._m_breaker_skips = REGISTRY.counter("router.breaker_skips")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def url(self) -> str:
+        """The shard map as one ``;``-joined spec (``connect`` syntax)."""
+        return ";".join(state.name for state in self._shards)
+
+    def status(self) -> List[Dict[str, Any]]:
+        """One entry per shard: health, breaker, and latency summary."""
+        now = time.monotonic()
+        return [
+            {
+                "shard": index,
+                "name": state.name,
+                "requests": state.requests,
+                "failures": state.failures,
+                "consecutive_failures": state.consecutive_failures,
+                "breaker_open": state.breaker_open(now),
+                "p99_seconds": state.p99_seconds(),
+            }
+            for index, state in enumerate(self._shards)
+        ]
+
+    @property
+    def server_info(self) -> Dict[str, Any]:
+        """Shell-facing identity (mirrors ``RemoteClient.server_info``)."""
+        return {"server": "shard-router", "shards": self.shard_count}
+
+    def ping(self) -> Dict[str, Any]:
+        """Ping every shard that supports it; in-process shards are free."""
+        reachable = 0
+        for state in self._shards:
+            probe = getattr(state.backend, "ping", None)
+            if probe is None:
+                reachable += 1  # in-process backend: nothing to reach
+                continue
+            probe()  # surfaces the first unreachable shard's error
+            reachable += 1
+        return {"shards": self.shard_count, "reachable": reachable}
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def execute(
+        self, text: str, options: Optional[ExecutionOptions] = None
+    ) -> QueryResult:
+        """Scatter one query to every shard and merge the answers."""
+        return self._scatter(
+            lambda state, sub_options: state.backend.execute(text, sub_options),
+            options,
+            merge=merge_results,
+        )
+
+    def execute_many(
+        self,
+        queries: List[str],
+        options: Optional[ExecutionOptions] = None,
+    ) -> List[QueryResult]:
+        """Scatter an ordered batch — one round trip per shard."""
+        if not queries:
+            return []
+
+        def merge_batch(
+            per_shard: Sequence[List[QueryResult]],
+            *,
+            missing: Sequence[str] = (),
+            elapsed_seconds: float = 0.0,
+        ) -> List[QueryResult]:
+            return [
+                merge_results(
+                    [shard_results[i] for shard_results in per_shard],
+                    missing=missing,
+                    elapsed_seconds=elapsed_seconds,
+                )
+                for i in range(len(queries))
+            ]
+
+        return self._scatter(
+            lambda state, sub_options: state.backend.execute_many(
+                queries, sub_options
+            ),
+            options,
+            merge=merge_batch,
+        )
+
+    def submit(
+        self, text: str, options: Optional[ExecutionOptions] = None
+    ) -> "Future[QueryResult]":
+        """Enqueue one scatter-gather; resolves off-thread."""
+        with self._lock:
+            if self._closed:
+                raise ConnectionLostError("shard router is closed")
+            if self._submit_pool is None:
+                self._submit_pool = ThreadPoolExecutor(
+                    max_workers=max(2, len(self._shards)),
+                    thread_name_prefix="router-submit",
+                )
+            pool = self._submit_pool
+        return pool.submit(self.execute, text, options)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather core
+    # ------------------------------------------------------------------
+    def _scatter(
+        self,
+        call: Callable[[_ShardState, Optional[ExecutionOptions]], Any],
+        options: Optional[ExecutionOptions],
+        merge: Callable[..., Any],
+    ):
+        if self._closed:
+            raise ConnectionLostError("shard router is closed")
+        self._m_requests.inc()
+        opts = options or ExecutionOptions()
+        budget_ms = (
+            opts.deadline_ms if opts.deadline_ms is not None else self.deadline_ms
+        )
+        deadline_at = (
+            time.monotonic() + budget_ms / 1000.0
+            if budget_ms is not None
+            else None
+        )
+        tracer = (
+            (opts.tracer or Tracer()) if opts.tracing_requested else None
+        )
+        started = time.perf_counter()
+        strict = self.partial_results == "strict"
+        now = time.monotonic()
+        span = (
+            tracer.span(
+                "router.execute",
+                shards=len(self._shards),
+                mode=self.partial_results,
+            )
+            if tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            futures: Dict[int, "Future[Any]"] = {}
+            missing: Dict[int, BaseException] = {}
+            for index, state in enumerate(self._shards):
+                if not strict and state.breaker_open(now):
+                    # Degraded mode fast-fails a tripped shard; strict
+                    # mode probes anyway — it either completes the answer
+                    # (half-open success) or fails loudly, which it would
+                    # have done regardless.
+                    self._m_breaker_skips.inc()
+                    missing[index] = ConnectionLostError(
+                        f"circuit breaker open for {state.name}"
+                    )
+                    continue
+                futures[index] = self._pool.submit(
+                    self._call_shard, state, call, opts, deadline_at
+                )
+            answers: Dict[int, Any] = {}
+            for index, future in futures.items():
+                remaining = (
+                    None
+                    if deadline_at is None
+                    else max(0.0, deadline_at - time.monotonic())
+                )
+                try:
+                    answers[index] = future.result(timeout=remaining)
+                except FutureTimeoutError:
+                    # The worker thread keeps running (its own sub-request
+                    # deadline will cut it short); the gather moves on.
+                    future.cancel()
+                    missing[index] = DeadlineExceededError(
+                        f"shard {self._shards[index].name} missed the "
+                        f"{budget_ms:.0f}ms deadline"
+                    )
+                except _ShardDown as down:
+                    missing[index] = down.cause
+            elapsed = time.perf_counter() - started
+            missing_names = [self._shards[i].name for i in sorted(missing)]
+            if span is not None:
+                span.set("answered", sorted(answers))
+                span.set("missing", missing_names)
+                if missing:
+                    span.set(
+                        "missing_causes",
+                        {
+                            self._shards[i].name: type(exc).__name__
+                            for i, exc in missing.items()
+                        },
+                    )
+            if missing:
+                self._m_shard_failures.inc(len(missing))
+                if strict:
+                    causes = "; ".join(
+                        f"{self._shards[i].name}: {exc}"
+                        for i, exc in sorted(missing.items())
+                    )
+                    raise ShardUnavailableError(
+                        f"{len(missing)} of {len(self._shards)} shard(s) "
+                        f"unavailable ({causes})",
+                        missing_shards=missing_names,
+                    )
+                self._m_partial.inc()
+            merged = merge(
+                [answers[i] for i in sorted(answers)],
+                missing=missing_names,
+                elapsed_seconds=elapsed,
+            )
+            if span is not None and isinstance(merged, QueryResult):
+                merged.trace = span
+            return merged
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+
+    def _call_shard(
+        self,
+        state: _ShardState,
+        call: Callable[[_ShardState, Optional[ExecutionOptions]], Any],
+        options: ExecutionOptions,
+        deadline_at: Optional[float],
+    ):
+        """One shard's sub-request: retries, backoff, hedging, breaker.
+
+        Returns the backend's answer or raises :class:`_ShardDown` with
+        the last transport-class cause. Non-transport errors (parse,
+        planning, …) propagate as themselves — they are properties of the
+        query, not of this shard's health.
+        """
+        policy = self.retry_policy
+        last_fault: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._m_retries.inc()
+                delay = policy.sleep_for(attempt - 1)
+                if deadline_at is not None:
+                    delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+                if delay > 0:
+                    time.sleep(delay)
+            remaining = (
+                None
+                if deadline_at is None
+                else deadline_at - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise _ShardDown(
+                    last_fault
+                    or DeadlineExceededError(
+                        f"deadline budget exhausted before shard "
+                        f"{state.name} could be asked"
+                    )
+                )
+            sub_options = (
+                options
+                if remaining is None
+                else options.evolve(deadline_ms=remaining * 1000.0)
+            )
+            state.requests += 1
+            self._m_sub_requests.inc()
+            started = time.perf_counter()
+            try:
+                answer = self._one_attempt(state, call, sub_options, remaining)
+            except _SHARD_FAULTS as exc:
+                last_fault = exc
+                state.failures += 1
+                state.note_failure(
+                    self.failure_threshold,
+                    self.breaker_cooldown_seconds,
+                    time.monotonic(),
+                )
+                continue
+            except DeadlineExceededError as exc:
+                # The shard (or its server) rejected an exhausted budget;
+                # retrying cannot help — the budget only shrinks.
+                state.failures += 1
+                raise _ShardDown(exc)
+            state.note_success(time.perf_counter() - started)
+            return answer
+        assert last_fault is not None
+        raise _ShardDown(last_fault)
+
+    def _one_attempt(
+        self,
+        state: _ShardState,
+        call: Callable[[_ShardState, Optional[ExecutionOptions]], Any],
+        sub_options: ExecutionOptions,
+        remaining: Optional[float],
+    ):
+        """One sub-request, hedged when configured and worthwhile."""
+        hedge_after = self._hedge_delay(state, remaining)
+        if hedge_after is None:
+            return call(state, sub_options)
+        attempt_deadline = (
+            None if remaining is None else time.monotonic() + remaining
+        )
+        primary = self._hedge_pool.submit(call, state, sub_options)
+        try:
+            return primary.result(timeout=hedge_after)
+        except FutureTimeoutError:
+            pass  # slow: race a backup against it
+        self._m_hedges.inc()
+        backup = self._hedge_pool.submit(call, state, sub_options)
+        pending = {primary, backup}
+        last_fault: Optional[BaseException] = None
+        while pending:
+            timeout = (
+                None
+                if attempt_deadline is None
+                else max(0.0, attempt_deadline - time.monotonic())
+            )
+            done, not_done = futures_wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                self._abandon(not_done)
+                raise DeadlineExceededError(
+                    f"shard {state.name} missed its deadline "
+                    f"(hedged attempt included)"
+                )
+            for future in done:
+                pending.discard(future)
+                fault = future.exception()
+                if fault is None:
+                    if future is backup:
+                        self._m_hedge_wins.inc()
+                    self._abandon(pending)
+                    return future.result()
+                last_fault = fault
+        assert last_fault is not None
+        raise last_fault  # both racers failed; the retry loop classifies
+
+    @staticmethod
+    def _abandon(futures) -> None:
+        """Detach losing racers: swallow their eventual outcome.
+
+        A loser's result is never merged (no double-counted rows or I/O)
+        and its exception must not surface as an unretrieved-future
+        warning.
+        """
+        for future in futures:
+            future.cancel()
+            future.add_done_callback(lambda f: f.exception())
+
+    def _hedge_delay(
+        self, state: _ShardState, remaining: Optional[float]
+    ) -> Optional[float]:
+        delay = self.hedge_delay_seconds
+        if delay is None:
+            return None
+        if delay == "p99":
+            adaptive = state.p99_seconds()
+            if adaptive is None:
+                return None  # not enough history to hedge sensibly yet
+            delay = adaptive
+        if remaining is not None and delay >= remaining:
+            return None  # the hedge would fire after the deadline anyway
+        return float(delay)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the router down; closes owned shards. Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            submit_pool, self._submit_pool = self._submit_pool, None
+        if submit_pool is not None:
+            submit_pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True)
+        self._hedge_pool.shutdown(wait=True)
+        if self._owns_shards:
+            for state in self._shards:
+                close = getattr(state.backend, "close", None)
+                if close is not None:
+                    close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ShardRouter({len(self._shards)} shard(s), "
+            f"{self.partial_results}, {state})"
+        )

@@ -362,11 +362,15 @@ def is_plain_select(text: str) -> bool:
 
 def format_query_result(result, max_rows: int = 20, trace: bool = False) -> str:
     """Render one :class:`~repro.query.executor.QueryResult` for the shell."""
-    lines = [
+    summary = (
         f"{len(result)} row(s); plan: {result.statistics.plan}; "
         f"pages: {result.statistics.page_accesses}; "
         f"false drops: {result.statistics.false_drops}"
-    ]
+    )
+    if getattr(result, "partial", False):
+        missing = ", ".join(getattr(result, "missing_shards", ()) or ())
+        summary += f" — PARTIAL (missing shards: {missing})"
+    lines = [summary]
     for oid, values in result.rows[:max_rows]:
         rendered = ", ".join(
             f"{name}={_render(value)}" for name, value in sorted(values.items())

@@ -14,6 +14,9 @@ meta-commands::
                           degraded-facility listing, replication role
     \\replicas             replication topology: this session's role, or —
                           when \\connect'ed — the fleet's roles and lag
+    \\shards               sharding topology: per-shard health when
+                          \\connect'ed to a shard map ("a;b;c") or router,
+                          or the server's own shard-of announcement
     \\rebuild Class.attr [facility]
                           reconstruct a facility from the object file
     \\workers N            serve select queries through an N-worker
@@ -124,6 +127,48 @@ class Shell:
             except (ReproError, OSError) as exc:
                 return f"error: {exc}"
         return self._replication_line()
+
+    def _shards_report(self) -> str:
+        """Topology for ``\\shards``: router health or PONG announcement."""
+        if self.remote is None:
+            return "not connected (use \\connect with a ';' shard map)"
+        if hasattr(self.remote, "shard_count"):  # ShardRouter
+            lines = []
+            for entry in self.remote.status():
+                p99 = entry["p99_seconds"]
+                lines.append(
+                    "shard {shard} {name}: {health}, "
+                    "{requests} request(s), {failures} failure(s), "
+                    "p99 {p99}".format(
+                        shard=entry["shard"],
+                        name=entry["name"],
+                        health=(
+                            "breaker open"
+                            if entry["breaker_open"]
+                            else "healthy"
+                        ),
+                        requests=entry["requests"],
+                        failures=entry["failures"],
+                        p99=f"{p99 * 1000:.1f} ms" if p99 else "n/a",
+                    )
+                )
+            return "\n".join(lines)
+        if hasattr(self.remote, "_endpoints"):  # FailoverClient
+            return (
+                f"{self.remote.url}: replicated fleet, not a shard map "
+                "(see \\replicas)"
+            )
+        try:
+            status = self.remote.status()  # PONG carries the announcement
+        except (ReproError, OSError) as exc:
+            return f"error: {exc}"
+        shard = status.get("shard")
+        if shard:
+            return (
+                f"{self.remote.url}: shard {shard['index']} of "
+                f"{shard['count']} (hash-partitioned)"
+            )
+        return f"{self.remote.url}: not sharded"
 
     def _disconnect(self) -> None:
         """Close and drop the remote connection, if any."""
@@ -280,6 +325,8 @@ class Shell:
             return rendered
         if command == "replicas":
             return self._replicas_report()
+        if command == "shards":
+            return self._shards_report()
         if command == "rebuild":
             if not 1 <= len(args) <= 2 or "." not in args[0]:
                 return "usage: \\rebuild Class.attribute [facility]"

@@ -23,7 +23,12 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.errors import ReproError, SimulatedCrashError, WalError
+from repro.errors import (
+    ObjectStoreError,
+    ReproError,
+    SimulatedCrashError,
+    WalError,
+)
 from repro.objects.oid import OID
 from repro.objects.schema import Attribute, AttributeKind, ClassSchema
 from repro.objects.serde import decode_object
@@ -147,13 +152,18 @@ def _apply_insert(db: "Database", fields) -> None:
     _, class_name, oid_int, blob = fields
     values = decode_object(blob)
     # Object first: if a facility needs rebuilding, the rebuild scans the
-    # object file and must see this object.
-    oid = db.objects.insert(class_name, values)
-    if oid.to_int() != oid_int:
+    # object file and must see this object. The record names its OID, and
+    # the explicit-OID path honors it — serial gaps are legitimate on a
+    # shard, whose log holds only its hash slice of each class. A
+    # checkpoint/log disagreement surfaces as "already live" here.
+    oid = OID.from_int(oid_int)
+    try:
+        db.objects.insert_with_oid(class_name, oid, values)
+    except ObjectStoreError as exc:
         raise WalError(
-            f"replayed insert allocated {oid} but the log recorded "
-            f"{OID.from_int(oid_int)}; the checkpoint and log disagree"
-        )
+            f"replayed insert of {oid} failed ({exc}); "
+            f"the checkpoint and log disagree"
+        ) from exc
     _maintain_facilities(db, class_name, oid, old_values=None, new_values=values)
 
 

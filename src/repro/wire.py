@@ -37,6 +37,7 @@ from repro.errors import (
     ProtocolError,
     RemoteError,
     ReproError,
+    ShardUnavailableError,
     StaleSubscriberError,
     WalCorruptError,
     error_class_for_code,
@@ -280,7 +281,14 @@ def _decode_io(payload: Optional[Dict[str, Any]]) -> Optional[IOSnapshot]:
 def encode_result(result: QueryResult) -> Dict[str, Any]:
     """Serialize one :class:`QueryResult` (the span tree stays behind)."""
     stats = result.statistics
+    payload: Dict[str, Any] = {}
+    if result.partial:
+        # Only degraded scatter-gather answers carry these; omitting them
+        # otherwise keeps complete results byte-stable across versions.
+        payload["partial"] = True
+        payload["missing_shards"] = list(result.missing_shards)
     return {
+        **payload,
         "rows": [
             [oid.to_int(), encode_value(values)] for oid, values in result.rows
         ],
@@ -311,7 +319,13 @@ def decode_result(payload: Dict[str, Any]) -> QueryResult:
         (OID.from_int(oid_int), decode_value(values))
         for oid_int, values in payload.get("rows", [])
     ]
-    return QueryResult(rows=rows, statistics=statistics, trace=None)
+    return QueryResult(
+        rows=rows,
+        statistics=statistics,
+        trace=None,
+        partial=bool(payload.get("partial", False)),
+        missing_shards=[str(s) for s in payload.get("missing_shards", [])],
+    )
 
 
 # ----------------------------------------------------------------------
@@ -324,6 +338,8 @@ def encode_error(exc: BaseException) -> Dict[str, Any]:
         details["lsn"] = exc.lsn
     if isinstance(exc, StaleSubscriberError):
         details["base_lsn"] = exc.base_lsn
+    if isinstance(exc, ShardUnavailableError):
+        details["missing_shards"] = list(exc.missing_shards)
     if isinstance(exc, RemoteError):
         # Re-relaying (e.g. through a proxy): keep the original code.
         return {
@@ -346,6 +362,10 @@ def decode_error(payload: Dict[str, Any]) -> ReproError:
         return WalCorruptError(message, lsn=details.get("lsn", -1))
     if cls is StaleSubscriberError:
         return StaleSubscriberError(message, base_lsn=details.get("base_lsn", -1))
+    if cls is ShardUnavailableError:
+        return ShardUnavailableError(
+            message, missing_shards=details.get("missing_shards")
+        )
     try:
         return cls(message)
     except TypeError:

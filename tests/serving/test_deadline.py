@@ -1,0 +1,129 @@
+"""Deadline budgets and bounded drain at the serving layer.
+
+``ExecutionOptions.deadline_ms`` is a *remaining duration*, re-anchored at
+each hop — an already-expired budget is rejected with the stable
+``deadline-exceeded`` error code before any work is admitted, and a
+server shutdown waits for in-flight work only up to ``drain_timeout``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.obs.metrics import REGISTRY
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.query.options import ExecutionOptions
+from repro.server.net import TcpQueryServer
+from repro.server.service import QueryService
+from repro.serving import connect
+from tests.conftest import populate_students
+
+QUERY = 'select Student where hobbies has-subset ("Chess")'
+
+
+def _build_db() -> Database:
+    db = Database(page_size=4096, pool_capacity=0)
+    db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    db.create_bssf_index("Student", "hobbies", 128, 2)
+    populate_students(db, count=30)
+    return db
+
+
+class TestOptionsWire:
+    def test_deadline_round_trips_through_dicts(self):
+        options = ExecutionOptions(deadline_ms=1500.0)
+        assert ExecutionOptions.from_dict(options.to_dict()).deadline_ms == 1500.0
+
+    def test_absent_deadline_stays_none(self):
+        options = ExecutionOptions()
+        assert ExecutionOptions.from_dict(options.to_dict()).deadline_ms is None
+
+
+class TestServiceDeadline:
+    def test_expired_budget_rejected_before_admission(self):
+        before = REGISTRY.counter("server.deadline_rejections").value
+        with QueryService(_build_db(), max_workers=2) as service:
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                service.execute(QUERY, ExecutionOptions(deadline_ms=0))
+        assert excinfo.value.code == "deadline-exceeded"
+        assert REGISTRY.counter("server.deadline_rejections").value == before + 1
+
+    def test_generous_budget_executes(self):
+        with QueryService(_build_db(), max_workers=2) as service:
+            result = service.execute(QUERY, ExecutionOptions(deadline_ms=30_000))
+            assert result.statistics.results == len(result.rows)
+
+
+class TestServerDeadline:
+    def test_expired_budget_rejected_at_the_edge(self):
+        before = REGISTRY.counter("server.net.deadline_rejections").value
+        with TcpQueryServer(_build_db(), max_workers=2) as server:
+            client = connect(server.url)
+            try:
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    client.execute(QUERY, ExecutionOptions(deadline_ms=-10))
+                assert excinfo.value.code == "deadline-exceeded"
+            finally:
+                client.close()
+        assert (
+            REGISTRY.counter("server.net.deadline_rejections").value
+            == before + 1
+        )
+
+
+class _WedgedService:
+    """A backend whose one query blocks until released — drain-timeout bait."""
+
+    database = None
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def execute(self, text, options=None):
+        self.entered.set()
+        self.release.wait(timeout=10)
+        raise DeadlineExceededError("wedged request abandoned")
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.release.set()
+
+
+class TestBoundedDrain:
+    def test_drain_gives_up_after_the_timeout(self):
+        service = _WedgedService()
+        before = REGISTRY.counter("server.net.drain_timeouts").value
+        server = TcpQueryServer(service=service).start()
+        client = connect(server.url)
+        try:
+            worker = threading.Thread(
+                target=lambda: _swallow(client.execute, QUERY), daemon=True
+            )
+            worker.start()
+            assert service.entered.wait(timeout=10)
+            server.stop(drain=True, timeout=1.0, drain_timeout=0.3)
+        finally:
+            service.release.set()
+            client.close()
+        assert REGISTRY.counter("server.net.drain_timeouts").value == before + 1
+
+    def test_clean_drain_does_not_count_a_timeout(self):
+        before = REGISTRY.counter("server.net.drain_timeouts").value
+        with TcpQueryServer(_build_db(), max_workers=2) as server:
+            client = connect(server.url)
+            try:
+                client.execute(QUERY)
+            finally:
+                client.close()
+        assert REGISTRY.counter("server.net.drain_timeouts").value == before
+
+
+def _swallow(fn, *args):
+    try:
+        fn(*args)
+    except Exception:
+        pass

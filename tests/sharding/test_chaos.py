@@ -1,0 +1,230 @@
+"""Chaos drills: a live TCP shard fleet with a shard killed mid-flight.
+
+The acceptance bar from the sharding work:
+
+* healthy fleet — merged rows bit-identical to the unsharded answer, and
+  the aggregated object-file page counts equal too;
+* one shard killed — strict mode raises a typed
+  ``ShardUnavailableError`` naming the lost shard; degraded mode returns
+  ``partial=True`` answers that are an exact *subset* of the complete
+  ones; nothing crashes, nothing hangs, and every sub-request stays
+  inside the deadline budget.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+import pytest
+
+from repro.errors import ShardUnavailableError
+from repro.objects.database import Database
+from repro.objects.schema import ClassSchema
+from repro.query.executor import QueryExecutor
+from repro.query.options import ExecutionOptions
+from repro.server.net import TcpQueryServer
+from repro.serving import connect
+from repro.sharding import ShardRouter, partition_database
+from repro.storage.faults import RetryPolicy
+from repro.wire import encode_error, decode_error
+from tests.conftest import populate_students
+
+QUERIES = [
+    'select Student where hobbies has-subset ("Chess")',
+    'select Student where hobbies overlaps ("Golf", "Tennis")',
+]
+
+FAST_RETRY = RetryPolicy(
+    max_attempts=2, backoff_seconds=0.01, multiplier=1.0, jitter_seconds=0.0
+)
+FAST_CLIENT_RETRY = RetryPolicy(
+    max_attempts=2, backoff_seconds=0.01, multiplier=1.0, jitter_seconds=0.0
+)
+
+
+def _build_db(count: int = 90) -> Database:
+    db = Database(page_size=4096, pool_capacity=0)
+    db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    db.create_bssf_index("Student", "hobbies", 128, 2)
+    populate_students(db, count=count)
+    return db
+
+
+@pytest.fixture()
+def fleet():
+    """Golden db, three TCP shard servers, and their connect spec."""
+    db = _build_db()
+    shards = partition_database(db, 3)
+    with contextlib.ExitStack() as stack:
+        servers = [
+            stack.enter_context(
+                TcpQueryServer(
+                    shard, max_workers=2, shard_info={"index": i, "count": 3}
+                )
+            )
+            for i, shard in enumerate(shards)
+        ]
+        yield db, servers, ";".join(server.url for server in servers)
+
+
+def _connect(spec: str, **kwargs) -> ShardRouter:
+    return connect(
+        spec,
+        shard_retry_policy=FAST_RETRY,
+        retry_policy=FAST_CLIENT_RETRY,
+        connect_timeout_seconds=1.0,
+        **kwargs,
+    )
+
+
+class TestHealthyFleet:
+    def test_bit_identical_answers_and_page_counts(self, fleet):
+        db, _servers, spec = fleet
+        executor = QueryExecutor(db)
+        with _connect(spec) as router:
+            for text in QUERIES:
+                merged = router.execute(text)
+                golden = executor.execute_text(text)
+                assert merged.oids() == golden.oids()
+                assert not merged.partial
+                assert merged.statistics.candidates == golden.statistics.candidates
+                assert merged.statistics.io.for_file(
+                    "objects:Student"
+                ) == golden.statistics.io.for_file("objects:Student")
+
+    def test_pong_announces_the_shard_map(self, fleet):
+        _db, servers, _spec = fleet
+        client = connect(servers[1].url)
+        try:
+            status = client.status()
+            assert status["shard"] == {"index": 1, "count": 3}
+        finally:
+            client.close()
+
+
+class TestShardKilled:
+    def test_strict_mode_raises_typed_error(self, fleet):
+        _db, servers, spec = fleet
+        with _connect(spec, deadline_ms=5_000) as router:
+            router.execute(QUERIES[0])  # warm and healthy first
+            lost = servers[1]
+            lost.stop(drain=False)
+            started = time.monotonic()
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                router.execute(QUERIES[0])
+            assert time.monotonic() - started < 10.0  # bounded, no hang
+        assert excinfo.value.missing_shards == [lost.url]
+        assert excinfo.value.code == "shard-unavailable"
+        # The typed error survives a wire round trip (a routed server
+        # forwards it to its own clients).
+        revived = decode_error(encode_error(excinfo.value))
+        assert isinstance(revived, ShardUnavailableError)
+        assert revived.missing_shards == [lost.url]
+
+    def test_degraded_mode_returns_exact_subset(self, fleet):
+        db, servers, spec = fleet
+        executor = QueryExecutor(db)
+        with _connect(
+            spec, partial_results="degraded", deadline_ms=5_000
+        ) as router:
+            healthy = {
+                text: router.execute(text).oids() for text in QUERIES
+            }
+            lost = servers[2]
+            lost.stop(drain=False)
+            for text in QUERIES:
+                golden = set(
+                    oid.to_int() for oid in executor.execute_text(text).oids()
+                )
+                assert {o.to_int() for o in healthy[text]} == golden
+                degraded = router.execute(text)
+                assert degraded.partial
+                assert degraded.missing_shards == [lost.url]
+                answered = {oid.to_int() for oid in degraded.oids()}
+                # Monotone under-reporting: a subset, never an invention.
+                assert answered <= golden
+                assert answered  # the two surviving slices still answer
+
+    def test_killed_shard_recovers_after_restart(self, fleet):
+        db, servers, spec = fleet
+        shard_db = servers[0].service.database
+        with _connect(
+            spec, partial_results="degraded", deadline_ms=5_000
+        ) as router:
+            golden = router.execute(QUERIES[0]).oids()
+            host, port = servers[0].address
+            servers[0].stop(drain=False)
+            assert router.execute(QUERIES[0]).partial
+            replacement = TcpQueryServer(
+                shard_db, host=host, port=port, max_workers=2
+            )
+            try:
+                replacement.start()
+            except OSError:
+                pytest.skip("shard port was reclaimed by the OS")
+            try:
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    merged = router.execute(QUERIES[0])
+                    if not merged.partial:
+                        break
+                    time.sleep(0.05)
+                assert not merged.partial
+                assert merged.oids() == golden
+            finally:
+                replacement.stop(drain=False)
+
+    def test_every_subrequest_is_deadline_bounded(self, fleet):
+        _db, servers, spec = fleet
+        with _connect(
+            spec, partial_results="degraded", deadline_ms=800
+        ) as router:
+            servers[0].stop(drain=False)
+            started = time.monotonic()
+            merged = router.execute(QUERIES[0])
+            elapsed = time.monotonic() - started
+        assert merged.partial
+        # Budget 800ms; allow scheduling slack but nothing unbounded.
+        assert elapsed < 5.0
+
+    def test_batches_degrade_too(self, fleet):
+        db, servers, spec = fleet
+        executor = QueryExecutor(db)
+        with _connect(
+            spec, partial_results="degraded", deadline_ms=5_000
+        ) as router:
+            servers[1].stop(drain=False)
+            results = router.execute_many(QUERIES)
+            assert len(results) == len(QUERIES)
+            for text, merged in zip(QUERIES, results):
+                assert merged.partial
+                golden = {o.to_int() for o in executor.execute_text(text).oids()}
+                assert {o.to_int() for o in merged.oids()} <= golden
+
+
+class TestDeadlineOverTheWire:
+    def test_expired_budget_is_rejected_with_the_stable_code(self, fleet):
+        from repro.errors import DeadlineExceededError
+
+        _db, servers, _spec = fleet
+        client = connect(servers[0].url)
+        try:
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                client.execute(
+                    QUERIES[0], ExecutionOptions(deadline_ms=-1.0)
+                )
+            assert excinfo.value.code == "deadline-exceeded"
+        finally:
+            client.close()
+
+    def test_live_budget_executes_normally(self, fleet):
+        db, servers, _spec = fleet
+        client = connect(servers[0].url)
+        try:
+            result = client.execute(
+                QUERIES[0], ExecutionOptions(deadline_ms=30_000)
+            )
+            assert result.statistics.results == len(result.rows)
+        finally:
+            client.close()

@@ -99,6 +99,51 @@ class TestShell:
         )
 
 
+class TestShardsMeta:
+    def test_not_connected(self):
+        assert "not connected" in Shell().run_line("\\shards")
+
+    def test_reports_router_health(self):
+        from repro.objects.database import Database
+        from repro.objects.schema import ClassSchema
+        from repro.serving import make_service
+        from repro.sharding import partition_database
+
+        db = Database(page_size=4096, pool_capacity=0)
+        db.define_class(
+            ClassSchema.build("Student", name="scalar", hobbies="set")
+        )
+        db.insert("Student", {"name": "Jeff", "hobbies": {"Baseball"}})
+        shell = Shell()
+        shell.remote = make_service(partition_database(db, 2), "serial")
+        try:
+            report = shell.run_line("\\shards")
+        finally:
+            shell._disconnect()
+        assert "shard 0" in report
+        assert "shard 1" in report
+        assert "healthy" in report
+
+    def test_partial_answers_are_flagged(self):
+        from repro.objects.oid import OID
+        from repro.query.executor import QueryResult, QueryStatistics
+        from repro.shell.ddl import format_query_result
+
+        result = QueryResult(
+            rows=[(OID(1, 0), {"name": "Jeff"})],
+            statistics=QueryStatistics(plan="index(...)"),
+            partial=True,
+            missing_shards=["sigfile://127.0.0.1:7842"],
+        )
+        rendered = format_query_result(result)
+        assert "PARTIAL" in rendered
+        assert "sigfile://127.0.0.1:7842" in rendered
+        complete = QueryResult(
+            rows=[], statistics=QueryStatistics(plan="scan")
+        )
+        assert "PARTIAL" not in format_query_result(complete)
+
+
 class TestInteractiveLoop:
     def test_loop_over_streams(self):
         stdin = io.StringIO(

@@ -99,6 +99,20 @@ def render(report: dict) -> str:
             f"{process['sequential_ms']:.2f} ms → {process['process_ms']:.2f} ms "
             f"({process['process_speedup']:.2f}x){verdict}"
         )
+    sharded = report.get("sharded")
+    if sharded:
+        floor = thresholds.get("sharded")
+        verdict = ""
+        if floor is not None:
+            state = "PASS" if sharded["sharded_speedup"] >= floor else "FAIL"
+            verdict = f" — {state} (≥{floor:g}x)"
+        lines.append("")
+        lines.append(
+            f"Sharded scatter-gather ({int(sharded['shards'])} shards, "
+            f"{int(sharded['queries'])} queries): "
+            f"{sharded['sequential_ms']:.2f} ms → {sharded['sharded_ms']:.2f} ms "
+            f"({sharded['sharded_speedup']:.2f}x){verdict}"
+        )
     wal = report.get("wal_overhead")
     if wal:
         lines.append("")

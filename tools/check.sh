@@ -85,6 +85,14 @@ echo "== replication smoke (loopback failover drill) =="
 # FailoverClient must ride the failover with zero transport errors.
 python tools/replication_smoke.py
 
+echo "== sharding smoke (loopback chaos drill) =="
+# Three hash-partitioned shard servers behind a ShardRouter: healthy
+# merges must be bit-identical to unsharded answers (rows + object-file
+# page counts), a hard shard kill must raise the typed strict-mode error
+# and keep degraded mode answering exact subsets, and the restarted
+# shard must rejoin within the breaker cool-down.
+python tools/sharding_smoke.py
+
 echo "== network serving smoke (loopback TCP) =="
 # Sustained-QPS floor and p99 latency ceiling for the wire protocol +
 # RemoteClient pool against a loopback TcpQueryServer (smoke gates in

@@ -1,0 +1,201 @@
+"""Sharding smoke: loopback scatter-gather chaos drill.
+
+Stands up three hash-partitioned shard servers over loopback, routes a
+query mix through a ``ShardRouter`` built from the ``connect`` shard-map
+syntax, kills one shard mid-run without draining, and asserts the whole
+partial-result contract:
+
+1. **Healthy equivalence** — merged rows are bit-identical to the
+   unsharded answers and the aggregated object-file page counts match
+   (one logical object-page read per candidate, wherever it lives);
+2. **Strict taxonomy** — with the shard dead, strict mode raises a typed
+   ``ShardUnavailableError`` naming exactly the lost shard, within the
+   deadline budget, and the error survives a wire round trip;
+3. **Degraded monotone under-reporting** — degraded mode keeps answering
+   with ``partial=True`` results that are exact *subsets* of the
+   complete answers (never an invented row), and recovers to complete
+   answers when the shard comes back.
+
+Exit status 0 on success; any assertion prints and exits 1. Runs in a
+few seconds; CI calls it from tools/check.sh.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.errors import ShardUnavailableError  # noqa: E402
+from repro.objects.database import Database  # noqa: E402
+from repro.objects.schema import ClassSchema  # noqa: E402
+from repro.query.executor import QueryExecutor  # noqa: E402
+from repro.server.net import TcpQueryServer  # noqa: E402
+from repro.serving import connect  # noqa: E402
+from repro.sharding import partition_database  # noqa: E402
+from repro.storage.faults import RetryPolicy  # noqa: E402
+from repro.wire import decode_error, encode_error  # noqa: E402
+
+SEED = int(os.environ.get("SHARDING_SMOKE_SEED", "1993"))
+SHARDS = 3
+OBJECTS = 240
+HOBBIES = [
+    "Baseball", "Fishing", "Tennis", "Football", "Golf", "Chess",
+    "Photography", "Climbing", "Cycling", "Painting", "Cooking", "Sailing",
+]
+QUERIES = [
+    'select Student where hobbies has-subset ("Chess")',
+    'select Student where hobbies has-subset ("Golf", "Tennis")',
+    'select Student where hobbies overlaps ("Sailing", "Cooking")',
+]
+FAST_RETRY = RetryPolicy(
+    max_attempts=2, backoff_seconds=0.02, multiplier=1.0, jitter_seconds=0.0
+)
+
+
+def build_source(rng: random.Random) -> Database:
+    db = Database(page_size=4096, pool_capacity=0)
+    db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    db.create_bssf_index("Student", "hobbies", signature_bits=128, bits_per_element=2)
+    for i in range(OBJECTS):
+        db.insert(
+            "Student",
+            {
+                "name": f"s{i:04d}",
+                "hobbies": set(rng.sample(HOBBIES, rng.randint(1, 4))),
+            },
+        )
+    return db
+
+
+def main() -> int:
+    rng = random.Random(SEED)
+    failures: list = []
+    db = build_source(rng)
+    executor = QueryExecutor(db)
+    golden = {text: executor.execute_text(text) for text in QUERIES}
+
+    shards = partition_database(db, SHARDS)
+    servers = [
+        TcpQueryServer(
+            shard, max_workers=2, shard_info={"index": i, "count": SHARDS}
+        ).start()
+        for i, shard in enumerate(shards)
+    ]
+    spec = ";".join(server.url for server in servers)
+    strict = connect(
+        spec, deadline_ms=5_000, shard_retry_policy=FAST_RETRY,
+        retry_policy=FAST_RETRY, connect_timeout_seconds=1.0,
+    )
+    degraded = connect(
+        spec, partial_results="degraded", deadline_ms=5_000,
+        shard_retry_policy=FAST_RETRY, retry_policy=FAST_RETRY,
+        connect_timeout_seconds=1.0,
+    )
+
+    try:
+        # -- healthy fleet: bit-identical answers and page counts ----------
+        for text in QUERIES:
+            merged = strict.execute(text)
+            reference = golden[text]
+            if merged.oids() != reference.oids():
+                failures.append(f"healthy rows diverge for {text!r}")
+            if merged.partial:
+                failures.append(f"healthy answer flagged partial for {text!r}")
+            if merged.statistics.candidates != reference.statistics.candidates:
+                failures.append(f"candidate counts diverge for {text!r}")
+            mine = merged.statistics.io.for_file("objects:Student")
+            theirs = reference.statistics.io.for_file("objects:Student")
+            if mine != theirs:
+                failures.append(
+                    f"object-file page counts diverge for {text!r}: "
+                    f"{mine} vs {theirs}"
+                )
+
+        # -- chaos: kill one shard without draining ------------------------
+        lost = servers[1]
+        lost_db = lost.service.database
+        host, port = lost.address
+        lost.stop(drain=False)
+
+        started = time.monotonic()
+        try:
+            strict.execute(QUERIES[0])
+            failures.append("strict mode answered with a dead shard")
+        except ShardUnavailableError as exc:
+            if exc.missing_shards != [lost.url]:
+                failures.append(
+                    f"strict error names {exc.missing_shards}, "
+                    f"expected [{lost.url}]"
+                )
+            if exc.code != "shard-unavailable":
+                failures.append(f"unexpected error code {exc.code!r}")
+            revived = decode_error(encode_error(exc))
+            if not isinstance(revived, ShardUnavailableError):
+                failures.append("shard-unavailable error lost over the wire")
+        if time.monotonic() - started > 10.0:
+            failures.append("strict failure was not deadline-bounded")
+
+        for text in QUERIES:
+            partial = degraded.execute(text)
+            if not partial.partial:
+                failures.append(f"degraded answer not flagged for {text!r}")
+            if partial.missing_shards != [lost.url]:
+                failures.append(f"degraded missing list wrong for {text!r}")
+            answered = {oid.to_int() for oid in partial.oids()}
+            complete = {oid.to_int() for oid in golden[text].oids()}
+            if not answered <= complete:
+                failures.append(f"degraded answer invented rows for {text!r}")
+
+        # -- recovery: bring the shard back, answers complete again --------
+        replacement = TcpQueryServer(
+            lost_db, host=host, port=port, max_workers=2
+        )
+        try:
+            replacement.start()
+        except OSError:
+            replacement = None  # port reclaimed; recovery leg skipped
+            print("note: shard port reclaimed, skipping the recovery leg")
+        if replacement is not None:
+            servers.append(replacement)
+            deadline = time.monotonic() + 10.0
+            merged = None
+            while time.monotonic() < deadline:
+                merged = degraded.execute(QUERIES[0])
+                if not merged.partial:
+                    break
+                time.sleep(0.05)
+            if merged is None or merged.partial:
+                failures.append("router never recovered the restarted shard")
+            elif merged.oids() != golden[QUERIES[0]].oids():
+                failures.append("post-recovery answer diverges from golden")
+    except Exception as exc:  # noqa: BLE001 — smoke must report, not die
+        import traceback
+
+        traceback.print_exc()
+        failures.append(f"unexpected {type(exc).__name__}: {exc}")
+    finally:
+        strict.close()
+        degraded.close()
+        for server in servers:
+            server.stop(drain=False)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "sharding smoke OK: healthy merges bit-identical, strict mode "
+        "fails loudly and typed, degraded mode under-reports exact "
+        f"subsets and recovers (seed {SEED})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
