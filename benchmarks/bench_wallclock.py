@@ -124,6 +124,8 @@ FULL_THRESHOLDS = {
     "batched": 2.0,
     "process": 1.5,
     "sharded": 1.5,
+    "lsm_update": 1.5,
+    "lsm_wal_overhead": 1.1,
     "tracer_overhead": 1.15,
 }
 SMOKE_THRESHOLDS = {
@@ -135,6 +137,8 @@ SMOKE_THRESHOLDS = {
     "batched": 1.3,
     "process": 1.1,
     "sharded": 1.2,
+    "lsm_update": 1.2,
+    "lsm_wal_overhead": 1.35,
     "tracer_overhead": 1.4,
 }
 
@@ -238,7 +242,7 @@ def measure_wal_overhead(config):
     from repro.objects.oid import OID as ObjOID
     from repro.objects.schema import ClassSchema
 
-    num_objects = min(256, config["num_objects"])
+    num_objects = min(512, config["num_objects"])
     gen = SetWorkloadGenerator(
         WorkloadSpec(
             num_objects=num_objects * 2,
@@ -287,6 +291,118 @@ def measure_wal_overhead(config):
         "off_ms": timings["off"] * 1000,
         "on_ms": timings["on"] * 1000,
         "overhead_ratio": timings["on"] / timings["off"],
+        "updates_per_sweep": float(num_objects),
+    }
+
+
+def measure_lsm(config):
+    """Update-sweep throughput of the LSM write path vs in-place facilities.
+
+    Three identical databases run the same update sweep as
+    :func:`measure_wal_overhead`:
+
+    * in-place SSF under ``durability="wal"`` (per-record fsync) — the
+      pre-LSM baseline the ROADMAP measured at ~1.29x;
+    * LSM SSF under ``durability="lsm"`` — memtable absorbs the churn,
+      the log group-commits fsyncs;
+    * LSM SSF with no WAL at all — isolates what durability costs on top
+      of the append-only write path.
+
+    ``update_speedup`` (in-place-WAL time / LSM-WAL time) is a gated
+    floor; ``wal_overhead_ratio`` (LSM-WAL / LSM-no-WAL) is a gated
+    ceiling — the whole point of the memtable is that crash safety stops
+    taxing the update path.
+    """
+    import tempfile
+
+    from repro.objects.database import Database
+    from repro.objects.oid import OID as ObjOID
+    from repro.objects.schema import ClassSchema
+
+    num_objects = min(512, config["num_objects"])
+    gen = SetWorkloadGenerator(
+        WorkloadSpec(
+            num_objects=num_objects * 2,
+            domain_cardinality=config["domain_cardinality"],
+            target_cardinality=config["target_cardinality"],
+            seed=config["target_seed"],
+        )
+    )
+    sets = list(gen.target_sets())
+    initial, replacement = sets[:num_objects], sets[num_objects:]
+
+    def build_db(wal_dir=None, lsm=False):
+        kwargs = dict(page_size=config["page_size"], pool_capacity=0)
+        if wal_dir is not None:
+            kwargs.update(wal_dir=wal_dir, durability="lsm" if lsm else "wal")
+        db = Database(**kwargs)
+        db.define_class(ClassSchema.build("Item", items="set"))
+        db.create_ssf_index(
+            "Item",
+            "items",
+            signature_bits=config["signature_bits"],
+            bits_per_element=config["bits_per_element"],
+            seed=config["target_seed"],
+            lsm=lsm,
+        )
+        for elements in initial:
+            db.insert("Item", {"items": set(elements)})
+        return db
+
+    def update_sweep(db, flip):
+        source = replacement if flip[0] else initial
+        flip[0] = not flip[0]
+        for i, elements in enumerate(source):
+            db.update(ObjOID(1, i), {"items": set(elements)})
+
+    # The gated ratio compares two fast sweeps whose difference is a few
+    # microseconds per update, and fsync latency on a shared device is
+    # weather, not signal. So: interleave the three sweeps round-robin
+    # (the same weather lands on every variant), compute each gated ratio
+    # *within* a round, and take the median across rounds — one stormy
+    # stretch inflates a minority of rounds, not the verdict. Each sweep
+    # spans multiple group-commit fsyncs, averaging the heavy-tailed
+    # per-fsync latency inside every round.
+    import statistics
+
+    min_seconds = max(config["min_seconds"], 1.0)
+    with tempfile.TemporaryDirectory() as wal_a, \
+            tempfile.TemporaryDirectory() as wal_b:
+        dbs = {
+            "inplace_wal": build_db(wal_dir=wal_a),
+            "lsm_wal": build_db(wal_dir=wal_b, lsm=True),
+            "lsm_nowal": build_db(lsm=True),
+        }
+        flips = {label: [True] for label in dbs}
+        best = {label: float("inf") for label in dbs}
+        for label, db in dbs.items():  # warm-up round
+            update_sweep(db, flips[label])
+        speedups, overheads = [], []
+        elapsed = 0.0
+        while elapsed < min_seconds * len(dbs) or len(speedups) < 7:
+            round_times = {}
+            for label, db in dbs.items():
+                t0 = time.perf_counter()
+                update_sweep(db, flips[label])
+                dt = time.perf_counter() - t0
+                round_times[label] = dt
+                best[label] = min(best[label], dt)
+                elapsed += dt
+            speedups.append(
+                round_times["inplace_wal"] / round_times["lsm_wal"]
+            )
+            overheads.append(
+                round_times["lsm_wal"] / round_times["lsm_nowal"]
+            )
+        for db in dbs.values():
+            db.close()
+    return {
+        "inplace_wal_ms": best["inplace_wal"] * 1000,
+        "lsm_wal_ms": best["lsm_wal"] * 1000,
+        "lsm_nowal_ms": best["lsm_nowal"] * 1000,
+        "update_speedup": statistics.median(speedups),
+        "wal_overhead_ratio": statistics.median(overheads),
+        "rounds": float(len(speedups)),
         "updates_per_sweep": float(num_objects),
     }
 
@@ -789,6 +905,18 @@ def main(argv=None):
         help="override the sharded scatter-gather speedup floor",
     )
     parser.add_argument(
+        "--min-lsm-update-speedup",
+        type=float,
+        default=None,
+        help="override the LSM-vs-in-place update sweep speedup floor",
+    )
+    parser.add_argument(
+        "--max-lsm-wal-overhead",
+        type=float,
+        default=None,
+        help="override the WAL-under-LSM overhead-ratio ceiling",
+    )
+    parser.add_argument(
         "--max-tracer-overhead",
         type=float,
         default=None,
@@ -805,6 +933,8 @@ def main(argv=None):
         ("batched", args.min_batched_speedup),
         ("process", args.min_process_speedup),
         ("sharded", args.min_sharded_speedup),
+        ("lsm_update", args.min_lsm_update_speedup),
+        ("lsm_wal_overhead", args.max_lsm_wal_overhead),
         ("tracer_overhead", args.max_tracer_overhead),
     ):
         if override is not None:
@@ -817,7 +947,7 @@ def main(argv=None):
 
     if args.concurrent_only:
         results, tracer_overhead, wal_overhead = {}, {}, {}
-        batched, process, sharded = {}, {}, {}
+        batched, process, sharded, lsm = {}, {}, {}, {}
     else:
         results, tracer_overhead, wal_overhead = run_benchmarks(config)
         batched = measure_batched_speedup(config, batch_size)
@@ -825,6 +955,7 @@ def main(argv=None):
             config, args.process_workers, batch_size
         )
         sharded = measure_sharded_speedup(config, args.shards)
+        lsm = measure_lsm(config)
     concurrency = measure_concurrent_speedup(config, args.workers)
 
     failures = [
@@ -838,12 +969,18 @@ def main(argv=None):
         ("batched", batched, "batched_speedup"),
         ("process", process, "process_speedup"),
         ("sharded", sharded, "sharded_speedup"),
+        ("lsm_update", lsm, "update_speedup"),
     ):
         if section and section[key] < thresholds[name]:
             failures.append(
                 f"{name}: speedup {section[key]:.2f}x "
                 f"< required {thresholds[name]:.2f}x"
             )
+    if lsm and lsm["wal_overhead_ratio"] > thresholds["lsm_wal_overhead"]:
+        failures.append(
+            f"lsm_wal_overhead: ratio {lsm['wal_overhead_ratio']:.3f}x "
+            f"> allowed {thresholds['lsm_wal_overhead']:.3f}x"
+        )
     if (
         tracer_overhead
         and tracer_overhead["overhead_ratio"] > thresholds["tracer_overhead"]
@@ -870,6 +1007,7 @@ def main(argv=None):
         "batched": {k: round(v, 3) for k, v in batched.items()},
         "process": {k: round(v, 3) for k, v in process.items()},
         "sharded": {k: round(v, 3) for k, v in sharded.items()},
+        "lsm": {k: round(v, 3) for k, v in lsm.items()},
         "thresholds": thresholds,
         "pass": not failures,
     }
@@ -918,6 +1056,14 @@ def main(argv=None):
                 f"{'sharded router':20s} 1 db   {shd['sequential_ms']:8.2f} ms   "
                 f"{int(shd['shards'])} shards {shd['sharded_ms']:7.2f} ms   "
                 f"speedup {shd['sharded_speedup']:6.2f}x"
+            )
+        if lsm:
+            l = report["lsm"]
+            print(
+                f"{'lsm update sweep':20s} inplace {l['inplace_wal_ms']:7.2f} ms   "
+                f"lsm     {l['lsm_wal_ms']:9.2f} ms   "
+                f"speedup {l['update_speedup']:6.2f}x "
+                f"(wal ratio {l['wal_overhead_ratio']:.2f}x)"
             )
         conc = report["concurrency"]
         print(

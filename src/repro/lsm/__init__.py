@@ -1,0 +1,35 @@
+"""LSM-structured write path for signature facilities.
+
+In-place facility maintenance (ROADMAP item 2) mutates signature files
+under the database write latch and pays one WAL fsync per update. The LSM
+path restructures writes as append-only:
+
+* :class:`~repro.lsm.memtable.MemTable` — absorbs inserts/deletes in
+  memory; the WAL alone makes them durable, so fsyncs can be amortized
+  with a group-commit interval.
+* :class:`~repro.lsm.run.SignatureRun` — an immutable, sequentially
+  written signature segment (SSF- or BSSF-format, reusing the packed
+  kernels and per-page CRC sidecars) sealed from a flushed memtable.
+* :class:`~repro.lsm.manifest.RunManifest` — dual-slot, versioned,
+  checksummed installs of the live run set; a torn install rolls back
+  to the previous version.
+* :class:`~repro.lsm.compactor.Compactor` — tiered merges of runs,
+  inline (deterministic) or on a background thread.
+* :class:`~repro.lsm.facility.LSMSignatureFacility` — the
+  :class:`~repro.access.base.SetAccessFacility` facade tying them
+  together; query answers are bit-identical to the in-place path.
+"""
+
+from repro.lsm.compactor import Compactor
+from repro.lsm.facility import LSMSignatureFacility
+from repro.lsm.manifest import RunManifest
+from repro.lsm.memtable import MemTable
+from repro.lsm.run import SignatureRun
+
+__all__ = [
+    "Compactor",
+    "LSMSignatureFacility",
+    "MemTable",
+    "RunManifest",
+    "SignatureRun",
+]

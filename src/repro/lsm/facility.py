@@ -1,0 +1,588 @@
+"""LSM-structured set access facility.
+
+:class:`LSMSignatureFacility` presents the same
+:class:`~repro.access.base.SetAccessFacility` contract as the in-place
+SSF/BSSF facilities — same ``name`` (so plans print identically), same
+maintenance WAL records, same search modes — but restructures the write
+path as memtable → immutable runs → tiered compaction.
+
+Equivalence with the in-place path is by construction:
+
+* **Row order.** An in-place facility returns candidates in OID-file
+  entry order, which is the chronological order of each live entry's most
+  recent insert (an update tombstones the old entry and appends a new
+  one). The LSM facility assigns every insert a monotonic sequence
+  number and sorts merged candidates by it — the same order.
+* **Candidate sets.** Every drop test (superset, subset with
+  ``slices_to_examine``, overlap, partial query signatures) depends only
+  on the entry's signature bits at positions fixed by the query. The
+  memtable mirrors the tests bit for bit and runs delegate to real
+  SSF/BSSF searches, so the union of live drops equals the in-place drop
+  set exactly — including false drops.
+* **Shadowing.** The facility keeps an authoritative ``OID -> seq`` map
+  of live versions (uncharged bookkeeping, like the object directory). A
+  run candidate counts only if its entry's seq is the live seq; memtable
+  entries are always live. This reproduces newest-layer-wins without
+  rescanning older runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.access.base import SearchResult, SetAccessFacility
+from repro.core import kernels
+from repro.core.bits import BitVector
+from repro.core.signature import SignatureScheme
+from repro.errors import AccessFacilityError, IndexCorruptionError
+from repro.lsm.manifest import RunManifest
+from repro.lsm.memtable import MemTable
+from repro.lsm.run import RUN_KINDS, SignatureRun
+from repro.objects.oid import OID
+from repro.obs.tracer import traced_search
+from repro.storage.paged_file import StorageManager
+
+SetValue = FrozenSet[Hashable]
+
+DEFAULT_FLUSH_THRESHOLD = 256
+DEFAULT_FANOUT = 4
+
+
+class LSMSignatureFacility(SetAccessFacility):
+    """Memtable + immutable signature runs behind the facility contract."""
+
+    is_lsm = True
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        scheme: SignatureScheme,
+        kind: str,
+        file_prefix: str,
+        *,
+        flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
+        fanout: int = DEFAULT_FANOUT,
+        worst_case_insert: bool = False,
+        use_kernels: bool = True,
+    ):
+        if kind not in RUN_KINDS:
+            raise AccessFacilityError(f"unknown LSM run kind: {kind!r}")
+        if flush_threshold < 1:
+            raise AccessFacilityError(
+                f"flush_threshold must be >= 1, got {flush_threshold}"
+            )
+        if fanout < 2:
+            raise AccessFacilityError(f"fanout must be >= 2, got {fanout}")
+        self.name = kind
+        self.kind = kind
+        self._storage = storage
+        self.scheme = scheme
+        self.signature_bits = scheme.signature_bits
+        self.file_prefix = file_prefix
+        self.flush_threshold = flush_threshold
+        self.fanout = fanout
+        self.worst_case_insert = worst_case_insert
+        self.use_kernels = use_kernels
+        self.memtable = MemTable()
+        # Oldest -> newest by data recency. Tiered merges keep levels
+        # non-increasing along this list, so a level's runs are contiguous.
+        self.runs: List[SignatureRun] = []
+        self.manifest = RunManifest(storage, file_prefix)
+        # Authoritative live view: OID -> seq of its current version.
+        self._live: Dict[OID, int] = {}
+        self._next_seq = 0
+        self._next_run_id = 0
+        # Run ids name storage files; a background compactor allocates
+        # them off-thread while foreground flushes allocate inline, so the
+        # counter bump must be atomic.
+        self._run_id_lock = threading.Lock()
+        # Background compactors flip this off and install merges themselves.
+        self.auto_compact = True
+        self.counters = {"flushes": 0, "compactions": 0}
+
+    # ------------------------------------------------------------------
+    # Attach (checkpoint load)
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        storage: StorageManager,
+        scheme: SignatureScheme,
+        file_prefix: str,
+        state_blob: bytes,
+        *,
+        worst_case_insert: bool = False,
+        use_kernels: bool = True,
+    ) -> "LSMSignatureFacility":
+        """Re-open a facility over existing run/manifest files.
+
+        ``state_blob`` is a :meth:`state_blob` payload — the serde-encoded
+        memtable and counters a snapshot catalog carries alongside the
+        storage files.
+        """
+        from repro.objects.serde import decode_value
+
+        kind, flush_threshold, fanout, memtable_state, next_seq, next_run_id = (
+            decode_value(state_blob)
+        )
+        facility = cls(
+            storage,
+            scheme,
+            kind,
+            file_prefix,
+            flush_threshold=flush_threshold,
+            fanout=fanout,
+            worst_case_insert=worst_case_insert,
+            use_kernels=use_kernels,
+        )
+        run_states, _ = facility.manifest.load()
+        for run_state in run_states:
+            run_id, level, entries, tombstones = SignatureRun.state_tables(run_state)
+            facility.runs.append(
+                SignatureRun.attach(
+                    storage,
+                    scheme,
+                    file_prefix,
+                    run_id,
+                    level,
+                    kind,
+                    entries,
+                    tombstones,
+                    use_kernels=use_kernels,
+                )
+            )
+        facility.memtable = MemTable.from_state(memtable_state, scheme)
+        facility._next_seq = next_seq
+        facility._next_run_id = next_run_id
+        facility._rebuild_live()
+        facility.verify()
+        return facility
+
+    def state_blob(self) -> bytes:
+        """Serde-encoded snapshot state beyond what the storage files hold."""
+        from repro.objects.serde import encode_value
+
+        return encode_value(
+            [
+                self.kind,
+                self.flush_threshold,
+                self.fanout,
+                self.memtable.to_state(),
+                self._next_seq,
+                self._next_run_id,
+            ]
+        )
+
+    def _rebuild_live(self) -> None:
+        self._live.clear()
+        for run in self.runs:  # oldest -> newest
+            for oid in run.tombstones:
+                self._live.pop(oid, None)
+            for oid, (_, seq) in run.entries.items():
+                self._live[oid] = seq
+        for oid in self.memtable.tombstones:
+            self._live.pop(oid, None)
+        for oid, (_, seq, _) in self.memtable.entries.items():
+            self._live[oid] = seq
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        """Number of live entries (memtable + runs, after shadowing)."""
+        return len(self._live)
+
+    @property
+    def run_count(self) -> int:
+        return len(self.runs)
+
+    def bulk_load(self, pairs) -> int:
+        """Backfill an empty facility: seal ``pairs`` directly into one run."""
+        if self._live or self.runs or not self.memtable.is_empty:
+            raise AccessFacilityError("bulk_load requires an empty facility")
+        count = 0
+        for elements, oid in pairs:
+            self.memtable.insert(frozenset(elements), oid, self._next_seq, self.scheme)
+            self._live[oid] = self._next_seq
+            self._next_seq += 1
+            count += 1
+        if count:
+            self.flush()
+        self.memtable.ops = 0
+        return count
+
+    def insert(self, elements: SetValue, oid: OID) -> None:
+        self.log_wal_maintenance("facility_insert", elements, oid)
+        self.memtable.insert(elements, oid, self._next_seq, self.scheme)
+        self._live[oid] = self._next_seq
+        self._next_seq += 1
+        self._maybe_flush()
+
+    def delete(self, elements: SetValue, oid: OID) -> None:
+        self.log_wal_maintenance("facility_delete", elements, oid)
+        self.memtable.delete(oid)
+        self._live.pop(oid, None)
+        self._maybe_flush()
+
+    def _allocate_run_id(self) -> int:
+        with self._run_id_lock:
+            run_id = self._next_run_id
+            self._next_run_id += 1
+            return run_id
+
+    def _maybe_flush(self) -> None:
+        if self.memtable.ops >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> Optional[SignatureRun]:
+        """Seal the memtable into a fresh level-0 run and install it.
+
+        Tombstones are carried into the run only when some older run still
+        holds a version of the OID; otherwise nothing needs shadowing.
+        Deterministic: the run id, entry order (by seq) and manifest bytes
+        are functions of the operation history alone, which is what lets
+        WAL replay reproduce flushed state byte for byte.
+        """
+        if self.memtable.is_empty:
+            self.memtable.ops = 0
+            return None
+        entries = {
+            oid: (elements, seq)
+            for oid, (elements, seq, _) in self.memtable.entries.items()
+        }
+        tombstones = {
+            oid
+            for oid in self.memtable.tombstones
+            if any(oid in run for run in self.runs)
+        }
+        if not entries and not tombstones:
+            # e.g. an insert+delete pair that cancelled within one
+            # memtable generation: nothing to persist, nothing to shadow.
+            self.memtable = MemTable()
+            return None
+        run = SignatureRun.build(
+            self._storage,
+            self.scheme,
+            self.file_prefix,
+            self._allocate_run_id(),
+            0,
+            self.kind,
+            entries,
+            tombstones,
+            use_kernels=self.use_kernels,
+        )
+        self.runs.append(run)
+        self.memtable = MemTable()
+        self.counters["flushes"] += 1
+        self._install()
+        if self.auto_compact:
+            self.compact()
+        return run
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compaction_candidates(self) -> Optional[List[SignatureRun]]:
+        """The oldest full tier, if any level has >= fanout runs."""
+        by_level: Dict[int, List[SignatureRun]] = {}
+        for run in self.runs:
+            by_level.setdefault(run.level, []).append(run)
+        for level in sorted(by_level, reverse=True):
+            if len(by_level[level]) >= self.fanout:
+                return by_level[level]
+        return None
+
+    def compact(self) -> int:
+        """Cascade tiered merges until no level is over-full; returns merges."""
+        merges = 0
+        while True:
+            victims = self.compaction_candidates()
+            if victims is None:
+                return merges
+            plan = self.prepare_compaction(victims)
+            self.install_compaction(plan)
+            merges += 1
+
+    def prepare_compaction(
+        self, victims: Optional[List[SignatureRun]] = None
+    ) -> Optional[Tuple[List[SignatureRun], SignatureRun]]:
+        """Build (but do not install) the merge of one over-full tier.
+
+        Safe to call without holding the database write latch: it only
+        reads immutable runs and writes fresh, not-yet-referenced storage
+        files. Returns ``None`` when no tier needs merging.
+        """
+        if victims is None:
+            victims = self.compaction_candidates()
+            if victims is None:
+                return None
+        merged_entries: Dict[OID, Tuple[SetValue, int]] = {}
+        merged_tombstones: Set[OID] = set()
+        for run in victims:  # oldest -> newest within the tier
+            for oid in run.tombstones:
+                merged_entries.pop(oid, None)
+                merged_tombstones.add(oid)
+            for oid, (elements, seq) in run.entries.items():
+                merged_tombstones.discard(oid)
+                merged_entries[oid] = (elements, seq)
+        first = self.runs.index(victims[0])
+        older = self.runs[:first]
+        merged_tombstones = {
+            oid
+            for oid in merged_tombstones
+            if any(oid in run for run in older)
+        }
+        output = SignatureRun.build(
+            self._storage,
+            self.scheme,
+            self.file_prefix,
+            self._allocate_run_id(),
+            victims[0].level + 1,
+            self.kind,
+            merged_entries,
+            merged_tombstones,
+            use_kernels=self.use_kernels,
+        )
+        return victims, output
+
+    def install_compaction(
+        self, plan: Tuple[List[SignatureRun], SignatureRun]
+    ) -> bool:
+        """Swap a prepared merge into the run list and GC the victims.
+
+        Must run under the database write latch when readers are live. If
+        the victims are no longer all present (a concurrent rebuild), the
+        prepared output is discarded and False is returned.
+        """
+        victims, output = plan
+        if any(victim not in self.runs for victim in victims):
+            output.drop_files(self._storage)
+            return False
+        first = self.runs.index(victims[0])
+        self.runs[first:first + len(victims)] = [output]
+        self.counters["compactions"] += 1
+        self._install()
+        for victim in victims:
+            victim.drop_files(self._storage)
+        return True
+
+    def _install(self) -> None:
+        self.manifest.install([run.to_state() for run in self.runs])
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    @traced_search("lsm.search.superset")
+    def search_superset(
+        self, query: SetValue, use_elements: Optional[int] = None
+    ) -> SearchResult:
+        if not query:
+            return self._all_live("superset", exact=True)
+        signature = self._query_signature(query, use_elements)
+        return self._layered_search(
+            "superset",
+            query,
+            memtable_hit=lambda entry_sig: entry_sig.covers(signature),
+            use_elements=use_elements,
+        )
+
+    @traced_search("lsm.search.subset")
+    def search_subset(
+        self, query: SetValue, slices_to_examine: Optional[int] = None
+    ) -> SearchResult:
+        if slices_to_examine is not None and slices_to_examine < 0:
+            raise AccessFacilityError("slices_to_examine must be >= 0")
+        if not query:
+            return self._all_live("subset", exact=False)
+        mask = self._subset_mask(query, slices_to_examine)
+        return self._layered_search(
+            "subset",
+            query,
+            memtable_hit=lambda entry_sig: not entry_sig.intersects(mask),
+            slices_to_examine=slices_to_examine,
+        )
+
+    @traced_search("lsm.search.overlap")
+    def search_overlap(self, query: SetValue) -> SearchResult:
+        if not query:
+            return SearchResult(
+                [], exact=True, facility=self.name,
+                detail={"mode": "overlap", "drops": 0, "live_drops": 0,
+                        "runs": len(self.runs)},
+            )
+        signature = self.scheme.set_signature(query)
+        return self._layered_search(
+            "overlap",
+            query,
+            memtable_hit=lambda entry_sig: entry_sig.intersects(signature),
+        )
+
+    def _query_signature(
+        self, query: SetValue, use_elements: Optional[int]
+    ) -> BitVector:
+        # Mirrors the in-place facilities: partial query signatures pick
+        # elements in the same deterministic (repr-sorted) order.
+        if use_elements is None:
+            return self.scheme.set_signature(query)
+        if use_elements < 1:
+            raise AccessFacilityError(
+                f"use_elements must be >= 1, got {use_elements}"
+            )
+        ordered = sorted(query, key=repr)
+        return self.scheme.partial_query_signature(ordered, use_elements)
+
+    def _subset_mask(
+        self, query: SetValue, slices_to_examine: Optional[int]
+    ) -> BitVector:
+        """Bit mask of the examined zero positions of the query signature.
+
+        An entry is a subset drop iff it has no 1 at any examined zero
+        position — i.e. its signature does not intersect this mask. The
+        truncation order (ascending position) matches SSF/BSSF exactly.
+        """
+        signature = self.scheme.set_signature(query)
+        bits = kernels.unpack_rows(
+            signature.words[np.newaxis, :], self.scheme.signature_bits
+        )[0]
+        zero_positions = np.nonzero(1 - bits)[0]
+        if slices_to_examine is not None:
+            zero_positions = zero_positions[:slices_to_examine]
+        mask_bits = np.zeros(self.scheme.signature_bits, dtype=np.uint8)
+        mask_bits[zero_positions] = 1
+        words = kernels.pack_rows(mask_bits[np.newaxis, :])[0]
+        return BitVector(self.scheme.signature_bits, words)
+
+    def _layered_search(
+        self,
+        mode: str,
+        query: SetValue,
+        *,
+        memtable_hit,
+        use_elements: Optional[int] = None,
+        slices_to_examine: Optional[int] = None,
+    ) -> SearchResult:
+        """Evaluate memtable + every run; merge live drops in seq order."""
+        matches: List[Tuple[int, OID]] = []
+        drops = 0
+        per_run = []
+        for oid, (_, seq, entry_sig) in self.memtable.entries.items():
+            if memtable_hit(entry_sig):
+                drops += 1
+                matches.append((seq, oid))
+        for run in self.runs:
+            result = run.search(
+                mode,
+                query,
+                use_elements=use_elements,
+                slices_to_examine=slices_to_examine,
+            )
+            run_live = 0
+            for oid in result.candidates:
+                seq = run.seq_of(oid)
+                if self._live.get(oid) == seq:
+                    matches.append((seq, oid))
+                    run_live += 1
+            drops += result.detail.get("drops", len(result.candidates))
+            per_run.append(
+                {"run": run.run_id, "level": run.level,
+                 "drops": result.detail.get("drops", 0), "live_drops": run_live}
+            )
+        matches.sort()
+        candidates = [oid for _, oid in matches]
+        return SearchResult(
+            candidates,
+            exact=False,
+            facility=self.name,
+            detail={
+                "mode": mode,
+                "drops": drops,
+                "live_drops": len(candidates),
+                "runs": len(self.runs),
+                "memtable_entries": len(self.memtable.entries),
+                "per_run": per_run,
+            },
+        )
+
+    def _all_live(self, mode: str, *, exact: bool) -> SearchResult:
+        ordered = sorted(self._live.items(), key=lambda item: item[1])
+        candidates = [oid for oid, _ in ordered]
+        return SearchResult(
+            candidates,
+            exact=exact,
+            facility=self.name,
+            detail={
+                "mode": mode,
+                "drops": len(candidates),
+                "live_drops": len(candidates),
+                "runs": len(self.runs),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Cost accounting (run count as a cost-model parameter)
+    # ------------------------------------------------------------------
+    def predicted_run_pages(self) -> List[dict]:
+        """Per-run predicted signature-page reads for a full-scan search.
+
+        Extends the paper's cost model with the run count: an SSF-format
+        run scans exactly its signature pages, a BSSF-format run reads at
+        most every slice page. Actual reads can only be lower (BSSF early
+        exits), never higher — the differential suite pins the SSF case to
+        equality and the BSSF case as an upper bound.
+        """
+        predictions = []
+        for run in self.runs:
+            if self.kind == "ssf":
+                pages = run.inner.signature_file.num_pages
+            else:
+                pages = run.inner.slice_pages * self.scheme.signature_bits
+            predictions.append(
+                {"run": run.run_id, "level": run.level,
+                 "entries": run.entry_count, "pages": pages}
+            )
+        return predictions
+
+    # ------------------------------------------------------------------
+    # Facility contract plumbing
+    # ------------------------------------------------------------------
+    def storage_pages(self) -> dict:
+        return {
+            "runs": sum(run.storage_pages() for run in self.runs),
+            "manifest": self.manifest.storage_pages(),
+        }
+
+    def verify(self) -> None:
+        """Structural invariants: runs intact, shadowing map consistent."""
+        levels = [run.level for run in self.runs]
+        if levels != sorted(levels, reverse=True):
+            raise IndexCorruptionError(
+                f"{self.file_prefix}: run levels not non-increasing: {levels}"
+            )
+        for run in self.runs:
+            run.verify()
+        expected: Dict[OID, int] = {}
+        for run in self.runs:
+            for oid in run.tombstones:
+                expected.pop(oid, None)
+            for oid, (_, seq) in run.entries.items():
+                expected[oid] = seq
+        for oid in self.memtable.tombstones:
+            expected.pop(oid, None)
+        for oid, (_, seq, _) in self.memtable.entries.items():
+            expected[oid] = seq
+        if expected != self._live:
+            raise IndexCorruptionError(
+                f"{self.file_prefix}: live map out of sync with layers "
+                f"({len(expected)} expected, {len(self._live)} held)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"LSMSignatureFacility(kind={self.kind!r}, "
+            f"prefix={self.file_prefix!r}, entries={self.entry_count}, "
+            f"memtable={len(self.memtable)}, runs={len(self.runs)})"
+        )

@@ -1,0 +1,158 @@
+"""Dual-slot, versioned run manifest with atomic installs.
+
+The manifest records which runs are live for one LSM facility. It is the
+classic two-slot scheme: installs alternate between slot files ``a`` and
+``b``, writing the blob pages first and the self-validating header page
+last. A reader considers a slot valid only if its header magic, blob
+length and CRC32 all check out (and every page passes the store's CRC
+sidecar), then loads the valid slot with the highest version. A crash or
+torn write during an install therefore damages only the slot being
+written — the loader falls back to the other slot, i.e. the previous run
+set, which is exactly the "torn manifest rolls back" invariant the crash
+matrix asserts.
+
+Slot payloads are one deterministic serde value (``[version,
+[run states...]]``), so identical logical installs produce identical
+pages — a property the WAL crash matrix's byte-equivalence proof relies
+on.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Optional, Tuple
+
+from repro.errors import CorruptPageError, StorageError
+from repro.objects.serde import decode_value, encode_value
+from repro.storage.page import Page
+from repro.storage.paged_file import StorageManager
+
+_HEADER = struct.Struct("<8sQII")  # magic, version, blob length, crc32(blob)
+_MAGIC = b"SIGMAN01"
+
+SLOT_SUFFIXES = ("a", "b")
+
+
+def manifest_slot_name(file_prefix: str, suffix: str) -> str:
+    return f"{file_prefix}:manifest:{suffix}"
+
+
+class RunManifest:
+    """Atomic versioned record of a facility's live run set."""
+
+    def __init__(self, storage: StorageManager, file_prefix: str):
+        self._storage = storage
+        self.file_prefix = file_prefix
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Install
+    # ------------------------------------------------------------------
+    def install(self, run_states: List[list]) -> int:
+        """Durably install a new run set; returns the new version.
+
+        Writes the slot *not* holding the current version (alternation is
+        deterministic in the version count), blob pages before the header
+        page, so a torn install never invalidates the live slot.
+        """
+        self.version += 1
+        suffix = SLOT_SUFFIXES[self.version % 2]
+        blob = encode_value([self.version, run_states])
+        slot = self._open_or_create(manifest_slot_name(self.file_prefix, suffix))
+        page_size = slot.page_size
+        blob_pages = (len(blob) + page_size - 1) // page_size
+        while slot.num_pages < 1 + blob_pages:
+            slot.append_page()
+        for index in range(blob_pages):
+            chunk = blob[index * page_size:(index + 1) * page_size]
+            page = Page(page_size, chunk.ljust(page_size, b"\x00"))
+            slot.write_page(1 + index, page)
+        header = Page(page_size)
+        header.data[: _HEADER.size] = _HEADER.pack(
+            _MAGIC, self.version, len(blob), zlib.crc32(blob)
+        )
+        slot.write_page(0, header)
+        return self.version
+
+    def _open_or_create(self, name: str):
+        try:
+            return self._storage.open_file(name)
+        except StorageError:
+            return self._storage.create_file(name)
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(self) -> Tuple[List[list], bool]:
+        """Read the newest valid slot; returns ``(run_states, rolled_back)``.
+
+        ``rolled_back`` is True when one slot exists but fails validation —
+        the torn-install case — and the other (older) slot was used. A
+        facility with no manifest files yet loads as an empty run set.
+        """
+        candidates = []
+        damaged = 0
+        for suffix in SLOT_SUFFIXES:
+            name = manifest_slot_name(self.file_prefix, suffix)
+            try:
+                slot = self._storage.open_file(name)
+            except StorageError:
+                continue
+            loaded = self._read_slot(slot)
+            if loaded is None:
+                damaged += 1
+            else:
+                candidates.append(loaded)
+        if not candidates:
+            if damaged:
+                raise StorageError(
+                    f"both manifest slots of {self.file_prefix!r} are damaged"
+                )
+            self.version = 0
+            return [], False
+        version, run_states = max(candidates, key=lambda item: item[0])
+        self.version = version
+        return run_states, damaged > 0
+
+    def _read_slot(self, slot) -> Optional[Tuple[int, List[list]]]:
+        try:
+            header = bytes(slot.read_page(0).data[: _HEADER.size])
+            magic, version, length, crc = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                return None
+            page_size = slot.page_size
+            blob_pages = (length + page_size - 1) // page_size
+            if slot.num_pages < 1 + blob_pages:
+                return None
+            blob = b"".join(
+                bytes(slot.read_page(1 + index).data) for index in range(blob_pages)
+            )[:length]
+            if zlib.crc32(blob) != crc:
+                return None
+            payload_version, run_states = decode_value(blob)
+            if payload_version != version:
+                return None
+            return version, run_states
+        except (CorruptPageError, StorageError, struct.error):
+            return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def slot_names(self) -> List[str]:
+        return [
+            manifest_slot_name(self.file_prefix, suffix) for suffix in SLOT_SUFFIXES
+        ]
+
+    def storage_pages(self) -> int:
+        pages = 0
+        for name in self.slot_names():
+            try:
+                pages += self._storage.open_file(name).num_pages
+            except StorageError:
+                continue
+        return pages
+
+    def __repr__(self) -> str:
+        return f"RunManifest(prefix={self.file_prefix!r}, version={self.version})"

@@ -1,0 +1,81 @@
+"""In-memory write buffer for the LSM signature path.
+
+The memtable is the newest layer of the facility: it holds every entry
+inserted since the last flush plus tombstones for every OID deleted since
+then. Durability comes from the WAL (the facility logs the maintenance
+record *before* touching the memtable), so nothing here touches storage —
+that is exactly what lets the write path amortize fsyncs.
+
+Each entry keeps three things: the element set (needed to rebuild the
+signature when the memtable is sealed into a run and to merge runs later),
+the facility-wide sequence number of the insert (query results are ordered
+by it — see :mod:`repro.lsm.facility`), and the precomputed set signature
+(so memtable drop tests cost the same signature math as a stored entry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Set, Tuple
+
+from repro.core.bits import BitVector
+from repro.core.signature import SignatureScheme
+from repro.objects.oid import OID
+
+SetValue = FrozenSet[Hashable]
+
+
+class MemTable:
+    """Mutable newest layer: ``OID -> (elements, seq, signature)`` + tombstones."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[OID, Tuple[SetValue, int, BitVector]] = {}
+        self.tombstones: Set[OID] = set()
+        # Operations absorbed since creation; drives the flush threshold.
+        self.ops = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries and not self.tombstones
+
+    def insert(
+        self, elements: SetValue, oid: OID, seq: int, scheme: SignatureScheme
+    ) -> None:
+        """Record a new live version of ``oid`` with sequence number ``seq``."""
+        self.entries[oid] = (elements, seq, scheme.set_signature(elements))
+        self.tombstones.discard(oid)
+        self.ops += 1
+
+    def delete(self, oid: OID) -> None:
+        """Record the deletion of ``oid`` (shadows any older layer)."""
+        self.entries.pop(oid, None)
+        self.tombstones.add(oid)
+        self.ops += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint descriptor
+    # ------------------------------------------------------------------
+    def to_state(self) -> list:
+        """Serde-encodable state: entries in seq order + sorted tombstones."""
+        entries = sorted(self.entries.items(), key=lambda item: item[1][1])
+        return [
+            [[oid.to_int(), seq, elements] for oid, (elements, seq, _) in entries],
+            sorted(oid.to_int() for oid in self.tombstones),
+            self.ops,
+        ]
+
+    @classmethod
+    def from_state(cls, state: list, scheme: SignatureScheme) -> "MemTable":
+        table = cls()
+        entry_rows, tombstone_ints, ops = state
+        for oid_int, seq, elements in entry_rows:
+            table.entries[OID.from_int(oid_int)] = (
+                frozenset(elements),
+                seq,
+                scheme.set_signature(elements),
+            )
+        table.tombstones = {OID.from_int(value) for value in tombstone_ints}
+        table.ops = ops
+        return table

@@ -1,0 +1,226 @@
+"""Immutable signature run segments.
+
+A run is a sealed memtable (or the merge of older runs): an ordinary
+SSF- or BSSF-format signature file pair, bulk-loaded once in sequence
+order and never mutated again. Reusing the in-place facility classes
+means runs get the packed-uint64 kernels, the per-page CRC sidecars and
+the page-accounting semantics of the paper's facilities for free — a
+run's search is exactly an in-place facility's search over its slice of
+the entries.
+
+Alongside the storage files each run keeps an in-memory table of its
+entries (``OID -> (elements, seq)``) and its tombstone set. Signatures
+are not invertible, so the element sets must ride along for compaction
+merges and for the checkpoint manifest — this is uncharged bookkeeping,
+the same category as the object directory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.errors import ConfigurationError
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+SetValue = FrozenSet[Hashable]
+
+RUN_KINDS = ("ssf", "bssf")
+
+
+def run_prefix(file_prefix: str, run_id: int) -> str:
+    """Storage-file prefix for one run's inner facility files.
+
+    The prefix stays under the facility's ``{kind}:{Class}.{attr}:``
+    namespace so :func:`repro.recovery.rebuild.facility_of_file` attributes
+    run files to the right facility and a rebuild's prefix-drop removes
+    them.
+    """
+    return f"{file_prefix}:r{run_id:06d}"
+
+
+class SignatureRun:
+    """One immutable run: inner signature facility + entry/tombstone tables."""
+
+    def __init__(
+        self,
+        run_id: int,
+        level: int,
+        kind: str,
+        inner,
+        entries: Dict[OID, Tuple[SetValue, int]],
+        tombstones: Set[OID],
+    ):
+        self.run_id = run_id
+        self.level = level
+        self.kind = kind
+        self.inner = inner
+        self.entries = entries
+        self.tombstones = tombstones
+        # OID-file order of the inner facility == seq order (built that way).
+        self._ordered = sorted(entries.items(), key=lambda item: item[1][1])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        storage: StorageManager,
+        scheme: SignatureScheme,
+        file_prefix: str,
+        run_id: int,
+        level: int,
+        kind: str,
+        entries: Dict[OID, Tuple[SetValue, int]],
+        tombstones: Set[OID],
+        *,
+        use_kernels: bool = True,
+    ) -> "SignatureRun":
+        """Seal ``entries`` into fresh storage files, bulk-loaded in seq order."""
+        if kind not in RUN_KINDS:
+            raise ConfigurationError(f"unknown run kind: {kind!r}")
+        inner = cls._create_inner(
+            storage, scheme, run_prefix(file_prefix, run_id), kind, use_kernels
+        )
+        ordered = sorted(entries.items(), key=lambda item: item[1][1])
+        inner.bulk_load([(elements, oid) for oid, (elements, _) in ordered])
+        return cls(run_id, level, kind, inner, dict(entries), set(tombstones))
+
+    @classmethod
+    def attach(
+        cls,
+        storage: StorageManager,
+        scheme: SignatureScheme,
+        file_prefix: str,
+        run_id: int,
+        level: int,
+        kind: str,
+        entries: Dict[OID, Tuple[SetValue, int]],
+        tombstones: Set[OID],
+        *,
+        use_kernels: bool = True,
+    ) -> "SignatureRun":
+        """Re-open a run whose storage files already exist (checkpoint load)."""
+        if kind == "ssf":
+            inner = SequentialSignatureFile.attach(
+                storage,
+                scheme,
+                file_prefix=run_prefix(file_prefix, run_id),
+                entry_count=len(entries),
+                use_kernels=use_kernels,
+            )
+        else:
+            inner = BitSlicedSignatureFile.attach(
+                storage,
+                scheme,
+                file_prefix=run_prefix(file_prefix, run_id),
+                entry_count=len(entries),
+                use_kernels=use_kernels,
+            )
+        return cls(run_id, level, kind, inner, dict(entries), set(tombstones))
+
+    @staticmethod
+    def _create_inner(storage, scheme, prefix, kind, use_kernels):
+        if kind == "ssf":
+            return SequentialSignatureFile(
+                storage, scheme, file_prefix=prefix, use_kernels=use_kernels
+            )
+        return BitSlicedSignatureFile(
+            storage, scheme, file_prefix=prefix, use_kernels=use_kernels
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self.entries or oid in self.tombstones
+
+    def seq_of(self, oid: OID) -> int:
+        return self.entries[oid][1]
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.entries)
+
+    def storage_pages(self) -> int:
+        return sum(self.inner.storage_pages().values())
+
+    def file_names(self):
+        """Names of this run's storage files (for GC after compaction)."""
+        if self.kind == "ssf":
+            return [self.inner.signature_file.name, self.inner.oid_file.file.name]
+        names = [sf.name for sf in self.inner._slice_files]
+        names.append(self.inner.oid_file.file.name)
+        return names
+
+    def drop_files(self, storage: StorageManager) -> None:
+        for name in self.file_names():
+            storage.drop_file(name)
+
+    def verify(self) -> None:
+        self.inner.verify()
+        if self.inner.entry_count != len(self.entries):
+            raise ConfigurationError(
+                f"run {self.run_id}: inner facility holds "
+                f"{self.inner.entry_count} entries, manifest says "
+                f"{len(self.entries)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        mode: str,
+        query: SetValue,
+        *,
+        use_elements: Optional[int] = None,
+        slices_to_examine: Optional[int] = None,
+    ):
+        """Run the inner facility's charged drop test for one mode."""
+        if mode == "superset":
+            if use_elements is not None:
+                return self.inner.search_superset(query, use_elements=use_elements)
+            return self.inner.search_superset(query)
+        if mode == "subset":
+            if slices_to_examine is not None:
+                return self.inner.search_subset(
+                    query, slices_to_examine=slices_to_examine
+                )
+            return self.inner.search_subset(query)
+        if mode == "overlap":
+            return self.inner.search_overlap(query)
+        raise ConfigurationError(f"unknown search mode: {mode!r}")
+
+    # ------------------------------------------------------------------
+    # Manifest descriptor
+    # ------------------------------------------------------------------
+    def to_state(self) -> list:
+        return [
+            self.run_id,
+            self.level,
+            [[oid.to_int(), seq, elements] for oid, (elements, seq) in self._ordered],
+            sorted(oid.to_int() for oid in self.tombstones),
+        ]
+
+    @staticmethod
+    def state_tables(state: list):
+        """Decode a :meth:`to_state` row into (run_id, level, entries, tombstones)."""
+        run_id, level, entry_rows, tombstone_ints = state
+        entries = {
+            OID.from_int(oid_int): (frozenset(elements), seq)
+            for oid_int, seq, elements in entry_rows
+        }
+        tombstones = {OID.from_int(value) for value in tombstone_ints}
+        return run_id, level, entries, tombstones
+
+    def __repr__(self) -> str:
+        return (
+            f"SignatureRun(id={self.run_id}, level={self.level}, "
+            f"kind={self.kind!r}, entries={len(self.entries)}, "
+            f"tombstones={len(self.tombstones)})"
+        )

@@ -47,11 +47,21 @@ IndexKey = Tuple[str, str]  # (class name, set attribute name)
 #: ``"none"`` — in-memory only, nothing survives the process;
 #: ``"snapshot"`` — durable exactly at :func:`save_database` points;
 #: ``"wal"`` — every mutating operation is redo-logged (fsynced) before it
-#: applies, so the last checkpoint plus the log tail survives any crash.
-DURABILITY_MODES = ("none", "snapshot", "wal")
+#: applies, so the last checkpoint plus the log tail survives any crash;
+#: ``"lsm"`` — WAL durability with the LSM write path: new signature
+#: facilities default to memtable + immutable runs, and log fsyncs are
+#: group-committed (``wal_fsync_interval``) since the WAL only needs to
+#: cover the memtable.
+DURABILITY_MODES = ("none", "snapshot", "wal", "lsm")
 
 #: Snapshot file a WAL directory's checkpoints are written to.
 CHECKPOINT_FILE_NAME = "checkpoint.sigdb"
+
+#: Group-commit width for ``durability="lsm"``: the log buffers frames and
+#: fsyncs every Nth append (and on checkpoint/close/read) instead of on
+#: every record. Matches the default memtable flush threshold — the log
+#: only covers the memtable, so the crash-loss window is one flush cycle.
+DEFAULT_LSM_FSYNC_INTERVAL = 256
 
 
 class Database:
@@ -65,6 +75,7 @@ class Database:
         durability: Optional[str] = None,
         wal_dir: Optional[str] = None,
         wal_fsync: bool = True,
+        wal_fsync_interval: Optional[int] = None,
         latch: Any = None,
     ):
         # The facade-level reader-writer latch: queries share it in read
@@ -103,10 +114,10 @@ class Database:
             raise ConfigurationError(
                 f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
             )
-        if durability != "wal" and wal_dir is not None:
+        if durability not in ("wal", "lsm") and wal_dir is not None:
             raise ConfigurationError(
-                f"wal_dir is only meaningful with durability='wal', "
-                f"not {durability!r}"
+                f"wal_dir is only meaningful with durability='wal' or "
+                f"'lsm', not {durability!r}"
             )
         self.durability = durability
         #: True on a replica: every facade mutation raises
@@ -120,12 +131,18 @@ class Database:
         #: Replay skips records below it, which is what makes redo
         #: idempotent: replaying the same tail twice is a no-op.
         self.wal_applied_lsn = 0
-        if durability == "wal":
+        if durability == "lsm" and wal_fsync_interval is None:
+            wal_fsync_interval = DEFAULT_LSM_FSYNC_INTERVAL
+        if durability in ("wal", "lsm"):
             if wal_dir is None:
-                raise ConfigurationError("durability='wal' requires wal_dir")
+                raise ConfigurationError(
+                    f"durability={durability!r} requires wal_dir"
+                )
             from repro.wal.log import WriteAheadLog
 
-            wal = WriteAheadLog(wal_dir, fsync=wal_fsync)
+            wal = WriteAheadLog(
+                wal_dir, fsync=wal_fsync, fsync_interval=wal_fsync_interval
+            )
             if wal.end_lsn > 0 or os.path.exists(
                 os.path.join(wal_dir, CHECKPOINT_FILE_NAME)
             ):
@@ -135,7 +152,7 @@ class Database:
                     "checkpoint; recover it with Database.open(wal_dir) "
                     "instead of starting a fresh database over it"
                 )
-            self.attach_wal(wal, wal_dir)
+            self.attach_wal(wal, wal_dir, durability=durability)
         from repro.objects.statistics import StatisticsCache
 
         self.statistics = StatisticsCache()
@@ -151,6 +168,7 @@ class Database:
         pool_capacity: int = 0,
         auto_rebuild: bool = False,
         wal_fsync: bool = True,
+        wal_fsync_interval: Optional[int] = None,
     ) -> "Database":
         """Recover a WAL-mode database from its directory.
 
@@ -158,6 +176,8 @@ class Database:
         otherwise), replays the log tail — truncating a torn final record,
         raising :class:`~repro.errors.WalCorruptError` on interior damage —
         and returns the database with the log attached for further logging.
+        A database that holds LSM facilities comes back in ``"lsm"``
+        durability (group-committed fsyncs).
         """
         from repro.wal.replay import recover_database
 
@@ -167,13 +187,14 @@ class Database:
             pool_capacity=pool_capacity,
             auto_rebuild=auto_rebuild,
             wal_fsync=wal_fsync,
+            wal_fsync_interval=wal_fsync_interval,
         )
 
-    def attach_wal(self, wal, wal_dir: str) -> None:
+    def attach_wal(self, wal, wal_dir: str, durability: str = "wal") -> None:
         """Bind an open log to this database and to every facility."""
         self.wal = wal
         self.wal_dir = wal_dir
-        self.durability = "wal"
+        self.durability = durability
         self.wal_applied_lsn = wal.end_lsn
         for (cls_name, attribute), per_path in self._indexes.items():
             for facility in per_path.values():
@@ -208,6 +229,39 @@ class Database:
         """Release OS resources (the WAL file handle); safe to call twice."""
         if self.wal is not None:
             self.wal.close()
+
+    def flush_indexes(self) -> None:
+        """Seal every LSM facility's memtable into a run.
+
+        WAL-logged like any other mutation: replay re-runs the flush at
+        the same point in the operation history, so recovered run layouts
+        stay byte-identical.
+        """
+        for (class_name, attribute), per_path in sorted(self._indexes.items()):
+            for facility in sorted(per_path.values(), key=lambda f: f.name):
+                if not getattr(facility, "is_lsm", False):
+                    continue
+                with self.write_scope(class_name):
+                    with self._wal_op(
+                        lambda c=class_name, a=attribute, n=facility.name: [
+                            "flush_index", c, a, n
+                        ]
+                    ):
+                        facility.flush()
+
+    def compact_indexes(self) -> None:
+        """Run tiered compaction to quiescence on every LSM facility (WAL-logged)."""
+        for (class_name, attribute), per_path in sorted(self._indexes.items()):
+            for facility in sorted(per_path.values(), key=lambda f: f.name):
+                if not getattr(facility, "is_lsm", False):
+                    continue
+                with self.write_scope(class_name):
+                    with self._wal_op(
+                        lambda c=class_name, a=attribute, n=facility.name: [
+                            "compact_index", c, a, n
+                        ]
+                    ):
+                        facility.compact()
 
     @contextmanager
     def _wal_op(self, make_fields: Callable[[], list]):
@@ -349,6 +403,25 @@ class Database:
                 facility.insert(elements, oid)
         return facility
 
+    def _resolve_lsm(self, lsm, flush_threshold, fanout):
+        """Normalize the LSM options of a create-index call.
+
+        ``lsm=None`` means "follow the database's durability mode": an
+        ``"lsm"``-mode database builds LSM facilities by default, any other
+        mode builds in-place ones. Explicit booleans always win, so the two
+        layouts can be mixed on one database.
+        """
+        from repro.lsm.facility import DEFAULT_FANOUT, DEFAULT_FLUSH_THRESHOLD
+
+        if lsm is None:
+            lsm = self.durability == "lsm"
+        lsm = bool(lsm)
+        if flush_threshold is None:
+            flush_threshold = DEFAULT_FLUSH_THRESHOLD
+        if fanout is None:
+            fanout = DEFAULT_FANOUT
+        return lsm, flush_threshold, fanout
+
     def create_ssf_index(
         self,
         class_name: str,
@@ -356,8 +429,19 @@ class Database:
         signature_bits: int,
         bits_per_element: int,
         seed: int = 0,
-    ) -> SequentialSignatureFile:
-        """Sequential signature file on ``class.attribute``."""
+        lsm: Optional[bool] = None,
+        flush_threshold: Optional[int] = None,
+        fanout: Optional[int] = None,
+    ) -> SetAccessFacility:
+        """Sequential signature file on ``class.attribute``.
+
+        With ``lsm=True`` (or on a ``durability="lsm"`` database) the
+        facility is LSM-structured: SSF-format immutable runs behind a
+        memtable, answer-identical to the in-place layout.
+        """
+        lsm, flush_threshold, fanout = self._resolve_lsm(
+            lsm, flush_threshold, fanout
+        )
         with self.write_scope(class_name):
             self._check_indexable(class_name, attribute)
             self._check_no_duplicate(class_name, attribute, "ssf")
@@ -368,14 +452,27 @@ class Database:
                     "ssf",
                     class_name,
                     attribute,
-                    [signature_bits, bits_per_element, seed],
+                    [signature_bits, bits_per_element, seed, lsm,
+                     flush_threshold, fanout],
                 ]
             ):
-                facility = SequentialSignatureFile(
-                    self.storage,
-                    scheme,
-                    file_prefix=f"ssf:{class_name}.{attribute}",
-                )
+                if lsm:
+                    from repro.lsm.facility import LSMSignatureFacility
+
+                    facility: SetAccessFacility = LSMSignatureFacility(
+                        self.storage,
+                        scheme,
+                        "ssf",
+                        f"ssf:{class_name}.{attribute}",
+                        flush_threshold=flush_threshold,
+                        fanout=fanout,
+                    )
+                else:
+                    facility = SequentialSignatureFile(
+                        self.storage,
+                        scheme,
+                        file_prefix=f"ssf:{class_name}.{attribute}",
+                    )
                 self._register(class_name, attribute, facility)
             return facility
 
@@ -387,8 +484,18 @@ class Database:
         bits_per_element: int,
         seed: int = 0,
         worst_case_insert: bool = False,
-    ) -> BitSlicedSignatureFile:
-        """Bit-sliced signature file on ``class.attribute``."""
+        lsm: Optional[bool] = None,
+        flush_threshold: Optional[int] = None,
+        fanout: Optional[int] = None,
+    ) -> SetAccessFacility:
+        """Bit-sliced signature file on ``class.attribute``.
+
+        ``lsm=True`` (default on ``durability="lsm"`` databases) builds the
+        LSM-structured variant over BSSF-format runs.
+        """
+        lsm, flush_threshold, fanout = self._resolve_lsm(
+            lsm, flush_threshold, fanout
+        )
         with self.write_scope(class_name):
             self._check_indexable(class_name, attribute)
             self._check_no_duplicate(class_name, attribute, "bssf")
@@ -399,15 +506,29 @@ class Database:
                     "bssf",
                     class_name,
                     attribute,
-                    [signature_bits, bits_per_element, seed, worst_case_insert],
+                    [signature_bits, bits_per_element, seed, worst_case_insert,
+                     lsm, flush_threshold, fanout],
                 ]
             ):
-                facility = BitSlicedSignatureFile(
-                    self.storage,
-                    scheme,
-                    file_prefix=f"bssf:{class_name}.{attribute}",
-                    worst_case_insert=worst_case_insert,
-                )
+                if lsm:
+                    from repro.lsm.facility import LSMSignatureFacility
+
+                    facility: SetAccessFacility = LSMSignatureFacility(
+                        self.storage,
+                        scheme,
+                        "bssf",
+                        f"bssf:{class_name}.{attribute}",
+                        flush_threshold=flush_threshold,
+                        fanout=fanout,
+                        worst_case_insert=worst_case_insert,
+                    )
+                else:
+                    facility = BitSlicedSignatureFile(
+                        self.storage,
+                        scheme,
+                        file_prefix=f"bssf:{class_name}.{attribute}",
+                        worst_case_insert=worst_case_insert,
+                    )
                 self._register(class_name, attribute, facility)
             return facility
 
@@ -475,17 +596,24 @@ class Database:
     # Object lifecycle (index-maintaining)
     # ------------------------------------------------------------------
     def insert(self, class_name: str, values: Dict[str, Any]) -> OID:
+        # When the record is built, the store reuses its validated
+        # encoding — the logged bytes and the stored bytes are one image.
+        encoded: List[Optional[bytes]] = [None]
+
         def fields() -> list:
             # Validate-before-log: a rejected insert must never reach the
             # WAL. OID allocation is deterministic, so the record can name
             # the OID the insert is about to allocate.
             self.schema(class_name).validate_object(values)
             next_oid = self.objects.peek_next_oid(class_name)
-            return ["insert", class_name, next_oid.to_int(), encode_object(values)]
+            encoded[0] = encode_object(values)
+            return ["insert", class_name, next_oid.to_int(), encoded[0]]
 
         with self.write_scope(class_name):
             with self._wal_op(fields):
-                oid = self.objects.insert(class_name, values)
+                oid = self.objects.insert(
+                    class_name, values, payload=encoded[0]
+                )
                 for (cls, attr), per_path in self._indexes.items():
                     if cls == class_name:
                         for facility in per_path.values():
@@ -505,13 +633,18 @@ class Database:
         shipping need no new record kind.
         """
 
+        encoded: List[Optional[bytes]] = [None]
+
         def fields() -> list:
             self.schema(class_name).validate_object(values)
-            return ["insert", class_name, oid.to_int(), encode_object(values)]
+            encoded[0] = encode_object(values)
+            return ["insert", class_name, oid.to_int(), encoded[0]]
 
         with self.write_scope(class_name):
             with self._wal_op(fields):
-                self.objects.insert_with_oid(class_name, oid, values)
+                self.objects.insert_with_oid(
+                    class_name, oid, values, payload=encoded[0]
+                )
                 for (cls, attr), per_path in self._indexes.items():
                     if cls == class_name:
                         for facility in per_path.values():
@@ -524,14 +657,17 @@ class Database:
     def update(self, oid: OID, values: Dict[str, Any]) -> None:
         class_name = self.objects.class_name_of(oid)
 
+        encoded: List[Optional[bytes]] = [None]
+
         def fields() -> list:
             self.schema(class_name).validate_object(values)
-            return ["update", oid.to_int(), encode_object(values)]
+            encoded[0] = encode_object(values)
+            return ["update", oid.to_int(), encoded[0]]
 
         with self.write_scope(class_name):
             old_values = self.objects.fetch(oid)
             with self._wal_op(fields):
-                self.objects.update(oid, values)
+                self.objects.update(oid, values, payload=encoded[0])
                 for (cls, attr), per_path in self._indexes.items():
                     if cls != class_name:
                         continue

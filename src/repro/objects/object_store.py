@@ -32,6 +32,12 @@ class ObjectStore:
         self._files: Dict[str, ObjectFile] = {}
         self._directory: Dict[OID, RecordAddress] = {}
         self._live_counts: Dict[int, int] = {}
+        # Monotonic churn counter per class: inserts and deletes both
+        # count. The live count alone cannot drive staleness decisions —
+        # a delete followed by an explicit-OID re-insert (WAL replay,
+        # run-merge order, shard loading) nets zero even though the
+        # attribute distribution may have shifted arbitrarily.
+        self._mutation_counts: Dict[int, int] = {}
         self._allocator = OIDAllocator()
         self._next_class_id = 1
 
@@ -84,18 +90,36 @@ class ObjectStore:
         """The OID the next insert into ``class_name`` will allocate."""
         return self._allocator.peek(self._class_ids[class_name])
 
-    def insert(self, class_name: str, values: Dict[str, Any]) -> OID:
-        schema = self.schema(class_name)
-        schema.validate_object(values)
+    def insert(
+        self,
+        class_name: str,
+        values: Dict[str, Any],
+        payload: Optional[bytes] = None,
+    ) -> OID:
+        """Insert ``values``; ``payload`` is its pre-validated encoding.
+
+        Callers that already validated and encoded the object (the WAL
+        path builds its redo record from the same image) pass ``payload``
+        so the work is not repeated — the logged bytes and the stored
+        bytes are then identical by construction.
+        """
+        if payload is None:
+            self.schema(class_name).validate_object(values)
+            payload = encode_object(values)
         oid = self._allocator.allocate(self._class_ids[class_name])
-        address = self._files[class_name].insert(encode_object(values))
+        address = self._files[class_name].insert(payload)
         self._directory[oid] = address
         class_id = oid.class_id
         self._live_counts[class_id] = self._live_counts.get(class_id, 0) + 1
+        self._bump_mutations(class_id)
         return oid
 
     def insert_with_oid(
-        self, class_name: str, oid: OID, values: Dict[str, Any]
+        self,
+        class_name: str,
+        oid: OID,
+        values: Dict[str, Any],
+        payload: Optional[bytes] = None,
     ) -> OID:
         """Insert under a caller-chosen OID (WAL replay, shard loading).
 
@@ -103,9 +127,12 @@ class ObjectStore:
         already be live; its serial is reserved so later fresh allocations
         cannot collide. Serial gaps are fine — a shard holds only its hash
         slice of a class, and :meth:`scan` orders by OID, not by density.
+        ``payload`` is the object's pre-validated encoding, as in
+        :meth:`insert`.
         """
-        schema = self.schema(class_name)
-        schema.validate_object(values)
+        if payload is None:
+            self.schema(class_name).validate_object(values)
+            payload = encode_object(values)
         class_id = self._class_ids[class_name]
         if oid.class_id != class_id:
             raise ObjectStoreError(
@@ -115,9 +142,10 @@ class ObjectStore:
         if oid in self._directory:
             raise ObjectStoreError(f"{oid} is already live")
         self._allocator.reserve(class_id, oid.serial)
-        address = self._files[class_name].insert(encode_object(values))
+        address = self._files[class_name].insert(payload)
         self._directory[oid] = address
         self._live_counts[class_id] = self._live_counts.get(class_id, 0) + 1
+        self._bump_mutations(class_id)
         return oid
 
     def fetch(self, oid: OID) -> Dict[str, Any]:
@@ -126,12 +154,21 @@ class ObjectStore:
         address = self._address(oid)
         return decode_object(self._files[class_name].read(address))
 
-    def update(self, oid: OID, values: Dict[str, Any]) -> None:
+    def update(
+        self,
+        oid: OID,
+        values: Dict[str, Any],
+        payload: Optional[bytes] = None,
+    ) -> None:
+        """Replace an object's fields; ``payload`` as in :meth:`insert`."""
         class_name = self.class_name_of(oid)
-        self.schema(class_name).validate_object(values)
+        if payload is None:
+            self.schema(class_name).validate_object(values)
+            payload = encode_object(values)
         address = self._address(oid)
-        new_address = self._files[class_name].update(address, encode_object(values))
+        new_address = self._files[class_name].update(address, payload)
         self._directory[oid] = new_address
+        self._bump_mutations(oid.class_id)
 
     def delete(self, oid: OID) -> None:
         class_name = self.class_name_of(oid)
@@ -139,6 +176,12 @@ class ObjectStore:
         self._files[class_name].delete(address)
         del self._directory[oid]
         self._live_counts[oid.class_id] -= 1
+        self._bump_mutations(oid.class_id)
+
+    def _bump_mutations(self, class_id: int) -> None:
+        self._mutation_counts[class_id] = (
+            self._mutation_counts.get(class_id, 0) + 1
+        )
 
     def _address(self, oid: OID) -> RecordAddress:
         try:
@@ -175,6 +218,18 @@ class ObjectStore:
         self.schema(class_name)
         class_id = self._class_ids[class_name]
         return self._live_counts.get(class_id, 0)
+
+    def mutation_count(self, class_name: str) -> int:
+        """Total lifecycle mutations (insert/update/delete) ever applied.
+
+        Monotonic, unlike :meth:`count`: churn that nets zero live objects
+        (delete + explicit-OID re-insert, update sweeps) still advances it,
+        so statistics staleness can be detected even when the live count
+        never moves.
+        """
+        self.schema(class_name)
+        class_id = self._class_ids[class_name]
+        return self._mutation_counts.get(class_id, 0)
 
     def object_pages(self, class_name: str) -> int:
         """Pages occupied by a class's object file."""

@@ -39,6 +39,7 @@ class AttributeStatistics:
     max_cardinality: int
     distribution: CardinalityDistribution
     collected_at_count: int
+    collected_at_mutations: int = 0
 
     @property
     def target_cardinality(self) -> int:
@@ -49,10 +50,27 @@ class AttributeStatistics:
     def is_fixed_cardinality(self) -> bool:
         return self.min_cardinality == self.max_cardinality
 
-    def staleness(self, current_count: int) -> float:
-        """Relative drift of the object count since collection."""
+    def staleness(
+        self, current_count: int, current_mutations: Optional[int] = None
+    ) -> float:
+        """Relative drift since collection.
+
+        The object-count term alone misses churn that nets zero — delete an
+        OID and re-insert it explicitly (run-merge replay, shard loading)
+        and the live count is unchanged while the attribute distribution
+        may have shifted arbitrarily. When ``current_mutations`` is given,
+        the monotonic mutation counter contributes a second term measured
+        against the same baseline, so such churn still triggers
+        re-analysis.
+        """
         baseline = max(self.collected_at_count, 1)
-        return abs(current_count - self.collected_at_count) / baseline
+        drift = abs(current_count - self.collected_at_count) / baseline
+        if current_mutations is not None:
+            churn = (
+                current_mutations - self.collected_at_mutations
+            ) / baseline
+            drift = max(drift, churn)
+        return drift
 
     def cost_context(self):
         """The planner-facing view of these statistics."""
@@ -102,7 +120,13 @@ def analyze(objects, class_name: str, attribute: str) -> AttributeStatistics:
         max_cardinality=high,
         distribution=distribution,
         collected_at_count=len(sizes),
+        collected_at_mutations=_mutations_of(objects, class_name),
     )
+
+
+def _mutations_of(objects, class_name: str) -> int:
+    counter = getattr(objects, "mutation_count", None)
+    return counter(class_name) if counter is not None else 0
 
 
 class StatisticsCache:
@@ -118,10 +142,11 @@ class StatisticsCache:
         key = (class_name, attribute)
         cached = self._stats.get(key)
         current = objects.count(class_name)
+        mutations = _mutations_of(objects, class_name)
         if (
             refresh
             or cached is None
-            or cached.staleness(current) > REANALYZE_DRIFT
+            or cached.staleness(current, mutations) > REANALYZE_DRIFT
         ):
             cached = analyze(objects, class_name, attribute)
             self._stats[key] = cached

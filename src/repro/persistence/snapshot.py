@@ -18,6 +18,7 @@ Usage::
 
 from __future__ import annotations
 
+import base64
 import os
 import shutil
 from typing import Any, Dict, List, Tuple, Union
@@ -42,7 +43,20 @@ PathLike = Union[str, "os.PathLike[str]"]
 # ----------------------------------------------------------------------
 def _index_descriptor(class_name: str, attribute: str, facility) -> Dict[str, Any]:
     base = {"class": class_name, "attribute": attribute, "facility": facility.name}
-    if isinstance(facility, SequentialSignatureFile):
+    if getattr(facility, "is_lsm", False):
+        # Runs and manifest slots are ordinary storage files; the catalog
+        # only needs the memtable + counters (serde blob — element sets
+        # are not JSON-safe) and the scheme to re-attach them.
+        base.update(
+            F=facility.scheme.signature_bits,
+            m=facility.scheme.bits_per_element,
+            seed=facility.scheme.seed,
+            entry_count=facility.entry_count,
+            worst_case_insert=facility.worst_case_insert,
+            file_prefix=facility.file_prefix,
+            lsm=base64.b64encode(facility.state_blob()).decode("ascii"),
+        )
+    elif isinstance(facility, SequentialSignatureFile):
         base.update(
             F=facility.signature_bits,
             m=facility.scheme.bits_per_element,
@@ -223,7 +237,19 @@ def _rehydrate_index(db: Database, descriptor: Dict[str, Any]) -> None:
     kind = descriptor["facility"]
     class_name, attribute = descriptor["class"], descriptor["attribute"]
     prefix = descriptor["file_prefix"]
-    if kind == "ssf":
+    if "lsm" in descriptor:
+        from repro.lsm.facility import LSMSignatureFacility
+
+        scheme = SignatureScheme(descriptor["F"], descriptor["m"],
+                                 seed=descriptor["seed"])
+        facility = LSMSignatureFacility.attach(
+            storage,
+            scheme,
+            prefix,
+            base64.b64decode(descriptor["lsm"]),
+            worst_case_insert=descriptor.get("worst_case_insert", False),
+        )
+    elif kind == "ssf":
         scheme = SignatureScheme(descriptor["F"], descriptor["m"],
                                  seed=descriptor["seed"])
         facility = SequentialSignatureFile.attach(

@@ -145,6 +145,25 @@ class AccessPlan:
         return head
 
 
+def _model_kind(facility: SetAccessFacility) -> str:
+    """Cost-model family for one facility.
+
+    LSM facilities price with their run format's model (same F, m and
+    object statistics as the in-place layout), which keeps plan strings
+    bit-identical across the two write paths — the cost inputs never
+    depend on facility state, only on the scheme and the class statistics.
+    """
+    if getattr(facility, "is_lsm", False):
+        return facility.kind
+    if isinstance(facility, SequentialSignatureFile):
+        return "ssf"
+    if isinstance(facility, BitSlicedSignatureFile):
+        return "bssf"
+    if isinstance(facility, NestedIndex):
+        return "nix"
+    raise PlanningError(f"unknown facility type: {type(facility).__name__}")
+
+
 def _estimate_facility_cost(
     facility: SetAccessFacility,
     mode: str,
@@ -157,7 +176,8 @@ def _estimate_facility_cost(
     params = context.parameters(page_bytes)
     Dt = context.target_cardinality
     Dq = predicate.query_cardinality
-    if isinstance(facility, SequentialSignatureFile):
+    kind = _model_kind(facility)
+    if kind == "ssf":
         model = SSFCostModel(
             params, facility.signature_bits, facility.scheme.bits_per_element
         )
@@ -165,7 +185,7 @@ def _estimate_facility_cost(
             return model.retrieval_cost_subset(Dt, Dq), None, None
         # superset also approximates equals/overlap driving cost
         return model.retrieval_cost_superset(Dt, max(Dq, 1)), None, None
-    if isinstance(facility, BitSlicedSignatureFile):
+    if kind == "bssf":
         model = BSSFCostModel(
             params, facility.signature_bits, facility.scheme.bits_per_element
         )
@@ -178,15 +198,13 @@ def _estimate_facility_cost(
             decision = smart_superset_bssf(model, Dt, Dq)
             return decision.cost, decision.parameter, None
         return model.retrieval_cost_superset(Dt, max(Dq, 1)), None, None
-    if isinstance(facility, NestedIndex):
-        model = NIXCostModel(params, Dt)
-        if mode == "subset":
-            return model.retrieval_cost_subset(Dq), None, None
-        if smart and mode == "superset" and Dq >= 1:
-            decision = smart_superset_nix(model, Dq)
-            return decision.cost, decision.parameter, None
-        return model.retrieval_cost_superset(max(Dq, 1)), None, None
-    raise PlanningError(f"unknown facility type: {type(facility).__name__}")
+    model = NIXCostModel(params, Dt)
+    if mode == "subset":
+        return model.retrieval_cost_subset(Dq), None, None
+    if smart and mode == "superset" and Dq >= 1:
+        decision = smart_superset_nix(model, Dq)
+        return decision.cost, decision.parameter, None
+    return model.retrieval_cost_superset(max(Dq, 1)), None, None
 
 
 def _filter_profile(
@@ -213,7 +231,8 @@ def _filter_profile(
     Dt = context.target_cardinality
     Dq = max(predicate.query_cardinality, 1)
     N = params.num_objects
-    if isinstance(facility, (SequentialSignatureFile, BitSlicedSignatureFile)):
+    kind = _model_kind(facility)
+    if kind in ("ssf", "bssf"):
         F = facility.signature_bits
         m = facility.scheme.bits_per_element
         if mode == "subset":
@@ -223,7 +242,7 @@ def _filter_profile(
             fd = false_drop_superset(F, m, Dt, Dq)
             actual = actual_drops_superset(params, Dt, Dq)
         fraction = min(1.0, fd + actual / N)
-        if isinstance(facility, SequentialSignatureFile):
+        if kind == "ssf":
             pages = SSFCostModel(params, F, m).signature_file_pages
         else:
             model = BSSFCostModel(params, F, m)
@@ -233,18 +252,16 @@ def _filter_profile(
         # signature searches resolve entry indexes → OIDs via the OID file
         pages += params.oid_lookup_cost(min(fd, 1.0), actual)
         return pages, fraction
-    if isinstance(facility, NestedIndex):
-        model = NIXCostModel(params, Dt)
-        pages = float(model.lookup_cost * Dq)
-        if mode == "subset":
-            surviving = (
-                expected_intersecting_non_subset(params, Dt, Dq)
-                + actual_drops_subset(params, Dt, Dq)
-            )
-        else:
-            surviving = actual_drops_superset(params, Dt, Dq)
-        return pages, min(1.0, surviving / N)
-    raise PlanningError(f"unknown facility type: {type(facility).__name__}")
+    model = NIXCostModel(params, Dt)
+    pages = float(model.lookup_cost * Dq)
+    if mode == "subset":
+        surviving = (
+            expected_intersecting_non_subset(params, Dt, Dq)
+            + actual_drops_subset(params, Dt, Dq)
+        )
+    else:
+        surviving = actual_drops_superset(params, Dt, Dq)
+    return pages, min(1.0, surviving / N)
 
 
 def plan_query(

@@ -76,7 +76,30 @@ def _rebuild_body(
         if file_name.startswith(prefix):
             database.storage.drop_file(file_name)
     try:
-        if isinstance(old, SequentialSignatureFile):
+        if getattr(old, "is_lsm", False):
+            # Recreate the LSM facility with its layout options; the
+            # create path's backfill seals the surviving objects into a
+            # fresh level-0 run (the prefix drop above removed every run
+            # file and manifest slot).
+            creator = (
+                database.create_ssf_index
+                if old.kind == "ssf"
+                else database.create_bssf_index
+            )
+            kwargs = dict(
+                seed=old.scheme.seed,
+                lsm=True,
+                flush_threshold=old.flush_threshold,
+                fanout=old.fanout,
+            )
+            if old.kind == "bssf":
+                kwargs["worst_case_insert"] = old.worst_case_insert
+            rebuilt = creator(
+                class_name, attribute,
+                old.signature_bits, old.scheme.bits_per_element,
+                **kwargs,
+            )
+        elif isinstance(old, SequentialSignatureFile):
             rebuilt = database.create_ssf_index(
                 class_name, attribute,
                 old.signature_bits, old.scheme.bits_per_element,

@@ -58,7 +58,28 @@ def _replicate_schema(source: Database, shard: Database) -> None:
         shard.define_class(source.schema(class_name))
     for class_name, attribute in source.indexed_paths():
         for name, facility in source.indexes_on(class_name, attribute).items():
-            if name == "ssf":
+            if getattr(facility, "is_lsm", False):
+                creator = (
+                    shard.create_ssf_index
+                    if facility.kind == "ssf"
+                    else shard.create_bssf_index
+                )
+                kwargs = dict(
+                    seed=facility.scheme.seed,
+                    lsm=True,
+                    flush_threshold=facility.flush_threshold,
+                    fanout=facility.fanout,
+                )
+                if facility.kind == "bssf":
+                    kwargs["worst_case_insert"] = facility.worst_case_insert
+                creator(
+                    class_name,
+                    attribute,
+                    facility.scheme.signature_bits,
+                    facility.scheme.bits_per_element,
+                    **kwargs,
+                )
+            elif name == "ssf":
                 shard.create_ssf_index(
                     class_name,
                     attribute,

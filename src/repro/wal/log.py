@@ -149,11 +149,32 @@ class WriteAheadLog:
     rests on.
     """
 
-    def __init__(self, directory: str, fsync: bool = True):
+    def __init__(
+        self,
+        directory: str,
+        fsync: bool = True,
+        fsync_interval: Optional[int] = None,
+    ):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.path = os.path.join(directory, WAL_FILE_NAME)
         self._fsync = fsync
+        # Group commit: fsync only every Nth append (plus explicit sync()
+        # calls). The LSM write path uses this — the log only needs to
+        # cover the memtable, so a crash loses at most the records since
+        # the last interval boundary, never applied-but-unlogged state.
+        if fsync_interval is not None and fsync_interval < 1:
+            raise WalError(
+                f"fsync_interval must be >= 1, got {fsync_interval}"
+            )
+        self.fsync_interval = fsync_interval
+        self._appends_since_sync = 0
+        # Group-commit buffer: with an fsync_interval, frames accumulate
+        # here and reach the device in one write+flush+fsync per interval
+        # (or whenever a reader needs the file image). ``_io_lock`` orders
+        # appender buffering against readers flushing from other threads.
+        self._buffer = bytearray()
+        self._io_lock = threading.Lock()
         #: False while replay (or any caller) suspends logging entirely.
         self.enabled = True
         #: True while a Database-level logical operation is in flight, so
@@ -229,14 +250,44 @@ class WriteAheadLog:
         lsn = self.end_lsn
         with trace.span("wal-append", type=str(fields[0]), lsn=lsn):
             self._maybe_fault(lsn, frame)
-            self._stream.write(frame)
-            self._stream.flush()
             REGISTRY.counter("wal.appends").inc()
-            if self._fsync:
-                os.fsync(self._stream.fileno())
-                REGISTRY.counter("wal.fsyncs").inc()
+            if self.fsync_interval is not None:
+                # Group commit: buffer the frame; one write+flush+fsync
+                # per interval amortizes the device cost across the group.
+                with self._io_lock:
+                    self._buffer += frame
+                    self._appends_since_sync += 1
+                    if self._appends_since_sync >= self.fsync_interval:
+                        self._flush_buffer_locked()
+            else:
+                self._stream.write(frame)
+                self._stream.flush()
+                if self._fsync:
+                    os.fsync(self._stream.fileno())
+                    REGISTRY.counter("wal.fsyncs").inc()
         self._advance(lsn + len(frame))
         return lsn
+
+    def _flush_buffer_locked(self) -> None:
+        """Drain the group-commit buffer to the device (io lock held)."""
+        if self._buffer:
+            self._stream.write(self._buffer)
+            self._buffer.clear()
+        self._stream.flush()
+        if self._fsync and self._appends_since_sync:
+            os.fsync(self._stream.fileno())
+            REGISTRY.counter("wal.fsyncs").inc()
+        self._appends_since_sync = 0
+
+    def _drain_buffer(self) -> None:
+        """Make the on-disk file current before any whole-file read."""
+        with self._io_lock:
+            if self._buffer or self._appends_since_sync:
+                self._flush_buffer_locked()
+
+    def sync(self) -> None:
+        """Force any group-committed appends to the device now."""
+        self._drain_buffer()
 
     def append_payload(self, payload: bytes) -> int:
         """Durably append one already-encoded record payload; returns its LSN.
@@ -250,6 +301,7 @@ class WriteAheadLog:
         frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
         lsn = self.end_lsn
         self._maybe_fault(lsn, frame)
+        self._drain_buffer()
         self._stream.write(frame)
         self._stream.flush()
         REGISTRY.counter("wal.appends").inc()
@@ -289,6 +341,7 @@ class WriteAheadLog:
         if kind == "torn":
             # The process dies mid-append: half the frame reaches the
             # device, then the crash. Recovery must truncate this tail.
+            self._drain_buffer()
             self._stream.write(frame[: max(1, len(frame) // 2)])
             self._stream.flush()
             os.fsync(self._stream.fileno())
@@ -302,10 +355,12 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def records(self) -> List[WalRecord]:
         """Every intact record currently in the log (fresh scan)."""
+        self._drain_buffer()
         return scan_wal(self.path).records
 
     def records_from(self, lsn: int) -> List[WalRecord]:
         """Intact records at or past ``lsn`` (fresh scan)."""
+        self._drain_buffer()
         return [r for r in scan_wal(self.path).records if r.lsn >= lsn]
 
     def payloads_from(
@@ -324,6 +379,7 @@ class WriteAheadLog:
         log's base (the caller's cue that only an anti-entropy sync can
         catch the subscriber up) or is not a record boundary.
         """
+        self._drain_buffer()
         with open(self.path, "rb") as stream:
             data = stream.read()
         if len(data) < _HEADER.size:
@@ -391,7 +447,7 @@ class WriteAheadLog:
                 f"truncate_until lsn {lsn} outside log range "
                 f"[{self.base_lsn}, {self.end_lsn}]"
             )
-        records = self.records()
+        records = self.records()  # drains the group-commit buffer
         if lsn != self.end_lsn and all(r.lsn != lsn for r in records):
             raise WalError(f"lsn {lsn} is not a record boundary")
         survivors = [r for r in records if r.lsn >= lsn]
@@ -405,6 +461,7 @@ class WriteAheadLog:
         self._stream.close()
         os.replace(tmp_path, self.path)
         self.base_lsn = lsn
+        self._appends_since_sync = 0
         self._stream = open(self.path, "r+b")
         self._stream.seek(0, os.SEEK_END)
 
@@ -424,6 +481,8 @@ class WriteAheadLog:
         os.replace(tmp_path, self.path)
         self.base_lsn = base_lsn
         self._advance(base_lsn)
+        self._buffer.clear()  # buffered records predate the sync point too
+        self._appends_since_sync = 0
         self._stream = open(self.path, "r+b")
         self._stream.seek(0, os.SEEK_END)
 
@@ -433,6 +492,7 @@ class WriteAheadLog:
         Work past ``lsn`` is lost, but the prefix stays replayable.
         Returns the number of records dropped.
         """
+        self._drain_buffer()
         dropped, boundary = truncate_wal(self.path, lsn)
         self._stream.close()
         self._stream = open(self.path, "r+b")
@@ -441,6 +501,8 @@ class WriteAheadLog:
         return dropped
 
     def close(self) -> None:
+        if not self._stream.closed:
+            self.sync()
         self._stream.close()
 
     def __repr__(self) -> str:

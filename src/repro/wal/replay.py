@@ -46,6 +46,7 @@ def recover_database(
     pool_capacity: int = 0,
     auto_rebuild: bool = False,
     wal_fsync: bool = True,
+    wal_fsync_interval: Optional[int] = None,
 ) -> "Database":
     """Open a WAL directory: checkpoint + tail replay → live database.
 
@@ -58,10 +59,17 @@ def recover_database(
 
     The returned database has the log attached and keeps logging.
     """
-    from repro.objects.database import CHECKPOINT_FILE_NAME, Database
+    from repro.objects.database import (
+        CHECKPOINT_FILE_NAME,
+        DEFAULT_LSM_FSYNC_INTERVAL,
+        Database,
+    )
     from repro.persistence.snapshot import load_database
 
-    wal = WriteAheadLog(wal_dir, fsync=wal_fsync)  # raises on interior damage
+    # raises on interior damage
+    wal = WriteAheadLog(
+        wal_dir, fsync=wal_fsync, fsync_interval=wal_fsync_interval
+    )
     try:
         checkpoint = os.path.join(wal_dir, CHECKPOINT_FILE_NAME)
         if os.path.exists(checkpoint):
@@ -73,7 +81,16 @@ def recover_database(
     except BaseException:
         wal.close()
         raise
-    db.attach_wal(wal, wal_dir)
+    # A database holding LSM facilities comes back in "lsm" durability:
+    # group-committed fsyncs are the mode's write-path contract.
+    lsm_mode = any(
+        getattr(facility, "is_lsm", False)
+        for per_path in db._indexes.values()
+        for facility in per_path.values()
+    )
+    if lsm_mode and wal.fsync_interval is None and wal_fsync_interval is None:
+        wal.fsync_interval = DEFAULT_LSM_FSYNC_INTERVAL
+    db.attach_wal(wal, wal_dir, durability="lsm" if lsm_mode else "wal")
     return db
 
 
@@ -133,15 +150,14 @@ def _apply_define_class(db: "Database", fields) -> None:
 
 
 def _apply_create_index(db: "Database", fields) -> None:
+    # The params list splats positionally onto the create method, so older
+    # (shorter) records — pre-LSM ones carry no lsm/flush/fanout tail —
+    # replay with the method's defaults and newer ones carry their options.
     _, kind, class_name, attribute, params = fields
     if kind == "ssf":
         db.create_ssf_index(class_name, attribute, *params)
     elif kind == "bssf":
-        bits, per_element, seed, worst_case = params
-        db.create_bssf_index(
-            class_name, attribute, bits, per_element,
-            seed=seed, worst_case_insert=worst_case,
-        )
+        db.create_bssf_index(class_name, attribute, *params)
     elif kind == "nix":
         db.create_nested_index(class_name, attribute, overflow_chains=params[0])
     else:
@@ -218,6 +234,17 @@ def _apply_rebuild(db: "Database", fields) -> None:
     _rebuild(db, class_name, attribute, name)
 
 
+def _apply_flush_index(db: "Database", fields) -> None:
+    """Redo an explicit LSM memtable flush at the same history point."""
+    _, class_name, attribute, name = fields
+    db.index(class_name, attribute, name).flush()
+
+
+def _apply_compact_index(db: "Database", fields) -> None:
+    _, class_name, attribute, name = fields
+    db.index(class_name, attribute, name).compact()
+
+
 def _apply_checkpoint(db: "Database", fields) -> None:
     """Checkpoint markers carry no state to redo."""
 
@@ -265,6 +292,8 @@ _HANDLERS = {
     "facility_insert": _apply_facility_op,
     "facility_delete": _apply_facility_op,
     "rebuild": _apply_rebuild,
+    "flush_index": _apply_flush_index,
+    "compact_index": _apply_compact_index,
     "checkpoint_begin": _apply_checkpoint,
     "checkpoint_end": _apply_checkpoint,
 }

@@ -1,0 +1,254 @@
+"""Fixtures and helpers for the LSM differential suite.
+
+The suite's central device is a *paired* workload: every operation is
+applied to an in-place facility (the reference), an LSM facility (the
+subject) and a plain Python dict (the model). Equivalence is then three
+assertions repeated everywhere:
+
+* candidate lists (including their order) are identical between the two
+  facilities for every search mode and partial-evaluation option;
+* both candidate sets are supersets of the model's true answer (no false
+  dismissals) — so the *false-drop sets* are identical too;
+* at the Database level, rows, plan strings and golden object-file page
+  counts match query for query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Tuple
+
+import pytest
+
+from repro.access.bssf import BitSlicedSignatureFile
+from repro.access.ssf import SequentialSignatureFile
+from repro.core.signature import SignatureScheme
+from repro.lsm import LSMSignatureFacility
+from repro.objects.database import Database
+from repro.objects.oid import OID
+from repro.objects.schema import ClassSchema
+from repro.obs.metrics import REGISTRY
+
+#: tiny geometry keeps flush/compaction cascades cheap and frequent
+F, M, SEED = 32, 2, 3
+FLUSH_THRESHOLD = 4
+FANOUT = 2
+
+#: element domain small enough to make false drops common
+DOMAIN = [f"e{i}" for i in range(16)]
+
+
+@pytest.fixture(autouse=True)
+def _reset_registry():
+    REGISTRY.reset()
+    yield
+    REGISTRY.reset()
+
+
+def make_scheme() -> SignatureScheme:
+    return SignatureScheme(F, M, seed=SEED)
+
+
+def make_pair(kind: str, flush_threshold: int = FLUSH_THRESHOLD,
+              fanout: int = FANOUT):
+    """(in-place facility, LSM facility) with identical schemes."""
+    from repro.storage.paged_file import StorageManager
+
+    scheme = make_scheme()
+    ref_storage = StorageManager(page_size=4096, pool_capacity=0)
+    lsm_storage = StorageManager(page_size=4096, pool_capacity=0)
+    if kind == "ssf":
+        reference = SequentialSignatureFile(ref_storage, scheme)
+    else:
+        reference = BitSlicedSignatureFile(ref_storage, scheme)
+    subject = LSMSignatureFacility(
+        lsm_storage, scheme, kind, f"{kind}:T.s",
+        flush_threshold=flush_threshold, fanout=fanout,
+    )
+    return reference, subject
+
+
+class PairedWorkload:
+    """Applies one op stream to reference + LSM facility + model dict."""
+
+    def __init__(self, kind: str, flush_threshold: int = FLUSH_THRESHOLD,
+                 fanout: int = FANOUT):
+        self.reference, self.subject = make_pair(kind, flush_threshold, fanout)
+        self.model: Dict[OID, FrozenSet[str]] = {}
+        self._next_serial = 0
+
+    # -- operations ----------------------------------------------------
+    def insert(self, elements) -> OID:
+        oid = OID(1, self._next_serial)
+        self._next_serial += 1
+        value = frozenset(elements)
+        self.reference.insert(value, oid)
+        self.subject.insert(value, oid)
+        self.model[oid] = value
+        return oid
+
+    def update(self, oid: OID, elements) -> None:
+        old = self.model[oid]
+        new = frozenset(elements)
+        self.reference.delete(old, oid)
+        self.reference.insert(new, oid)
+        self.subject.delete(old, oid)
+        self.subject.insert(new, oid)
+        self.model[oid] = new
+
+    def delete(self, oid: OID) -> None:
+        old = self.model.pop(oid)
+        self.reference.delete(old, oid)
+        self.subject.delete(old, oid)
+
+    def flush(self) -> None:
+        self.subject.flush()  # no-op on the reference by definition
+
+    def compact(self) -> None:
+        self.subject.compact()
+
+    def live_oids(self) -> List[OID]:
+        return sorted(self.model)
+
+    # -- equivalence assertions ----------------------------------------
+    def true_answer(self, mode: str, query: FrozenSet[str]) -> set:
+        if mode == "superset":
+            return {o for o, v in self.model.items() if v >= query}
+        if mode == "subset":
+            return {o for o, v in self.model.items() if v <= query}
+        return {o for o, v in self.model.items() if v & query}
+
+    def assert_equivalent(self, queries) -> None:
+        for query in queries:
+            query = frozenset(query)
+            for mode in ("superset", "subset", "overlap"):
+                ref = getattr(self.reference, f"search_{mode}")(query)
+                lsm = getattr(self.subject, f"search_{mode}")(query)
+                assert ref.candidates == lsm.candidates, (
+                    f"{mode} candidates diverge for {sorted(query)}"
+                )
+                assert ref.exact == lsm.exact
+                truth = self.true_answer(mode, query)
+                got = set(lsm.candidates)
+                assert truth <= got, f"{mode} false dismissal: {truth - got}"
+                # identical candidates => identical false-drop sets, but
+                # assert it explicitly — it is the paper's headline metric
+                assert got - truth == set(ref.candidates) - truth
+            if query:
+                ref = self.reference.search_superset(query, use_elements=1)
+                lsm = self.subject.search_superset(query, use_elements=1)
+                assert ref.candidates == lsm.candidates
+                for slices in (0, 3):
+                    ref = self.reference.search_subset(
+                        query, slices_to_examine=slices
+                    )
+                    lsm = self.subject.search_subset(
+                        query, slices_to_examine=slices
+                    )
+                    assert ref.candidates == lsm.candidates
+
+
+def run_random_ops(paired: PairedWorkload, count: int, seed: int,
+                   rng_domain=DOMAIN) -> None:
+    """A deterministic random interleaving of all five op kinds."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        live = paired.live_oids()
+        roll = rng.random()
+        if roll < 0.45 or not live:
+            paired.insert(rng.sample(rng_domain, rng.randint(1, 4)))
+        elif roll < 0.65:
+            paired.update(
+                rng.choice(live), rng.sample(rng_domain, rng.randint(1, 4))
+            )
+        elif roll < 0.85:
+            paired.delete(rng.choice(live))
+        elif roll < 0.95:
+            paired.flush()
+        else:
+            paired.compact()
+
+
+SAMPLE_QUERIES = [
+    frozenset(),
+    frozenset({"e0"}),
+    frozenset({"e1", "e5"}),
+    frozenset({"e2", "e7", "e11"}),
+    frozenset({"e3", "e6", "e9", "e13"}),
+]
+
+
+# ----------------------------------------------------------------------
+# Database-level pairs
+# ----------------------------------------------------------------------
+QUERY_TEXTS = [
+    'select Student where hobbies has-subset ("Chess", "Golf")',
+    'select Student where hobbies in-subset '
+    '("Chess", "Golf", "Tennis", "Fishing")',
+    'select Student where hobbies overlaps ("Sailing", "Cycling")',
+    'select Student where hobbies contains ("Baseball")',
+]
+
+
+def build_db(*, lsm: bool, durability: str = "none",
+             wal_dir=None, kind: str = "bssf") -> Database:
+    kwargs = dict(page_size=4096, pool_capacity=0)
+    if wal_dir is not None:
+        kwargs["wal_dir"] = str(wal_dir)
+        kwargs["durability"] = "lsm" if lsm else "wal"
+    else:
+        kwargs["durability"] = durability
+    db = Database(**kwargs)
+    db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
+    index_kwargs = dict(seed=SEED)
+    if lsm:
+        index_kwargs.update(lsm=True, flush_threshold=8, fanout=2)
+    else:
+        index_kwargs.update(lsm=False)
+    if kind == "ssf":
+        db.create_ssf_index("Student", "hobbies", 128, 2, **index_kwargs)
+    else:
+        db.create_bssf_index("Student", "hobbies", 128, 2, **index_kwargs)
+    return db
+
+
+def churn_students(db: Database, *, inserts: int = 48, updates: int = 16,
+                   deletes: int = 6, seed: int = 11) -> None:
+    from tests.conftest import HOBBIES
+
+    rng = random.Random(seed)
+    oids = []
+    for i in range(inserts):
+        oids.append(db.insert(
+            "Student",
+            {"name": f"s{i:03d}", "hobbies": set(rng.sample(HOBBIES, 3))},
+        ))
+    for _ in range(updates):
+        oid = rng.choice(oids)
+        db.update(
+            oid, {"name": "upd", "hobbies": set(rng.sample(HOBBIES, 3))}
+        )
+    doomed = rng.sample(oids, deletes)
+    for oid in doomed:
+        db.delete(oid)
+
+
+def db_answers(db: Database) -> List[Tuple[str, tuple, int]]:
+    """(plan, row OIDs, object-file pages touched) per canonical query."""
+    from repro.query.executor import QueryExecutor
+
+    executor = QueryExecutor(db)
+    # collect statistics up front so the ANALYZE scan's page reads never
+    # land inside a measured query window
+    db.analyze("Student", "hobbies")
+    answers = []
+    for text in QUERY_TEXTS:
+        before = db.storage.snapshot()
+        result = executor.execute_text(text)
+        delta = db.storage.snapshot() - before
+        answers.append((
+            result.statistics.plan,
+            tuple(result.oids()),
+            delta.for_file("objects:Student").logical_total,
+        ))
+    return answers

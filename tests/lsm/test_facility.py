@@ -1,0 +1,262 @@
+"""Facility-level tests: flush policy, compaction, shadowing, accounting."""
+
+import pytest
+
+from repro.errors import AccessFacilityError, IndexCorruptionError
+from repro.lsm import LSMSignatureFacility
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+from tests.lsm.conftest import (
+    DOMAIN,
+    PairedWorkload,
+    SAMPLE_QUERIES,
+    make_scheme,
+)
+
+
+def make_facility(kind="ssf", flush_threshold=4, fanout=2):
+    storage = StorageManager(page_size=4096, pool_capacity=0)
+    facility = LSMSignatureFacility(
+        storage, make_scheme(), kind, f"{kind}:T.s",
+        flush_threshold=flush_threshold, fanout=fanout,
+    )
+    return facility, storage
+
+
+def fill(facility, count, offset=0):
+    for i in range(count):
+        facility.insert(
+            frozenset({DOMAIN[(offset + i) % len(DOMAIN)]}), OID(1, offset + i)
+        )
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        storage = StorageManager(page_size=4096, pool_capacity=0)
+        scheme = make_scheme()
+        with pytest.raises(AccessFacilityError):
+            LSMSignatureFacility(storage, scheme, "nix", "nix:T.s")
+        with pytest.raises(AccessFacilityError):
+            LSMSignatureFacility(storage, scheme, "ssf", "ssf:T.s",
+                                 flush_threshold=0)
+        with pytest.raises(AccessFacilityError):
+            LSMSignatureFacility(storage, scheme, "ssf", "ssf:T.s", fanout=1)
+
+    def test_name_matches_kind_for_plan_identity(self):
+        for kind in ("ssf", "bssf"):
+            facility, _ = make_facility(kind)
+            assert facility.name == kind
+
+
+class TestFlush:
+    def test_threshold_triggers_flush(self):
+        facility, _ = make_facility(flush_threshold=4)
+        fill(facility, 3)
+        assert facility.run_count == 0 and len(facility.memtable) == 3
+        fill(facility, 1, offset=3)
+        assert facility.run_count == 1
+        assert facility.memtable.is_empty
+        assert facility.counters["flushes"] == 1
+
+    def test_flush_of_empty_memtable_is_noop(self):
+        facility, _ = make_facility()
+        assert facility.flush() is None
+        assert facility.run_count == 0
+        assert facility.manifest.version == 0
+
+    def test_pure_tombstone_flush_without_older_version_is_dropped(self):
+        facility, _ = make_facility(flush_threshold=100)
+        facility.insert(frozenset({"e1"}), OID(1, 0))
+        facility.delete(frozenset({"e1"}), OID(1, 0))
+        run = facility.flush()
+        assert run is None  # insert+delete cancelled; nothing to shadow
+        assert facility.entry_count == 0
+
+    def test_tombstone_kept_when_older_run_holds_the_oid(self):
+        facility, _ = make_facility(flush_threshold=100)
+        facility.insert(frozenset({"e1"}), OID(1, 0))
+        facility.flush()
+        facility.delete(frozenset({"e1"}), OID(1, 0))
+        run = facility.flush()
+        assert run is not None and OID(1, 0) in run.tombstones
+        assert facility.entry_count == 0
+        assert facility.search_overlap(frozenset({"e1"})).candidates == []
+
+    def test_flush_is_deterministic(self):
+        fingerprints = []
+        for _ in range(2):
+            facility, storage = make_facility(flush_threshold=100)
+            fill(facility, 8)
+            facility.flush()
+            store = storage.store
+            fingerprints.append({
+                name: [bytes(store.page_image(name, p))
+                       for p in range(store.num_pages(name))]
+                for name in sorted(store.file_names())
+            })
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestCompaction:
+    def test_tiered_merges_cascade(self):
+        facility, _ = make_facility(flush_threshold=2, fanout=2)
+        fill(facility, 8)  # 4 flushes -> cascading merges
+        levels = [run.level for run in facility.runs]
+        assert levels == sorted(levels, reverse=True)
+        assert facility.counters["compactions"] >= 2
+        facility.verify()
+        assert facility.entry_count == 8
+
+    def test_merge_drops_shadowed_versions_and_dead_tombstones(self):
+        facility, _ = make_facility(flush_threshold=100, fanout=2)
+        facility.insert(frozenset({"e1"}), OID(1, 0))
+        facility.insert(frozenset({"e2"}), OID(1, 1))
+        facility.flush()
+        facility.delete(frozenset({"e1"}), OID(1, 0))
+        facility.insert(frozenset({"e3"}), OID(1, 1))
+        facility.flush()  # triggers the tier-of-2 merge
+        assert facility.run_count == 1
+        merged = facility.runs[0]
+        assert OID(1, 0) not in merged          # tombstone had no older run
+        assert merged.entries[OID(1, 1)][0] == frozenset({"e3"})
+        facility.verify()
+
+    def test_install_compaction_rejects_stale_plan(self):
+        facility, storage = make_facility(flush_threshold=100, fanout=2)
+        facility.auto_compact = False
+        for batch in range(2):
+            fill(facility, 2, offset=batch * 2)
+            facility.flush()
+        plan = facility.prepare_compaction()
+        assert plan is not None
+        # simulate a concurrent rebuild replacing the run list
+        victims, output = plan
+        facility.runs.remove(victims[0])
+        assert facility.install_compaction(plan) is False
+        # the prepared output's files were GC'd
+        assert not any(
+            name.startswith(f"ssf:T.s:r{output.run_id:06d}")
+            for name in storage.store.file_names()
+        )
+
+    def test_prepare_without_full_tier_returns_none(self):
+        facility, _ = make_facility(flush_threshold=100, fanout=4)
+        fill(facility, 2)
+        facility.flush()
+        assert facility.prepare_compaction() is None
+
+
+class TestBulkLoad:
+    def test_bulk_load_seals_one_run(self):
+        facility, _ = make_facility(flush_threshold=2)
+        pairs = [(frozenset({DOMAIN[i]}), OID(1, i)) for i in range(10)]
+        assert facility.bulk_load(pairs) == 10
+        assert facility.run_count == 1
+        assert facility.entry_count == 10
+        assert facility.memtable.ops == 0  # backfill does not count as churn
+
+    def test_bulk_load_requires_empty_facility(self):
+        facility, _ = make_facility()
+        facility.insert(frozenset({"e1"}), OID(1, 0))
+        with pytest.raises(AccessFacilityError):
+            facility.bulk_load([(frozenset({"e2"}), OID(1, 1))])
+
+
+class TestSearchSemantics:
+    @pytest.mark.parametrize("kind", ["ssf", "bssf"])
+    def test_empty_query_parity_across_layers(self, kind):
+        paired = PairedWorkload(kind)
+        for i in range(6):
+            paired.insert([DOMAIN[i], DOMAIN[i + 1]])
+        paired.flush()
+        paired.insert([DOMAIN[9]])
+        paired.assert_equivalent([frozenset()])
+        result = paired.subject.search_superset(frozenset())
+        assert result.exact and len(result.candidates) == 7
+
+    def test_bad_arguments_match_inplace_contract(self):
+        facility, _ = make_facility()
+        with pytest.raises(AccessFacilityError):
+            facility.search_superset(frozenset({"e1"}), use_elements=0)
+        with pytest.raises(AccessFacilityError):
+            facility.search_subset(frozenset({"e1"}), slices_to_examine=-1)
+
+    def test_detail_reports_layers(self):
+        facility, _ = make_facility(flush_threshold=4)
+        fill(facility, 6)
+        result = facility.search_overlap(frozenset({DOMAIN[0]}))
+        assert result.detail["runs"] == facility.run_count
+        assert result.detail["memtable_entries"] == len(facility.memtable)
+        assert len(result.detail["per_run"]) == facility.run_count
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("kind", ["ssf", "bssf"])
+    def test_predicted_run_pages(self, kind):
+        facility, storage = make_facility(kind, flush_threshold=3)
+        fill(facility, 9)
+        predictions = facility.predicted_run_pages()
+        assert len(predictions) == facility.run_count
+        for prediction, run in zip(predictions, facility.runs):
+            before = storage.snapshot()
+            run.search("superset", frozenset({DOMAIN[2]}))
+            delta = storage.snapshot() - before
+            actual = sum(
+                delta.for_file(name).logical_reads
+                for name in run.file_names()
+                if "oid" not in name
+            )
+            if kind == "ssf":
+                assert actual == prediction["pages"]
+            else:
+                assert actual <= prediction["pages"]
+
+    def test_storage_pages_split_runs_and_manifest(self):
+        facility, _ = make_facility(flush_threshold=2)
+        fill(facility, 4)
+        pages = facility.storage_pages()
+        assert pages["runs"] > 0 and pages["manifest"] > 0
+
+
+class TestVerify:
+    def test_detects_live_map_drift(self):
+        facility, _ = make_facility(flush_threshold=2)
+        fill(facility, 4)
+        facility._live[OID(1, 99)] = 1234
+        with pytest.raises(IndexCorruptionError, match="live map"):
+            facility.verify()
+
+    def test_detects_level_inversion(self):
+        facility, _ = make_facility(flush_threshold=2, fanout=2)
+        fill(facility, 8)
+        if len(facility.runs) < 2:
+            fill(facility, 4, offset=8)
+        facility.runs[0], facility.runs[-1] = (
+            facility.runs[-1], facility.runs[0],
+        )
+        if facility.runs[0].level < facility.runs[-1].level:
+            with pytest.raises(IndexCorruptionError, match="levels"):
+                facility.verify()
+
+
+class TestAttach:
+    @pytest.mark.parametrize("kind", ["ssf", "bssf"])
+    def test_state_blob_roundtrip(self, kind):
+        facility, storage = make_facility(kind, flush_threshold=3)
+        fill(facility, 8)
+        facility.delete(frozenset({DOMAIN[1]}), OID(1, 1))
+        reopened = LSMSignatureFacility.attach(
+            storage, make_scheme(), f"{kind}:T.s", facility.state_blob()
+        )
+        assert reopened.entry_count == facility.entry_count
+        assert reopened._live == facility._live
+        for query in SAMPLE_QUERIES:
+            for mode in ("superset", "subset", "overlap"):
+                assert (
+                    getattr(reopened, f"search_{mode}")(query).candidates
+                    == getattr(facility, f"search_{mode}")(query).candidates
+                )
+        # writes continue where the original left off
+        reopened.insert(frozenset({DOMAIN[5]}), OID(1, 50))
+        assert reopened._next_seq == facility._next_seq + 1

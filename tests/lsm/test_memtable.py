@@ -1,0 +1,62 @@
+"""Unit tests for the LSM memtable."""
+
+from repro.lsm import MemTable
+from repro.objects.oid import OID
+
+from tests.lsm.conftest import make_scheme
+
+
+def test_insert_records_signature_and_seq():
+    table = MemTable()
+    scheme = make_scheme()
+    oid = OID(1, 0)
+    table.insert(frozenset({"a", "b"}), oid, 7, scheme)
+    elements, seq, signature = table.entries[oid]
+    assert elements == frozenset({"a", "b"})
+    assert seq == 7
+    assert signature == scheme.set_signature({"a", "b"})
+    assert table.ops == 1
+    assert len(table) == 1
+    assert not table.is_empty
+
+
+def test_delete_shadows_and_insert_clears_tombstone():
+    table = MemTable()
+    scheme = make_scheme()
+    oid = OID(1, 0)
+    table.insert(frozenset({"a"}), oid, 0, scheme)
+    table.delete(oid)
+    assert oid not in table.entries
+    assert oid in table.tombstones
+    table.insert(frozenset({"b"}), oid, 1, scheme)
+    assert oid not in table.tombstones
+    assert table.entries[oid][0] == frozenset({"b"})
+    assert table.ops == 3
+
+
+def test_delete_of_unknown_oid_is_a_pure_tombstone():
+    table = MemTable()
+    table.delete(OID(1, 9))
+    assert table.tombstones == {OID(1, 9)}
+    assert not table.is_empty
+
+
+def test_state_roundtrip_preserves_seq_order_and_signatures():
+    table = MemTable()
+    scheme = make_scheme()
+    table.insert(frozenset({"x", "y"}), OID(1, 2), 5, scheme)
+    table.insert(frozenset({"z"}), OID(1, 0), 3, scheme)
+    table.delete(OID(1, 7))
+    restored = MemTable.from_state(table.to_state(), scheme)
+    assert restored.entries == table.entries
+    assert restored.tombstones == table.tombstones
+    assert restored.ops == table.ops
+
+
+def test_state_is_deterministic():
+    scheme = make_scheme()
+    a, b = MemTable(), MemTable()
+    for table in (a, b):
+        table.insert(frozenset({"p", "q"}), OID(1, 1), 0, scheme)
+        table.delete(OID(1, 4))
+    assert a.to_state() == b.to_state()

@@ -1,0 +1,111 @@
+"""Unit tests for immutable signature runs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lsm import SignatureRun
+from repro.lsm.run import run_prefix
+from repro.objects.oid import OID
+from repro.storage.paged_file import StorageManager
+
+from tests.lsm.conftest import make_scheme
+
+
+def _entries(count, offset=0):
+    return {
+        OID(1, i): (frozenset({f"e{i}", f"e{i + 1}"}), offset + i)
+        for i in range(count)
+    }
+
+
+def _build(kind="ssf", count=6, tombstones=(), level=0, run_id=0):
+    storage = StorageManager(page_size=4096, pool_capacity=0)
+    run = SignatureRun.build(
+        storage, make_scheme(), f"{kind}:T.s", run_id, level, kind,
+        _entries(count), {OID(1, s) for s in tombstones},
+    )
+    return run, storage
+
+
+@pytest.mark.parametrize("kind", ["ssf", "bssf"])
+def test_build_search_and_contains(kind):
+    run, _ = _build(kind)
+    run.verify()
+    assert run.entry_count == 6
+    assert OID(1, 0) in run
+    assert OID(1, 99) not in run
+    result = run.search("superset", frozenset({"e2", "e3"}))
+    assert OID(1, 2) in result.candidates
+    assert run.seq_of(OID(1, 2)) == 2
+
+
+def test_tombstones_count_as_membership():
+    run, _ = _build(tombstones=[50])
+    assert OID(1, 50) in run
+    with pytest.raises(KeyError):
+        run.seq_of(OID(1, 50))
+
+
+def test_unknown_kind_and_mode_rejected():
+    storage = StorageManager(page_size=4096, pool_capacity=0)
+    with pytest.raises(ConfigurationError):
+        SignatureRun.build(
+            storage, make_scheme(), "x:T.s", 0, 0, "btree", _entries(1), set()
+        )
+    run, _ = _build()
+    with pytest.raises(ConfigurationError):
+        run.search("between", frozenset({"e1"}))
+
+
+@pytest.mark.parametrize("kind", ["ssf", "bssf"])
+def test_attach_reopens_identical_run(kind):
+    run, storage = _build(kind)
+    reopened = SignatureRun.attach(
+        storage, make_scheme(), f"{kind}:T.s", 0, 0, kind,
+        dict(run.entries), set(run.tombstones),
+    )
+    reopened.verify()
+    query = frozenset({"e1", "e2"})
+    assert (
+        reopened.search("overlap", query).candidates
+        == run.search("overlap", query).candidates
+    )
+
+
+@pytest.mark.parametrize("kind", ["ssf", "bssf"])
+def test_drop_files_removes_every_file(kind):
+    run, storage = _build(kind)
+    prefix = run_prefix(f"{kind}:T.s", 0)
+    assert any(
+        name.startswith(prefix) for name in storage.store.file_names()
+    )
+    run.drop_files(storage)
+    assert not any(
+        name.startswith(prefix) for name in storage.store.file_names()
+    )
+
+
+def test_state_roundtrip():
+    run, _ = _build(tombstones=[40, 41])
+    run_id, level, entries, tombstones = SignatureRun.state_tables(
+        run.to_state()
+    )
+    assert run_id == 0 and level == 0
+    assert entries == run.entries
+    assert tombstones == run.tombstones
+
+
+def test_verify_detects_entry_count_mismatch():
+    run, _ = _build()
+    run.entries[OID(1, 77)] = (frozenset({"e9"}), 99)
+    with pytest.raises(ConfigurationError):
+        run.verify()
+
+
+def test_run_prefix_stays_inside_facility_namespace():
+    from repro.recovery.rebuild import facility_of_file
+
+    prefix = run_prefix("ssf:Student.hobbies", 3)
+    assert facility_of_file(f"{prefix}:signatures") == (
+        "Student", "hobbies", "ssf"
+    )

@@ -98,6 +98,73 @@ class TestDatabaseCache:
         populated_db.statistics.invalidate("Student")
         assert populated_db.statistics.peek("Student", "hobbies") is None
 
+    def test_churn_with_explicit_oids_keeps_count(self, populated_db):
+        """Regression: delete + insert_with_oid must refresh the live count.
+
+        The explicit-OID insert path (WAL replay, shard loading, LSM
+        run-merge order) reuses a previously-deleted OID; the maintained
+        per-class live counter must come back to its old value, not drift.
+        """
+        store = populated_db.objects
+        assert store.count("Student") == 120
+        victims = [oid for oid, _ in store.scan("Student")][:10]
+        for oid in victims:
+            values = store.fetch(oid)
+            store.delete(oid)
+            assert store.count("Student") == 119
+            store.insert_with_oid("Student", oid, values)
+            assert store.count("Student") == 120
+
+    def test_zero_net_churn_still_refreshes_statistics(self, populated_db):
+        """Regression: churn that nets zero live objects must still be
+        visible to drift detection.
+
+        Deleting objects and re-inserting them under their original OIDs
+        with entirely different element domains leaves ``count()``
+        unchanged, so count-based staleness alone would keep the planner
+        on stale statistics forever.
+        """
+        store = populated_db.objects
+        first = populated_db.statistics.get(store, "Student", "hobbies")
+        churn = int(120 * REANALYZE_DRIFT) + 5
+        victims = [oid for oid, _ in store.scan("Student")][:churn]
+        for index, oid in enumerate(victims):
+            values = store.fetch(oid)
+            store.delete(oid)
+            values["hobbies"] = {f"NewHobby{index}", f"NewHobby{index + churn}"}
+            store.insert_with_oid("Student", oid, values)
+        assert store.count("Student") == 120  # net-zero churn
+        refreshed = populated_db.statistics.get(store, "Student", "hobbies")
+        assert refreshed is not first
+        assert refreshed.distinct_elements > first.distinct_elements
+
+    def test_mutation_counter_is_monotonic(self, populated_db):
+        store = populated_db.objects
+        before = store.mutation_count("Student")
+        oid = store.insert("Student", {"name": "m", "hobbies": {"Chess"}})
+        store.update(oid, {"name": "m", "hobbies": {"Go"}})
+        store.delete(oid)
+        assert store.mutation_count("Student") == before + 3
+
+    def test_statistics_without_mutation_counter(self, populated_db):
+        """Stores lacking ``mutation_count`` (older snapshots, test
+        doubles) fall back to count-only drift."""
+
+        class LegacyStore:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                if name == "mutation_count":
+                    raise AttributeError(name)
+                return getattr(self._inner, name)
+
+        legacy = LegacyStore(populated_db.objects)
+        stats = analyze(legacy, "Student", "hobbies")
+        assert stats.collected_at_mutations == 0
+        cache_hit = populated_db.statistics.get(legacy, "Student", "hobbies")
+        assert cache_hit.num_objects == 120
+
     def test_planner_uses_statistics_when_no_context(self, populated_db):
         from repro.query.parser import parse_query
         from repro.query.planner import plan_query

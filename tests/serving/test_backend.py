@@ -36,10 +36,22 @@ QUERIES = [
 ]
 
 
-def _build_db() -> Database:
-    db = Database(page_size=4096, pool_capacity=0)
+def _build_db(*, lsm: bool = False, wal_dir=None) -> Database:
+    kwargs = dict(page_size=4096, pool_capacity=0)
+    if wal_dir is not None:
+        kwargs["wal_dir"] = str(wal_dir)
+        kwargs["durability"] = "lsm" if lsm else "wal"
+    db = Database(**kwargs)
     db.define_class(ClassSchema.build("Student", name="scalar", hobbies="set"))
-    db.create_bssf_index("Student", "hobbies", 128, 2)
+    if lsm:
+        # small threshold so the 60-object load crosses several flushes —
+        # served answers must be identical to the in-place golden anyway
+        db.create_bssf_index(
+            "Student", "hobbies", 128, 2, lsm=True,
+            flush_threshold=16, fanout=2,
+        )
+    else:
+        db.create_bssf_index("Student", "hobbies", 128, 2)
     populate_students(db, count=60)
     return db
 
@@ -70,18 +82,56 @@ _SHARDS = 3
         "router-thread",
         "router-process",
         "router-remote",
+        "lsm-serial",
+        "lsm-thread",
+        "lsm-remote",
+        "lsm-router-serial",
+        "lsm-replicated",
     ]
 )
-def backend(request):
-    """Every serving backend, plus a ShardRouter over each kind of shard."""
-    db = _build_db()
-    if request.param == "remote":
+def backend(request, tmp_path):
+    """Every serving backend, plus a ShardRouter over each kind of shard.
+
+    The ``lsm-*`` members run the identical conformance suite against
+    databases whose index is an LSM facility (local service, TCP server,
+    scatter-gather router over LSM shards, and a failover client over a
+    replicated LSM primary) — the serving layer must be unable to tell
+    the two write paths apart.
+    """
+    if request.param == "lsm-replicated":
+        from repro.replication import ReplicaDatabase
+
+        db = _build_db(lsm=True, wal_dir=tmp_path / "primary")
+        with contextlib.ExitStack() as stack:
+            server = stack.enter_context(
+                TcpQueryServer(db, max_workers=2, heartbeat_seconds=0.1)
+            )
+            replica = ReplicaDatabase(
+                server.url, str(tmp_path / "replica"),
+                stall_timeout_seconds=3.0,
+            )
+            stack.callback(replica.close)
+            replica.wait_for_lsn(db.wal.end_lsn, timeout=10)
+            replica_server = stack.enter_context(
+                TcpQueryServer(
+                    service=QueryService(replica.database, max_workers=2),
+                    heartbeat_seconds=0.1,
+                )
+            )
+            with connect([server.url, replica_server.url]) as client:
+                yield client
+        db.close()
+        return
+    lsm = request.param.startswith("lsm-")
+    mode = request.param.split("-", 1)[1] if lsm else request.param
+    db = _build_db(lsm=lsm)
+    if mode == "remote":
         with TcpQueryServer(db, max_workers=2) as server:
             with make_service(server.url) as built:
                 yield built
         return
-    if request.param.startswith("router-"):
-        kind = request.param.split("-", 1)[1]
+    if mode.startswith("router-"):
+        kind = mode.split("-", 1)[1]
         shards = partition_database(db, _SHARDS)
         if kind == "remote":
             with contextlib.ExitStack() as stack:
@@ -96,8 +146,16 @@ def backend(request):
         with make_service(shards, _MODES[kind], max_workers=2) as router:
             yield router
         return
-    with make_service(db, _MODES[request.param], max_workers=2) as built:
+    with make_service(db, _MODES[mode], max_workers=2) as built:
         yield built
+
+
+def test_lsm_build_is_not_vacuous():
+    """Guard: the lsm-* members must serve a multi-run facility."""
+    db = _build_db(lsm=True)
+    facility = db.index("Student", "hobbies", "bssf")
+    assert getattr(facility, "is_lsm", False)
+    assert facility.run_count >= 2
 
 
 class TestConformance:

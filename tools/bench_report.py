@@ -113,6 +113,27 @@ def render(report: dict) -> str:
             f"{sharded['sequential_ms']:.2f} ms → {sharded['sharded_ms']:.2f} ms "
             f"({sharded['sharded_speedup']:.2f}x){verdict}"
         )
+    lsm = report.get("lsm")
+    if lsm:
+        floor = thresholds.get("lsm_update")
+        verdict = ""
+        if floor is not None:
+            state = "PASS" if lsm["update_speedup"] >= floor else "FAIL"
+            verdict = f" — {state} (≥{floor:g}x)"
+        ceiling = thresholds.get("lsm_wal_overhead")
+        wal_verdict = ""
+        if ceiling is not None:
+            state = "PASS" if lsm["wal_overhead_ratio"] <= ceiling else "FAIL"
+            wal_verdict = f" — {state} (≤{ceiling:g}x)"
+        lines.append("")
+        lines.append(
+            f"LSM update sweep ({int(lsm['updates_per_sweep'])} updates): "
+            f"in-place+WAL {lsm['inplace_wal_ms']:.2f} ms → "
+            f"LSM+WAL {lsm['lsm_wal_ms']:.2f} ms "
+            f"({lsm['update_speedup']:.2f}x){verdict}; "
+            f"WAL overhead under LSM {lsm['wal_overhead_ratio']:.2f}x"
+            f"{wal_verdict}"
+        )
     wal = report.get("wal_overhead")
     if wal:
         lines.append("")

@@ -85,6 +85,14 @@ echo "== replication smoke (loopback failover drill) =="
 # FailoverClient must ride the failover with zero transport errors.
 python tools/replication_smoke.py
 
+echo "== lsm smoke (flush/compact/crash drill) =="
+# Fixed-seed churn over paired in-place / LSM databases: every canonical
+# query must agree on plans, rows and object-file pages (with enough
+# churn that the LSM path really flushed and compacted), then crash
+# drills mid-run-file build and mid-manifest install must recover to the
+# durable prefix with a clean deep fsck.
+python tools/lsm_smoke.py
+
 echo "== sharding smoke (loopback chaos drill) =="
 # Three hash-partitioned shard servers behind a ShardRouter: healthy
 # merges must be bit-identical to unsharded answers (rows + object-file
